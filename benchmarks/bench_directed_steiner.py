@@ -1,0 +1,159 @@
+"""T1-dst — minimal directed Steiner tree enumeration (Table 1 row
+"Directed Steiner Tree").
+
+Claims exercised:
+
+* amortized O(n+m) per solution (Theorem 36), linear in the size sweep;
+* the prior work's delay O(mt(|T_i|+|T_{i-1}|)) carries an explicit
+  factor t; with a forced directed tail, the unimproved variant's delay
+  grows with t while this work's stays flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import fit_linearity, measure_enumeration, print_table
+from repro.bench.workloads import directed_size_sweep
+from repro.core.directed_steiner import (
+    enumerate_minimal_directed_steiner_trees,
+    enumerate_minimal_directed_steiner_trees_linear_delay,
+    enumerate_minimal_directed_steiner_trees_simple,
+)
+from repro.graphs.digraph import DiGraph
+
+from conftest import make_drainer
+
+LIMIT = 250
+
+
+def forced_tail_directed(num_diamonds: int, tail: int):
+    """Directed analogue of the forced-tail family: diamond chain from the
+    root, then a forced directed path of terminals."""
+    d = DiGraph()
+    prev = ("j", 0)
+    for i in range(num_diamonds):
+        up, down, nxt = ("u", i), ("d", i), ("j", i + 1)
+        d.add_arc(("j", i), up)
+        d.add_arc(("j", i), down)
+        d.add_arc(up, nxt)
+        d.add_arc(down, nxt)
+        prev = nxt
+    terminals = []
+    for i in range(tail):
+        p = ("tail", i)
+        d.add_arc(prev, p)
+        terminals.append(p)
+        prev = p
+    return f"dforced(d={num_diamonds},t={tail})", d, terminals, ("j", 0)
+
+
+@pytest.mark.parametrize("inst", directed_size_sweep(), ids=lambda i: i.name)
+def test_improved_enumeration(benchmark, inst):
+    count = benchmark(
+        make_drainer(
+            lambda: enumerate_minimal_directed_steiner_trees(
+                inst.digraph, inst.terminals, inst.root
+            ),
+            LIMIT,
+        )
+    )
+    assert count > 0
+
+
+@pytest.mark.parametrize("inst", directed_size_sweep()[:3], ids=lambda i: i.name)
+def test_simple_enumeration(benchmark, inst):
+    count = benchmark(
+        make_drainer(
+            lambda: enumerate_minimal_directed_steiner_trees_simple(
+                inst.digraph, inst.terminals, inst.root
+            ),
+            LIMIT,
+        )
+    )
+    assert count > 0
+
+
+@pytest.mark.parametrize("inst", directed_size_sweep()[:3], ids=lambda i: i.name)
+def test_linear_delay_enumeration(benchmark, inst):
+    count = benchmark(
+        make_drainer(
+            lambda: enumerate_minimal_directed_steiner_trees_linear_delay(
+                inst.digraph, inst.terminals, inst.root
+            ),
+            LIMIT,
+        )
+    )
+    assert count > 0
+
+
+def test_size_scaling_table(benchmark):
+    """Amortized ops/solution scale linearly with n+m."""
+    rows, sizes, costs = [], [], []
+    for inst in directed_size_sweep():
+        m = measure_enumeration(
+            inst.name,
+            inst.size,
+            lambda meter, i=inst: enumerate_minimal_directed_steiner_trees(
+                i.digraph, i.terminals, i.root, meter=meter
+            ),
+            limit=LIMIT,
+        )
+        sizes.append(m.size)
+        costs.append(m.amortized_ops)
+        rows.append(
+            (m.label, m.size, m.solutions, int(m.amortized_ops), m.normalized_amortized)
+        )
+    exponent, r2 = fit_linearity(sizes, costs)
+    print()
+    print_table(
+        "T1-dst: amortized ops/solution vs n+m (this work)",
+        ("instance", "n+m", "solutions", "ops/solution", "normalized"),
+        rows,
+    )
+    print(f"log-log exponent: {exponent:.2f} (r2={r2:.3f}); paper predicts 1.0")
+    assert 0.6 <= exponent <= 1.5
+    benchmark(lambda: None)
+
+
+def test_terminal_factor_table(benchmark):
+    """The prior work's delay factor t, exposed by the forced tail."""
+    rows, ours_norm, base_norm = [], [], []
+    for tail in (2, 4, 8, 16, 32):
+        name, d, terminals, root = forced_tail_directed(6, tail)
+        size = d.size
+        m_ours = measure_enumeration(
+            name,
+            size,
+            lambda meter, dd=d, tt=terminals, rr=root: (
+                enumerate_minimal_directed_steiner_trees(dd, tt, rr, meter=meter)
+            ),
+        )
+        m_base = measure_enumeration(
+            name,
+            size,
+            lambda meter, dd=d, tt=terminals, rr=root: (
+                enumerate_minimal_directed_steiner_trees_simple(dd, tt, rr, meter=meter)
+            ),
+        )
+        ours_norm.append(m_ours.normalized_max_delay)
+        base_norm.append(m_base.normalized_max_delay)
+        rows.append(
+            (
+                tail,
+                m_ours.solutions,
+                m_ours.max_delay_ops,
+                m_base.max_delay_ops,
+                m_ours.normalized_max_delay,
+                m_base.normalized_max_delay,
+            )
+        )
+    print()
+    print_table(
+        "T1-dst: max delay vs t on directed forced tails (ours vs unimproved)",
+        ("t", "solutions", "ours (ops)", "baseline (ops)", "ours/(n+m)", "baseline/(n+m)"),
+        rows,
+    )
+    assert max(ours_norm) / min(ours_norm) < 3
+    assert base_norm[-1] / base_norm[0] > 2.5
+    benchmark(lambda: None)

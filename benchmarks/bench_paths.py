@@ -1,0 +1,60 @@
+"""T1-paths — s-t path enumeration delay (Section 3, Theorem 12).
+
+Claim exercised: the Read–Tarjan enumerator has O(n+m) delay.  Theta
+graphs hold the solution count fixed (k paths) while the instance grows,
+so any super-linear delay would show up directly in the normalized
+max-delay column; grids provide the many-solutions regime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import fit_linearity, measure_enumeration, print_table
+from repro.bench.workloads import path_grid_sweep, path_theta_sweep
+from repro.paths.read_tarjan import enumerate_st_paths_undirected
+
+from conftest import make_drainer
+
+
+@pytest.mark.parametrize("case", path_theta_sweep(), ids=lambda c: c[0])
+def test_theta_enumeration(benchmark, case):
+    name, graph, s, t = case
+    count = benchmark(make_drainer(lambda: enumerate_st_paths_undirected(graph, s, t)))
+    assert count == 8  # theta(k=8, *) has exactly 8 paths
+
+
+@pytest.mark.parametrize("case", path_grid_sweep(), ids=lambda c: c[0])
+def test_grid_enumeration(benchmark, case):
+    name, graph, s, t = case
+    count = benchmark(make_drainer(lambda: enumerate_st_paths_undirected(graph, s, t)))
+    assert count > 20
+
+
+def test_delay_scaling_table(benchmark):
+    """Normalized max delay stays flat as n+m grows 16x (linear shape)."""
+    rows = []
+    sizes, delays = [], []
+    for name, graph, s, t in path_theta_sweep():
+        m = measure_enumeration(
+            name,
+            graph.size,
+            lambda meter, g=graph, a=s, b=t: enumerate_st_paths_undirected(
+                g, a, b, meter=meter
+            ),
+        )
+        sizes.append(m.size)
+        delays.append(m.metered.max_delay)
+        rows.append(
+            (m.label, m.size, m.solutions, m.max_delay_ops, m.normalized_max_delay)
+        )
+    exponent, r2 = fit_linearity(sizes, delays)
+    print()
+    print_table(
+        "T1-paths: delay vs n+m (theta graphs, solution count fixed)",
+        ("instance", "n+m", "solutions", "max delay (ops)", "delay/(n+m)"),
+        rows,
+    )
+    print(f"log-log exponent: {exponent:.2f} (r2={r2:.3f}); paper predicts 1.0")
+    assert 0.7 <= exponent <= 1.3
+    benchmark(lambda: None)  # registers the test with --benchmark-only

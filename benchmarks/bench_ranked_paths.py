@@ -1,0 +1,97 @@
+"""A-ranked — ranked enumeration layers (Yen paths, top-k Steiner trees).
+
+The paper's introduction motivates enumeration through ranked problems
+([12, 18, 34, 35] for paths; [25] for approximately-sorted Steiner
+trees).  This bench times the ranked layers built on the enumerators:
+
+* Yen's K shortest loopless paths (exact order, polynomial delay per
+  rank) against the unranked linear-delay path enumerator;
+* exact top-k lightest minimal Steiner trees;
+* the approximate-order stream and its measured sortedness defect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import print_table
+from repro.bench.workloads import tree_shape_sweep
+from repro.core.ranked import (
+    enumerate_approximately_by_weight,
+    k_lightest_minimal_steiner_trees,
+    sortedness_defect,
+)
+from repro.graphs.generators import random_connected_graph
+from repro.paths.read_tarjan import enumerate_st_paths_undirected
+from repro.paths.yen import yen_k_shortest_paths
+
+from conftest import make_drainer
+
+K = 25
+
+
+def _weights(graph):
+    return {eid: float((eid * 13) % 9 + 1) for eid in graph.edge_ids()}
+
+
+def _path_instances():
+    out = []
+    for n, extra in [(12, 14), (16, 20), (20, 26)]:
+        g = random_connected_graph(n, extra, seed=n)
+        out.append((f"rand-{n}", g, 0, n - 1))
+    return out
+
+
+@pytest.mark.parametrize(
+    "name, g, s, t", _path_instances(), ids=[i[0] for i in _path_instances()]
+)
+def test_yen_top_k(benchmark, name, g, s, t):
+    weights = _weights(g)
+    count = benchmark(
+        make_drainer(lambda: yen_k_shortest_paths(g, s, t, k=K, weights=weights))
+    )
+    assert count > 0
+
+
+@pytest.mark.parametrize(
+    "name, g, s, t", _path_instances(), ids=[i[0] for i in _path_instances()]
+)
+def test_unranked_paths_same_budget(benchmark, name, g, s, t):
+    count = benchmark(make_drainer(lambda: enumerate_st_paths_undirected(g, s, t), K))
+    assert count > 0
+
+
+@pytest.mark.parametrize(
+    "inst", tree_shape_sweep()[:3], ids=lambda i: i.name
+)
+def test_top_k_steiner(benchmark, inst):
+    weights = _weights(inst.graph)
+    out = benchmark(
+        lambda: k_lightest_minimal_steiner_trees(inst.graph, inst.terminals, weights, 5)
+    )
+    assert len(out) > 0
+
+
+def test_approximate_order_table(benchmark):
+    """The [25]-style trade-off: bounded lookahead buys approximate order."""
+    rows = []
+    for inst in tree_shape_sweep()[:3]:
+        weights = _weights(inst.graph)
+        for lookahead in (8, 64, 512):
+            stream = [
+                w
+                for w, _ in enumerate_approximately_by_weight(
+                    inst.graph, inst.terminals, weights, lookahead=lookahead
+                )
+            ]
+            rows.append((inst.name, lookahead, len(stream), sortedness_defect(stream)))
+    print()
+    print_table(
+        "A-ranked: sortedness defect vs lookahead",
+        ("instance", "lookahead", "solutions", "defect"),
+        rows,
+    )
+    for name, lookahead, total, defect in rows:
+        if total:
+            assert defect <= total
+    benchmark(lambda: None)

@@ -1,0 +1,87 @@
+"""T1-sf — minimal Steiner forest enumeration (Table 1 row "Steiner Forest").
+
+Claims exercised: amortized O(n+m) per solution (Theorem 25) — prior work
+(Khachiyan et al.) is only incremental-polynomial with exponential space,
+so the comparison row here is the unimproved variant (Theorem 23's
+O(t(n+m)) delay bound).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import fit_linearity, measure_enumeration, print_table
+from repro.bench.workloads import forest_size_sweep
+from repro.core.steiner_forest import (
+    enumerate_minimal_steiner_forests,
+    enumerate_minimal_steiner_forests_linear_delay,
+    enumerate_minimal_steiner_forests_simple,
+)
+
+from conftest import make_drainer
+
+LIMIT = 250
+
+
+@pytest.mark.parametrize("inst", forest_size_sweep(), ids=lambda i: i.name)
+def test_improved_enumeration(benchmark, inst):
+    count = benchmark(
+        make_drainer(
+            lambda: enumerate_minimal_steiner_forests(inst.graph, inst.families),
+            LIMIT,
+        )
+    )
+    assert count > 0
+
+
+@pytest.mark.parametrize("inst", forest_size_sweep()[:3], ids=lambda i: i.name)
+def test_simple_enumeration(benchmark, inst):
+    count = benchmark(
+        make_drainer(
+            lambda: enumerate_minimal_steiner_forests_simple(inst.graph, inst.families),
+            LIMIT,
+        )
+    )
+    assert count > 0
+
+
+@pytest.mark.parametrize("inst", forest_size_sweep()[:3], ids=lambda i: i.name)
+def test_linear_delay_enumeration(benchmark, inst):
+    count = benchmark(
+        make_drainer(
+            lambda: enumerate_minimal_steiner_forests_linear_delay(
+                inst.graph, inst.families
+            ),
+            LIMIT,
+        )
+    )
+    assert count > 0
+
+
+def test_size_scaling_table(benchmark):
+    """Amortized ops/solution scale linearly with n+m."""
+    rows, sizes, costs = [], [], []
+    for inst in forest_size_sweep():
+        m = measure_enumeration(
+            inst.name,
+            inst.size,
+            lambda meter, i=inst: enumerate_minimal_steiner_forests(
+                i.graph, i.families, meter=meter
+            ),
+            limit=LIMIT,
+        )
+        sizes.append(m.size)
+        costs.append(m.amortized_ops)
+        rows.append(
+            (m.label, m.size, m.solutions, int(m.amortized_ops), m.normalized_amortized)
+        )
+    exponent, r2 = fit_linearity(sizes, costs)
+    print()
+    print_table(
+        "T1-sf: amortized ops/solution vs n+m (this work)",
+        ("instance", "n+m", "solutions", "ops/solution", "normalized"),
+        rows,
+    )
+    print(f"log-log exponent: {exponent:.2f} (r2={r2:.3f}); paper predicts 1.0")
+    assert 0.6 <= exponent <= 1.5
+    benchmark(lambda: None)

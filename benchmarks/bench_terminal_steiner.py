@@ -1,0 +1,93 @@
+"""T1-tst — minimal terminal Steiner tree enumeration (Table 1 row
+"Terminal Steiner Tree").
+
+Claims exercised: amortized O(n+m) per solution (Theorem 31) vs the
+unimproved O(nm)-delay variant (Theorem 29) standing in for the prior
+work's O(m·|T_i|) shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import fit_linearity, measure_enumeration, print_table
+from repro.bench.workloads import terminal_steiner_size_sweep
+from repro.core.terminal_steiner import (
+    enumerate_minimal_terminal_steiner_trees,
+    enumerate_minimal_terminal_steiner_trees_linear_delay,
+    enumerate_minimal_terminal_steiner_trees_simple,
+)
+
+from conftest import make_drainer
+
+LIMIT = 250
+
+
+@pytest.mark.parametrize("inst", terminal_steiner_size_sweep(), ids=lambda i: i.name)
+def test_improved_enumeration(benchmark, inst):
+    count = benchmark(
+        make_drainer(
+            lambda: enumerate_minimal_terminal_steiner_trees(inst.graph, inst.terminals),
+            LIMIT,
+        )
+    )
+    assert count > 0
+
+
+@pytest.mark.parametrize(
+    "inst", terminal_steiner_size_sweep()[:3], ids=lambda i: i.name
+)
+def test_simple_enumeration(benchmark, inst):
+    count = benchmark(
+        make_drainer(
+            lambda: enumerate_minimal_terminal_steiner_trees_simple(
+                inst.graph, inst.terminals
+            ),
+            LIMIT,
+        )
+    )
+    assert count > 0
+
+
+@pytest.mark.parametrize(
+    "inst", terminal_steiner_size_sweep()[:3], ids=lambda i: i.name
+)
+def test_linear_delay_enumeration(benchmark, inst):
+    count = benchmark(
+        make_drainer(
+            lambda: enumerate_minimal_terminal_steiner_trees_linear_delay(
+                inst.graph, inst.terminals
+            ),
+            LIMIT,
+        )
+    )
+    assert count > 0
+
+
+def test_size_scaling_table(benchmark):
+    """Amortized ops/solution scale linearly with n+m."""
+    rows, sizes, costs = [], [], []
+    for inst in terminal_steiner_size_sweep():
+        m = measure_enumeration(
+            inst.name,
+            inst.size,
+            lambda meter, i=inst: enumerate_minimal_terminal_steiner_trees(
+                i.graph, i.terminals, meter=meter
+            ),
+            limit=LIMIT,
+        )
+        sizes.append(m.size)
+        costs.append(m.amortized_ops)
+        rows.append(
+            (m.label, m.size, m.solutions, int(m.amortized_ops), m.normalized_amortized)
+        )
+    exponent, r2 = fit_linearity(sizes, costs)
+    print()
+    print_table(
+        "T1-tst: amortized ops/solution vs n+m (this work)",
+        ("instance", "n+m", "solutions", "ops/solution", "normalized"),
+        rows,
+    )
+    print(f"log-log exponent: {exponent:.2f} (r2={r2:.3f}); paper predicts 1.0")
+    assert 0.6 <= exponent <= 1.5
+    benchmark(lambda: None)

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark measures *enumeration*, so the common shape is: build the
+instance once, then time draining the generator (optionally capped).  The
+delay/shape analyses print their tables to stdout so a
+``pytest benchmarks/ --benchmark-only -s`` run shows the Table-1 style
+rows next to the pytest-benchmark timings; ``benchmarks/run_experiments.py``
+re-runs the same code to regenerate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Optional
+
+
+def drain(iterable: Iterable, limit: Optional[int] = None) -> int:
+    """Consume up to ``limit`` items; return how many were consumed."""
+    count = 0
+    for _ in itertools.islice(iterable, limit):
+        count += 1
+    return count
+
+
+def make_drainer(factory: Callable[[], Iterable], limit: Optional[int] = None):
+    """A zero-argument callable for the pytest-benchmark fixture."""
+
+    def run() -> int:
+        return drain(factory(), limit)
+
+    return run

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Gallery: render improved enumeration trees (the paper's Figure 1).
+
+The output-queue argument of Theorem 20 rests on the *shape* of the
+improved enumeration tree: every internal node has at least two
+children, so internal nodes never outnumber leaves, and the tree
+decomposes into a preprocessing prefix plus post-preprocessing subtrees
+``T_1, …, T_ℓ``.  This example renders that structure for three
+instances of growing size, and checks the shape claims on each.
+
+Run:  python examples/enumeration_tree_gallery.py
+"""
+
+from repro.core.steiner_tree import steiner_tree_events
+from repro.enumeration.render import EnumerationTree, render_figure1
+from repro.graphs.generators import (
+    random_connected_graph,
+    random_terminals,
+    theta_graph,
+)
+
+
+def show(title, graph, terminals, n=None) -> None:
+    print(f"\n=== {title} ===")
+    tree = EnumerationTree.from_events(steiner_tree_events(graph, terminals))
+    print(render_figure1(tree, n=n))
+    # the Lemma 16 / Lemma 18 shape claims
+    assert tree.min_internal_children >= 2, "improved tree must branch"
+    assert tree.num_internal <= tree.num_leaves
+    print(
+        f"shape check: {tree.num_internal} internal <= {tree.num_leaves} "
+        f"leaves; min branching {tree.min_internal_children} >= 2"
+    )
+
+
+def main() -> None:
+    theta = theta_graph(3, 3)
+    show("theta graph (3 disjoint s-t paths)", theta, ["s", "t"])
+
+    g = random_connected_graph(9, 6, seed=11)
+    show("small random graph, 3 terminals", g, random_terminals(g, 3, seed=11), n=3)
+
+    g = random_connected_graph(11, 6, seed=5)
+    show(
+        "larger random graph, 3 terminals",
+        g,
+        random_terminals(g, 3, seed=5),
+        n=8,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Keyword search on a bibliographic data graph (the paper's motivation).
+
+Kimelfeld and Sagiv's observation — enumerate K-fragments = enumerate
+minimal Steiner trees — turned keyword search over databases into the
+enumeration problem this paper solves with linear delay.  This example
+builds a small citation/venue graph, runs three fragment flavours over
+it, and shows the ranked top-k interface.
+
+Run:  python examples/keyword_search.py
+"""
+
+import itertools
+
+from repro.datagraph.kfragments import (
+    directed_kfragments,
+    strong_kfragments,
+    top_k_fragments,
+    undirected_kfragments,
+)
+from repro.datagraph.model import DataGraph
+
+
+def build_library() -> DataGraph:
+    """A toy bibliographic database rendered as a data graph.
+
+    Nodes are papers/venues/authors; edges are written-by / published-in /
+    cites relationships; keywords are title terms.
+    """
+    dg = DataGraph()
+    papers = {
+        "p:dreyfus71": ["steiner", "dynamic-programming"],
+        "p:karp72": ["np-complete", "reducibility"],
+        "p:read-tarjan75": ["enumeration", "paths", "backtrack"],
+        "p:kimelfeld06": ["keyword", "search", "proximity"],
+        "p:kimelfeld08": ["keyword", "search", "enumeration"],
+        "p:uno03": ["enumeration", "delay"],
+        "p:this-paper": ["steiner", "enumeration", "delay"],
+    }
+    venues = {
+        "v:pods": ["database"],
+        "v:networks": ["networks"],
+    }
+    authors = {
+        "a:kimelfeld": [], "a:sagiv": [], "a:uno": [], "a:tarjan": [],
+    }
+    for node, kws in {**papers, **venues, **authors}.items():
+        dg.add_node(node, kws)
+
+    for a, b in [
+        ("p:kimelfeld06", "v:pods"), ("p:this-paper", "v:pods"),
+        ("p:read-tarjan75", "v:networks"),
+        ("p:kimelfeld06", "a:kimelfeld"), ("p:kimelfeld08", "a:kimelfeld"),
+        ("p:kimelfeld06", "a:sagiv"), ("p:kimelfeld08", "a:sagiv"),
+        ("p:uno03", "a:uno"), ("p:read-tarjan75", "a:tarjan"),
+        ("p:this-paper", "p:kimelfeld08"),     # cites
+        ("p:this-paper", "p:read-tarjan75"),
+        ("p:this-paper", "p:uno03"),
+        ("p:kimelfeld08", "p:kimelfeld06"),
+        ("p:kimelfeld08", "p:dreyfus71"),
+        ("p:dreyfus71", "p:karp72"),
+    ]:
+        dg.add_link(a, b)
+    return dg
+
+
+def describe(fragment, dg) -> str:
+    matches = ", ".join(f"{kw}@{node}" for kw, node in fragment.matches)
+    edges = sorted(
+        f"{u}~{v}" for u, v in (dg.graph.endpoints(e) for e in fragment.structural_edges)
+    )
+    return f"size={fragment.size}  [{matches}]  via {edges if edges else 'direct'}"
+
+
+def main() -> None:
+    dg = build_library()
+    print(f"Data graph: {dg.num_nodes} nodes, {dg.num_links} links")
+    print(f"Vocabulary: {len(dg.vocabulary())} keywords\n")
+
+    query = ["steiner", "keyword"]
+    print(f"== Undirected K-fragments for {query} ==")
+    for f in itertools.islice(undirected_kfragments(dg, query), 6):
+        print("  " + describe(f, dg))
+
+    print(f"\n== Top-3 tightest answers for {query} ==")
+    for f in top_k_fragments(dg, query, 3):
+        print("  " + describe(f, dg))
+
+    print(f"\n== Strong fragments (matched papers must be endpoints) ==")
+    for f in itertools.islice(strong_kfragments(dg, query), 4):
+        print("  " + describe(f, dg))
+
+    print(f"\n== Directed fragments rooted at the survey paper ==")
+    for f in itertools.islice(
+        directed_kfragments(dg, ["enumeration", "delay"], root="p:this-paper"), 4
+    ):
+        print("  " + describe(f, dg))
+
+    total = sum(1 for _ in undirected_kfragments(dg, query))
+    print(f"\nAll told, the query {query} has {total} distinct minimal answers —")
+    print("each delivered with linear delay, so the first arrives immediately")
+    print("even when the full answer set is huge.")
+
+
+if __name__ == "__main__":
+    main()

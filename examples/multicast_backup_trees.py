@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Multicast backup-tree planning with minimal directed Steiner trees.
+
+A content source must reach a set of subscriber routers.  Every minimal
+directed Steiner tree is a distinct *irredundant* multicast distribution
+tree; enumerating them lets an operator pre-compute backup trees that
+avoid a failed link, rank trees by a cost model the optimizer does not
+know about, or audit how much routing diversity the topology offers.
+
+Run:  python examples/multicast_backup_trees.py
+"""
+
+import itertools
+from collections import Counter
+
+from repro import DiGraph, enumerate_minimal_directed_steiner_trees
+
+
+def build_backbone() -> DiGraph:
+    """A small ISP-style backbone with asymmetric links."""
+    d = DiGraph()
+    links = [
+        ("src", "core1"), ("src", "core2"),
+        ("core1", "core2"), ("core2", "core1"),
+        ("core1", "agg1"), ("core1", "agg2"),
+        ("core2", "agg2"), ("core2", "agg3"),
+        ("agg1", "sub1"), ("agg2", "sub1"),
+        ("agg2", "sub2"), ("agg3", "sub2"),
+        ("agg3", "sub3"), ("agg1", "agg2"),
+        ("core2", "sub3"),
+    ]
+    for u, v in links:
+        d.add_arc(u, v)
+    return d
+
+
+def main() -> None:
+    net = build_backbone()
+    subscribers = ["sub1", "sub2", "sub3"]
+    source = "src"
+
+    trees = list(enumerate_minimal_directed_steiner_trees(net, subscribers, source))
+    print(f"Backbone: {net.num_vertices} routers, {net.num_arcs} directed links")
+    print(f"{len(trees)} minimal multicast trees from {source} to {subscribers}\n")
+
+    # 1. Smallest trees = cheapest distribution plans.
+    by_size = sorted(trees, key=len)
+    print("== Three cheapest trees (fewest links) ==")
+    for tree in by_size[:3]:
+        arcs = sorted(f"{u}->{v}" for u, v in (net.arc_endpoints(a) for a in tree))
+        print(f"  {len(tree)} links: {', '.join(arcs)}")
+
+    # 2. Link criticality: how many trees rely on each link?
+    usage = Counter()
+    for tree in trees:
+        for aid in tree:
+            usage[net.arc_endpoints(aid)] += 1
+    print("\n== Link criticality (share of trees using each link) ==")
+    for (u, v), count in usage.most_common(5):
+        print(f"  {u}->{v}: {count}/{len(trees)} trees ({100 * count // len(trees)}%)")
+
+    # 3. Failure drill: pick a primary tree, then the best backup that
+    #    shares no link with it.
+    primary = by_size[0]
+    backups = [t for t in trees if not (t & primary)]
+    print(f"\n== Failure drill ==")
+    print(f"primary tree uses {len(primary)} links")
+    if backups:
+        backup = min(backups, key=len)
+        print(
+            f"found {len(backups)} fully link-disjoint backups; "
+            f"best backup uses {len(backup)} links"
+        )
+    else:
+        overlap = min(trees, key=lambda t: len(t & primary) if t != primary else 99)
+        print(
+            "no fully disjoint backup exists; least-overlapping tree shares "
+            f"{len(overlap & primary)} links"
+        )
+
+    # 4. Single-link failure coverage: for each link of the primary, is
+    #    there a tree avoiding it?
+    print("\n== Single-link failure coverage for the primary tree ==")
+    for aid in sorted(primary):
+        u, v = net.arc_endpoints(aid)
+        survivors = sum(1 for t in trees if aid not in t)
+        print(f"  if {u}->{v} fails: {survivors} alternative trees remain")
+
+
+if __name__ == "__main__":
+    main()

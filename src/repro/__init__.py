@@ -1,0 +1,119 @@
+"""repro — Linear-Delay Enumeration for Minimal Steiner Problems.
+
+A production-quality reproduction of Kobayashi, Kurita and Wasa (PODS
+2022): linear-delay enumeration of minimal Steiner trees, Steiner
+forests, terminal Steiner trees and directed Steiner trees; polynomial-
+delay enumeration of minimal induced Steiner subgraphs on claw-free
+graphs; the hardness reductions for internal and group Steiner trees; and
+the keyword-search (K-fragment) application layer the paper's
+introduction motivates.
+
+Quickstart
+----------
+>>> from repro import Graph, enumerate_minimal_steiner_trees
+>>> g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+>>> for tree in sorted(enumerate_minimal_steiner_trees(g, ["a", "d"]), key=sorted):
+...     print(sorted(tree))
+[0, 1, 3]
+[2, 3]
+
+See README.md for the architecture overview, DESIGN.md for the paper ↔
+module map, and EXPERIMENTS.md for the reproduced complexity claims.
+"""
+
+from repro.core import (
+    count_minimal_directed_steiner_trees,
+    enumerate_chordless_st_paths,
+    enumerate_minimum_steiner_trees_dp,
+    dreyfus_wagner,
+    enumerate_approximately_by_weight,
+    k_lightest_minimal_steiner_trees,
+    count_minimal_induced_steiner_subgraphs,
+    count_minimal_steiner_forests,
+    count_minimal_steiner_trees,
+    count_minimal_terminal_steiner_trees,
+    enumerate_minimal_directed_steiner_trees,
+    enumerate_minimal_directed_steiner_trees_linear_delay,
+    enumerate_minimal_induced_steiner_subgraphs,
+    enumerate_minimal_steiner_forests,
+    enumerate_minimal_steiner_forests_linear_delay,
+    enumerate_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees_linear_delay,
+    enumerate_minimal_terminal_steiner_trees,
+    enumerate_minimal_terminal_steiner_trees_linear_delay,
+)
+from repro.datagraph import (
+    DataGraph,
+    directed_kfragments,
+    ranked_kfragments,
+    strong_kfragments,
+    top_k_fragments,
+    top_k_weighted_fragments,
+    undirected_kfragments,
+)
+from repro.enumeration import CostMeter
+from repro.graphs import (
+    DiGraph,
+    Graph,
+    parse_stp,
+    read_stp,
+    to_networkx,
+    write_stp,
+)
+from repro.hypergraph import Hypergraph, enumerate_minimal_transversals
+from repro.paths import (
+    enumerate_set_paths,
+    enumerate_set_paths_directed,
+    enumerate_st_paths,
+    enumerate_st_paths_undirected,
+    yen_k_shortest_paths,
+)
+from repro.zdd import build_steiner_tree_zdd, count_steiner_trees_zdd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_steiner_tree_zdd",
+    "CostMeter",
+    "count_minimal_directed_steiner_trees",
+    "count_minimal_induced_steiner_subgraphs",
+    "count_minimal_steiner_forests",
+    "count_minimal_steiner_trees",
+    "count_minimal_terminal_steiner_trees",
+    "count_steiner_trees_zdd",
+    "DataGraph",
+    "DiGraph",
+    "directed_kfragments",
+    "dreyfus_wagner",
+    "enumerate_approximately_by_weight",
+    "enumerate_chordless_st_paths",
+    "enumerate_minimal_directed_steiner_trees",
+    "enumerate_minimal_directed_steiner_trees_linear_delay",
+    "enumerate_minimal_induced_steiner_subgraphs",
+    "enumerate_minimal_steiner_forests",
+    "enumerate_minimal_steiner_forests_linear_delay",
+    "enumerate_minimal_steiner_trees",
+    "enumerate_minimal_steiner_trees_linear_delay",
+    "enumerate_minimal_terminal_steiner_trees",
+    "enumerate_minimal_terminal_steiner_trees_linear_delay",
+    "enumerate_minimal_transversals",
+    "enumerate_minimum_steiner_trees_dp",
+    "enumerate_set_paths",
+    "enumerate_set_paths_directed",
+    "enumerate_st_paths",
+    "enumerate_st_paths_undirected",
+    "Graph",
+    "Hypergraph",
+    "k_lightest_minimal_steiner_trees",
+    "parse_stp",
+    "ranked_kfragments",
+    "read_stp",
+    "strong_kfragments",
+    "to_networkx",
+    "top_k_fragments",
+    "top_k_weighted_fragments",
+    "undirected_kfragments",
+    "write_stp",
+    "yen_k_shortest_paths",
+    "__version__",
+]

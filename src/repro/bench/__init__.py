@@ -1,0 +1,45 @@
+"""Benchmark harness: measurement utilities and workload definitions."""
+
+from repro.bench.harness import (
+    Measurement,
+    fit_linearity,
+    measure_enumeration,
+    print_table,
+)
+from repro.bench.workloads import (
+    SIZE_SWEEP,
+    TERMINAL_SWEEP,
+    DirectedInstance,
+    ForestInstance,
+    SteinerInstance,
+    directed_size_sweep,
+    directed_terminal_sweep,
+    forest_size_sweep,
+    path_grid_sweep,
+    path_theta_sweep,
+    steiner_tree_grid_instance,
+    steiner_tree_size_sweep,
+    steiner_tree_terminal_sweep,
+    terminal_steiner_size_sweep,
+)
+
+__all__ = [
+    "DirectedInstance",
+    "ForestInstance",
+    "Measurement",
+    "SIZE_SWEEP",
+    "SteinerInstance",
+    "TERMINAL_SWEEP",
+    "directed_size_sweep",
+    "directed_terminal_sweep",
+    "fit_linearity",
+    "forest_size_sweep",
+    "measure_enumeration",
+    "path_grid_sweep",
+    "path_theta_sweep",
+    "print_table",
+    "steiner_tree_grid_instance",
+    "steiner_tree_size_sweep",
+    "steiner_tree_terminal_sweep",
+    "terminal_steiner_size_sweep",
+]

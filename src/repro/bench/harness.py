@@ -1,0 +1,129 @@
+"""Measurement harness for the Table 1 / Figure 1 experiments.
+
+The paper's claims are about *delay* — worst-case work between
+consecutive solutions.  :func:`measure_enumeration` runs an enumerator
+factory under both instruments (wall clock and the operation meter) and
+returns a :class:`Measurement`; :func:`print_table` renders rows the way
+EXPERIMENTS.md records them, and :func:`fit_linearity` summarizes how a
+series of delays scales against ``n + m`` (the paper's unit).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.enumeration.delay import CostMeter, DelayStats, MeteredDelayRecorder
+
+
+@dataclass
+class Measurement:
+    """One enumeration run's delay profile.
+
+    ``metered`` delays are in substrate operations (edge scans); ``wall``
+    delays in seconds.  ``size`` is the instance's ``n + m``.
+    """
+
+    label: str
+    size: int
+    solutions: int
+    metered: DelayStats
+    wall_seconds: float
+
+    @property
+    def max_delay_ops(self) -> int:
+        """Worst metered delay (the paper's bounded quantity)."""
+        return int(self.metered.max_delay)
+
+    @property
+    def amortized_ops(self) -> float:
+        """Metered operations per solution."""
+        return self.metered.amortized
+
+    @property
+    def normalized_max_delay(self) -> float:
+        """Max delay divided by ``n + m`` — flat iff delay is O(n+m)."""
+        return self.metered.max_delay / self.size if self.size else 0.0
+
+    @property
+    def normalized_amortized(self) -> float:
+        """Amortized cost divided by ``n + m``."""
+        return self.amortized_ops / self.size if self.size else 0.0
+
+
+def measure_enumeration(
+    label: str,
+    size: int,
+    factory: Callable[[CostMeter], Iterable],
+    limit: Optional[int] = None,
+) -> Measurement:
+    """Run ``factory(meter)`` to exhaustion (or ``limit`` solutions).
+
+    The factory receives a fresh meter and must return the enumerator
+    wired to it.  Wall time covers the same span as the metered stats.
+    """
+    meter = CostMeter()
+    recorder = MeteredDelayRecorder(factory(meter), meter)
+    start = time.perf_counter()
+    produced = 0
+    for _solution in recorder:
+        produced += 1
+        if limit is not None and produced >= limit:
+            break
+    wall = time.perf_counter() - start
+    return Measurement(label, size, produced, recorder.stats, wall)
+
+
+def print_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    out=None,
+) -> str:
+    """Render an aligned text table (and print it); returns the text."""
+    widths = [len(h) for h in header]
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row
+        ]
+        rendered_rows.append(rendered)
+        for i, cell in enumerate(rendered):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(c.rjust(widths[i]) for i, c in enumerate(rendered)))
+    text = "\n".join(lines)
+    print(text, file=out)
+    return text
+
+
+def fit_linearity(sizes: Sequence[float], values: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit of ``log(value) ~ a + b·log(size)``.
+
+    Returns ``(exponent b, r²)``.  ``b ≈ 1`` confirms a linear shape,
+    ``b ≈ 2`` quadratic, etc.  Points with non-positive values are
+    dropped (they carry no scaling information).
+    """
+    pts = [
+        (math.log(s), math.log(v))
+        for s, v in zip(sizes, values)
+        if s > 0 and v > 0
+    ]
+    if len(pts) < 2:
+        return (0.0, 0.0)
+    n = len(pts)
+    mx = sum(x for x, _ in pts) / n
+    my = sum(y for _, y in pts) / n
+    sxx = sum((x - mx) ** 2 for x, _ in pts)
+    sxy = sum((x - mx) * (y - my) for x, y in pts)
+    if sxx == 0:
+        return (0.0, 0.0)
+    b = sxy / sxx
+    syy = sum((y - my) ** 2 for _, y in pts)
+    r2 = (sxy * sxy) / (sxx * syy) if syy > 0 else 1.0
+    return (b, r2)

@@ -1,0 +1,417 @@
+"""Command-line interface: enumerate Steiner structures from edge lists.
+
+Usage (after installation)::
+
+    python -m repro steiner-tree graph.txt --terminals a b c --limit 10
+    python -m repro steiner-forest graph.txt --family a,b --family c,d
+    python -m repro terminal-steiner graph.txt --terminals a b c
+    python -m repro directed-steiner digraph.txt --root r --terminals x y
+    python -m repro paths graph.txt --source s --target t
+    python -m repro count graph.txt --terminals a b c
+    python -m repro stp instance.stp --limit 5
+    python -m repro zdd-count graph.txt --terminals a b c
+    python -m repro ranked graph.txt --terminals a b c -k 5
+    python -m repro yen graph.txt --source s --target t -k 3
+    python -m repro chordless graph.txt --source s --target t
+    python -m repro transversal hyperedges.txt --fk
+    python -m repro figure1 graph.txt --terminals a b c
+    python -m repro convert graph.txt out.stp --terminals a b c
+
+Graph files are whitespace-separated edge lists, one edge per line
+(``u v [weight]``); lines starting with ``#`` are ignored.  For the
+directed command each line is an arc ``tail head``.  The ``stp``
+command reads SteinLib ``.stp`` files instead.  Solutions are printed
+one per line as sorted endpoint pairs, so the output is pipeline-
+friendly (``head -n k`` exploits the linear delay: the process streams).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.directed_steiner import enumerate_minimal_directed_steiner_trees
+from repro.core.steiner_forest import enumerate_minimal_steiner_forests
+from repro.core.steiner_tree import (
+    count_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees_linear_delay,
+)
+from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.paths.read_tarjan import enumerate_st_paths_undirected
+
+
+def load_graph(path: str) -> Graph:
+    """Read an undirected edge list (``u v`` per line, ``#`` comments)."""
+    return load_weighted_graph(path)[0]
+
+
+def load_weighted_graph(path: str) -> Tuple[Graph, dict]:
+    """Read ``u v [weight]`` lines; missing weights default to 1."""
+    g = Graph()
+    weights: dict = {}
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            parts = body.split()
+            if len(parts) < 2:
+                raise SystemExit(f"{path}:{line_no}: expected 'u v', got {body!r}")
+            eid = g.add_edge(parts[0], parts[1])
+            if len(parts) > 2:
+                try:
+                    weights[eid] = float(parts[2])
+                except ValueError:
+                    raise SystemExit(
+                        f"{path}:{line_no}: bad weight {parts[2]!r}"
+                    ) from None
+            else:
+                weights[eid] = 1.0
+    return g, weights
+
+
+def load_hypergraph(path: str):
+    """Read one whitespace-separated hyperedge per line."""
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    edges = []
+    universe: List[str] = []
+    with open(path) as handle:
+        for line in handle:
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            edge = body.split()
+            edges.append(edge)
+            for x in edge:
+                if x not in universe:
+                    universe.append(x)
+    return Hypergraph(universe, edges)
+
+
+def load_digraph(path: str) -> DiGraph:
+    """Read a directed arc list (``tail head`` per line)."""
+    d = DiGraph()
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            parts = body.split()
+            if len(parts) < 2:
+                raise SystemExit(f"{path}:{line_no}: expected 'tail head', got {body!r}")
+            d.add_arc(parts[0], parts[1])
+    return d
+
+
+def _render_undirected(graph: Graph, eids: Iterable[int]) -> str:
+    pairs = sorted(
+        "{}-{}".format(*sorted(map(str, graph.endpoints(e)))) for e in eids
+    )
+    return " ".join(pairs) if pairs else "(single-vertex tree)"
+
+
+def _render_directed(digraph: DiGraph, aids: Iterable[int]) -> str:
+    pairs = sorted(
+        "{}->{}".format(*map(str, digraph.arc_endpoints(a))) for a in aids
+    )
+    return " ".join(pairs) if pairs else "(single-vertex tree)"
+
+
+def _emit(lines: Iterable[str], limit: Optional[int], out) -> int:
+    count = 0
+    for line in lines:
+        print(line, file=out)
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return count
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Linear-delay enumeration for minimal Steiner problems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, directed=False):
+        p.add_argument("graph", help="edge-list file")
+        p.add_argument("--limit", type=int, default=None, help="stop after N solutions")
+
+    p = sub.add_parser("steiner-tree", help="enumerate minimal Steiner trees")
+    add_common(p)
+    p.add_argument("--terminals", nargs="+", required=True)
+    p.add_argument(
+        "--linear-delay",
+        action="store_true",
+        help="use the output-queue variant (Theorem 20)",
+    )
+
+    p = sub.add_parser("steiner-forest", help="enumerate minimal Steiner forests")
+    add_common(p)
+    p.add_argument(
+        "--family",
+        action="append",
+        required=True,
+        help="comma-separated terminal family; repeatable",
+    )
+
+    p = sub.add_parser(
+        "terminal-steiner", help="enumerate minimal terminal Steiner trees"
+    )
+    add_common(p)
+    p.add_argument("--terminals", nargs="+", required=True)
+
+    p = sub.add_parser(
+        "directed-steiner", help="enumerate minimal directed Steiner trees"
+    )
+    add_common(p, directed=True)
+    p.add_argument("--root", required=True)
+    p.add_argument("--terminals", nargs="+", required=True)
+
+    p = sub.add_parser("paths", help="enumerate simple s-t paths")
+    add_common(p)
+    p.add_argument("--source", required=True)
+    p.add_argument("--target", required=True)
+
+    p = sub.add_parser("count", help="count minimal Steiner trees")
+    p.add_argument("graph")
+    p.add_argument("--terminals", nargs="+", required=True)
+
+    p = sub.add_parser("stp", help="enumerate from a SteinLib .stp file")
+    p.add_argument("graph", help=".stp instance file")
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--count", action="store_true", help="print the count only")
+    p.add_argument(
+        "--optimum",
+        action="store_true",
+        help="print the minimum Steiner weight (Dreyfus–Wagner) instead",
+    )
+
+    p = sub.add_parser(
+        "zdd-count", help="count minimal Steiner trees via the compiled ZDD"
+    )
+    p.add_argument("graph")
+    p.add_argument("--terminals", nargs="+", required=True)
+    p.add_argument(
+        "--histogram", action="store_true", help="also print size -> count rows"
+    )
+
+    p = sub.add_parser(
+        "ranked", help="k lightest minimal Steiner trees (uses edge weights)"
+    )
+    p.add_argument("graph")
+    p.add_argument("--terminals", nargs="+", required=True)
+    p.add_argument("-k", type=int, default=5)
+
+    p = sub.add_parser("yen", help="k shortest loopless s-t paths by weight")
+    p.add_argument("graph")
+    p.add_argument("--source", required=True)
+    p.add_argument("--target", required=True)
+    p.add_argument("-k", type=int, default=5)
+
+    p = sub.add_parser("chordless", help="enumerate chordless (induced) s-t paths")
+    p.add_argument("graph")
+    p.add_argument("--source", required=True)
+    p.add_argument("--target", required=True)
+    p.add_argument("--limit", type=int, default=None)
+
+    p = sub.add_parser(
+        "transversal", help="enumerate minimal hypergraph transversals"
+    )
+    p.add_argument("graph", help="file with one whitespace-separated hyperedge per line")
+    p.add_argument(
+        "--fk",
+        action="store_true",
+        help="use the Fredman–Khachiyan incremental loop instead of Berge",
+    )
+    p.add_argument("--limit", type=int, default=None)
+
+    p = sub.add_parser(
+        "figure1", help="render the improved enumeration tree (paper Figure 1)"
+    )
+    p.add_argument("graph")
+    p.add_argument("--terminals", nargs="+", required=True)
+    p.add_argument("--solutions", type=int, default=None, help="preprocessing cut n")
+
+    p = sub.add_parser("convert", help="convert an edge list to SteinLib .stp")
+    p.add_argument("graph", help="edge-list file (u v [weight] per line)")
+    p.add_argument("output", help="path of the .stp file to write")
+    p.add_argument("--terminals", nargs="+", required=True)
+    p.add_argument("--name", default="", help="instance name for the Comment section")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.command == "steiner-tree":
+        g = load_graph(args.graph)
+        enum = (
+            enumerate_minimal_steiner_trees_linear_delay
+            if args.linear_delay
+            else enumerate_minimal_steiner_trees
+        )
+        _emit(
+            (_render_undirected(g, sol) for sol in enum(g, args.terminals)),
+            args.limit,
+            out,
+        )
+    elif args.command == "steiner-forest":
+        g = load_graph(args.graph)
+        families = [f.split(",") for f in args.family]
+        _emit(
+            (
+                _render_undirected(g, sol)
+                for sol in enumerate_minimal_steiner_forests(g, families)
+            ),
+            args.limit,
+            out,
+        )
+    elif args.command == "terminal-steiner":
+        g = load_graph(args.graph)
+        _emit(
+            (
+                _render_undirected(g, sol)
+                for sol in enumerate_minimal_terminal_steiner_trees(g, args.terminals)
+            ),
+            args.limit,
+            out,
+        )
+    elif args.command == "directed-steiner":
+        d = load_digraph(args.graph)
+        _emit(
+            (
+                _render_directed(d, sol)
+                for sol in enumerate_minimal_directed_steiner_trees(
+                    d, args.terminals, args.root
+                )
+            ),
+            args.limit,
+            out,
+        )
+    elif args.command == "paths":
+        g = load_graph(args.graph)
+        _emit(
+            (
+                "->".join(map(str, p.vertices))
+                for p in enumerate_st_paths_undirected(g, args.source, args.target)
+            ),
+            args.limit,
+            out,
+        )
+    elif args.command == "count":
+        g = load_graph(args.graph)
+        print(count_minimal_steiner_trees(g, args.terminals), file=out)
+    elif args.command == "stp":
+        _run_stp(args, out)
+    elif args.command == "zdd-count":
+        from repro.zdd.steiner import build_steiner_tree_zdd
+
+        g = load_graph(args.graph)
+        zdd = build_steiner_tree_zdd(g, args.terminals)
+        print(zdd.count(), file=out)
+        if args.histogram:
+            for size, count in zdd.count_by_size().items():
+                print(f"{size} {count}", file=out)
+    elif args.command == "ranked":
+        from repro.core.ranked import k_lightest_minimal_steiner_trees
+
+        g, weights = load_weighted_graph(args.graph)
+        for weight, sol in k_lightest_minimal_steiner_trees(
+            g, args.terminals, weights, args.k
+        ):
+            print(f"{weight:g} {_render_undirected(g, sol)}", file=out)
+    elif args.command == "yen":
+        from repro.paths.yen import yen_k_shortest_paths
+
+        g, weights = load_weighted_graph(args.graph)
+        for weight, vertices, _eids in yen_k_shortest_paths(
+            g, args.source, args.target, k=args.k, weights=weights
+        ):
+            print(f"{weight:g} " + "->".join(map(str, vertices)), file=out)
+    elif args.command == "chordless":
+        from repro.core.induced_paths import enumerate_chordless_st_paths
+
+        g = load_graph(args.graph)
+        _emit(
+            (
+                "->".join(map(str, p))
+                for p in enumerate_chordless_st_paths(g, args.source, args.target)
+            ),
+            args.limit,
+            out,
+        )
+    elif args.command == "transversal":
+        from repro.hypergraph.dualization import enumerate_minimal_transversals_fk
+        from repro.hypergraph.hypergraph import enumerate_minimal_transversals
+
+        h = load_hypergraph(args.graph)
+        enum = (
+            enumerate_minimal_transversals_fk if args.fk else enumerate_minimal_transversals
+        )
+        _emit(
+            (" ".join(sorted(map(str, t))) for t in enum(h)),
+            args.limit,
+            out,
+        )
+    elif args.command == "figure1":
+        from repro.core.steiner_tree import steiner_tree_events
+        from repro.enumeration.render import EnumerationTree, render_figure1
+
+        g = load_graph(args.graph)
+        tree = EnumerationTree.from_events(steiner_tree_events(g, args.terminals))
+        print(render_figure1(tree, n=args.solutions), file=out)
+    elif args.command == "convert":
+        from repro.graphs.stp import relabel_to_stp, stp_from_parts, write_stp
+
+        g, weights = load_weighted_graph(args.graph)
+        missing = [t for t in args.terminals if t not in g]
+        if missing:
+            raise SystemExit(f"terminals not in the graph: {missing}")
+        relabeled, terminals, mapping = relabel_to_stp(g, args.terminals)
+        instance = stp_from_parts(relabeled, terminals, weights, name=args.name)
+        write_stp(instance, args.output)
+        pairs = ", ".join(f"{old}->{new}" for old, new in sorted(mapping.items()))
+        print(f"wrote {args.output} ({relabeled.num_vertices} vertices); "
+              f"label map: {pairs}", file=out)
+    return 0
+
+
+def _run_stp(args, out) -> None:
+    """The ``stp`` subcommand body (undirected and directed instances)."""
+    from repro.core.optimum import dreyfus_wagner
+    from repro.graphs.stp import read_stp
+
+    inst = read_stp(args.graph)
+    if args.optimum:
+        if inst.is_directed:
+            raise SystemExit("--optimum supports undirected instances only")
+        weight, _tree = dreyfus_wagner(inst.graph, inst.terminals, inst.weights)
+        print(f"{weight:g}", file=out)
+        return
+    if inst.is_directed:
+        if inst.root is None:
+            raise SystemExit("directed STP instance needs a Root line")
+        terminals = [t for t in inst.terminals if t != inst.root]
+        solutions = enumerate_minimal_directed_steiner_trees(
+            inst.graph, terminals, inst.root
+        )
+        lines = (_render_directed(inst.graph, sol) for sol in solutions)
+    else:
+        solutions = enumerate_minimal_steiner_trees(inst.graph, inst.terminals)
+        lines = (_render_undirected(inst.graph, sol) for sol in solutions)
+    if args.count:
+        print(sum(1 for _ in solutions), file=out)
+        return
+    _emit(lines, args.limit, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

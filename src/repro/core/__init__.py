@@ -1,0 +1,167 @@
+"""The paper's primary contribution: minimal-Steiner enumeration.
+
+One module per problem, each exposing plain / improved / linear-delay
+variants where the paper proves them (Sections 4–5), plus the claw-free
+induced enumerator (Section 7) and the hardness reductions (Section 6).
+"""
+
+from repro.core.directed_steiner import (
+    count_minimal_directed_steiner_trees,
+    directed_steiner_events,
+    enumerate_minimal_directed_steiner_trees,
+    enumerate_minimal_directed_steiner_trees_linear_delay,
+    enumerate_minimal_directed_steiner_trees_simple,
+)
+from repro.core.group_steiner import (
+    GroupSteinerSolution,
+    StarInstance,
+    enumerate_minimal_group_steiner_trees_brute,
+    group_steiner_trees_via_transversals,
+    minimal_transversals_via_group_steiner,
+    transversal_to_group_steiner_instance,
+)
+from repro.core.induced_paths import (
+    brute_force_chordless_st_paths,
+    count_chordless_st_paths,
+    enumerate_chordless_st_paths,
+    enumerate_minimal_induced_steiner_pairs,
+    is_chordless_path,
+    longest_chordless_path_length,
+)
+from repro.core.induced_steiner import (
+    count_minimal_induced_steiner_subgraphs,
+    enumerate_minimal_induced_steiner_subgraphs,
+    minimalize,
+    steiner_trees_via_line_graph,
+)
+from repro.core.internal_steiner import (
+    enumerate_internal_steiner_trees_brute,
+    hamiltonian_path_instance,
+    hamiltonian_st_paths,
+    has_hamiltonian_st_path,
+    has_internal_steiner_tree,
+    is_internal_steiner_tree,
+)
+from repro.core.minimum_enum import (
+    count_minimum_steiner_trees,
+    enumerate_minimum_steiner_trees_dp,
+)
+from repro.core.optimum import (
+    dreyfus_wagner,
+    enumerate_minimum_steiner_trees,
+    minimum_steiner_weight,
+    tree_weight,
+    uniform_weights,
+)
+from repro.core.ranked import (
+    enumerate_approximately_by_weight,
+    k_lightest_minimal_steiner_trees,
+    sortedness_defect,
+    weight_of_optimum,
+)
+from repro.core.steiner_forest import (
+    count_minimal_steiner_forests,
+    enumerate_minimal_steiner_forests,
+    enumerate_minimal_steiner_forests_linear_delay,
+    enumerate_minimal_steiner_forests_simple,
+    normalize_families,
+    steiner_forest_events,
+)
+from repro.core.steiner_tree import (
+    count_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees_linear_delay,
+    enumerate_minimal_steiner_trees_simple,
+    steiner_tree_events,
+)
+from repro.core.terminal_steiner import (
+    count_minimal_terminal_steiner_trees,
+    enumerate_minimal_terminal_steiner_trees,
+    enumerate_minimal_terminal_steiner_trees_linear_delay,
+    enumerate_minimal_terminal_steiner_trees_simple,
+    terminal_steiner_events,
+    valid_components,
+)
+from repro.core.verification import (
+    is_directed_steiner_tree,
+    is_group_steiner_tree,
+    is_induced_steiner_subgraph,
+    is_minimal_directed_steiner_tree,
+    is_minimal_group_steiner_tree,
+    is_minimal_induced_steiner_subgraph,
+    is_minimal_steiner_forest,
+    is_minimal_steiner_tree,
+    is_minimal_terminal_steiner_tree,
+    is_steiner_forest,
+    is_steiner_subgraph,
+    is_terminal_steiner_tree,
+)
+
+__all__ = [
+    "brute_force_chordless_st_paths",
+    "count_chordless_st_paths",
+    "count_minimal_directed_steiner_trees",
+    "count_minimal_induced_steiner_subgraphs",
+    "count_minimal_steiner_forests",
+    "count_minimal_steiner_trees",
+    "count_minimal_terminal_steiner_trees",
+    "count_minimum_steiner_trees",
+    "directed_steiner_events",
+    "dreyfus_wagner",
+    "enumerate_approximately_by_weight",
+    "enumerate_chordless_st_paths",
+    "enumerate_internal_steiner_trees_brute",
+    "enumerate_minimal_directed_steiner_trees",
+    "enumerate_minimal_directed_steiner_trees_linear_delay",
+    "enumerate_minimal_directed_steiner_trees_simple",
+    "enumerate_minimal_group_steiner_trees_brute",
+    "enumerate_minimal_induced_steiner_pairs",
+    "enumerate_minimal_induced_steiner_subgraphs",
+    "enumerate_minimal_steiner_forests",
+    "enumerate_minimal_steiner_forests_linear_delay",
+    "enumerate_minimal_steiner_forests_simple",
+    "enumerate_minimal_steiner_trees",
+    "enumerate_minimal_steiner_trees_linear_delay",
+    "enumerate_minimal_steiner_trees_simple",
+    "enumerate_minimal_terminal_steiner_trees",
+    "enumerate_minimal_terminal_steiner_trees_linear_delay",
+    "enumerate_minimal_terminal_steiner_trees_simple",
+    "enumerate_minimum_steiner_trees",
+    "enumerate_minimum_steiner_trees_dp",
+    "group_steiner_trees_via_transversals",
+    "GroupSteinerSolution",
+    "hamiltonian_path_instance",
+    "hamiltonian_st_paths",
+    "has_hamiltonian_st_path",
+    "has_internal_steiner_tree",
+    "is_chordless_path",
+    "is_directed_steiner_tree",
+    "is_group_steiner_tree",
+    "is_induced_steiner_subgraph",
+    "is_internal_steiner_tree",
+    "is_minimal_directed_steiner_tree",
+    "is_minimal_group_steiner_tree",
+    "is_minimal_induced_steiner_subgraph",
+    "is_minimal_steiner_forest",
+    "is_minimal_steiner_tree",
+    "is_minimal_terminal_steiner_tree",
+    "is_steiner_forest",
+    "is_steiner_subgraph",
+    "is_terminal_steiner_tree",
+    "k_lightest_minimal_steiner_trees",
+    "longest_chordless_path_length",
+    "minimal_transversals_via_group_steiner",
+    "minimalize",
+    "minimum_steiner_weight",
+    "sortedness_defect",
+    "StarInstance",
+    "steiner_forest_events",
+    "steiner_tree_events",
+    "steiner_trees_via_line_graph",
+    "terminal_steiner_events",
+    "transversal_to_group_steiner_instance",
+    "tree_weight",
+    "uniform_weights",
+    "valid_components",
+    "weight_of_optimum",
+]

@@ -1,0 +1,353 @@
+"""Minimal directed Steiner tree enumeration (Section 5.2, Thms 34/36).
+
+A partial solution is a directed tree ``T`` rooted at ``r`` whose leaves
+are all terminals; branching attaches a directed ``V(T)``-``w`` path for
+an uncovered terminal ``w`` (arcs into ``V(T)`` are unusable, handled by
+the S-T reduction of Section 3).
+
+The improved node test is Lemma 35.  In the contracted graph
+``D' = D / E(T)`` (partial tree collapsed into the root ``r_T``):
+
+1. run one DFS from ``r_T``, recording the DFS tree ``T''`` and the
+   post-order ``≺``;
+2. prune ``T''`` to ``T*``, the unique minimal directed Steiner tree of
+   ``(D', W', r_T)`` inside it;
+3. search for a *certificate*: vertices ``u ≺ v`` of ``T*`` with a
+   directed ``v``-``u`` path in ``D' - E(T*)``.  Processing candidates in
+   descending post-order and deleting each search's reached region keeps
+   this linear (the paper's transitivity argument).
+
+No certificate ⟹ ``T ∪ T*`` is the unique minimal directed Steiner tree
+containing ``T`` (leaf).  A certificate at ``u`` ⟹ any terminal in
+``T*`` at or below ``u`` has ≥ 2 valid paths (the rerouting in Lemma 35's
+proof changes the arc entering ``u`` on that terminal's root path), so we
+branch on it and the node has ≥ 2 children.
+
+Solutions are frozensets of arc ids; amortized O(n+m) per solution,
+O(n+m) delay with the output-queue regulator (Theorem 36).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION, Event
+from repro.enumeration.queue_method import regulate
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.contraction import contract_vertex_set_directed
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import reachable_from
+from repro.paths.read_tarjan import enumerate_set_paths_directed
+
+Vertex = Hashable
+Solution = FrozenSet[int]
+
+
+def _validate(
+    digraph: DiGraph, terminals: Sequence[Vertex], root: Vertex
+) -> List[Vertex]:
+    if root not in digraph:
+        raise InvalidInstanceError(f"root {root!r} is not in the graph")
+    seen: Set[Vertex] = set()
+    ordered: List[Vertex] = []
+    for w in terminals:
+        if w not in digraph:
+            raise InvalidInstanceError(f"terminal {w!r} is not in the graph")
+        if w == root:
+            raise InvalidInstanceError("the root may not be a terminal")
+        if w not in seen:
+            seen.add(w)
+            ordered.append(w)
+    if not ordered:
+        raise InvalidInstanceError("at least one terminal is required")
+    return ordered
+
+
+def _dfs_tree_and_postorder(
+    digraph: DiGraph, root: Vertex, meter=None
+) -> Tuple[Dict[Vertex, Optional[int]], List[Vertex]]:
+    """One DFS from ``root``: parent-arc map and post-order, consistently."""
+    parent_arc: Dict[Vertex, Optional[int]] = {root: None}
+    postorder: List[Vertex] = []
+    stack: List[Tuple[Vertex, Iterator]] = [(root, iter(digraph.out_items(root)))]
+    while stack:
+        v, it = stack[-1]
+        advanced = False
+        for aid, head in it:
+            if meter is not None:
+                meter.tick()
+            if head not in parent_arc:
+                parent_arc[head] = aid
+                stack.append((head, iter(digraph.out_items(head))))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(v)
+            stack.pop()
+    return parent_arc, postorder
+
+
+def _prune_to_tstar(
+    dprime: DiGraph,
+    parent_arc: Dict[Vertex, Optional[int]],
+    root: Vertex,
+    uncovered: Set[Vertex],
+) -> Tuple[Set[int], Set[Vertex], Dict[Vertex, List[Vertex]]]:
+    """Prune the DFS tree to ``T*`` (leaves = uncovered terminals).
+
+    Returns ``(arc set, vertex set, children map)`` of ``T*``.
+    """
+    children: Dict[Vertex, List[Vertex]] = {}
+    for v, aid in parent_arc.items():
+        if aid is None:
+            continue
+        tail, _head = dprime.arc_endpoints(aid)
+        children.setdefault(tail, []).append(v)
+    # Keep exactly the vertices with an uncovered terminal in their subtree.
+    keep: Set[Vertex] = set()
+
+    def mark_needed() -> None:
+        # iterative post-order marking
+        order: List[Vertex] = []
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(children.get(v, ()))
+        for v in reversed(order):
+            if v in uncovered or any(c in keep for c in children.get(v, ())):
+                keep.add(v)
+
+    mark_needed()
+    keep.add(root)
+    tstar_arcs: Set[int] = set()
+    tstar_children: Dict[Vertex, List[Vertex]] = {}
+    # iterate in DFS discovery order (parent_arc is insertion-ordered) so
+    # child lists — and hence the branch-terminal choice — are
+    # deterministic across interpreter runs
+    for v in parent_arc:
+        if v not in keep:
+            continue
+        aid = parent_arc[v]
+        if aid is None:
+            continue
+        tail, _head = dprime.arc_endpoints(aid)
+        if tail in keep:
+            tstar_arcs.add(aid)
+            tstar_children.setdefault(tail, []).append(v)
+    return tstar_arcs, keep, tstar_children
+
+
+def _second_solution_certificate(
+    dprime: DiGraph,
+    tstar_arcs: Set[int],
+    tstar_vertices: Set[Vertex],
+    postorder_pos: Dict[Vertex, int],
+    meter=None,
+) -> Optional[Vertex]:
+    """Lemma 35 check: find ``u`` with ``u ≺ v`` and a ``v``-``u`` path in
+    ``D' - E(T*)`` for some ``v ∈ T*``; return ``u`` or ``None``.
+
+    Candidates are processed in descending post-order; each search's
+    reached region is deleted afterwards, so every arc is scanned O(1)
+    times and the whole check is O(n+m).
+    """
+    removed: Set[Vertex] = set()
+    for v in sorted(tstar_vertices, key=postorder_pos.__getitem__, reverse=True):
+        if v in removed:
+            continue
+        seen = {v}
+        stack = [v]
+        while stack:
+            x = stack.pop()
+            for aid, y in dprime.out_items(x):
+                if meter is not None:
+                    meter.tick()
+                if aid in tstar_arcs or y in removed or y in seen:
+                    continue
+                if y in tstar_vertices:
+                    # all larger T* vertices are already removed, so y ≺ v
+                    return y
+                seen.add(y)
+                stack.append(y)
+        removed |= seen
+    return None
+
+
+def _terminal_below(
+    start: Vertex, tstar_children: Dict[Vertex, List[Vertex]], uncovered: Set[Vertex]
+) -> Vertex:
+    """An uncovered terminal in the ``T*`` subtree rooted at ``start``."""
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        if v in uncovered:
+            return v
+        stack.extend(tstar_children.get(v, ()))
+    raise AssertionError("T* subtree without terminal leaf")  # pragma: no cover
+
+
+class _PartialTree:
+    __slots__ = ("arcs", "vertices", "uncovered")
+
+    def __init__(self, root: Vertex, terminals: Sequence[Vertex]):
+        self.arcs: Set[int] = set()
+        self.vertices: Set[Vertex] = {root}
+        self.uncovered: Set[Vertex] = set(terminals)
+
+    def apply(self, path):
+        new_arcs = tuple(path.arcs)
+        new_vertices = tuple(path.vertices[1:])
+        covered = tuple(v for v in new_vertices if v in self.uncovered)
+        self.arcs.update(new_arcs)
+        self.vertices.update(new_vertices)
+        self.uncovered.difference_update(covered)
+        return new_arcs, new_vertices, covered
+
+    def undo(self, record):
+        new_arcs, new_vertices, covered = record
+        self.arcs.difference_update(new_arcs)
+        self.vertices.difference_update(new_vertices)
+        self.uncovered.update(covered)
+
+
+def directed_steiner_events(
+    digraph: DiGraph,
+    terminals: Sequence[Vertex],
+    root: Vertex,
+    meter=None,
+    improved: bool = True,
+) -> Iterator[Event]:
+    """Event stream of the directed-Steiner enumeration-tree traversal."""
+    ordered = _validate(digraph, terminals, root)
+    reach = reachable_from(digraph, root, meter=meter)
+    if not all(w in reach for w in ordered):
+        return
+
+    state = _PartialTree(root, ordered)
+    node_counter = 0
+
+    def node_action() -> Tuple[str, object]:
+        if not state.uncovered:
+            return ("leaf", frozenset(state.arcs))
+        if not improved:
+            for w in ordered:
+                if w in state.uncovered:
+                    return ("branch", w)
+            raise AssertionError("unreachable")
+        contraction = contract_vertex_set_directed(digraph, state.vertices)
+        dprime = contraction.graph
+        r_t = contraction.vertex_map[root]
+        if meter is not None:
+            meter.tick(dprime.num_arcs + dprime.num_vertices)
+        parent_arc, postorder = _dfs_tree_and_postorder(dprime, r_t, meter)
+        tstar_arcs, tstar_vertices, tstar_children = _prune_to_tstar(
+            dprime, parent_arc, r_t, state.uncovered
+        )
+        pos = {v: i for i, v in enumerate(postorder)}
+        u = _second_solution_certificate(
+            dprime, tstar_arcs, tstar_vertices, pos, meter
+        )
+        if u is None:
+            return ("leaf", frozenset(state.arcs | tstar_arcs))
+        return ("branch", _terminal_below(u, tstar_children, state.uncovered))
+
+    def child_paths(w):
+        return enumerate_set_paths_directed(
+            digraph, frozenset(state.vertices), (w,), meter=meter
+        )
+
+    yield (DISCOVER, node_counter, 0)
+    kind, payload = node_action()
+    if kind == "leaf":
+        yield (SOLUTION, payload)
+        yield (EXAMINE, node_counter, 0)
+        return
+
+    stack: List[List[object]] = [[child_paths(payload), None, node_counter, 0]]
+    while stack:
+        frame = stack[-1]
+        paths, _undo, node_id, depth = frame
+        path = next(paths, None)  # type: ignore[arg-type]
+        if path is None:
+            yield (EXAMINE, node_id, depth)
+            stack.pop()
+            if frame[1] is not None:
+                state.undo(frame[1])
+            continue
+        record = state.apply(path)
+        node_counter += 1
+        yield (DISCOVER, node_counter, depth + 1)
+        kind, payload = node_action()
+        if kind == "leaf":
+            yield (SOLUTION, payload)
+            yield (EXAMINE, node_counter, depth + 1)
+            state.undo(record)
+            continue
+        stack.append([child_paths(payload), record, node_counter, depth + 1])
+
+
+def enumerate_minimal_directed_steiner_trees(
+    digraph: DiGraph, terminals: Sequence[Vertex], root: Vertex, meter=None
+) -> Iterator[Solution]:
+    """Enumerate all minimal directed Steiner trees of ``(D, W, r)``.
+
+    Improved branching: amortized O(n+m) per solution (Theorem 36).
+    Yields frozensets of arc ids, each exactly once.
+
+    Examples
+    --------
+    >>> d = DiGraph.from_arcs([("r", "a"), ("a", "w"), ("r", "w")])
+    >>> sorted(sorted(s) for s in enumerate_minimal_directed_steiner_trees(d, ["w"], "r"))
+    [[0, 1], [2]]
+    """
+    for event in directed_steiner_events(
+        digraph, terminals, root, meter=meter, improved=True
+    ):
+        if event[0] == SOLUTION:
+            yield event[1]
+
+
+def enumerate_minimal_directed_steiner_trees_simple(
+    digraph: DiGraph, terminals: Sequence[Vertex], root: Vertex, meter=None
+) -> Iterator[Solution]:
+    """Unimproved branching (Theorem 34 bound): O(nm) delay."""
+    for event in directed_steiner_events(
+        digraph, terminals, root, meter=meter, improved=False
+    ):
+        if event[0] == SOLUTION:
+            yield event[1]
+
+
+def enumerate_minimal_directed_steiner_trees_linear_delay(
+    digraph: DiGraph,
+    terminals: Sequence[Vertex],
+    root: Vertex,
+    meter=None,
+    window: Optional[int] = None,
+) -> Iterator[Solution]:
+    """Theorem 36 second half: O(n+m) delay via the output-queue method."""
+    events = directed_steiner_events(
+        digraph, terminals, root, meter=meter, improved=True
+    )
+    kwargs = {} if window is None else {"window": window}
+    return regulate(events, prime=digraph.num_vertices, **kwargs)
+
+
+def count_minimal_directed_steiner_trees(
+    digraph: DiGraph, terminals: Sequence[Vertex], root: Vertex
+) -> int:
+    """Number of minimal directed Steiner trees (convenience wrapper)."""
+    return sum(
+        1 for _ in enumerate_minimal_directed_steiner_trees(digraph, terminals, root)
+    )

@@ -1,0 +1,153 @@
+"""Group Steiner tree enumeration and the Theorem 38 reduction.
+
+Theorem 38: an output-polynomial enumerator for minimal group Steiner
+trees would dualize hypergraphs in output-polynomial time — a major open
+problem.  The reduction is a *star graph*: centre ``r``, one leaf
+``ℓ_u`` per universe element, and a terminal family
+``W_e = {ℓ_u : u ∈ e}`` per hyperedge; minimal transversals then
+correspond exactly to minimal group Steiner trees (star subtrees, plus
+the degenerate single-leaf trees when one element covers everything).
+
+This module provides both directions of the reduction plus a brute-force
+minimal group Steiner enumerator (there is provably no efficient one to
+implement), which together power the H-group experiment: the counts and
+per-solution bijection of the two routes must agree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.verification import is_minimal_group_steiner_tree
+from repro.graphs.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph, enumerate_minimal_transversals
+
+Vertex = Hashable
+
+
+class GroupSteinerSolution(NamedTuple):
+    """A minimal group Steiner tree.
+
+    ``edges`` is empty for single-vertex trees, in which case ``vertex``
+    holds the tree's one vertex; otherwise ``vertex`` is ``None``.
+    """
+
+    edges: FrozenSet[int]
+    vertex: Optional[Vertex]
+
+    def vertex_set(self, graph: Graph) -> FrozenSet[Vertex]:
+        """All vertices of the tree."""
+        if not self.edges:
+            return frozenset((self.vertex,))
+        vs: Set[Vertex] = set()
+        for eid in self.edges:
+            u, v = graph.endpoints(eid)
+            vs.add(u)
+            vs.add(v)
+        return frozenset(vs)
+
+
+class StarInstance(NamedTuple):
+    """Theorem 38 star-graph instance built from a hypergraph."""
+
+    graph: Graph
+    center: Vertex
+    families: Tuple[Tuple[Vertex, ...], ...]
+    leaf_of: dict  # element -> leaf vertex
+    element_of: dict  # leaf vertex -> element
+
+
+def transversal_to_group_steiner_instance(hypergraph: Hypergraph) -> StarInstance:
+    """Build the star graph of Theorem 38's proof."""
+    g = Graph()
+    center = ("center",)
+    g.add_vertex(center)
+    leaf_of = {}
+    element_of = {}
+    for u in hypergraph.universe:
+        leaf = ("leaf", u)
+        leaf_of[u] = leaf
+        element_of[leaf] = u
+        g.add_edge(center, leaf)
+    families = tuple(
+        tuple(leaf_of[u] for u in sorted(e, key=repr)) for e in hypergraph.edges
+    )
+    return StarInstance(g, center, families, leaf_of, element_of)
+
+
+def enumerate_minimal_group_steiner_trees_brute(
+    graph: Graph, families: Sequence[Sequence[Vertex]], max_edges: Optional[int] = None
+) -> Iterator[GroupSteinerSolution]:
+    """Brute-force minimal group Steiner tree enumeration.
+
+    Exhaustive over edge subsets (plus single-vertex trees), filtered by
+    :func:`~repro.core.verification.is_minimal_group_steiner_tree`.  Only
+    for small instances — Theorem 38 says nothing substantially better
+    can exist without settling hypergraph dualization.
+    """
+    # single-vertex trees
+    for v in sorted(graph.vertices(), key=repr):
+        if is_minimal_group_steiner_tree(graph, (), v, families):
+            yield GroupSteinerSolution(frozenset(), v)
+    eids = sorted(graph.edge_ids())
+    limit = len(eids) if max_edges is None else min(max_edges, len(eids))
+    for r in range(1, limit + 1):
+        for sub in itertools.combinations(eids, r):
+            if is_minimal_group_steiner_tree(graph, sub, None, families):
+                yield GroupSteinerSolution(frozenset(sub), None)
+
+
+def minimal_transversals_via_group_steiner(
+    hypergraph: Hypergraph,
+) -> Iterator[FrozenSet]:
+    """Theorem 38, forward direction: dualize through group Steiner trees.
+
+    Enumerate minimal group Steiner trees of the star instance and map
+    each back to a subset of the universe.  Star subtrees containing the
+    centre map to their leaf set; single-leaf trees map to singletons (the
+    case where one element alone hits every hyperedge).  The output is
+    exactly the set of minimal transversals.
+    """
+    instance = transversal_to_group_steiner_instance(hypergraph)
+    for solution in enumerate_minimal_group_steiner_trees_brute(
+        instance.graph, instance.families
+    ):
+        vs = solution.vertex_set(instance.graph)
+        yield frozenset(
+            instance.element_of[v] for v in vs if v in instance.element_of
+        )
+
+
+def group_steiner_trees_via_transversals(
+    hypergraph: Hypergraph,
+) -> Iterator[GroupSteinerSolution]:
+    """Theorem 38, reverse direction: group Steiner trees from transversals.
+
+    For the star instance, every minimal transversal ``X`` yields the
+    subtree ``G[X ∪ {r}]`` — except singleton transversals ``{u}``, whose
+    minimal tree is the bare leaf ``ℓ_u`` (the centre edge would be
+    removable).  This is the direction that would make a fast group
+    Steiner enumerator solve dualization.
+    """
+    instance = transversal_to_group_steiner_instance(hypergraph)
+    for transversal in enumerate_minimal_transversals(hypergraph):
+        if len(transversal) == 1:
+            (u,) = transversal
+            yield GroupSteinerSolution(frozenset(), instance.leaf_of[u])
+            continue
+        eids = set()
+        for u in transversal:
+            leaf = instance.leaf_of[u]
+            eids.update(instance.graph.edges_between(instance.center, leaf))
+        yield GroupSteinerSolution(frozenset(eids), None)

@@ -1,0 +1,204 @@
+"""Chordless (induced) *s*-*t* path enumeration.
+
+Table 1 of the paper cites Conte et al. [8] for minimal *induced*
+Steiner subgraphs with at most three terminals.  For two terminals the
+problem has a crisp classical form: the minimal induced Steiner
+subgraphs of ``(G, {s, t})`` are exactly the **chordless s-t paths** of
+``G`` (take any minimal solution, walk a shortest s-t path inside it —
+that path is induced, and minimality collapses the solution onto it).
+
+This module enumerates chordless paths with polynomial delay by the
+standard certificate-guided backtracking:
+
+* A chordless prefix ``(v_1, …, v_k)`` extends to a full chordless
+  ``s``-``t`` path iff ``t`` is reachable from ``v_k`` in the graph
+  obtained by deleting ``N[v_1], …, N[v_{k-1}]`` except ``v_k`` itself —
+  because a *shortest* such completion is automatically induced.
+* Branching only on extendible successors means every recursion node
+  produces at least one solution below it, so the delay is
+  ``O(n (n + m))``.
+
+This covers the two-terminal row of the paper's Table 1 without the
+claw-free restriction that Section 7 needs for general terminal counts;
+the three-terminal case of [8] needs that paper's own machinery and is
+out of scope (documented in DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Sequence, Set, Tuple
+
+from repro.exceptions import InvalidInstanceError, VertexNotFound
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+def is_chordless_path(graph: Graph, vertices: Sequence[Vertex]) -> bool:
+    """True if ``vertices`` spell a simple path with no chords in ``G``.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    >>> is_chordless_path(g, [0, 2, 3])
+    True
+    >>> is_chordless_path(g, [0, 1, 2, 3])  # chord 0-2
+    False
+    """
+    path = list(vertices)
+    if len(set(path)) != len(path) or not path:
+        return False
+    for v in path:
+        if v not in graph:
+            return False
+    for i, u in enumerate(path):
+        for j in range(i + 1, len(path)):
+            adjacent = graph.has_edge_between(u, path[j])
+            if j == i + 1 and not adjacent:
+                return False
+            if j > i + 1 and adjacent:
+                return False
+    return True
+
+
+def _tick(meter, amount: int = 1) -> None:
+    if meter is not None:
+        meter.tick(amount)
+
+
+def _reachable_avoiding(
+    graph: Graph, start: Vertex, blocked: Set[Vertex], meter=None
+) -> Set[Vertex]:
+    """Vertices reachable from ``start`` without entering ``blocked``."""
+    if start in blocked:
+        return set()
+    seen = {start}
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        for u in graph.neighbors(v):
+            _tick(meter)
+            if u not in seen and u not in blocked:
+                seen.add(u)
+                stack.append(u)
+    return seen
+
+
+def enumerate_chordless_st_paths(
+    graph: Graph, source: Vertex, target: Vertex, meter=None
+) -> Iterator[Tuple[Vertex, ...]]:
+    """All chordless ``source``-``target`` paths, as vertex tuples.
+
+    Deterministic order (successors explored in ``repr`` order).  The
+    trivial one-vertex path is yielded when ``source == target``.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    >>> sorted(enumerate_chordless_st_paths(g, 0, 3))
+    [(0, 2, 3)]
+
+    The walk ``(0, 1, 2, 3)`` is *not* chordless: edge ``0``-``2`` is a
+    chord, so the minimal induced connector is the short route only.
+    """
+    if source not in graph:
+        raise VertexNotFound(source)
+    if target not in graph:
+        raise VertexNotFound(target)
+    if source == target:
+        yield (source,)
+        return
+
+    def extendible(prefix: List[Vertex], tip: Vertex) -> bool:
+        """Can ``prefix + [tip]`` complete to a chordless path to t?"""
+        blocked: Set[Vertex] = set()
+        for v in prefix:
+            blocked.add(v)
+            blocked.update(graph.neighbor_set(v))
+            _tick(meter, graph.degree(v))
+        blocked.discard(tip)
+        if target in blocked:
+            return False
+        return target in _reachable_avoiding(graph, tip, blocked, meter)
+
+    prefix: List[Vertex] = []
+    stack: List[Tuple[Vertex, bool]] = [(source, True)]
+    while stack:
+        v, entering = stack.pop()
+        if not entering:
+            prefix.pop()
+            continue
+        prefix.append(v)
+        stack.append((v, False))
+        if v == target:
+            yield tuple(prefix)
+            continue
+        body = prefix[:-1]
+        forbidden: Set[Vertex] = set(body)
+        for p in body:
+            forbidden.update(graph.neighbor_set(p))
+            _tick(meter, graph.degree(p))
+        candidates = [
+            u
+            for u in sorted(graph.neighbor_set(v), key=repr)
+            if u not in forbidden
+        ]
+        # push in reverse so exploration follows sorted order
+        for u in reversed(candidates):
+            if extendible(prefix, u):
+                stack.append((u, True))
+
+
+def enumerate_minimal_induced_steiner_pairs(
+    graph: Graph, source: Vertex, target: Vertex
+) -> Iterator[frozenset]:
+    """Minimal induced Steiner subgraphs of ``(G, {s, t})`` as vertex sets.
+
+    These are exactly the vertex sets of chordless ``s``-``t`` paths —
+    the two-terminal case of the paper's Induced Steiner Subgraph
+    Enumeration, with no claw-free restriction.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+    >>> sorted(sorted(s) for s in enumerate_minimal_induced_steiner_pairs(g, 0, 2))
+    [[0, 2]]
+    """
+    for path in enumerate_chordless_st_paths(graph, source, target):
+        yield frozenset(path)
+
+
+def count_chordless_st_paths(graph: Graph, source: Vertex, target: Vertex) -> int:
+    """Number of chordless ``source``-``target`` paths."""
+    return sum(1 for _ in enumerate_chordless_st_paths(graph, source, target))
+
+
+def longest_chordless_path_length(
+    graph: Graph, source: Vertex, target: Vertex
+) -> int:
+    """Edge count of a longest chordless ``s``-``t`` path.
+
+    Raises :class:`InvalidInstanceError` when no chordless path exists
+    (equivalently, when ``t`` is unreachable from ``s``).
+    """
+    best = -1
+    for path in enumerate_chordless_st_paths(graph, source, target):
+        best = max(best, len(path) - 1)
+    if best < 0:
+        raise InvalidInstanceError(f"no path from {source!r} to {target!r}")
+    return best
+
+
+def brute_force_chordless_st_paths(
+    graph: Graph, source: Vertex, target: Vertex
+) -> Set[Tuple[Vertex, ...]]:
+    """Oracle: filter all simple paths by chordlessness (tests only)."""
+    from repro.paths.simple import backtracking_st_paths_undirected
+
+    out: Set[Tuple[Vertex, ...]] = set()
+    if source == target:
+        return {(source,)}
+    for path in backtracking_st_paths_undirected(graph, source, target):
+        if is_chordless_path(graph, path.vertices):
+            out.add(tuple(path.vertices))
+    return out

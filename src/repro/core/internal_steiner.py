@@ -1,0 +1,134 @@
+"""Internal Steiner trees and the Theorem 37 hardness witness.
+
+An *internal* Steiner tree must keep every terminal an internal (non-leaf)
+vertex.  Theorem 37: with ``W = V \\ {s, t}``, an internal Steiner tree
+exists iff ``G`` has a Hamiltonian ``s``-``t`` path, so no
+incremental-polynomial enumeration algorithm exists unless P = NP.
+
+This module provides the reduction in both directions plus brute-force
+procedures for small instances, which the H-internal tests use to verify
+the equivalence concretely:
+
+* :func:`hamiltonian_path_instance` — build the internal-Steiner instance
+  from ``(G, s, t)``;
+* :func:`has_hamiltonian_st_path` — backtracking decision procedure;
+* :func:`enumerate_internal_steiner_trees_brute` — exhaustive enumeration
+  of (not-necessarily-minimal, per Definition 5's footnote) internal
+  Steiner trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Hashable, Iterator, List, Sequence, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.spanning import is_tree, tree_leaves, tree_vertices
+from repro.core.verification import is_steiner_subgraph
+
+Vertex = Hashable
+
+
+def hamiltonian_path_instance(
+    graph: Graph, s: Vertex, t: Vertex
+) -> Tuple[Graph, List[Vertex]]:
+    """The Theorem 37 reduction: terminals are everything except s and t."""
+    terminals = [v for v in graph.vertices() if v != s and v != t]
+    return graph, terminals
+
+
+def is_internal_steiner_tree(
+    graph: Graph, eids: Sequence[int], terminals: Sequence[Vertex]
+) -> bool:
+    """Tree containing every terminal as an *internal* vertex.
+
+    Definition 5's footnote: solutions are not required to be minimal.
+    """
+    eids = list(eids)
+    if not eids:
+        return not list(terminals)
+    sub = graph.edge_subgraph(eids)
+    if not is_tree(sub):
+        return False
+    vs = set(sub.vertices())
+    leaves = tree_leaves(graph, eids)
+    return all(w in vs and w not in leaves for w in terminals)
+
+
+def enumerate_internal_steiner_trees_brute(
+    graph: Graph, terminals: Sequence[Vertex]
+) -> Iterator[FrozenSet[int]]:
+    """All internal Steiner trees by exhaustion (tiny instances only)."""
+    eids = sorted(graph.edge_ids())
+    for r in range(len(eids) + 1):
+        for sub in itertools.combinations(eids, r):
+            if is_internal_steiner_tree(graph, sub, terminals):
+                yield frozenset(sub)
+
+
+def has_internal_steiner_tree(graph: Graph, terminals: Sequence[Vertex]) -> bool:
+    """Decision version (brute force)."""
+    for _tree in enumerate_internal_steiner_trees_brute(graph, terminals):
+        return True
+    return False
+
+
+def has_hamiltonian_st_path(graph: Graph, s: Vertex, t: Vertex) -> bool:
+    """Is there a Hamiltonian ``s``-``t`` path?  Plain backtracking.
+
+    Exponential in the worst case, as it must be (the problem is NP-hard);
+    used only on the small instances of the hardness experiments.
+    """
+    n = graph.num_vertices
+    if n == 0 or s not in graph or t not in graph:
+        return False
+    if n == 1:
+        return s == t
+    if s == t:
+        return False
+    visited: Set[Vertex] = {s}
+
+    def extend(v: Vertex) -> bool:
+        if len(visited) == n:
+            return v == t
+        for u in graph.neighbor_set(v):
+            if u in visited or (u == t and len(visited) != n - 1):
+                continue
+            visited.add(u)
+            if extend(u):
+                return True
+            visited.discard(u)
+        return False
+
+    return extend(s)
+
+
+def hamiltonian_st_paths(graph: Graph, s: Vertex, t: Vertex) -> Iterator[Tuple[Vertex, ...]]:
+    """All Hamiltonian ``s``-``t`` paths (vertex tuples), by backtracking."""
+    n = graph.num_vertices
+    if n == 0 or s not in graph or t not in graph:
+        return
+    if n == 1:
+        if s == t:
+            yield (s,)
+        return
+    if s == t:
+        return
+    path: List[Vertex] = [s]
+    on_path: Set[Vertex] = {s}
+
+    def extend(v: Vertex) -> Iterator[Tuple[Vertex, ...]]:
+        if len(path) == n:
+            if v == t:
+                yield tuple(path)
+            return
+        for u in sorted(graph.neighbor_set(v), key=repr):
+            if u in on_path or (u == t and len(path) != n - 1):
+                continue
+            path.append(u)
+            on_path.add(u)
+            yield from extend(u)
+            path.pop()
+            on_path.discard(u)
+
+    yield from extend(s)

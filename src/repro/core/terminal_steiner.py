@@ -1,0 +1,371 @@
+"""Minimal terminal Steiner tree enumeration (Section 5.1, Thms 29/31).
+
+A *terminal* Steiner tree must keep every terminal a leaf.  Lemma 27
+pins down the structure: terminal-terminal edges are never usable, and a
+solution's interior lives inside a single connected component ``C`` of
+``G[V \\ W]`` with ``W ⊆ N(C)``.  The enumerator therefore:
+
+* handles ``|W| = 2`` directly as *s*-*t* path enumeration (the paper's
+  observation — a tree with leaf set exactly ``{w, w'}`` is a path);
+* for ``|W| ≥ 3`` drops terminal-terminal edges, restricts to each valid
+  component ``C`` in turn, and grows a partial tree by
+  ``(V(T) ∩ C)``-``w`` paths inside ``G[C ∪ {w}]``.
+
+Note on valid paths: the paper states valid paths inside ``G[C ∪ W]``;
+read literally this would admit paths threading *through* another
+terminal, which would make that terminal an internal vertex and violate
+the partial-solution invariant the same section relies on.  We therefore
+enumerate paths in ``G[C ∪ {w}]`` (all other terminals excluded), which
+is the reading under which Lemma 28 and the uniqueness argument go
+through.  The ≥2-children test is adapted accordingly (and stays O(n+m)
+per node): an uncovered terminal ``w`` is branchable iff
+
+* ``w`` has ≥ 2 edges into ``C`` (each attachment edge extends to a valid
+  path since ``C`` is connected and meets ``V(T)``), or
+* ``w`` has exactly one edge ``{w, v}`` into ``C`` and the
+  ``V(T)``-``v`` path is non-unique in ``G[C]`` — tested via the static
+  bridges of ``G[C]`` exactly as in Lemma 16/30.
+
+When no uncovered terminal is branchable, every attachment edge is forced
+and every connecting path is bridge-only, so the minimal completion
+(Lemma 28's construction) is the *unique* minimal terminal Steiner tree
+containing ``T`` and is output as a leaf.
+
+Solutions are frozensets of edge ids.  Amortized O(n+m) per solution;
+O(n+m) delay with the output-queue regulator (Theorem 31).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION, Event
+from repro.enumeration.queue_method import regulate
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.bridges import find_bridges
+from repro.graphs.graph import Graph
+from repro.graphs.spanning import prune_non_terminal_leaves, spanning_tree_edges
+from repro.graphs.traversal import connected_components
+from repro.paths.read_tarjan import enumerate_set_paths, enumerate_st_paths_undirected
+
+Vertex = Hashable
+Solution = FrozenSet[int]
+
+
+def _validate(graph: Graph, terminals: Sequence[Vertex]) -> List[Vertex]:
+    seen: Set[Vertex] = set()
+    ordered: List[Vertex] = []
+    for w in terminals:
+        if w not in graph:
+            raise InvalidInstanceError(f"terminal {w!r} is not in the graph")
+        if w not in seen:
+            seen.add(w)
+            ordered.append(w)
+    if len(ordered) < 2:
+        raise InvalidInstanceError(
+            "terminal Steiner trees need at least two terminals"
+        )
+    return ordered
+
+
+class _Component:
+    """A valid component ``C`` (``W ⊆ N(C)``) with its static analysis."""
+
+    __slots__ = ("vertices", "graph_c", "bridges_c", "terminal_edges", "work_graph")
+
+    def __init__(self, graph: Graph, vertices: Set[Vertex], terminals, meter):
+        self.vertices = vertices
+        # G[C]: the interior graph; its bridges are static for the whole
+        # component's enumeration subtree (Lemma 16 applied inside C).
+        self.graph_c = graph.subgraph(vertices)
+        self.bridges_c = find_bridges(self.graph_c, meter=meter)
+        # terminal -> list of (eid, attachment vertex in C)
+        self.terminal_edges: Dict[Vertex, List[Tuple[int, Vertex]]] = {}
+        terminal_set = set(terminals)
+        for w in terminals:
+            edges = [
+                (eid, other)
+                for eid, other in graph.incident_items(w)
+                if other in vertices
+            ]
+            self.terminal_edges[w] = edges
+        # G[C ∪ W] minus terminal-terminal edges: the working graph whose
+        # subgraphs G[C ∪ {w}] host the path enumerations.
+        self.work_graph = Graph()
+        for v in vertices:
+            self.work_graph.add_vertex(v)
+        for edge in self.graph_c.edges():
+            self.work_graph.add_edge(edge.u, edge.v, eid=edge.eid)
+        for w in terminals:
+            self.work_graph.add_vertex(w)
+            for eid, other in self.terminal_edges[w]:
+                self.work_graph.add_edge(w, other, eid=eid)
+
+
+def valid_components(
+    graph: Graph, terminals: Sequence[Vertex], meter=None
+) -> List[Set[Vertex]]:
+    """Components ``C`` of ``G[V \\ W]`` with ``W ⊆ N(C)`` (Lemma 27)."""
+    terminal_set = set(terminals)
+    interior = graph.without_vertices(terminal_set)
+    result: List[Set[Vertex]] = []
+    for comp in connected_components(interior, meter=meter):
+        neighbourhood: Set[Vertex] = set()
+        for v in comp:
+            for u in graph.neighbor_set(v):
+                if u in terminal_set:
+                    neighbourhood.add(u)
+        if terminal_set <= neighbourhood:
+            result.append(comp)
+    return result
+
+
+class _PartialTree:
+    __slots__ = ("edges", "vertices", "uncovered")
+
+    def __init__(self, terminals: Sequence[Vertex]):
+        self.edges: Set[int] = set()
+        self.vertices: Set[Vertex] = set()
+        self.uncovered: Set[Vertex] = set(terminals)
+
+    def apply_path(self, path_vertices, path_eids):
+        new_edges = tuple(path_eids)
+        new_vertices = tuple(v for v in path_vertices if v not in self.vertices)
+        covered = tuple(v for v in new_vertices if v in self.uncovered)
+        self.edges.update(new_edges)
+        self.vertices.update(new_vertices)
+        self.uncovered.difference_update(covered)
+        return new_edges, new_vertices, covered
+
+    def undo(self, record):
+        new_edges, new_vertices, covered = record
+        self.edges.difference_update(new_edges)
+        self.vertices.difference_update(new_vertices)
+        self.uncovered.update(covered)
+
+
+def _completion_and_flags(
+    comp: _Component, state: _PartialTree, terminals, meter
+) -> Tuple[Set[int], Dict[Vertex, bool]]:
+    """Lemma 28 completion restricted to ``C`` + bridge flags.
+
+    Returns the spanning tree of ``G[C]`` containing ``T ∩ C`` (used both
+    for the uniqueness flags and, extended by terminal edges, as the leaf
+    output) and ``flag[v]`` = "the ``V(T)``-``v`` path inside it is
+    bridge-only in ``G[C]``".
+    """
+    interior_required = [e for e in state.edges if comp.graph_c.has_edge_id(e)]
+    spanning = spanning_tree_edges(comp.graph_c, required=interior_required, meter=meter)
+    adjacency: Dict[Vertex, List[Tuple[int, Vertex]]] = {}
+    for eid in spanning:
+        u, v = comp.graph_c.endpoints(eid)
+        adjacency.setdefault(u, []).append((eid, v))
+        adjacency.setdefault(v, []).append((eid, u))
+    sources = [v for v in state.vertices if v in comp.vertices]
+    flag: Dict[Vertex, bool] = {}
+    stack: List[Vertex] = []
+    for v in sources:
+        flag[v] = True
+        stack.append(v)
+    while stack:
+        v = stack.pop()
+        for eid, u in adjacency.get(v, ()):
+            if meter is not None:
+                meter.tick()
+            if u in flag:
+                continue
+            flag[u] = flag[v] and (eid in comp.bridges_c)
+            stack.append(u)
+    return spanning, flag
+
+
+def _leaf_completion(
+    comp: _Component, state: _PartialTree, terminals, spanning: Set[int], meter
+) -> Solution:
+    """Assemble the unique minimal terminal Steiner tree at a leaf node."""
+    edges = set(spanning)
+    terminal_set = set(terminals)
+    covered_edge: Dict[Vertex, int] = {}
+    for eid in state.edges:
+        u, v = comp.work_graph.endpoints(eid)
+        if u in terminal_set:
+            covered_edge[u] = eid
+        if v in terminal_set:
+            covered_edge[v] = eid
+    for w in terminals:
+        if w in state.vertices:
+            # covered terminal: keep its (unique) tree edge
+            edges.add(covered_edge[w])
+        else:
+            # uncovered terminal at a leaf node: its attachment is forced
+            eid, _other = comp.terminal_edges[w][0]
+            edges.add(eid)
+    pruned = prune_non_terminal_leaves(comp.work_graph, edges, terminals, meter=meter)
+    return frozenset(pruned)
+
+
+def terminal_steiner_events(
+    graph: Graph,
+    terminals: Sequence[Vertex],
+    meter=None,
+    improved: bool = True,
+) -> Iterator[Event]:
+    """Event stream of the terminal-Steiner enumeration-tree traversal."""
+    ordered = _validate(graph, terminals)
+
+    if len(ordered) == 2:
+        # |W| = 2: identical to s-t path enumeration (paper, §5.1).
+        node = 0
+        yield (DISCOVER, node, 0)
+        emitted = False
+        for path in enumerate_st_paths_undirected(
+            graph, ordered[0], ordered[1], meter=meter
+        ):
+            if len(path.arcs) == 0:
+                continue
+            emitted = True
+            yield (SOLUTION, frozenset(path.arcs))
+        yield (EXAMINE, node, 0)
+        return
+
+    components = [
+        _Component(graph, comp, ordered, meter)
+        for comp in valid_components(graph, ordered, meter=meter)
+    ]
+    if not components:
+        return
+
+    node_counter = 0
+    w0, w1 = ordered[0], ordered[1]
+    yield (DISCOVER, node_counter, 0)
+
+    for comp in components:
+        state = _PartialTree(ordered)
+
+        def node_action() -> Tuple[str, object]:
+            if not state.uncovered:
+                return ("leaf", frozenset(state.edges))
+            if not improved:
+                for w in ordered:
+                    if w in state.uncovered:
+                        return ("branch", w)
+                raise AssertionError("unreachable")
+            spanning, flag = _completion_and_flags(comp, state, ordered, meter)
+            for w in ordered:
+                if w not in state.uncovered:
+                    continue
+                edges_into_c = comp.terminal_edges[w]
+                if len(edges_into_c) >= 2:
+                    return ("branch", w)
+                eid, v = edges_into_c[0]
+                if not flag.get(v, True):
+                    return ("branch", w)
+            return ("leaf", _leaf_completion(comp, state, ordered, spanning, meter))
+
+        def child_paths(w):
+            # paths from (V(T) ∩ C) to w inside G[C ∪ {w}]
+            sub = Graph()
+            for v in comp.vertices:
+                sub.add_vertex(v)
+            for edge in comp.graph_c.edges():
+                sub.add_edge(edge.u, edge.v, eid=edge.eid)
+            sub.add_vertex(w)
+            for eid, other in comp.terminal_edges[w]:
+                sub.add_edge(w, other, eid=eid)
+            sources = frozenset(v for v in state.vertices if v in comp.vertices)
+            return enumerate_set_paths(sub, sources, (w,), meter=meter)
+
+        # Root children for this component: w0-w1 paths in G[C ∪ {w0, w1}].
+        def root_paths():
+            sub = Graph()
+            for v in comp.vertices:
+                sub.add_vertex(v)
+            for edge in comp.graph_c.edges():
+                sub.add_edge(edge.u, edge.v, eid=edge.eid)
+            for w in (w0, w1):
+                sub.add_vertex(w)
+                for eid, other in comp.terminal_edges[w]:
+                    sub.add_edge(w, other, eid=eid)
+            return enumerate_st_paths_undirected(sub, w0, w1, meter=meter)
+
+        stack: List[List[object]] = [[root_paths(), None, node_counter, 0]]
+        while stack:
+            frame = stack[-1]
+            paths, _undo, node_id, depth = frame
+            path = next(paths, None)  # type: ignore[arg-type]
+            if path is None:
+                if depth > 0:
+                    yield (EXAMINE, node_id, depth)
+                stack.pop()
+                if frame[1] is not None:
+                    state.undo(frame[1])
+                continue
+            record = state.apply_path(path.vertices, path.arcs)
+            node_counter += 1
+            yield (DISCOVER, node_counter, depth + 1)
+            kind, payload = node_action()
+            if kind == "leaf":
+                yield (SOLUTION, payload)
+                yield (EXAMINE, node_counter, depth + 1)
+                state.undo(record)
+                continue
+            stack.append([child_paths(payload), record, node_counter, depth + 1])
+
+    yield (EXAMINE, 0, 0)
+
+
+def enumerate_minimal_terminal_steiner_trees(
+    graph: Graph, terminals: Sequence[Vertex], meter=None
+) -> Iterator[Solution]:
+    """Enumerate all minimal terminal Steiner trees of ``(G, W)``.
+
+    Improved branching: amortized O(n+m) per solution (Theorem 31).
+    Yields frozensets of edge ids, each exactly once.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges([("w1", "x"), ("x", "w2"), ("x", "y"), ("y", "w2")])
+    >>> sorted(sorted(s) for s in enumerate_minimal_terminal_steiner_trees(g, ["w1", "w2"]))
+    [[0, 1], [0, 2, 3]]
+    """
+    for event in terminal_steiner_events(graph, terminals, meter=meter, improved=True):
+        if event[0] == SOLUTION:
+            yield event[1]
+
+
+def enumerate_minimal_terminal_steiner_trees_simple(
+    graph: Graph, terminals: Sequence[Vertex], meter=None
+) -> Iterator[Solution]:
+    """Unimproved branching (Theorem 29 bound): O(nm) delay."""
+    for event in terminal_steiner_events(graph, terminals, meter=meter, improved=False):
+        if event[0] == SOLUTION:
+            yield event[1]
+
+
+def enumerate_minimal_terminal_steiner_trees_linear_delay(
+    graph: Graph,
+    terminals: Sequence[Vertex],
+    meter=None,
+    window: Optional[int] = None,
+) -> Iterator[Solution]:
+    """Theorem 31 second half: O(n+m) delay via the output-queue method."""
+    events = terminal_steiner_events(graph, terminals, meter=meter, improved=True)
+    kwargs = {} if window is None else {"window": window}
+    return regulate(events, prime=graph.num_vertices, **kwargs)
+
+
+def count_minimal_terminal_steiner_trees(
+    graph: Graph, terminals: Sequence[Vertex]
+) -> int:
+    """Number of minimal terminal Steiner trees (convenience wrapper)."""
+    return sum(1 for _ in enumerate_minimal_terminal_steiner_trees(graph, terminals))

@@ -1,0 +1,273 @@
+"""Solution validators for every Steiner variant in the paper.
+
+Each predicate checks the *definition*, not the algorithm: tests use them
+to validate enumerator output, and the brute-force oracles in
+:mod:`repro.core.baselines` use them as their acceptance filter.  The
+minimality predicates exploit the paper's characterizations where they
+exist (Propositions 3, 26, 32: minimality ⟺ all leaves are terminals),
+falling back to explicit one-removal checks where no characterization is
+available (forests, induced subgraphs, group Steiner trees).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.graphs.spanning import is_forest, is_tree, tree_leaves, tree_vertices
+from repro.graphs.traversal import component_of
+
+Vertex = Hashable
+EdgeSet = FrozenSet[int]
+
+
+# ----------------------------------------------------------------------
+# Steiner trees (Definition 1, Proposition 3)
+# ----------------------------------------------------------------------
+def is_steiner_subgraph(
+    graph: Graph, eids: Iterable[int], terminals: Sequence[Vertex]
+) -> bool:
+    """True if the edge set connects every pair of terminals.
+
+    A single-terminal instance is satisfied by any edge set containing the
+    terminal (including the empty set, whose subgraph is the terminal
+    itself by convention).
+    """
+    terminals = list(terminals)
+    if not terminals:
+        return True
+    eids = list(eids)
+    if not eids:
+        return len(set(terminals)) == 1
+    sub = graph.edge_subgraph(eids)
+    if terminals[0] not in sub:
+        return False
+    comp = component_of(sub, terminals[0])
+    return all(w in comp for w in terminals)
+
+
+def is_minimal_steiner_tree(
+    graph: Graph, eids: Iterable[int], terminals: Sequence[Vertex]
+) -> bool:
+    """Proposition 3: a Steiner tree is minimal iff all leaves are terminals."""
+    terminals = list(terminals)
+    eids = list(eids)
+    if not eids:
+        return len(set(terminals)) == 1
+    sub = graph.edge_subgraph(eids)
+    if not is_tree(sub):
+        return False
+    if not is_steiner_subgraph(graph, eids, terminals):
+        return False
+    return tree_leaves(graph, eids) <= set(terminals)
+
+
+# ----------------------------------------------------------------------
+# Steiner forests (Definition 4, Lemma 21)
+# ----------------------------------------------------------------------
+def is_steiner_forest(
+    graph: Graph, eids: Iterable[int], families: Sequence[Sequence[Vertex]]
+) -> bool:
+    """True if the edge set is acyclic and connects each terminal family."""
+    eids = list(eids)
+    sub = graph.edge_subgraph(eids)
+    if not is_forest(sub):
+        return False
+    for family in families:
+        family = list(family)
+        if len(set(family)) <= 1:
+            continue
+        first = family[0]
+        if first not in sub:
+            return False
+        comp = component_of(sub, first)
+        if not all(w in comp for w in family):
+            return False
+    return True
+
+
+def is_minimal_steiner_forest(
+    graph: Graph, eids: Iterable[int], families: Sequence[Sequence[Vertex]]
+) -> bool:
+    """Minimal = Steiner forest none of whose edges is redundant.
+
+    (Equivalently, by Lemma 21: the union of the unique connecting paths.)
+    """
+    eids = list(eids)
+    if not is_steiner_forest(graph, eids, families):
+        return False
+    for i in range(len(eids)):
+        reduced = eids[:i] + eids[i + 1 :]
+        if is_steiner_forest(graph, reduced, families):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Terminal Steiner trees (Definition 6, Proposition 26)
+# ----------------------------------------------------------------------
+def is_terminal_steiner_tree(
+    graph: Graph, eids: Iterable[int], terminals: Sequence[Vertex]
+) -> bool:
+    """Steiner tree in which every terminal is a leaf."""
+    terminals = list(terminals)
+    eids = list(eids)
+    if not eids:
+        return len(set(terminals)) == 1
+    sub = graph.edge_subgraph(eids)
+    if not is_tree(sub) or not is_steiner_subgraph(graph, eids, terminals):
+        return False
+    return all(w in sub and sub.degree(w) == 1 for w in set(terminals))
+
+
+def is_minimal_terminal_steiner_tree(
+    graph: Graph, eids: Iterable[int], terminals: Sequence[Vertex]
+) -> bool:
+    """Proposition 26: terminal Steiner tree whose leaves are all terminal.
+
+    Combined with the terminal-as-leaf requirement this means the leaf set
+    equals the terminal set exactly.
+    """
+    terminals = list(set(terminals))
+    eids = list(eids)
+    if not is_terminal_steiner_tree(graph, eids, terminals):
+        return False
+    return tree_leaves(graph, eids) <= set(terminals)
+
+
+# ----------------------------------------------------------------------
+# Directed Steiner trees (Definition 7, Proposition 32)
+# ----------------------------------------------------------------------
+def is_directed_steiner_tree(
+    digraph: DiGraph, aids: Iterable[int], terminals: Sequence[Vertex], root: Vertex
+) -> bool:
+    """Directed tree rooted at ``root`` containing a root-``w`` path ∀ w."""
+    aids = list(aids)
+    terminals = list(terminals)
+    if not aids:
+        return not terminals
+    sub = digraph.arc_subgraph(aids)
+    if root not in sub:
+        return False
+    # rooted directed tree: every non-root vertex has in-degree exactly 1,
+    # root has in-degree 0, and everything is reachable from the root.
+    for v in sub.vertices():
+        indeg = sub.in_degree(v)
+        if v == root:
+            if indeg != 0:
+                return False
+        elif indeg != 1:
+            return False
+    from repro.graphs.traversal import reachable_from
+
+    reach = reachable_from(sub, root)
+    if len(reach) != sub.num_vertices:
+        return False
+    return all(w in reach for w in terminals)
+
+
+def is_minimal_directed_steiner_tree(
+    digraph: DiGraph, aids: Iterable[int], terminals: Sequence[Vertex], root: Vertex
+) -> bool:
+    """Proposition 32: directed Steiner tree whose leaves are all terminal."""
+    aids = list(aids)
+    if not is_directed_steiner_tree(digraph, aids, terminals, root):
+        return False
+    if not aids:
+        return True
+    sub = digraph.arc_subgraph(aids)
+    terminal_set = set(terminals)
+    return all(
+        v in terminal_set for v in sub.vertices() if sub.out_degree(v) == 0
+    )
+
+
+# ----------------------------------------------------------------------
+# Induced Steiner subgraphs (Definition 9)
+# ----------------------------------------------------------------------
+def is_induced_steiner_subgraph(
+    graph: Graph, vertices: Iterable[Vertex], terminals: Sequence[Vertex]
+) -> bool:
+    """True if ``G[vertices]`` connects every pair of terminals."""
+    vset = set(vertices)
+    terminals = list(terminals)
+    if not set(terminals) <= vset:
+        return False
+    if not terminals:
+        return True
+    sub = graph.subgraph(vset)
+    comp = component_of(sub, terminals[0])
+    return all(w in comp for w in terminals)
+
+
+def is_minimal_induced_steiner_subgraph(
+    graph: Graph, vertices: Iterable[Vertex], terminals: Sequence[Vertex]
+) -> bool:
+    """Minimal: no single vertex can be dropped (monotonicity makes the
+    one-removal check equivalent to the proper-subset definition)."""
+    vset = set(vertices)
+    if not is_induced_steiner_subgraph(graph, vset, terminals):
+        return False
+    terminal_set = set(terminals)
+    for v in vset - terminal_set:
+        if is_induced_steiner_subgraph(graph, vset - {v}, terminals):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Group Steiner trees (Definition 8)
+# ----------------------------------------------------------------------
+def is_group_steiner_tree(
+    graph: Graph,
+    eids: Iterable[int],
+    single_vertex: Vertex,
+    families: Sequence[Sequence[Vertex]],
+) -> bool:
+    """True if the subgraph is a tree hitting at least one vertex of every
+    family.
+
+    Trees with no edges are allowed: pass the vertex as ``single_vertex``
+    (ignored when ``eids`` is non-empty).
+    """
+    eids = list(eids)
+    if eids:
+        sub = graph.edge_subgraph(eids)
+        if not is_tree(sub):
+            return False
+        vset = set(sub.vertices())
+    else:
+        vset = {single_vertex}
+    return all(any(w in vset for w in family) for family in families)
+
+
+def is_minimal_group_steiner_tree(
+    graph: Graph,
+    eids: Iterable[int],
+    single_vertex: Vertex,
+    families: Sequence[Sequence[Vertex]],
+) -> bool:
+    """Minimal: no leaf of the tree can be removed keeping all families hit.
+
+    (Removing non-leaf structure never preserves treeness, and subtree
+    containment chains make the leaf-removal test exact.)
+    """
+    eids = list(eids)
+    if not is_group_steiner_tree(graph, eids, single_vertex, families):
+        return False
+    if not eids:
+        return True
+    sub = graph.edge_subgraph(eids)
+    vset = set(sub.vertices())
+    for leaf in tree_leaves(graph, eids):
+        if len(eids) == 1:
+            # removing a leaf of a single-edge tree leaves a single vertex
+            other = sub.other_endpoint(eids[0], leaf)
+            if all(any(w in {other} for w in fam) for fam in families):
+                return False
+            continue
+        remaining = vset - {leaf}
+        if all(any(w in remaining for w in fam) for fam in families):
+            return False
+    return True

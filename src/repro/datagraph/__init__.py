@@ -1,0 +1,41 @@
+"""Keyword search on data graphs: the paper's motivating application."""
+
+from repro.datagraph.kfragments import (
+    Fragment,
+    directed_kfragments,
+    strong_kfragments,
+    top_k_fragments,
+    undirected_kfragments,
+)
+from repro.datagraph.model import (
+    DataGraph,
+    DirectedQueryGraph,
+    KeywordNode,
+    QueryGraph,
+    synthetic_data_graph,
+)
+from repro.datagraph.ranked import (
+    RankedFragment,
+    degree_weight_model,
+    ranked_kfragments,
+    top_k_weighted_fragments,
+    uniform_weight_model,
+)
+
+__all__ = [
+    "DataGraph",
+    "degree_weight_model",
+    "directed_kfragments",
+    "DirectedQueryGraph",
+    "Fragment",
+    "KeywordNode",
+    "QueryGraph",
+    "ranked_kfragments",
+    "RankedFragment",
+    "strong_kfragments",
+    "synthetic_data_graph",
+    "top_k_fragments",
+    "top_k_weighted_fragments",
+    "undirected_kfragments",
+    "uniform_weight_model",
+]

@@ -1,0 +1,153 @@
+"""A small keyword-search engine over a data graph.
+
+Wraps the K-fragment enumerators in the shape a search application
+actually uses: a long-lived engine object holding the corpus, a
+``query()`` call returning ranked answers with execution statistics, and
+an ``explain()`` renderer for debugging why an answer was returned.
+
+This is the layer the paper's introduction gestures at ("a core component
+in several keyword search systems"): everything below it — query-graph
+construction, Steiner enumeration, delay guarantees — is the library.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.datagraph.kfragments import (
+    Fragment,
+    directed_kfragments,
+    strong_kfragments,
+    undirected_kfragments,
+)
+from repro.datagraph.model import DataGraph
+from repro.exceptions import InvalidInstanceError
+
+Node = Hashable
+Keyword = str
+
+VARIANTS = ("undirected", "strong", "directed")
+
+
+@dataclass
+class QueryResult:
+    """Answers plus execution statistics for one query."""
+
+    keywords: Tuple[Keyword, ...]
+    variant: str
+    answers: List[Fragment]
+    enumerated: int          # fragments pulled from the enumerator
+    truncated: bool          # True if the limit stopped the enumeration
+    seconds: float
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+class KeywordSearchEngine:
+    """Query interface over a fixed :class:`DataGraph`.
+
+    Parameters
+    ----------
+    datagraph:
+        The corpus.
+    default_limit:
+        Enumeration cap per query (linear delay makes the cap a real
+        latency bound, not a heuristic).
+
+    Examples
+    --------
+    >>> dg = DataGraph()
+    >>> _ = dg.add_node("a", ["x"]); _ = dg.add_node("b", ["y"])
+    >>> _ = dg.add_link("a", "b")
+    >>> engine = KeywordSearchEngine(dg)
+    >>> result = engine.query(["x", "y"])
+    >>> len(result), result.answers[0].size
+    (1, 1)
+    """
+
+    def __init__(self, datagraph: DataGraph, default_limit: int = 1000) -> None:
+        if default_limit < 1:
+            raise ValueError("default_limit must be positive")
+        self.datagraph = datagraph
+        self.default_limit = default_limit
+        self._query_count = 0
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        keywords: Sequence[Keyword],
+        variant: str = "undirected",
+        root: Optional[Node] = None,
+        limit: Optional[int] = None,
+        top: Optional[int] = None,
+    ) -> QueryResult:
+        """Run a keyword query.
+
+        ``limit`` caps the enumeration (default: engine default);
+        ``top`` keeps only the k smallest answers of the enumerated set.
+        Raises :class:`InvalidInstanceError` for unknown keywords and
+        :class:`ValueError` for bad parameters — a typo should fail loud,
+        not return an empty result page.
+        """
+        if variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        if variant == "directed" and root is None:
+            raise ValueError("directed queries need a root node")
+        cap = self.default_limit if limit is None else limit
+        if cap < 1:
+            raise ValueError("limit must be positive")
+
+        if variant == "undirected":
+            source = undirected_kfragments(self.datagraph, keywords)
+        elif variant == "strong":
+            source = strong_kfragments(self.datagraph, keywords)
+        else:
+            source = directed_kfragments(self.datagraph, keywords, root)
+
+        started = time.perf_counter()
+        answers: List[Fragment] = []
+        truncated = False
+        for fragment in source:
+            answers.append(fragment)
+            if len(answers) >= cap:
+                truncated = True
+                break
+        seconds = time.perf_counter() - started
+        enumerated = len(answers)
+        answers.sort(key=lambda f: (f.size, f.matches))
+        if top is not None:
+            answers = answers[: max(0, top)]
+        self._query_count += 1
+        return QueryResult(
+            tuple(dict.fromkeys(keywords)), variant, answers, enumerated, truncated, seconds
+        )
+
+    # ------------------------------------------------------------------
+    def explain(self, fragment: Fragment) -> str:
+        """Human-readable rendering of one answer."""
+        lines = [f"answer with {fragment.size} structural edge(s)"]
+        for kw, node in fragment.matches:
+            lines.append(f"  keyword {kw!r} matched node {node!r}")
+        for eid in sorted(fragment.structural_edges):
+            u, v = self.datagraph.graph.endpoints(eid)
+            lines.append(f"  connector: {u!r} ~ {v!r}")
+        return "\n".join(lines)
+
+    def suggest(self, prefix: str, limit: int = 10) -> List[Keyword]:
+        """Keywords starting with ``prefix`` (sorted by document
+        frequency, then alphabetically) — the autocomplete primitive."""
+        candidates = [
+            kw for kw in self.datagraph.vocabulary() if str(kw).startswith(prefix)
+        ]
+        candidates.sort(
+            key=lambda kw: (-len(self.datagraph.nodes_with_keyword(kw)), str(kw))
+        )
+        return candidates[:limit]
+
+    @property
+    def queries_served(self) -> int:
+        """Number of queries processed by this engine instance."""
+        return self._query_count

@@ -1,0 +1,48 @@
+"""Enumeration framework: delay instrumentation, events, output queue,
+and the Figure-1 enumeration-tree renderer."""
+
+from repro.enumeration.delay import (
+    CostMeter,
+    DelayRecorder,
+    DelayStats,
+    MeteredDelayRecorder,
+    record_metered_delays,
+    record_wall_delays,
+)
+from repro.enumeration.events import (
+    DISCOVER,
+    EXAMINE,
+    SOLUTION,
+    TreeShape,
+    solutions_only,
+)
+from repro.enumeration.queue_method import DEFAULT_WINDOW, RegulatorProbe, regulate
+from repro.enumeration.render import (
+    EnumerationTree,
+    TreeNode,
+    preprocessing_cut,
+    render_figure1,
+    render_tree,
+)
+
+__all__ = [
+    "CostMeter",
+    "DEFAULT_WINDOW",
+    "DelayRecorder",
+    "DelayStats",
+    "DISCOVER",
+    "EnumerationTree",
+    "EXAMINE",
+    "MeteredDelayRecorder",
+    "preprocessing_cut",
+    "record_metered_delays",
+    "record_wall_delays",
+    "regulate",
+    "RegulatorProbe",
+    "render_figure1",
+    "render_tree",
+    "SOLUTION",
+    "solutions_only",
+    "TreeNode",
+    "TreeShape",
+]

@@ -1,0 +1,86 @@
+"""Event protocol emitted by the enumeration-tree traversals.
+
+The improved enumeration algorithms of Sections 4–5 traverse a rooted
+*enumeration tree* in depth-first order.  Uno's output-queue method (and
+the paper's delay proofs) reason about three kinds of events along this
+traversal; our enumerators can run in "event mode" and emit them so that
+
+* the output-queue regulator (:mod:`repro.enumeration.queue_method`) can
+  space solutions evenly, and
+* the Figure-1 benchmark can verify the structural claims (every internal
+  node of the improved tree has ≥ 2 children, hence
+  ``#internal ≤ #leaves``).
+
+Events are lightweight tuples.  ``DISCOVER``/``EXAMINE`` carry
+``(kind, node_id, depth)``; ``SOLUTION`` carries ``(kind, solution)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Tuple
+
+DISCOVER = "discover"  # a node of the enumeration tree is first visited
+EXAMINE = "examine"    # a node is left for the last time (paper: "examined")
+SOLUTION = "solution"  # a solution is found (always at/with some node)
+
+Event = Tuple[Any, ...]
+
+
+def solutions_only(events: Iterable[Event]) -> Iterator[Any]:
+    """Strip the event stream down to the solutions, in traversal order."""
+    for event in events:
+        if event[0] == SOLUTION:
+            yield event[1]
+
+
+class TreeShape:
+    """Accumulates enumeration-tree statistics from an event stream.
+
+    Used by the Figure 1 experiment: after draining the stream,
+    ``internal_nodes``, ``leaf_nodes`` and ``max_children`` describe the
+    improved enumeration tree that the traversal walked.
+    """
+
+    def __init__(self) -> None:
+        self.discovered = 0
+        self.solutions = 0
+        self._children: dict = {}
+        self._parent_stack: list = []
+        self._child_count: dict = {}
+        self.max_depth = 0
+
+    def consume(self, events: Iterable[Event]) -> Iterator[Any]:
+        """Stream through ``events``, recording shape; yield solutions."""
+        for event in events:
+            kind = event[0]
+            if kind == DISCOVER:
+                _, node_id, depth = event
+                self.discovered += 1
+                self.max_depth = max(self.max_depth, depth)
+                if self._parent_stack:
+                    parent = self._parent_stack[-1]
+                    self._child_count[parent] = self._child_count.get(parent, 0) + 1
+                self._parent_stack.append(node_id)
+                self._child_count.setdefault(node_id, 0)
+            elif kind == EXAMINE:
+                if self._parent_stack:
+                    self._parent_stack.pop()
+            elif kind == SOLUTION:
+                self.solutions += 1
+                yield event[1]
+
+    @property
+    def internal_nodes(self) -> int:
+        """Nodes with at least one child."""
+        return sum(1 for c in self._child_count.values() if c > 0)
+
+    @property
+    def leaf_nodes(self) -> int:
+        """Nodes with no children."""
+        return sum(1 for c in self._child_count.values() if c == 0)
+
+    @property
+    def min_internal_children(self) -> int:
+        """Minimum child count over internal nodes (paper claims ≥ 2)."""
+        counts = [c for c in self._child_count.values() if c > 0]
+        return min(counts) if counts else 0

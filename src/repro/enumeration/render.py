@@ -1,0 +1,253 @@
+"""ASCII rendering of enumeration trees (the paper's Figure 1).
+
+Figure 1 of the paper illustrates the *improved enumeration tree*: the
+path ``P`` walked during the output-queue preprocessing phase, the
+prefix subtree ``T_pre`` discovered while collecting the first ``n``
+solutions, and the later subtrees ``T_1, …, T_ℓ``.  This module rebuilds
+that picture from the event streams the enumerators emit
+(:mod:`repro.enumeration.events`):
+
+* :class:`EnumerationTree` — materializes the tree from a stream;
+* :func:`render_tree` — box-drawing ASCII rendering with optional
+  truncation and per-node annotations;
+* :func:`render_figure1` — the Figure 1 view: nodes visited while the
+  first ``n`` solutions were collected are tagged ``pre``, the rest are
+  grouped into their maximal post-preprocessing subtrees.
+
+The renderer is exercised by ``benchmarks/bench_enumeration_tree.py``
+and ``examples/enumeration_tree_gallery.py`` and keeps EXPERIMENTS.md's
+Figure 1 section honest: the shape statements (every internal node of
+the improved tree has ≥ 2 children; ``T_pre`` has O(n) nodes) are read
+off the same structure that gets drawn.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION, Event
+
+
+class TreeNode:
+    """One node of a materialized enumeration tree."""
+
+    __slots__ = ("node_id", "depth", "order", "children", "solutions")
+
+    def __init__(self, node_id: Any, depth: int, order: int) -> None:
+        self.node_id = node_id
+        self.depth = depth
+        #: discovery index (0 = root): the DFS visiting order
+        self.order = order
+        self.children: List["TreeNode"] = []
+        #: number of solutions output at this node
+        self.solutions = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """True if the node has no children in the enumeration tree."""
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TreeNode #{self.order} depth={self.depth}>"
+
+
+class EnumerationTree:
+    """An enumeration tree materialized from a DISCOVER/EXAMINE stream.
+
+    Solutions encountered while a node is on top of the DFS stack are
+    attributed to that node, matching the paper's "a solution is output
+    at each leaf" convention (internal nodes score zero on the improved
+    trees).
+
+    Examples
+    --------
+    >>> from repro.core.steiner_tree import steiner_tree_events
+    >>> from repro.graphs.graph import Graph
+    >>> g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+    >>> tree = EnumerationTree.from_events(steiner_tree_events(g, [0, 2]))
+    >>> tree.size, tree.num_leaves
+    (3, 2)
+    """
+
+    def __init__(self, root: TreeNode, total_solutions: int) -> None:
+        self.root = root
+        self.total_solutions = total_solutions
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "EnumerationTree":
+        """Materialize the tree; solution payloads are discarded."""
+        root: Optional[TreeNode] = None
+        stack: List[TreeNode] = []
+        order = 0
+        total = 0
+        for event in events:
+            kind = event[0]
+            if kind == DISCOVER:
+                _, node_id, depth = event
+                node = TreeNode(node_id, depth, order)
+                order += 1
+                if stack:
+                    stack[-1].children.append(node)
+                elif root is None:
+                    root = node
+                else:  # pragma: no cover - malformed stream guard
+                    raise ValueError("event stream discovered a second root")
+                stack.append(node)
+            elif kind == EXAMINE:
+                if stack:
+                    stack.pop()
+            elif kind == SOLUTION:
+                total += 1
+                if stack:
+                    stack[-1].solutions += 1
+        if root is None:
+            raise ValueError("event stream contained no DISCOVER event")
+        return cls(root, total)
+
+    # ------------------------------------------------------------------
+    # statistics (the Figure 1 / Lemma 18 claims)
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[TreeNode]:
+        """Pre-order iteration over all nodes."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes."""
+        return sum(1 for _ in self.nodes())
+
+    @property
+    def num_leaves(self) -> int:
+        """Leaf count (the paper: = number of solutions on improved trees)."""
+        return sum(1 for node in self.nodes() if node.is_leaf)
+
+    @property
+    def num_internal(self) -> int:
+        """Internal-node count (paper: ≤ leaves when every internal ≥ 2 kids)."""
+        return sum(1 for node in self.nodes() if not node.is_leaf)
+
+    @property
+    def height(self) -> int:
+        """Maximum depth over nodes."""
+        return max(node.depth for node in self.nodes())
+
+    @property
+    def min_internal_children(self) -> int:
+        """Minimum child count over internal nodes (Lemma 16 et al.: ≥ 2)."""
+        counts = [len(n.children) for n in self.nodes() if not n.is_leaf]
+        return min(counts) if counts else 0
+
+
+def render_tree(
+    tree: EnumerationTree,
+    max_nodes: int = 200,
+    annotate=None,
+) -> str:
+    """Box-drawing ASCII rendering of an enumeration tree.
+
+    ``annotate(node) -> str`` adds a per-node tag.  Output is truncated
+    after ``max_nodes`` lines with an ellipsis marker.
+
+    Examples
+    --------
+    >>> from repro.core.steiner_tree import steiner_tree_events
+    >>> from repro.graphs.graph import Graph
+    >>> g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+    >>> t = EnumerationTree.from_events(steiner_tree_events(g, [0, 2]))
+    >>> print(render_tree(t))  # doctest: +NORMALIZE_WHITESPACE
+    #0
+    ├── #1 ●
+    └── #2 ●
+    """
+    lines: List[str] = []
+
+    def label(node: TreeNode) -> str:
+        text = f"#{node.order}"
+        if node.solutions:
+            text += " ●" * min(node.solutions, 3)
+        if annotate is not None:
+            tag = annotate(node)
+            if tag:
+                text += f" [{tag}]"
+        return text
+
+    def walk(node: TreeNode, prefix: str, connector: str) -> None:
+        if len(lines) >= max_nodes:
+            return
+        lines.append(prefix + connector + label(node))
+        child_prefix = prefix
+        if connector:
+            child_prefix += "    " if connector.startswith("└") else "│   "
+        for i, child in enumerate(node.children):
+            last = i == len(node.children) - 1
+            walk(child, child_prefix, "└── " if last else "├── ")
+
+    walk(tree.root, "", "")
+    if tree.size > max_nodes:
+        lines.append(f"… ({tree.size - max_nodes} more nodes)")
+    return "\n".join(lines)
+
+
+def preprocessing_cut(tree: EnumerationTree, n: int) -> int:
+    """Discovery index of the node where the ``n``-th solution appears.
+
+    This is the paper's node ``S``: the output-queue preprocessing phase
+    ends there.  Returns the last discovery index if fewer than ``n``
+    solutions exist.
+    """
+    remaining = n
+    cut = 0
+    for node in sorted(tree.nodes(), key=lambda x: x.order):
+        cut = node.order
+        remaining -= node.solutions
+        if remaining <= 0:
+            break
+    return cut
+
+
+def render_figure1(tree: EnumerationTree, n: Optional[int] = None) -> str:
+    """The Figure 1 view of an improved enumeration tree.
+
+    Nodes discovered during the preprocessing phase (up to the node where
+    the ``n``-th solution is found; ``n`` defaults to the paper's choice,
+    the instance size proxy ``num_leaves``//2+1) are tagged ``pre``; the
+    maximal subtrees discovered afterwards are tagged ``T1, T2, …`` in
+    discovery order, matching the paper's figure.
+    """
+    if n is None:
+        n = max(1, tree.num_leaves // 2)
+    cut = preprocessing_cut(tree, n)
+
+    subtree_of: Dict[int, str] = {}
+    counter = 0
+
+    def assign(node: TreeNode, current: Optional[str]) -> None:
+        nonlocal counter
+        if node.order <= cut:
+            tag = None  # preprocessing region
+        elif current is not None:
+            tag = current
+        else:
+            counter += 1
+            tag = f"T{counter}"
+        if tag is not None:
+            subtree_of[node.order] = tag
+        for child in node.children:
+            assign(child, tag)
+
+    assign(tree.root, None)
+
+    def annotate(node: TreeNode) -> str:
+        return subtree_of.get(node.order, "pre")
+
+    header = (
+        f"improved enumeration tree: {tree.size} nodes, "
+        f"{tree.num_leaves} leaves, {tree.num_internal} internal, "
+        f"preprocessing cut at #{cut} (first {n} solutions), "
+        f"{counter} post-preprocessing subtrees"
+    )
+    return header + "\n" + render_tree(tree, annotate=annotate)

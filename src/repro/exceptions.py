@@ -1,0 +1,75 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph data structures."""
+
+
+class VertexNotFound(GraphError, KeyError):
+    """A vertex referenced by an operation is not present in the graph."""
+
+    def __init__(self, vertex):
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFound(GraphError, KeyError):
+    """An edge id referenced by an operation is not present in the graph."""
+
+    def __init__(self, eid):
+        super().__init__(f"edge id {eid!r} is not in the graph")
+        self.eid = eid
+
+
+class SelfLoopError(GraphError, ValueError):
+    """Self-loops are not supported (the paper assumes loop-free graphs)."""
+
+    def __init__(self, vertex):
+        super().__init__(f"self-loop at vertex {vertex!r} is not allowed")
+        self.vertex = vertex
+
+
+class NotATreeError(GraphError, ValueError):
+    """An operation required a tree (or forest) but the subgraph has a cycle
+    or is disconnected."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An enumeration problem instance violates its preconditions.
+
+    Examples: a terminal is missing from the graph, the terminals are not
+    connected, a directed Steiner root cannot reach a terminal, or a
+    claw-free algorithm is handed a graph containing a claw.
+    """
+
+
+class NoSolutionError(InvalidInstanceError):
+    """The instance admits no solution at all.
+
+    Enumerators generally *yield nothing* for unsolvable instances rather
+    than raising; this error is reserved for APIs that promise at least one
+    solution (e.g. ``minimal_completion``).
+    """
+
+
+class ClawFreeViolation(InvalidInstanceError):
+    """A claw (induced ``K_{1,3}``) was found in a graph that an algorithm
+    requires to be claw-free."""
+
+    def __init__(self, center, leaves):
+        super().__init__(
+            f"graph is not claw-free: vertex {center!r} with independent "
+            f"neighbours {tuple(leaves)!r} induces a K_1,3"
+        )
+        self.center = center
+        self.leaves = tuple(leaves)

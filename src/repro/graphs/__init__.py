@@ -1,0 +1,154 @@
+"""Graph substrate: data structures and linear-time primitives.
+
+Everything the enumeration algorithms of the paper need and nothing more:
+multigraphs with stable edge ids (:mod:`repro.graphs.graph`,
+:mod:`repro.graphs.digraph`), traversals (:mod:`repro.graphs.traversal`),
+Tarjan bridges (:mod:`repro.graphs.bridges`), contraction with edge
+identity (:mod:`repro.graphs.contraction`), LCA + path marking
+(:mod:`repro.graphs.lca`), spanning/pruning (:mod:`repro.graphs.spanning`),
+line graphs and claw detection (:mod:`repro.graphs.linegraph`),
+deterministic generators (:mod:`repro.graphs.generators`), weighted
+shortest paths (:mod:`repro.graphs.shortest_paths`) and SteinLib STP
+file I/O (:mod:`repro.graphs.stp`).
+"""
+
+from repro.graphs.bridges import (
+    find_bridges,
+    two_edge_component_labels,
+    two_edge_connected_components,
+)
+from repro.graphs.contraction import (
+    ContractedGraph,
+    SuperVertex,
+    contract_edges,
+    contract_vertex_set,
+    contract_vertex_set_directed,
+)
+from repro.graphs.digraph import Arc, DiGraph
+from repro.graphs.graph import Edge, Graph
+from repro.graphs.interop import (
+    from_networkx,
+    from_networkx_digraph,
+    solution_to_dot,
+    to_dot,
+    to_networkx,
+    to_networkx_digraph,
+)
+from repro.graphs.lca import LCAIndex, mark_terminal_paths
+from repro.graphs.linegraph import (
+    InducedInstance,
+    LineGraphVertex,
+    TerminalVertex,
+    find_claw,
+    is_claw_free,
+    line_graph,
+    steiner_to_induced_instance,
+)
+from repro.graphs.shortest_paths import (
+    bfs_distances,
+    dijkstra,
+    dijkstra_directed,
+    multi_source_dijkstra,
+    path_weight,
+)
+from repro.graphs.shortest_paths import shortest_path as weighted_shortest_path
+from repro.graphs.shortest_paths import (
+    shortest_path_directed as weighted_shortest_path_directed,
+)
+from repro.graphs.stp import (
+    STPFormatError,
+    STPInstance,
+    format_stp,
+    parse_stp,
+    read_stp,
+    relabel_to_stp,
+    stp_from_parts,
+    write_stp,
+)
+from repro.graphs.spanning import (
+    is_forest,
+    is_tree,
+    minimal_steiner_completion,
+    prune_non_terminal_leaves,
+    spanning_tree_edges,
+    tree_leaves,
+    tree_vertices,
+)
+from repro.graphs.traversal import (
+    bfs_order,
+    component_of,
+    connected_components,
+    directed_shortest_path,
+    dfs_postorder,
+    dfs_tree,
+    has_directed_path,
+    is_connected,
+    reachable_from,
+    reaches,
+    shortest_path,
+    shortest_path_avoiding,
+)
+
+__all__ = [
+    "Arc",
+    "bfs_distances",
+    "bfs_order",
+    "component_of",
+    "connected_components",
+    "contract_edges",
+    "contract_vertex_set",
+    "contract_vertex_set_directed",
+    "ContractedGraph",
+    "dfs_postorder",
+    "dfs_tree",
+    "DiGraph",
+    "dijkstra",
+    "dijkstra_directed",
+    "directed_shortest_path",
+    "Edge",
+    "find_bridges",
+    "find_claw",
+    "format_stp",
+    "from_networkx",
+    "from_networkx_digraph",
+    "Graph",
+    "has_directed_path",
+    "InducedInstance",
+    "is_claw_free",
+    "is_connected",
+    "is_forest",
+    "is_tree",
+    "LCAIndex",
+    "line_graph",
+    "LineGraphVertex",
+    "mark_terminal_paths",
+    "minimal_steiner_completion",
+    "multi_source_dijkstra",
+    "parse_stp",
+    "path_weight",
+    "prune_non_terminal_leaves",
+    "reachable_from",
+    "reaches",
+    "read_stp",
+    "relabel_to_stp",
+    "shortest_path",
+    "shortest_path_avoiding",
+    "solution_to_dot",
+    "spanning_tree_edges",
+    "steiner_to_induced_instance",
+    "stp_from_parts",
+    "STPFormatError",
+    "STPInstance",
+    "SuperVertex",
+    "TerminalVertex",
+    "to_dot",
+    "to_networkx",
+    "to_networkx_digraph",
+    "tree_leaves",
+    "tree_vertices",
+    "two_edge_component_labels",
+    "two_edge_connected_components",
+    "weighted_shortest_path",
+    "weighted_shortest_path_directed",
+    "write_stp",
+]

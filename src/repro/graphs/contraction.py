@@ -1,0 +1,198 @@
+"""Edge / vertex-set contraction with edge-identity preservation.
+
+Section 5 of the paper works in contracted graphs:
+
+* Steiner forests branch on ``w``-``w'`` paths in ``G/E(F)`` — the input
+  graph with the current partial forest contracted.  The paper stresses
+  the "one-to-one correspondence between ``E(G) \\ F`` and ``E(G/E(F))``";
+  we realise it by letting every surviving edge keep its original id.
+* Directed Steiner trees contract the partial tree ``T`` into a single
+  root node ``r_T`` (``D' = D/E(T)`` in Lemma 35).
+
+Contraction may create parallel edges (kept — they matter for the bridge
+tests) but never self-loops (edges inside a contracted group are dropped,
+matching the paper's definition of ``G/e``).
+
+Vertices produced by merging a group of at least two originals are
+represented by :class:`SuperVertex`, a hashable wrapper around the frozen
+set of merged originals; singleton groups keep their original label so
+that terminals outside the contracted part keep their identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, NamedTuple
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class SuperVertex:
+    """A vertex of a contracted graph that stands for ≥2 original vertices."""
+
+    members: FrozenSet[Vertex]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ",".join(sorted(map(repr, self.members)))
+        return f"<{inner}>"
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self.members
+
+
+class ContractedGraph(NamedTuple):
+    """Result of a contraction.
+
+    Attributes
+    ----------
+    graph:
+        The contracted :class:`Graph` (or :class:`DiGraph`).  Surviving
+        edges keep the edge ids of the input graph.
+    vertex_map:
+        Maps every original vertex to the vertex representing it in the
+        contracted graph.
+    groups:
+        Maps every contracted vertex back to the frozenset of original
+        vertices it represents (singletons included).
+    """
+
+    graph: object
+    vertex_map: Dict[Vertex, Vertex]
+    groups: Dict[Vertex, FrozenSet[Vertex]]
+
+
+def _union_find_groups(
+    vertices: Iterable[Vertex], merges: Iterable[tuple]
+) -> Dict[Vertex, FrozenSet[Vertex]]:
+    """Union-find over ``vertices`` applying ``merges``; root -> group."""
+    parent: Dict[Vertex, Vertex] = {v: v for v in vertices}
+
+    def find(x: Vertex) -> Vertex:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for u, v in merges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+
+    groups: Dict[Vertex, set] = {}
+    for v in parent:
+        groups.setdefault(find(v), set()).add(v)
+    return {root: frozenset(members) for root, members in groups.items()}
+
+
+def _label_for(group: FrozenSet[Vertex]) -> Vertex:
+    if len(group) == 1:
+        return next(iter(group))
+    return SuperVertex(group)
+
+
+def contract_edges(graph: Graph, eids: Iterable[int]) -> ContractedGraph:
+    """Return ``G/F`` for the edge set ``F`` given by ``eids``.
+
+    Edges with both endpoints in the same merged group vanish (no
+    self-loops); all other edges survive with their original id, so paths
+    found in the contracted graph translate back to original edges
+    directly.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+    >>> result = contract_edges(g, [0])        # contract {a,b}
+    >>> result.graph.num_vertices, result.graph.num_edges
+    (2, 2)
+    """
+    merges = [graph.endpoints(eid) for eid in eids]
+    groups = _union_find_groups(graph.vertices(), merges)
+
+    vertex_map: Dict[Vertex, Vertex] = {}
+    label_of_root: Dict[Vertex, Vertex] = {}
+    out_groups: Dict[Vertex, FrozenSet[Vertex]] = {}
+    contracted = Graph()
+    for root, group in groups.items():
+        label = _label_for(group)
+        label_of_root[root] = label
+        out_groups[label] = group
+        contracted.add_vertex(label)
+        for v in group:
+            vertex_map[v] = label
+
+    for edge in graph.edges():
+        cu, cv = vertex_map[edge.u], vertex_map[edge.v]
+        if cu != cv:
+            contracted.add_edge(cu, cv, eid=edge.eid)
+    return ContractedGraph(contracted, vertex_map, out_groups)
+
+
+def contract_vertex_set(
+    graph: Graph, vertices: Iterable[Vertex], label: Vertex = None
+) -> ContractedGraph:
+    """Merge a vertex set of ``graph`` into one vertex.
+
+    Used to turn "enumerate ``V(T)``-``w`` paths" into "enumerate
+    ``s``-``w`` paths" with ``s`` the merged vertex.  ``label`` overrides
+    the default :class:`SuperVertex` label.
+    """
+    group = frozenset(vertices)
+    if not group:
+        raise ValueError("cannot contract an empty vertex set")
+    merged_label = label if label is not None else _label_for(group)
+
+    vertex_map: Dict[Vertex, Vertex] = {}
+    out_groups: Dict[Vertex, FrozenSet[Vertex]] = {merged_label: group}
+    contracted = Graph()
+    contracted.add_vertex(merged_label)
+    for v in graph.vertices():
+        if v in group:
+            vertex_map[v] = merged_label
+        else:
+            vertex_map[v] = v
+            out_groups[v] = frozenset([v])
+            contracted.add_vertex(v)
+
+    for edge in graph.edges():
+        cu, cv = vertex_map[edge.u], vertex_map[edge.v]
+        if cu != cv:
+            contracted.add_edge(cu, cv, eid=edge.eid)
+    return ContractedGraph(contracted, vertex_map, out_groups)
+
+
+def contract_vertex_set_directed(
+    digraph: DiGraph, vertices: Iterable[Vertex], label: Vertex = None
+) -> ContractedGraph:
+    """Merge a vertex set of a digraph into one vertex (``D/E(T)``).
+
+    Arcs inside the group vanish; all other arcs keep their id.  This is
+    the ``r_T`` construction of Section 5.2.
+    """
+    group = frozenset(vertices)
+    if not group:
+        raise ValueError("cannot contract an empty vertex set")
+    merged_label = label if label is not None else _label_for(group)
+
+    vertex_map: Dict[Vertex, Vertex] = {}
+    out_groups: Dict[Vertex, FrozenSet[Vertex]] = {merged_label: group}
+    contracted = DiGraph()
+    contracted.add_vertex(merged_label)
+    for v in digraph.vertices():
+        if v in group:
+            vertex_map[v] = merged_label
+        else:
+            vertex_map[v] = v
+            out_groups[v] = frozenset([v])
+            contracted.add_vertex(v)
+
+    for arc in digraph.arcs():
+        cu, cv = vertex_map[arc.tail], vertex_map[arc.head]
+        if cu != cv:
+            contracted.add_arc(cu, cv, aid=arc.aid)
+    return ContractedGraph(contracted, vertex_map, out_groups)

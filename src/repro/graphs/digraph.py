@@ -1,0 +1,279 @@
+"""Directed multigraph with stable arc identities.
+
+The directed counterpart of :class:`repro.graphs.graph.Graph`, used by the
+*s*-*t* path enumerator of Section 3 and the directed Steiner tree
+enumerator of Section 5.2.  Arcs carry stable integer ids for the same
+reasons edges do in the undirected case (contraction ``D/E(T)``, O(1)
+removal/restoration, mapping paths in derived graphs back to the input).
+
+Each vertex additionally keeps its outgoing arcs in insertion order; the
+path enumerator's ``F-STP`` subroutine relies on a fixed total order
+``≺_v`` on the outgoing arcs of every vertex, and insertion order provides
+it deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, NamedTuple, Optional, Tuple
+
+from repro.exceptions import EdgeNotFound, SelfLoopError, VertexNotFound
+
+Vertex = Hashable
+
+
+class Arc(NamedTuple):
+    """A directed arc ``tail -> head`` with a stable integer identity."""
+
+    aid: int
+    tail: Vertex
+    head: Vertex
+
+
+class DiGraph:
+    """A mutable directed multigraph without self-loops.
+
+    Examples
+    --------
+    >>> d = DiGraph()
+    >>> a1 = d.add_arc("r", "x")
+    >>> a2 = d.add_arc("x", "w")
+    >>> [a.head for a in d.out_arcs("r")]
+    ['x']
+    """
+
+    __slots__ = ("_succ", "_pred", "_arcs", "_next_aid")
+
+    def __init__(self) -> None:
+        # vertex -> {aid -> head}; insertion order defines ≺_v
+        self._succ: Dict[Vertex, Dict[int, Vertex]] = {}
+        # vertex -> {aid -> tail}
+        self._pred: Dict[Vertex, Dict[int, Vertex]] = {}
+        # aid -> (tail, head)
+        self._arcs: Dict[int, Tuple[Vertex, Vertex]] = {}
+        self._next_aid = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arcs(
+        cls, arcs: Iterable[Tuple[Vertex, Vertex]], vertices: Iterable[Vertex] = ()
+    ) -> "DiGraph":
+        """Build a digraph from an iterable of (tail, head) pairs."""
+        d = cls()
+        for v in vertices:
+            d.add_vertex(v)
+        for u, v in arcs:
+            d.add_arc(u, v)
+        return d
+
+    def copy(self) -> "DiGraph":
+        """Return an independent copy sharing arc ids with ``self``."""
+        d = DiGraph()
+        d._succ = {v: dict(out) for v, out in self._succ.items()}
+        d._pred = {v: dict(inc) for v, inc in self._pred.items()}
+        d._arcs = dict(self._arcs)
+        d._next_aid = self._next_aid
+        return d
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (``n``)."""
+        return len(self._succ)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs counting multiplicities (``m``)."""
+        return len(self._arcs)
+
+    @property
+    def size(self) -> int:
+        """``n + m``."""
+        return len(self._succ) + len(self._arcs)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DiGraph n={self.num_vertices} m={self.num_arcs}>"
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._succ)
+
+    def arcs(self) -> Iterator[Arc]:
+        """Iterate over all arcs."""
+        for aid, (u, v) in self._arcs.items():
+            yield Arc(aid, u, v)
+
+    def arc_ids(self) -> Iterator[int]:
+        """Iterate over all arc ids."""
+        return iter(self._arcs)
+
+    def has_arc_id(self, aid: int) -> bool:
+        """Return True if an arc with id ``aid`` exists."""
+        return aid in self._arcs
+
+    def arc(self, aid: int) -> Arc:
+        """Return the :class:`Arc` record for ``aid``."""
+        try:
+            u, v = self._arcs[aid]
+        except KeyError:
+            raise EdgeNotFound(aid) from None
+        return Arc(aid, u, v)
+
+    def arc_endpoints(self, aid: int) -> Tuple[Vertex, Vertex]:
+        """Return ``(tail, head)`` for arc ``aid``."""
+        try:
+            return self._arcs[aid]
+        except KeyError:
+            raise EdgeNotFound(aid) from None
+
+    def out_arcs(self, vertex: Vertex) -> Iterator[Arc]:
+        """Outgoing arcs of ``vertex``, in the fixed order ``≺_v``."""
+        for aid, head in self._out(vertex).items():
+            yield Arc(aid, vertex, head)
+
+    def in_arcs(self, vertex: Vertex) -> Iterator[Arc]:
+        """Incoming arcs of ``vertex``."""
+        for aid, tail in self._in(vertex).items():
+            yield Arc(aid, tail, vertex)
+
+    def out_neighbors(self, vertex: Vertex) -> Iterator[Vertex]:
+        """Heads of outgoing arcs (repeated for parallel arcs)."""
+        return iter(self._out(vertex).values())
+
+    def in_neighbors(self, vertex: Vertex) -> Iterator[Vertex]:
+        """Tails of incoming arcs (repeated for parallel arcs)."""
+        return iter(self._in(vertex).values())
+
+    def out_degree(self, vertex: Vertex) -> int:
+        """Number of outgoing arcs."""
+        return len(self._out(vertex))
+
+    def in_degree(self, vertex: Vertex) -> int:
+        """Number of incoming arcs."""
+        return len(self._in(vertex))
+
+    def is_source(self, vertex: Vertex) -> bool:
+        """True if ``vertex`` has no incoming arcs."""
+        return not self._in(vertex)
+
+    def is_sink(self, vertex: Vertex) -> bool:
+        """True if ``vertex`` has no outgoing arcs."""
+        return not self._out(vertex)
+
+    def out_items(self, vertex: Vertex):
+        """``(aid, head)`` pairs of outgoing arcs, in the fixed order ``≺_v``.
+
+        Allocation-free accessor for the path enumerator's hot loops.
+        """
+        return self._out(vertex).items()
+
+    def in_items(self, vertex: Vertex):
+        """``(aid, tail)`` pairs of incoming arcs."""
+        return self._in(vertex).items()
+
+    def _out(self, vertex: Vertex) -> Dict[int, Vertex]:
+        try:
+            return self._succ[vertex]
+        except KeyError:
+            raise VertexNotFound(vertex) from None
+
+    def _in(self, vertex: Vertex) -> Dict[int, Vertex]:
+        try:
+            return self._pred[vertex]
+        except KeyError:
+            raise VertexNotFound(vertex) from None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> Vertex:
+        """Add ``vertex`` if not present; return it."""
+        if vertex not in self._succ:
+            self._succ[vertex] = {}
+            self._pred[vertex] = {}
+        return vertex
+
+    def add_arc(self, tail: Vertex, head: Vertex, aid: Optional[int] = None) -> int:
+        """Add an arc ``tail -> head`` and return its id."""
+        if tail == head:
+            raise SelfLoopError(tail)
+        if aid is None:
+            aid = self._next_aid
+            self._next_aid += 1
+        else:
+            if aid in self._arcs:
+                raise ValueError(f"arc id {aid} already in use")
+            if aid >= self._next_aid:
+                self._next_aid = aid + 1
+        self.add_vertex(tail)
+        self.add_vertex(head)
+        self._succ[tail][aid] = head
+        self._pred[head][aid] = tail
+        self._arcs[aid] = (tail, head)
+        return aid
+
+    def remove_arc(self, aid: int) -> Tuple[Vertex, Vertex]:
+        """Remove arc ``aid``; return ``(tail, head)``."""
+        try:
+            tail, head = self._arcs.pop(aid)
+        except KeyError:
+            raise EdgeNotFound(aid) from None
+        del self._succ[tail][aid]
+        del self._pred[head][aid]
+        return (tail, head)
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and all incident arcs."""
+        for aid in list(self._out(vertex)):
+            self.remove_arc(aid)
+        for aid in list(self._in(vertex)):
+            self.remove_arc(aid)
+        del self._succ[vertex]
+        del self._pred[vertex]
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Iterable[Vertex]) -> "DiGraph":
+        """Return the induced subgraph ``D[U]`` (arc ids preserved)."""
+        keep = set(vertices)
+        d = DiGraph()
+        for v in keep:
+            if v not in self._succ:
+                raise VertexNotFound(v)
+            d.add_vertex(v)
+        for aid, (u, v) in self._arcs.items():
+            if u in keep and v in keep:
+                d.add_arc(u, v, aid=aid)
+        return d
+
+    def arc_subgraph(self, aids: Iterable[int]) -> "DiGraph":
+        """Return the subgraph spanned by the given arcs."""
+        d = DiGraph()
+        for aid in aids:
+            u, v = self.arc_endpoints(aid)
+            d.add_arc(u, v, aid=aid)
+        return d
+
+    def without_vertices(self, vertices: Iterable[Vertex]) -> "DiGraph":
+        """Return ``D[V \\ X]``."""
+        drop = set(vertices)
+        return self.subgraph(v for v in self._succ if v not in drop)
+
+    def reversed(self) -> "DiGraph":
+        """Return the digraph with every arc reversed (same arc ids)."""
+        d = DiGraph()
+        for v in self._succ:
+            d.add_vertex(v)
+        for aid, (u, v) in self._arcs.items():
+            d.add_arc(v, u, aid=aid)
+        return d

@@ -1,0 +1,253 @@
+"""Deterministic graph generators for tests, examples and benchmarks.
+
+All generators take an integer ``seed`` where randomness is involved and
+are fully deterministic given the seed, so every experiment in
+EXPERIMENTS.md is regenerable bit-for-bit.
+
+The families below are chosen to exercise the paper's algorithms in
+qualitatively different regimes:
+
+* ``theta_graph`` — two hubs joined by ``k`` disjoint paths: exactly ``k``
+  s-t paths, the minimal structure with branching at every node of the
+  path-enumeration tree;
+* ``grid_graph`` — exponentially many s-t paths and Steiner trees with
+  small n+m: stresses delay (output count >> input size);
+* ``random_connected_graph`` — the generic workload for Table 1 scaling;
+* ``gadget_chain`` — chain of diamonds giving exactly ``2^k`` minimal
+  Steiner trees, used when a predictable solution count is needed;
+* ``random_rooted_digraph`` — directed workload with every vertex
+  reachable from the root (the standing assumption of Section 5.2);
+* ``random_line_graph_instance`` — claw-free workloads via Theorem 39.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+# ----------------------------------------------------------------------
+# deterministic families
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> Graph:
+    """A path on vertices ``0..n-1``."""
+    return Graph.from_edges([(i, i + 1) for i in range(n - 1)], vertices=range(n))
+
+
+def cycle_graph(n: int) -> Graph:
+    """A cycle on vertices ``0..n-1`` (n >= 3)."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    return Graph.from_edges(
+        [(i, j) for i in range(n) for j in range(i + 1, n)], vertices=range(n)
+    )
+
+
+def star_graph(leaves: int) -> Graph:
+    """A star: centre ``'c'`` joined to leaves ``0..leaves-1``."""
+    return Graph.from_edges([("c", i) for i in range(leaves)])
+
+
+def theta_graph(num_paths: int, path_length: int) -> Graph:
+    """Two hubs ``'s'``/``'t'`` joined by ``num_paths`` disjoint paths.
+
+    Each path has ``path_length`` internal vertices; the graph has exactly
+    ``num_paths`` s-t paths.
+    """
+    g = Graph()
+    g.add_vertex("s")
+    g.add_vertex("t")
+    for p in range(num_paths):
+        prev: Vertex = "s"
+        for i in range(path_length):
+            v = ("p", p, i)
+            g.add_edge(prev, v)
+            prev = v
+        g.add_edge(prev, "t")
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows × cols`` grid; vertices are ``(r, c)`` pairs."""
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_vertex((r, c))
+            if r > 0:
+                g.add_edge((r - 1, c), (r, c))
+            if c > 0:
+                g.add_edge((r, c - 1), (r, c))
+    return g
+
+
+def gadget_chain(num_gadgets: int) -> Tuple[Graph, Vertex, Vertex]:
+    """A chain of ``num_gadgets`` diamonds between terminals ``s`` and ``t``.
+
+    Every diamond offers an independent binary choice, so the instance has
+    exactly ``2^num_gadgets`` minimal Steiner trees for ``W = {s, t}``
+    (equivalently s-t paths).  Returns ``(graph, s, t)``.
+    """
+    g = Graph()
+    s: Vertex = ("j", 0)
+    g.add_vertex(s)
+    for i in range(num_gadgets):
+        a, b = ("u", i), ("d", i)
+        nxt = ("j", i + 1)
+        g.add_edge(("j", i), a)
+        g.add_edge(("j", i), b)
+        g.add_edge(a, nxt)
+        g.add_edge(b, nxt)
+    return g, s, ("j", num_gadgets)
+
+
+# ----------------------------------------------------------------------
+# random families
+# ----------------------------------------------------------------------
+def random_tree(n: int, seed: int) -> Graph:
+    """A uniform-ish random tree on ``0..n-1`` (random attachment)."""
+    rng = random.Random(seed)
+    g = Graph()
+    g.add_vertex(0)
+    for v in range(1, n):
+        g.add_edge(rng.randrange(v), v)
+    return g
+
+
+def random_connected_graph(n: int, extra_edges: int, seed: int) -> Graph:
+    """A connected simple graph: random tree plus ``extra_edges`` chords.
+
+    Chords are sampled without replacement among non-tree, non-parallel
+    pairs; if the requested number exceeds the number of available pairs,
+    all of them are added (dense end of the sweep).
+    """
+    rng = random.Random(seed)
+    g = random_tree(n, seed)
+    present: Set[Tuple[int, int]] = set()
+    for edge in g.edges():
+        a, b = sorted((edge.u, edge.v))
+        present.add((a, b))
+    max_extra = n * (n - 1) // 2 - len(present)
+    budget = min(extra_edges, max_extra)
+    while budget > 0:
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a == b:
+            continue
+        key = (min(a, b), max(a, b))
+        if key in present:
+            continue
+        present.add(key)
+        g.add_edge(key[0], key[1])
+        budget -= 1
+    return g
+
+
+def random_terminals(
+    graph: Graph, count: int, seed: int, exclude: Sequence[Vertex] = ()
+) -> List[Vertex]:
+    """Sample ``count`` distinct terminals from ``graph`` deterministically."""
+    rng = random.Random(seed)
+    pool = [v for v in graph.vertices() if v not in set(exclude)]
+    if count > len(pool):
+        raise ValueError(f"cannot pick {count} terminals from {len(pool)} vertices")
+    return rng.sample(pool, count)
+
+
+def random_terminal_pairs(
+    graph: Graph, num_pairs: int, seed: int
+) -> List[Tuple[Vertex, Vertex]]:
+    """Sample distinct terminal pairs (for Steiner forest workloads)."""
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    pairs: List[Tuple[Vertex, Vertex]] = []
+    seen: Set[Tuple[Vertex, Vertex]] = set()
+    attempts = 0
+    while len(pairs) < num_pairs:
+        attempts += 1
+        if attempts > 100 * num_pairs + 100:
+            raise ValueError("could not sample enough distinct pairs")
+        a, b = rng.sample(vertices, 2)
+        key = (min(repr(a), repr(b)), max(repr(a), repr(b)))
+        if key in seen:
+            continue
+        seen.add(key)
+        pairs.append((a, b))
+    return pairs
+
+
+def random_rooted_digraph(
+    n: int, extra_arcs: int, seed: int, root: Vertex = 0
+) -> DiGraph:
+    """A digraph on ``0..n-1`` in which every vertex is reachable from root.
+
+    Built as a random out-arborescence from ``root`` plus ``extra_arcs``
+    random additional arcs (no self-loops, parallel arcs avoided).  This
+    matches the standing assumption of Section 5.2.
+    """
+    rng = random.Random(seed)
+    d = DiGraph()
+    d.add_vertex(root)
+    order = [root] + [v for v in range(n) if v != root]
+    for i in range(1, n):
+        d.add_arc(order[rng.randrange(i)], order[i])
+    present = {(arc.tail, arc.head) for arc in d.arcs()}
+    max_extra = n * (n - 1) - len(present)
+    budget = min(extra_arcs, max_extra)
+    while budget > 0:
+        a, b = rng.sample(order, 2)
+        if (a, b) in present:
+            continue
+        present.add((a, b))
+        d.add_arc(a, b)
+        budget -= 1
+    return d
+
+
+def random_bipartite_terminal_instance(
+    core_size: int, num_terminals: int, extra_edges: int, seed: int
+) -> Tuple[Graph, List[Vertex]]:
+    """Workload for terminal Steiner trees.
+
+    A connected core of non-terminal vertices plus ``num_terminals``
+    terminal vertices attached (each to ≥1 core vertex); terminals form an
+    independent set, matching the paper's normalization after Lemma 27.
+    Returns ``(graph, terminals)``.
+    """
+    rng = random.Random(seed)
+    g = random_connected_graph(core_size, extra_edges, seed)
+    terminals: List[Vertex] = []
+    for i in range(num_terminals):
+        w = ("w", i)
+        terminals.append(w)
+        attachments = rng.sample(range(core_size), min(core_size, rng.randint(1, 3)))
+        for a in attachments:
+            g.add_edge(w, a)
+    return g, terminals
+
+
+def random_line_graph_instance(
+    base_n: int, base_extra_edges: int, num_terminals: int, seed: int
+):
+    """Claw-free workload via Theorem 39.
+
+    Returns ``(base_graph, base_terminals, induced_instance)`` where the
+    induced instance's graph is claw-free apart from the added terminal
+    companions (which the enumerator treats as terminals and never branches
+    on).
+    """
+    from repro.graphs.linegraph import steiner_to_induced_instance
+
+    g = random_connected_graph(base_n, base_extra_edges, seed)
+    terminals = random_terminals(g, num_terminals, seed + 1)
+    return g, terminals, steiner_to_induced_instance(g, terminals)

@@ -1,0 +1,347 @@
+"""Undirected multigraph with stable edge identities.
+
+The enumeration algorithms in this package need three properties that rule
+out a plain ``dict[vertex, set[vertex]]`` adjacency structure:
+
+* **Multiedges.**  Contracting the edges of a partial Steiner forest
+  (``G/E(F)``, Section 5 of the paper) produces parallel edges, and those
+  parallel edges are semantically distinct: each corresponds to a different
+  original edge, and a pair of parallel edges is exactly what stops an edge
+  from being a bridge (Lemma 24).
+* **Stable edge ids.**  The one-to-one correspondence between
+  ``E(G) \\ E(F)`` and ``E(G/E(F))`` used throughout Section 5 is realised
+  by carrying the original integer edge id through contraction, so a path
+  found in the contracted graph can be mapped back to original edges in
+  O(length) time.
+* **O(1) edge deletion / restoration by id.**  The path enumerator of
+  Section 3 repeatedly removes a forbidden edge and a prefix of outgoing
+  edges and later restores them.
+
+:class:`Graph` therefore stores, for each vertex, a dict from incident edge
+id to the opposite endpoint.  All operations the algorithms rely on are
+O(1) or linear in the size of their output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Iterator, NamedTuple, Optional, Tuple
+
+from repro.exceptions import EdgeNotFound, SelfLoopError, VertexNotFound
+
+Vertex = Hashable
+
+
+class Edge(NamedTuple):
+    """An undirected edge with a stable integer identity.
+
+    The pair ``(u, v)`` is stored in insertion order; callers must treat it
+    as unordered.  Two ``Edge`` records with different ``eid`` are different
+    edges even if their endpoints coincide (multiedges).
+    """
+
+    eid: int
+    u: Vertex
+    v: Vertex
+
+    def other(self, vertex: Vertex) -> Vertex:
+        """Return the endpoint of this edge that is not ``vertex``."""
+        if vertex == self.u:
+            return self.v
+        if vertex == self.v:
+            return self.u
+        raise ValueError(f"vertex {vertex!r} is not an endpoint of {self}")
+
+    def endpoints(self) -> Tuple[Vertex, Vertex]:
+        """Return the endpoint pair ``(u, v)``."""
+        return (self.u, self.v)
+
+
+class Graph:
+    """A mutable undirected multigraph without self-loops.
+
+    Vertices are arbitrary hashable objects.  Edges are identified by
+    integer ids which remain valid across unrelated mutations and across
+    :meth:`copy` / :meth:`subgraph` / contraction, which makes it possible
+    to speak about "the same edge" in derived graphs.
+
+    Examples
+    --------
+    >>> g = Graph()
+    >>> e1 = g.add_edge("a", "b")
+    >>> e2 = g.add_edge("b", "c")
+    >>> sorted(g.neighbors("b"))
+    ['a', 'c']
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    """
+
+    __slots__ = ("_adj", "_edges", "_next_eid")
+
+    def __init__(self) -> None:
+        # vertex -> {eid -> opposite endpoint}
+        self._adj: Dict[Vertex, Dict[int, Vertex]] = {}
+        # eid -> (u, v)
+        self._edges: Dict[int, Tuple[Vertex, Vertex]] = {}
+        self._next_eid = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[Vertex, Vertex]], vertices: Iterable[Vertex] = ()
+    ) -> "Graph":
+        """Build a graph from an iterable of endpoint pairs.
+
+        ``vertices`` may list additional isolated vertices.  Edge ids are
+        assigned in iteration order starting from 0.
+        """
+        g = cls()
+        for v in vertices:
+            g.add_vertex(v)
+        for u, v in edges:
+            g.add_edge(u, v)
+        return g
+
+    def copy(self) -> "Graph":
+        """Return an independent copy sharing edge ids with ``self``."""
+        g = Graph()
+        g._adj = {v: dict(inc) for v, inc in self._adj.items()}
+        g._edges = dict(self._edges)
+        g._next_eid = self._next_eid
+        return g
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices, the paper's ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (counting multiplicities), the paper's ``m``."""
+        return len(self._edges)
+
+    @property
+    def size(self) -> int:
+        """``n + m``, the unit in which the paper states its delay bounds."""
+        return len(self._adj) + len(self._edges)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Graph n={self.num_vertices} m={self.num_edges}>"
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as :class:`Edge` records."""
+        for eid, (u, v) in self._edges.items():
+            yield Edge(eid, u, v)
+
+    def edge_ids(self) -> Iterator[int]:
+        """Iterate over all edge ids."""
+        return iter(self._edges)
+
+    def has_edge_id(self, eid: int) -> bool:
+        """Return True if an edge with id ``eid`` exists."""
+        return eid in self._edges
+
+    def edge(self, eid: int) -> Edge:
+        """Return the :class:`Edge` record for ``eid``."""
+        try:
+            u, v = self._edges[eid]
+        except KeyError:
+            raise EdgeNotFound(eid) from None
+        return Edge(eid, u, v)
+
+    def endpoints(self, eid: int) -> Tuple[Vertex, Vertex]:
+        """Return the endpoints of edge ``eid``."""
+        try:
+            return self._edges[eid]
+        except KeyError:
+            raise EdgeNotFound(eid) from None
+
+    def other_endpoint(self, eid: int, vertex: Vertex) -> Vertex:
+        """Return the endpoint of ``eid`` opposite to ``vertex``."""
+        u, v = self.endpoints(eid)
+        if vertex == u:
+            return v
+        if vertex == v:
+            return u
+        raise ValueError(f"vertex {vertex!r} is not an endpoint of edge {eid}")
+
+    def degree(self, vertex: Vertex) -> int:
+        """Number of edges incident to ``vertex`` (multiedges counted)."""
+        return len(self._incident(vertex))
+
+    def neighbors(self, vertex: Vertex) -> Iterator[Vertex]:
+        """Iterate over neighbours of ``vertex``.
+
+        A neighbour joined by ``k`` parallel edges is yielded ``k`` times;
+        use ``set(g.neighbors(v))`` for the paper's ``N_G(v)``.
+        """
+        return iter(self._incident(vertex).values())
+
+    def neighbor_set(self, vertex: Vertex) -> set:
+        """The paper's ``N_G(v)``: distinct neighbours of ``vertex``."""
+        return set(self._incident(vertex).values())
+
+    def incident(self, vertex: Vertex) -> Iterator[Edge]:
+        """Iterate over edges incident to ``vertex`` (the paper's Γ(v))."""
+        for eid, other in self._incident(vertex).items():
+            yield Edge(eid, vertex, other)
+
+    def incident_ids(self, vertex: Vertex) -> Iterator[int]:
+        """Iterate over ids of edges incident to ``vertex``."""
+        return iter(self._incident(vertex))
+
+    def has_edge_between(self, u: Vertex, v: Vertex) -> bool:
+        """Return True if at least one edge joins ``u`` and ``v``."""
+        inc_u = self._adj.get(u)
+        if inc_u is None:
+            return False
+        if len(inc_u) <= len(self._adj.get(v, ())):
+            return v in inc_u.values()
+        return u in self._adj[v].values()
+
+    def edges_between(self, u: Vertex, v: Vertex) -> Iterator[int]:
+        """Iterate over ids of all (parallel) edges joining ``u`` and ``v``."""
+        inc_u = self._adj.get(u, {})
+        for eid, other in inc_u.items():
+            if other == v:
+                yield eid
+
+    def incident_items(self, vertex: Vertex):
+        """``(eid, other_endpoint)`` pairs of incident edges.
+
+        Allocation-free accessor for hot loops.
+        """
+        return self._incident(vertex).items()
+
+    def _incident(self, vertex: Vertex) -> Dict[int, Vertex]:
+        try:
+            return self._adj[vertex]
+        except KeyError:
+            raise VertexNotFound(vertex) from None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> Vertex:
+        """Add ``vertex`` if not present; return it."""
+        if vertex not in self._adj:
+            self._adj[vertex] = {}
+        return vertex
+
+    def add_edge(self, u: Vertex, v: Vertex, eid: Optional[int] = None) -> int:
+        """Add an edge between ``u`` and ``v`` and return its id.
+
+        Missing endpoints are created.  Parallel edges are allowed;
+        self-loops are rejected.  An explicit ``eid`` may be supplied (used
+        when deriving graphs that share edge identity with a parent graph);
+        it must be unused.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        if eid is None:
+            eid = self._next_eid
+            self._next_eid += 1
+        else:
+            if eid in self._edges:
+                raise ValueError(f"edge id {eid} already in use")
+            if eid >= self._next_eid:
+                self._next_eid = eid + 1
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[u][eid] = v
+        self._adj[v][eid] = u
+        self._edges[eid] = (u, v)
+        return eid
+
+    def remove_edge(self, eid: int) -> Tuple[Vertex, Vertex]:
+        """Remove edge ``eid``; return its endpoints."""
+        try:
+            u, v = self._edges.pop(eid)
+        except KeyError:
+            raise EdgeNotFound(eid) from None
+        del self._adj[u][eid]
+        del self._adj[v][eid]
+        return (u, v)
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and all incident edges."""
+        incident = self._incident(vertex)
+        for eid in list(incident):
+            self.remove_edge(eid)
+        del self._adj[vertex]
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Return the induced subgraph ``G[U]`` (edge ids preserved)."""
+        keep = set(vertices)
+        g = Graph()
+        for v in keep:
+            if v not in self._adj:
+                raise VertexNotFound(v)
+            g.add_vertex(v)
+        for eid, (u, v) in self._edges.items():
+            if u in keep and v in keep:
+                g.add_edge(u, v, eid=eid)
+        return g
+
+    def edge_subgraph(self, eids: Iterable[int]) -> "Graph":
+        """Return the subgraph ``G[F]`` spanned by the given edges.
+
+        Matches the paper's notation ``G[F] = (V(F), F)``: only endpoints of
+        the selected edges are included.
+        """
+        g = Graph()
+        for eid in eids:
+            u, v = self.endpoints(eid)
+            g.add_edge(u, v, eid=eid)
+        return g
+
+    def without_vertices(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Return ``G[V \\ X]`` for the given vertex set ``X``."""
+        drop = set(vertices)
+        return self.subgraph(v for v in self._adj if v not in drop)
+
+    def to_directed(self) -> "Any":
+        """Return the directed version: each undirected edge becomes two arcs.
+
+        Arc ids are derived from edge ids: edge ``e`` becomes arcs
+        ``2e`` (u→v) and ``2e+1`` (v→u), so ``arc // 2`` recovers the
+        original undirected edge.  This is the reduction the paper uses to
+        run the directed path enumerator on undirected graphs.
+        """
+        from repro.graphs.digraph import DiGraph
+
+        d = DiGraph()
+        for v in self._adj:
+            d.add_vertex(v)
+        for eid, (u, v) in self._edges.items():
+            d.add_arc(u, v, aid=2 * eid)
+            d.add_arc(v, u, aid=2 * eid + 1)
+        return d
+
+    # ------------------------------------------------------------------
+    # conversion / equality helpers (used by tests and examples)
+    # ------------------------------------------------------------------
+    def edge_endpoint_multiset(self) -> Dict[Tuple[Vertex, Vertex], int]:
+        """Multiset of normalized endpoint pairs (for structural equality)."""
+        counts: Dict[Tuple[Vertex, Vertex], int] = {}
+        for u, v in self._edges.values():
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,163 @@
+"""Interop: convert between :mod:`repro` graphs, networkx, and DOT text.
+
+Downstream users usually arrive with a :mod:`networkx` graph and want to
+leave with something they can visualize.  This module is that bridge:
+
+* :func:`to_networkx` / :func:`from_networkx` — lossless conversion for
+  undirected multigraphs (edge ids are carried as edge keys);
+* :func:`to_networkx_digraph` / :func:`from_networkx_digraph` — the
+  directed counterparts;
+* :func:`to_dot` / :func:`solution_to_dot` — Graphviz DOT text, the
+  latter highlighting a solution edge set and the terminals (how the
+  examples render enumerated Steiner trees).
+
+networkx is imported lazily so the core library keeps zero hard
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+def to_networkx(graph: Graph):
+    """Convert to ``networkx.MultiGraph``; edge ids become edge keys.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges([("a", "b"), ("a", "b")])
+    >>> nxg = to_networkx(g)
+    >>> nxg.number_of_edges("a", "b")
+    2
+    """
+    import networkx as nx
+
+    out = nx.MultiGraph()
+    out.add_nodes_from(graph.vertices())
+    for edge in graph.edges():
+        out.add_edge(edge.u, edge.v, key=edge.eid)
+    return out
+
+
+def from_networkx(nx_graph) -> Tuple[Graph, dict]:
+    """Convert any undirected networkx graph.
+
+    Returns ``(graph, key_of)`` where ``key_of[eid]`` maps each new edge
+    id back to the networkx edge tuple it came from (``(u, v)`` for
+    plain graphs, ``(u, v, key)`` for multigraphs).  Self-loops are
+    rejected (the library's graphs never carry them).
+    """
+    if nx_graph.is_directed():
+        raise InvalidInstanceError("use from_networkx_digraph for directed graphs")
+    graph = Graph()
+    key_of: dict = {}
+    for v in nx_graph.nodes:
+        graph.add_vertex(v)
+    if nx_graph.is_multigraph():
+        edges = ((u, v, (u, v, k)) for u, v, k in nx_graph.edges(keys=True))
+    else:
+        edges = ((u, v, (u, v)) for u, v in nx_graph.edges())
+    for u, v, original in edges:
+        if u == v:
+            raise InvalidInstanceError(f"self-loop at {u!r} is not representable")
+        eid = graph.add_edge(u, v)
+        key_of[eid] = original
+    return graph, key_of
+
+
+def to_networkx_digraph(digraph: DiGraph):
+    """Convert to ``networkx.MultiDiGraph``; arc ids become edge keys."""
+    import networkx as nx
+
+    out = nx.MultiDiGraph()
+    out.add_nodes_from(digraph.vertices())
+    for arc in digraph.arcs():
+        out.add_edge(arc.tail, arc.head, key=arc.aid)
+    return out
+
+
+def from_networkx_digraph(nx_graph) -> Tuple[DiGraph, dict]:
+    """Convert any directed networkx graph (see :func:`from_networkx`)."""
+    if not nx_graph.is_directed():
+        raise InvalidInstanceError("use from_networkx for undirected graphs")
+    digraph = DiGraph()
+    key_of: dict = {}
+    for v in nx_graph.nodes:
+        digraph.add_vertex(v)
+    if nx_graph.is_multigraph():
+        edges = ((u, v, (u, v, k)) for u, v, k in nx_graph.edges(keys=True))
+    else:
+        edges = ((u, v, (u, v)) for u, v in nx_graph.edges())
+    for u, v, original in edges:
+        if u == v:
+            raise InvalidInstanceError(f"self-loop at {u!r} is not representable")
+        aid = digraph.add_arc(u, v)
+        key_of[aid] = original
+    return digraph, key_of
+
+
+def _dot_id(value) -> str:
+    text = str(value).replace('"', r"\"")
+    return f'"{text}"'
+
+
+def to_dot(
+    graph: Graph,
+    name: str = "G",
+    weights: Optional[Mapping[int, float]] = None,
+) -> str:
+    """Plain Graphviz DOT text for an undirected graph.
+
+    Examples
+    --------
+    >>> print(to_dot(Graph.from_edges([("a", "b")])))
+    graph G {
+      "a" -- "b";
+    }
+    """
+    lines = [f"graph {name} {{"]
+    used: Set[Vertex] = set()
+    for edge in sorted(graph.edges(), key=lambda e: e.eid):
+        used.update(edge.endpoints())
+        label = "" if weights is None else f' [label="{weights.get(edge.eid, 1):g}"]'
+        lines.append(f"  {_dot_id(edge.u)} -- {_dot_id(edge.v)}{label};")
+    for v in graph.vertices():
+        if v not in used:
+            lines.append(f"  {_dot_id(v)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def solution_to_dot(
+    graph: Graph,
+    solution: Iterable[int],
+    terminals: Sequence[Vertex] = (),
+    name: str = "steiner",
+) -> str:
+    """DOT text with the solution edges bold/red and terminals boxed.
+
+    The non-solution edges are drawn dashed and grey so a rendered
+    picture reads like the figures in Steiner-tree papers.
+    """
+    chosen = set(solution)
+    for eid in chosen:
+        if not graph.has_edge_id(eid):
+            raise InvalidInstanceError(f"solution edge {eid} is not in the graph")
+    terminal_set = set(terminals)
+    lines = [f"graph {name} {{"]
+    for w in sorted(terminal_set, key=repr):
+        lines.append(f"  {_dot_id(w)} [shape=box, style=bold];")
+    for edge in sorted(graph.edges(), key=lambda e: e.eid):
+        if edge.eid in chosen:
+            style = ' [color=red, penwidth=2]'
+        else:
+            style = ' [color=grey, style=dashed]'
+        lines.append(f"  {_dot_id(edge.u)} -- {_dot_id(edge.v)}{style};")
+    lines.append("}")
+    return "\n".join(lines)

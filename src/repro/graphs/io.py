@@ -1,0 +1,159 @@
+"""Reading and writing graphs (edge lists, weighted edge lists, JSON).
+
+The CLI and examples exchange graphs as plain text so results can be
+reproduced from the shell.  Two formats:
+
+* **edge list** — one edge per line, ``u v`` (or ``tail head`` for
+  digraphs), optional third column = weight, ``#`` comments.  Vertices
+  are strings.
+* **data-graph JSON** — ``{"nodes": {name: [keywords...]}, "links":
+  [[u, v], ...]}`` for :class:`repro.datagraph.model.DataGraph`.
+
+Loaders validate eagerly and raise :class:`GraphFormatError` with the
+offending line so a typo in a 10k-line file is findable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional, TextIO, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+
+class GraphFormatError(ReproError, ValueError):
+    """A graph file could not be parsed."""
+
+    def __init__(self, source: str, line_no: int, message: str):
+        super().__init__(f"{source}:{line_no}: {message}")
+        self.source = source
+        self.line_no = line_no
+
+
+def _iter_records(handle: TextIO, source: str):
+    for line_no, line in enumerate(handle, 1):
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        yield line_no, body.split()
+
+
+def read_edge_list(
+    handle: TextIO, source: str = "<edge list>"
+) -> Tuple[Graph, Dict[int, float]]:
+    """Parse an undirected edge list; return ``(graph, weights)``.
+
+    Weights default to 1.0 when the third column is absent.
+    """
+    g = Graph()
+    weights: Dict[int, float] = {}
+    for line_no, parts in _iter_records(handle, source):
+        if len(parts) < 2 or len(parts) > 3:
+            raise GraphFormatError(source, line_no, f"expected 'u v [w]', got {parts!r}")
+        weight = 1.0
+        if len(parts) == 3:
+            try:
+                weight = float(parts[2])
+            except ValueError:
+                raise GraphFormatError(
+                    source, line_no, f"bad weight {parts[2]!r}"
+                ) from None
+        if parts[0] == parts[1]:
+            raise GraphFormatError(source, line_no, "self-loops are not allowed")
+        eid = g.add_edge(parts[0], parts[1])
+        weights[eid] = weight
+    return g, weights
+
+
+def read_arc_list(
+    handle: TextIO, source: str = "<arc list>"
+) -> Tuple[DiGraph, Dict[int, float]]:
+    """Parse a directed arc list; return ``(digraph, weights)``."""
+    d = DiGraph()
+    weights: Dict[int, float] = {}
+    for line_no, parts in _iter_records(handle, source):
+        if len(parts) < 2 or len(parts) > 3:
+            raise GraphFormatError(
+                source, line_no, f"expected 'tail head [w]', got {parts!r}"
+            )
+        weight = 1.0
+        if len(parts) == 3:
+            try:
+                weight = float(parts[2])
+            except ValueError:
+                raise GraphFormatError(
+                    source, line_no, f"bad weight {parts[2]!r}"
+                ) from None
+        if parts[0] == parts[1]:
+            raise GraphFormatError(source, line_no, "self-loops are not allowed")
+        aid = d.add_arc(parts[0], parts[1])
+        weights[aid] = weight
+    return d, weights
+
+
+def write_edge_list(
+    graph: Graph, handle: TextIO, weights: Optional[Dict[int, float]] = None
+) -> None:
+    """Write an undirected graph as an edge list (round-trips with
+    :func:`read_edge_list` up to edge ids)."""
+    for edge in graph.edges():
+        if weights is not None and edge.eid in weights:
+            handle.write(f"{edge.u} {edge.v} {weights[edge.eid]}\n")
+        else:
+            handle.write(f"{edge.u} {edge.v}\n")
+
+
+def write_arc_list(
+    digraph: DiGraph, handle: TextIO, weights: Optional[Dict[int, float]] = None
+) -> None:
+    """Write a digraph as an arc list."""
+    for arc in digraph.arcs():
+        if weights is not None and arc.aid in weights:
+            handle.write(f"{arc.tail} {arc.head} {weights[arc.aid]}\n")
+        else:
+            handle.write(f"{arc.tail} {arc.head}\n")
+
+
+def read_data_graph(handle: TextIO, source: str = "<data graph>"):
+    """Parse a data-graph JSON document.
+
+    Schema: ``{"nodes": {name: [keywords]}, "links": [[u, v], ...]}``.
+    """
+    from repro.datagraph.model import DataGraph
+
+    try:
+        doc = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise GraphFormatError(source, exc.lineno, exc.msg) from None
+    if not isinstance(doc, dict) or "nodes" not in doc:
+        raise GraphFormatError(source, 1, "missing 'nodes' object")
+    dg = DataGraph()
+    for name, keywords in doc["nodes"].items():
+        if not isinstance(keywords, list):
+            raise GraphFormatError(source, 1, f"node {name!r}: keywords must be a list")
+        dg.add_node(name, keywords)
+    for link in doc.get("links", []):
+        if not (isinstance(link, list) and len(link) == 2):
+            raise GraphFormatError(source, 1, f"bad link {link!r}")
+        u, v = link
+        if u not in dg.graph or v not in dg.graph:
+            raise GraphFormatError(source, 1, f"link {link!r} references unknown node")
+        dg.add_link(u, v)
+    return dg
+
+
+def write_data_graph(datagraph, handle: TextIO) -> None:
+    """Write a data graph as JSON (round-trips with
+    :func:`read_data_graph`)."""
+    doc = {
+        "nodes": {
+            str(v): sorted(datagraph.keywords_of(v)) for v in datagraph.graph.vertices()
+        },
+        "links": [
+            [str(e.u), str(e.v)] for e in datagraph.graph.edges()
+        ],
+    }
+    json.dump(doc, handle, indent=2, sort_keys=True)
+    handle.write("\n")

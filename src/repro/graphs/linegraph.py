@@ -1,0 +1,137 @@
+"""Line graphs and claw detection.
+
+Section 7 (Theorem 39) reduces minimal Steiner tree enumeration to minimal
+*induced* Steiner subgraph enumeration on a graph built from the line
+graph: every edge of ``G`` becomes a vertex, and every terminal ``w``
+gains a pendant-side companion ``w'`` adjacent to the line-graph vertices
+of the edges incident to ``w``.  Since line graphs are claw-free and the
+construction preserves claw-freeness around the added terminals only if
+handled as the paper describes, this module provides:
+
+* :func:`line_graph` — the line graph ``L(G)`` with vertices labelled by
+  the originating edge ids;
+* :func:`steiner_to_induced_instance` — the full Theorem 39 construction;
+* :func:`find_claw` / :func:`is_claw_free` — detection of induced
+  ``K_{1,3}`` subgraphs, used to validate inputs of the claw-free
+  enumerator (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class LineGraphVertex:
+    """A vertex of a line graph: stands for edge ``eid`` of the base graph.
+
+    A frozen dataclass rather than a NamedTuple so that it never compares
+    equal to a :class:`TerminalVertex` carrying the same payload.
+    """
+
+    eid: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"e{self.eid}"
+
+
+@dataclass(frozen=True)
+class TerminalVertex:
+    """The companion vertex ``w'`` added for terminal ``w`` (Theorem 39)."""
+
+    terminal: Vertex
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"t({self.terminal!r})"
+
+
+def line_graph(graph: Graph) -> Graph:
+    """The line graph ``L(G)``.
+
+    Vertices are :class:`LineGraphVertex` records wrapping the original
+    edge ids; two are adjacent iff the original edges share an endpoint.
+    Parallel original edges share *both* endpoints and yield a single
+    line-graph edge (simple graph output).
+    """
+    lg = Graph()
+    for edge in graph.edges():
+        lg.add_vertex(LineGraphVertex(edge.eid))
+    for v in graph.vertices():
+        incident = [e.eid for e in graph.incident(v)]
+        for i, a in enumerate(incident):
+            for b in incident[i + 1 :]:
+                la, lb = LineGraphVertex(a), LineGraphVertex(b)
+                if not lg.has_edge_between(la, lb):
+                    lg.add_edge(la, lb)
+    return lg
+
+
+class InducedInstance(NamedTuple):
+    """Theorem 39 instance: graph ``H``, terminals ``W_H`` and back-maps."""
+
+    graph: Graph
+    terminals: Tuple[Vertex, ...]
+    edge_of_vertex: Dict[Vertex, int]  # LineGraphVertex -> original edge id
+
+
+def steiner_to_induced_instance(
+    graph: Graph, terminals: Sequence[Vertex]
+) -> InducedInstance:
+    """Build ``(H, W_H)`` from ``(G, W)`` per Theorem 39.
+
+    ``H`` is ``L(G)`` plus one :class:`TerminalVertex` ``w'`` per terminal
+    ``w``, adjacent to the line-graph vertices of all edges in ``Γ_G(w)``.
+    A vertex set ``V_T ∪ W_H`` induces a connected Steiner subgraph of
+    ``(H, W_H)`` iff the corresponding edge set ``T`` is a connected
+    Steiner subgraph of ``(G, W)``.
+    """
+    h = line_graph(graph)
+    edge_of_vertex = {LineGraphVertex(e.eid): e.eid for e in graph.edges()}
+    terms: List[Vertex] = []
+    for w in terminals:
+        wv = TerminalVertex(w)
+        h.add_vertex(wv)
+        terms.append(wv)
+        for edge in graph.incident(w):
+            h.add_edge(wv, LineGraphVertex(edge.eid))
+    return InducedInstance(h, tuple(terms), edge_of_vertex)
+
+
+def find_claw(
+    graph: Graph,
+) -> Optional[Tuple[Vertex, Tuple[Vertex, Vertex, Vertex]]]:
+    """Find an induced ``K_{1,3}``: a centre with 3 pairwise non-adjacent
+    neighbours.  Returns ``(centre, (a, b, c))`` or ``None``.
+
+    Runs in O(sum_v deg(v)^3) worst case, which is fine for the test and
+    validation workloads this is used on; the enumeration algorithms never
+    call it in their inner loops.
+    """
+    for v in graph.vertices():
+        neigh = list(graph.neighbor_set(v))
+        if len(neigh) < 3:
+            continue
+        neigh_sets = {u: graph.neighbor_set(u) for u in neigh}
+        k = len(neigh)
+        for i in range(k):
+            a = neigh[i]
+            for j in range(i + 1, k):
+                b = neigh[j]
+                if b in neigh_sets[a]:
+                    continue
+                for l in range(j + 1, k):
+                    c = neigh[l]
+                    if c in neigh_sets[a] or c in neigh_sets[b]:
+                        continue
+                    return (v, (a, b, c))
+    return None
+
+
+def is_claw_free(graph: Graph) -> bool:
+    """True iff ``graph`` contains no induced ``K_{1,3}``."""
+    return find_claw(graph) is None

@@ -1,0 +1,219 @@
+"""Weighted and unweighted shortest paths on :class:`Graph` / :class:`DiGraph`.
+
+The enumeration paper treats paths purely structurally, but several of the
+works it builds on are *ranked* path problems: Yen [35], Eppstein [12],
+Hershberger et al. [18] all enumerate paths by weight, and the
+Kimelfeld–Sagiv keyword-search systems rank K-fragments by weight.  This
+module supplies the shortest-path substrate those layers need:
+
+* :func:`dijkstra` / :func:`dijkstra_directed` — single-source distances
+  with parent pointers, optionally stopping early at a target;
+* :func:`shortest_path` / :func:`shortest_path_directed` — one optimal
+  path as a vertex sequence plus its edge ids;
+* :func:`bfs_distances` — unweighted distances (weight 1 per edge).
+
+Weights are mappings ``edge id -> non-negative number``; a missing id
+defaults to 1, so unweighted graphs need no weight table at all.  Ties
+between equal-weight paths are broken deterministically by edge id so
+that every function in this module is reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import InvalidInstanceError, NoSolutionError, VertexNotFound
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+Weight = float
+
+#: parent record: (edge id used to reach the vertex, predecessor vertex)
+Parent = Tuple[int, Hashable]
+
+
+def _weight_of(weights: Optional[Mapping[int, Weight]], eid: int) -> Weight:
+    if weights is None:
+        return 1.0
+    w = weights.get(eid, 1.0)
+    if w < 0:
+        raise InvalidInstanceError(f"edge {eid} has negative weight {w}")
+    return w
+
+
+def _run_dijkstra(
+    items_of,
+    sources: Iterable[Vertex],
+    weights: Optional[Mapping[int, Weight]],
+    target: Optional[Vertex],
+) -> Tuple[Dict[Vertex, Weight], Dict[Vertex, Parent]]:
+    """Shared Dijkstra core over an adjacency accessor.
+
+    ``items_of(v)`` yields ``(eid, neighbour)`` pairs.  Ties are broken by
+    (distance, edge id of the incoming edge) which makes parent pointers
+    deterministic regardless of hash seeds.
+    """
+    dist: Dict[Vertex, Weight] = {}
+    parent: Dict[Vertex, Parent] = {}
+    heap: List[Tuple[Weight, int, Vertex]] = []
+    for s in sources:
+        dist[s] = 0.0
+        heapq.heappush(heap, (0.0, -1, s))
+    settled = set()
+    while heap:
+        d, _tie, v = heapq.heappop(heap)
+        if v in settled or d > dist.get(v, float("inf")):
+            continue
+        settled.add(v)
+        if target is not None and v == target:
+            break
+        for eid, u in items_of(v):
+            nd = d + _weight_of(weights, eid)
+            du = dist.get(u)
+            if du is None or nd < du or (nd == du and u in parent and eid < parent[u][0]):
+                dist[u] = nd
+                parent[u] = (eid, v)
+                heapq.heappush(heap, (nd, eid, u))
+    return dist, parent
+
+
+def dijkstra(
+    graph: Graph,
+    source: Vertex,
+    weights: Optional[Mapping[int, Weight]] = None,
+    target: Optional[Vertex] = None,
+) -> Tuple[Dict[Vertex, Weight], Dict[Vertex, Parent]]:
+    """Single-source shortest distances in an undirected graph.
+
+    Returns ``(dist, parent)`` where ``parent[v] = (eid, prev)`` is the
+    last edge of a shortest ``source``-``v`` path.  If ``target`` is given
+    the search stops as soon as the target is settled (its distance and
+    parent chain are still exact).
+
+    Examples
+    --------
+    >>> g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+    >>> dist, parent = dijkstra(g, "a", {0: 1.0, 1: 1.0, 2: 5.0})
+    >>> dist["c"]
+    2.0
+    """
+    if source not in graph:
+        raise VertexNotFound(source)
+    return _run_dijkstra(graph.incident_items, [source], weights, target)
+
+
+def dijkstra_directed(
+    digraph: DiGraph,
+    source: Vertex,
+    weights: Optional[Mapping[int, Weight]] = None,
+    target: Optional[Vertex] = None,
+) -> Tuple[Dict[Vertex, Weight], Dict[Vertex, Parent]]:
+    """Single-source shortest distances along arcs of a digraph."""
+    if source not in digraph:
+        raise VertexNotFound(source)
+    return _run_dijkstra(digraph.out_items, [source], weights, target)
+
+
+def multi_source_dijkstra(
+    graph: Graph,
+    sources: Iterable[Vertex],
+    weights: Optional[Mapping[int, Weight]] = None,
+) -> Tuple[Dict[Vertex, Weight], Dict[Vertex, Parent]]:
+    """Distances from the nearest of several sources (used by ranked mode)."""
+    srcs = list(dict.fromkeys(sources))
+    if not srcs:
+        raise InvalidInstanceError("at least one source is required")
+    for s in srcs:
+        if s not in graph:
+            raise VertexNotFound(s)
+    return _run_dijkstra(graph.incident_items, srcs, weights, None)
+
+
+def _rebuild(
+    parent: Mapping[Vertex, Parent], source_set, target: Vertex
+) -> Tuple[List[Vertex], List[int]]:
+    vertices = [target]
+    edges: List[int] = []
+    v = target
+    while v not in source_set:
+        eid, prev = parent[v]
+        edges.append(eid)
+        vertices.append(prev)
+        v = prev
+    vertices.reverse()
+    edges.reverse()
+    return vertices, edges
+
+
+def shortest_path(
+    graph: Graph,
+    source: Vertex,
+    target: Vertex,
+    weights: Optional[Mapping[int, Weight]] = None,
+) -> Tuple[Weight, List[Vertex], List[int]]:
+    """One shortest ``source``-``target`` path in an undirected graph.
+
+    Returns ``(weight, vertex sequence, edge ids)``.  Raises
+    :class:`NoSolutionError` when the target is unreachable.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges([("a", "b"), ("b", "c")])
+    >>> shortest_path(g, "a", "c")
+    (2.0, ['a', 'b', 'c'], [0, 1])
+    """
+    if target not in graph:
+        raise VertexNotFound(target)
+    dist, parent = dijkstra(graph, source, weights, target=target)
+    if target not in dist:
+        raise NoSolutionError(f"no path from {source!r} to {target!r}")
+    vertices, edges = _rebuild(parent, {source}, target)
+    return dist[target], vertices, edges
+
+
+def shortest_path_directed(
+    digraph: DiGraph,
+    source: Vertex,
+    target: Vertex,
+    weights: Optional[Mapping[int, Weight]] = None,
+) -> Tuple[Weight, List[Vertex], List[int]]:
+    """One shortest directed ``source``-``target`` path (weight, vertices, arc ids)."""
+    if target not in digraph:
+        raise VertexNotFound(target)
+    dist, parent = dijkstra_directed(digraph, source, weights, target=target)
+    if target not in dist:
+        raise NoSolutionError(f"no directed path from {source!r} to {target!r}")
+    vertices, edges = _rebuild(parent, {source}, target)
+    return dist[target], vertices, edges
+
+
+def bfs_distances(graph: Graph, source: Vertex) -> Dict[Vertex, int]:
+    """Unweighted hop distances from ``source`` (undirected)."""
+    if source not in graph:
+        raise VertexNotFound(source)
+    dist = {source: 0}
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if u not in dist:
+                    dist[u] = dist[v] + 1
+                    nxt.append(u)
+        frontier = nxt
+    return dist
+
+
+def eccentricity(graph: Graph, vertex: Vertex) -> int:
+    """Maximum hop distance from ``vertex`` to any reachable vertex."""
+    dist = bfs_distances(graph, vertex)
+    return max(dist.values())
+
+
+def path_weight(
+    weights: Optional[Mapping[int, Weight]], edge_ids: Iterable[int]
+) -> Weight:
+    """Total weight of an edge id sequence under ``weights`` (default 1/edge)."""
+    return sum(_weight_of(weights, eid) for eid in edge_ids)

@@ -1,0 +1,204 @@
+"""Spanning trees, leaf pruning and minimal Steiner completions.
+
+Lemma 13 (and its analogues, Lemmas 22, 28 and 33) guarantee that a
+partial solution can always be extended to a minimal solution.  The proof
+is constructive and the improved enumeration tree executes it at every
+node: take a spanning tree containing the partial tree, then repeatedly
+strip non-terminal leaves (Proposition 3).  These helpers implement that
+machinery in O(n + m).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import NoSolutionError, NotATreeError
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+def is_forest(graph: Graph) -> bool:
+    """True if ``graph`` has no cycles (multiedges count as cycles)."""
+    seen: Set[Vertex] = set()
+    for root in graph.vertices():
+        if root in seen:
+            continue
+        seen.add(root)
+        stack: List[Tuple[Vertex, Optional[int]]] = [(root, None)]
+        while stack:
+            v, enter_eid = stack.pop()
+            for edge in graph.incident(v):
+                if edge.eid == enter_eid:
+                    continue
+                u = edge.other(v)
+                if u in seen:
+                    return False
+                seen.add(u)
+                stack.append((u, edge.eid))
+    return True
+
+
+def is_tree(graph: Graph) -> bool:
+    """True if ``graph`` is connected and acyclic (the empty graph is not)."""
+    n = graph.num_vertices
+    if n == 0:
+        return False
+    return graph.num_edges == n - 1 and is_forest(graph)
+
+
+def spanning_tree_edges(
+    graph: Graph,
+    required: Iterable[int] = (),
+    meter=None,
+) -> Set[int]:
+    """Edge ids of a spanning forest of ``graph`` containing ``required``.
+
+    ``required`` must itself be acyclic; a :class:`NotATreeError` is raised
+    otherwise.  One spanning tree per connected component is produced
+    (i.e. a maximal spanning forest).  Runs in O(n + m α(n)).
+    """
+    parent: Dict[Vertex, Vertex] = {v: v for v in graph.vertices()}
+
+    def find(x: Vertex) -> Vertex:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    chosen: Set[int] = set()
+    for eid in required:
+        u, v = graph.endpoints(eid)
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            raise NotATreeError("required edge set contains a cycle")
+        parent[ru] = rv
+        chosen.add(eid)
+
+    for edge in graph.edges():
+        if meter is not None:
+            meter.tick()
+        if edge.eid in chosen:
+            continue
+        ru, rv = find(edge.u), find(edge.v)
+        if ru != rv:
+            parent[ru] = rv
+            chosen.add(edge.eid)
+    return chosen
+
+
+def prune_non_terminal_leaves(
+    graph: Graph,
+    tree_eids: Iterable[int],
+    terminals: Iterable[Vertex],
+    protected: Iterable[Vertex] = (),
+    meter=None,
+) -> Set[int]:
+    """Strip non-terminal leaves from a forest until none remain.
+
+    ``tree_eids`` must describe a forest inside ``graph``.  Leaves that are
+    terminals, or listed in ``protected``, are never removed.  Returns the
+    surviving edge ids — by Proposition 3 this is a minimal Steiner tree
+    whenever the input was a Steiner tree.  Runs in O(size of the forest).
+    """
+    keep: Set[int] = set(tree_eids)
+    terminal_set = set(terminals)
+    protected_set = set(protected)
+
+    degree: Dict[Vertex, int] = {}
+    incident: Dict[Vertex, List[int]] = {}
+    for eid in keep:
+        for v in graph.endpoints(eid):
+            degree[v] = degree.get(v, 0) + 1
+            incident.setdefault(v, []).append(eid)
+
+    removable = [
+        v
+        for v, d in degree.items()
+        if d == 1 and v not in terminal_set and v not in protected_set
+    ]
+    while removable:
+        v = removable.pop()
+        if degree.get(v, 0) != 1:
+            continue
+        # find the one surviving incident edge
+        leaf_edge = None
+        for eid in incident[v]:
+            if eid in keep:
+                leaf_edge = eid
+                break
+        if leaf_edge is None:  # pragma: no cover - defensive
+            continue
+        if meter is not None:
+            meter.tick()
+        keep.discard(leaf_edge)
+        degree[v] = 0
+        u = graph.other_endpoint(leaf_edge, v)
+        degree[u] -= 1
+        if degree[u] == 1 and u not in terminal_set and u not in protected_set:
+            removable.append(u)
+    return keep
+
+
+def minimal_steiner_completion(
+    graph: Graph,
+    terminals: Sequence[Vertex],
+    partial_eids: Iterable[int] = (),
+    meter=None,
+) -> Set[int]:
+    """A minimal Steiner tree of ``(G, W)`` containing the partial tree.
+
+    Implements the constructive proof of Lemma 13: spanning tree containing
+    the partial tree, then strip non-terminal leaves.  The partial tree's
+    own leaves must all be terminals (the invariant Algorithm 2 maintains),
+    which guarantees none of its edges are stripped.
+
+    Raises
+    ------
+    NoSolutionError
+        If the terminals do not all lie in one connected component.
+    """
+    terminals = list(terminals)
+    if not terminals:
+        return set()
+    tree = spanning_tree_edges(graph, required=partial_eids, meter=meter)
+    # check connectivity of terminals within the spanning forest
+    sub = graph.edge_subgraph(tree)
+    for w in terminals:
+        sub.add_vertex(w) if w in graph else None
+    root = terminals[0]
+    if root not in sub:
+        if all(w == root for w in terminals):
+            return set()
+        raise NoSolutionError("terminals are not connected in the graph")
+    from repro.graphs.traversal import component_of
+
+    comp = component_of(sub, root)
+    for w in terminals:
+        if w not in comp:
+            raise NoSolutionError("terminals are not connected in the graph")
+    restricted = {
+        eid for eid in tree if graph.endpoints(eid)[0] in comp
+    }
+    return prune_non_terminal_leaves(graph, restricted, terminals, meter=meter)
+
+
+def tree_leaves(graph: Graph, tree_eids: Iterable[int]) -> Set[Vertex]:
+    """Degree-1 vertices of the forest described by ``tree_eids``."""
+    degree: Dict[Vertex, int] = {}
+    for eid in tree_eids:
+        for v in graph.endpoints(eid):
+            degree[v] = degree.get(v, 0) + 1
+    return {v for v, d in degree.items() if d == 1}
+
+
+def tree_vertices(graph: Graph, tree_eids: Iterable[int]) -> Set[Vertex]:
+    """All endpoints of the given edge set (the paper's ``V(F)``)."""
+    vertices: Set[Vertex] = set()
+    for eid in tree_eids:
+        u, v = graph.endpoints(eid)
+        vertices.add(u)
+        vertices.add(v)
+    return vertices

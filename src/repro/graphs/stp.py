@@ -1,0 +1,338 @@
+"""SteinLib STP file format: the de-facto interchange format for Steiner
+tree instances.
+
+The practical Steiner tree literature the paper cites ([2], [20], [30])
+evaluates on SteinLib, whose ``.stp`` files carry a graph, per-edge
+weights and a terminal set.  This module reads and writes that format so
+the enumerators can be pointed at standard instances (and so users can
+export the synthetic workloads of :mod:`repro.bench.workloads` for other
+tools):
+
+* :class:`STPInstance` — graph + terminals + weights + metadata;
+* :func:`read_stp` / :func:`parse_stp` — file / string parsers;
+* :func:`write_stp` / :func:`format_stp` — serializers;
+* :func:`stp_from_parts` — build an instance from library objects.
+
+Supported sections: ``Comment`` (free-form key/values), ``Graph``
+(``Nodes``/``Edges``/``Arcs`` declarations, ``E`` and ``A`` lines),
+``Terminals`` (``T`` lines, optional ``Root``), ``Coordinates``
+(``DD``/``D`` lines, preserved but unused).  Arc (``A``) lines build a
+:class:`~repro.graphs.digraph.DiGraph`; edge (``E``) lines build a
+:class:`~repro.graphs.graph.Graph`; mixing the two is rejected.  Vertex
+labels are the 1-based integers of the file.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+#: magic number on the first line of every STP file
+STP_MAGIC = "33D32945"
+
+GraphLike = Union[Graph, DiGraph]
+
+
+class STPFormatError(InvalidInstanceError):
+    """Raised when an STP file violates the format."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+@dataclass
+class STPInstance:
+    """A parsed SteinLib instance.
+
+    Attributes
+    ----------
+    graph:
+        :class:`Graph` for ``E``-line instances, :class:`DiGraph` for
+        ``A``-line instances.  Vertices are 1-based ints from the file.
+    terminals:
+        Terminal vertices in file order.
+    weights:
+        Edge/arc id → weight, ids as assigned by insertion order.
+    root:
+        Optional root terminal (directed instances).
+    name / comments:
+        ``Name`` value and the remaining Comment-section key/values.
+    """
+
+    graph: GraphLike
+    terminals: List[int]
+    weights: Dict[int, float]
+    root: Optional[int] = None
+    name: str = ""
+    comments: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_directed(self) -> bool:
+        """True for arc (``A`` line) instances."""
+        return isinstance(self.graph, DiGraph)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices declared/used."""
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges or arcs."""
+        return self.graph.num_arcs if self.is_directed else self.graph.num_edges
+
+
+def _unquote(text: str) -> str:
+    text = text.strip()
+    if len(text) >= 2 and text[0] == '"' and text[-1] == '"':
+        return text[1:-1]
+    return text
+
+
+def parse_stp(text: str) -> STPInstance:
+    """Parse STP file contents from a string.
+
+    Examples
+    --------
+    >>> inst = parse_stp('''33D32945 STP File, STP Format Version 1.0
+    ... SECTION Graph
+    ... Nodes 3
+    ... Edges 2
+    ... E 1 2 1
+    ... E 2 3 4
+    ... END
+    ... SECTION Terminals
+    ... Terminals 2
+    ... T 1
+    ... T 3
+    ... END
+    ... EOF''')
+    >>> inst.num_vertices, inst.num_edges, inst.terminals
+    (3, 2, [1, 3])
+    >>> inst.weights[1]
+    4.0
+    """
+    lines = text.splitlines()
+    if not lines or not lines[0].strip().startswith(STP_MAGIC):
+        raise STPFormatError(1, f"missing STP magic header {STP_MAGIC!r}")
+
+    declared_nodes: Optional[int] = None
+    declared_edges: Optional[int] = None
+    declared_terminals: Optional[int] = None
+    edge_rows: List[Tuple[str, int, int, float]] = []
+    terminals: List[int] = []
+    root: Optional[int] = None
+    name = ""
+    comments: Dict[str, str] = {}
+
+    section: Optional[str] = None
+    for idx, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        upper = line.upper()
+        if upper == "EOF":
+            break
+        if upper.startswith("SECTION"):
+            if section is not None:
+                raise STPFormatError(idx, "nested SECTION")
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                raise STPFormatError(idx, "SECTION requires a name")
+            section = parts[1].strip().lower()
+            continue
+        if upper == "END":
+            if section is None:
+                raise STPFormatError(idx, "END outside any section")
+            section = None
+            continue
+        if section is None:
+            raise STPFormatError(idx, f"content outside sections: {line!r}")
+
+        if section == "comment":
+            key, _, value = line.partition(" ")
+            value = _unquote(value)
+            if key.lower() == "name":
+                name = value
+            else:
+                comments[key] = value
+        elif section == "graph":
+            tokens = line.split()
+            tag = tokens[0].upper()
+            if tag == "NODES":
+                declared_nodes = int(tokens[1])
+            elif tag in ("EDGES", "ARCS"):
+                declared_edges = int(tokens[1])
+            elif tag in ("E", "A"):
+                if len(tokens) < 3:
+                    raise STPFormatError(idx, f"malformed {tag} line")
+                u, v = int(tokens[1]), int(tokens[2])
+                w = float(tokens[3]) if len(tokens) > 3 else 1.0
+                edge_rows.append((tag, u, v, w))
+            elif tag == "OBSTACLES":  # rectilinear extensions: skip count
+                continue
+            else:
+                raise STPFormatError(idx, f"unknown Graph line {tag!r}")
+        elif section == "terminals":
+            tokens = line.split()
+            tag = tokens[0].upper()
+            if tag == "TERMINALS":
+                declared_terminals = int(tokens[1])
+            elif tag == "T":
+                terminals.append(int(tokens[1]))
+            elif tag in ("ROOT", "ROOTP"):
+                root = int(tokens[1])
+            else:
+                raise STPFormatError(idx, f"unknown Terminals line {tag!r}")
+        elif section in ("coordinates", "maximumdegrees", "presolve"):
+            continue  # recognised but irrelevant to enumeration
+        else:
+            raise STPFormatError(idx, f"unknown section {section!r}")
+
+    kinds = {tag for tag, *_ in edge_rows}
+    if kinds == {"E", "A"}:
+        raise STPFormatError(1, "instance mixes E (edge) and A (arc) lines")
+    directed = kinds == {"A"}
+
+    graph: GraphLike = DiGraph() if directed else Graph()
+    weights: Dict[int, float] = {}
+    for tag, u, v, w in edge_rows:
+        if u == v:
+            raise STPFormatError(1, f"self-loop {u}-{v} is not a Steiner edge")
+        eid = graph.add_arc(u, v) if directed else graph.add_edge(u, v)
+        weights[eid] = w
+    if declared_nodes is not None:
+        if declared_nodes < graph.num_vertices:
+            raise STPFormatError(
+                1, f"Nodes {declared_nodes} < {graph.num_vertices} vertices used"
+            )
+        for v in range(1, declared_nodes + 1):
+            graph.add_vertex(v)
+    if declared_edges is not None and declared_edges != len(edge_rows):
+        raise STPFormatError(
+            1, f"Edges/Arcs declares {declared_edges}, found {len(edge_rows)}"
+        )
+    if declared_terminals is not None and declared_terminals != len(terminals):
+        raise STPFormatError(
+            1, f"Terminals declares {declared_terminals}, found {len(terminals)}"
+        )
+    for t in terminals:
+        if t not in graph:
+            raise STPFormatError(1, f"terminal {t} is not a declared vertex")
+    if root is not None and root not in graph:
+        raise STPFormatError(1, f"root {root} is not a declared vertex")
+
+    return STPInstance(
+        graph=graph,
+        terminals=terminals,
+        weights=weights,
+        root=root,
+        name=name,
+        comments=comments,
+    )
+
+
+def read_stp(path) -> STPInstance:
+    """Parse an STP file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_stp(handle.read())
+
+
+def format_stp(instance: STPInstance) -> str:
+    """Serialize an :class:`STPInstance` back to STP text.
+
+    Vertices must be 1-based integers (the format has no vertex labels).
+    Round-trips with :func:`parse_stp` up to comment ordering.
+    """
+    graph = instance.graph
+    for v in graph.vertices():
+        if not isinstance(v, int) or v < 1:
+            raise InvalidInstanceError(
+                f"STP vertices must be positive integers, got {v!r}"
+            )
+    out = io.StringIO()
+    out.write(f"{STP_MAGIC} STP File, STP Format Version 1.0\n")
+    out.write("SECTION Comment\n")
+    out.write(f'Name    "{instance.name or "repro instance"}"\n')
+    for key, value in instance.comments.items():
+        out.write(f'{key} "{value}"\n')
+    out.write("END\n\n")
+
+    out.write("SECTION Graph\n")
+    n = max(graph.vertices(), default=0)
+    out.write(f"Nodes {n}\n")
+    if instance.is_directed:
+        out.write(f"Arcs {graph.num_arcs}\n")
+        rows = [(a.aid, a.tail, a.head) for a in graph.arcs()]
+        tag = "A"
+    else:
+        rows = [(e.eid, e.u, e.v) for e in graph.edges()]
+        out.write(f"Edges {graph.num_edges}\n")
+        tag = "E"
+    for eid, u, v in sorted(rows):
+        w = instance.weights.get(eid, 1.0)
+        text = f"{w:g}"
+        out.write(f"{tag} {u} {v} {text}\n")
+    out.write("END\n\n")
+
+    out.write("SECTION Terminals\n")
+    out.write(f"Terminals {len(instance.terminals)}\n")
+    if instance.root is not None:
+        out.write(f"Root {instance.root}\n")
+    for t in instance.terminals:
+        out.write(f"T {t}\n")
+    out.write("END\n\nEOF\n")
+    return out.getvalue()
+
+
+def write_stp(instance: STPInstance, path) -> None:
+    """Write an :class:`STPInstance` to disk in STP format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_stp(instance))
+
+
+def stp_from_parts(
+    graph: GraphLike,
+    terminals: Sequence[int],
+    weights: Optional[Mapping[int, float]] = None,
+    root: Optional[int] = None,
+    name: str = "",
+) -> STPInstance:
+    """Assemble an :class:`STPInstance` from library objects.
+
+    Vertices must already be 1-based integers; use :func:`relabel_to_stp`
+    to convert arbitrary vertex labels first.
+    """
+    w = dict(weights) if weights is not None else {}
+    if isinstance(graph, DiGraph):
+        ids = list(graph.arc_ids())
+    else:
+        ids = list(graph.edge_ids())
+    for eid in ids:
+        w.setdefault(eid, 1.0)
+    return STPInstance(
+        graph=graph, terminals=list(terminals), weights=w, root=root, name=name
+    )
+
+
+def relabel_to_stp(
+    graph: Graph, terminals: Sequence
+) -> Tuple[Graph, List[int], Dict]:
+    """Relabel arbitrary vertices to the 1-based ints STP requires.
+
+    Returns ``(new graph, new terminals, old→new mapping)``.  Edge ids are
+    preserved, so weight tables keyed by edge id carry over unchanged.
+    """
+    mapping = {v: i for i, v in enumerate(sorted(graph.vertices(), key=repr), start=1)}
+    relabeled = Graph()
+    for v in graph.vertices():
+        relabeled.add_vertex(mapping[v])
+    for edge in graph.edges():
+        relabeled.add_edge(mapping[edge.u], mapping[edge.v], eid=edge.eid)
+    return relabeled, [mapping[t] for t in terminals], mapping

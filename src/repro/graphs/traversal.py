@@ -1,0 +1,291 @@
+"""Graph traversals: BFS/DFS, components, reachability, simple path finding.
+
+These are the "standard graph search" primitives the paper invokes without
+further comment (e.g. "using a standard graph search algorithm" in
+Lemma 11, computing spanning trees in Lemma 13, reachability checks in
+Section 5.2).  All run in O(n + m).
+
+Every function accepts an optional ``meter`` (see
+:mod:`repro.enumeration.delay`); when provided, one tick is charged per
+scanned edge so the benchmark harness can verify the paper's delay bounds
+in machine-independent units.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+def _tick(meter, amount: int = 1) -> None:
+    if meter is not None:
+        meter.tick(amount)
+
+
+# ----------------------------------------------------------------------
+# undirected traversal
+# ----------------------------------------------------------------------
+def bfs_order(graph: Graph, source: Vertex, meter=None) -> List[Vertex]:
+    """Vertices reachable from ``source`` in BFS order."""
+    seen = {source}
+    order = [source]
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            _tick(meter)
+            if u not in seen:
+                seen.add(u)
+                order.append(u)
+                queue.append(u)
+    return order
+
+
+def component_of(graph: Graph, source: Vertex, meter=None) -> Set[Vertex]:
+    """The vertex set of the connected component containing ``source``."""
+    return set(bfs_order(graph, source, meter=meter))
+
+
+def connected_components(graph: Graph, meter=None) -> List[Set[Vertex]]:
+    """All connected components as vertex sets."""
+    seen: Set[Vertex] = set()
+    components = []
+    for v in graph.vertices():
+        if v not in seen:
+            comp = component_of(graph, v, meter=meter)
+            seen |= comp
+            components.append(comp)
+    return components
+
+
+def is_connected(graph: Graph, meter=None) -> bool:
+    """True if the graph has at most one connected component."""
+    it = iter(graph.vertices())
+    try:
+        start = next(it)
+    except StopIteration:
+        return True
+    return len(component_of(graph, start, meter=meter)) == graph.num_vertices
+
+
+def bfs_tree_to(
+    graph: Graph, source: Vertex, meter=None
+) -> Dict[Vertex, Optional[int]]:
+    """BFS parent-edge map: vertex -> edge id towards ``source``.
+
+    The source maps to ``None``.  Unreachable vertices are absent.
+    """
+    parent: Dict[Vertex, Optional[int]] = {source: None}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for edge in graph.incident(v):
+            _tick(meter)
+            u = edge.other(v)
+            if u not in parent:
+                parent[u] = edge.eid
+                queue.append(u)
+    return parent
+
+
+def shortest_path(
+    graph: Graph, source: Vertex, target: Vertex, meter=None
+) -> Optional[List[Vertex]]:
+    """A shortest (fewest-edges) ``source``-``target`` path, or ``None``."""
+    if source == target:
+        return [source]
+    parent: Dict[Vertex, Vertex] = {source: source}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            _tick(meter)
+            if u in parent:
+                continue
+            parent[u] = v
+            if u == target:
+                path = [u]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            queue.append(u)
+    return None
+
+
+def shortest_path_avoiding(
+    graph: Graph,
+    sources: Iterable[Vertex],
+    targets: Iterable[Vertex],
+    forbidden: Iterable[Vertex] = (),
+    meter=None,
+) -> Optional[List[Vertex]]:
+    """A shortest path from any source to any target avoiding ``forbidden``.
+
+    Internal vertices (and endpoints) must avoid ``forbidden``.  Used by
+    the claw-free induced-Steiner neighbour construction (Section 7), which
+    needs a shortest ``w``-``N(C)`` path avoiding ``N(C1^w) \\ {w}``.
+    """
+    target_set = set(targets)
+    blocked = set(forbidden)
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+    queue: deque = deque()
+    for s in sources:
+        if s in blocked or s in parent:
+            continue
+        parent[s] = None
+        if s in target_set:
+            return [s]
+        queue.append(s)
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            _tick(meter)
+            if u in parent or u in blocked:
+                continue
+            parent[u] = v
+            if u in target_set:
+                path = [u]
+                while parent[path[-1]] is not None:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            queue.append(u)
+    return None
+
+
+# ----------------------------------------------------------------------
+# directed traversal
+# ----------------------------------------------------------------------
+def reachable_from(digraph: DiGraph, source: Vertex, meter=None) -> Set[Vertex]:
+    """Vertices reachable from ``source`` by directed paths."""
+    seen = {source}
+    stack = [source]
+    while stack:
+        v = stack.pop()
+        for u in digraph.out_neighbors(v):
+            _tick(meter)
+            if u not in seen:
+                seen.add(u)
+                stack.append(u)
+    return seen
+
+
+def reaches(digraph: DiGraph, target: Vertex, meter=None) -> Set[Vertex]:
+    """Vertices that can reach ``target`` by directed paths.
+
+    This is the set ``{u : r(u) is true}`` of Lemma 11, computed by a
+    backward search from ``target``.
+    """
+    seen = {target}
+    stack = [target]
+    while stack:
+        v = stack.pop()
+        for u in digraph.in_neighbors(v):
+            _tick(meter)
+            if u not in seen:
+                seen.add(u)
+                stack.append(u)
+    return seen
+
+
+def has_directed_path(
+    digraph: DiGraph, source: Vertex, target: Vertex, meter=None
+) -> bool:
+    """True if a directed ``source``-``target`` path exists."""
+    if source == target:
+        return True
+    seen = {source}
+    stack = [source]
+    while stack:
+        v = stack.pop()
+        for u in digraph.out_neighbors(v):
+            _tick(meter)
+            if u == target:
+                return True
+            if u not in seen:
+                seen.add(u)
+                stack.append(u)
+    return False
+
+
+def directed_shortest_path(
+    digraph: DiGraph, source: Vertex, target: Vertex, meter=None
+) -> Optional[List[Vertex]]:
+    """A shortest directed ``source``-``target`` path, or ``None``."""
+    if source == target:
+        return [source]
+    parent: Dict[Vertex, Vertex] = {source: source}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in digraph.out_neighbors(v):
+            _tick(meter)
+            if u in parent:
+                continue
+            parent[u] = v
+            if u == target:
+                path = [u]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            queue.append(u)
+    return None
+
+
+def dfs_postorder(digraph: DiGraph, root: Vertex, meter=None) -> List[Vertex]:
+    """Post-order of a DFS tree of ``digraph`` rooted at ``root``.
+
+    Used by Lemma 35: the total order ``≺`` on the vertices of the DFS tree
+    is the post-order of this traversal.  Only vertices reachable from
+    ``root`` appear.
+    """
+    seen = {root}
+    order: List[Vertex] = []
+    # iterative DFS with explicit iterator stack for correct post-order
+    stack: List[Tuple[Vertex, Iterator[Vertex]]] = [
+        (root, digraph.out_neighbors(root))
+    ]
+    while stack:
+        v, it = stack[-1]
+        advanced = False
+        for u in it:
+            _tick(meter)
+            if u not in seen:
+                seen.add(u)
+                stack.append((u, digraph.out_neighbors(u)))
+                advanced = True
+                break
+        if not advanced:
+            order.append(v)
+            stack.pop()
+    return order
+
+
+def dfs_tree(digraph: DiGraph, root: Vertex, meter=None) -> Dict[Vertex, Optional[int]]:
+    """A DFS tree rooted at ``root`` as a parent-arc map.
+
+    Maps each reachable vertex to the arc id by which DFS first entered it
+    (``root`` maps to ``None``).
+    """
+    parent: Dict[Vertex, Optional[int]] = {root: None}
+    stack: List[Tuple[Vertex, Iterator]] = [(root, digraph.out_arcs(root))]
+    while stack:
+        v, it = stack[-1]
+        advanced = False
+        for arc in it:
+            _tick(meter)
+            if arc.head not in parent:
+                parent[arc.head] = arc.aid
+                stack.append((arc.head, digraph.out_arcs(arc.head)))
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+    return parent

@@ -1,0 +1,37 @@
+"""Hypergraph substrate for the Theorem 38 hardness experiments.
+
+:mod:`repro.hypergraph.hypergraph` provides the data structure plus the
+Berge-multiplication transversal enumerator; :mod:`repro.hypergraph.dualization`
+adds the Fredman–Khachiyan duality test (the paper's reference [13]) and
+the incremental transversal enumeration it induces.
+"""
+
+from repro.hypergraph.dualization import (
+    are_dual,
+    count_minimal_transversals_fk,
+    enumerate_minimal_transversals_fk,
+    fk_witness,
+    minimize_antichain,
+)
+from repro.hypergraph.hypergraph import (
+    Hypergraph,
+    brute_force_minimal_transversals,
+    enumerate_minimal_transversals,
+    is_minimal_transversal,
+    is_transversal,
+    random_hypergraph,
+)
+
+__all__ = [
+    "are_dual",
+    "brute_force_minimal_transversals",
+    "count_minimal_transversals_fk",
+    "enumerate_minimal_transversals",
+    "enumerate_minimal_transversals_fk",
+    "fk_witness",
+    "Hypergraph",
+    "is_minimal_transversal",
+    "is_transversal",
+    "minimize_antichain",
+    "random_hypergraph",
+]

@@ -1,0 +1,166 @@
+"""Hypergraphs and minimal transversal enumeration.
+
+Theorem 38 ties minimal group Steiner tree enumeration to Minimal
+Transversal Enumeration (hypergraph dualization), the canonical
+open problem of output-polynomial enumeration.  This module provides the
+hypergraph substrate for that experiment:
+
+* :class:`Hypergraph` — a universe plus a family of hyperedges;
+* :func:`enumerate_minimal_transversals` — Berge multiplication with
+  minimality filtering (exponential space, correct and standard; the
+  Fredman–Khachiyan quasi-polynomial algorithm is out of scope and not
+  needed for the reproduction, which only requires *a* correct
+  transversal enumerator to compare against the group-Steiner route);
+* predicates and a deterministic random generator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.exceptions import InvalidInstanceError
+
+Element = Hashable
+Transversal = FrozenSet[Element]
+
+
+class Hypergraph:
+    """A finite hypergraph ``H = (U, E)``.
+
+    Hyperedges are stored deduplicated as frozensets, in first-seen order.
+    Empty hyperedges are rejected (they admit no transversal and make the
+    instance trivially infeasible — callers should handle that case
+    explicitly rather than silently).
+
+    Examples
+    --------
+    >>> h = Hypergraph("abc", [{"a", "b"}, {"b", "c"}])
+    >>> sorted(h.universe)
+    ['a', 'b', 'c']
+    >>> h.num_edges
+    2
+    """
+
+    __slots__ = ("_universe", "_edges")
+
+    def __init__(
+        self, universe: Iterable[Element], edges: Iterable[Iterable[Element]]
+    ) -> None:
+        self._universe: Tuple[Element, ...] = tuple(dict.fromkeys(universe))
+        uset = set(self._universe)
+        seen: Set[FrozenSet[Element]] = set()
+        out: List[FrozenSet[Element]] = []
+        for edge in edges:
+            fe = frozenset(edge)
+            if not fe:
+                raise InvalidInstanceError("empty hyperedge admits no transversal")
+            if not fe <= uset:
+                raise InvalidInstanceError(f"hyperedge {set(fe)!r} leaves the universe")
+            if fe not in seen:
+                seen.add(fe)
+                out.append(fe)
+        self._edges: Tuple[FrozenSet[Element], ...] = tuple(out)
+
+    @property
+    def universe(self) -> Tuple[Element, ...]:
+        """The ground set ``U`` (insertion order preserved)."""
+        return self._universe
+
+    @property
+    def edges(self) -> Tuple[FrozenSet[Element], ...]:
+        """The deduplicated hyperedges."""
+        return self._edges
+
+    @property
+    def num_vertices(self) -> int:
+        """|U|."""
+        return len(self._universe)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct hyperedges."""
+        return len(self._edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Hypergraph |U|={self.num_vertices} |E|={self.num_edges}>"
+
+
+def is_transversal(hypergraph: Hypergraph, subset: Iterable[Element]) -> bool:
+    """True if ``subset`` intersects every hyperedge."""
+    s = set(subset)
+    return all(s & e for e in hypergraph.edges)
+
+
+def is_minimal_transversal(hypergraph: Hypergraph, subset: Iterable[Element]) -> bool:
+    """True if ``subset`` is a transversal and no proper subset is.
+
+    Equivalent check: every element has a *private* hyperedge it alone
+    covers.
+    """
+    s = set(subset)
+    if not is_transversal(hypergraph, s):
+        return False
+    for x in s:
+        if all((s - {x}) & e for e in hypergraph.edges):
+            return False
+    return True
+
+
+def enumerate_minimal_transversals(hypergraph: Hypergraph) -> Iterator[Transversal]:
+    """All minimal transversals via Berge multiplication.
+
+    Processes hyperedges one at a time, maintaining the set of minimal
+    transversals of the prefix: each partial transversal is extended by
+    every element of the next edge, then non-minimal extensions are
+    discarded.  Exponential space (the intermediate families can blow up),
+    which matches the "exp." space column the paper's Table 1 reports for
+    transversal-hard problems.
+
+    Yields frozensets in a deterministic order.
+    """
+    partial: List[FrozenSet[Element]] = [frozenset()]
+    for edge in hypergraph.edges:
+        extended: Set[FrozenSet[Element]] = set()
+        for t in partial:
+            if t & edge:
+                extended.add(t)
+                continue
+            for x in edge:
+                extended.add(t | {x})
+        # prune non-minimal sets (pairwise subset filtering)
+        by_size = sorted(extended, key=lambda s: (len(s), sorted(map(repr, s))))
+        kept: List[FrozenSet[Element]] = []
+        for cand in by_size:
+            if not any(k <= cand for k in kept):
+                kept.append(cand)
+        partial = kept
+    # final minimality holds by construction; order deterministically
+    for t in sorted(partial, key=lambda s: (len(s), sorted(map(repr, s)))):
+        yield t
+
+
+def brute_force_minimal_transversals(hypergraph: Hypergraph) -> Set[Transversal]:
+    """Oracle: filter all subsets of the universe (tests only)."""
+    import itertools
+
+    out: Set[Transversal] = set()
+    universe = hypergraph.universe
+    for r in range(len(universe) + 1):
+        for sub in itertools.combinations(universe, r):
+            if is_minimal_transversal(hypergraph, sub):
+                out.add(frozenset(sub))
+    return out
+
+
+def random_hypergraph(
+    num_vertices: int, num_edges: int, max_edge_size: int, seed: int
+) -> Hypergraph:
+    """A deterministic random hypergraph (non-empty edges, size ≤ bound)."""
+    rng = random.Random(seed)
+    universe = list(range(num_vertices))
+    edges = []
+    for _ in range(num_edges):
+        size = rng.randint(1, max(1, min(max_edge_size, num_vertices)))
+        edges.append(rng.sample(universe, size))
+    return Hypergraph(universe, edges)

@@ -1,0 +1,50 @@
+"""Path enumeration (Section 3 of the paper).
+
+:mod:`repro.paths.read_tarjan` is the linear-delay enumerator (Algorithm
+1, Theorem 12) in directed, undirected and set-to-set variants;
+:mod:`repro.paths.simple` is the backtracking baseline / oracle;
+:mod:`repro.paths.yen` ranks loopless paths by weight (Yen [35]) for
+the ranked-enumeration layer.
+"""
+
+from repro.paths.read_tarjan import (
+    Path,
+    build_set_path_digraph,
+    build_set_path_digraph_directed,
+    enumerate_set_paths,
+    enumerate_set_paths_directed,
+    enumerate_st_paths,
+    enumerate_st_paths_undirected,
+    set_path_events,
+    set_path_events_directed,
+    st_path_events,
+)
+from repro.paths.simple import (
+    backtracking_st_paths,
+    backtracking_st_paths_undirected,
+    count_st_paths,
+)
+from repro.paths.yen import (
+    k_shortest_path_weights,
+    yen_k_shortest_paths,
+    yen_k_shortest_paths_directed,
+)
+
+__all__ = [
+    "backtracking_st_paths",
+    "backtracking_st_paths_undirected",
+    "build_set_path_digraph",
+    "build_set_path_digraph_directed",
+    "count_st_paths",
+    "enumerate_set_paths",
+    "enumerate_set_paths_directed",
+    "enumerate_st_paths",
+    "enumerate_st_paths_undirected",
+    "k_shortest_path_weights",
+    "Path",
+    "set_path_events",
+    "set_path_events_directed",
+    "st_path_events",
+    "yen_k_shortest_paths",
+    "yen_k_shortest_paths_directed",
+]

@@ -1,0 +1,36 @@
+"""ZDD-compiled Steiner tree families (the Sasaki [30] comparator).
+
+:mod:`repro.zdd.zdd` is the generic reduced-ZDD substrate;
+:mod:`repro.zdd.steiner` compiles a graph plus terminal set into the
+ZDD of its (minimal) Steiner trees by a frontier-based sweep, giving
+exact counting and post-compilation enumeration to compare against the
+paper's direct linear-delay enumerators.
+"""
+
+from repro.zdd.steiner import (
+    bfs_edge_order,
+    build_internal_steiner_tree_zdd,
+    build_steiner_tree_zdd,
+    build_terminal_steiner_tree_zdd,
+    count_steiner_trees_zdd,
+    enumerate_cost_constrained_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees_zdd,
+    spanning_tree_zdd,
+)
+from repro.zdd.zdd import BOTTOM, TOP, ZDD, ZDDBuilder, family_zdd
+
+__all__ = [
+    "bfs_edge_order",
+    "BOTTOM",
+    "build_internal_steiner_tree_zdd",
+    "build_steiner_tree_zdd",
+    "build_terminal_steiner_tree_zdd",
+    "count_steiner_trees_zdd",
+    "enumerate_cost_constrained_minimal_steiner_trees",
+    "enumerate_minimal_steiner_trees_zdd",
+    "family_zdd",
+    "spanning_tree_zdd",
+    "TOP",
+    "ZDD",
+    "ZDDBuilder",
+]

@@ -1,0 +1,327 @@
+"""Reduced ordered zero-suppressed decision diagrams (ZDDs).
+
+Sasaki [30 in the paper] represents cost-constrained minimal Steiner
+trees as a binary decision diagram; this package reproduces that
+comparator.  A ZDD compactly represents a *family of sets* over an
+ordered variable universe: each internal node branches on whether a
+variable (here: an edge id) is in the set.  The zero-suppression rule —
+a node whose hi-branch is the empty family is skipped — makes sparse
+set families (such as Steiner trees, which use few of the graph's edges)
+exponentially smaller than the corresponding BDD.
+
+This module is the generic substrate: the node store, reduction rules,
+counting, enumeration, membership and a handful of family algebra
+operations.  The frontier-based construction that turns a graph plus a
+terminal set into a ZDD lives in :mod:`repro.zdd.steiner`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from repro.exceptions import InvalidInstanceError
+
+#: terminal node ids: the empty family and the unit family {∅}
+BOTTOM = 0
+TOP = 1
+
+#: internal node: (variable, lo child id, hi child id)
+Node = Tuple[int, int, int]
+
+
+class ZDDBuilder:
+    """Hash-consing node factory enforcing the ZDD reduction rules.
+
+    * zero-suppression: ``make(var, lo, hi=BOTTOM)`` returns ``lo``;
+    * sharing: structurally equal nodes get the same id.
+
+    Variables must be created in *decreasing* variable-order position
+    (children before parents); :meth:`make` checks this.
+    """
+
+    def __init__(self, var_position: Dict[int, int]) -> None:
+        #: var -> position in the global variable order (0 = root-most)
+        self._position = var_position
+        self._nodes: List[Node] = [(-1, -1, -1), (-1, -1, -1)]  # dummies 0/1
+        self._unique: Dict[Node, int] = {}
+
+    def make(self, var: int, lo: int, hi: int) -> int:
+        """Return the id of node ``(var, lo, hi)``, applying reductions."""
+        if hi == BOTTOM:
+            return lo
+        for child in (lo, hi):
+            if child > TOP:
+                child_var = self._nodes[child][0]
+                if self._position[child_var] <= self._position[var]:
+                    raise InvalidInstanceError(
+                        f"variable order violated: {var} above {child_var}"
+                    )
+        key = (var, lo, hi)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        self._nodes.append(key)
+        nid = len(self._nodes) - 1
+        self._unique[key] = nid
+        return nid
+
+    def finish(self, root: int) -> "ZDD":
+        """Freeze the node store into an immutable :class:`ZDD`."""
+        return ZDD(tuple(self._nodes), root, dict(self._position))
+
+
+class ZDD:
+    """An immutable reduced ordered ZDD.
+
+    Instances are produced by :class:`ZDDBuilder` or the constructors in
+    :mod:`repro.zdd.steiner`.  The represented object is a family of
+    frozensets of variables (edge ids).
+
+    Examples
+    --------
+    >>> from repro.zdd.zdd import family_zdd
+    >>> z = family_zdd([{1, 2}, {2}], [1, 2])
+    >>> z.count()
+    2
+    >>> sorted(sorted(s) for s in z)
+    [[1, 2], [2]]
+    """
+
+    __slots__ = ("_nodes", "_root", "_position")
+
+    def __init__(
+        self, nodes: Tuple[Node, ...], root: int, position: Dict[int, int]
+    ) -> None:
+        self._nodes = nodes
+        self._root = root
+        self._position = position
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        """Root node id (may be a terminal for trivial families)."""
+        return self._root
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of internal nodes reachable from the root."""
+        return len(self._reachable())
+
+    def node(self, nid: int) -> Node:
+        """The ``(var, lo, hi)`` triple of an internal node."""
+        if nid <= TOP:
+            raise InvalidInstanceError(f"node {nid} is a terminal")
+        return self._nodes[nid]
+
+    def _reachable(self) -> List[int]:
+        seen = set()
+        stack = [self._root]
+        order: List[int] = []
+        while stack:
+            nid = stack.pop()
+            if nid <= TOP or nid in seen:
+                continue
+            seen.add(nid)
+            order.append(nid)
+            _, lo, hi = self._nodes[nid]
+            stack.append(lo)
+            stack.append(hi)
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ZDD nodes={self.num_nodes} count={self.count()}>"
+
+    # ------------------------------------------------------------------
+    # family queries
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Number of sets in the family (exact, arbitrary precision)."""
+        memo: Dict[int, int] = {BOTTOM: 0, TOP: 1}
+        for nid in reversed(self._topological()):
+            _, lo, hi = self._nodes[nid]
+            memo[nid] = memo[lo] + memo[hi]
+        return memo[self._root]
+
+    def _topological(self) -> List[int]:
+        """Reachable internal nodes, parents before children."""
+        order = self._reachable()
+        order.sort(key=lambda nid: self._position[self._nodes[nid][0]])
+        return order
+
+    def is_empty(self) -> bool:
+        """True if the family contains no set at all."""
+        return self._root == BOTTOM
+
+    def __iter__(self) -> Iterator[FrozenSet[int]]:
+        """Yield every set of the family, in variable-order-lexicographic
+        order (hi branch — variable included — first)."""
+        if self._root == BOTTOM:
+            return
+        stack: List[Tuple[int, Tuple[int, ...]]] = [(self._root, ())]
+        while stack:
+            nid, chosen = stack.pop()
+            if nid == BOTTOM:
+                continue
+            if nid == TOP:
+                yield frozenset(chosen)
+                continue
+            var, lo, hi = self._nodes[nid]
+            stack.append((lo, chosen))
+            stack.append((hi, chosen + (var,)))
+
+    def __contains__(self, edge_set: Iterable[int]) -> bool:
+        """Membership test in O(|universe|)."""
+        members = set(edge_set)
+        if any(v not in self._position for v in members):
+            return False
+        want = sorted(members, key=lambda v: self._position[v])
+        nid = self._root
+        i = 0
+        while nid > TOP:
+            var, lo, hi = self._nodes[nid]
+            if i < len(want) and want[i] == var:
+                nid = hi
+                i += 1
+            elif i < len(want) and self._position[want[i]] < self._position[var]:
+                return False  # wanted variable skipped by zero-suppression
+            else:
+                nid = lo
+        return nid == TOP and i == len(want)
+
+    def min_size(self) -> int:
+        """Size of a smallest set in the family.
+
+        Raises :class:`InvalidInstanceError` on the empty family.
+        """
+        if self._root == BOTTOM:
+            raise InvalidInstanceError("empty family has no smallest set")
+        inf = float("inf")
+        memo: Dict[int, float] = {BOTTOM: inf, TOP: 0}
+        for nid in reversed(self._topological()):
+            _, lo, hi = self._nodes[nid]
+            memo[nid] = min(memo[lo], memo[hi] + 1)
+        return int(memo[self._root])
+
+    def count_by_size(self) -> Dict[int, int]:
+        """Histogram ``set size -> number of sets`` (the size profile)."""
+        memo: Dict[int, Dict[int, int]] = {BOTTOM: {}, TOP: {0: 1}}
+        for nid in reversed(self._topological()):
+            _, lo, hi = self._nodes[nid]
+            hist = dict(memo[lo])
+            for size, cnt in memo[hi].items():
+                hist[size + 1] = hist.get(size + 1, 0) + cnt
+            memo[nid] = hist
+        return dict(sorted(memo[self._root].items()))
+
+    # ------------------------------------------------------------------
+    # weighted queries (the cost-constrained mode of Sasaki [30])
+    # ------------------------------------------------------------------
+    def _min_weight_below(
+        self, weights: Mapping[int, float]
+    ) -> Dict[int, float]:
+        """Per-node minimum total weight over the represented subfamily."""
+        inf = float("inf")
+        memo: Dict[int, float] = {BOTTOM: inf, TOP: 0.0}
+        for nid in reversed(self._topological()):
+            var, lo, hi = self._nodes[nid]
+            memo[nid] = min(memo[lo], memo[hi] + weights.get(var, 1.0))
+        return memo
+
+    def min_weight(self, weights: Mapping[int, float]) -> float:
+        """Weight of a lightest set in the family.
+
+        Raises :class:`InvalidInstanceError` on the empty family.
+
+        Examples
+        --------
+        >>> z = family_zdd([{1}, {2, 3}], [1, 2, 3])
+        >>> z.min_weight({1: 9.0, 2: 1.0, 3: 1.0})
+        2.0
+        """
+        if self._root == BOTTOM:
+            raise InvalidInstanceError("empty family has no lightest set")
+        return self._min_weight_below(weights)[self._root]
+
+    def iter_within_budget(
+        self, weights: Mapping[int, float], budget: float
+    ) -> Iterator[Tuple[float, FrozenSet[int]]]:
+        """Yield ``(weight, set)`` for every set of weight ≤ ``budget``.
+
+        This is the cost-constrained enumeration of Sasaki [30]: the DFS
+        prunes a branch as soon as the accumulated weight plus the
+        branch's minimum completion exceeds the budget, so work is spent
+        only on feasible prefixes.
+
+        Examples
+        --------
+        >>> z = family_zdd([{1}, {2, 3}, {1, 2, 3}], [1, 2, 3])
+        >>> [(w, sorted(s)) for w, s in z.iter_within_budget({}, 2)]
+        [(1.0, [1]), (2.0, [2, 3])]
+        """
+        if self._root == BOTTOM:
+            return
+        floor = self._min_weight_below(weights)
+        eps = 1e-9
+        stack: List[Tuple[int, float, Tuple[int, ...]]] = [(self._root, 0.0, ())]
+        while stack:
+            nid, acc, chosen = stack.pop()
+            if nid == BOTTOM or acc + floor[nid] > budget + eps:
+                continue
+            if nid == TOP:
+                yield acc, frozenset(chosen)
+                continue
+            var, lo, hi = self._nodes[nid]
+            stack.append((lo, acc, chosen))
+            w = weights.get(var, 1.0)
+            stack.append((hi, acc + w, chosen + (var,)))
+
+    def count_within_budget(
+        self, weights: Mapping[int, float], budget: float
+    ) -> int:
+        """Number of sets of weight ≤ ``budget`` (enumeration-backed)."""
+        return sum(1 for _ in self.iter_within_budget(weights, budget))
+
+
+def family_zdd(sets: Iterable[Iterable[int]], universe: Sequence[int]) -> ZDD:
+    """Build a ZDD for an explicit set family (testing / small inputs).
+
+    ``universe`` fixes the variable order (first element = root-most).
+
+    Examples
+    --------
+    >>> z = family_zdd([set(), {3}], [3])
+    >>> z.count(), sorted(len(s) for s in z)
+    (2, [0, 1])
+    """
+    order = list(universe)
+    position = {v: i for i, v in enumerate(order)}
+    family = {frozenset(s) for s in sets}
+    for s in family:
+        for v in s:
+            if v not in position:
+                raise InvalidInstanceError(f"set element {v!r} not in universe")
+    builder = ZDDBuilder(position)
+
+    def build(level: int, members: FrozenSet[FrozenSet[int]]) -> int:
+        if not members:
+            return BOTTOM
+        if level == len(order):
+            return TOP  # only the empty set can remain
+        var = order[level]
+        with_v = frozenset(s - {var} for s in members if var in s)
+        without_v = frozenset(s for s in members if var not in s)
+        return builder.make(var, build(level + 1, without_v), build(level + 1, with_v))
+
+    root = build(0, frozenset(family))
+    return builder.finish(root)

@@ -1,0 +1,65 @@
+"""Shared fixtures and instance builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+
+def random_simple_graph(rng: random.Random, max_n: int = 7, p: float = 0.5) -> Graph:
+    """A random simple undirected graph on 2..max_n vertices."""
+    n = rng.randint(2, max_n)
+    edges = [
+        (u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < p
+    ]
+    return Graph.from_edges(edges, vertices=range(n))
+
+
+def random_simple_digraph(rng: random.Random, max_n: int = 6, p: float = 0.4) -> DiGraph:
+    """A random simple digraph on 2..max_n vertices."""
+    n = rng.randint(2, max_n)
+    arcs = [
+        (u, v) for u in range(n) for v in range(n) if u != v and rng.random() < p
+    ]
+    return DiGraph.from_arcs(arcs, vertices=range(n))
+
+
+@pytest.fixture
+def triangle_with_tail() -> Graph:
+    """A triangle a-b-c plus pendant edge c-d; the smallest graph with both
+    a cycle and a bridge."""
+    return Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    """s-a-t / s-b-t: two internally disjoint s-t paths."""
+    return Graph.from_edges([("s", "a"), ("a", "t"), ("s", "b"), ("b", "t")])
+
+
+@pytest.fixture
+def two_triangles_bridge() -> Graph:
+    """Two triangles joined by one bridge (classic bridge test case)."""
+    return Graph.from_edges(
+        [
+            ("a", "b"), ("b", "c"), ("c", "a"),
+            ("c", "d"),
+            ("d", "e"), ("e", "f"), ("f", "d"),
+        ]
+    )
+
+
+@pytest.fixture
+def rooted_dag() -> DiGraph:
+    """A small rooted digraph with branching used by directed tests."""
+    return DiGraph.from_arcs(
+        [
+            ("r", "a"), ("r", "b"),
+            ("a", "w1"), ("b", "w1"),
+            ("a", "w2"), ("b", "w2"),
+        ]
+    )

@@ -1,0 +1,84 @@
+"""API hygiene: every public name resolves, is documented, and the
+package exports stay sorted and duplicate-free."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.datagraph",
+    "repro.enumeration",
+    "repro.graphs",
+    "repro.hypergraph",
+    "repro.paths",
+    "repro.zdd",
+]
+
+MODULES = [
+    "repro.bench.harness",
+    "repro.bench.workloads",
+    "repro.cli",
+    "repro.core.baselines",
+    "repro.core.induced_paths",
+    "repro.core.minimum_enum",
+    "repro.core.ranked",
+    "repro.core.verification",
+    "repro.datagraph.ranked",
+    "repro.enumeration.render",
+    "repro.exceptions",
+    "repro.graphs.interop",
+    "repro.graphs.shortest_paths",
+    "repro.graphs.stp",
+    "repro.hypergraph.dualization",
+    "repro.paths.yen",
+    "repro.zdd.steiner",
+    "repro.zdd.zdd",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} must declare __all__"
+    for public in module.__all__:
+        assert hasattr(module, public), f"{name}.{public} does not resolve"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_is_sorted_and_unique(name):
+    module = importlib.import_module(name)
+    exported = [n for n in module.__all__ if n != "__version__"]
+    assert len(set(exported)) == len(exported), f"duplicates in {name}.__all__"
+    assert exported == sorted(exported, key=str.lower), (
+        f"{name}.__all__ is not sorted"
+    )
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_callables_documented(name):
+    module = importlib.import_module(name)
+    undocumented = []
+    for public in module.__all__:
+        if public == "__version__":
+            continue
+        obj = getattr(module, public)
+        if callable(obj) and not (inspect.getdoc(obj) or "").strip():
+            undocumented.append(public)
+    assert not undocumented, f"{name}: undocumented public items {undocumented}"
+
+
+def test_version_is_pep440ish():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(p.isdigit() for p in parts[:2])

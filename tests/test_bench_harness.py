@@ -1,0 +1,135 @@
+"""The measurement harness and workload definitions themselves."""
+
+import io
+
+import pytest
+
+from repro.bench.harness import (
+    Measurement,
+    fit_linearity,
+    measure_enumeration,
+    print_table,
+)
+from repro.bench.workloads import (
+    FORCED_TAIL_SWEEP,
+    directed_size_sweep,
+    directed_terminal_sweep,
+    forced_tail_instance,
+    forest_size_sweep,
+    path_grid_sweep,
+    path_theta_sweep,
+    steiner_tree_grid_instance,
+    steiner_tree_size_sweep,
+    steiner_tree_terminal_sweep,
+    terminal_steiner_size_sweep,
+)
+from repro.core.steiner_tree import count_minimal_steiner_trees
+from repro.enumeration.delay import CostMeter
+from repro.graphs.traversal import is_connected, reachable_from
+
+
+class TestMeasureEnumeration:
+    def test_counts_and_size(self):
+        def factory(meter: CostMeter):
+            def gen():
+                for i in range(5):
+                    meter.tick(10)
+                    yield i
+
+            return gen()
+
+        m = measure_enumeration("toy", 100, factory)
+        assert m.solutions == 5
+        assert m.size == 100
+        assert m.metered.total == 50
+        assert m.amortized_ops == 10
+        assert m.max_delay_ops == 10
+        assert m.normalized_max_delay == pytest.approx(0.1)
+        assert m.wall_seconds >= 0
+
+    def test_limit(self):
+        m = measure_enumeration(
+            "toy", 1, lambda meter: iter(range(100)), limit=7
+        )
+        assert m.solutions == 7
+
+    def test_zero_size_guarded(self):
+        m = measure_enumeration("toy", 0, lambda meter: iter([1]))
+        assert m.normalized_max_delay == 0.0
+
+
+class TestFitLinearity:
+    def test_perfect_linear(self):
+        exp, r2 = fit_linearity([10, 100, 1000], [20, 200, 2000])
+        assert exp == pytest.approx(1.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_perfect_quadratic(self):
+        exp, _ = fit_linearity([10, 100, 1000], [100, 10000, 1000000])
+        assert exp == pytest.approx(2.0)
+
+    def test_degenerate_inputs(self):
+        assert fit_linearity([1], [1]) == (0.0, 0.0)
+        assert fit_linearity([1, 1], [2, 3]) == (0.0, 0.0)
+        assert fit_linearity([0, 10], [0, 10]) == (0.0, 0.0)
+
+    def test_constant_values(self):
+        exp, r2 = fit_linearity([10, 100], [5, 5])
+        assert exp == pytest.approx(0.0)
+
+
+class TestPrintTable:
+    def test_alignment_and_float_format(self):
+        out = io.StringIO()
+        text = print_table(
+            "title", ("a", "bb"), [(1, 2.34567), (100, 0.5)], out=out
+        )
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "2.346" in text
+        assert out.getvalue().startswith("title")
+
+
+class TestWorkloads:
+    def test_size_sweep_monotone(self):
+        sizes = [i.size for i in steiner_tree_size_sweep()]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 10 * sizes[0]
+
+    def test_terminal_sweep_fixed_graph(self):
+        insts = steiner_tree_terminal_sweep()
+        assert len({id(i.graph) for i in insts}) == 1
+        assert [len(i.terminals) for i in insts] == [2, 4, 8, 16]
+
+    def test_forced_tail_shape(self):
+        inst = forced_tail_instance(5, 7)
+        # terminals: diamond-source + 7 tail vertices
+        assert len(inst.terminals) == 8
+        assert count_minimal_steiner_trees(inst.graph, inst.terminals) == 32
+
+    def test_forest_sweep_pairs_connected(self):
+        for inst in forest_size_sweep()[:2]:
+            assert is_connected(inst.graph)
+            assert all(len(f) == 2 for f in inst.families)
+
+    def test_terminal_steiner_sweep_valid(self):
+        for inst in terminal_steiner_size_sweep()[:2]:
+            for w in inst.terminals:
+                assert w in inst.graph
+
+    def test_directed_sweeps_reachable(self):
+        for inst in directed_size_sweep()[:2]:
+            reach = reachable_from(inst.digraph, inst.root)
+            assert all(w in reach for w in inst.terminals)
+        for inst in directed_terminal_sweep()[:2]:
+            reach = reachable_from(inst.digraph, inst.root)
+            assert all(w in reach for w in inst.terminals)
+
+    def test_path_sweeps_well_formed(self):
+        for name, g, s, t in path_theta_sweep() + path_grid_sweep():
+            assert s in g and t in g
+
+    def test_grid_instance(self):
+        inst = steiner_tree_grid_instance(3, 3)
+        assert inst.graph.num_vertices == 9
+        assert len(inst.terminals) == 2

@@ -1,0 +1,80 @@
+"""Bridge finding: unit cases plus randomized cross-validation."""
+
+import random
+
+import networkx as nx
+
+from repro.graphs.bridges import (
+    find_bridges,
+    two_edge_component_labels,
+    two_edge_connected_components,
+)
+from repro.graphs.graph import Graph
+
+from conftest import random_simple_graph
+
+
+class TestFindBridges:
+    def test_empty_graph(self):
+        assert find_bridges(Graph()) == set()
+
+    def test_single_edge_is_bridge(self):
+        g = Graph.from_edges([("a", "b")])
+        assert find_bridges(g) == {0}
+
+    def test_cycle_has_no_bridges(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert find_bridges(g) == set()
+
+    def test_tail_edge_is_the_only_bridge(self, triangle_with_tail):
+        assert find_bridges(triangle_with_tail) == {3}
+
+    def test_two_triangles_bridge(self, two_triangles_bridge):
+        bridges = find_bridges(two_triangles_bridge)
+        assert {two_triangles_bridge.endpoints(e) for e in bridges} == {("c", "d")}
+
+    def test_path_all_bridges(self):
+        g = Graph.from_edges([(i, i + 1) for i in range(5)])
+        assert find_bridges(g) == set(range(5))
+
+    def test_parallel_edges_are_never_bridges(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert find_bridges(g) == {2}
+
+    def test_disconnected_graph(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4), (4, 2)])
+        assert find_bridges(g) == {0}
+
+    def test_matches_networkx_on_simple_graphs(self):
+        rng = random.Random(17)
+        for _ in range(100):
+            g = random_simple_graph(rng, max_n=10, p=0.35)
+            m = nx.Graph()
+            m.add_nodes_from(g.vertices())
+            for e in g.edges():
+                m.add_edge(e.u, e.v)
+            ours = {tuple(sorted(g.endpoints(e))) for e in find_bridges(g)}
+            theirs = {tuple(sorted(uv)) for uv in nx.bridges(m)}
+            assert ours == theirs
+
+
+class TestTwoEdgeComponents:
+    def test_triangle_plus_tail(self, triangle_with_tail):
+        comps = {frozenset(c) for c in two_edge_connected_components(triangle_with_tail)}
+        assert comps == {frozenset({"a", "b", "c"}), frozenset({"d"})}
+
+    def test_labels_consistent_with_components(self, two_triangles_bridge):
+        labels = two_edge_component_labels(two_triangles_bridge)
+        assert labels["a"] == labels["b"] == labels["c"]
+        assert labels["d"] == labels["e"] == labels["f"]
+        assert labels["a"] != labels["d"]
+
+    def test_parallel_edges_merge_components(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        labels = two_edge_component_labels(g)
+        assert labels["a"] == labels["b"]

@@ -1,0 +1,97 @@
+"""Command-line interface tests."""
+
+import io
+
+import pytest
+
+from repro.cli import load_digraph, load_graph, main
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    path.write_text(
+        """
+        # toy graph
+        a b
+        b c
+        a c   # triangle
+        c d
+        """
+    )
+    return str(path)
+
+
+@pytest.fixture
+def digraph_file(tmp_path):
+    path = tmp_path / "digraph.txt"
+    path.write_text("r a\na w\nr w\n")
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue().strip().splitlines()
+
+
+class TestLoading:
+    def test_load_graph(self, graph_file):
+        g = load_graph(graph_file)
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+
+    def test_load_digraph(self, digraph_file):
+        d = load_digraph(digraph_file)
+        assert d.num_arcs == 3
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("just-one-token\n")
+        with pytest.raises(SystemExit):
+            load_graph(str(path))
+
+
+class TestCommands:
+    def test_steiner_tree(self, graph_file):
+        code, lines = run(["steiner-tree", graph_file, "--terminals", "a", "d"])
+        assert code == 0
+        assert sorted(lines) == ["a-b b-c c-d", "a-c c-d"]
+
+    def test_steiner_tree_linear_delay(self, graph_file):
+        code, lines = run(
+            ["steiner-tree", graph_file, "--terminals", "a", "d", "--linear-delay"]
+        )
+        assert sorted(lines) == ["a-b b-c c-d", "a-c c-d"]
+
+    def test_limit(self, graph_file):
+        code, lines = run(
+            ["steiner-tree", graph_file, "--terminals", "a", "d", "--limit", "1"]
+        )
+        assert len(lines) == 1
+
+    def test_steiner_forest(self, graph_file):
+        code, lines = run(["steiner-forest", graph_file, "--family", "a,b"])
+        assert sorted(lines) == ["a-b", "a-c b-c"]
+
+    def test_terminal_steiner(self, graph_file):
+        code, lines = run(["terminal-steiner", graph_file, "--terminals", "a", "d"])
+        assert sorted(lines) == ["a-b b-c c-d", "a-c c-d"]
+
+    def test_directed_steiner(self, digraph_file):
+        code, lines = run(
+            ["directed-steiner", digraph_file, "--root", "r", "--terminals", "w"]
+        )
+        assert sorted(lines) == ["a->w r->a", "r->w"]
+
+    def test_paths(self, graph_file):
+        code, lines = run(["paths", graph_file, "--source", "a", "--target", "d"])
+        assert sorted(lines) == ["a->b->c->d", "a->c->d"]
+
+    def test_count(self, graph_file):
+        code, lines = run(["count", graph_file, "--terminals", "a", "d"])
+        assert lines == ["2"]
+
+    def test_unknown_command_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            run(["frobnicate", graph_file])

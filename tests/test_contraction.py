@@ -1,0 +1,96 @@
+"""Contraction with edge identity: the G/E(F) and D/E(T) machinery."""
+
+import pytest
+
+from repro.graphs.contraction import (
+    SuperVertex,
+    contract_edges,
+    contract_vertex_set,
+    contract_vertex_set_directed,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+
+class TestContractEdges:
+    def test_contract_nothing_is_identity(self, diamond):
+        result = contract_edges(diamond, [])
+        assert result.graph.num_vertices == diamond.num_vertices
+        assert set(result.graph.edge_ids()) == set(diamond.edge_ids())
+
+    def test_contract_one_edge(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        result = contract_edges(g, [0])  # merge {a, b}
+        assert result.graph.num_vertices == 2
+        # edges b-c and a-c become parallel edges with preserved ids
+        assert set(result.graph.edge_ids()) == {1, 2}
+        merged = result.vertex_map["a"]
+        assert result.vertex_map["b"] == merged
+        assert isinstance(merged, SuperVertex)
+        assert set(result.graph.edges_between(merged, "c")) == {1, 2}
+
+    def test_inner_edges_vanish_not_self_loops(self):
+        g = Graph.from_edges([("a", "b"), ("a", "b"), ("b", "c")])
+        result = contract_edges(g, [0])
+        # the parallel a-b edge is inside the merged group: gone
+        assert set(result.graph.edge_ids()) == {2}
+
+    def test_contraction_of_forest_merges_trees(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4), (2, 3)])
+        result = contract_edges(g, [0, 1, 3])  # two separate groups merge.. chain
+        # {0,1,2,3} merged (edges 0,1,3), vertex 4 separate
+        merged = result.vertex_map[0]
+        assert result.vertex_map[3] == merged
+        assert result.vertex_map[4] == 4
+        assert result.graph.num_vertices == 2
+
+    def test_groups_inverse_of_vertex_map(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        result = contract_edges(g, [1])
+        for label, group in result.groups.items():
+            for v in group:
+                assert result.vertex_map[v] == label
+
+    def test_singleton_groups_keep_labels(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        result = contract_edges(g, [0])
+        assert result.vertex_map[2] == 2
+
+
+class TestContractVertexSet:
+    def test_merges_given_set(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        result = contract_vertex_set(g, [0, 1], label="T")
+        assert result.vertex_map[0] == "T" and result.vertex_map[1] == "T"
+        assert result.graph.num_vertices == 3
+        # edge 0 (inside set) gone; others keep ids
+        assert set(result.graph.edge_ids()) == {1, 2, 3}
+
+    def test_empty_set_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            contract_vertex_set(diamond, [])
+
+    def test_parallel_edges_after_merge(self):
+        g = Graph.from_edges([(0, 2), (1, 2), (0, 1)])
+        result = contract_vertex_set(g, [0, 1], label="S")
+        assert sorted(result.graph.edges_between("S", 2)) == [0, 1]
+
+
+class TestContractVertexSetDirected:
+    def test_root_contraction(self):
+        d = DiGraph.from_arcs([("r", "a"), ("a", "b"), ("b", "r"), ("a", "r")])
+        result = contract_vertex_set_directed(d, ["r", "a"], label="RT")
+        # arcs r->a and a->r vanish; a->b keeps id 1; b->r keeps id 2
+        assert set(result.graph.arc_ids()) == {1, 2}
+        assert result.graph.arc_endpoints(1) == ("RT", "b")
+        assert result.graph.arc_endpoints(2) == ("b", "RT")
+
+    def test_singleton_contraction_keeps_label(self):
+        d = DiGraph.from_arcs([("r", "a")])
+        result = contract_vertex_set_directed(d, ["r"])
+        assert result.vertex_map["r"] == "r"
+        assert set(result.graph.arc_ids()) == {0}
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            contract_vertex_set_directed(DiGraph(), [])

@@ -1,0 +1,124 @@
+"""Cross-module consistency: every route to the same solution family
+must agree (direct enumerators, ZDD compilation, brute force, counts,
+and an independent networkx-based verifier)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import (
+    brute_force_minimal_steiner_trees,
+    kimelfeld_sagiv_style_steiner_trees,
+)
+from repro.core.optimum import dreyfus_wagner, tree_weight, uniform_weights
+from repro.core.steiner_tree import (
+    count_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees_linear_delay,
+    enumerate_minimal_steiner_trees_simple,
+)
+from repro.graphs.generators import random_connected_graph, random_terminals
+from repro.graphs.graph import Graph
+from repro.zdd.steiner import build_steiner_tree_zdd
+
+
+def to_networkx(graph: Graph) -> nx.MultiGraph:
+    g = nx.MultiGraph()
+    g.add_nodes_from(graph.vertices())
+    for edge in graph.edges():
+        g.add_edge(edge.u, edge.v, key=edge.eid)
+    return g
+
+
+def nx_is_minimal_steiner_tree(graph: Graph, terminals, eids) -> bool:
+    """Independent check via networkx: tree + contains W + leaves ⊆ W."""
+    sub = nx.MultiGraph()
+    for eid in eids:
+        u, v = graph.endpoints(eid)
+        sub.add_edge(u, v, key=eid)
+    if not eids:
+        return len(set(terminals)) == 1
+    if not nx.is_connected(sub):
+        return False
+    if sub.number_of_edges() != sub.number_of_nodes() - 1:
+        return False
+    if not set(terminals) <= set(sub.nodes):
+        return False
+    leaves = {v for v in sub.nodes if sub.degree(v) == 1}
+    return leaves <= set(terminals)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_five_routes_agree(seed):
+    g = random_connected_graph(8, 6 + seed % 5, seed=seed)
+    terms = random_terminals(g, 3, seed=seed)
+    improved = {frozenset(s) for s in enumerate_minimal_steiner_trees(g, terms)}
+    simple = {frozenset(s) for s in enumerate_minimal_steiner_trees_simple(g, terms)}
+    regulated = {
+        frozenset(s) for s in enumerate_minimal_steiner_trees_linear_delay(g, terms)
+    }
+    ks_style = {frozenset(s) for s in kimelfeld_sagiv_style_steiner_trees(g, terms)}
+    zdd = set(build_steiner_tree_zdd(g, terms))
+    brute = {frozenset(s) for s in brute_force_minimal_steiner_trees(g, terms)}
+    assert improved == simple == regulated == ks_style == zdd == brute
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_count_equals_enumeration_and_zdd(seed):
+    g = random_connected_graph(9, 8, seed=seed)
+    terms = random_terminals(g, 4, seed=seed)
+    direct = sum(1 for _ in enumerate_minimal_steiner_trees(g, terms))
+    assert count_minimal_steiner_trees(g, terms) == direct
+    assert build_steiner_tree_zdd(g, terms).count() == direct
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_networkx_verifies_every_solution(seed):
+    g = random_connected_graph(10, 9, seed=seed)
+    terms = random_terminals(g, 3, seed=seed)
+    for sol in enumerate_minimal_steiner_trees(g, terms):
+        assert nx_is_minimal_steiner_tree(g, terms, sol)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_dreyfus_wagner_matches_lightest_enumerated(seed):
+    """The DW optimum equals the minimum weight over the enumerated
+    minimal trees (every minimum tree is minimal for positive weights)."""
+    g = random_connected_graph(9, 8, seed=seed)
+    terms = random_terminals(g, 3, seed=seed)
+    weights = {eid: float((eid * 11) % 6 + 1) for eid in g.edge_ids()}
+    optimum, opt_tree = dreyfus_wagner(g, terms, weights)
+    enumerated = [
+        tree_weight(weights, sol)
+        for sol in enumerate_minimal_steiner_trees(g, terms)
+    ]
+    assert min(enumerated) == pytest.approx(optimum)
+    assert tree_weight(weights, opt_tree) == pytest.approx(optimum)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_zdd_min_size_matches_unit_weight_optimum(seed):
+    g = random_connected_graph(9, 9, seed=seed)
+    terms = random_terminals(g, 3, seed=seed)
+    zdd = build_steiner_tree_zdd(g, terms)
+    optimum, _ = dreyfus_wagner(g, terms, uniform_weights(g))
+    assert zdd.min_size() == int(optimum)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=8),
+    extra=st.integers(min_value=0, max_value=8),
+    t=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_solution_histogram_consistency(n, extra, t, seed):
+    """ZDD size histogram == histogram of enumerated solution sizes."""
+    g = random_connected_graph(n, extra, seed=seed)
+    terms = random_terminals(g, min(t, n), seed=seed)
+    zdd = build_steiner_tree_zdd(g, terms)
+    direct: dict = {}
+    for sol in enumerate_minimal_steiner_trees(g, terms):
+        direct[len(sol)] = direct.get(len(sol), 0) + 1
+    assert zdd.count_by_size() == direct

@@ -1,0 +1,97 @@
+"""Determinism: enumeration order must not depend on the hash seed.
+
+DESIGN.md §5.1(4) records a real bug class: iterating Python sets makes
+output order hash-seed dependent, which silently randomizes enumeration
+between runs.  These tests lock the contract down two ways:
+
+* in-process: repeated runs give identical sequences;
+* across processes: a child interpreter with a *different*
+  ``PYTHONHASHSEED`` must produce byte-identical output order.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.steiner_forest import enumerate_minimal_steiner_forests
+from repro.core.steiner_tree import enumerate_minimal_steiner_trees
+from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
+from repro.graphs.generators import random_connected_graph, random_terminals
+
+CHILD_SCRIPT = r"""
+import json
+import sys
+
+from repro.core.induced_paths import enumerate_chordless_st_paths
+from repro.core.steiner_tree import enumerate_minimal_steiner_trees
+from repro.graphs.generators import random_connected_graph, random_terminals
+from repro.hypergraph.dualization import enumerate_minimal_transversals_fk
+from repro.hypergraph.hypergraph import random_hypergraph
+from repro.paths.yen import yen_k_shortest_paths
+
+out = {}
+g = random_connected_graph(10, 9, seed=5)
+terms = random_terminals(g, 3, seed=5)
+out["steiner"] = [sorted(s) for s in enumerate_minimal_steiner_trees(g, terms)]
+out["chordless"] = [list(p) for p in enumerate_chordless_st_paths(g, 0, 9)]
+out["yen"] = [v for _, v, _ in yen_k_shortest_paths(g, 0, 9, k=10)]
+h = random_hypergraph(7, 5, 3, seed=9)
+out["fk"] = [sorted(t) for t in enumerate_minimal_transversals_fk(h)]
+json.dump(out, sys.stdout)
+"""
+
+
+def run_child(hashseed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    result = subprocess.run(
+        [sys.executable, "-c", CHILD_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(result.stdout)
+
+
+@pytest.mark.slow
+def test_order_independent_of_hash_seed():
+    a = run_child("0")
+    b = run_child("4242")
+    assert a == b
+
+
+class TestInProcessRepeatability:
+    def test_steiner_tree_sequence_stable(self):
+        g = random_connected_graph(10, 9, seed=5)
+        terms = random_terminals(g, 3, seed=5)
+        first = list(enumerate_minimal_steiner_trees(g, terms))
+        second = list(enumerate_minimal_steiner_trees(g, terms))
+        assert first == second
+
+    def test_forest_sequence_stable(self):
+        g = random_connected_graph(10, 8, seed=6)
+        families = [[0, 5], [2, 8]]
+        first = list(enumerate_minimal_steiner_forests(g, families))
+        second = list(enumerate_minimal_steiner_forests(g, families))
+        assert first == second
+
+    def test_terminal_sequence_stable(self):
+        g = random_connected_graph(10, 10, seed=8)
+        terms = random_terminals(g, 3, seed=8)
+        first = list(enumerate_minimal_terminal_steiner_trees(g, terms))
+        second = list(enumerate_minimal_terminal_steiner_trees(g, terms))
+        assert first == second
+
+    def test_terminal_order_does_not_change_solution_set(self):
+        g = random_connected_graph(9, 9, seed=3)
+        terms = random_terminals(g, 3, seed=3)
+        forward = {frozenset(s) for s in enumerate_minimal_steiner_trees(g, terms)}
+        backward = {
+            frozenset(s)
+            for s in enumerate_minimal_steiner_trees(g, list(reversed(terms)))
+        }
+        assert forward == backward

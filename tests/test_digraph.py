@@ -1,0 +1,121 @@
+"""Unit tests for the directed multigraph substrate."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFound, SelfLoopError, VertexNotFound
+from repro.graphs.digraph import Arc, DiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        d = DiGraph()
+        assert d.num_vertices == 0 and d.num_arcs == 0 and d.size == 0
+
+    def test_from_arcs(self):
+        d = DiGraph.from_arcs([("a", "b"), ("b", "c")], vertices=["z"])
+        assert d.num_vertices == 4
+        assert [a.aid for a in d.arcs()] == [0, 1]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SelfLoopError):
+            DiGraph().add_arc("a", "a")
+
+    def test_explicit_arc_id(self):
+        d = DiGraph()
+        assert d.add_arc("a", "b", aid=5) == 5
+        assert d.add_arc("b", "c") == 6
+
+    def test_duplicate_arc_id_rejected(self):
+        d = DiGraph()
+        d.add_arc("a", "b", aid=1)
+        with pytest.raises(ValueError):
+            d.add_arc("b", "c", aid=1)
+
+
+class TestDirection:
+    def test_out_and_in_neighbors(self):
+        d = DiGraph.from_arcs([("a", "b"), ("c", "b")])
+        assert list(d.out_neighbors("a")) == ["b"]
+        assert sorted(d.in_neighbors("b")) == ["a", "c"]
+        assert list(d.out_neighbors("b")) == []
+
+    def test_degrees(self):
+        d = DiGraph.from_arcs([("a", "b"), ("a", "c"), ("b", "c")])
+        assert d.out_degree("a") == 2
+        assert d.in_degree("c") == 2
+        assert d.in_degree("a") == 0
+
+    def test_source_sink(self):
+        d = DiGraph.from_arcs([("a", "b")])
+        assert d.is_source("a") and not d.is_sink("a")
+        assert d.is_sink("b") and not d.is_source("b")
+
+    def test_out_arcs_order_is_insertion_order(self):
+        d = DiGraph()
+        first = d.add_arc("s", "x")
+        second = d.add_arc("s", "y")
+        assert [a.aid for a in d.out_arcs("s")] == [first, second]
+
+    def test_parallel_arcs(self):
+        d = DiGraph()
+        a1 = d.add_arc("u", "v")
+        a2 = d.add_arc("u", "v")
+        assert a1 != a2
+        assert d.out_degree("u") == 2
+
+
+class TestMutation:
+    def test_remove_arc(self):
+        d = DiGraph.from_arcs([("a", "b"), ("b", "c")])
+        assert d.remove_arc(0) == ("a", "b")
+        assert d.num_arcs == 1
+        assert list(d.out_neighbors("a")) == []
+
+    def test_remove_vertex(self):
+        d = DiGraph.from_arcs([("a", "b"), ("b", "c"), ("c", "a")])
+        d.remove_vertex("b")
+        assert d.num_arcs == 1
+        assert "b" not in d
+
+    def test_remove_missing_arc_raises(self):
+        with pytest.raises(EdgeNotFound):
+            DiGraph().remove_arc(9)
+
+    def test_missing_vertex_raises(self):
+        with pytest.raises(VertexNotFound):
+            DiGraph().out_degree("q")
+
+
+class TestDerived:
+    def test_copy_independent(self):
+        d = DiGraph.from_arcs([("a", "b")])
+        d2 = d.copy()
+        d2.remove_arc(0)
+        assert d.num_arcs == 1 and d2.num_arcs == 0
+
+    def test_subgraph_keeps_arc_ids(self):
+        d = DiGraph.from_arcs([("a", "b"), ("b", "c"), ("c", "a")])
+        sub = d.subgraph(["a", "b"])
+        assert set(sub.arc_ids()) == {0}
+
+    def test_arc_subgraph(self):
+        d = DiGraph.from_arcs([("a", "b"), ("b", "c")])
+        sub = d.arc_subgraph([1])
+        assert set(sub.vertices()) == {"b", "c"}
+
+    def test_without_vertices(self):
+        d = DiGraph.from_arcs([("a", "b"), ("b", "c")])
+        sub = d.without_vertices(["b"])
+        assert set(sub.vertices()) == {"a", "c"}
+        assert sub.num_arcs == 0
+
+    def test_reversed(self):
+        d = DiGraph.from_arcs([("a", "b"), ("b", "c")])
+        r = d.reversed()
+        assert r.arc_endpoints(0) == ("b", "a")
+        assert r.arc_endpoints(1) == ("c", "b")
+
+    def test_in_out_items(self):
+        d = DiGraph.from_arcs([("a", "b"), ("c", "b")])
+        assert dict(d.out_items("a")) == {0: "b"}
+        assert dict(d.in_items("b")) == {0: "a", 1: "c"}

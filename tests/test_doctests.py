@@ -1,0 +1,48 @@
+"""Run the library's doctests as part of the regular suite.
+
+Every public-API example in a docstring must stay executable — they are
+the first thing a new user copies.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.core.directed_steiner",
+    "repro.core.induced_steiner",
+    "repro.core.induced_paths",
+    "repro.core.minimum_enum",
+    "repro.core.optimum",
+    "repro.core.steiner_forest",
+    "repro.core.steiner_tree",
+    "repro.core.terminal_steiner",
+    "repro.datagraph.kfragments",
+    "repro.datagraph.ranked",
+    "repro.datagraph.model",
+    "repro.enumeration.delay",
+    "repro.graphs.bridges",
+    "repro.graphs.contraction",
+    "repro.graphs.digraph",
+    "repro.graphs.graph",
+    "repro.enumeration.render",
+    "repro.graphs.interop",
+    "repro.graphs.lca",
+    "repro.graphs.shortest_paths",
+    "repro.graphs.stp",
+    "repro.hypergraph.dualization",
+    "repro.hypergraph.hypergraph",
+    "repro.paths.read_tarjan",
+    "repro.paths.yen",
+    "repro.zdd.steiner",
+    "repro.zdd.zdd",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

@@ -1,0 +1,190 @@
+"""Tests for Fredman–Khachiyan dualization (repro.hypergraph.dualization)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidInstanceError
+from repro.hypergraph.dualization import (
+    are_dual,
+    count_minimal_transversals_fk,
+    enumerate_minimal_transversals_fk,
+    fk_witness,
+    minimize_antichain,
+)
+from repro.hypergraph.hypergraph import (
+    Hypergraph,
+    brute_force_minimal_transversals,
+    enumerate_minimal_transversals,
+    is_minimal_transversal,
+    random_hypergraph,
+)
+
+
+class TestMinimizeAntichain:
+    def test_removes_supersets(self):
+        out = minimize_antichain([{1, 2}, {1}, {2, 3}, {1, 2, 3}])
+        assert set(out) == {frozenset([1]), frozenset([2, 3])}
+
+    def test_deduplicates(self):
+        out = minimize_antichain([{1, 2}, {2, 1}])
+        assert out == (frozenset([1, 2]),)
+
+    def test_empty_family(self):
+        assert minimize_antichain([]) == ()
+
+    def test_empty_set_dominates(self):
+        assert minimize_antichain([{1}, set()]) == (frozenset(),)
+
+    def test_deterministic_order(self):
+        a = minimize_antichain([{3}, {1}, {2}])
+        b = minimize_antichain([{2}, {3}, {1}])
+        assert a == b
+
+
+class TestDualityDecision:
+    def test_classic_dual_pair(self):
+        assert are_dual([{1, 2}, {2, 3}], [{2}, {1, 3}], {1, 2, 3})
+
+    def test_incomplete_g_detected(self):
+        x = fk_witness([{1, 2}, {2, 3}], [{2}], {1, 2, 3})
+        assert x is not None
+        # neither f(X) nor g(complement): complement is a new transversal
+        assert not any(a <= x for a in [{1, 2}, {2, 3}])
+        complement = {1, 2, 3} - x
+        assert all(complement & a for a in [{1, 2}, {2, 3}])
+
+    def test_overfull_g_detected(self):
+        # {1, 3} plus a non-transversal member
+        assert not are_dual([{1, 2}, {2, 3}], [{2}, {1, 3}, {1}], {1, 2, 3})
+
+    def test_empty_f_dual_to_empty_transversal(self):
+        assert are_dual([], [set()], {1, 2})
+        assert not are_dual([], [], {1, 2})
+        assert not are_dual([], [{1}], {1, 2})
+
+    def test_f_identically_true(self):
+        assert are_dual([set()], [], {1, 2})
+        assert not are_dual([set()], [{1}], {1, 2})
+
+    def test_single_edge(self):
+        assert are_dual([{1, 2}], [{1}, {2}], {1, 2})
+        assert not are_dual([{1, 2}], [{1}], {1, 2})
+        assert not are_dual([{1, 2}], [{1}, {2}, {3}], {1, 2, 3})
+
+    def test_single_transversal(self):
+        assert are_dual([{1}, {2}], [{1, 2}], {1, 2})
+        assert not are_dual([{1}], [{1, 2}], {1, 2})
+
+    def test_disjoint_pair_is_witnessed(self):
+        x = fk_witness([{1}], [{2}], {1, 2})
+        assert x is not None
+
+    def test_universe_escape_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            fk_witness([{9}], [], {1})
+
+    def test_self_dual_small(self):
+        # F = all 2-subsets of a triangle is self-dual
+        f = [{1, 2}, {2, 3}, {1, 3}]
+        assert are_dual(f, f, {1, 2, 3})
+
+
+def _witness_is_valid(f, g, universe, x):
+    """Exactly-one must fail on a witness: both true or both false."""
+    f_hit = any(set(a) <= x for a in f)
+    comp = set(universe) - x
+    g_hit = any(set(b) <= comp for b in g)
+    return f_hit == g_hit
+
+
+class TestWitnessSemantics:
+    @pytest.mark.parametrize(
+        "f, g",
+        [
+            ([{1, 2}, {2, 3}], [{2}]),
+            ([{1, 2}], [{1}]),
+            ([{1}], [{2}]),
+            ([{1, 2}, {3, 4}], [{1, 3}]),
+            ([{1, 2, 3}], [{1}, {2}]),
+        ],
+    )
+    def test_witness_breaks_exactly_one(self, f, g):
+        universe = set().union(*f, *(g or [set()]))
+        x = fk_witness(f, g, universe)
+        assert x is not None
+        assert _witness_is_valid(f, g, universe, x)
+
+
+class TestFkEnumeration:
+    def test_matches_doc_example(self):
+        h = Hypergraph([1, 2, 3], [{1, 2}, {2, 3}])
+        out = [sorted(t) for t in enumerate_minimal_transversals_fk(h)]
+        assert sorted(map(tuple, out)) == [(1, 3), (2,)]
+
+    def test_edgeless_hypergraph_has_empty_transversal(self):
+        h = Hypergraph([1, 2], [])
+        assert list(enumerate_minimal_transversals_fk(h)) == [frozenset()]
+
+    def test_every_output_is_minimal(self):
+        h = random_hypergraph(7, 6, 3, seed=5)
+        for t in enumerate_minimal_transversals_fk(h):
+            assert is_minimal_transversal(h, t)
+
+    def test_count_helper(self):
+        h = Hypergraph("ab", [{"a"}, {"b"}])
+        assert count_minimal_transversals_fk(h) == 1
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_berge_on_random_instances(self, seed):
+        h = random_hypergraph(6, 5, 3, seed=seed)
+        fk = set(enumerate_minimal_transversals_fk(h))
+        berge = set(enumerate_minimal_transversals(h))
+        assert fk == berge
+
+    def test_matches_brute_force(self):
+        h = random_hypergraph(6, 4, 4, seed=99)
+        fk = set(enumerate_minimal_transversals_fk(h))
+        assert fk == brute_force_minimal_transversals(h)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    num_vertices=st.integers(min_value=1, max_value=7),
+    num_edges=st.integers(min_value=0, max_value=6),
+    max_size=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_fk_equals_berge_property(num_vertices, num_edges, max_size, seed):
+    h = random_hypergraph(num_vertices, num_edges, max_size, seed=seed)
+    fk = set(enumerate_minimal_transversals_fk(h))
+    berge = set(enumerate_minimal_transversals(h))
+    assert fk == berge
+    # the computed family must pass the duality test itself
+    assert are_dual(h.edges, fk, h.universe)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_vertices=st.integers(min_value=1, max_value=6),
+    num_edges=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=100_000),
+    drop=st.integers(min_value=0, max_value=10),
+)
+def test_incomplete_family_always_witnessed(num_vertices, num_edges, seed, drop):
+    """Removing any transversal from the complete family breaks duality,
+    and the witness complement minimizes to exactly a missing one."""
+    h = random_hypergraph(num_vertices, num_edges, 3, seed=seed)
+    complete = sorted(
+        enumerate_minimal_transversals(h), key=lambda s: sorted(map(repr, s))
+    )
+    if not complete:
+        return
+    removed = complete[drop % len(complete)]
+    partial = [t for t in complete if t != removed]
+    x = fk_witness(h.edges, partial, h.universe)
+    assert x is not None
+    complement = set(h.universe) - x
+    # complement is a transversal containing no member of the partial family
+    assert all(complement & e for e in h.edges)
+    assert not any(set(b) <= complement for b in partial)

@@ -1,0 +1,149 @@
+"""Delay instrumentation, event protocol and the output-queue regulator."""
+
+from repro.enumeration.delay import (
+    CostMeter,
+    DelayRecorder,
+    MeteredDelayRecorder,
+    record_metered_delays,
+    record_wall_delays,
+)
+from repro.enumeration.events import (
+    DISCOVER,
+    EXAMINE,
+    SOLUTION,
+    TreeShape,
+    solutions_only,
+)
+from repro.enumeration.queue_method import RegulatorProbe, regulate
+
+
+class TestCostMeter:
+    def test_tick_and_reset(self):
+        meter = CostMeter()
+        meter.tick()
+        meter.tick(4)
+        assert meter.count == 5
+        meter.reset()
+        assert meter.count == 0
+
+
+class TestDelayRecorders:
+    def test_wall_recorder_counts_solutions_and_gaps(self):
+        rec = DelayRecorder(iter([1, 2, 3]))
+        assert list(rec) == [1, 2, 3]
+        assert rec.stats.solutions == 3
+        # 3 inter-solution gaps + final gap
+        assert len(rec.stats.delays) == 4
+        assert rec.stats.max_delay >= 0
+
+    def test_metered_recorder_tracks_ops_between_yields(self):
+        meter = CostMeter()
+
+        def gen():
+            meter.tick(10)
+            yield "a"
+            meter.tick(3)
+            yield "b"
+            meter.tick(7)
+
+        rec = MeteredDelayRecorder(gen(), meter)
+        assert list(rec) == ["a", "b"]
+        assert rec.stats.delays == [10, 3, 7]
+        assert rec.stats.max_delay == 10
+        assert rec.stats.total == 20
+        assert rec.stats.amortized == 10.0
+
+    def test_record_helpers_respect_limit(self):
+        meter = CostMeter()
+
+        def gen():
+            for i in range(100):
+                meter.tick()
+                yield i
+
+        stats = record_metered_delays(gen(), meter, limit=5)
+        assert stats.solutions == 5
+        wall = record_wall_delays(iter(range(100)), limit=3)
+        assert wall.solutions == 3
+
+    def test_empty_stats(self):
+        stats = record_wall_delays(iter([]))
+        assert stats.solutions == 0
+        # only the preprocessing/postprocessing gap is recorded
+        assert len(stats.delays) == 1
+        assert stats.amortized == float("inf")
+
+
+class TestEvents:
+    def test_solutions_only(self):
+        events = [
+            (DISCOVER, 0, 0),
+            (SOLUTION, "x"),
+            (EXAMINE, 0, 0),
+            (SOLUTION, "y"),
+        ]
+        assert list(solutions_only(events)) == ["x", "y"]
+
+    def test_tree_shape_counts(self):
+        # root with two children, one solution per child
+        events = [
+            (DISCOVER, 0, 0),
+            (DISCOVER, 1, 1),
+            (SOLUTION, "a"),
+            (EXAMINE, 1, 1),
+            (DISCOVER, 2, 1),
+            (SOLUTION, "b"),
+            (EXAMINE, 2, 1),
+            (EXAMINE, 0, 0),
+        ]
+        shape = TreeShape()
+        sols = list(shape.consume(iter(events)))
+        assert sols == ["a", "b"]
+        assert shape.discovered == 3
+        assert shape.internal_nodes == 1
+        assert shape.leaf_nodes == 2
+        assert shape.min_internal_children == 2
+        assert shape.max_depth == 1
+
+
+def _solution_burst_events(num_solutions, trailing_events=0):
+    """All solutions up front, then a tail of non-solution events."""
+    for i in range(num_solutions):
+        yield (SOLUTION, i)
+    for i in range(trailing_events):
+        yield (DISCOVER, 100 + i, 1)
+
+
+class TestRegulator:
+    def test_all_solutions_preserved(self):
+        out = list(regulate(_solution_burst_events(10, 20), prime=3, window=2))
+        assert out == list(range(10))
+
+    def test_priming_delays_first_output(self):
+        events = list(_solution_burst_events(5, 0))
+        # prime=5 means nothing is released until all 5 are buffered;
+        # everything then flushes at the end.
+        out = list(regulate(iter(events), prime=5, window=1))
+        assert out == list(range(5))
+
+    def test_fewer_solutions_than_prime_still_flushed(self):
+        out = list(regulate(_solution_burst_events(2, 0), prime=100))
+        assert out == [0, 1]
+
+    def test_degenerate_parameters_clamped(self):
+        out = list(regulate(_solution_burst_events(3, 3), prime=0, window=0))
+        assert out == [0, 1, 2]
+
+    def test_probe_measures_gaps(self):
+        # interleave solutions and filler so gaps are meaningful
+        def events():
+            for i in range(50):
+                yield (SOLUTION, i)
+                yield (DISCOVER, 1000 + i, 1)
+
+        probe = RegulatorProbe(prime=5, window=4)
+        out = list(probe.run(events()))
+        assert sorted(out) == list(range(50))
+        assert probe.max_gap >= 4
+        # steady stream: gap never needs to exceed the window by much
+        assert probe.max_gap <= 8

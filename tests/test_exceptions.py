@@ -1,0 +1,67 @@
+"""The exception hierarchy: catchability contracts the README promises."""
+
+import pytest
+
+from repro.exceptions import (
+    ClawFreeViolation,
+    EdgeNotFound,
+    GraphError,
+    InvalidInstanceError,
+    NoSolutionError,
+    NotATreeError,
+    ReproError,
+    SelfLoopError,
+    VertexNotFound,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (
+            GraphError("x"),
+            VertexNotFound("v"),
+            EdgeNotFound(1),
+            SelfLoopError("v"),
+            NotATreeError("x"),
+            InvalidInstanceError("x"),
+            NoSolutionError("x"),
+            ClawFreeViolation("c", ("a", "b", "d")),
+        ):
+            assert isinstance(exc, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        # so dict-style call sites can keep their except KeyError blocks
+        assert isinstance(VertexNotFound("v"), KeyError)
+        assert isinstance(EdgeNotFound(0), KeyError)
+
+    def test_value_like_errors_are_value_errors(self):
+        assert isinstance(SelfLoopError("v"), ValueError)
+        assert isinstance(InvalidInstanceError("x"), ValueError)
+        assert isinstance(NotATreeError("x"), ValueError)
+
+    def test_no_solution_is_invalid_instance(self):
+        assert isinstance(NoSolutionError("x"), InvalidInstanceError)
+
+    def test_claw_violation_payload(self):
+        exc = ClawFreeViolation("c", ["a", "b", "d"])
+        assert exc.center == "c"
+        assert exc.leaves == ("a", "b", "d")
+        assert "K_1,3" in str(exc)
+
+    def test_messages_name_the_culprit(self):
+        assert "'v'" in str(VertexNotFound("v"))
+        assert "7" in str(EdgeNotFound(7))
+        assert "'x'" in str(SelfLoopError("x"))
+
+
+class TestCatchability:
+    def test_single_except_clause_covers_library(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph()
+        with pytest.raises(ReproError):
+            g.add_edge("a", "a")
+        with pytest.raises(ReproError):
+            g.endpoints(0)
+        with pytest.raises(ReproError):
+            g.degree("missing")

@@ -1,0 +1,170 @@
+"""Failure injection: the public API must fail loudly and predictably.
+
+Every enumerator and substrate gets fed malformed input — missing
+vertices, empty terminal sets, self-loops, negative weights, disconnected
+instances — and must raise the documented :mod:`repro.exceptions` types
+(or yield nothing where emptiness is the documented contract), never a
+bare ``KeyError`` from internal dictionaries."""
+
+import pytest
+
+from repro.core.directed_steiner import enumerate_minimal_directed_steiner_trees
+from repro.core.induced_paths import enumerate_chordless_st_paths
+from repro.core.optimum import dreyfus_wagner
+from repro.core.ranked import k_lightest_minimal_steiner_trees
+from repro.core.steiner_forest import enumerate_minimal_steiner_forests
+from repro.core.steiner_tree import enumerate_minimal_steiner_trees
+from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
+from repro.exceptions import (
+    InvalidInstanceError,
+    NoSolutionError,
+    ReproError,
+    SelfLoopError,
+    VertexNotFound,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import dijkstra, shortest_path
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.paths.yen import yen_k_shortest_paths
+from repro.zdd.steiner import build_steiner_tree_zdd
+
+
+@pytest.fixture
+def small():
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+
+
+class TestGraphSubstrate:
+    def test_self_loop_rejected(self):
+        with pytest.raises(SelfLoopError):
+            Graph().add_edge("x", "x")
+
+    def test_self_loop_is_repro_and_value_error(self):
+        with pytest.raises(ReproError):
+            Graph().add_edge("x", "x")
+        with pytest.raises(ValueError):
+            Graph().add_edge("x", "x")
+
+    def test_unknown_vertex_query(self, small):
+        with pytest.raises(VertexNotFound):
+            small.degree(99)
+
+    def test_duplicate_edge_id_rejected(self, small):
+        with pytest.raises(ValueError):
+            small.add_edge(0, 3, eid=0)
+
+    def test_digraph_self_loop_rejected(self):
+        with pytest.raises(SelfLoopError):
+            DiGraph().add_arc("x", "x")
+
+
+class TestEnumerators:
+    def test_steiner_tree_missing_terminal(self, small):
+        with pytest.raises(ReproError):
+            list(enumerate_minimal_steiner_trees(small, [0, 99]))
+
+    def test_steiner_tree_no_terminals(self, small):
+        with pytest.raises(ReproError):
+            list(enumerate_minimal_steiner_trees(small, []))
+
+    def test_steiner_tree_disconnected_terminals_yield_nothing(self):
+        # infeasibility is an empty enumeration, not an exception (an
+        # enumerator's contract: the solution set happens to be empty)
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert list(enumerate_minimal_steiner_trees(g, [0, 3])) == []
+
+    def test_forest_empty_family_list_trivial_solution(self, small):
+        # the empty forest is the unique minimal Steiner forest of an
+        # empty family collection
+        assert list(enumerate_minimal_steiner_forests(small, [])) == [frozenset()]
+
+    def test_forest_family_with_unknown_vertex(self, small):
+        with pytest.raises(ReproError):
+            list(enumerate_minimal_steiner_forests(small, [[0, 42]]))
+
+    def test_terminal_steiner_edges_between_terminals_unused(self):
+        # Lemma 27: solutions never use terminal-terminal edges, but the
+        # instance stays feasible through the non-terminal component
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 0)])
+        terminal_edge = 0  # the 0-1 edge joins two terminals
+        solutions = list(enumerate_minimal_terminal_steiner_trees(g, [0, 1, 3]))
+        assert solutions
+        assert all(terminal_edge not in sol for sol in solutions)
+
+    def test_directed_root_among_terminals(self):
+        d = DiGraph.from_arcs([("r", "a"), ("a", "b")])
+        with pytest.raises(ReproError):
+            list(enumerate_minimal_directed_steiner_trees(d, ["r", "b"], "r"))
+
+    def test_directed_unreachable_terminal_yields_nothing(self):
+        d = DiGraph.from_arcs([("r", "a"), ("b", "a")])
+        assert list(enumerate_minimal_directed_steiner_trees(d, ["b"], "r")) == []
+
+    def test_chordless_unknown_endpoint(self, small):
+        with pytest.raises(VertexNotFound):
+            list(enumerate_chordless_st_paths(small, 0, 77))
+
+
+class TestWeightedLayers:
+    def test_dijkstra_negative_weight(self, small):
+        with pytest.raises(InvalidInstanceError):
+            dijkstra(small, 0, {0: -3.0})
+
+    def test_shortest_path_unreachable(self):
+        g = Graph.from_edges([(0, 1)], vertices=[5])
+        with pytest.raises(NoSolutionError):
+            shortest_path(g, 0, 5)
+
+    def test_dreyfus_wagner_negative_weight(self, small):
+        with pytest.raises(InvalidInstanceError):
+            dreyfus_wagner(small, [0, 3], {0: -1.0})
+
+    def test_dreyfus_wagner_disconnected(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        with pytest.raises(NoSolutionError):
+            dreyfus_wagner(g, [0, 3])
+
+    def test_ranked_empty_terminals(self, small):
+        with pytest.raises(ReproError):
+            k_lightest_minimal_steiner_trees(small, [], {}, 3)
+
+    def test_yen_no_path(self):
+        g = Graph.from_edges([(0, 1)], vertices=[9])
+        with pytest.raises(NoSolutionError):
+            list(yen_k_shortest_paths(g, 0, 9))
+
+
+class TestCompiledStructures:
+    def test_zdd_unknown_terminal(self, small):
+        with pytest.raises(InvalidInstanceError):
+            build_steiner_tree_zdd(small, [0, 99])
+
+    def test_zdd_empty_terminals(self, small):
+        with pytest.raises(InvalidInstanceError):
+            build_steiner_tree_zdd(small, [])
+
+    def test_hypergraph_empty_edge(self):
+        with pytest.raises(InvalidInstanceError):
+            Hypergraph([1, 2], [set()])
+
+    def test_hypergraph_edge_outside_universe(self):
+        with pytest.raises(InvalidInstanceError):
+            Hypergraph([1], [{2}])
+
+
+class TestExceptionHierarchy:
+    """Every library error is catchable as ReproError, and the graph
+    lookup errors double as KeyError for dict-style call sites."""
+
+    def test_vertex_not_found_is_key_error(self, small):
+        with pytest.raises(KeyError):
+            small.degree(99)
+
+    def test_invalid_instance_is_value_error(self):
+        with pytest.raises(ValueError):
+            Hypergraph([1], [{2}])
+
+    def test_no_solution_is_invalid_instance(self):
+        assert issubclass(NoSolutionError, InvalidInstanceError)
+        assert issubclass(InvalidInstanceError, ReproError)

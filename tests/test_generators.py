@@ -1,0 +1,116 @@
+"""Deterministic generators: shape and determinism guarantees."""
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    gadget_chain,
+    grid_graph,
+    path_graph,
+    random_bipartite_terminal_instance,
+    random_connected_graph,
+    random_rooted_digraph,
+    random_terminal_pairs,
+    random_terminals,
+    random_tree,
+    star_graph,
+    theta_graph,
+)
+from repro.graphs.spanning import is_tree
+from repro.graphs.traversal import is_connected, reachable_from
+from repro.paths.simple import count_st_paths
+
+
+class TestDeterministicFamilies:
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert g.num_vertices == 5 and g.num_edges == 4
+
+    def test_cycle_graph(self):
+        g = cycle_graph(6)
+        assert g.num_vertices == 6 and g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+
+    def test_star_graph(self):
+        g = star_graph(4)
+        assert g.degree("c") == 4
+
+    def test_theta_graph_path_count(self):
+        g = theta_graph(5, 3)
+        assert count_st_paths(g.to_directed(), "s", "t") == 5
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # (cols-1)*rows + (rows-1)*cols
+
+    def test_gadget_chain_solution_count(self):
+        g, s, t = gadget_chain(4)
+        assert count_st_paths(g.to_directed(), s, t) == 16
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self):
+        for seed in range(10):
+            t = random_tree(15, seed)
+            assert is_tree(t)
+
+    def test_random_connected_graph_is_connected(self):
+        for seed in range(10):
+            g = random_connected_graph(20, 15, seed)
+            assert is_connected(g)
+            assert g.num_edges == 19 + 15
+
+    def test_random_connected_graph_caps_extra_edges(self):
+        g = random_connected_graph(4, 100, 0)
+        assert g.num_edges == 6  # K4
+
+    def test_determinism(self):
+        a = random_connected_graph(15, 10, 42)
+        b = random_connected_graph(15, 10, 42)
+        assert a.edge_endpoint_multiset() == b.edge_endpoint_multiset()
+
+    def test_random_terminals(self):
+        g = random_connected_graph(10, 5, 1)
+        w = random_terminals(g, 4, 2)
+        assert len(w) == len(set(w)) == 4
+        assert all(v in g for v in w)
+
+    def test_random_terminals_excludes(self):
+        g = random_connected_graph(10, 5, 1)
+        w = random_terminals(g, 3, 2, exclude=[0, 1])
+        assert not set(w) & {0, 1}
+
+    def test_random_terminals_too_many(self):
+        g = random_connected_graph(3, 0, 1)
+        with pytest.raises(ValueError):
+            random_terminals(g, 5, 2)
+
+    def test_random_terminal_pairs_distinct(self):
+        g = random_connected_graph(12, 6, 3)
+        pairs = random_terminal_pairs(g, 4, 5)
+        assert len(pairs) == 4
+        assert all(a != b for a, b in pairs)
+
+    def test_random_rooted_digraph_all_reachable(self):
+        for seed in range(10):
+            d = random_rooted_digraph(20, 12, seed)
+            assert reachable_from(d, 0) == set(range(20))
+
+    def test_bipartite_terminal_instance(self):
+        g, terminals = random_bipartite_terminal_instance(10, 4, 5, 7)
+        assert len(terminals) == 4
+        # terminals form an independent set
+        for i, a in enumerate(terminals):
+            for b in terminals[i + 1 :]:
+                assert not g.has_edge_between(a, b)
+        assert is_connected(g.without_vertices(terminals))

@@ -1,0 +1,106 @@
+"""Graph serialization round-trips and error reporting."""
+
+import io
+
+import pytest
+
+from repro.datagraph.model import DataGraph
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    GraphFormatError,
+    read_arc_list,
+    read_data_graph,
+    read_edge_list,
+    write_arc_list,
+    write_data_graph,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_basic_parse(self):
+        g, weights = read_edge_list(io.StringIO("a b\nb c 2.5\n# comment\n\n"))
+        assert g.num_edges == 2
+        assert weights[0] == 1.0
+        assert weights[1] == 2.5
+
+    def test_inline_comments(self):
+        g, _ = read_edge_list(io.StringIO("a b # the only edge\n"))
+        assert g.num_edges == 1
+
+    def test_round_trip(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        weights = {0: 1.5, 1: 3.0}
+        buf = io.StringIO()
+        write_edge_list(g, buf, weights)
+        buf.seek(0)
+        g2, w2 = read_edge_list(buf)
+        assert g2.edge_endpoint_multiset() == g.edge_endpoint_multiset()
+        assert sorted(w2.values()) == sorted(weights.values())
+
+    def test_bad_column_count(self):
+        with pytest.raises(GraphFormatError, match=":1:"):
+            read_edge_list(io.StringIO("only-one\n"))
+
+    def test_bad_weight(self):
+        with pytest.raises(GraphFormatError, match="bad weight"):
+            read_edge_list(io.StringIO("a b xyz\n"))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphFormatError, match="self-loop"):
+            read_edge_list(io.StringIO("a a\n"))
+
+    def test_error_cites_line_number(self):
+        try:
+            read_edge_list(io.StringIO("a b\nbroken\n"), source="f.txt")
+        except GraphFormatError as exc:
+            assert exc.line_no == 2
+            assert exc.source == "f.txt"
+        else:
+            pytest.fail("expected GraphFormatError")
+
+
+class TestArcList:
+    def test_parse_and_round_trip(self):
+        d, weights = read_arc_list(io.StringIO("r a 2\na w\n"))
+        assert d.num_arcs == 2
+        assert weights[0] == 2.0
+        buf = io.StringIO()
+        write_arc_list(d, buf, weights)
+        buf.seek(0)
+        d2, w2 = read_arc_list(buf)
+        assert {(a.tail, a.head) for a in d2.arcs()} == {
+            (a.tail, a.head) for a in d.arcs()
+        }
+
+
+class TestDataGraphJson:
+    def test_round_trip(self):
+        dg = DataGraph()
+        dg.add_node("p1", ["steiner", "tree"])
+        dg.add_node("p2", ["search"])
+        dg.add_link("p1", "p2")
+        buf = io.StringIO()
+        write_data_graph(dg, buf)
+        buf.seek(0)
+        dg2 = read_data_graph(buf)
+        assert dg2.num_nodes == 2
+        assert dg2.keywords_of("p1") == {"steiner", "tree"}
+        assert dg2.num_links == 1
+
+    def test_malformed_json(self):
+        with pytest.raises(GraphFormatError):
+            read_data_graph(io.StringIO("{not json"))
+
+    def test_missing_nodes_key(self):
+        with pytest.raises(GraphFormatError, match="nodes"):
+            read_data_graph(io.StringIO("{}"))
+
+    def test_link_to_unknown_node(self):
+        doc = '{"nodes": {"a": []}, "links": [["a", "ghost"]]}'
+        with pytest.raises(GraphFormatError, match="unknown node"):
+            read_data_graph(io.StringIO(doc))
+
+    def test_bad_keywords_type(self):
+        with pytest.raises(GraphFormatError, match="keywords"):
+            read_data_graph(io.StringIO('{"nodes": {"a": "not-a-list"}}'))

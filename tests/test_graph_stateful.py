@@ -1,0 +1,132 @@
+"""Stateful property tests: Graph/DiGraph invariants under mutation.
+
+A hypothesis rule-based machine performs random interleavings of vertex
+and edge insertions/removals while checking the representation
+invariants the enumeration algorithms silently rely on:
+
+* adjacency symmetry (undirected) / tail-head duality (directed);
+* ``sum(degree) == 2m`` and edge id uniqueness;
+* removal really detaches the edge from both endpoint maps;
+* derived graphs (``subgraph``, ``copy``) never alias mutable state.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+VERTICES = st.integers(min_value=0, max_value=9)
+
+
+class GraphMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.graph = Graph()
+        self.model_edges = {}  # eid -> (u, v)
+
+    @rule(u=VERTICES)
+    def add_vertex(self, u):
+        self.graph.add_vertex(u)
+
+    @rule(u=VERTICES, v=VERTICES)
+    def add_edge(self, u, v):
+        if u == v:
+            return
+        eid = self.graph.add_edge(u, v)
+        assert eid not in self.model_edges, "edge id reused"
+        self.model_edges[eid] = (u, v)
+
+    @precondition(lambda self: self.model_edges)
+    @rule(data=st.data())
+    def remove_edge(self, data):
+        eid = data.draw(st.sampled_from(sorted(self.model_edges)))
+        u, v = self.graph.remove_edge(eid)
+        assert {u, v} == set(self.model_edges.pop(eid))
+        assert not self.graph.has_edge_id(eid)
+        assert eid not in dict(self.graph.incident_items(u))
+        assert eid not in dict(self.graph.incident_items(v))
+
+    @precondition(lambda self: self.graph.num_vertices > 0)
+    @rule(data=st.data())
+    def remove_vertex(self, data):
+        v = data.draw(st.sampled_from(sorted(self.graph.vertices())))
+        self.graph.remove_vertex(v)
+        self.model_edges = {
+            eid: uv for eid, uv in self.model_edges.items() if v not in uv
+        }
+        assert v not in self.graph
+
+    @rule()
+    def copy_is_independent(self):
+        clone = self.graph.copy()
+        clone.add_vertex("sentinel")
+        assert "sentinel" not in self.graph
+        if self.model_edges:
+            eid = next(iter(self.model_edges))
+            clone.remove_edge(eid)
+            assert self.graph.has_edge_id(eid)
+
+    @invariant()
+    def edges_match_model(self):
+        assert self.graph.num_edges == len(self.model_edges)
+        for eid, (u, v) in self.model_edges.items():
+            assert set(self.graph.endpoints(eid)) == {u, v}
+
+    @invariant()
+    def degree_sum_is_twice_edges(self):
+        total = sum(self.graph.degree(v) for v in self.graph.vertices())
+        assert total == 2 * self.graph.num_edges
+
+    @invariant()
+    def adjacency_is_symmetric(self):
+        for edge in self.graph.edges():
+            assert edge.eid in dict(self.graph.incident_items(edge.u))
+            assert edge.eid in dict(self.graph.incident_items(edge.v))
+
+
+class DiGraphMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.digraph = DiGraph()
+        self.model_arcs = {}  # aid -> (tail, head)
+
+    @rule(u=VERTICES, v=VERTICES)
+    def add_arc(self, u, v):
+        if u == v:
+            return
+        aid = self.digraph.add_arc(u, v)
+        assert aid not in self.model_arcs
+        self.model_arcs[aid] = (u, v)
+
+    @precondition(lambda self: self.model_arcs)
+    @rule(data=st.data())
+    def remove_arc(self, data):
+        aid = data.draw(st.sampled_from(sorted(self.model_arcs)))
+        tail, head = self.digraph.remove_arc(aid)
+        assert (tail, head) == self.model_arcs.pop(aid)
+
+    @invariant()
+    def degree_sums_match(self):
+        out_total = sum(
+            self.digraph.out_degree(v) for v in self.digraph.vertices()
+        )
+        in_total = sum(self.digraph.in_degree(v) for v in self.digraph.vertices())
+        assert out_total == in_total == self.digraph.num_arcs
+
+    @invariant()
+    def arcs_match_model(self):
+        assert self.digraph.num_arcs == len(self.model_arcs)
+        for aid, (tail, head) in self.model_arcs.items():
+            assert self.digraph.arc_endpoints(aid) == (tail, head)
+
+    @invariant()
+    def reversal_is_involution(self):
+        back = self.digraph.reversed().reversed()
+        assert sorted(
+            (a.tail, a.head) for a in back.arcs()
+        ) == sorted((a.tail, a.head) for a in self.digraph.arcs())
+
+
+TestGraphMachine = GraphMachine.TestCase
+TestDiGraphMachine = DiGraphMachine.TestCase

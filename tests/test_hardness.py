@@ -1,0 +1,155 @@
+"""Hardness results: Theorem 37 (internal) and Theorem 38 (group)."""
+
+import random
+
+import pytest
+
+from repro.core.group_steiner import (
+    enumerate_minimal_group_steiner_trees_brute,
+    group_steiner_trees_via_transversals,
+    minimal_transversals_via_group_steiner,
+    transversal_to_group_steiner_instance,
+)
+from repro.core.internal_steiner import (
+    enumerate_internal_steiner_trees_brute,
+    hamiltonian_path_instance,
+    hamiltonian_st_paths,
+    has_hamiltonian_st_path,
+    has_internal_steiner_tree,
+    is_internal_steiner_tree,
+)
+from repro.core.verification import is_minimal_group_steiner_tree
+from repro.graphs.generators import cycle_graph, path_graph, random_connected_graph
+from repro.graphs.graph import Graph
+from repro.hypergraph.hypergraph import (
+    Hypergraph,
+    brute_force_minimal_transversals,
+    enumerate_minimal_transversals,
+    random_hypergraph,
+)
+
+
+class TestTheorem37Internal:
+    def test_reduction_shape(self):
+        g = path_graph(5)
+        graph, terminals = hamiltonian_path_instance(g, 0, 4)
+        assert set(terminals) == {1, 2, 3}
+
+    def test_path_graph_has_hamiltonian_endpoints(self):
+        g = path_graph(5)
+        assert has_hamiltonian_st_path(g, 0, 4)
+        assert not has_hamiltonian_st_path(g, 0, 2)
+
+    def test_cycle_hamiltonian_between_neighbours(self):
+        g = cycle_graph(5)
+        assert has_hamiltonian_st_path(g, 0, 1)
+
+    def test_equivalence_on_random_graphs(self):
+        """Internal Steiner tree for W = V \\ {s,t} exists iff Hamiltonian
+        s-t path exists — the heart of Theorem 37."""
+        rng = random.Random(701)
+        for seed in range(40):
+            g = random_connected_graph(rng.randint(3, 6), rng.randint(0, 5), seed)
+            vs = sorted(g.vertices())
+            s, t = vs[0], vs[-1]
+            _, terminals = hamiltonian_path_instance(g, s, t)
+            assert has_internal_steiner_tree(g, terminals) == has_hamiltonian_st_path(
+                g, s, t
+            )
+
+    def test_hamiltonian_paths_are_internal_steiner_trees(self):
+        g = cycle_graph(6)
+        _, terminals = hamiltonian_path_instance(g, 0, 1)
+        for path in hamiltonian_st_paths(g, 0, 1):
+            eids = []
+            for u, v in zip(path, path[1:]):
+                eids.append(next(iter(g.edges_between(u, v))))
+            assert is_internal_steiner_tree(g, eids, terminals)
+
+    def test_internal_steiner_not_required_minimal(self):
+        # Definition 5 footnote: non-minimal solutions count
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (1, 4)])
+        # terminals {1,2}: the path 0-1-2-3 keeps both internal
+        assert is_internal_steiner_tree(g, [0, 1, 2], [1, 2])
+        # and so does the bigger tree with the extra branch
+        assert is_internal_steiner_tree(g, [0, 1, 2, 3], [1, 2])
+
+    def test_brute_enumeration_counts(self):
+        g = path_graph(4)
+        sols = list(enumerate_internal_steiner_trees_brute(g, [1, 2]))
+        assert frozenset({0, 1, 2}) in sols
+
+
+class TestTransversals:
+    def test_known_instance(self):
+        h = Hypergraph("abc", [{"a", "b"}, {"b", "c"}])
+        got = set(enumerate_minimal_transversals(h))
+        assert got == {frozenset({"b"}), frozenset({"a", "c"})}
+
+    def test_matches_brute_force(self):
+        for seed in range(30):
+            h = random_hypergraph(5, 4, 3, seed)
+            assert set(enumerate_minimal_transversals(h)) == (
+                brute_force_minimal_transversals(h)
+            )
+
+    def test_no_edges_gives_empty_transversal(self):
+        h = Hypergraph("ab", [])
+        assert list(enumerate_minimal_transversals(h)) == [frozenset()]
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(Exception):
+            Hypergraph("ab", [set()])
+
+    def test_edge_outside_universe_rejected(self):
+        with pytest.raises(Exception):
+            Hypergraph("ab", [{"z"}])
+
+    def test_duplicate_edges_deduplicated(self):
+        h = Hypergraph("ab", [{"a"}, {"a"}])
+        assert h.num_edges == 1
+
+
+class TestTheorem38Group:
+    def test_star_instance_shape(self):
+        h = Hypergraph("ab", [{"a", "b"}])
+        inst = transversal_to_group_steiner_instance(h)
+        assert inst.graph.num_vertices == 3  # centre + 2 leaves
+        assert inst.graph.num_edges == 2
+        assert len(inst.families) == 1
+
+    def test_forward_reduction(self):
+        """Group Steiner enumeration on the star = minimal transversals."""
+        for seed in range(25):
+            h = random_hypergraph(4, 3, 3, seed)
+            via_group = set(minimal_transversals_via_group_steiner(h))
+            direct = set(enumerate_minimal_transversals(h))
+            assert via_group == direct
+
+    def test_reverse_reduction_produces_minimal_trees(self):
+        for seed in range(20):
+            h = random_hypergraph(4, 3, 3, seed)
+            inst = transversal_to_group_steiner_instance(h)
+            trees = list(group_steiner_trees_via_transversals(h))
+            brute = list(
+                enumerate_minimal_group_steiner_trees_brute(inst.graph, inst.families)
+            )
+            key = lambda s: (s.edges, s.vertex)
+            assert sorted(map(key, trees)) == sorted(map(key, brute))
+
+    def test_singleton_transversal_maps_to_bare_leaf(self):
+        # element 'a' hits every edge: minimal transversal {'a'} exists and
+        # its group Steiner tree is the single leaf (the centre edge would
+        # be removable)
+        h = Hypergraph("ab", [{"a"}, {"a", "b"}])
+        trees = list(group_steiner_trees_via_transversals(h))
+        singletons = [t for t in trees if not t.edges]
+        assert len(singletons) == 1
+        inst = transversal_to_group_steiner_instance(h)
+        assert singletons[0].vertex == inst.leaf_of["a"]
+
+    def test_group_minimality_predicate(self):
+        g = Graph.from_edges([("r", "x"), ("r", "y")])
+        fams = [["x"], ["y"]]
+        assert is_minimal_group_steiner_tree(g, [0, 1], None, fams)
+        assert not is_minimal_group_steiner_tree(g, [0], None, fams)

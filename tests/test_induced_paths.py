@@ -1,0 +1,146 @@
+"""Tests for chordless s-t path enumeration (repro.core.induced_paths)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.induced_paths import (
+    brute_force_chordless_st_paths,
+    count_chordless_st_paths,
+    enumerate_chordless_st_paths,
+    enumerate_minimal_induced_steiner_pairs,
+    is_chordless_path,
+    longest_chordless_path_length,
+)
+from repro.core.baselines import brute_force_minimal_induced_steiner_subgraphs
+from repro.exceptions import InvalidInstanceError, VertexNotFound
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    theta_graph,
+)
+from repro.graphs.graph import Graph
+
+
+class TestIsChordlessPath:
+    def test_accepts_plain_path(self):
+        g = path_graph(4)
+        assert is_chordless_path(g, [0, 1, 2, 3])
+
+    def test_rejects_chord(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert not is_chordless_path(g, [0, 1, 2, 3])
+
+    def test_rejects_non_path(self):
+        g = path_graph(4)
+        assert not is_chordless_path(g, [0, 2])
+
+    def test_rejects_repeats_and_unknown(self):
+        g = path_graph(3)
+        assert not is_chordless_path(g, [0, 1, 0])
+        assert not is_chordless_path(g, [0, 9])
+        assert not is_chordless_path(g, [])
+
+    def test_single_vertex(self):
+        g = path_graph(2)
+        assert is_chordless_path(g, [0])
+
+
+class TestEnumerate:
+    def test_triangle_direct_edge_only(self):
+        # 0-1-2 triangle: path (0,1,2) has chord 0-2, so only (0,2) counts
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert list(enumerate_chordless_st_paths(g, 0, 2)) == [(0, 2)]
+
+    def test_doc_example(self):
+        # (0, 1, 2, 3) is excluded: edge 0-2 is a chord
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert sorted(enumerate_chordless_st_paths(g, 0, 3)) == [(0, 2, 3)]
+
+    def test_cycle_both_arcs(self):
+        g = cycle_graph(6)
+        out = sorted(enumerate_chordless_st_paths(g, 0, 3))
+        assert out == [(0, 1, 2, 3), (0, 5, 4, 3)]
+
+    def test_theta_graph_counts_paths(self):
+        g = theta_graph(4, 3)
+        assert count_chordless_st_paths(g, "s", "t") == 4
+
+    def test_complete_graph_only_edges(self):
+        g = complete_graph(5)
+        assert count_chordless_st_paths(g, 0, 4) == 1
+
+    def test_same_endpoints(self):
+        g = path_graph(3)
+        assert list(enumerate_chordless_st_paths(g, 1, 1)) == [(1,)]
+
+    def test_unreachable_gives_empty(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert list(enumerate_chordless_st_paths(g, 0, 3)) == []
+
+    def test_missing_vertex_raises(self):
+        g = path_graph(2)
+        with pytest.raises(VertexNotFound):
+            list(enumerate_chordless_st_paths(g, 0, 9))
+
+    def test_no_duplicates_on_grid(self):
+        g = grid_graph(3, 3)
+        out = list(enumerate_chordless_st_paths(g, (0, 0), (2, 2)))
+        assert len(out) == len(set(out))
+        for p in out:
+            assert is_chordless_path(g, p)
+
+    def test_deterministic_order(self):
+        g = random_connected_graph(9, 10, seed=6)
+        a = list(enumerate_chordless_st_paths(g, 0, 8))
+        b = list(enumerate_chordless_st_paths(g, 0, 8))
+        assert a == b
+
+
+class TestInducedSteinerPairs:
+    def test_matches_brute_force_induced_steiner(self):
+        for seed in range(8):
+            g = random_connected_graph(8, 8, seed=seed)
+            ours = set(enumerate_minimal_induced_steiner_pairs(g, 0, 7))
+            oracle = set(brute_force_minimal_induced_steiner_subgraphs(g, [0, 7]))
+            assert ours == oracle
+
+    def test_vertex_sets_unique(self):
+        # distinct chordless paths can never share a vertex set
+        g = random_connected_graph(9, 12, seed=13)
+        paths = list(enumerate_chordless_st_paths(g, 0, 8))
+        sets = [frozenset(p) for p in paths]
+        assert len(set(sets)) == len(sets)
+
+
+class TestLongest:
+    def test_longest_on_cycle(self):
+        # adjacent endpoints: the long way around has the 0-1 chord, so
+        # only the direct edge is induced
+        g = cycle_graph(7)
+        assert longest_chordless_path_length(g, 0, 1) == 1
+        # non-adjacent endpoints: both arcs are induced
+        assert longest_chordless_path_length(g, 0, 3) == 4
+
+    def test_raises_when_unreachable(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        with pytest.raises(InvalidInstanceError):
+            longest_chordless_path_length(g, 0, 3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=9),
+    extra=st.integers(min_value=0, max_value=12),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_matches_filtering_oracle(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    ours = set(enumerate_chordless_st_paths(g, 0, n - 1))
+    oracle = brute_force_chordless_st_paths(g, 0, n - 1)
+    assert ours == oracle
+    for p in ours:
+        assert is_chordless_path(g, p)

@@ -1,0 +1,149 @@
+"""Tests for networkx interop and DOT export (repro.graphs.interop)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.steiner_tree import enumerate_minimal_steiner_trees
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_connected_graph, random_terminals
+from repro.graphs.graph import Graph
+from repro.graphs.interop import (
+    from_networkx,
+    from_networkx_digraph,
+    solution_to_dot,
+    to_dot,
+    to_networkx,
+    to_networkx_digraph,
+)
+
+
+class TestUndirectedRoundTrip:
+    def test_to_networkx_preserves_multiedges(self):
+        g = Graph.from_edges([("a", "b"), ("a", "b"), ("b", "c")])
+        nxg = to_networkx(g)
+        assert nxg.number_of_edges("a", "b") == 2
+        assert set(nxg.nodes) == {"a", "b", "c"}
+
+    def test_round_trip_structure(self):
+        g = random_connected_graph(10, 12, seed=4)
+        back, key_of = from_networkx(to_networkx(g))
+        assert back.num_vertices == g.num_vertices
+        assert back.num_edges == g.num_edges
+        assert len(key_of) == g.num_edges
+        assert g.edge_endpoint_multiset() == back.edge_endpoint_multiset()
+
+    def test_from_plain_graph(self):
+        nxg = nx.Graph([(1, 2), (2, 3)])
+        g, key_of = from_networkx(nxg)
+        assert g.num_edges == 2
+        assert set(key_of.values()) == {(1, 2), (2, 3)}
+
+    def test_self_loop_rejected(self):
+        nxg = nx.Graph()
+        nxg.add_edge(1, 1)
+        with pytest.raises(InvalidInstanceError):
+            from_networkx(nxg)
+
+    def test_directed_input_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            from_networkx(nx.DiGraph([(1, 2)]))
+
+    def test_isolated_vertices_survive(self):
+        nxg = nx.Graph()
+        nxg.add_node("lonely")
+        g, _ = from_networkx(nxg)
+        assert "lonely" in g
+
+
+class TestDirectedRoundTrip:
+    def test_round_trip(self):
+        d = DiGraph.from_arcs([("r", "a"), ("a", "b"), ("r", "b")])
+        back, key_of = from_networkx_digraph(to_networkx_digraph(d))
+        assert back.num_arcs == 3
+        assert len(key_of) == 3
+
+    def test_undirected_input_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            from_networkx_digraph(nx.Graph([(1, 2)]))
+
+    def test_direction_preserved(self):
+        d = DiGraph.from_arcs([("x", "y")])
+        nxd = to_networkx_digraph(d)
+        assert nxd.has_edge("x", "y")
+        assert not nxd.has_edge("y", "x")
+
+
+class TestEnumerationOnConverted:
+    def test_enumerate_on_imported_networkx_graph(self):
+        nxg = nx.petersen_graph()
+        g, _ = from_networkx(nxg)
+        solutions = list(enumerate_minimal_steiner_trees(g, [0, 7]))
+        # petersen graph s-t paths == minimal Steiner trees for two
+        # terminals; all must be simple paths between 0 and 7
+        assert solutions
+        for sol in solutions:
+            sub = to_networkx(g.edge_subgraph(sol))
+            assert nx.is_connected(sub)
+            degrees = dict(sub.degree())
+            assert degrees[0] == 1 and degrees[7] == 1
+
+
+class TestDot:
+    def test_plain_dot(self):
+        g = Graph.from_edges([("a", "b")])
+        text = to_dot(g)
+        assert text.splitlines()[0] == "graph G {"
+        assert '"a" -- "b";' in text
+
+    def test_weights_label(self):
+        g = Graph.from_edges([("a", "b")])
+        assert 'label="2.5"' in to_dot(g, weights={0: 2.5})
+
+    def test_isolated_vertex_listed(self):
+        g = Graph.from_edges([], vertices=["solo"])
+        assert '"solo";' in to_dot(g)
+
+    def test_quote_escaping(self):
+        g = Graph.from_edges([('say "hi"', "b")])
+        assert r"\"hi\"" in to_dot(g)
+
+    def test_solution_highlighting(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        text = solution_to_dot(g, [0, 1], terminals=[0, 2])
+        assert text.count("color=red") == 2
+        assert text.count("style=dashed") == 1
+        assert "shape=box" in text
+
+    def test_unknown_solution_edge_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(InvalidInstanceError):
+            solution_to_dot(g, [99])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    extra=st.integers(min_value=0, max_value=15),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_round_trip_property(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    back, _ = from_networkx(to_networkx(g))
+    assert g.edge_endpoint_multiset() == back.edge_endpoint_multiset()
+    terms = random_terminals(g, min(3, n), seed=seed)
+    ours = {
+        frozenset(
+            tuple(sorted(map(repr, g.endpoints(e)))) for e in sol
+        )
+        for sol in enumerate_minimal_steiner_trees(g, terms)
+    }
+    theirs = {
+        frozenset(
+            tuple(sorted(map(repr, back.endpoints(e)))) for e in sol
+        )
+        for sol in enumerate_minimal_steiner_trees(back, terms)
+    }
+    assert ours == theirs

@@ -1,0 +1,106 @@
+"""LCA index + path-marking pass (Theorem 25 machinery)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import NotATreeError
+from repro.graphs.generators import random_tree
+from repro.graphs.graph import Graph
+from repro.graphs.lca import LCAIndex, mark_terminal_paths
+
+
+def nx_tree(g: Graph) -> nx.Graph:
+    m = nx.Graph()
+    m.add_nodes_from(g.vertices())
+    for e in g.edges():
+        m.add_edge(e.u, e.v)
+    return m
+
+
+class TestLCAIndex:
+    def test_small_tree(self):
+        t = Graph.from_edges([("r", "a"), ("r", "b"), ("a", "x"), ("a", "y")])
+        idx = LCAIndex(t, "r")
+        assert idx.lca("x", "y") == "a"
+        assert idx.lca("x", "b") == "r"
+        assert idx.lca("x", "a") == "a"
+        assert idx.lca("r", "x") == "r"
+        assert idx.lca("x", "x") == "x"
+
+    def test_depths(self):
+        t = Graph.from_edges([("r", "a"), ("a", "b"), ("b", "c")])
+        idx = LCAIndex(t, "r")
+        assert [idx.depth(v) for v in ("r", "a", "b", "c")] == [0, 1, 2, 3]
+
+    def test_parents_and_parent_edges(self):
+        t = Graph.from_edges([("r", "a"), ("a", "b")])
+        idx = LCAIndex(t, "r")
+        assert idx.parent("r") is None and idx.parent_edge("r") is None
+        assert idx.parent("b") == "a"
+        assert t.endpoints(idx.parent_edge("b")) in (("a", "b"), ("b", "a"))
+
+    def test_path_to_ancestor(self):
+        t = Graph.from_edges([("r", "a"), ("a", "b"), ("b", "c")])
+        idx = LCAIndex(t, "r")
+        assert idx.path_to_ancestor("c", "a") == [2, 1]
+        assert idx.path_to_ancestor("a", "a") == []
+
+    def test_path_to_non_ancestor_raises(self):
+        t = Graph.from_edges([("r", "a"), ("r", "b")])
+        idx = LCAIndex(t, "r")
+        with pytest.raises(NotATreeError):
+            idx.path_to_ancestor("a", "b")
+
+    def test_matches_networkx_on_random_trees(self):
+        rng = random.Random(23)
+        for seed in range(20):
+            n = rng.randint(2, 40)
+            t = random_tree(n, seed)
+            idx = LCAIndex(t, 0)
+            directed = nx.bfs_tree(nx_tree(t), 0)
+            pairs = [
+                (rng.randrange(n), rng.randrange(n)) for _ in range(10)
+            ]
+            theirs = dict(
+                nx.tree_all_pairs_lowest_common_ancestor(directed, root=0, pairs=pairs)
+            )
+            for (u, v), want in theirs.items():
+                assert idx.lca(u, v) == want
+
+
+class TestMarkTerminalPaths:
+    def _marked_endpoints(self, tree, marked):
+        return {tuple(sorted(map(str, tree.endpoints(e)))) for e in marked}
+
+    def test_single_pair_marks_exactly_its_path(self):
+        t = Graph.from_edges([("r", "a"), ("a", "b"), ("r", "c")])
+        idx = LCAIndex(t, "r")
+        marked = mark_terminal_paths(idx, [("b", "c")])
+        assert marked == {0, 1, 2}
+        marked2 = mark_terminal_paths(idx, [("a", "b")])
+        assert marked2 == {1}
+
+    def test_no_pairs_marks_nothing(self):
+        t = Graph.from_edges([("r", "a")])
+        idx = LCAIndex(t, "r")
+        assert mark_terminal_paths(idx, []) == set()
+
+    def test_union_of_paths_on_random_trees(self):
+        rng = random.Random(29)
+        for seed in range(25):
+            n = rng.randint(2, 30)
+            t = random_tree(n, seed)
+            idx = LCAIndex(t, 0)
+            m = nx_tree(t)
+            pairs = [tuple(rng.sample(range(n), 2)) for _ in range(rng.randint(1, 5))]
+            marked = mark_terminal_paths(idx, pairs)
+            expected = set()
+            for a, b in pairs:
+                path = nx.shortest_path(m, a, b)
+                for u, v in zip(path, path[1:]):
+                    # find the edge id joining u and v
+                    eid = next(iter(t.edges_between(u, v)))
+                    expected.add(eid)
+            assert marked == expected

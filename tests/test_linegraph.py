@@ -1,0 +1,113 @@
+"""Line graphs, claw detection and the Theorem 39 construction."""
+
+import random
+
+import networkx as nx
+
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.graph import Graph
+from repro.graphs.linegraph import (
+    LineGraphVertex,
+    TerminalVertex,
+    find_claw,
+    is_claw_free,
+    line_graph,
+    steiner_to_induced_instance,
+)
+
+from conftest import random_simple_graph
+
+
+class TestLineGraph:
+    def test_triangle_line_graph_is_triangle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        lg = line_graph(g)
+        assert lg.num_vertices == 3
+        assert lg.num_edges == 3
+
+    def test_star_line_graph_is_complete(self):
+        g = Graph.from_edges([("c", i) for i in range(4)])
+        lg = line_graph(g)
+        assert lg.num_vertices == 4
+        assert lg.num_edges == 6  # K4
+
+    def test_matches_networkx(self):
+        rng = random.Random(37)
+        for _ in range(25):
+            g = random_simple_graph(rng, max_n=7)
+            lg = line_graph(g)
+            m = nx.Graph()
+            m.add_nodes_from(g.vertices())
+            for e in g.edges():
+                m.add_edge(e.u, e.v, eid=e.eid)
+            their = nx.line_graph(m)
+            assert lg.num_vertices == their.number_of_nodes()
+            assert lg.num_edges == their.number_of_edges()
+
+    def test_line_graphs_are_claw_free(self):
+        rng = random.Random(39)
+        for seed in range(25):
+            g = random_connected_graph(rng.randint(2, 9), rng.randint(0, 10), seed)
+            assert is_claw_free(line_graph(g))
+
+
+class TestClawDetection:
+    def test_star_is_a_claw(self):
+        g = Graph.from_edges([("c", 0), ("c", 1), ("c", 2)])
+        claw = find_claw(g)
+        assert claw is not None
+        center, leaves = claw
+        assert center == "c"
+        assert set(leaves) == {0, 1, 2}
+
+    def test_triangle_is_claw_free(self):
+        assert is_claw_free(Graph.from_edges([(0, 1), (1, 2), (2, 0)]))
+
+    def test_paw_is_claw_free(self):
+        # triangle with a pendant: max independent neighbourhood is 2
+        assert is_claw_free(
+            Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        )
+
+    def test_k13_plus_chord_is_claw_free(self):
+        g = Graph.from_edges([("c", 0), ("c", 1), ("c", 2), (0, 1), (1, 2), (0, 2)])
+        assert is_claw_free(g)
+
+    def test_hidden_claw_found(self):
+        # claw embedded inside a bigger graph
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), ("c", "x"), ("c", "y"), ("c", "z"), ("x", 0)]
+        )
+        assert not is_claw_free(g)
+
+
+class TestTheorem39Instance:
+    def test_vertex_types_never_collide(self):
+        assert LineGraphVertex(4) != TerminalVertex(4)
+
+    def test_instance_shape(self):
+        g = Graph.from_edges([("w1", "x"), ("x", "w2")])
+        inst = steiner_to_induced_instance(g, ["w1", "w2"])
+        # 2 line vertices + 2 terminal companions
+        assert inst.graph.num_vertices == 4
+        assert len(inst.terminals) == 2
+        # each companion is adjacent to its terminal's incident edges
+        for t in inst.terminals:
+            assert inst.graph.degree(t) == 1  # both terminals have 1 edge
+
+    def test_terminal_neighbourhood_is_clique(self):
+        g = Graph.from_edges([("w", 0), ("w", 1), ("w", 2), (0, 1)])
+        inst = steiner_to_induced_instance(g, ["w"])
+        (tv,) = inst.terminals
+        neigh = list(inst.graph.neighbor_set(tv))
+        for i, a in enumerate(neigh):
+            for b in neigh[i + 1 :]:
+                assert inst.graph.has_edge_between(a, b)
+
+    def test_instance_is_claw_free(self):
+        rng = random.Random(43)
+        for seed in range(20):
+            g = random_connected_graph(rng.randint(2, 8), rng.randint(0, 8), seed)
+            terminals = list(g.vertices())[: rng.randint(1, 3)]
+            inst = steiner_to_induced_instance(g, terminals)
+            assert is_claw_free(inst.graph)

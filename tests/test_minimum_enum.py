@@ -1,0 +1,140 @@
+"""Tests for minimum Steiner tree enumeration (repro.core.minimum_enum)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minimum_enum import (
+    count_minimum_steiner_trees,
+    enumerate_minimum_steiner_trees_dp,
+)
+from repro.core.optimum import (
+    dreyfus_wagner,
+    enumerate_minimum_steiner_trees,
+    tree_weight,
+)
+from repro.core.verification import is_minimal_steiner_tree
+from repro.exceptions import InvalidInstanceError, NoSolutionError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    random_connected_graph,
+    random_terminals,
+    theta_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.spanning import is_tree
+
+
+def weights_of(graph, period=7, offset=1):
+    return {eid: float((eid * 13) % period + offset) for eid in graph.edge_ids()}
+
+
+class TestBasics:
+    def test_triangle_unit_weights(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        out = list(enumerate_minimum_steiner_trees_dp(g, [0, 2]))
+        assert out == [frozenset([2])]
+
+    def test_triangle_tied_weights(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        out = sorted(
+            sorted(s)
+            for s in enumerate_minimum_steiner_trees_dp(g, [0, 2], {0: 1, 1: 1, 2: 2})
+        )
+        assert out == [[0, 1], [2]]
+
+    def test_single_terminal(self):
+        g = Graph.from_edges([(0, 1)])
+        assert list(enumerate_minimum_steiner_trees_dp(g, [0])) == [frozenset()]
+
+    def test_cycle_ties(self):
+        # even cycle, antipodal terminals: both arcs are minimum
+        g = cycle_graph(6)
+        out = list(enumerate_minimum_steiner_trees_dp(g, [0, 3]))
+        assert len(out) == 2
+
+    def test_theta_counts_parallel_routes(self):
+        g = theta_graph(3, 4)
+        assert count_minimum_steiner_trees(g, ["s", "t"]) == 3
+
+    def test_three_terminals_star(self):
+        g = Graph.from_edges([("c", "a"), ("c", "b"), ("c", "d")])
+        out = list(enumerate_minimum_steiner_trees_dp(g, ["a", "b", "d"]))
+        assert out == [frozenset([0, 1, 2])]
+
+    def test_disconnected_raises(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        with pytest.raises(NoSolutionError):
+            list(enumerate_minimum_steiner_trees_dp(g, [0, 3]))
+
+    def test_zero_weight_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(InvalidInstanceError):
+            list(enumerate_minimum_steiner_trees_dp(g, [0, 1], {0: 0.0}))
+
+    def test_missing_terminal_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(InvalidInstanceError):
+            list(enumerate_minimum_steiner_trees_dp(g, [0, 9]))
+
+    def test_no_terminals_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(InvalidInstanceError):
+            list(enumerate_minimum_steiner_trees_dp(g, []))
+
+
+class TestSolutionQuality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_output_is_an_optimal_minimal_tree(self, seed):
+        g = random_connected_graph(9, 8, seed=seed)
+        terms = random_terminals(g, 3, seed=seed)
+        weights = weights_of(g)
+        optimum, _ = dreyfus_wagner(g, terms, weights)
+        out = list(enumerate_minimum_steiner_trees_dp(g, terms, weights))
+        assert out
+        assert len(set(out)) == len(out)
+        for sol in out:
+            assert tree_weight(weights, sol) == pytest.approx(optimum)
+            assert is_tree(g.edge_subgraph(sol))
+            assert is_minimal_steiner_tree(g, sol, terms)
+
+    def test_grid_corner_pairs(self):
+        # 2x3 grid, opposite corners: all monotone lattice paths are
+        # minimum Steiner trees; C(3,1) = 3 of them
+        g = grid_graph(2, 3)
+        assert count_minimum_steiner_trees(g, [(0, 0), (1, 2)]) == 3
+
+    def test_complete_graph_direct_edge(self):
+        g = complete_graph(6)
+        out = list(enumerate_minimum_steiner_trees_dp(g, [0, 5]))
+        assert len(out) == 1 and len(next(iter(out))) == 1
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_matches_filter_route(seed):
+    """DP backtracking == (full minimal enumeration, then weight filter)."""
+    g = random_connected_graph(8, 7 + seed % 4, seed=seed)
+    terms = random_terminals(g, 3, seed=seed)
+    weights = weights_of(g, period=4 + seed % 3)
+    dp = set(enumerate_minimum_steiner_trees_dp(g, terms, weights))
+    filtered = set(enumerate_minimum_steiner_trees(g, terms, weights))
+    assert dp == filtered
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    extra=st.integers(min_value=0, max_value=8),
+    t=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+    period=st.integers(min_value=1, max_value=6),
+)
+def test_matches_filter_route_property(n, extra, t, seed, period):
+    g = random_connected_graph(n, extra, seed=seed)
+    terms = random_terminals(g, min(t, n), seed=seed)
+    weights = weights_of(g, period=period)
+    dp = set(enumerate_minimum_steiner_trees_dp(g, terms, weights))
+    filtered = set(enumerate_minimum_steiner_trees(g, terms, weights))
+    assert dp == filtered

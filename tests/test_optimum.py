@@ -1,0 +1,97 @@
+"""Dreyfus–Wagner minimum Steiner trees (extension substrate)."""
+
+import random
+
+import pytest
+
+from repro.core.baselines import brute_force_minimal_steiner_trees
+from repro.core.optimum import (
+    dreyfus_wagner,
+    minimum_steiner_weight,
+    tree_weight,
+    uniform_weights,
+)
+from repro.core.verification import is_minimal_steiner_tree
+from repro.exceptions import InvalidInstanceError, NoSolutionError
+from repro.graphs.generators import grid_graph, random_connected_graph, random_terminals
+from repro.graphs.graph import Graph
+
+from conftest import random_simple_graph
+
+
+class TestBasics:
+    def test_two_terminals_is_shortest_path(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        weights = {0: 1.0, 1: 1.0, 2: 5.0}
+        cost, edges = dreyfus_wagner(g, ["a", "c"], weights)
+        assert cost == 2.0
+        assert edges == frozenset({0, 1})
+
+    def test_single_terminal(self):
+        g = Graph.from_edges([("a", "b")])
+        assert dreyfus_wagner(g, ["a"]) == (0.0, frozenset())
+
+    def test_steiner_point_used(self):
+        g = Graph.from_edges([("c", "w1"), ("c", "w2"), ("c", "w3")])
+        cost, edges = dreyfus_wagner(g, ["w1", "w2", "w3"])
+        assert cost == 3.0
+        assert edges == frozenset({0, 1, 2})
+
+    def test_default_weights_count_edges(self):
+        g = grid_graph(3, 3)
+        cost, edges = dreyfus_wagner(g, [(0, 0), (2, 2)])
+        assert cost == 4.0
+        assert len(edges) == 4
+
+    def test_disconnected_raises(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        with pytest.raises(NoSolutionError):
+            dreyfus_wagner(g, [0, 2])
+
+    def test_missing_terminal_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            dreyfus_wagner(Graph(), ["x"])
+
+    def test_negative_weight_rejected(self):
+        g = Graph.from_edges([("a", "b")])
+        with pytest.raises(InvalidInstanceError):
+            dreyfus_wagner(g, ["a", "b"], {0: -1.0})
+
+    def test_no_terminals_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            dreyfus_wagner(Graph(), [])
+
+
+class TestAgainstEnumeration:
+    def test_optimum_matches_lightest_enumerated(self):
+        """DW's optimum equals the minimum over all minimal Steiner trees
+        (enumeration and optimization agree)."""
+        rng = random.Random(909)
+        for _ in range(60):
+            g = random_simple_graph(rng, max_n=7)
+            t = rng.randint(1, min(4, g.num_vertices))
+            terminals = rng.sample(range(g.num_vertices), t)
+            weights = {e: rng.choice([0.5, 1.0, 2.0, 3.0]) for e in g.edge_ids()}
+            trees = brute_force_minimal_steiner_trees(g, terminals)
+            if not trees:
+                with pytest.raises(NoSolutionError):
+                    dreyfus_wagner(g, terminals, weights)
+                continue
+            cost, tree = dreyfus_wagner(g, terminals, weights)
+            best = min(tree_weight(weights, s) for s in trees)
+            assert cost == pytest.approx(best)
+            assert tree_weight(weights, tree) == pytest.approx(cost)
+            assert is_minimal_steiner_tree(g, tree, terminals)
+
+    def test_larger_instance(self):
+        g = random_connected_graph(30, 25, 5)
+        terminals = random_terminals(g, 5, 6)
+        weights = uniform_weights(g)
+        cost, tree = dreyfus_wagner(g, terminals, weights)
+        assert cost == len(tree)
+        assert is_minimal_steiner_tree(g, tree, terminals)
+
+    def test_weight_helper(self):
+        assert minimum_steiner_weight(
+            Graph.from_edges([("a", "b"), ("b", "c")]), ["a", "c"]
+        ) == 2.0

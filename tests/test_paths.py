@@ -1,0 +1,195 @@
+"""Path enumeration (Section 3): units, oracle equality, delay shape."""
+
+import random
+
+import pytest
+
+from repro.enumeration.delay import CostMeter, record_metered_delays
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gadget_chain, grid_graph, theta_graph
+from repro.graphs.graph import Graph
+from repro.paths.read_tarjan import (
+    Path,
+    build_set_path_digraph,
+    enumerate_set_paths,
+    enumerate_set_paths_directed,
+    enumerate_st_paths,
+    enumerate_st_paths_undirected,
+    st_path_events,
+)
+from repro.paths.simple import (
+    backtracking_st_paths,
+    backtracking_st_paths_undirected,
+    count_st_paths,
+)
+
+from conftest import random_simple_digraph, random_simple_graph
+
+
+class TestPathRecord:
+    def test_len_counts_arcs(self):
+        assert len(Path(("a", "b"), (0,))) == 1
+        assert len(Path(("a",), ())) == 0
+
+
+class TestDirectedEnumeration:
+    def test_no_path(self):
+        d = DiGraph.from_arcs([("a", "b")], vertices=["c"])
+        assert list(enumerate_st_paths(d, "b", "a")) == []
+        assert list(enumerate_st_paths(d, "a", "c")) == []
+
+    def test_trivial_path(self):
+        d = DiGraph.from_arcs([("a", "b")])
+        paths = list(enumerate_st_paths(d, "a", "a"))
+        assert paths == [Path(("a",), ())]
+
+    def test_missing_endpoints_yield_nothing(self):
+        d = DiGraph()
+        assert list(enumerate_st_paths(d, "x", "y")) == []
+
+    def test_diamond_digraph(self):
+        d = DiGraph.from_arcs([("s", "a"), ("a", "t"), ("s", "b"), ("b", "t")])
+        got = sorted(p.vertices for p in enumerate_st_paths(d, "s", "t"))
+        assert got == [("s", "a", "t"), ("s", "b", "t")]
+
+    def test_parallel_arcs_give_distinct_paths(self):
+        d = DiGraph()
+        d.add_arc("s", "a")
+        d.add_arc("s", "a")
+        d.add_arc("a", "t")
+        paths = list(enumerate_st_paths(d, "s", "t"))
+        assert len(paths) == 2
+        assert len({p.arcs for p in paths}) == 2
+
+    def test_matches_backtracking_on_random_digraphs(self):
+        rng = random.Random(101)
+        for _ in range(120):
+            d = random_simple_digraph(rng, max_n=7)
+            vs = list(d.vertices())
+            s, t = vs[0], vs[-1]
+            got = sorted(p.vertices for p in enumerate_st_paths(d, s, t))
+            want = sorted(p.vertices for p in backtracking_st_paths(d, s, t, prune=False))
+            assert got == want
+
+    def test_no_duplicates_on_dense_digraph(self):
+        d = DiGraph.from_arcs(
+            [(u, v) for u in range(6) for v in range(6) if u != v]
+        )
+        paths = list(enumerate_st_paths(d, 0, 5))
+        assert len(paths) == len({p.vertices for p in paths})
+
+
+class TestUndirectedEnumeration:
+    def test_diamond(self, diamond):
+        got = sorted(p.vertices for p in enumerate_st_paths_undirected(diamond, "s", "t"))
+        assert got == [("s", "a", "t"), ("s", "b", "t")]
+
+    def test_edge_ids_reported(self, diamond):
+        for p in enumerate_st_paths_undirected(diamond, "s", "t"):
+            for eid, (u, v) in zip(p.arcs, zip(p.vertices, p.vertices[1:])):
+                assert set(diamond.endpoints(eid)) == {u, v}
+
+    def test_matches_backtracking_on_random_graphs(self):
+        rng = random.Random(103)
+        for _ in range(80):
+            g = random_simple_graph(rng, max_n=7)
+            got = sorted(
+                p.vertices for p in enumerate_st_paths_undirected(g, 0, g.num_vertices - 1)
+            )
+            want = sorted(
+                p.vertices
+                for p in backtracking_st_paths_undirected(g, 0, g.num_vertices - 1, prune=False)
+            )
+            assert got == want
+
+    def test_gadget_chain_count(self):
+        g, s, t = gadget_chain(6)
+        assert sum(1 for _ in enumerate_st_paths_undirected(g, s, t)) == 64
+
+    def test_theta_count(self):
+        g = theta_graph(7, 5)
+        assert sum(1 for _ in enumerate_st_paths_undirected(g, "s", "t")) == 7
+
+
+class TestSetPaths:
+    def test_super_endpoints_stripped(self):
+        g = Graph.from_edges([("a", "x"), ("b", "x"), ("x", "w")])
+        paths = sorted(p.vertices for p in enumerate_set_paths(g, ["a", "b"], ["w"]))
+        assert paths == [("a", "x", "w"), ("b", "x", "w")]
+
+    def test_internal_vertices_avoid_both_sets(self):
+        # path may not pass through another source internally
+        g = Graph.from_edges([("a", "b"), ("b", "w")])
+        paths = list(enumerate_set_paths(g, ["a", "b"], ["w"]))
+        assert sorted(p.vertices for p in paths) == [("b", "w")]
+
+    def test_overlapping_sets_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            list(enumerate_set_paths(diamond, ["s"], ["s", "t"]))
+
+    def test_build_aux_digraph_edge_ids(self, diamond):
+        aux, s_star, t_star = build_set_path_digraph(diamond, ["s"], ["t"])
+        for arc in aux.arcs():
+            if arc.tail is s_star or arc.head is t_star:
+                continue
+            assert arc.aid // 2 in set(diamond.edge_ids())
+
+    def test_directed_set_paths(self):
+        d = DiGraph.from_arcs([("r", "a"), ("a", "w"), ("r", "w"), ("w", "r")])
+        paths = sorted(p.vertices for p in enumerate_set_paths_directed(d, ["r"], ["w"]))
+        assert paths == [("r", "a", "w"), ("r", "w")]
+
+
+class TestDelayShape:
+    def test_theta_delay_linear_in_size(self):
+        """Delay grows with n+m, bounded by a small multiple of it."""
+        ratios = []
+        for length in (8, 32, 128):
+            g = theta_graph(6, length)
+            meter = CostMeter()
+            stats = record_metered_delays(
+                enumerate_st_paths_undirected(g, "s", "t", meter=meter), meter
+            )
+            assert stats.solutions == 6
+            ratios.append(stats.max_delay / g.size)
+        # normalized delay stays bounded (not growing with size)
+        assert max(ratios) < 12
+        assert max(ratios) / min(ratios) < 4
+
+    def test_grid_exhaustive_enumeration_has_bounded_delay(self):
+        g = grid_graph(3, 5)
+        meter = CostMeter()
+        stats = record_metered_delays(
+            enumerate_st_paths_undirected(g, (0, 0), (2, 4), meter=meter), meter
+        )
+        assert stats.solutions > 100
+        assert stats.max_delay < 40 * g.size
+
+    def test_events_alternating_output(self):
+        """Alternating output: a solution within any 3 node transitions."""
+        g = grid_graph(3, 4)
+        d = g.to_directed()
+        gap = 0
+        max_gap = 0
+        for event in st_path_events(d, (0, 0), (2, 3)):
+            if event[0] == "solution":
+                max_gap = max(max_gap, gap)
+                gap = 0
+            else:
+                gap += 1
+        assert max_gap <= 3
+
+
+class TestBacktrackingBaseline:
+    def test_pruned_and_unpruned_agree(self):
+        rng = random.Random(107)
+        for _ in range(40):
+            d = random_simple_digraph(rng, max_n=6)
+            vs = list(d.vertices())
+            a = sorted(p.vertices for p in backtracking_st_paths(d, vs[0], vs[-1], prune=True))
+            b = sorted(p.vertices for p in backtracking_st_paths(d, vs[0], vs[-1], prune=False))
+            assert a == b
+
+    def test_count_st_paths(self):
+        g = theta_graph(4, 2)
+        assert count_st_paths(g.to_directed(), "s", "t") == 4

@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategy: draw a small random graph + terminals, compare each enumerator
+to its brute-force oracle and check the paper's structural
+characterizations on every emitted solution.
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import (
+    brute_force_minimal_directed_steiner_trees,
+    brute_force_minimal_steiner_forests,
+    brute_force_minimal_steiner_trees,
+    brute_force_minimal_terminal_steiner_trees,
+)
+from repro.core.directed_steiner import enumerate_minimal_directed_steiner_trees
+from repro.core.steiner_forest import enumerate_minimal_steiner_forests
+from repro.core.steiner_tree import enumerate_minimal_steiner_trees
+from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
+from repro.graphs.bridges import find_bridges
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.graphs.lca import LCAIndex
+from repro.graphs.spanning import is_forest, tree_leaves
+from repro.paths.read_tarjan import enumerate_st_paths
+from repro.paths.simple import backtracking_st_paths
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_graph(draw, min_n=2, max_n=6):
+    """A simple undirected graph on 0..n-1 drawn edge-by-edge."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    picks = draw(st.lists(st.booleans(), min_size=len(all_pairs), max_size=len(all_pairs)))
+    edges = [p for p, keep in zip(all_pairs, picks) if keep]
+    return Graph.from_edges(edges, vertices=range(n))
+
+
+@st.composite
+def small_digraph(draw, min_n=2, max_n=5):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    all_pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    picks = draw(st.lists(st.booleans(), min_size=len(all_pairs), max_size=len(all_pairs)))
+    arcs = [p for p, keep in zip(all_pairs, picks) if keep]
+    return DiGraph.from_arcs(arcs, vertices=range(n))
+
+
+@st.composite
+def graph_with_terminals(draw, min_t=1, max_t=4):
+    g = draw(small_graph())
+    n = g.num_vertices
+    t = draw(st.integers(min_value=min_t, max_value=min(max_t, n)))
+    terminals = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=t,
+            max_size=t,
+            unique=True,
+        )
+    )
+    return g, terminals
+
+
+class TestPathProperties:
+    @SETTINGS
+    @given(small_digraph())
+    def test_path_enumeration_matches_backtracking(self, d):
+        vs = sorted(d.vertices())
+        s, t = vs[0], vs[-1]
+        got = sorted(p.vertices for p in enumerate_st_paths(d, s, t))
+        want = sorted(p.vertices for p in backtracking_st_paths(d, s, t, prune=False))
+        assert got == want
+
+    @SETTINGS
+    @given(small_digraph())
+    def test_paths_are_simple_and_correctly_wired(self, d):
+        vs = sorted(d.vertices())
+        s, t = vs[0], vs[-1]
+        for p in enumerate_st_paths(d, s, t):
+            assert len(set(p.vertices)) == len(p.vertices)
+            for aid, (u, v) in zip(p.arcs, zip(p.vertices, p.vertices[1:])):
+                assert d.arc_endpoints(aid) == (u, v)
+
+
+class TestSteinerTreeProperties:
+    @SETTINGS
+    @given(graph_with_terminals())
+    def test_matches_oracle(self, case):
+        g, terminals = case
+        want = brute_force_minimal_steiner_trees(g, terminals)
+        got = list(enumerate_minimal_steiner_trees(g, terminals))
+        assert set(got) == want
+        assert len(got) == len(set(got))
+
+    @SETTINGS
+    @given(graph_with_terminals(min_t=2))
+    def test_proposition_3_on_outputs(self, case):
+        g, terminals = case
+        for sol in enumerate_minimal_steiner_trees(g, terminals):
+            if sol:
+                assert tree_leaves(g, sol) <= set(terminals)
+
+    @SETTINGS
+    @given(graph_with_terminals(min_t=2))
+    def test_solutions_are_antichain(self, case):
+        """No minimal solution contains another (inclusion-wise)."""
+        g, terminals = case
+        sols = list(enumerate_minimal_steiner_trees(g, terminals))
+        for a, b in itertools.combinations(sols, 2):
+            assert not (a < b or b < a)
+
+
+class TestForestProperties:
+    @SETTINGS
+    @given(small_graph(), st.data())
+    def test_matches_oracle(self, g, data):
+        n = g.num_vertices
+        num_fams = data.draw(st.integers(min_value=1, max_value=2))
+        fams = []
+        for _ in range(num_fams):
+            k = data.draw(st.integers(min_value=2, max_value=min(3, n)))
+            fams.append(
+                data.draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=n - 1),
+                        min_size=k,
+                        max_size=k,
+                        unique=True,
+                    )
+                )
+            )
+        want = brute_force_minimal_steiner_forests(g, fams)
+        got = list(enumerate_minimal_steiner_forests(g, fams))
+        assert set(got) == want
+        assert len(got) == len(set(got))
+
+    @SETTINGS
+    @given(small_graph(), st.data())
+    def test_outputs_are_forests(self, g, data):
+        n = g.num_vertices
+        k = data.draw(st.integers(min_value=2, max_value=min(3, n)))
+        fam = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        for sol in enumerate_minimal_steiner_forests(g, [fam]):
+            assert is_forest(g.edge_subgraph(sol)) if sol else True
+
+
+class TestTerminalAndDirectedProperties:
+    @SETTINGS
+    @given(graph_with_terminals(min_t=2))
+    def test_terminal_variant_matches_oracle(self, case):
+        g, terminals = case
+        want = brute_force_minimal_terminal_steiner_trees(g, terminals)
+        got = list(enumerate_minimal_terminal_steiner_trees(g, terminals))
+        assert set(got) == want
+        assert len(got) == len(set(got))
+
+    @SETTINGS
+    @given(small_digraph(), st.data())
+    def test_directed_variant_matches_oracle(self, d, data):
+        n = d.num_vertices
+        t = data.draw(st.integers(min_value=1, max_value=min(3, n - 1)))
+        terminals = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=n - 1),
+                min_size=t,
+                max_size=t,
+                unique=True,
+            )
+        )
+        want = brute_force_minimal_directed_steiner_trees(d, terminals, 0)
+        got = list(enumerate_minimal_directed_steiner_trees(d, terminals, 0))
+        assert set(got) == want
+        assert len(got) == len(set(got))
+
+
+class TestSubstrateProperties:
+    @SETTINGS
+    @given(small_graph(min_n=2, max_n=8))
+    def test_bridge_characterization(self, g):
+        """An edge is a bridge iff removing it splits its component."""
+        from repro.graphs.traversal import component_of
+
+        bridges = find_bridges(g)
+        for edge in g.edges():
+            u, v = edge.u, edge.v
+            g2 = g.copy()
+            g2.remove_edge(edge.eid)
+            split = v not in component_of(g2, u)
+            assert (edge.eid in bridges) == split
+
+    @SETTINGS
+    @given(st.integers(min_value=2, max_value=25), st.integers(min_value=0, max_value=10**6))
+    def test_lca_is_deepest_common_ancestor(self, n, seed):
+        from repro.graphs.generators import random_tree
+
+        t = random_tree(n, seed)
+        idx = LCAIndex(t, 0)
+
+        def ancestors(v):
+            out = [v]
+            while idx.parent(out[-1]) is not None:
+                out.append(idx.parent(out[-1]))
+            return out
+
+        import random as _random
+
+        rng = _random.Random(seed)
+        for _ in range(5):
+            u, v = rng.randrange(n), rng.randrange(n)
+            common = [a for a in ancestors(u) if a in set(ancestors(v))]
+            deepest = max(common, key=idx.depth)
+            assert idx.lca(u, v) == deepest

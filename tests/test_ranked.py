@@ -1,0 +1,122 @@
+"""Ranked enumeration extension (approximate weight order, exact top-k)."""
+
+import random
+
+import pytest
+
+from repro.core.optimum import tree_weight, uniform_weights
+from repro.core.ranked import (
+    enumerate_approximately_by_weight,
+    k_lightest_minimal_steiner_trees,
+    sortedness_defect,
+    weight_of_optimum,
+)
+from repro.core.steiner_tree import enumerate_minimal_steiner_trees
+from repro.graphs.generators import grid_graph, random_connected_graph, random_terminals
+from repro.graphs.graph import Graph
+
+from conftest import random_simple_graph
+
+
+def _weights(graph, seed):
+    rng = random.Random(seed)
+    return {e: rng.choice([0.5, 1.0, 2.0, 4.0]) for e in graph.edge_ids()}
+
+
+class TestApproximateOrder:
+    def test_same_solution_set(self):
+        g = grid_graph(3, 3)
+        weights = _weights(g, 1)
+        ranked = list(
+            enumerate_approximately_by_weight(g, [(0, 0), (2, 2)], weights, lookahead=8)
+        )
+        plain = set(enumerate_minimal_steiner_trees(g, [(0, 0), (2, 2)]))
+        assert {sol for _w, sol in ranked} == plain
+        for w, sol in ranked:
+            assert w == pytest.approx(tree_weight(weights, sol))
+
+    def test_defect_bounded_by_lookahead(self):
+        g = grid_graph(3, 4)
+        weights = _weights(g, 2)
+        for lookahead in (1, 4, 16):
+            stream = [
+                w
+                for w, _sol in enumerate_approximately_by_weight(
+                    g, [(0, 0), (2, 3)], weights, lookahead=lookahead
+                )
+            ]
+            assert sortedness_defect(stream) <= max(
+                0, len(stream) - 1
+            )  # sanity
+            # bigger lookahead = no worse order
+        small = [
+            w
+            for w, _ in enumerate_approximately_by_weight(
+                g, [(0, 0), (2, 3)], weights, lookahead=1
+            )
+        ]
+        big = [
+            w
+            for w, _ in enumerate_approximately_by_weight(
+                g, [(0, 0), (2, 3)], weights, lookahead=len(small) + 1
+            )
+        ]
+        assert sortedness_defect(big) == 0  # full lookahead = fully sorted
+        assert sortedness_defect(big) <= sortedness_defect(small)
+
+    def test_first_emission_close_to_optimum_with_full_lookahead(self):
+        g = random_connected_graph(12, 8, 3)
+        terminals = random_terminals(g, 3, 4)
+        weights = _weights(g, 5)
+        stream = list(
+            enumerate_approximately_by_weight(
+                g, terminals, weights, lookahead=10**6
+            )
+        )
+        assert stream[0][0] == pytest.approx(
+            weight_of_optimum(g, terminals, weights)
+        )
+
+    def test_invalid_lookahead(self):
+        g = Graph.from_edges([("a", "b")])
+        with pytest.raises(ValueError):
+            list(enumerate_approximately_by_weight(g, ["a", "b"], {}, lookahead=0))
+
+
+class TestTopK:
+    def test_exact_top_k(self):
+        rng = random.Random(911)
+        for _ in range(25):
+            g = random_simple_graph(rng, max_n=7)
+            t = rng.randint(2, min(3, g.num_vertices))
+            terminals = rng.sample(range(g.num_vertices), t)
+            weights = _weights(g, rng.randint(0, 99))
+            everything = sorted(
+                tree_weight(weights, s)
+                for s in enumerate_minimal_steiner_trees(g, terminals)
+            )
+            k = 3
+            top = k_lightest_minimal_steiner_trees(g, terminals, weights, k)
+            assert [w for w, _s in top] == pytest.approx(everything[:k])
+
+    def test_top_zero(self):
+        g = Graph.from_edges([("a", "b")])
+        assert k_lightest_minimal_steiner_trees(g, ["a", "b"], {}, 0) == []
+
+    def test_top_k_matches_optimum(self):
+        g = random_connected_graph(14, 10, 8)
+        terminals = random_terminals(g, 3, 9)
+        weights = uniform_weights(g)
+        top = k_lightest_minimal_steiner_trees(g, terminals, weights, 1)
+        assert top[0][0] == pytest.approx(weight_of_optimum(g, terminals, weights))
+
+
+class TestSortednessDefect:
+    def test_sorted_stream_has_zero_defect(self):
+        assert sortedness_defect([1, 2, 3, 4]) == 0
+
+    def test_single_swap(self):
+        assert sortedness_defect([2, 1, 3]) == 1
+
+    def test_element_far_from_home(self):
+        assert sortedness_defect([5, 1, 2, 3, 0]) == 4

@@ -1,0 +1,148 @@
+"""Tests for weight-ranked keyword search (repro.datagraph.ranked)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagraph.kfragments import undirected_kfragments
+from repro.datagraph.model import DataGraph, synthetic_data_graph
+from repro.datagraph.ranked import (
+    RankedFragment,
+    degree_weight_model,
+    ranked_kfragments,
+    top_k_weighted_fragments,
+    uniform_weight_model,
+)
+
+
+def bibliographic_graph():
+    """Papers citing each other through a hub (classic keyword-search
+    shape: the hub must be penalized by the degree model)."""
+    dg = DataGraph()
+    dg.add_node("hub")
+    dg.add_node("p1", ["steiner"])
+    dg.add_node("p2", ["enumeration"])
+    dg.add_node("p3", [])
+    for i in range(4, 9):  # extra spokes make the hub a genuine hub
+        dg.add_node(f"p{i}")
+    for node in ("p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"):
+        dg.add_link("hub", node)
+    dg.add_link("p1", "p3")
+    dg.add_link("p3", "p2")
+    return dg
+
+
+class TestWeightModels:
+    def test_uniform_counts_structural_edges(self):
+        dg = bibliographic_graph()
+        query = dg.query_graph(["steiner", "enumeration"])
+        weights = uniform_weight_model(query)
+        for eid in query.keyword_edge_ids:
+            assert weights[eid] == 0.0
+        structural = set(query.graph.edge_ids()) - set(query.keyword_edge_ids)
+        assert all(weights[eid] == 1.0 for eid in structural)
+
+    def test_degree_model_penalizes_hub(self):
+        dg = bibliographic_graph()
+        query = dg.query_graph(["steiner", "enumeration"])
+        weights = degree_weight_model(dg, query)
+        hub_edges = [
+            e.eid
+            for e in query.graph.edges()
+            if "hub" in (e.u, e.v) and e.eid not in query.keyword_edge_ids
+        ]
+        side_edges = [
+            e.eid
+            for e in query.graph.edges()
+            if e.eid not in query.keyword_edge_ids and "hub" not in (e.u, e.v)
+        ]
+        assert min(weights[e] for e in hub_edges) > max(
+            weights[e] for e in side_edges
+        )
+
+    def test_unknown_model_rejected(self):
+        dg = bibliographic_graph()
+        with pytest.raises(ValueError):
+            top_k_weighted_fragments(dg, ["steiner"], 1, model="pagerank")
+
+
+class TestTopK:
+    def test_uniform_top1_is_smallest_fragment(self):
+        dg = bibliographic_graph()
+        out = top_k_weighted_fragments(dg, ["steiner", "enumeration"], 1, "uniform")
+        assert len(out) == 1
+        smallest = min(
+            f.size for f in undirected_kfragments(dg, ["steiner", "enumeration"])
+        )
+        assert out[0].fragment.size == smallest
+
+    def test_degree_model_prefers_non_hub_route(self):
+        dg = bibliographic_graph()
+        best = top_k_weighted_fragments(dg, ["steiner", "enumeration"], 1, "degree")[0]
+        nodes = {v for eid in best.fragment.structural_edges for v in dg.graph.endpoints(eid)}
+        assert "hub" not in nodes  # p1 - p3 - p2 beats p1 - hub - p2
+
+    def test_weights_nondecreasing(self):
+        dg = synthetic_data_graph(30, 15, 12, 2, seed=3)
+        vocab = sorted(dg.vocabulary())[:2]
+        out = top_k_weighted_fragments(dg, vocab, 5, "degree")
+        weights = [f.weight for f in out]
+        assert weights == sorted(weights)
+
+    def test_k_larger_than_answer_set(self):
+        dg = bibliographic_graph()
+        all_answers = list(undirected_kfragments(dg, ["steiner", "enumeration"]))
+        out = top_k_weighted_fragments(
+            dg, ["steiner", "enumeration"], len(all_answers) + 10, "uniform"
+        )
+        assert len(out) == len(all_answers)
+
+
+class TestStreaming:
+    def test_stream_covers_all_fragments(self):
+        dg = bibliographic_graph()
+        streamed = {
+            f.fragment.structural_edges
+            for f in ranked_kfragments(dg, ["steiner", "enumeration"])
+        }
+        direct = {
+            f.structural_edges
+            for f in undirected_kfragments(dg, ["steiner", "enumeration"])
+        }
+        assert streamed == direct
+
+    def test_large_lookahead_gives_sorted_stream(self):
+        dg = synthetic_data_graph(25, 12, 10, 2, seed=7)
+        vocab = sorted(dg.vocabulary())[:2]
+        total = sum(1 for _ in undirected_kfragments(dg, vocab))
+        weights = [
+            f.weight
+            for f in ranked_kfragments(dg, vocab, lookahead=total + 1)
+        ]
+        assert weights == sorted(weights)
+
+    def test_returns_ranked_fragment_records(self):
+        dg = bibliographic_graph()
+        first = next(ranked_kfragments(dg, ["steiner", "enumeration"]))
+        assert isinstance(first, RankedFragment)
+        assert first.weight >= 0
+        assert first.fragment.matches
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    lookahead=st.integers(min_value=1, max_value=64),
+)
+def test_stream_is_permutation_of_direct_enumeration(seed, lookahead):
+    dg = synthetic_data_graph(18, 8, 8, 2, seed=seed)
+    vocab = sorted(dg.vocabulary())[:2]
+    streamed = sorted(
+        tuple(sorted(f.fragment.structural_edges))
+        for f in ranked_kfragments(dg, vocab, lookahead=lookahead)
+    )
+    direct = sorted(
+        tuple(sorted(f.structural_edges))
+        for f in undirected_kfragments(dg, vocab)
+    )
+    assert streamed == direct

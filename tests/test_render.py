@@ -1,0 +1,136 @@
+"""Tests for the enumeration-tree renderer (repro.enumeration.render)."""
+
+import pytest
+
+from repro.core.directed_steiner import directed_steiner_events
+from repro.core.steiner_tree import steiner_tree_events
+from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION
+from repro.enumeration.render import (
+    EnumerationTree,
+    preprocessing_cut,
+    render_figure1,
+    render_tree,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_connected_graph, random_terminals
+from repro.graphs.graph import Graph
+
+
+def tiny_tree_events():
+    """Root with two solution leaves, hand-rolled."""
+    return [
+        (DISCOVER, "root", 0),
+        (DISCOVER, "a", 1),
+        (SOLUTION, {"a"}),
+        (EXAMINE, "a", 1),
+        (DISCOVER, "b", 1),
+        (SOLUTION, {"b"}),
+        (EXAMINE, "b", 1),
+        (EXAMINE, "root", 0),
+    ]
+
+
+class TestMaterialization:
+    def test_counts(self):
+        tree = EnumerationTree.from_events(tiny_tree_events())
+        assert tree.size == 3
+        assert tree.num_leaves == 2
+        assert tree.num_internal == 1
+        assert tree.height == 1
+        assert tree.total_solutions == 2
+
+    def test_solutions_attributed_to_leaves(self):
+        tree = EnumerationTree.from_events(tiny_tree_events())
+        leaf_solutions = [n.solutions for n in tree.nodes() if n.is_leaf]
+        assert leaf_solutions == [1, 1]
+        assert tree.root.solutions == 0
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            EnumerationTree.from_events([])
+
+    def test_second_root_rejected(self):
+        events = tiny_tree_events() + [(DISCOVER, "x", 0)]
+        with pytest.raises(ValueError):
+            EnumerationTree.from_events(events)
+
+    def test_from_real_enumerator(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        tree = EnumerationTree.from_events(steiner_tree_events(g, [0, 2]))
+        assert tree.total_solutions == 2
+        assert tree.num_leaves == tree.total_solutions
+
+    def test_improved_tree_branching_claim(self):
+        """Lemma 16 machinery: every internal node has ≥ 2 children, so
+        internal ≤ leaves (the Figure 1 / Theorem 17 structure)."""
+        g = random_connected_graph(11, 10, seed=21)
+        terms = random_terminals(g, 3, seed=21)
+        tree = EnumerationTree.from_events(steiner_tree_events(g, terms))
+        assert tree.min_internal_children >= 2
+        assert tree.num_internal <= tree.num_leaves
+
+    def test_directed_events_render_too(self):
+        d = DiGraph.from_arcs([("r", "a"), ("a", "w"), ("r", "w")])
+        tree = EnumerationTree.from_events(directed_steiner_events(d, ["w"], "r"))
+        assert tree.total_solutions == 2
+
+
+class TestRendering:
+    def test_render_contains_all_nodes(self):
+        tree = EnumerationTree.from_events(tiny_tree_events())
+        text = render_tree(tree)
+        assert "#0" in text and "#1" in text and "#2" in text
+        assert "●" in text
+
+    def test_render_truncation(self):
+        g = random_connected_graph(10, 9, seed=3)
+        terms = random_terminals(g, 3, seed=3)
+        tree = EnumerationTree.from_events(steiner_tree_events(g, terms))
+        text = render_tree(tree, max_nodes=10)
+        assert "more nodes" in text
+        assert len(text.splitlines()) == 11
+
+    def test_render_annotation_hook(self):
+        tree = EnumerationTree.from_events(tiny_tree_events())
+        text = render_tree(tree, annotate=lambda n: "leaf" if n.is_leaf else "")
+        assert "[leaf]" in text
+        assert "[pre]" not in text
+
+    def test_box_drawing_structure(self):
+        tree = EnumerationTree.from_events(tiny_tree_events())
+        lines = render_tree(tree).splitlines()
+        assert lines[1].startswith("├── ")
+        assert lines[2].startswith("└── ")
+
+
+class TestFigure1:
+    def test_cut_before_nth_solution(self):
+        tree = EnumerationTree.from_events(tiny_tree_events())
+        assert preprocessing_cut(tree, 1) == 1
+        assert preprocessing_cut(tree, 2) == 2
+        assert preprocessing_cut(tree, 99) == 2  # fewer solutions than n
+
+    def test_figure1_tags_regions(self):
+        g = random_connected_graph(10, 8, seed=3)
+        terms = random_terminals(g, 3, seed=3)
+        tree = EnumerationTree.from_events(steiner_tree_events(g, terms))
+        text = render_figure1(tree, n=5)
+        assert "[pre]" in text
+        assert "[T1]" in text
+        assert "preprocessing cut" in text
+
+    def test_figure1_pre_region_is_prefix(self):
+        """Every node tagged pre must have a smaller discovery index than
+        every node tagged T_i."""
+        g = random_connected_graph(9, 8, seed=7)
+        terms = random_terminals(g, 3, seed=7)
+        tree = EnumerationTree.from_events(steiner_tree_events(g, terms))
+        n = 4
+        cut = preprocessing_cut(tree, n)
+        text = render_figure1(tree, n=n)
+        for line in text.splitlines()[1:]:
+            order = int(line.split("#")[1].split()[0])
+            if "[pre]" in line:
+                assert order <= cut
+            else:
+                assert order > cut

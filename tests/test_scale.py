@@ -1,0 +1,68 @@
+"""Scale smoke tests: streaming must stay responsive on larger inputs.
+
+These do not validate asymptotics (the metered benchmarks do that); they
+guard against accidental quadratic blowups, recursion-limit crashes and
+eager materialization — each test takes the *first few* solutions from
+an instance far too big to enumerate exhaustively.
+"""
+
+import itertools
+
+from repro.core.directed_steiner import enumerate_minimal_directed_steiner_trees
+from repro.core.steiner_forest import enumerate_minimal_steiner_forests
+from repro.core.steiner_tree import (
+    enumerate_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees_linear_delay,
+)
+from repro.core.verification import is_minimal_steiner_tree
+from repro.graphs.generators import (
+    grid_graph,
+    random_connected_graph,
+    random_rooted_digraph,
+    random_terminals,
+)
+from repro.paths.read_tarjan import enumerate_st_paths_undirected
+
+FIRST = 50
+
+
+def take(iterable, k=FIRST):
+    return list(itertools.islice(iterable, k))
+
+
+class TestStreamingScale:
+    def test_steiner_trees_on_thousand_vertex_graph(self):
+        g = random_connected_graph(1000, 700, seed=1)
+        terms = random_terminals(g, 12, seed=1)
+        out = take(enumerate_minimal_steiner_trees(g, terms))
+        assert len(out) == FIRST
+        assert len(set(out)) == FIRST
+        for sol in out[:5]:
+            assert is_minimal_steiner_tree(g, sol, terms)
+
+    def test_linear_delay_variant_scales_too(self):
+        g = random_connected_graph(600, 400, seed=2)
+        terms = random_terminals(g, 8, seed=2)
+        out = take(enumerate_minimal_steiner_trees_linear_delay(g, terms))
+        assert len(out) == FIRST
+
+    def test_deep_path_no_recursion_crash(self):
+        # a 2000-vertex path with a parallel shortcut ladder stresses
+        # recursion depth in path enumeration
+        g = grid_graph(2, 1000)
+        out = take(enumerate_st_paths_undirected(g, (0, 0), (1, 999)), 10)
+        assert out
+
+    def test_forest_streaming(self):
+        g = random_connected_graph(500, 350, seed=3)
+        families = [[0, 100], [200, 300], [400, 499]]
+        out = take(enumerate_minimal_steiner_forests(g, families), 25)
+        assert len(out) == 25
+
+    def test_directed_streaming(self):
+        d = random_rooted_digraph(600, 1800, seed=4, root=0)
+        terminals = [100, 200, 300, 400, 500]
+        out = take(
+            enumerate_minimal_directed_steiner_trees(d, terminals, 0), 25
+        )
+        assert out

@@ -1,0 +1,103 @@
+"""The keyword-search engine layer."""
+
+import pytest
+
+from repro.datagraph.model import DataGraph, synthetic_data_graph
+from repro.datagraph.search import KeywordSearchEngine, QueryResult
+from repro.exceptions import InvalidInstanceError
+
+
+@pytest.fixture
+def corpus() -> DataGraph:
+    dg = DataGraph()
+    dg.add_node("doc1", ["apple", "banana"])
+    dg.add_node("doc2", ["banana", "cherry"])
+    dg.add_node("doc3", ["cherry", "apple"])
+    dg.add_node("hub", [])
+    for doc in ("doc1", "doc2", "doc3"):
+        dg.add_link("hub", doc)
+    dg.add_link("doc1", "doc2")
+    return dg
+
+
+@pytest.fixture
+def engine(corpus) -> KeywordSearchEngine:
+    return KeywordSearchEngine(corpus)
+
+
+class TestQuery:
+    def test_basic_query(self, engine):
+        result = engine.query(["apple", "cherry"])
+        assert isinstance(result, QueryResult)
+        assert len(result) > 0
+        assert result.variant == "undirected"
+        assert not result.truncated
+        # sorted ascending by size
+        sizes = [f.size for f in result.answers]
+        assert sizes == sorted(sizes)
+
+    def test_single_node_answer_ranks_first(self, engine):
+        # doc3 holds both keywords -> a size-0 answer exists and ranks first
+        result = engine.query(["apple", "cherry"])
+        assert result.answers[0].size == 0
+
+    def test_limit_truncates(self, engine):
+        result = engine.query(["apple", "cherry"], limit=1)
+        assert result.truncated
+        assert len(result) == 1
+
+    def test_top_keeps_k_best(self, engine):
+        full = engine.query(["apple", "cherry"])
+        top = engine.query(["apple", "cherry"], top=2)
+        assert [f.size for f in top.answers] == [f.size for f in full.answers[:2]]
+
+    def test_strong_variant(self, engine):
+        result = engine.query(["apple", "cherry"], variant="strong")
+        assert result.variant == "strong"
+
+    def test_directed_variant_needs_root(self, engine):
+        with pytest.raises(ValueError):
+            engine.query(["apple"], variant="directed")
+        result = engine.query(["apple"], variant="directed", root="hub")
+        assert len(result) > 0
+
+    def test_unknown_variant(self, engine):
+        with pytest.raises(ValueError):
+            engine.query(["apple"], variant="psychic")
+
+    def test_unknown_keyword_fails_loud(self, engine):
+        with pytest.raises(InvalidInstanceError):
+            engine.query(["durian"])
+
+    def test_bad_limit(self, engine):
+        with pytest.raises(ValueError):
+            engine.query(["apple"], limit=0)
+
+    def test_query_counter(self, engine):
+        engine.query(["apple"])
+        engine.query(["banana"])
+        assert engine.queries_served == 2
+
+
+class TestExplainAndSuggest:
+    def test_explain_mentions_matches(self, engine):
+        result = engine.query(["apple", "banana"])
+        text = engine.explain(result.answers[0])
+        assert "apple" in text and "banana" in text
+
+    def test_suggest_by_frequency(self, corpus):
+        engine = KeywordSearchEngine(corpus)
+        # 'banana' and 'cherry' appear twice, 'apple' twice too; prefix filter
+        assert engine.suggest("ba") == ["banana"]
+        assert engine.suggest("zzz") == []
+
+    def test_suggest_limit(self):
+        dg = synthetic_data_graph(30, 10, 20, 2, seed=3)
+        engine = KeywordSearchEngine(dg)
+        assert len(engine.suggest("kw", limit=5)) == 5
+
+
+class TestConstruction:
+    def test_bad_default_limit(self, corpus):
+        with pytest.raises(ValueError):
+            KeywordSearchEngine(corpus, default_limit=0)

@@ -1,0 +1,173 @@
+"""Unit and property tests for repro.graphs.shortest_paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidInstanceError, NoSolutionError, VertexNotFound
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import (
+    bfs_distances,
+    dijkstra,
+    dijkstra_directed,
+    eccentricity,
+    multi_source_dijkstra,
+    path_weight,
+    shortest_path,
+    shortest_path_directed,
+)
+
+
+def triangle():
+    g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+    weights = {0: 1.0, 1: 1.0, 2: 5.0}
+    return g, weights
+
+
+class TestDijkstraUndirected:
+    def test_prefers_cheap_two_hop_route(self):
+        g, w = triangle()
+        dist, parent = dijkstra(g, "a", w)
+        assert dist == {"a": 0.0, "b": 1.0, "c": 2.0}
+        assert parent["c"] == (1, "b")
+
+    def test_unweighted_defaults_to_hop_count(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        dist, _ = dijkstra(g, 0)
+        assert dist[3] == 3.0
+
+    def test_unreachable_vertices_absent_from_dist(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        dist, _ = dijkstra(g, 0)
+        assert 2 not in dist
+
+    def test_early_stop_target_distance_exact(self):
+        g, w = triangle()
+        dist, _ = dijkstra(g, "a", w, target="c")
+        assert dist["c"] == 2.0
+
+    def test_missing_source_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(VertexNotFound):
+            dijkstra(g, 99)
+
+    def test_negative_weight_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(InvalidInstanceError):
+            dijkstra(g, 0, {0: -1.0})
+
+    def test_parallel_edges_cheapest_wins(self):
+        g = Graph()
+        g.add_edge("u", "v")  # eid 0
+        g.add_edge("u", "v")  # eid 1
+        dist, parent = dijkstra(g, "u", {0: 7.0, 1: 2.0})
+        assert dist["v"] == 2.0
+        assert parent["v"][0] == 1
+
+    def test_deterministic_tie_break_by_edge_id(self):
+        g = Graph()
+        g.add_edge("u", "v")
+        g.add_edge("u", "v")
+        _, parent = dijkstra(g, "u", {0: 3.0, 1: 3.0})
+        assert parent["v"][0] == 0
+
+
+class TestShortestPath:
+    def test_returns_vertices_and_edge_ids(self):
+        g, w = triangle()
+        weight, vertices, edges = shortest_path(g, "a", "c", w)
+        assert weight == 2.0
+        assert vertices == ["a", "b", "c"]
+        assert edges == [0, 1]
+
+    def test_trivial_path(self):
+        g = Graph.from_edges([(0, 1)])
+        assert shortest_path(g, 0, 0) == (0.0, [0], [])
+
+    def test_unreachable_raises(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        with pytest.raises(NoSolutionError):
+            shortest_path(g, 0, 2)
+
+    def test_missing_target_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(VertexNotFound):
+            shortest_path(g, 0, 99)
+
+
+class TestDirected:
+    def test_respects_arc_direction(self):
+        d = DiGraph.from_arcs([("a", "b"), ("b", "c")])
+        dist, _ = dijkstra_directed(d, "a")
+        assert dist["c"] == 2.0
+        back, _ = dijkstra_directed(d, "c")
+        assert "a" not in back
+
+    def test_shortest_path_directed_unreachable(self):
+        d = DiGraph.from_arcs([("a", "b")])
+        with pytest.raises(NoSolutionError):
+            shortest_path_directed(d, "b", "a")
+
+    def test_shortest_path_directed_arcs(self):
+        d = DiGraph.from_arcs([("a", "b"), ("b", "c"), ("a", "c")])
+        weight, vertices, arcs = shortest_path_directed(
+            d, "a", "c", {0: 1.0, 1: 1.0, 2: 9.0}
+        )
+        assert (weight, vertices, arcs) == (2.0, ["a", "b", "c"], [0, 1])
+
+
+class TestMultiSource:
+    def test_distance_from_nearest_source(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        dist, _ = multi_source_dijkstra(g, [0, 4])
+        assert dist[2] == 2.0
+        assert dist[3] == 1.0
+
+    def test_empty_sources_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(InvalidInstanceError):
+            multi_source_dijkstra(g, [])
+
+
+class TestBfsHelpers:
+    def test_bfs_matches_unweighted_dijkstra(self):
+        g = random_connected_graph(20, 32, seed=7)
+        bfs = bfs_distances(g, 0)
+        dij, _ = dijkstra(g, 0)
+        assert {v: float(d) for v, d in bfs.items()} == dij
+
+    def test_eccentricity_of_path_end(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert eccentricity(g, 0) == 3
+        assert eccentricity(g, 1) == 2
+
+    def test_path_weight_defaults(self):
+        assert path_weight(None, [1, 2, 3]) == 3.0
+        assert path_weight({1: 0.5}, [1, 2]) == 1.5
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=14),
+    extra=st.integers(min_value=0, max_value=18),
+    seed=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+def test_dijkstra_tree_property(n, extra, seed, data):
+    """dist[v] = dist[parent] + w(edge) along every parent pointer,
+    and no edge can relax any settled distance (optimality certificate)."""
+    g = random_connected_graph(n, n - 1 + extra, seed=seed)
+    weights = {
+        eid: data.draw(st.floats(min_value=0.0, max_value=9.0), label=f"w{eid}")
+        for eid in g.edge_ids()
+    }
+    dist, parent = dijkstra(g, 0, weights)
+    assert set(dist) == set(g.vertices())  # connected
+    for v, (eid, prev) in parent.items():
+        assert dist[v] == pytest.approx(dist[prev] + weights[eid])
+    for edge in g.edges():
+        w = weights[edge.eid]
+        assert dist[edge.u] <= dist[edge.v] + w + 1e-9
+        assert dist[edge.v] <= dist[edge.u] + w + 1e-9

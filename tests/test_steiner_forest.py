@@ -1,0 +1,115 @@
+"""Minimal Steiner forest enumeration (Section 5, Theorems 23/25)."""
+
+import random
+
+import pytest
+
+from repro.core.baselines import brute_force_minimal_steiner_forests
+from repro.core.steiner_forest import (
+    count_minimal_steiner_forests,
+    enumerate_minimal_steiner_forests,
+    enumerate_minimal_steiner_forests_linear_delay,
+    enumerate_minimal_steiner_forests_simple,
+    normalize_families,
+)
+from repro.core.steiner_tree import enumerate_minimal_steiner_trees
+from repro.core.verification import is_minimal_steiner_forest
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.generators import random_connected_graph, random_terminal_pairs
+from repro.graphs.graph import Graph
+
+from conftest import random_simple_graph
+
+ALL_VARIANTS = [
+    enumerate_minimal_steiner_forests,
+    enumerate_minimal_steiner_forests_simple,
+    enumerate_minimal_steiner_forests_linear_delay,
+]
+
+
+class TestNormalization:
+    def test_family_becomes_anchored_pairs(self, diamond):
+        pairs = normalize_families(diamond, [["s", "a", "t"]])
+        assert pairs == [("s", "a"), ("s", "t")]
+
+    def test_singletons_dropped(self, diamond):
+        assert normalize_families(diamond, [["s"], []]) == []
+
+    def test_duplicate_pairs_merged(self, diamond):
+        pairs = normalize_families(diamond, [["s", "t"], ["t", "s"]])
+        assert len(pairs) == 1
+
+    def test_missing_terminal_rejected(self, diamond):
+        with pytest.raises(InvalidInstanceError):
+            normalize_families(diamond, [["s", "zzz"]])
+
+    def test_duplicates_within_family_ignored(self, diamond):
+        pairs = normalize_families(diamond, [["s", "s", "t"]])
+        assert pairs == [("s", "t")]
+
+
+class TestBasics:
+    def test_no_constraints_gives_empty_forest(self, diamond):
+        assert list(enumerate_minimal_steiner_forests(diamond, [])) == [frozenset()]
+        assert list(enumerate_minimal_steiner_forests(diamond, [["s"]])) == [frozenset()]
+
+    def test_single_pair_matches_steiner_tree(self):
+        """|W|=1 family: Steiner Forest ≡ Steiner Tree (paper's remark)."""
+        rng = random.Random(307)
+        for _ in range(25):
+            g = random_simple_graph(rng, max_n=7)
+            t = rng.randint(2, min(4, g.num_vertices))
+            terminals = rng.sample(range(g.num_vertices), t)
+            forest = set(enumerate_minimal_steiner_forests(g, [terminals]))
+            tree = set(enumerate_minimal_steiner_trees(g, terminals))
+            assert forest == tree
+
+    def test_disconnected_pair_yields_nothing(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        assert list(enumerate_minimal_steiner_forests(g, [[0, 2]])) == []
+
+    def test_two_independent_pairs(self):
+        # two disjoint edges, one pair each: unique forest
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        sols = list(enumerate_minimal_steiner_forests(g, [[0, 1], [2, 3]]))
+        assert sols == [frozenset({0, 1})]
+
+    def test_forest_may_be_disconnected(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (1, 2)])
+        sols = set(enumerate_minimal_steiner_forests(g, [[0, 1], [2, 3]]))
+        assert frozenset({0, 1}) in sols
+
+    def test_intersecting_families_share_structure(self):
+        g = Graph.from_edges([("a", "x"), ("x", "b"), ("x", "c")])
+        sols = list(enumerate_minimal_steiner_forests(g, [["a", "b"], ["b", "c"]]))
+        assert sols == [frozenset({0, 1, 2})]
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_matches_brute_force(self, variant):
+        rng = random.Random(311)
+        for _ in range(50):
+            g = random_simple_graph(rng, max_n=6)
+            fams = []
+            for _ in range(rng.randint(1, 3)):
+                k = rng.randint(2, min(3, g.num_vertices))
+                fams.append(rng.sample(range(g.num_vertices), k))
+            want = brute_force_minimal_steiner_forests(g, fams)
+            got = list(variant(g, fams))
+            assert set(got) == want
+            assert len(got) == len(set(got))
+
+    def test_outputs_verify_on_larger_instances(self):
+        rng = random.Random(313)
+        for seed in range(8):
+            g = random_connected_graph(rng.randint(8, 18), rng.randint(4, 12), seed)
+            fams = [list(p) for p in random_terminal_pairs(g, rng.randint(1, 3), seed + 5)]
+            for i, sol in enumerate(enumerate_minimal_steiner_forests(g, fams)):
+                assert is_minimal_steiner_forest(g, list(sol), fams)
+                if i > 100:
+                    break
+
+    def test_count_wrapper(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert count_minimal_steiner_forests(g, [[0, 1]]) == 2

@@ -1,0 +1,173 @@
+"""Minimal Steiner tree enumeration (Section 4): all three variants."""
+
+import random
+
+import pytest
+
+from repro.core.baselines import brute_force_minimal_steiner_trees
+from repro.core.steiner_tree import (
+    count_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees_linear_delay,
+    enumerate_minimal_steiner_trees_simple,
+    steiner_tree_events,
+)
+from repro.core.verification import is_minimal_steiner_tree
+from repro.enumeration.delay import CostMeter, record_metered_delays
+from repro.enumeration.events import TreeShape
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.generators import (
+    gadget_chain,
+    grid_graph,
+    random_connected_graph,
+    random_terminals,
+)
+from repro.graphs.graph import Graph
+
+from conftest import random_simple_graph
+
+ALL_VARIANTS = [
+    enumerate_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees_simple,
+    enumerate_minimal_steiner_trees_linear_delay,
+]
+
+
+class TestBasics:
+    def test_two_adjacent_terminals(self):
+        g = Graph.from_edges([("a", "b")])
+        assert list(enumerate_minimal_steiner_trees(g, ["a", "b"])) == [frozenset({0})]
+
+    def test_single_terminal_gives_empty_tree(self):
+        g = Graph.from_edges([("a", "b")])
+        assert list(enumerate_minimal_steiner_trees(g, ["a"])) == [frozenset()]
+
+    def test_duplicate_terminals_deduplicated(self):
+        g = Graph.from_edges([("a", "b")])
+        assert count_minimal_steiner_trees(g, ["a", "b", "a"]) == 1
+
+    def test_no_terminals_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            list(enumerate_minimal_steiner_trees(Graph(), []))
+
+    def test_missing_terminal_rejected(self, diamond):
+        with pytest.raises(InvalidInstanceError):
+            list(enumerate_minimal_steiner_trees(diamond, ["nope"]))
+
+    def test_disconnected_terminals_yield_nothing(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        assert list(enumerate_minimal_steiner_trees(g, [0, 2])) == []
+
+    def test_triangle_two_terminals(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        sols = sorted(sorted(s) for s in enumerate_minimal_steiner_trees(g, ["a", "c"]))
+        assert sols == [[0, 1], [2]]
+
+    def test_steiner_vertex_used_when_needed(self):
+        # star centre is a non-terminal connector
+        g = Graph.from_edges([("c", "w1"), ("c", "w2"), ("c", "w3")])
+        sols = list(enumerate_minimal_steiner_trees(g, ["w1", "w2", "w3"]))
+        assert sols == [frozenset({0, 1, 2})]
+
+    def test_gadget_chain_count(self):
+        g, s, t = gadget_chain(5)
+        assert count_minimal_steiner_trees(g, [s, t]) == 32
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_matches_brute_force(self, variant):
+        rng = random.Random(211)
+        for _ in range(60):
+            g = random_simple_graph(rng, max_n=7)
+            t = rng.randint(1, min(4, g.num_vertices))
+            terminals = rng.sample(range(g.num_vertices), t)
+            want = brute_force_minimal_steiner_trees(g, terminals)
+            got = list(variant(g, terminals))
+            assert set(got) == want
+            assert len(got) == len(set(got)), "duplicate solutions"
+
+    def test_every_output_is_a_minimal_steiner_tree(self):
+        rng = random.Random(223)
+        for seed in range(15):
+            g = random_connected_graph(rng.randint(5, 25), rng.randint(3, 20), seed)
+            terminals = random_terminals(g, rng.randint(2, 5), seed + 1)
+            for i, sol in enumerate(enumerate_minimal_steiner_trees(g, terminals)):
+                assert is_minimal_steiner_tree(g, sol, terminals)
+                if i > 200:
+                    break
+
+    def test_variants_agree_on_midsize_instances(self):
+        for seed in range(5):
+            g = random_connected_graph(14, 10, seed)
+            terminals = random_terminals(g, 4, seed + 1)
+            improved = set(enumerate_minimal_steiner_trees(g, terminals))
+            simple = set(enumerate_minimal_steiner_trees_simple(g, terminals))
+            regulated = set(enumerate_minimal_steiner_trees_linear_delay(g, terminals))
+            assert improved == simple == regulated
+
+
+class TestImprovedEnumerationTree:
+    def test_internal_nodes_have_at_least_two_children(self):
+        """The Figure 1 / Lemma 16 structural claim."""
+        for seed in range(8):
+            g = random_connected_graph(12, 10, seed)
+            terminals = random_terminals(g, 3, seed + 1)
+            shape = TreeShape()
+            solutions = list(
+                shape.consume(steiner_tree_events(g, terminals, improved=True))
+            )
+            if shape.internal_nodes:
+                assert shape.min_internal_children >= 2
+            assert shape.internal_nodes <= max(1, shape.leaf_nodes)
+            assert shape.solutions == len(solutions)
+
+    def test_simple_tree_may_have_unary_chains(self):
+        """Plain Algorithm 2 has no such guarantee — and that is the point
+        of the improvement (delay factor |W|)."""
+        g = Graph.from_edges([("w1", "x"), ("x", "w2"), ("x", "w3")])
+        shape = TreeShape()
+        list(shape.consume(steiner_tree_events(g, ["w1", "w2", "w3"], improved=False)))
+        assert shape.min_internal_children == 1
+
+    def test_solutions_equal_leaves(self):
+        g = grid_graph(3, 3)
+        shape = TreeShape()
+        solutions = list(
+            shape.consume(steiner_tree_events(g, [(0, 0), (2, 2)], improved=True))
+        )
+        assert len(solutions) == shape.leaf_nodes
+
+
+class TestDelayShape:
+    def test_amortized_cost_linear_in_size(self):
+        """Theorem 17: amortized ops per solution stay a bounded multiple of
+        n+m as size grows."""
+        ratios = []
+        for n, extra in ((20, 15), (40, 30), (80, 60)):
+            g = random_connected_graph(n, extra, n)
+            terminals = random_terminals(g, 4, n + 1)
+            meter = CostMeter()
+            stats = record_metered_delays(
+                enumerate_minimal_steiner_trees(g, terminals, meter=meter),
+                meter,
+                limit=200,
+            )
+            assert stats.solutions > 0
+            ratios.append(stats.amortized / g.size)
+        assert max(ratios) / min(ratios) < 6
+
+    def test_amortized_cost_does_not_grow_with_terminal_count(self):
+        """The improvement removes the |W| factor."""
+        g = random_connected_graph(60, 40, 99)
+        costs = []
+        for t in (2, 4, 8):
+            terminals = random_terminals(g, t, 100 + t)
+            meter = CostMeter()
+            stats = record_metered_delays(
+                enumerate_minimal_steiner_trees(g, terminals, meter=meter),
+                meter,
+                limit=150,
+            )
+            costs.append(stats.amortized)
+        assert max(costs) / min(costs) < 4

@@ -1,0 +1,230 @@
+"""Tests for SteinLib STP file support (repro.graphs.stp)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.steiner_tree import enumerate_minimal_steiner_trees
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_connected_graph, random_terminals
+from repro.graphs.graph import Graph
+from repro.graphs.stp import (
+    STPFormatError,
+    STPInstance,
+    format_stp,
+    parse_stp,
+    read_stp,
+    relabel_to_stp,
+    stp_from_parts,
+    write_stp,
+)
+
+MINIMAL = """33D32945 STP File, STP Format Version 1.0
+SECTION Comment
+Name "tiny"
+Creator "unit test"
+END
+
+SECTION Graph
+Nodes 4
+Edges 4
+E 1 2 1
+E 2 3 2
+E 3 4 1.5
+E 1 4 10
+END
+
+SECTION Terminals
+Terminals 2
+T 1
+T 4
+END
+
+EOF
+"""
+
+
+class TestParse:
+    def test_parses_graph_and_terminals(self):
+        inst = parse_stp(MINIMAL)
+        assert inst.num_vertices == 4
+        assert inst.num_edges == 4
+        assert inst.terminals == [1, 4]
+        assert inst.name == "tiny"
+        assert inst.comments == {"Creator": "unit test"}
+        assert not inst.is_directed
+
+    def test_weights_by_insertion_order(self):
+        inst = parse_stp(MINIMAL)
+        assert inst.weights == {0: 1.0, 1: 2.0, 2: 1.5, 3: 10.0}
+
+    def test_missing_magic_rejected(self):
+        with pytest.raises(STPFormatError):
+            parse_stp("SECTION Graph\nEND\nEOF")
+
+    def test_isolated_declared_nodes_created(self):
+        text = MINIMAL.replace("Nodes 4", "Nodes 6")
+        inst = parse_stp(text)
+        assert inst.num_vertices == 6
+
+    def test_declared_nodes_too_small_rejected(self):
+        with pytest.raises(STPFormatError):
+            parse_stp(MINIMAL.replace("Nodes 4", "Nodes 2"))
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(STPFormatError):
+            parse_stp(MINIMAL.replace("Edges 4", "Edges 3"))
+
+    def test_terminal_count_mismatch_rejected(self):
+        with pytest.raises(STPFormatError):
+            parse_stp(MINIMAL.replace("Terminals 2", "Terminals 5"))
+
+    def test_unknown_terminal_vertex_rejected(self):
+        with pytest.raises(STPFormatError):
+            parse_stp(MINIMAL.replace("T 4", "T 9"))
+
+    def test_weightless_edge_defaults_to_one(self):
+        text = MINIMAL.replace("E 1 2 1", "E 1 2")
+        assert parse_stp(text).weights[0] == 1.0
+
+    def test_nested_section_rejected(self):
+        bad = MINIMAL.replace("SECTION Graph", "SECTION Graph\nSECTION Graph")
+        with pytest.raises(STPFormatError):
+            parse_stp(bad)
+
+    def test_content_outside_section_rejected(self):
+        bad = MINIMAL.replace("SECTION Graph", "E 1 2 3\nSECTION Graph")
+        with pytest.raises(STPFormatError):
+            parse_stp(bad)
+
+    def test_self_loop_rejected(self):
+        bad = MINIMAL.replace("E 1 2 1", "E 1 1 1")
+        with pytest.raises(STPFormatError):
+            parse_stp(bad)
+
+    def test_coordinates_section_ignored(self):
+        text = MINIMAL.replace(
+            "EOF", "SECTION Coordinates\nDD 1 0 0\nEND\nEOF"
+        )
+        assert parse_stp(text).num_vertices == 4
+
+
+DIRECTED = """33D32945 STP File, STP Format Version 1.0
+SECTION Graph
+Nodes 3
+Arcs 3
+A 1 2 1
+A 2 3 1
+A 1 3 5
+END
+SECTION Terminals
+Terminals 2
+Root 1
+T 2
+T 3
+END
+EOF
+"""
+
+
+class TestDirected:
+    def test_arcs_build_digraph(self):
+        inst = parse_stp(DIRECTED)
+        assert inst.is_directed
+        assert isinstance(inst.graph, DiGraph)
+        assert inst.root == 1
+        assert inst.num_edges == 3
+
+    def test_mixed_edge_arc_rejected(self):
+        bad = DIRECTED.replace("A 1 3 5", "E 1 3 5")
+        with pytest.raises(STPFormatError):
+            parse_stp(bad)
+
+
+class TestRoundTrip:
+    def test_format_then_parse_preserves_structure(self):
+        inst = parse_stp(MINIMAL)
+        again = parse_stp(format_stp(inst))
+        assert again.num_vertices == inst.num_vertices
+        assert again.terminals == inst.terminals
+        assert sorted(again.weights.values()) == sorted(inst.weights.values())
+
+    def test_directed_round_trip(self):
+        inst = parse_stp(DIRECTED)
+        again = parse_stp(format_stp(inst))
+        assert again.is_directed
+        assert again.root == 1
+
+    def test_file_round_trip(self, tmp_path):
+        inst = parse_stp(MINIMAL)
+        path = tmp_path / "tiny.stp"
+        write_stp(inst, path)
+        assert read_stp(path).terminals == [1, 4]
+
+    def test_non_integer_vertices_rejected_on_write(self):
+        g = Graph.from_edges([("a", "b")])
+        inst = stp_from_parts(g, ["a"])
+        with pytest.raises(InvalidInstanceError):
+            format_stp(inst)
+
+
+class TestHelpers:
+    def test_stp_from_parts_fills_unit_weights(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        inst = stp_from_parts(g, [1, 3])
+        assert inst.weights == {0: 1.0, 1: 1.0}
+
+    def test_relabel_preserves_edge_ids(self):
+        g = Graph.from_edges([("x", "y"), ("y", "z")])
+        relabeled, terminals, mapping = relabel_to_stp(g, ["x", "z"])
+        assert sorted(relabeled.vertices()) == [1, 2, 3]
+        assert sorted(relabeled.edge_ids()) == [0, 1]
+        assert terminals == [mapping["x"], mapping["z"]]
+
+    def test_relabeled_instance_enumerates_identically(self):
+        g = random_connected_graph(9, 8, seed=2)
+        terms = random_terminals(g, 3, seed=2)
+        shifted = Graph()
+        for e in g.edges():
+            shifted.add_edge(e.u + 1, e.v + 1, eid=e.eid)
+        inst = stp_from_parts(shifted, [t + 1 for t in terms], name="w")
+        reparsed = parse_stp(format_stp(inst))
+        direct = {
+            frozenset(t)
+            for t in enumerate_minimal_steiner_trees(shifted, inst.terminals)
+        }
+        via_file = {
+            frozenset(t)
+            for t in enumerate_minimal_steiner_trees(
+                reparsed.graph, reparsed.terminals
+            )
+        }
+        # edge ids may differ between graphs; compare endpoint multisets
+        def as_endpoints(graph, trees):
+            return {
+                frozenset((min(graph.endpoints(e)), max(graph.endpoints(e))) for e in t)
+                for t in trees
+            }
+
+        assert as_endpoints(shifted, direct) == as_endpoints(reparsed.graph, via_file)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    extra=st.integers(min_value=0, max_value=12),
+    t=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=9_999),
+)
+def test_round_trip_property(n, extra, t, seed):
+    g0 = random_connected_graph(n, extra, seed=seed)
+    terms0 = random_terminals(g0, min(t, n), seed=seed)
+    g, terms, _ = relabel_to_stp(g0, terms0)
+    weights = {eid: float((eid * 13) % 7 + 1) for eid in g.edge_ids()}
+    inst = stp_from_parts(g, terms, weights, name="prop")
+    again = parse_stp(format_stp(inst))
+    assert again.num_vertices == g.num_vertices
+    assert again.num_edges == g.num_edges
+    assert sorted(again.terminals) == sorted(terms)
+    assert sorted(again.weights.values()) == sorted(weights.values())

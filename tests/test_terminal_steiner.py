@@ -1,0 +1,109 @@
+"""Minimal terminal Steiner tree enumeration (Section 5.1)."""
+
+import random
+
+import pytest
+
+from repro.core.baselines import brute_force_minimal_terminal_steiner_trees
+from repro.core.terminal_steiner import (
+    count_minimal_terminal_steiner_trees,
+    enumerate_minimal_terminal_steiner_trees,
+    enumerate_minimal_terminal_steiner_trees_linear_delay,
+    enumerate_minimal_terminal_steiner_trees_simple,
+    valid_components,
+)
+from repro.core.verification import is_minimal_terminal_steiner_tree
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.generators import random_bipartite_terminal_instance
+from repro.graphs.graph import Graph
+from repro.graphs.spanning import tree_leaves
+
+from conftest import random_simple_graph
+
+ALL_VARIANTS = [
+    enumerate_minimal_terminal_steiner_trees,
+    enumerate_minimal_terminal_steiner_trees_simple,
+    enumerate_minimal_terminal_steiner_trees_linear_delay,
+]
+
+
+class TestValidComponents:
+    def test_lemma_27_filter(self):
+        # component {x} sees both terminals; component {y} sees only w2
+        g = Graph.from_edges([("w1", "x"), ("x", "w2"), ("y", "w2")])
+        comps = valid_components(g, ["w1", "w2"])
+        assert comps == [{"x"}]
+
+    def test_no_valid_component(self):
+        g = Graph.from_edges([("w1", "x"), ("y", "w2"), ("x", "w1")] )
+        assert valid_components(g, ["w1", "w2"]) == []
+
+
+class TestBasics:
+    def test_two_terminals_is_path_enumeration(self, diamond):
+        sols = sorted(sorted(s) for s in enumerate_minimal_terminal_steiner_trees(diamond, ["s", "t"]))
+        assert sols == [[0, 1], [2, 3]]
+
+    def test_direct_edge_counts_for_two_terminals(self):
+        g = Graph.from_edges([("w1", "w2"), ("w1", "x"), ("x", "w2")])
+        sols = set(enumerate_minimal_terminal_steiner_trees(g, ["w1", "w2"]))
+        assert frozenset({0}) in sols and len(sols) == 2
+
+    def test_fewer_than_two_terminals_rejected(self, diamond):
+        with pytest.raises(InvalidInstanceError):
+            list(enumerate_minimal_terminal_steiner_trees(diamond, ["s"]))
+
+    def test_three_terminals_star(self):
+        g = Graph.from_edges([("c", "w1"), ("c", "w2"), ("c", "w3")])
+        sols = list(enumerate_minimal_terminal_steiner_trees(g, ["w1", "w2", "w3"]))
+        assert sols == [frozenset({0, 1, 2})]
+
+    def test_terminal_terminal_edges_unusable_for_three(self):
+        # With |W| >= 3 the w1-w2 edge can never appear (Lemma 27)
+        g = Graph.from_edges(
+            [("w1", "w2"), ("c", "w1"), ("c", "w2"), ("c", "w3")]
+        )
+        for sol in enumerate_minimal_terminal_steiner_trees(g, ["w1", "w2", "w3"]):
+            assert 0 not in sol
+
+    def test_no_solution_when_component_misses_terminal(self):
+        g = Graph.from_edges([("w1", "x"), ("x", "w2"), ("y", "w3")])
+        assert (
+            list(enumerate_minimal_terminal_steiner_trees(g, ["w1", "w2", "w3"])) == []
+        )
+
+    def test_solutions_keep_terminals_as_leaves(self):
+        g, terminals = random_bipartite_terminal_instance(8, 3, 5, 17)
+        for sol in enumerate_minimal_terminal_steiner_trees(g, terminals):
+            sub = g.edge_subgraph(sol)
+            for w in terminals:
+                assert sub.degree(w) == 1
+            assert tree_leaves(g, sol) <= set(terminals)
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_matches_brute_force(self, variant):
+        rng = random.Random(401)
+        for _ in range(60):
+            g = random_simple_graph(rng, max_n=7)
+            t = rng.randint(2, min(4, g.num_vertices))
+            terminals = rng.sample(range(g.num_vertices), t)
+            want = brute_force_minimal_terminal_steiner_trees(g, terminals)
+            got = list(variant(g, terminals))
+            assert set(got) == want
+            assert len(got) == len(set(got))
+
+    def test_larger_instances_verify(self):
+        for seed in range(6):
+            g, terminals = random_bipartite_terminal_instance(10, 4, 6, seed)
+            count = 0
+            for sol in enumerate_minimal_terminal_steiner_trees(g, terminals):
+                assert is_minimal_terminal_steiner_tree(g, sol, terminals)
+                count += 1
+                if count > 150:
+                    break
+
+    def test_count_wrapper(self):
+        g = Graph.from_edges([("w1", "x"), ("x", "w2"), ("w1", "y"), ("y", "w2")])
+        assert count_minimal_terminal_steiner_trees(g, ["w1", "w2"]) == 2

@@ -1,0 +1,162 @@
+"""Unit tests for traversal primitives, cross-validated against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.enumeration.delay import CostMeter
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs_order,
+    bfs_tree_to,
+    component_of,
+    connected_components,
+    dfs_postorder,
+    dfs_tree,
+    directed_shortest_path,
+    has_directed_path,
+    is_connected,
+    reachable_from,
+    reaches,
+    shortest_path,
+    shortest_path_avoiding,
+)
+
+from conftest import random_simple_digraph, random_simple_graph
+
+
+def to_nx(g: Graph) -> nx.MultiGraph:
+    m = nx.MultiGraph()
+    m.add_nodes_from(g.vertices())
+    for e in g.edges():
+        m.add_edge(e.u, e.v)
+    return m
+
+
+def to_nx_directed(d: DiGraph) -> nx.MultiDiGraph:
+    m = nx.MultiDiGraph()
+    m.add_nodes_from(d.vertices())
+    for a in d.arcs():
+        m.add_edge(a.tail, a.head)
+    return m
+
+
+class TestUndirected:
+    def test_bfs_order_starts_at_source(self, diamond):
+        order = bfs_order(diamond, "s")
+        assert order[0] == "s"
+        assert set(order) == {"s", "a", "b", "t"}
+
+    def test_component_of_disconnected(self):
+        g = Graph.from_edges([(0, 1)], vertices=[0, 1, 2])
+        assert component_of(g, 0) == {0, 1}
+        assert component_of(g, 2) == {2}
+
+    def test_connected_components_match_networkx(self):
+        rng = random.Random(5)
+        for _ in range(30):
+            g = random_simple_graph(rng, max_n=8, p=0.25)
+            ours = {frozenset(c) for c in connected_components(g)}
+            theirs = {frozenset(c) for c in nx.connected_components(to_nx(g))}
+            assert ours == theirs
+
+    def test_is_connected(self):
+        assert is_connected(Graph())
+        assert is_connected(Graph.from_edges([(0, 1), (1, 2)]))
+        assert not is_connected(Graph.from_edges([(0, 1)], vertices=[2]))
+
+    def test_shortest_path_lengths_match_networkx(self):
+        rng = random.Random(6)
+        for _ in range(30):
+            g = random_simple_graph(rng, max_n=8)
+            m = to_nx(g)
+            for target in list(g.vertices())[1:]:
+                ours = shortest_path(g, 0, target)
+                if nx.has_path(m, 0, target):
+                    assert ours is not None
+                    assert len(ours) - 1 == nx.shortest_path_length(m, 0, target)
+                else:
+                    assert ours is None
+
+    def test_shortest_path_trivial(self, diamond):
+        assert shortest_path(diamond, "s", "s") == ["s"]
+
+    def test_bfs_tree_to_reaches_source(self, diamond):
+        parent = bfs_tree_to(diamond, "s")
+        assert parent["s"] is None
+        # follow parent edges from t back to s
+        v = "t"
+        steps = 0
+        while parent[v] is not None:
+            v = diamond.other_endpoint(parent[v], v)
+            steps += 1
+        assert v == "s" and steps == 2
+
+    def test_shortest_path_avoiding_blocks(self, diamond):
+        # blocking 'a' forces the s-b-t route
+        path = shortest_path_avoiding(diamond, ["s"], ["t"], forbidden=["a"])
+        assert path == ["s", "b", "t"]
+
+    def test_shortest_path_avoiding_source_in_targets(self, diamond):
+        assert shortest_path_avoiding(diamond, ["s"], ["s", "t"]) == ["s"]
+
+    def test_shortest_path_avoiding_unreachable(self, diamond):
+        assert (
+            shortest_path_avoiding(diamond, ["s"], ["t"], forbidden=["a", "b"])
+            is None
+        )
+
+    def test_meter_counts_edge_scans(self, diamond):
+        meter = CostMeter()
+        bfs_order(diamond, "s", meter=meter)
+        # every edge is scanned from both sides
+        assert meter.count == 2 * diamond.num_edges
+
+
+class TestDirected:
+    def test_reachable_from(self, rooted_dag):
+        assert reachable_from(rooted_dag, "r") == {"r", "a", "b", "w1", "w2"}
+        assert reachable_from(rooted_dag, "w1") == {"w1"}
+
+    def test_reaches_is_backward_reachability(self, rooted_dag):
+        assert reaches(rooted_dag, "w1") == {"r", "a", "b", "w1"}
+
+    def test_has_directed_path(self, rooted_dag):
+        assert has_directed_path(rooted_dag, "r", "w2")
+        assert not has_directed_path(rooted_dag, "w2", "r")
+        assert has_directed_path(rooted_dag, "a", "a")
+
+    def test_directed_shortest_path_matches_networkx(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            d = random_simple_digraph(rng, max_n=7)
+            m = to_nx_directed(d)
+            vs = list(d.vertices())
+            s, t = vs[0], vs[-1]
+            ours = directed_shortest_path(d, s, t)
+            if nx.has_path(m, s, t):
+                assert ours is not None
+                assert len(ours) - 1 == nx.shortest_path_length(m, s, t)
+            else:
+                assert ours is None
+
+    def test_dfs_postorder_root_last(self, rooted_dag):
+        order = dfs_postorder(rooted_dag, "r")
+        assert order[-1] == "r"
+        assert set(order) == {"r", "a", "b", "w1", "w2"}
+
+    def test_dfs_postorder_children_before_parents(self, rooted_dag):
+        order = dfs_postorder(rooted_dag, "r")
+        pos = {v: i for i, v in enumerate(order)}
+        parent = dfs_tree(rooted_dag, "r")
+        for v, aid in parent.items():
+            if aid is not None:
+                tail, _ = rooted_dag.arc_endpoints(aid)
+                assert pos[v] < pos[tail]
+
+    def test_dfs_tree_covers_reachable(self, rooted_dag):
+        parent = dfs_tree(rooted_dag, "r")
+        assert set(parent) == reachable_from(rooted_dag, "r")
+        assert parent["r"] is None

@@ -1,0 +1,148 @@
+"""The validators themselves (they anchor everything else, so they get
+their own direct tests on hand-built cases)."""
+
+from repro.core.verification import (
+    is_directed_steiner_tree,
+    is_group_steiner_tree,
+    is_induced_steiner_subgraph,
+    is_minimal_directed_steiner_tree,
+    is_minimal_group_steiner_tree,
+    is_minimal_induced_steiner_subgraph,
+    is_minimal_steiner_forest,
+    is_minimal_steiner_tree,
+    is_minimal_terminal_steiner_tree,
+    is_steiner_forest,
+    is_steiner_subgraph,
+    is_terminal_steiner_tree,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+
+class TestSteinerSubgraph:
+    def test_empty_edges_single_terminal(self, diamond):
+        assert is_steiner_subgraph(diamond, [], ["s"])
+        assert not is_steiner_subgraph(diamond, [], ["s", "t"])
+
+    def test_path_connects(self, diamond):
+        assert is_steiner_subgraph(diamond, [0, 1], ["s", "t"])
+        assert not is_steiner_subgraph(diamond, [0], ["s", "t"])
+
+    def test_no_terminals_vacuous(self, diamond):
+        assert is_steiner_subgraph(diamond, [0], [])
+
+
+class TestMinimalSteinerTree:
+    def test_proposition_3(self, diamond):
+        # a path s-a-t: leaves {s, t} = terminals -> minimal
+        assert is_minimal_steiner_tree(diamond, [0, 1], ["s", "t"])
+        # adding the other path creates a cycle -> not a tree
+        assert not is_minimal_steiner_tree(diamond, [0, 1, 2, 3], ["s", "t"])
+
+    def test_non_terminal_leaf_fails(self):
+        g = Graph.from_edges([("s", "t"), ("t", "x")])
+        assert not is_minimal_steiner_tree(g, [0, 1], ["s", "t"])
+
+    def test_disconnected_edges_fail(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert not is_minimal_steiner_tree(g, [0, 1], [0, 3])
+
+
+class TestSteinerForest:
+    def test_two_components_ok(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert is_steiner_forest(g, [0, 1], [[0, 1], [2, 3]])
+        assert is_minimal_steiner_forest(g, [0, 1], [[0, 1], [2, 3]])
+
+    def test_cycle_is_not_a_forest(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert not is_steiner_forest(g, [0, 1, 2], [[0, 1]])
+
+    def test_redundant_edge_not_minimal(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert not is_minimal_steiner_forest(g, [0, 1], [[0, 1]])
+
+    def test_singleton_family_vacuous(self):
+        g = Graph.from_edges([(0, 1)])
+        assert is_steiner_forest(g, [], [[0]])
+
+
+class TestTerminalSteinerTree:
+    def test_terminals_must_be_leaves(self):
+        g = Graph.from_edges([("w1", "x"), ("x", "w2"), ("w2", "y"), ("y", "w3")])
+        # w2 internal -> Steiner tree but not terminal Steiner tree
+        assert not is_terminal_steiner_tree(g, [0, 1, 2, 3], ["w1", "w2", "w3"])
+
+    def test_star_is_terminal_steiner(self):
+        g = Graph.from_edges([("c", "w1"), ("c", "w2"), ("c", "w3")])
+        assert is_minimal_terminal_steiner_tree(g, [0, 1, 2], ["w1", "w2", "w3"])
+
+    def test_non_terminal_leaf_not_minimal(self):
+        g = Graph.from_edges([("c", "w1"), ("c", "w2"), ("c", "x")])
+        assert is_terminal_steiner_tree(g, [0, 1, 2], ["w1", "w2"])
+        assert not is_minimal_terminal_steiner_tree(g, [0, 1, 2], ["w1", "w2"])
+
+
+class TestDirectedSteinerTree:
+    def test_valid_tree(self):
+        d = DiGraph.from_arcs([("r", "a"), ("a", "w")])
+        assert is_directed_steiner_tree(d, [0, 1], ["w"], "r")
+        assert is_minimal_directed_steiner_tree(d, [0, 1], ["w"], "r")
+
+    def test_non_terminal_leaf_not_minimal(self):
+        d = DiGraph.from_arcs([("r", "w"), ("r", "x")])
+        assert is_directed_steiner_tree(d, [0, 1], ["w"], "r")
+        assert not is_minimal_directed_steiner_tree(d, [0, 1], ["w"], "r")
+
+    def test_in_degree_two_is_not_a_tree(self):
+        d = DiGraph.from_arcs([("r", "a"), ("r", "b"), ("a", "w"), ("b", "w")])
+        assert not is_directed_steiner_tree(d, [0, 1, 2, 3], ["w"], "r")
+
+    def test_wrong_root_direction(self):
+        d = DiGraph.from_arcs([("w", "r")])
+        assert not is_directed_steiner_tree(d, [0], ["w"], "r")
+
+    def test_empty_arcs(self):
+        d = DiGraph.from_arcs([("r", "w")])
+        assert is_directed_steiner_tree(d, [], [], "r")
+        assert not is_directed_steiner_tree(d, [], ["w"], "r")
+
+
+class TestInducedSteiner:
+    def test_induced_connectivity(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert is_induced_steiner_subgraph(g, {0, 2, 3}, [0, 3])
+        assert not is_induced_steiner_subgraph(g, {0, 3}, [0, 3])
+
+    def test_minimality_one_removal(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert is_minimal_induced_steiner_subgraph(g, {0, 2, 3}, [0, 3])
+        # adding 1 keeps connectivity but 1 is removable
+        assert not is_minimal_induced_steiner_subgraph(g, {0, 1, 2, 3}, [0, 3])
+
+    def test_terminals_must_be_included(self):
+        g = Graph.from_edges([(0, 1)])
+        assert not is_induced_steiner_subgraph(g, {0}, [0, 1])
+
+
+class TestGroupSteiner:
+    def test_single_vertex_tree(self):
+        g = Graph.from_edges([("r", "x")])
+        assert is_group_steiner_tree(g, [], "x", [["x"], ["x", "r"]])
+        assert not is_group_steiner_tree(g, [], "r", [["x"]])
+
+    def test_tree_hits_every_family(self):
+        g = Graph.from_edges([("r", "x"), ("r", "y"), ("r", "z")])
+        assert is_group_steiner_tree(g, [0, 1], None, [["x"], ["y"]])
+        assert not is_group_steiner_tree(g, [0, 1], None, [["z"]])
+
+    def test_removable_leaf_not_minimal(self):
+        g = Graph.from_edges([("r", "x"), ("r", "y")])
+        assert not is_minimal_group_steiner_tree(g, [0, 1], None, [["x"], ["x", "y"]])
+
+    def test_single_edge_minimality(self):
+        g = Graph.from_edges([("r", "x")])
+        # family {x}: removing leaf r leaves {x} which still covers -> not minimal
+        assert not is_minimal_group_steiner_tree(g, [0], None, [["x"]])
+        # families {x} and {r}: both endpoints needed -> minimal
+        assert is_minimal_group_steiner_tree(g, [0], None, [["x"], ["r"]])

@@ -1,0 +1,89 @@
+"""Tests for the benchmark workload definitions (repro.bench.workloads).
+
+The experiment tables in EXPERIMENTS.md only mean something if the
+workloads are deterministic and have the advertised shapes; these tests
+pin both down.
+"""
+
+import pytest
+
+from repro.bench.workloads import (
+    FORCED_TAIL_SWEEP,
+    SHAPE_SWEEP,
+    SIZE_SWEEP,
+    directed_size_sweep,
+    forced_tail_instance,
+    forest_size_sweep,
+    path_theta_sweep,
+    steiner_tree_size_sweep,
+    steiner_tree_terminal_sweep,
+    tree_shape_sweep,
+)
+from repro.core.steiner_tree import count_minimal_steiner_trees
+from repro.graphs.traversal import is_connected
+
+
+class TestSweepDeterminism:
+    def test_size_sweep_reproducible(self):
+        a = steiner_tree_size_sweep()
+        b = steiner_tree_size_sweep()
+        for x, y in zip(a, b):
+            assert x.name == y.name
+            assert x.terminals == y.terminals
+            assert x.graph.edge_endpoint_multiset() == y.graph.edge_endpoint_multiset()
+
+    def test_shape_sweep_reproducible(self):
+        a = tree_shape_sweep()
+        b = tree_shape_sweep()
+        assert [i.name for i in a] == [i.name for i in b]
+
+
+class TestSweepShapes:
+    def test_size_sweep_doubles(self):
+        sizes = [n for n, _ in SIZE_SWEEP]
+        assert all(b == 2 * a for a, b in zip(sizes, sizes[1:]))
+
+    def test_all_instances_connected(self):
+        for inst in steiner_tree_size_sweep() + tree_shape_sweep():
+            assert is_connected(inst.graph)
+            assert all(w in inst.graph for w in inst.terminals)
+
+    def test_shape_sweep_counts_stay_drainable(self):
+        """The full-traversal experiments rely on bounded solution
+        counts; this is the regression test for the >300 s bench bug."""
+        for inst in tree_shape_sweep()[:3]:
+            assert count_minimal_steiner_trees(inst.graph, inst.terminals) < 20_000
+
+    def test_shape_sweep_grows(self):
+        sizes = [inst.size for inst in tree_shape_sweep()]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == len(sizes)
+
+    def test_terminal_sweep_fixes_graph(self):
+        insts = steiner_tree_terminal_sweep()
+        first = insts[0].graph
+        assert all(i.graph is first for i in insts)
+        counts = [len(i.terminals) for i in insts]
+        assert counts == sorted(counts)
+
+    def test_forced_tail_terminal_counts(self):
+        for tail in FORCED_TAIL_SWEEP:
+            inst = forced_tail_instance(4, tail)
+            assert len(inst.terminals) >= tail
+
+    def test_theta_sweep_fixed_solution_count(self):
+        from repro.paths.simple import backtracking_st_paths_undirected
+
+        for _name, graph, s, t in path_theta_sweep()[:2]:
+            count = sum(1 for _ in backtracking_st_paths_undirected(graph, s, t))
+            assert count == 8
+
+    def test_forest_families_connected(self):
+        for inst in forest_size_sweep()[:2]:
+            for family in inst.families:
+                assert all(w in inst.graph for w in family)
+
+    def test_directed_sweep_roots_exist(self):
+        for inst in directed_size_sweep()[:2]:
+            assert inst.root in inst.digraph
+            assert inst.root not in inst.terminals

@@ -1,0 +1,125 @@
+"""Tests for Yen's K-shortest-paths enumeration (repro.paths.yen)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NoSolutionError, VertexNotFound
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import path_weight
+from repro.paths.simple import backtracking_st_paths_undirected
+from repro.paths.yen import (
+    k_shortest_path_weights,
+    yen_k_shortest_paths,
+    yen_k_shortest_paths_directed,
+)
+
+class TestDirectedBasics:
+    def test_two_paths_in_weight_order(self):
+        d = DiGraph.from_arcs([("s", "a"), ("a", "t"), ("s", "t")])
+        out = list(yen_k_shortest_paths_directed(d, "s", "t"))
+        assert [w for w, _, _ in out] == [1.0, 2.0]
+        assert out[0][1] == ["s", "t"]
+        assert out[1][1] == ["s", "a", "t"]
+
+    def test_k_truncates(self):
+        d = DiGraph.from_arcs([("s", "a"), ("a", "t"), ("s", "t")])
+        out = list(yen_k_shortest_paths_directed(d, "s", "t", k=1))
+        assert len(out) == 1
+
+    def test_k_zero_yields_nothing(self):
+        d = DiGraph.from_arcs([("s", "t")])
+        assert list(yen_k_shortest_paths_directed(d, "s", "t", k=0)) == []
+
+    def test_no_path_raises(self):
+        d = DiGraph.from_arcs([("t", "s")])
+        with pytest.raises(NoSolutionError):
+            next(yen_k_shortest_paths_directed(d, "s", "t"))
+
+    def test_same_endpoints_rejected(self):
+        d = DiGraph.from_arcs([("s", "t")])
+        with pytest.raises(NoSolutionError):
+            next(yen_k_shortest_paths_directed(d, "s", "s"))
+
+    def test_missing_vertex_raises(self):
+        d = DiGraph.from_arcs([("s", "t")])
+        with pytest.raises(VertexNotFound):
+            next(yen_k_shortest_paths_directed(d, "x", "t"))
+
+    def test_weights_change_order(self):
+        d = DiGraph.from_arcs([("s", "a"), ("a", "t"), ("s", "t")])
+        weights = {0: 1.0, 1: 1.0, 2: 10.0}
+        out = list(yen_k_shortest_paths_directed(d, "s", "t", weights=weights))
+        assert out[0][1] == ["s", "a", "t"]
+        assert out[1][1] == ["s", "t"]
+
+    def test_graph_left_unmodified(self):
+        d = DiGraph.from_arcs([("s", "a"), ("a", "t"), ("s", "t"), ("a", "s")])
+        before = sorted(d.arc_ids())
+        list(yen_k_shortest_paths_directed(d, "s", "t"))
+        assert sorted(d.arc_ids()) == before
+
+class TestUndirected:
+    def test_reports_undirected_edge_ids(self):
+        g = Graph.from_edges([("s", "a"), ("a", "t"), ("s", "t")])
+        out = list(yen_k_shortest_paths(g, "s", "t"))
+        assert [edges for _, _, edges in out] == [[2], [0, 1]]
+
+    def test_k_shortest_path_weights_helper(self):
+        g = Graph.from_edges([("s", "a"), ("a", "t"), ("s", "t")])
+        assert k_shortest_path_weights(g, "s", "t", 5) == [1.0, 2.0]
+
+    def test_exhaustive_matches_backtracking_enumerator(self):
+        g = random_connected_graph(8, 10, seed=3)
+        ranked = {tuple(p) for _, p, _ in yen_k_shortest_paths(g, 0, 7)}
+        brute = {tuple(p.vertices) for p in backtracking_st_paths_undirected(g, 0, 7)}
+        assert ranked == brute
+
+    def test_weights_are_nondecreasing(self):
+        g = random_connected_graph(9, 14, seed=11)
+        weights = {eid: (eid * 37 % 10) + 1.0 for eid in g.edge_ids()}
+        ws = [w for w, _, _ in yen_k_shortest_paths(g, 0, 8, weights=weights)]
+        assert ws == sorted(ws)
+        assert len(ws) == len(
+            list(backtracking_st_paths_undirected(g, 0, 8))
+        )
+
+def _paths_are_simple(paths):
+    return all(len(set(p)) == len(p) for p in paths)
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=9),
+    extra=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_yen_complete_sorted_loopless(n, extra, seed):
+    """Unbounded Yen = exactly the loopless path set, sorted by weight."""
+    g = random_connected_graph(n, extra, seed=seed)
+    weights = {eid: (eid * 7919 % 5) + 1.0 for eid in g.edge_ids()}
+    source, target = 0, n - 1
+    out = list(yen_k_shortest_paths(g, source, target, weights=weights))
+    vertex_paths = [tuple(p) for _, p, _ in out]
+    assert _paths_are_simple(vertex_paths)
+    assert len(set(vertex_paths)) == len(vertex_paths), "duplicate path"
+    brute = {tuple(p.vertices) for p in backtracking_st_paths_undirected(g, source, target)}
+    assert set(vertex_paths) == brute
+    ws = [w for w, _, _ in out]
+    assert ws == sorted(ws)
+    for w, _, edges in out:
+        assert w == pytest.approx(path_weight(weights, edges))
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=8),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_prefix_property(n, seed):
+    """The first k paths of an unbounded run equal the k-bounded run."""
+    g = random_connected_graph(n, 6, seed=seed)
+    full = list(yen_k_shortest_paths(g, 0, n - 1))
+    for k in range(1, min(4, len(full)) + 1):
+        bounded = list(yen_k_shortest_paths(g, 0, n - 1, k=k))
+        assert bounded == full[:k]

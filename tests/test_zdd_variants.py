@@ -1,0 +1,127 @@
+"""Tests for the terminal / internal Steiner ZDD variants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.internal_steiner import (
+    enumerate_internal_steiner_trees_brute,
+    hamiltonian_path_instance,
+    has_hamiltonian_st_path,
+)
+from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_connected_graph,
+    random_terminals,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.zdd.steiner import (
+    build_internal_steiner_tree_zdd,
+    build_steiner_tree_zdd,
+    build_terminal_steiner_tree_zdd,
+)
+
+
+class TestTerminalVariant:
+    def test_star_instance(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (1, 3)])
+        z = build_terminal_steiner_tree_zdd(g, [0, 2, 3])
+        assert sorted(sorted(s) for s in z) == [[0, 1, 2]]
+
+    def test_terminal_cannot_be_internal(self):
+        # path 0-1-2 with terminals 0,1,2: 1 must be internal -> empty
+        g = path_graph(3)
+        assert build_terminal_steiner_tree_zdd(g, [0, 1, 2]).is_empty()
+
+    def test_two_terminals_are_st_paths(self):
+        g = cycle_graph(5)
+        z = build_terminal_steiner_tree_zdd(g, [0, 2])
+        assert z.count() == 2  # both arcs of the cycle
+
+    def test_single_terminal_rejected(self):
+        g = path_graph(2)
+        with pytest.raises(InvalidInstanceError):
+            build_terminal_steiner_tree_zdd(g, [0])
+
+    def test_subset_of_minimal_family(self):
+        g = random_connected_graph(8, 8, seed=3)
+        terms = random_terminals(g, 3, seed=3)
+        terminal = set(build_terminal_steiner_tree_zdd(g, terms))
+        minimal = set(build_steiner_tree_zdd(g, terms))
+        assert terminal <= minimal
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_direct_enumerator(self, seed):
+        g = random_connected_graph(8, 7 + seed % 4, seed=seed)
+        terms = random_terminals(g, 3, seed=seed)
+        compiled = set(build_terminal_steiner_tree_zdd(g, terms))
+        direct = {
+            frozenset(s)
+            for s in enumerate_minimal_terminal_steiner_trees(g, terms)
+        }
+        assert compiled == direct
+
+
+class TestInternalVariant:
+    def test_single_internal_terminal(self):
+        g = path_graph(3)
+        z = build_internal_steiner_tree_zdd(g, [1])
+        assert sorted(sorted(s) for s in z) == [[0, 1]]
+
+    def test_leaf_terminal_infeasible(self):
+        # degree-1 terminal can never be internal
+        g = path_graph(3)
+        assert build_internal_steiner_tree_zdd(g, [0]).is_empty()
+
+    def test_no_terminals_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            build_internal_steiner_tree_zdd(path_graph(2), [])
+
+    def test_star_center(self):
+        g = star_graph(4)
+        z = build_internal_steiner_tree_zdd(g, ["c"])
+        # trees containing the center with center degree >= 2: pick any
+        # 2,3,4 of the 4 spokes: C(4,2)+C(4,3)+C(4,4) = 11
+        assert z.count() == 11
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        g = random_connected_graph(6, 4 + seed % 3, seed=seed)
+        terms = random_terminals(g, 2, seed=seed)
+        compiled = set(build_internal_steiner_tree_zdd(g, terms))
+        brute = set(enumerate_internal_steiner_trees_brute(g, terms))
+        assert compiled == brute
+
+    def test_theorem_37_reduction(self):
+        """Internal Steiner tree non-emptiness == Hamiltonian s-t path
+        under the paper's W = V \\ {s, t} reduction; the compiled family
+        witnesses both directions on small instances."""
+        for seed in range(6):
+            g = random_connected_graph(6, 5, seed=seed)
+            s, t = 0, 5
+            reduced_graph, terminals = hamiltonian_path_instance(g, s, t)
+            z = build_internal_steiner_tree_zdd(reduced_graph, terminals)
+            assert (not z.is_empty()) == has_hamiltonian_st_path(g, s, t)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=7),
+    extra=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_terminal_variant_property(n, extra, seed):
+    g = random_connected_graph(n, extra, seed=seed)
+    terms = random_terminals(g, min(3, n), seed=seed)
+    if len(terms) < 2:
+        return
+    compiled = set(build_terminal_steiner_tree_zdd(g, terms))
+    direct = {
+        frozenset(s) for s in enumerate_minimal_terminal_steiner_trees(g, terms)
+    }
+    assert compiled == direct

@@ -1,0 +1,126 @@
+"""Tests for the weighted / cost-constrained ZDD queries (Sasaki [30])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimum import dreyfus_wagner, tree_weight
+from repro.core.steiner_tree import enumerate_minimal_steiner_trees
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.generators import random_connected_graph, random_terminals
+from repro.graphs.graph import Graph
+from repro.zdd.steiner import (
+    build_steiner_tree_zdd,
+    enumerate_cost_constrained_minimal_steiner_trees,
+)
+from repro.zdd.zdd import family_zdd
+
+
+def weights_of(graph, period=5):
+    return {eid: float((eid * 13) % period + 1) for eid in graph.edge_ids()}
+
+
+class TestMinWeight:
+    def test_picks_lightest_set(self):
+        z = family_zdd([{1}, {2, 3}], [1, 2, 3])
+        assert z.min_weight({1: 9.0, 2: 1.0, 3: 1.0}) == 2.0
+
+    def test_default_weight_is_one(self):
+        z = family_zdd([{1, 2}, {3}], [1, 2, 3])
+        assert z.min_weight({}) == 1.0
+
+    def test_empty_family_raises(self):
+        with pytest.raises(InvalidInstanceError):
+            family_zdd([], [1]).min_weight({})
+
+    def test_matches_dreyfus_wagner(self):
+        g = random_connected_graph(9, 9, seed=2)
+        terms = random_terminals(g, 3, seed=2)
+        weights = weights_of(g)
+        zdd = build_steiner_tree_zdd(g, terms)
+        optimum, _ = dreyfus_wagner(g, terms, weights)
+        assert zdd.min_weight(weights) == pytest.approx(optimum)
+
+
+class TestBudget:
+    def test_budget_filters(self):
+        z = family_zdd([{1}, {2, 3}, {1, 2, 3}], [1, 2, 3])
+        within = {frozenset(s) for _, s in z.iter_within_budget({}, 2)}
+        assert within == {frozenset([1]), frozenset([2, 3])}
+
+    def test_budget_below_minimum_is_empty(self):
+        z = family_zdd([{1, 2}], [1, 2])
+        assert list(z.iter_within_budget({}, 1)) == []
+
+    def test_infinite_budget_is_whole_family(self):
+        g = random_connected_graph(8, 7, seed=5)
+        terms = random_terminals(g, 3, seed=5)
+        zdd = build_steiner_tree_zdd(g, terms)
+        all_within = {s for _, s in zdd.iter_within_budget({}, float("inf"))}
+        assert all_within == set(zdd)
+
+    def test_reported_weights_are_exact(self):
+        g = random_connected_graph(8, 8, seed=6)
+        terms = random_terminals(g, 3, seed=6)
+        weights = weights_of(g)
+        zdd = build_steiner_tree_zdd(g, terms)
+        budget = zdd.min_weight(weights) * 1.5
+        for w, s in zdd.iter_within_budget(weights, budget):
+            assert w == pytest.approx(tree_weight(weights, s))
+            assert w <= budget + 1e-9
+
+    def test_count_within_budget(self):
+        z = family_zdd([{1}, {2}, {1, 2}], [1, 2])
+        assert z.count_within_budget({}, 1) == 2
+        assert z.count_within_budget({}, 2) == 3
+
+
+class TestCostConstrainedSteiner:
+    def test_doc_example(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        out = list(
+            enumerate_cost_constrained_minimal_steiner_trees(
+                g, [0, 2], {0: 1, 1: 1, 2: 5}, budget=3
+            )
+        )
+        assert out == [frozenset([0, 1])]
+
+    def test_matches_filtered_enumeration(self):
+        g = random_connected_graph(9, 9, seed=11)
+        terms = random_terminals(g, 3, seed=11)
+        weights = weights_of(g)
+        optimum, _ = dreyfus_wagner(g, terms, weights)
+        budget = optimum * 1.4
+        constrained = set(
+            enumerate_cost_constrained_minimal_steiner_trees(
+                g, terms, weights, budget
+            )
+        )
+        filtered = {
+            frozenset(s)
+            for s in enumerate_minimal_steiner_trees(g, terms)
+            if tree_weight(weights, s) <= budget + 1e-9
+        }
+        assert constrained == filtered
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=8),
+    extra=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+    slack=st.floats(min_value=1.0, max_value=2.0),
+)
+def test_budget_equals_filter_property(n, extra, seed, slack):
+    g = random_connected_graph(n, extra, seed=seed)
+    terms = random_terminals(g, min(3, n), seed=seed)
+    weights = weights_of(g)
+    zdd = build_steiner_tree_zdd(g, terms)
+    if zdd.is_empty():
+        return
+    budget = zdd.min_weight(weights) * slack
+    via_budget = {s for _, s in zdd.iter_within_budget(weights, budget)}
+    via_filter = {
+        s for s in zdd if tree_weight(weights, s) <= budget + 1e-9
+    }
+    assert via_budget == via_filter
