@@ -28,7 +28,7 @@ from repro.graphs.graph import Graph
 from repro.paths.read_tarjan import enumerate_st_paths
 from repro.paths.simple import backtracking_st_paths
 
-from conftest import make_drainer
+from benchutil import make_drainer
 
 
 # ----------------------------------------------------------------------

@@ -22,7 +22,7 @@ from repro.core.directed_steiner import (
 )
 from repro.graphs.digraph import DiGraph
 
-from conftest import make_drainer
+from benchutil import make_drainer
 
 LIMIT = 250
 

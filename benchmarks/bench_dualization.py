@@ -26,7 +26,7 @@ from repro.hypergraph.hypergraph import (
     random_hypergraph,
 )
 
-from conftest import make_drainer
+from benchutil import make_drainer
 
 INSTANCES = [
     ("h6x5", random_hypergraph(6, 5, 3, seed=1)),

@@ -1,0 +1,175 @@
+"""Engine smoke benchmark: batch throughput, determinism, cache, shards.
+
+Run directly (CI does; budget ~30 s)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+or through pytest (``pytest benchmarks/bench_engine.py``).  Either way it
+
+* pushes a mixed batch of 24 jobs (Steiner trees / forests / terminal /
+  directed variants plus s-t paths) through :func:`repro.engine.run_batch`
+  on 1 and 4 workers and **fails hard if the outputs differ** — the
+  engine's determinism contract is part of the benchmark;
+* reports jobs/s and solutions/s per worker count (wall-clock speedup is
+  hardware-dependent: on a single-core container the parallel run only
+  pays fork overhead, on a 4-core box it approaches 4x for this
+  embarrassingly parallel batch);
+* measures warm-cache serving (every job a hit) and the sharded
+  decomposition of one large Steiner-tree job.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+
+from repro.bench.harness import measure_batch, print_table
+from repro.bench.workloads import (
+    directed_size_sweep,
+    forest_size_sweep,
+    steiner_tree_size_sweep,
+    terminal_steiner_size_sweep,
+)
+from repro.engine import EnumerationJob, InstanceCache, run_batch
+
+LIMIT = 200  # per-job solution cap keeps the whole benchmark ~seconds
+
+
+def build_jobs():
+    """A mixed batch of 24 jobs spanning four problem kinds plus paths."""
+    jobs = []
+    for inst in steiner_tree_size_sweep()[:3]:
+        jobs.append(
+            EnumerationJob.steiner_tree(
+                inst.graph, inst.terminals, limit=LIMIT, job_id=f"st-{inst.name}"
+            )
+        )
+    for inst in forest_size_sweep()[:3]:
+        jobs.append(
+            EnumerationJob.steiner_forest(
+                inst.graph, inst.families, limit=LIMIT, job_id=f"sf-{inst.name}"
+            )
+        )
+    for inst in terminal_steiner_size_sweep()[:3]:
+        jobs.append(
+            EnumerationJob.terminal_steiner(
+                inst.graph, inst.terminals, limit=LIMIT, job_id=f"ts-{inst.name}"
+            )
+        )
+    for inst in directed_size_sweep()[:3]:
+        jobs.append(
+            EnumerationJob.directed_steiner(
+                inst.digraph,
+                inst.terminals,
+                inst.root,
+                limit=LIMIT,
+                job_id=f"ds-{inst.name}",
+            )
+        )
+    base = steiner_tree_size_sweep()[0]
+    terminals = list(base.terminals)
+    for i, source in enumerate(terminals):
+        for target in terminals[i + 1 :]:
+            jobs.append(
+                EnumerationJob.st_path(
+                    base.graph, source, target, limit=LIMIT, job_id=f"p-{source}-{target}"
+                )
+            )
+    while len(jobs) < 24:  # top up with relabeled tree jobs
+        inst = steiner_tree_size_sweep()[len(jobs) % 3]
+        jobs.append(
+            EnumerationJob.steiner_tree(
+                inst.graph, inst.terminals, limit=LIMIT, job_id=f"st-extra-{len(jobs)}"
+            )
+        )
+    return jobs
+
+
+def run_smoke(out=sys.stdout) -> dict:
+    """Execute the full smoke suite; returns the measurements."""
+    jobs = build_jobs()
+    rows = []
+    measurements = {}
+    for workers in (1, 4):
+        m = measure_batch(jobs, workers=workers, label=f"w{workers}")
+        measurements[workers] = m
+        rows.append(
+            (
+                m.label,
+                m.jobs,
+                m.solutions,
+                m.wall_seconds,
+                m.jobs_per_second,
+                m.solutions_per_second,
+            )
+        )
+    base = measurements[1]
+    if measurements[4].digest != base.digest:
+        raise AssertionError(
+            "engine output differs between 1 and 4 workers — determinism broken"
+        )
+    speedup = base.wall_seconds / max(measurements[4].wall_seconds, 1e-9)
+    print_table(
+        f"Engine batch throughput ({base.jobs} mixed jobs; "
+        f"4-worker speedup {speedup:.2f}x)",
+        ("run", "jobs", "solutions", "wall s", "jobs/s", "sols/s"),
+        rows,
+        out=out,
+    )
+
+    # Warm-cache serving: run the same batch twice through one cache.
+    cache = InstanceCache(maxsize=64)
+    measure_batch(jobs, workers=1, cache=cache, label="cold")
+    warm = measure_batch(jobs, workers=1, cache=cache, label="warm")
+    if warm.digest != base.digest:
+        raise AssertionError("cached results differ from enumerated results")
+    measurements["warm"] = warm
+    print_table(
+        f"Warm-cache serving ({warm.cache_hits}/{warm.jobs} jobs from cache)",
+        ("run", "wall s", "jobs/s"),
+        [("warm", warm.wall_seconds, warm.jobs_per_second)],
+        out=out,
+    )
+
+    # Sharded decomposition of one dense job (exhaustive, ~6.8k solutions;
+    # the size sweep instances have far too many minimal trees to exhaust).
+    rng = random.Random(2022)
+    n = 12
+    edges = [
+        (f"v{u}", f"v{v}")
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < 0.35
+    ]
+    terminals = ["v0", f"v{n // 2}", f"v{n - 1}"]
+    plain = EnumerationJob.steiner_tree(edges, terminals)
+    sharded = EnumerationJob.steiner_tree(edges, terminals, shards=4)
+    start = time.perf_counter()
+    whole = run_batch([plain], workers=1)[0]
+    plain_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    pieces = run_batch([sharded], workers=4)[0]
+    shard_wall = time.perf_counter() - start
+    if set(whole.lines) != set(pieces.lines) or len(pieces.lines) != len(
+        set(pieces.lines)
+    ):
+        raise AssertionError("sharded enumeration is not an exact partition")
+    print_table(
+        f"Single-job sharding ({len(whole.lines)} solutions, 4 shards)",
+        ("mode", "wall s"),
+        [("whole", plain_wall), ("sharded x4", shard_wall)],
+        out=out,
+    )
+    return measurements
+
+
+def test_engine_smoke():
+    """Pytest entry point: the smoke suite's assertions must hold."""
+    measurements = run_smoke(out=sys.stdout)
+    assert measurements[1].digest == measurements[4].digest
+    assert measurements["warm"].cache_hits == measurements["warm"].jobs
+
+
+if __name__ == "__main__":
+    run_smoke()

@@ -21,7 +21,7 @@ from repro.core.steiner_tree import steiner_tree_events
 from repro.enumeration.events import TreeShape
 from repro.enumeration.queue_method import RegulatorProbe
 
-from conftest import drain
+from benchutil import drain
 
 
 @pytest.mark.parametrize("inst", steiner_tree_size_sweep()[:3], ids=lambda i: i.name)

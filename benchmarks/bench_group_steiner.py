@@ -23,7 +23,7 @@ from repro.hypergraph.hypergraph import (
     random_hypergraph,
 )
 
-from conftest import make_drainer
+from benchutil import make_drainer
 
 
 def matching_hypergraph(k: int) -> Hypergraph:

@@ -20,7 +20,7 @@ from repro.core.steiner_tree import count_minimal_steiner_trees
 from repro.graphs.generators import cycle_graph, random_connected_graph
 from repro.graphs.graph import Graph
 
-from conftest import make_drainer
+from benchutil import make_drainer
 
 
 def cycle_power(n: int, k: int) -> Graph:

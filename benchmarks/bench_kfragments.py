@@ -19,7 +19,7 @@ from repro.datagraph.kfragments import (
 )
 from repro.datagraph.model import synthetic_data_graph
 
-from conftest import make_drainer
+from benchutil import make_drainer
 
 CORPora = [
     ("corpus-s", synthetic_data_graph(60, 30, 40, 2, seed=11)),

@@ -14,7 +14,7 @@ from repro.bench.harness import fit_linearity, measure_enumeration, print_table
 from repro.bench.workloads import path_grid_sweep, path_theta_sweep
 from repro.paths.read_tarjan import enumerate_st_paths_undirected
 
-from conftest import make_drainer
+from benchutil import make_drainer
 
 
 @pytest.mark.parametrize("case", path_theta_sweep(), ids=lambda c: c[0])

@@ -25,7 +25,7 @@ from repro.graphs.generators import random_connected_graph
 from repro.paths.read_tarjan import enumerate_st_paths_undirected
 from repro.paths.yen import yen_k_shortest_paths
 
-from conftest import make_drainer
+from benchutil import make_drainer
 
 K = 25
 

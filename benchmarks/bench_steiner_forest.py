@@ -18,7 +18,7 @@ from repro.core.steiner_forest import (
     enumerate_minimal_steiner_forests_simple,
 )
 
-from conftest import make_drainer
+from benchutil import make_drainer
 
 LIMIT = 250
 

@@ -25,7 +25,7 @@ from repro.core.steiner_tree import (
     enumerate_minimal_steiner_trees_linear_delay,
 )
 
-from conftest import make_drainer
+from benchutil import make_drainer
 
 LIMIT = 300  # solutions per instance: plenty to expose per-solution cost
 

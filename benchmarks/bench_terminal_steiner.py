@@ -18,7 +18,7 @@ from repro.core.terminal_steiner import (
     enumerate_minimal_terminal_steiner_trees_simple,
 )
 
-from conftest import make_drainer
+from benchutil import make_drainer
 
 LIMIT = 250
 

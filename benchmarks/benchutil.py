@@ -6,6 +6,9 @@ delay/shape analyses print their tables to stdout so a
 ``pytest benchmarks/ --benchmark-only -s`` run shows the Table-1 style
 rows next to the pytest-benchmark timings; ``benchmarks/run_experiments.py``
 re-runs the same code to regenerate EXPERIMENTS.md.
+
+(This module used to be ``benchmarks/conftest.py``; it moved so the name
+``conftest`` never shadows ``tests/conftest.py`` in a combined run.)
 """
 
 from __future__ import annotations

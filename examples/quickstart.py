@@ -3,15 +3,19 @@
 
 Walks through the whole public API surface in a few minutes of reading:
 building a graph, enumerating minimal Steiner trees (with and without the
-linear-delay regulator), the forest / terminal / directed variants, and
-the claw-free induced enumerator.
+linear-delay regulator), the forest / terminal / directed variants, the
+claw-free induced enumerator, and the batch engine (declarative jobs,
+instance cache, resumable cursors — the machinery behind ``repro batch``
+and ``repro serve``).
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
+    BatchRunner,
     CostMeter,
     DiGraph,
+    EnumerationJob,
     Graph,
     enumerate_minimal_directed_steiner_trees,
     enumerate_minimal_induced_steiner_subgraphs,
@@ -92,6 +96,27 @@ def main() -> None:
     print(f"{len(induced)} minimal induced connectors of 0 and 4 on an 8-ring:")
     for sol in induced:
         print("  " + "{" + ", ".join(map(str, sorted(sol))) + "}")
+
+    print("\n== The batch engine: many enumerations as one cached batch ==")
+    # The same requests as declarative jobs — this is what `repro batch
+    # jobs.jsonl --workers N` and `repro serve` run under the hood.
+    runner = BatchRunner(workers=1)
+    jobs = [
+        EnumerationJob.steiner_tree(g, ["a1", "b1", "b2"], job_id="trees"),
+        EnumerationJob.steiner_forest(g, families, job_id="forests"),
+        EnumerationJob.st_path(g, "a1", "b2", job_id="paths", limit=4),
+    ]
+    for result in runner.run(jobs):
+        print(f"  {result.job_id}: {result.count} solutions, first: {result.lines[0]}")
+    again = runner.run(jobs)
+    print(f"  re-run served from cache: {all(r.cached for r in again)}")
+
+    print("\n== Resumable cursor: page through a solution stream ==")
+    cursor = runner.open_cursor(EnumerationJob.steiner_tree(g, ["a1", "b1", "b2"]))
+    first_page = cursor.take(2)
+    state = cursor.checkpoint()  # JSON-safe; persist anywhere
+    rest = runner.resume_cursor(state).drain()
+    print(f"  page 1: {len(first_page)} trees, resumed tail: {len(rest)} trees")
 
 
 if __name__ == "__main__":

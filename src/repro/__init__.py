@@ -51,6 +51,14 @@ from repro.datagraph import (
     top_k_weighted_fragments,
     undirected_kfragments,
 )
+from repro.engine import (
+    BatchRunner,
+    EnumerationCursor,
+    EnumerationJob,
+    InstanceCache,
+    JobResult,
+    run_batch,
+)
 from repro.enumeration import CostMeter
 from repro.graphs import (
     DiGraph,
@@ -73,6 +81,8 @@ from repro.zdd import build_steiner_tree_zdd, count_steiner_trees_zdd
 __version__ = "1.0.0"
 
 __all__ = [
+    "__version__",
+    "BatchRunner",
     "build_steiner_tree_zdd",
     "CostMeter",
     "count_minimal_directed_steiner_trees",
@@ -102,12 +112,17 @@ __all__ = [
     "enumerate_set_paths_directed",
     "enumerate_st_paths",
     "enumerate_st_paths_undirected",
+    "EnumerationCursor",
+    "EnumerationJob",
     "Graph",
     "Hypergraph",
+    "InstanceCache",
+    "JobResult",
     "k_lightest_minimal_steiner_trees",
     "parse_stp",
     "ranked_kfragments",
     "read_stp",
+    "run_batch",
     "strong_kfragments",
     "to_networkx",
     "top_k_fragments",
@@ -115,5 +130,4 @@ __all__ = [
     "undirected_kfragments",
     "write_stp",
     "yen_k_shortest_paths",
-    "__version__",
 ]

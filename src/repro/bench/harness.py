@@ -6,6 +6,13 @@ factory under both instruments (wall clock and the operation meter) and
 returns a :class:`Measurement`; :func:`print_table` renders rows the way
 EXPERIMENTS.md records them, and :func:`fit_linearity` summarizes how a
 series of delays scales against ``n + m`` (the paper's unit).
+
+:func:`measure_batch` is the engine-backed workload mode: it pushes a
+batch of :class:`repro.engine.EnumerationJob` specs through
+:func:`repro.engine.run_batch` and reports *throughput* (jobs/s,
+solutions/s) plus an output digest, so batch-level regressions — and
+accidental nondeterminism across worker counts — show up in benchmarks
+the same way delay regressions do.
 """
 
 from __future__ import annotations
@@ -100,6 +107,70 @@ def print_table(
     text = "\n".join(lines)
     print(text, file=out)
     return text
+
+
+@dataclass
+class BatchMeasurement:
+    """One engine batch run's throughput profile.
+
+    ``digest`` is a SHA-256 over every result's rendered lines in job
+    order; two runs of the same batch must agree on it regardless of
+    worker count (the engine's determinism contract).
+    """
+
+    label: str
+    workers: int
+    jobs: int
+    solutions: int
+    wall_seconds: float
+    digest: str
+    cache_hits: int = 0
+
+    @property
+    def jobs_per_second(self) -> float:
+        """Completed jobs per wall-clock second."""
+        return self.jobs / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def solutions_per_second(self) -> float:
+        """Enumerated solutions per wall-clock second."""
+        return self.solutions / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def measure_batch(
+    jobs: Sequence,
+    workers: int = 1,
+    label: str = "batch",
+    cache=None,
+) -> BatchMeasurement:
+    """Run ``jobs`` through the engine pool and time the whole batch.
+
+    ``cache`` is forwarded to :func:`repro.engine.run_batch` (pass an
+    :class:`repro.engine.InstanceCache` to measure warm-cache serving;
+    the default ``None`` measures pure enumeration throughput).
+    """
+    import hashlib
+
+    from repro.engine.pool import run_batch
+
+    start = time.perf_counter()
+    results = run_batch(jobs, workers=workers, cache=cache)
+    wall = time.perf_counter() - start
+    hasher = hashlib.sha256()
+    for result in results:
+        for line in result.lines:
+            hasher.update(line.encode())
+            hasher.update(b"\n")
+        hasher.update(b"\x00")
+    return BatchMeasurement(
+        label=label,
+        workers=workers,
+        jobs=len(results),
+        solutions=sum(r.count for r in results),
+        wall_seconds=wall,
+        digest=hasher.hexdigest(),
+        cache_hits=sum(1 for r in results if r.cached),
+    )
 
 
 def fit_linearity(sizes: Sequence[float], values: Sequence[float]) -> Tuple[float, float]:

@@ -16,6 +16,8 @@ Usage (after installation)::
     python -m repro transversal hyperedges.txt --fk
     python -m repro figure1 graph.txt --terminals a b c
     python -m repro convert graph.txt out.stp --terminals a b c
+    python -m repro batch jobs.jsonl --workers 4
+    python -m repro serve --workers 4
 
 Graph files are whitespace-separated edge lists, one edge per line
 (``u v [weight]``); lines starting with ``#`` are ignored.  For the
@@ -23,6 +25,16 @@ directed command each line is an arc ``tail head``.  The ``stp``
 command reads SteinLib ``.stp`` files instead.  Solutions are printed
 one per line as sorted endpoint pairs, so the output is pipeline-
 friendly (``head -n k`` exploits the linear delay: the process streams).
+
+The two engine commands drive :mod:`repro.engine`.  ``batch`` reads a
+``jobs.jsonl`` file (one JSON job spec per line, e.g. ``{"kind":
+"steiner-tree", "edges": [["a","b"],["b","c"]], "terminals":
+["a","c"]}``), fans the jobs across ``--workers`` processes with
+instance caching, and writes one JSON result per line — output is
+byte-identical for every worker count.  ``serve`` runs the same engine
+as a stdin/stdout JSONL request loop (``{"op": "run", "job": {...}}``,
+``{"op": "batch", ...}``, ``{"op": "stats"}``, ``{"op": "quit"}``) for
+long-lived clients.
 """
 
 from __future__ import annotations
@@ -244,6 +256,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output", help="path of the .stp file to write")
     p.add_argument("--terminals", nargs="+", required=True)
     p.add_argument("--name", default="", help="instance name for the Comment section")
+
+    p = sub.add_parser(
+        "batch", help="run a jobs.jsonl batch through the parallel engine"
+    )
+    p.add_argument("jobs", help="JSONL file: one JSON job spec per line")
+    p.add_argument("--workers", type=int, default=1, help="worker process count")
+    p.add_argument(
+        "--text",
+        action="store_true",
+        help="print solution lines instead of JSON results",
+    )
+    p.add_argument("--no-cache", action="store_true", help="disable the instance cache")
+    p.add_argument(
+        "--cache-size", type=int, default=256, help="instance cache capacity"
+    )
+    p.add_argument(
+        "--spill-dir", default=None, help="directory for evicted cache entries"
+    )
+    p.add_argument(
+        "--stats", action="store_true", help="print a run summary to stderr"
+    )
+
+    p = sub.add_parser(
+        "serve", help="serve enumeration jobs over a stdin/stdout JSONL loop"
+    )
+    p.add_argument("--workers", type=int, default=1, help="worker process count")
+    p.add_argument("--no-cache", action="store_true", help="disable the instance cache")
+    p.add_argument(
+        "--cache-size", type=int, default=256, help="instance cache capacity"
+    )
     return parser
 
 
@@ -381,7 +423,52 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         pairs = ", ".join(f"{old}->{new}" for old, new in sorted(mapping.items()))
         print(f"wrote {args.output} ({relabeled.num_vertices} vertices); "
               f"label map: {pairs}", file=out)
+    elif args.command == "batch":
+        _run_batch(args, out)
+    elif args.command == "serve":
+        from repro.engine.cache import InstanceCache
+        from repro.engine.service import serve
+
+        cache = False if args.no_cache else InstanceCache(maxsize=args.cache_size)
+        serve(out_stream=out, workers=args.workers, cache=cache)
     return 0
+
+
+def _run_batch(args, out) -> None:
+    """The ``batch`` subcommand body: jobs.jsonl in, JSONL results out."""
+    import json
+
+    from repro.engine.cache import InstanceCache
+    from repro.engine.jobs import load_jobs_jsonl
+    from repro.engine.service import BatchRunner
+    from repro.exceptions import ReproError
+
+    try:
+        jobs = load_jobs_jsonl(args.jobs)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.jobs}: {exc}") from exc
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    cache = (
+        False
+        if args.no_cache
+        else InstanceCache(maxsize=args.cache_size, spill_dir=args.spill_dir)
+    )
+    runner = BatchRunner(workers=args.workers, cache=cache)
+    results = runner.run(jobs)
+    for result in results:
+        if args.text:
+            for line in result.lines:
+                print(line, file=out)
+        else:
+            print(json.dumps(result.to_dict(), sort_keys=True), file=out)
+    if args.stats:
+        stats = runner.stats()
+        print(
+            f"batch: {stats['jobs_run']} jobs, {stats['solutions']} solutions, "
+            f"{stats['wall_seconds']:.3f}s on {args.workers} worker(s)",
+            file=sys.stderr,
+        )
 
 
 def _run_stp(args, out) -> None:

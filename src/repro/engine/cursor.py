@@ -1,0 +1,341 @@
+"""Resumable streaming cursors over enumeration jobs.
+
+A :class:`EnumerationCursor` turns a job into a pull-based stream: take
+the first ``k`` solutions, :meth:`checkpoint` (a small JSON-able dict:
+job spec + delivered offset + a digest of the delivered prefix), persist
+it anywhere, and :meth:`resume` later to receive *exactly* the remaining
+tail — the concatenation of the two passes equals one uninterrupted run.
+
+Resumption cost: the cursor records every delivered prefix in the
+instance cache (when one is attached), so resuming replays cached
+solutions with **no re-enumeration** up to the checkpoint and beyond it
+only enumerates what was never produced.  Without a cache the resumed
+cursor fast-forwards by re-running the (deterministic) enumerator and
+discarding ``offset`` solutions without rendering them — correct, and
+cheap relative to delivering them, but not free; attach a cache to make
+resume O(delivered) instead.
+
+The prefix digest lets :meth:`resume` fail loudly when a checkpoint is
+replayed against a modified job spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.cache import InstanceCache
+from repro.engine.jobs import (
+    BudgetExceeded,
+    EnumerationJob,
+    JobResult,
+    _BudgetMeter,
+    iter_structures,
+    structure_line,
+)
+from repro.exceptions import InvalidInstanceError
+
+import time
+
+
+class EnumerationCursor:
+    """A chunked, checkpointable view of one job's solution stream.
+
+    Parameters
+    ----------
+    job:
+        The job to stream.  Its ``limit`` bounds the *total* stream
+        length.  Each live enumeration segment gets a fresh allowance:
+        the ``deadline`` bounds the segment's wall clock (fast-forward
+        included), while the op ``budget`` arms only once delivery
+        begins, so budget-stopped cursors always progress across
+        resumes.  Attach a cache to make the fast-forward free (then
+        deadline-stopped cursors progress too).
+    cache:
+        Optional :class:`InstanceCache`.  Delivered prefixes are stored
+        into it on :meth:`checkpoint`/exhaustion so later resumes (and
+        unrelated identical jobs) skip recomputation.
+    offset:
+        Internal — number of solutions already delivered (set by
+        :meth:`resume`).
+
+    Examples
+    --------
+    >>> job = EnumerationJob.steiner_tree(
+    ...     [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")], ["a", "d"])
+    >>> cur = EnumerationCursor(job)
+    >>> cur.take(1)
+    ['a-c c-d']
+    >>> state = cur.checkpoint()
+    >>> EnumerationCursor.resume(state).take(5)
+    ['a-b b-c c-d']
+    """
+
+    def __init__(
+        self,
+        job: EnumerationJob,
+        cache: Optional[InstanceCache] = None,
+        offset: int = 0,
+        _expected_digest: Optional[str] = None,
+    ) -> None:
+        job.validate()
+        self.job = job
+        self.cache = cache
+        self.offset = offset  # solutions delivered so far (across resumes)
+        self.exhausted = False
+        self.stop_reason: Optional[str] = None
+        self._delivered: List[str] = []  # lines delivered by THIS cursor object
+        # Everything known about positions [0, offset): replayed cache
+        # prefix + fast-forwarded lines + delivered lines, with parallel
+        # label-level structures (None where unknown).  Complete coverage
+        # lets checkpoint() upgrade the cache and digest the full prefix.
+        self._known_lines: List[str] = []
+        self._known_structures: List[Any] = []
+        self._initial_offset = offset
+        self._expected_digest = _expected_digest
+        self._iterator: Optional[Iterator[Tuple[str, Any]]] = None
+        self._meter: Optional[_BudgetMeter] = None
+
+    # ------------------------------------------------------------------
+    def take(self, k: int) -> List[str]:
+        """Deliver up to ``k`` further solution lines (fewer at the end)."""
+        if k < 0:
+            raise ValueError("take() needs k >= 0")
+        out: List[str] = []
+        if self.exhausted:
+            return out
+        iterator = self._ensure_iterator()
+        while len(out) < k:
+            if self._remaining_limit() == 0:
+                self.exhausted = True
+                self.stop_reason = "limit"
+                break
+            try:
+                line, structure = next(iterator)
+            except StopIteration:
+                self.exhausted = True
+                self._record_final()
+                break
+            except BudgetExceeded as exc:
+                self.exhausted = True
+                self.stop_reason = exc.reason
+                break
+            out.append(line)
+            self._delivered.append(line)
+            self._known_lines.append(line)
+            self._known_structures.append(structure)
+            self.offset += 1
+        return out
+
+    def drain(self, chunk: int = 256) -> List[str]:
+        """Deliver everything that remains, reading ``chunk`` at a time."""
+        out: List[str] = []
+        while not self.exhausted:
+            got = self.take(chunk)
+            out.extend(got)
+            if not got and not self.exhausted:  # pragma: no cover - safety
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, Any]:
+        """A JSON-serializable resume token for the current position.
+
+        Also stores the delivered prefix into the attached cache so the
+        matching :meth:`resume` costs no re-enumeration.
+        """
+        self._store_prefix()
+        return {
+            "version": 1,
+            "job": self.job.to_dict(),
+            "offset": self.offset,
+            "digest": self._prefix_digest(),
+        }
+
+    def save(self, path: str) -> None:
+        """Write :meth:`checkpoint` to ``path`` as JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.checkpoint(), handle, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def resume(
+        cls, state: Dict[str, Any], cache: Optional[InstanceCache] = None
+    ) -> "EnumerationCursor":
+        """Rebuild a cursor from a :meth:`checkpoint` dict.
+
+        The resumed cursor continues at ``state['offset']``: its next
+        :meth:`take` returns exactly what the original cursor would have
+        returned next.
+        """
+        if state.get("version") != 1:
+            raise InvalidInstanceError(f"unknown cursor version {state.get('version')!r}")
+        job = EnumerationJob.from_dict(state["job"])
+        return cls(
+            job,
+            cache=cache,
+            offset=int(state["offset"]),
+            _expected_digest=state.get("digest"),
+        )
+
+    @classmethod
+    def load(cls, path: str, cache: Optional[InstanceCache] = None) -> "EnumerationCursor":
+        """Read a JSON checkpoint written by :meth:`save` and resume it."""
+        with open(path) as handle:
+            return cls.resume(json.load(handle), cache=cache)
+
+    # ------------------------------------------------------------------
+    def _remaining_limit(self) -> Optional[int]:
+        if self.job.limit is None:
+            return None
+        return max(0, self.job.limit - self.offset)
+
+    def _ensure_iterator(self) -> Iterator[Tuple[str, Any]]:
+        if self._iterator is None:
+            self._iterator = self._open_stream()
+        return self._iterator
+
+    def _open_stream(self) -> Iterator[Tuple[str, Any]]:
+        """Line iterator starting at ``self.offset``.
+
+        Prefers the cache (cached solutions replay with zero enumeration,
+        and if the cached entry is exhausted the whole tail is served
+        from it); falls back to live enumeration with a fast-forward.
+        """
+        start = self.offset
+        cached_lines: Tuple[str, ...] = ()
+        cached_structures: Optional[Tuple[Any, ...]] = None
+        cache_complete = False
+        if self.cache is not None:
+            stored = self.cache.prefix(self.job)
+            if stored is not None:
+                cached_lines = stored.lines
+                cached_structures = stored.structures
+                cache_complete = stored.exhausted
+
+        expected = self._expected_digest
+        prefix_hasher = hashlib.sha256() if expected is not None else None
+
+        def check_prefix() -> None:
+            if prefix_hasher is not None and prefix_hasher.hexdigest() != expected:
+                raise InvalidInstanceError(
+                    "cursor checkpoint does not match this job's solution stream"
+                )
+
+        def hash_prefix_line(line: str) -> None:
+            if prefix_hasher is not None:
+                prefix_hasher.update(line.encode())
+                prefix_hasher.update(b"\n")
+
+        def remember(line: str, structure: Any) -> None:
+            self._known_lines.append(line)
+            self._known_structures.append(structure)
+
+        def stream() -> Iterator[Tuple[str, Any]]:
+            covered = min(start, len(cached_lines))
+            for i in range(covered):
+                hash_prefix_line(cached_lines[i])
+                remember(
+                    cached_lines[i],
+                    cached_structures[i] if cached_structures is not None else None,
+                )
+            if covered == start:
+                check_prefix()
+            position = start
+            for i in range(start, len(cached_lines)):
+                structure = (
+                    cached_structures[i] if cached_structures is not None else None
+                )
+                yield cached_lines[i], structure
+                position += 1
+            if cache_complete:
+                if covered < start:
+                    raise InvalidInstanceError(
+                        "cursor checkpoint offset exceeds the job's solution stream"
+                    )
+                return
+            # The deadline covers the whole live segment (it is a wall-
+            # clock latency bound, fast-forward included), but the op
+            # budget arms only when *delivery* begins: otherwise a
+            # budget-stopped cursor would re-spend its whole fresh
+            # allowance re-skipping the prefix and never make progress
+            # across resumes.  With a cache attached the fast-forward is
+            # free, so deadline-stopped cursors also progress.
+            meter = _BudgetMeter(
+                deadline_at=(
+                    (time.monotonic() + self.job.deadline)
+                    if self.job.deadline is not None
+                    else None
+                ),
+            )
+            self._meter = meter
+            armed = position == 0
+            if armed:
+                meter.budget = self.job.budget
+            seen = 0
+            for structure in iter_structures(self.job, meter):
+                seen += 1
+                if seen <= position:
+                    if covered < seen <= start:
+                        line = structure_line(self.job, structure)
+                        hash_prefix_line(line)
+                        remember(line, structure)
+                        if seen == start:
+                            check_prefix()
+                    continue
+                if not armed:
+                    armed = True
+                    if self.job.budget is not None:
+                        meter.budget = meter.count + self.job.budget
+                yield structure_line(self.job, structure), structure
+            if seen < start:
+                # The enumeration ended before reaching the checkpoint
+                # offset: the checkpoint belongs to a different job spec.
+                raise InvalidInstanceError(
+                    "cursor checkpoint offset exceeds the job's solution stream"
+                )
+
+        return stream()
+
+    def _prefix_digest(self) -> Optional[str]:
+        if self.offset and self.offset == len(self._known_lines):
+            digest = hashlib.sha256()
+            for line in self._known_lines:
+                digest.update(line.encode())
+                digest.update(b"\n")
+            return digest.hexdigest()
+        if self.offset == self._initial_offset:
+            # A resumed cursor that has not advanced re-issues the digest
+            # it was resumed with, so tamper detection survives
+            # checkpoint-of-a-checkpoint chains.
+            return self._expected_digest
+        return None  # prefix not fully known (resumed without cache/digest)
+
+    def _store_prefix(self) -> None:
+        if self.cache is None or not self._known_lines:
+            return
+        if self.offset != len(self._known_lines):
+            return  # holes in the prefix: nothing sound to store
+        structures: Optional[Tuple[Any, ...]] = tuple(self._known_structures)
+        if any(s is None for s in structures):
+            structures = None
+        complete = self.exhausted and self.stop_reason is None
+        # The delivered lines are the stream's first `offset` solutions —
+        # a sound prefix to cache no matter *why* the cursor stopped
+        # (store() would reject a raw deadline/budget stop_reason, but a
+        # prefix at a known offset is deterministic content).
+        result = JobResult(
+            job_id=self.job.job_id,
+            kind=self.job.kind,
+            lines=tuple(self._known_lines),
+            exhausted=complete,
+            stop_reason=None if complete else "limit",
+            elapsed=0.0,
+            ops=self._meter.count if self._meter else 0,
+            structures=structures,
+        )
+        self.cache.store(self.job, result)
+
+    def _record_final(self) -> None:
+        self._store_prefix()

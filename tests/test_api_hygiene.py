@@ -10,6 +10,7 @@ PACKAGES = [
     "repro",
     "repro.core",
     "repro.datagraph",
+    "repro.engine",
     "repro.enumeration",
     "repro.graphs",
     "repro.hypergraph",
@@ -27,6 +28,11 @@ MODULES = [
     "repro.core.ranked",
     "repro.core.verification",
     "repro.datagraph.ranked",
+    "repro.engine.cache",
+    "repro.engine.cursor",
+    "repro.engine.jobs",
+    "repro.engine.pool",
+    "repro.engine.service",
     "repro.enumeration.render",
     "repro.exceptions",
     "repro.graphs.interop",

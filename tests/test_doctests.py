@@ -22,6 +22,12 @@ MODULES = [
     "repro.datagraph.kfragments",
     "repro.datagraph.ranked",
     "repro.datagraph.model",
+    "repro.engine",
+    "repro.engine.cache",
+    "repro.engine.cursor",
+    "repro.engine.jobs",
+    "repro.engine.pool",
+    "repro.engine.service",
     "repro.enumeration.delay",
     "repro.graphs.bridges",
     "repro.graphs.contraction",
