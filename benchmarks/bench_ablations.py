@@ -14,7 +14,6 @@ the delay regressing exactly the way the paper's analysis predicts:
 
 from __future__ import annotations
 
-import itertools
 
 import pytest
 

@@ -17,7 +17,7 @@ from repro.core.induced_steiner import (
     steiner_trees_via_line_graph,
 )
 from repro.core.steiner_tree import count_minimal_steiner_trees
-from repro.graphs.generators import cycle_graph, random_connected_graph
+from repro.graphs.generators import random_connected_graph
 from repro.graphs.graph import Graph
 
 from benchutil import make_drainer

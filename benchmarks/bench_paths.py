@@ -4,14 +4,33 @@ Claim exercised: the Read–Tarjan enumerator has O(n+m) delay.  Theta
 graphs hold the solution count fixed (k paths) while the instance grows,
 so any super-linear delay would show up directly in the normalized
 max-delay column; grids provide the many-solutions regime.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_paths.py``) for
+the object-vs-fast backend comparison on the standard instances: it
+verifies the path streams are byte-identical and **fails** if the
+aggregate fast-backend speedup drops below 2×.
 """
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
 
-from repro.bench.harness import fit_linearity, measure_enumeration, print_table
-from repro.bench.workloads import path_grid_sweep, path_theta_sweep
+from repro.bench.harness import (
+    compare_backends,
+    fit_linearity,
+    measure_enumeration,
+    print_table,
+    summarize_backend_comparisons,
+)
+from repro.bench.workloads import (
+    path_grid_sweep,
+    path_theta_sweep,
+    steiner_tree_size_sweep,
+)
+from repro.engine.jobs import EnumerationJob
 from repro.paths.read_tarjan import enumerate_st_paths_undirected
 
 from benchutil import make_drainer
@@ -58,3 +77,80 @@ def test_delay_scaling_table(benchmark):
     print(f"log-log exponent: {exponent:.2f} (r2={r2:.3f}); paper predicts 1.0")
     assert 0.7 <= exponent <= 1.3
     benchmark(lambda: None)  # registers the test with --benchmark-only
+
+
+# ----------------------------------------------------------------------
+# backend comparison (the `python benchmarks/bench_paths.py` mode)
+# ----------------------------------------------------------------------
+LIMIT = 800  # paths per instance in the backend comparison
+
+
+def standard_path_instances():
+    """The standard instances in the engine's integer normal form.
+
+    Grids and thetas from the delay sweeps plus the random T1 sweep
+    graphs (source/target = the first two sweep terminals), each
+    relabeled to ``0..n-1`` exactly as the engine does before every run.
+    """
+    raw = []
+    for name, graph, s, t in path_theta_sweep():
+        raw.append((name, graph, s, t))
+    for name, graph, s, t in path_grid_sweep():
+        raw.append((name, graph, s, t))
+    for inst in steiner_tree_size_sweep():
+        raw.append((inst.name, inst.graph, inst.terminals[0], inst.terminals[1]))
+    out = []
+    for name, graph, s, t in raw:
+        job = EnumerationJob.st_path(graph, s, t)
+        indexed, _labels, index_of = job.instantiate_indexed()
+        out.append((name, indexed, index_of[s], index_of[t]))
+    return out
+
+
+def run_backend_comparison(out=sys.stdout, min_speedup: float = None):
+    """Compare backends on the standard instances; gate the aggregate.
+
+    Streams must be byte-identical per instance (checked before timing);
+    the aggregate fast-vs-object speedup (geometric mean or total-time
+    ratio, whichever is larger) must reach ``min_speedup`` (default
+    2.0; override via the ``BENCH_BACKEND_GATE`` env var).
+    """
+    if min_speedup is None:
+        min_speedup = float(os.environ.get("BENCH_BACKEND_GATE", "2.0"))
+    comparisons = []
+    for name, graph, source, target in standard_path_instances():
+        comparisons.append(
+            compare_backends(
+                name,
+                graph.size,
+                lambda backend, g=graph, s=source, t=target: (
+                    enumerate_st_paths_undirected(g, s, t, backend=backend)
+                ),
+                limit=LIMIT,
+            )
+        )
+    geo, total = summarize_backend_comparisons(comparisons)
+    print_table(
+        "T1-paths backend comparison (byte-identical streams; best-of-3)",
+        ("instance", "n+m", "solutions", "object s", "fast s", "speedup"),
+        [
+            (c.label, c.size, c.solutions, c.object_seconds, c.fast_seconds, c.speedup)
+            for c in comparisons
+        ],
+        out=out,
+    )
+    print(
+        f"aggregate speedup: geomean {geo:.2f}x, total-time {total:.2f}x "
+        f"(gate: >= {min_speedup:.1f}x)",
+        file=out,
+    )
+    if max(geo, total) < min_speedup:
+        raise AssertionError(
+            f"fast backend speedup {max(geo, total):.2f}x below the "
+            f"{min_speedup:.1f}x gate"
+        )
+    return comparisons
+
+
+if __name__ == "__main__":
+    run_backend_comparison()

@@ -6,24 +6,42 @@ Claims exercised:
   (Theorem 17) — the normalized column stays flat across a 16x size sweep;
 * the prior-work-shaped baseline pays an extra |W| factor, so on the
   terminal sweep the baseline's per-solution cost grows with t while this
-  work's stays flat (Table 1: O(m(|T_i|+|T_{i-1}|)) vs O(n+m)).
+  work's stays flat (Table 1: O(m(|T_i|+|T_{i-1}|)) vs O(n+m));
+* the integer-kernel backend (``backend="fast"``) produces the
+  byte-identical solution stream at ≥2× aggregate throughput.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_steiner_tree.py``)
+for the backend comparison on the standard instances: it verifies the
+streams match, prints per-instance speedups, and **fails** if the
+aggregate speedup drops below 2×.
 """
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
 
-from repro.bench.harness import fit_linearity, measure_enumeration, print_table
+from repro.bench.harness import (
+    compare_backends,
+    fit_linearity,
+    measure_enumeration,
+    print_table,
+    summarize_backend_comparisons,
+)
 from repro.bench.workloads import (
     FORCED_TAIL_SWEEP,
     forced_tail_instance,
     steiner_tree_size_sweep,
+    steiner_tree_terminal_sweep,
 )
 from repro.core.baselines import kimelfeld_sagiv_style_steiner_trees
 from repro.core.steiner_tree import (
     enumerate_minimal_steiner_trees,
     enumerate_minimal_steiner_trees_linear_delay,
 )
+from repro.engine.jobs import EnumerationJob
 
 from benchutil import make_drainer
 
@@ -144,3 +162,74 @@ def test_terminal_scaling_table(benchmark):
     assert max(ours_norm) / min(ours_norm) < 2.5
     assert base_norm[-1] / base_norm[0] > 3
     benchmark(lambda: None)
+
+
+# ----------------------------------------------------------------------
+# backend comparison (the `python benchmarks/bench_steiner_tree.py` mode)
+# ----------------------------------------------------------------------
+def standard_instances():
+    """The standard T1-st instances, in the engine's integer normal form.
+
+    Relabeling to ``0..n-1`` is what the engine does before every run
+    (``instantiate_indexed``); it is also the precondition for the fast
+    backend's byte-identical-stream guarantee, so the comparison is
+    exactly the production configuration.
+    """
+    out = []
+    for inst in steiner_tree_size_sweep() + steiner_tree_terminal_sweep():
+        job = EnumerationJob.steiner_tree(inst.graph, inst.terminals)
+        indexed, _labels, index_of = job.instantiate_indexed()
+        terminals = [index_of[t] for t in job.terminals]
+        out.append((inst.name, indexed, terminals))
+    return out
+
+
+def run_backend_comparison(out=sys.stdout, min_speedup: float = None):
+    """Compare backends on the standard instances; assert the aggregate.
+
+    Streams must be byte-identical per instance (checked before any
+    timing); the aggregate fast-vs-object speedup (the geometric mean or
+    the total-time ratio, whichever is larger) must reach
+    ``min_speedup`` (default 2.0; override via the
+    ``BENCH_BACKEND_GATE`` env var, e.g. for shared CI runners whose
+    wall-clock ratios are noisier than dedicated hardware's).
+    """
+    if min_speedup is None:
+        min_speedup = float(os.environ.get("BENCH_BACKEND_GATE", "2.0"))
+    comparisons = []
+    for name, graph, terminals in standard_instances():
+        comparisons.append(
+            compare_backends(
+                name,
+                graph.size,
+                lambda backend, g=graph, w=terminals: enumerate_minimal_steiner_trees(
+                    g, w, backend=backend
+                ),
+                limit=LIMIT,
+            )
+        )
+    geo, total = summarize_backend_comparisons(comparisons)
+    print_table(
+        "T1-st backend comparison (byte-identical streams; best-of-3 interleaved)",
+        ("instance", "n+m", "solutions", "object s", "fast s", "speedup"),
+        [
+            (c.label, c.size, c.solutions, c.object_seconds, c.fast_seconds, c.speedup)
+            for c in comparisons
+        ],
+        out=out,
+    )
+    print(
+        f"aggregate speedup: geomean {geo:.2f}x, total-time {total:.2f}x "
+        f"(gate: >= {min_speedup:.1f}x)",
+        file=out,
+    )
+    if max(geo, total) < min_speedup:
+        raise AssertionError(
+            f"fast backend speedup {max(geo, total):.2f}x below the "
+            f"{min_speedup:.1f}x gate"
+        )
+    return comparisons
+
+
+if __name__ == "__main__":
+    run_backend_comparison()

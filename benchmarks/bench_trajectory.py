@@ -1,0 +1,226 @@
+"""Benchmark trajectory: pinned quick subset → JSON snapshot → gate.
+
+CI runs this on every push (the ``bench-trajectory`` job): it measures a
+pinned subset of enumeration jobs on **both** backends, writes
+``BENCH_<short-sha>.json`` (uploaded as an artifact, so the repository
+accumulates a throughput history), and fails if throughput regressed
+more than the tolerance against the committed
+``benchmarks/BENCH_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trajectory.py \
+        [--out BENCH_abc1234.json] [--baseline benchmarks/BENCH_baseline.json]
+
+Environment knobs:
+
+``BENCH_TRAJECTORY_TOLERANCE``
+    Allowed fractional regression (default ``0.2`` = 20%).
+``BENCH_TRAJECTORY_SKIP_ABSOLUTE``
+    Set to ``1`` to gate only the object/fast speedup ratios (useful on
+    hardware unrelated to the baseline's; ratios are machine-stable,
+    absolute sols/s are not).
+
+The pinned subset covers every enumerator kind the engine serves, one
+mid-size instance each, with solution limits chosen so a full run stays
+in the tens of seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.bench.workloads import (
+    directed_size_sweep,
+    forest_size_sweep,
+    steiner_tree_size_sweep,
+    terminal_steiner_size_sweep,
+)
+from repro.engine.jobs import EnumerationJob, run_job
+
+#: Measurement repetitions per (kind, backend); best run is kept.
+REPS = 3
+
+
+def pinned_jobs() -> List[Tuple[str, EnumerationJob]]:
+    """One pinned job per enumerator kind (deterministic instances)."""
+    st = steiner_tree_size_sweep()[2]
+    sf = forest_size_sweep()[2]
+    ts = terminal_steiner_size_sweep()[2]
+    ds = directed_size_sweep()[2]
+    return [
+        ("steiner-tree", EnumerationJob.steiner_tree(st.graph, st.terminals, limit=300)),
+        ("steiner-forest", EnumerationJob.steiner_forest(sf.graph, sf.families, limit=200)),
+        (
+            "terminal-steiner",
+            EnumerationJob.terminal_steiner(ts.graph, ts.terminals, limit=200),
+        ),
+        (
+            "directed-steiner",
+            EnumerationJob.directed_steiner(ds.digraph, ds.terminals, ds.root, limit=200),
+        ),
+        (
+            "st-path",
+            EnumerationJob.st_path(st.graph, st.terminals[0], st.terminals[1], limit=400),
+        ),
+        (
+            "chordless-path",
+            EnumerationJob.chordless_path(
+                st.graph, st.terminals[0], st.terminals[1], limit=200
+            ),
+        ),
+    ]
+
+
+def _with_backend(job: EnumerationJob, backend: str) -> EnumerationJob:
+    from dataclasses import replace
+
+    return replace(job, backend=backend)
+
+
+def measure() -> Dict[str, dict]:
+    """Run the pinned subset on both backends; return per-kind metrics."""
+    kinds: Dict[str, dict] = {}
+    for kind, job in pinned_jobs():
+        entry: Dict[str, dict] = {}
+        lines = {}
+        for backend in ("object", "fast"):
+            bjob = _with_backend(job, backend)
+            best = float("inf")
+            solutions = 0
+            for _ in range(REPS):
+                start = time.perf_counter()
+                result = run_job(bjob)
+                wall = time.perf_counter() - start
+                best = min(best, wall)
+                solutions = result.count
+                lines[backend] = result.lines
+            entry[backend] = {
+                "wall_s": round(best, 6),
+                "solutions": solutions,
+                "sols_per_s": round(solutions / best, 2) if best else 0.0,
+                "jobs_per_s": round(1.0 / best, 3) if best else 0.0,
+            }
+        if lines["object"] != lines["fast"]:
+            raise AssertionError(
+                f"{kind}: fast backend output diverged from object backend"
+            )
+        obj_wall = entry["object"]["wall_s"]
+        fast_wall = entry["fast"]["wall_s"]
+        entry["speedup"] = round(obj_wall / fast_wall, 3) if fast_wall else 0.0
+        kinds[kind] = entry
+        print(
+            f"{kind:18s} object {obj_wall*1000:7.1f}ms  fast {fast_wall*1000:7.1f}ms"
+            f"  speedup {entry['speedup']:.2f}x  ({entry['fast']['sols_per_s']:.0f} sols/s fast)"
+        )
+    return kinds
+
+
+def git_short_sha() -> str:
+    """Current short commit sha (``unknown`` outside a work tree)."""
+    env_sha = os.environ.get("GITHUB_SHA")
+    if env_sha:
+        return env_sha[:7]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def gate(
+    current: Dict[str, dict],
+    baseline: Dict[str, dict],
+    tolerance: float,
+    skip_absolute: bool,
+) -> List[str]:
+    """Compare against the baseline; return regression messages."""
+    failures: List[str] = []
+    for kind, base in baseline.items():
+        cur = current.get(kind)
+        if cur is None:
+            failures.append(f"{kind}: missing from the current run")
+            continue
+        floor = 1.0 - tolerance
+        base_speedup = base.get("speedup", 0.0)
+        if base_speedup and cur["speedup"] < floor * base_speedup:
+            failures.append(
+                f"{kind}: speedup {cur['speedup']:.2f}x regressed >"
+                f"{tolerance:.0%} vs baseline {base_speedup:.2f}x"
+            )
+        if skip_absolute:
+            continue
+        for backend in ("object", "fast"):
+            base_rate = base.get(backend, {}).get("sols_per_s", 0.0)
+            cur_rate = cur[backend]["sols_per_s"]
+            if base_rate and cur_rate < floor * base_rate:
+                failures.append(
+                    f"{kind}/{backend}: {cur_rate:.0f} sols/s regressed >"
+                    f"{tolerance:.0%} vs baseline {base_rate:.0f}"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default BENCH_<short-sha>.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "BENCH_baseline.json"),
+        help="committed baseline to gate against ('' disables the gate)",
+    )
+    args = parser.parse_args(argv)
+
+    tolerance = float(os.environ.get("BENCH_TRAJECTORY_TOLERANCE", "0.2"))
+    skip_absolute = os.environ.get("BENCH_TRAJECTORY_SKIP_ABSOLUTE", "") == "1"
+
+    kinds = measure()
+    sha = git_short_sha()
+    payload = {
+        "schema": 1,
+        "sha": sha,
+        "python": sys.version.split()[0],
+        "reps": REPS,
+        "kinds": kinds,
+    }
+    out_path = args.out or f"BENCH_{sha}.json"
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+
+    if args.baseline and os.path.exists(args.baseline):
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures = gate(kinds, baseline.get("kinds", {}), tolerance, skip_absolute)
+        if failures:
+            print("THROUGHPUT REGRESSION:", file=sys.stderr)
+            for message in failures:
+                print(f"  - {message}", file=sys.stderr)
+            return 1
+        print(
+            f"gate passed vs {args.baseline} "
+            f"(tolerance {tolerance:.0%}, absolute={'off' if skip_absolute else 'on'})"
+        )
+    elif args.baseline:
+        print(f"no baseline at {args.baseline}; gate skipped", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,6 @@ from repro.core.steiner_tree import enumerate_minimal_steiner_trees
 from repro.zdd.steiner import build_steiner_tree_zdd, spanning_tree_zdd
 from repro.graphs.generators import grid_graph
 
-from benchutil import make_drainer
 
 SWEEP = tree_shape_sweep()  # full-family experiments need bounded counts
 

@@ -10,7 +10,6 @@ know about, or audit how much routing diversity the topology offers.
 Run:  python examples/multicast_backup_trees.py
 """
 
-import itertools
 from collections import Counter
 
 from repro import DiGraph, enumerate_minimal_directed_steiner_trees

@@ -173,6 +173,109 @@ def measure_batch(
     )
 
 
+@dataclass
+class BackendComparison:
+    """One instance's object-vs-fast backend measurement.
+
+    ``identical`` certifies the two backends produced the same ordered
+    solution stream before any timing ran; the speedup is
+    ``object_seconds / fast_seconds`` over best-of-``reps`` interleaved
+    runs (interleaving cancels CPU-frequency drift).
+    """
+
+    label: str
+    size: int
+    solutions: int
+    object_seconds: float
+    fast_seconds: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock ratio object/fast (>1 means the kernel wins)."""
+        return (
+            self.object_seconds / self.fast_seconds if self.fast_seconds else 0.0
+        )
+
+    @property
+    def fast_solutions_per_second(self) -> float:
+        """Fast-backend throughput."""
+        return self.solutions / self.fast_seconds if self.fast_seconds else 0.0
+
+    @property
+    def object_solutions_per_second(self) -> float:
+        """Object-backend throughput."""
+        return self.solutions / self.object_seconds if self.object_seconds else 0.0
+
+
+def compare_backends(
+    label: str,
+    size: int,
+    factory: Callable[[str], Iterable],
+    limit: Optional[int] = None,
+    reps: int = 3,
+) -> BackendComparison:
+    """Time ``factory(backend)`` for both backends on one instance.
+
+    ``factory`` must return a fresh enumerator for ``"object"`` or
+    ``"fast"``.  The two streams are first drained once each and
+    compared element-by-element (a mismatch raises ``AssertionError`` —
+    the backends' equivalence contract is part of the benchmark), then
+    each backend is timed ``reps`` times interleaved and the best run
+    kept.
+    """
+
+    def drain(backend: str) -> list:
+        out = []
+        for solution in factory(backend):
+            out.append(solution)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    reference = drain("object")
+    candidate = drain("fast")
+    identical = reference == candidate
+    if not identical:
+        raise AssertionError(
+            f"{label}: fast backend diverged from the object backend "
+            f"({len(reference)} vs {len(candidate)} solutions)"
+        )
+    best_object = best_fast = float("inf")
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        drain("object")
+        best_object = min(best_object, time.perf_counter() - start)
+        start = time.perf_counter()
+        drain("fast")
+        best_fast = min(best_fast, time.perf_counter() - start)
+    return BackendComparison(
+        label=label,
+        size=size,
+        solutions=len(reference),
+        object_seconds=best_object,
+        fast_seconds=best_fast,
+        identical=identical,
+    )
+
+
+def summarize_backend_comparisons(
+    comparisons: Sequence[BackendComparison],
+) -> Tuple[float, float]:
+    """Aggregate speedups: ``(geometric mean, total-time ratio)``.
+
+    The total-time ratio weighs instances by how long they actually
+    take, which is the honest "aggregate throughput" number.
+    """
+    ratios = [c.speedup for c in comparisons if c.speedup > 0]
+    if not ratios:
+        return (0.0, 0.0)
+    geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    total_object = sum(c.object_seconds for c in comparisons)
+    total_fast = sum(c.fast_seconds for c in comparisons)
+    return (geo, total_object / total_fast if total_fast else 0.0)
+
+
 def fit_linearity(sizes: Sequence[float], values: Sequence[float]) -> Tuple[float, float]:
     """Least-squares fit of ``log(value) ~ a + b·log(size)``.
 

@@ -9,7 +9,7 @@ minutes on a laptop.  All instances are deterministic in the seed.
 
 from __future__ import annotations
 
-from typing import Hashable, List, NamedTuple, Sequence, Tuple
+from typing import Hashable, List, NamedTuple, Tuple
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.generators import (

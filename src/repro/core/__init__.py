@@ -64,7 +64,6 @@ from repro.core.steiner_forest import (
     enumerate_minimal_steiner_forests,
     enumerate_minimal_steiner_forests_linear_delay,
     enumerate_minimal_steiner_forests_simple,
-    normalize_families,
     steiner_forest_events,
 )
 from repro.core.steiner_tree import (

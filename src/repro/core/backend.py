@@ -1,0 +1,40 @@
+"""Backend selection for the core enumerators.
+
+Every enumerator in :mod:`repro.core` (and the path layer) accepts a
+``backend`` keyword:
+
+* ``"object"`` — the reference implementation over the hashable-vertex
+  :class:`repro.graphs.graph.Graph` / :class:`~repro.graphs.digraph.DiGraph`.
+* ``"fast"`` — the integer kernel (:mod:`repro.graphs.fastgraph`): the
+  instance is compiled once into flat arrays and the hot path/bridge/
+  contraction machinery runs on them.
+
+On *integer-compact* instances (vertices are exactly ``0..n-1`` — the
+engine's relabeled normal form) the two backends produce byte-identical
+solution streams.  Other instances are relabeled transparently before
+compilation; the solution *set* is unchanged (edge/arc ids are
+preserved, vertex-level solutions are translated back), but the
+enumeration *order* may legitimately differ from the object backend's,
+whose tie-breaks then depend on the labels' hash order.
+
+The implementations live in :mod:`repro.graphs.fastgraph`; this module
+re-exports them at the layer the enumerators import from.
+"""
+
+from repro.graphs.fastgraph import (
+    BACKENDS,
+    check_backend,
+    compile_directed,
+    compile_undirected,
+    map_query_vertex,
+    map_query_vertices,
+)
+
+__all__ = [
+    "BACKENDS",
+    "check_backend",
+    "compile_directed",
+    "compile_undirected",
+    "map_query_vertex",
+    "map_query_vertices",
+]

@@ -41,12 +41,20 @@ from typing import (
     Tuple,
 )
 
+from repro.core.backend import (
+    check_backend,
+    compile_directed,
+    map_query_vertex,
+    map_query_vertices,
+)
 from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION, Event
 from repro.enumeration.queue_method import regulate
 from repro.exceptions import InvalidInstanceError
 from repro.graphs.contraction import contract_vertex_set_directed
 from repro.graphs.digraph import DiGraph
+from repro.graphs.fastgraph import contracted_kernel_directed
 from repro.graphs.traversal import reachable_from
+from repro.paths.fastpaths import fast_enumerate_set_paths_directed
 from repro.paths.read_tarjan import enumerate_set_paths_directed
 
 Vertex = Hashable
@@ -227,8 +235,24 @@ def directed_steiner_events(
     root: Vertex,
     meter=None,
     improved: bool = True,
+    backend: str = "object",
 ) -> Iterator[Event]:
-    """Event stream of the directed-Steiner enumeration-tree traversal."""
+    """Event stream of the directed-Steiner enumeration-tree traversal.
+
+    ``backend="fast"`` compiles the instance into a directed kernel:
+    per-node contraction rebuilds an integer-labeled kernel (arcs in the
+    same global order as ``contract_vertex_set_directed``'s output, so
+    the DFS/certificate decisions match), the Lemma 35 analysis runs on
+    it through the same generic helpers, and child paths come from the
+    kernel path enumerator.
+    """
+    check_backend(backend)
+    fast = backend == "fast"
+    if fast:
+        fd, index = compile_directed(digraph)
+        digraph = fd  # FastDiGraph implements the DiGraph protocol
+        terminals = map_query_vertices(index, terminals)
+        root = map_query_vertex(index, root)
     ordered = _validate(digraph, terminals, root)
     reach = reachable_from(digraph, root, meter=meter)
     if not all(w in reach for w in ordered):
@@ -245,9 +269,15 @@ def directed_steiner_events(
                 if w in state.uncovered:
                     return ("branch", w)
             raise AssertionError("unreachable")
-        contraction = contract_vertex_set_directed(digraph, state.vertices)
-        dprime = contraction.graph
-        r_t = contraction.vertex_map[root]
+        if fast:
+            dprime, vmap = contracted_kernel_directed(
+                digraph, state.vertices, meter=meter
+            )
+            r_t = vmap[root]
+        else:
+            contraction = contract_vertex_set_directed(digraph, state.vertices)
+            dprime = contraction.graph
+            r_t = contraction.vertex_map[root]
         if meter is not None:
             meter.tick(dprime.num_arcs + dprime.num_vertices)
         parent_arc, postorder = _dfs_tree_and_postorder(dprime, r_t, meter)
@@ -263,6 +293,10 @@ def directed_steiner_events(
         return ("branch", _terminal_below(u, tstar_children, state.uncovered))
 
     def child_paths(w):
+        if fast:
+            return fast_enumerate_set_paths_directed(
+                digraph, frozenset(state.vertices), (w,), meter=meter
+            )
         return enumerate_set_paths_directed(
             digraph, frozenset(state.vertices), (w,), meter=meter
         )
@@ -298,7 +332,11 @@ def directed_steiner_events(
 
 
 def enumerate_minimal_directed_steiner_trees(
-    digraph: DiGraph, terminals: Sequence[Vertex], root: Vertex, meter=None
+    digraph: DiGraph,
+    terminals: Sequence[Vertex],
+    root: Vertex,
+    meter=None,
+    backend: str = "object",
 ) -> Iterator[Solution]:
     """Enumerate all minimal directed Steiner trees of ``(D, W, r)``.
 
@@ -312,7 +350,7 @@ def enumerate_minimal_directed_steiner_trees(
     [[0, 1], [2]]
     """
     for event in directed_steiner_events(
-        digraph, terminals, root, meter=meter, improved=True
+        digraph, terminals, root, meter=meter, improved=True, backend=backend
     ):
         if event[0] == SOLUTION:
             yield event[1]
@@ -335,10 +373,11 @@ def enumerate_minimal_directed_steiner_trees_linear_delay(
     root: Vertex,
     meter=None,
     window: Optional[int] = None,
+    backend: str = "object",
 ) -> Iterator[Solution]:
     """Theorem 36 second half: O(n+m) delay via the output-queue method."""
     events = directed_steiner_events(
-        digraph, terminals, root, meter=meter, improved=True
+        digraph, terminals, root, meter=meter, improved=True, backend=backend
     )
     kwargs = {} if window is None else {"window": window}
     return regulate(events, prime=digraph.num_vertices, **kwargs)

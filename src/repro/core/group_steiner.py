@@ -21,7 +21,6 @@ from typing import (
     FrozenSet,
     Hashable,
     Iterator,
-    List,
     NamedTuple,
     Optional,
     Sequence,

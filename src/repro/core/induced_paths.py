@@ -85,7 +85,7 @@ def _reachable_avoiding(
 
 
 def enumerate_chordless_st_paths(
-    graph: Graph, source: Vertex, target: Vertex, meter=None
+    graph: Graph, source: Vertex, target: Vertex, meter=None, backend: str = "object"
 ) -> Iterator[Tuple[Vertex, ...]]:
     """All chordless ``source``-``target`` paths, as vertex tuples.
 
@@ -101,6 +101,21 @@ def enumerate_chordless_st_paths(
     The walk ``(0, 1, 2, 3)`` is *not* chordless: edge ``0``-``2`` is a
     chord, so the minimal induced connector is the short route only.
     """
+    from repro.core.backend import check_backend, compile_undirected, map_query_vertex
+
+    check_backend(backend)
+    if backend == "fast":
+        fg, index = compile_undirected(graph)
+        s = map_query_vertex(index, source) if source in graph else source
+        t = map_query_vertex(index, target) if target in graph else target
+        inner = enumerate_chordless_st_paths(fg, s, t, meter=meter)
+        if index is None:
+            yield from inner
+        else:
+            labels = list(index)
+            for path in inner:
+                yield tuple(labels[v] for v in path)
+        return
     if source not in graph:
         raise VertexNotFound(source)
     if target not in graph:

@@ -47,7 +47,7 @@ from collections import deque
 from repro.exceptions import ClawFreeViolation, InvalidInstanceError
 from repro.graphs.graph import Graph
 from repro.graphs.linegraph import find_claw
-from repro.graphs.traversal import component_of, shortest_path_avoiding
+from repro.graphs.traversal import component_of
 
 Vertex = Hashable
 VertexSolution = FrozenSet[Vertex]
@@ -251,6 +251,7 @@ def enumerate_minimal_induced_steiner_subgraphs(
     terminals: Sequence[Vertex],
     meter=None,
     validate_claw_free: bool = True,
+    backend: str = "object",
 ) -> Iterator[VertexSolution]:
     """Enumerate all minimal induced Steiner subgraphs of a claw-free graph.
 
@@ -273,6 +274,22 @@ def enumerate_minimal_induced_steiner_subgraphs(
     ...        enumerate_minimal_induced_steiner_subgraphs(g, ["a", "d"]))
     [['a', 'c', 'd']]
     """
+    from repro.core.backend import check_backend, compile_undirected, map_query_vertices
+
+    check_backend(backend)
+    if backend == "fast":
+        fg, index = compile_undirected(graph)
+        mapped = map_query_vertices(index, terminals)
+        inner = enumerate_minimal_induced_steiner_subgraphs(
+            fg, mapped, meter=meter, validate_claw_free=validate_claw_free
+        )
+        if index is None:
+            yield from inner
+        else:
+            labels = list(index)
+            for sol in inner:
+                yield frozenset(labels[v] for v in sol)
+        return
     terminals = list(dict.fromkeys(terminals))
     if not terminals:
         raise InvalidInstanceError("at least one terminal is required")

@@ -23,8 +23,7 @@ import itertools
 from typing import FrozenSet, Hashable, Iterator, List, Sequence, Set, Tuple
 
 from repro.graphs.graph import Graph
-from repro.graphs.spanning import is_tree, tree_leaves, tree_vertices
-from repro.core.verification import is_steiner_subgraph
+from repro.graphs.spanning import is_tree, tree_leaves
 
 Vertex = Hashable
 

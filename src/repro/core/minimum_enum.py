@@ -31,7 +31,6 @@ from typing import (
     FrozenSet,
     Hashable,
     Iterator,
-    List,
     Mapping,
     Optional,
     Sequence,

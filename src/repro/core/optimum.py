@@ -75,7 +75,6 @@ def dreyfus_wagner(
 
     t = len(terms)
     full = (1 << t) - 1
-    index = {w: i for i, w in enumerate(terms)}
     INF = float("inf")
 
     # cost[S] maps vertex -> best weight for terminals(S) ∪ {v}

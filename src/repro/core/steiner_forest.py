@@ -32,14 +32,21 @@ from typing import (
     Tuple,
 )
 
+from repro.core.backend import check_backend, compile_undirected, map_query_vertex
 from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION, Event
 from repro.enumeration.queue_method import regulate
 from repro.exceptions import InvalidInstanceError
 from repro.graphs.bridges import find_bridges
 from repro.graphs.contraction import contract_edges
+from repro.graphs.fastgraph import (
+    contracted_kernel,
+    fast_bridges,
+    fast_component_labels,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.lca import LCAIndex, mark_terminal_paths
 from repro.graphs.traversal import component_of, connected_components
+from repro.paths.fastpaths import fast_enumerate_st_paths_undirected
 from repro.paths.read_tarjan import enumerate_st_paths_undirected
 
 Vertex = Hashable
@@ -154,16 +161,138 @@ def _unique_completion(
     return frozenset(marked)
 
 
+def _fast_steiner_forest_events(
+    graph, pairs: List[Pair], meter, improved: bool
+) -> Iterator[Event]:
+    """Fast-backend event stream (kernel contraction + kernel paths).
+
+    Per node the contracted graph is rebuilt as a kernel
+    (:func:`repro.graphs.fastgraph.contracted_kernel`), whose surviving
+    edges appear in the same global order as the object backend's
+    ``contract_edges`` output — the stream order never observes the
+    component labels themselves, so the solution stream matches.  The
+    leaf extraction (:func:`_unique_completion`) is shared with the
+    object backend: it runs on the *original* instance either way.
+    """
+    fg, index = compile_undirected(graph)
+    pairs = [(map_query_vertex(index, a), map_query_vertex(index, b)) for a, b in pairs]
+    labels = fast_component_labels(fg, meter=meter)
+    if any(labels[a] != labels[b] for a, b in pairs):
+        return
+
+    state = _ForestState()
+    node_counter = 0
+    n_space = fg.n_space
+
+    def node_action() -> Tuple[str, object]:
+        # Union-find over the partial forest: pending pairs.
+        parent = list(range(n_space))
+        eu, ev = fg._eu, fg._ev
+        for eid in state.edges:
+            ru = eu[eid]
+            while parent[ru] != ru:
+                parent[ru] = parent[parent[ru]]
+                ru = parent[ru]
+            rv = ev[eid]
+            while parent[rv] != rv:
+                parent[rv] = parent[parent[rv]]
+                rv = parent[rv]
+            if ru != rv:
+                parent[ru] = rv
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        pending = [(a, b) for a, b in pairs if find(a) != find(b)]
+        if not pending:
+            return ("leaf", frozenset(state.edges))
+        ck, vmap = contracted_kernel(fg, state.edges, meter=meter)
+        if meter is not None:
+            meter.tick(ck.num_edges + ck.num_vertices)
+        if not improved:
+            a, b = pending[0]
+            return ("branch", (a, b, ck, vmap))
+        bridges = fast_bridges(ck, meter=meter)
+        bparent = list(range(ck.n_space))
+        ceu, cev = ck._eu, ck._ev
+        for eid in bridges:
+            ru = ceu[eid]
+            while bparent[ru] != ru:
+                bparent[ru] = bparent[bparent[ru]]
+                ru = bparent[ru]
+            rv = cev[eid]
+            while bparent[rv] != rv:
+                bparent[rv] = bparent[bparent[rv]]
+                rv = bparent[rv]
+            if ru != rv:
+                bparent[ru] = rv
+
+        def bfind(x: int) -> int:
+            while bparent[x] != x:
+                bparent[x] = bparent[bparent[x]]
+                x = bparent[x]
+            return x
+
+        for a, b in pending:
+            if bfind(vmap[a]) != bfind(vmap[b]):
+                return ("branch", (a, b, ck, vmap))
+        return ("leaf", _unique_completion(fg, state.edges, bridges, pairs, meter))
+
+    def child_paths(branch_payload):
+        a, b, ck, vmap = branch_payload
+        return fast_enumerate_st_paths_undirected(ck, vmap[a], vmap[b], meter=meter)
+
+    yield (DISCOVER, node_counter, 0)
+    kind, payload = node_action()
+    if kind == "leaf":
+        yield (SOLUTION, payload)
+        yield (EXAMINE, node_counter, 0)
+        return
+
+    stack: List[List[object]] = [[child_paths(payload), None, node_counter, 0]]
+    while stack:
+        frame = stack[-1]
+        paths, _undo, node_id, depth = frame
+        path = next(paths, None)  # type: ignore[arg-type]
+        if path is None:
+            yield (EXAMINE, node_id, depth)
+            stack.pop()
+            if frame[1] is not None:
+                state.undo(frame[1])
+            continue
+        record = state.apply(path.arcs)
+        node_counter += 1
+        yield (DISCOVER, node_counter, depth + 1)
+        kind, payload = node_action()
+        if kind == "leaf":
+            yield (SOLUTION, payload)
+            yield (EXAMINE, node_counter, depth + 1)
+            state.undo(record)
+            continue
+        stack.append([child_paths(payload), record, node_counter, depth + 1])
+
+
 def steiner_forest_events(
-    graph: Graph, families: Sequence[Sequence[Vertex]], meter=None, improved: bool = True
+    graph: Graph,
+    families: Sequence[Sequence[Vertex]],
+    meter=None,
+    improved: bool = True,
+    backend: str = "object",
 ) -> Iterator[Event]:
     """Event stream of the Steiner-forest enumeration-tree traversal."""
+    check_backend(backend)
     pairs = normalize_families(graph, families)
     if not pairs:
         # No constraints: the empty forest is the unique minimal solution.
         yield (DISCOVER, 0, 0)
         yield (SOLUTION, frozenset())
         yield (EXAMINE, 0, 0)
+        return
+    if backend == "fast":
+        yield from _fast_steiner_forest_events(graph, pairs, meter, improved)
         return
     if not _pairs_connected_in_graph(graph, pairs, meter):
         return
@@ -243,7 +372,10 @@ def steiner_forest_events(
 
 
 def enumerate_minimal_steiner_forests(
-    graph: Graph, families: Sequence[Sequence[Vertex]], meter=None
+    graph: Graph,
+    families: Sequence[Sequence[Vertex]],
+    meter=None,
+    backend: str = "object",
 ) -> Iterator[Solution]:
     """Enumerate all minimal Steiner forests of ``(G, {W_1, ..., W_s})``.
 
@@ -256,16 +388,23 @@ def enumerate_minimal_steiner_forests(
     >>> sorted(sorted(s) for s in enumerate_minimal_steiner_forests(g, [["a", "b"]]))
     [[0], [1, 2]]
     """
-    for event in steiner_forest_events(graph, families, meter=meter, improved=True):
+    for event in steiner_forest_events(
+        graph, families, meter=meter, improved=True, backend=backend
+    ):
         if event[0] == SOLUTION:
             yield event[1]
 
 
 def enumerate_minimal_steiner_forests_simple(
-    graph: Graph, families: Sequence[Sequence[Vertex]], meter=None
+    graph: Graph,
+    families: Sequence[Sequence[Vertex]],
+    meter=None,
+    backend: str = "object",
 ) -> Iterator[Solution]:
     """Unimproved branching (Theorem 23 bound): O(t(n+m)) delay."""
-    for event in steiner_forest_events(graph, families, meter=meter, improved=False):
+    for event in steiner_forest_events(
+        graph, families, meter=meter, improved=False, backend=backend
+    ):
         if event[0] == SOLUTION:
             yield event[1]
 
@@ -275,9 +414,12 @@ def enumerate_minimal_steiner_forests_linear_delay(
     families: Sequence[Sequence[Vertex]],
     meter=None,
     window: Optional[int] = None,
+    backend: str = "object",
 ) -> Iterator[Solution]:
     """Theorem 25 second half: O(m) delay via the output-queue regulator."""
-    events = steiner_forest_events(graph, families, meter=meter, improved=True)
+    events = steiner_forest_events(
+        graph, families, meter=meter, improved=True, backend=backend
+    )
     kwargs = {} if window is None else {"window": window}
     return regulate(events, prime=graph.num_vertices, **kwargs)
 

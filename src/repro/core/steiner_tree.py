@@ -40,13 +40,21 @@ from typing import (
     Tuple,
 )
 
+from repro.core.backend import check_backend, compile_undirected, map_query_vertices
 from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION, Event
 from repro.enumeration.queue_method import regulate
 from repro.exceptions import InvalidInstanceError
 from repro.graphs.bridges import find_bridges
+from repro.graphs.fastgraph import (
+    FastGraph,
+    fast_bridges,
+    fast_component_labels,
+    fast_minimal_steiner_completion,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.spanning import minimal_steiner_completion
 from repro.graphs.traversal import component_of
+from repro.paths.fastpaths import fast_enumerate_set_paths
 from repro.paths.read_tarjan import enumerate_set_paths
 
 Vertex = Hashable
@@ -151,19 +159,169 @@ def _completion_branch_terminal(
     return None, frozenset(completion)
 
 
+def _fast_completion_branch_terminal(
+    fg: FastGraph,
+    state: "_PartialTree",
+    terminals: Sequence[int],
+    bridges: Set[int],
+    meter,
+) -> Tuple[Optional[int], Solution]:
+    """Kernel version of :func:`_completion_branch_terminal`.
+
+    The completion is a tree, so "the ``V(T)``-``w`` path is bridge-only"
+    is equivalent to "``w`` and ``V(T)`` are connected using only the
+    completion's bridge edges".  A union-find over those edges answers
+    that without building any adjacency structure, and — paths in a tree
+    being unique — produces exactly the object backend's flags.
+    """
+    completion = fast_minimal_steiner_completion(
+        fg, terminals, partial_eids=state.edges, meter=meter
+    )
+    eu, esum = fg._eu, fg._esum
+    parent: Dict[int, int] = {}
+    ops = 0
+    for eid in completion:
+        ops += 1
+        if eid not in bridges:
+            continue
+        u = eu[eid]
+        v = esum[eid] - u
+        ru = parent.setdefault(u, u)
+        while parent[ru] != ru:
+            parent[ru] = parent[parent[ru]]
+            ru = parent[ru]
+        rv = parent.setdefault(v, v)
+        while parent[rv] != rv:
+            parent[rv] = parent[parent[rv]]
+            rv = parent[rv]
+        if ru != rv:
+            parent[ru] = rv
+    # Merge V(T) into one anchor component.
+    anchor = -1  # vertex ids are non-negative; safe synthetic root
+    parent[anchor] = anchor
+    for v in state.vertices:
+        rv = parent.setdefault(v, v)
+        while parent[rv] != rv:
+            parent[rv] = parent[parent[rv]]
+            rv = parent[rv]
+        ra = anchor
+        while parent[ra] != ra:
+            parent[ra] = parent[parent[ra]]
+            ra = parent[ra]
+        if rv != ra:
+            parent[rv] = ra
+    if meter is not None and ops:
+        meter.tick(ops)
+    ra = anchor
+    while parent[ra] != ra:
+        parent[ra] = parent[parent[ra]]
+        ra = parent[ra]
+    for w in terminals:
+        if w not in state.uncovered:
+            continue
+        rw = parent.setdefault(w, w)
+        while parent[rw] != rw:
+            parent[rw] = parent[parent[rw]]
+            rw = parent[rw]
+        if rw != ra:
+            return w, frozenset(completion)
+    return None, frozenset(completion)
+
+
+def _fast_steiner_tree_events(
+    graph, terminals: Sequence[Vertex], meter, improved: bool
+) -> Iterator[Event]:
+    """Fast-backend event stream (same stream as the object backend on
+    integer-compact instances; see :mod:`repro.core.backend`)."""
+    fg, index = compile_undirected(graph)
+    ordered = map_query_vertices(index, terminals)
+    labels = fast_component_labels(fg, meter=meter)
+    root_label = labels[ordered[0]]
+    if any(labels[w] != root_label for w in ordered):
+        return
+    if len(ordered) == 1:
+        yield (DISCOVER, 0, 0)
+        yield (SOLUTION, frozenset())
+        yield (EXAMINE, 0, 0)
+        return
+
+    bridges = fast_bridges(fg, meter=meter) if improved else frozenset()
+    state = _PartialTree(ordered[0], ordered)
+    node_counter = 0
+
+    def node_action() -> Tuple[str, object]:
+        if improved:
+            if not state.uncovered:
+                return ("leaf", frozenset(state.edges))
+            w, completion = _fast_completion_branch_terminal(
+                fg, state, ordered, bridges, meter
+            )
+            if w is None:
+                return ("leaf", completion)
+            return ("branch", w)
+        if not state.uncovered:
+            return ("leaf", frozenset(state.edges))
+        for w in ordered:
+            if w in state.uncovered:
+                return ("branch", w)
+        raise AssertionError("unreachable")
+
+    yield (DISCOVER, node_counter, 0)
+    kind, payload = node_action()
+    if kind == "leaf":
+        yield (SOLUTION, payload)
+        yield (EXAMINE, node_counter, 0)
+        return
+
+    root_paths = fast_enumerate_set_paths(
+        fg, frozenset(state.vertices), (payload,), meter=meter
+    )
+    stack: List[List[object]] = [[root_paths, None, node_counter, 0]]
+    while stack:
+        frame = stack[-1]
+        paths, _undo, node_id, depth = frame
+        path = next(paths, None)  # type: ignore[arg-type]
+        if path is None:
+            yield (EXAMINE, node_id, depth)
+            stack.pop()
+            if frame[1] is not None:
+                state.undo(frame[1])
+            continue
+        record = state.apply(path)
+        node_counter += 1
+        yield (DISCOVER, node_counter, depth + 1)
+        kind, payload = node_action()
+        if kind == "leaf":
+            yield (SOLUTION, payload)
+            yield (EXAMINE, node_counter, depth + 1)
+            state.undo(record)
+            continue
+        child_paths = fast_enumerate_set_paths(
+            fg, frozenset(state.vertices), (payload,), meter=meter
+        )
+        stack.append([child_paths, record, node_counter, depth + 1])
+
+
 def steiner_tree_events(
     graph: Graph,
     terminals: Sequence[Vertex],
     meter=None,
     improved: bool = True,
+    backend: str = "object",
 ) -> Iterator[Event]:
     """Event stream of the (improved) enumeration-tree traversal.
 
     Emits ``discover``/``examine`` per enumeration-tree node and
     ``solution`` per minimal Steiner tree.  ``improved=False`` runs plain
-    Algorithm 2 (used by the AB-bridge ablation).
+    Algorithm 2 (used by the AB-bridge ablation).  ``backend="fast"``
+    compiles the instance into the integer kernel
+    (:mod:`repro.graphs.fastgraph`) and yields the same stream.
     """
+    check_backend(backend)
     ordered = _validate_instance(graph, terminals)
+    if backend == "fast":
+        yield from _fast_steiner_tree_events(graph, ordered, meter, improved)
+        return
     if not _terminals_connected(graph, ordered, meter):
         return
     if len(ordered) == 1:
@@ -234,7 +392,7 @@ def steiner_tree_events(
 
 
 def enumerate_minimal_steiner_trees(
-    graph: Graph, terminals: Sequence[Vertex], meter=None
+    graph: Graph, terminals: Sequence[Vertex], meter=None, backend: str = "object"
 ) -> Iterator[Solution]:
     """Enumerate all minimal Steiner trees of ``(G, W)``.
 
@@ -248,13 +406,15 @@ def enumerate_minimal_steiner_trees(
     >>> sols
     [[0, 1], [2]]
     """
-    for event in steiner_tree_events(graph, terminals, meter=meter, improved=True):
+    for event in steiner_tree_events(
+        graph, terminals, meter=meter, improved=True, backend=backend
+    ):
         if event[0] == SOLUTION:
             yield event[1]
 
 
 def enumerate_minimal_steiner_trees_simple(
-    graph: Graph, terminals: Sequence[Vertex], meter=None
+    graph: Graph, terminals: Sequence[Vertex], meter=None, backend: str = "object"
 ) -> Iterator[Solution]:
     """Plain Algorithm 2 (Theorem 15): O(|W|(n+m)) delay.
 
@@ -262,7 +422,9 @@ def enumerate_minimal_steiner_trees_simple(
     the prior-work-shaped baseline (its per-solution cost carries the
     |W|-factor that Kimelfeld–Sagiv-style enumeration pays).
     """
-    for event in steiner_tree_events(graph, terminals, meter=meter, improved=False):
+    for event in steiner_tree_events(
+        graph, terminals, meter=meter, improved=False, backend=backend
+    ):
         if event[0] == SOLUTION:
             yield event[1]
 
@@ -272,6 +434,7 @@ def enumerate_minimal_steiner_trees_linear_delay(
     terminals: Sequence[Vertex],
     meter=None,
     window: Optional[int] = None,
+    backend: str = "object",
 ) -> Iterator[Solution]:
     """Theorem 20: O(n+m) delay via the output-queue method.
 
@@ -280,7 +443,9 @@ def enumerate_minimal_steiner_trees_linear_delay(
     solution per bounded window of traversal events thereafter.  Space is
     O(n²) for the queue; the solution *set* is unchanged.
     """
-    events = steiner_tree_events(graph, terminals, meter=meter, improved=True)
+    events = steiner_tree_events(
+        graph, terminals, meter=meter, improved=True, backend=backend
+    )
     kwargs = {} if window is None else {"window": window}
     return regulate(events, prime=graph.num_vertices, **kwargs)
 

@@ -49,13 +49,19 @@ from typing import (
     Tuple,
 )
 
+from repro.core.backend import check_backend, compile_undirected, map_query_vertices
 from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION, Event
 from repro.enumeration.queue_method import regulate
 from repro.exceptions import InvalidInstanceError
 from repro.graphs.bridges import find_bridges
+from repro.graphs.fastgraph import FastGraph
 from repro.graphs.graph import Graph
 from repro.graphs.spanning import prune_non_terminal_leaves, spanning_tree_edges
 from repro.graphs.traversal import connected_components
+from repro.paths.fastpaths import (
+    fast_enumerate_set_paths,
+    fast_enumerate_st_paths_undirected,
+)
 from repro.paths.read_tarjan import enumerate_set_paths, enumerate_st_paths_undirected
 
 Vertex = Hashable
@@ -81,7 +87,25 @@ def _validate(graph: Graph, terminals: Sequence[Vertex]) -> List[Vertex]:
 class _Component:
     """A valid component ``C`` (``W ⊆ N(C)``) with its static analysis."""
 
-    __slots__ = ("vertices", "graph_c", "bridges_c", "terminal_edges", "work_graph")
+    __slots__ = (
+        "vertices",
+        "graph_c",
+        "bridges_c",
+        "terminal_edges",
+        "work_graph",
+        "_kernel",
+    )
+
+    def kernel(self, n_space: int) -> FastGraph:
+        """The work graph compiled once as a kernel (fast backend).
+
+        Per-query vertex masks (``excluded``) replace the per-node
+        ``G[C ∪ {w}]`` subcopies the object backend builds; the visible
+        incidence order is the same subsequence either way.
+        """
+        if self._kernel is None:
+            self._kernel = FastGraph.from_graph(self.work_graph, n_space=n_space)
+        return self._kernel
 
     def __init__(self, graph: Graph, vertices: Set[Vertex], terminals, meter):
         self.vertices = vertices
@@ -91,7 +115,6 @@ class _Component:
         self.bridges_c = find_bridges(self.graph_c, meter=meter)
         # terminal -> list of (eid, attachment vertex in C)
         self.terminal_edges: Dict[Vertex, List[Tuple[int, Vertex]]] = {}
-        terminal_set = set(terminals)
         for w in terminals:
             edges = [
                 (eid, other)
@@ -101,6 +124,7 @@ class _Component:
             self.terminal_edges[w] = edges
         # G[C ∪ W] minus terminal-terminal edges: the working graph whose
         # subgraphs G[C ∪ {w}] host the path enumerations.
+        self._kernel = None
         self.work_graph = Graph()
         for v in vertices:
             self.work_graph.add_vertex(v)
@@ -219,21 +243,39 @@ def terminal_steiner_events(
     terminals: Sequence[Vertex],
     meter=None,
     improved: bool = True,
+    backend: str = "object",
 ) -> Iterator[Event]:
-    """Event stream of the terminal-Steiner enumeration-tree traversal."""
+    """Event stream of the terminal-Steiner enumeration-tree traversal.
+
+    ``backend="fast"`` keeps the node logic (component analysis,
+    completions, flags — all well-defined per node) and swaps the path
+    enumerations onto one compiled kernel per valid component, masking
+    the terminals outside each query instead of rebuilding
+    ``G[C ∪ {w}]`` subcopies.
+    """
+    check_backend(backend)
+    fast = backend == "fast"
+    if fast:
+        fg, index = compile_undirected(graph)
+        graph = fg  # FastGraph implements the Graph protocol
+        terminals = map_query_vertices(index, terminals)
     ordered = _validate(graph, terminals)
 
     if len(ordered) == 2:
         # |W| = 2: identical to s-t path enumeration (paper, §5.1).
         node = 0
         yield (DISCOVER, node, 0)
-        emitted = False
-        for path in enumerate_st_paths_undirected(
-            graph, ordered[0], ordered[1], meter=meter
-        ):
+        if fast:
+            two_paths = fast_enumerate_st_paths_undirected(
+                graph, ordered[0], ordered[1], meter=meter
+            )
+        else:
+            two_paths = enumerate_st_paths_undirected(
+                graph, ordered[0], ordered[1], meter=meter
+            )
+        for path in two_paths:
             if len(path.arcs) == 0:
                 continue
-            emitted = True
             yield (SOLUTION, frozenset(path.arcs))
         yield (EXAMINE, node, 0)
         return
@@ -274,6 +316,15 @@ def terminal_steiner_events(
 
         def child_paths(w):
             # paths from (V(T) ∩ C) to w inside G[C ∪ {w}]
+            sources = frozenset(v for v in state.vertices if v in comp.vertices)
+            if fast:
+                return fast_enumerate_set_paths(
+                    comp.kernel(graph.n_space),
+                    sources,
+                    (w,),
+                    meter=meter,
+                    excluded=[t for t in ordered if t != w],
+                )
             sub = Graph()
             for v in comp.vertices:
                 sub.add_vertex(v)
@@ -282,11 +333,18 @@ def terminal_steiner_events(
             sub.add_vertex(w)
             for eid, other in comp.terminal_edges[w]:
                 sub.add_edge(w, other, eid=eid)
-            sources = frozenset(v for v in state.vertices if v in comp.vertices)
             return enumerate_set_paths(sub, sources, (w,), meter=meter)
 
         # Root children for this component: w0-w1 paths in G[C ∪ {w0, w1}].
         def root_paths():
+            if fast:
+                return fast_enumerate_st_paths_undirected(
+                    comp.kernel(graph.n_space),
+                    w0,
+                    w1,
+                    meter=meter,
+                    excluded=[t for t in ordered if t != w0 and t != w1],
+                )
             sub = Graph()
             for v in comp.vertices:
                 sub.add_vertex(v)
@@ -325,7 +383,7 @@ def terminal_steiner_events(
 
 
 def enumerate_minimal_terminal_steiner_trees(
-    graph: Graph, terminals: Sequence[Vertex], meter=None
+    graph: Graph, terminals: Sequence[Vertex], meter=None, backend: str = "object"
 ) -> Iterator[Solution]:
     """Enumerate all minimal terminal Steiner trees of ``(G, W)``.
 
@@ -338,16 +396,20 @@ def enumerate_minimal_terminal_steiner_trees(
     >>> sorted(sorted(s) for s in enumerate_minimal_terminal_steiner_trees(g, ["w1", "w2"]))
     [[0, 1], [0, 2, 3]]
     """
-    for event in terminal_steiner_events(graph, terminals, meter=meter, improved=True):
+    for event in terminal_steiner_events(
+        graph, terminals, meter=meter, improved=True, backend=backend
+    ):
         if event[0] == SOLUTION:
             yield event[1]
 
 
 def enumerate_minimal_terminal_steiner_trees_simple(
-    graph: Graph, terminals: Sequence[Vertex], meter=None
+    graph: Graph, terminals: Sequence[Vertex], meter=None, backend: str = "object"
 ) -> Iterator[Solution]:
     """Unimproved branching (Theorem 29 bound): O(nm) delay."""
-    for event in terminal_steiner_events(graph, terminals, meter=meter, improved=False):
+    for event in terminal_steiner_events(
+        graph, terminals, meter=meter, improved=False, backend=backend
+    ):
         if event[0] == SOLUTION:
             yield event[1]
 
@@ -357,9 +419,12 @@ def enumerate_minimal_terminal_steiner_trees_linear_delay(
     terminals: Sequence[Vertex],
     meter=None,
     window: Optional[int] = None,
+    backend: str = "object",
 ) -> Iterator[Solution]:
     """Theorem 31 second half: O(n+m) delay via the output-queue method."""
-    events = terminal_steiner_events(graph, terminals, meter=meter, improved=True)
+    events = terminal_steiner_events(
+        graph, terminals, meter=meter, improved=True, backend=backend
+    )
     kwargs = {} if window is None else {"window": window}
     return regulate(events, prime=graph.num_vertices, **kwargs)
 

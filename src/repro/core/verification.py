@@ -11,11 +11,11 @@ available (forests, induced subgraphs, group Steiner trees).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Hashable, Iterable, Sequence
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
-from repro.graphs.spanning import is_forest, is_tree, tree_leaves, tree_vertices
+from repro.graphs.spanning import is_forest, is_tree, tree_leaves
 from repro.graphs.traversal import component_of
 
 Vertex = Hashable

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import heapq
 from typing import (
-    Dict,
     FrozenSet,
     Hashable,
     Iterator,
@@ -168,7 +167,6 @@ def top_k_fragments(
 
     # keep the k smallest by (size, deterministic tiebreak)
     heap: List[Tuple[int, ...]] = []
-    decorated = []
     for i, fragment in enumerate(source):
         key = (-fragment.size, -i)
         if len(heap) < k:

@@ -22,8 +22,18 @@ the enumerators of :mod:`repro.core` on it.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    NamedTuple,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.exceptions import InvalidInstanceError
 from repro.graphs.digraph import DiGraph

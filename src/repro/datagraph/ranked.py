@@ -22,7 +22,7 @@ keyword, not a traversal cost, so ranking is by the structural part only.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterator, List, NamedTuple, Sequence, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Sequence
 
 from repro.core.ranked import (
     enumerate_approximately_by_weight,

@@ -13,8 +13,8 @@ construction, Steiner enumeration, delay guarantees — is the library.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.datagraph.kfragments import (
     Fragment,
@@ -23,7 +23,6 @@ from repro.datagraph.kfragments import (
     undirected_kfragments,
 )
 from repro.datagraph.model import DataGraph
-from repro.exceptions import InvalidInstanceError
 
 Node = Hashable
 Keyword = str

@@ -142,6 +142,11 @@ class EnumerationJob:
         :mod:`repro.engine.pool`).
     job_id:
         Caller-chosen identifier echoed into the result.
+    backend:
+        ``"object"`` (reference) or ``"fast"`` (integer kernel,
+        :mod:`repro.graphs.fastgraph`).  Both produce the same solution
+        stream on the engine's integer-relabeled instances; ``"fast"``
+        is measurably quicker on the path-driven enumerators.
 
     Examples
     --------
@@ -166,6 +171,7 @@ class EnumerationJob:
     budget: Optional[int] = None
     shards: int = 1
     job_id: Optional[str] = None
+    backend: str = "object"
 
     # ------------------------------------------------------------------
     # constructors
@@ -328,6 +334,12 @@ class EnumerationJob:
             raise InvalidInstanceError("budget must be >= 0")
         if self.shards < 1:
             raise InvalidInstanceError("shards must be >= 1")
+        from repro.core.backend import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise InvalidInstanceError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready dict; omits defaulted fields for compact job files."""
@@ -352,6 +364,8 @@ class EnumerationJob:
             ]
         if self.shards != 1:
             spec["shards"] = self.shards
+        if self.backend != "object":
+            spec["backend"] = self.backend
         return spec
 
     @classmethod
@@ -583,11 +597,13 @@ def iter_structures(job: EnumerationJob, meter: Optional[CostMeter] = None) -> I
             )
 
     index_of = _QueryIndex(raw_index)
+    backend = job.backend
     if job.kind == "steiner-tree":
         from repro.core.steiner_tree import enumerate_minimal_steiner_trees
 
         for sol in enumerate_minimal_steiner_trees(
-            instance, [index_of[t] for t in job.terminals], meter=meter
+            instance, [index_of[t] for t in job.terminals], meter=meter,
+            backend=backend,
         ):
             yield solution_edge_structure(job, sol)
     elif job.kind == "steiner-forest":
@@ -597,13 +613,15 @@ def iter_structures(job: EnumerationJob, meter: Optional[CostMeter] = None) -> I
             instance,
             [[index_of[t] for t in f] for f in job.families],
             meter=meter,
+            backend=backend,
         ):
             yield solution_edge_structure(job, sol)
     elif job.kind == "terminal-steiner":
         from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
 
         for sol in enumerate_minimal_terminal_steiner_trees(
-            instance, [index_of[t] for t in job.terminals], meter=meter
+            instance, [index_of[t] for t in job.terminals], meter=meter,
+            backend=backend,
         ):
             yield solution_edge_structure(job, sol)
     elif job.kind == "directed-steiner":
@@ -614,27 +632,31 @@ def iter_structures(job: EnumerationJob, meter: Optional[CostMeter] = None) -> I
             [index_of[t] for t in job.terminals],
             index_of[job.root],
             meter=meter,
+            backend=backend,
         ):
             yield solution_edge_structure(job, sol)
     elif job.kind == "induced-steiner":
         from repro.core.induced_steiner import enumerate_minimal_induced_steiner_subgraphs
 
         for sol in enumerate_minimal_induced_steiner_subgraphs(
-            instance, [index_of[t] for t in job.terminals], meter=meter
+            instance, [index_of[t] for t in job.terminals], meter=meter,
+            backend=backend,
         ):
             yield tuple(sorted((labels[v] for v in sol), key=repr))
     elif job.kind == "chordless-path":
         from repro.core.induced_paths import enumerate_chordless_st_paths
 
         for path in enumerate_chordless_st_paths(
-            instance, index_of[job.source], index_of[job.target], meter=meter
+            instance, index_of[job.source], index_of[job.target], meter=meter,
+            backend=backend,
         ):
             yield tuple(labels[v] for v in path)
     elif job.kind == "st-path":
         from repro.paths.read_tarjan import enumerate_st_paths_undirected
 
         for path in enumerate_st_paths_undirected(
-            instance, index_of[job.source], index_of[job.target], meter=meter
+            instance, index_of[job.source], index_of[job.target], meter=meter,
+            backend=backend,
         ):
             yield tuple(labels[v] for v in path.vertices)
     elif job.kind == "kfragments":

@@ -123,7 +123,7 @@ def run_steiner_shard(
                 dict.fromkeys(contracted.vertex_map[t] for t in terminals)
             )
             for sol in enumerate_minimal_steiner_trees(
-                contracted.graph, shard_terminals, meter=meter
+                contracted.graph, shard_terminals, meter=meter, backend=job.backend
             ):
                 candidate = frozenset(sol) | {forced}
                 if is_minimal_steiner_tree(graph, candidate, terminals):

@@ -23,7 +23,7 @@ off the same structure that gets drawn.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION, Event
 

@@ -8,8 +8,9 @@ identity (:mod:`repro.graphs.contraction`), LCA + path marking
 (:mod:`repro.graphs.lca`), spanning/pruning (:mod:`repro.graphs.spanning`),
 line graphs and claw detection (:mod:`repro.graphs.linegraph`),
 deterministic generators (:mod:`repro.graphs.generators`), weighted
-shortest paths (:mod:`repro.graphs.shortest_paths`) and SteinLib STP
-file I/O (:mod:`repro.graphs.stp`).
+shortest paths (:mod:`repro.graphs.shortest_paths`), SteinLib STP
+file I/O (:mod:`repro.graphs.stp`), and the integer fast kernel that
+backs ``backend="fast"`` (:mod:`repro.graphs.fastgraph`).
 """
 
 from repro.graphs.bridges import (
@@ -25,6 +26,14 @@ from repro.graphs.contraction import (
     contract_vertex_set_directed,
 )
 from repro.graphs.digraph import Arc, DiGraph
+from repro.graphs.fastgraph import (
+    ConnectivityIndex,
+    FastDiGraph,
+    FastGraph,
+    compile_directed,
+    compile_undirected,
+    is_integer_compact,
+)
 from repro.graphs.graph import Edge, Graph
 from repro.graphs.interop import (
     from_networkx,
@@ -93,8 +102,11 @@ __all__ = [
     "Arc",
     "bfs_distances",
     "bfs_order",
+    "compile_directed",
+    "compile_undirected",
     "component_of",
     "connected_components",
+    "ConnectivityIndex",
     "contract_edges",
     "contract_vertex_set",
     "contract_vertex_set_directed",
@@ -106,6 +118,8 @@ __all__ = [
     "dijkstra_directed",
     "directed_shortest_path",
     "Edge",
+    "FastDiGraph",
+    "FastGraph",
     "find_bridges",
     "find_claw",
     "format_stp",
@@ -117,6 +131,7 @@ __all__ = [
     "is_claw_free",
     "is_connected",
     "is_forest",
+    "is_integer_compact",
     "is_tree",
     "LCAIndex",
     "line_graph",

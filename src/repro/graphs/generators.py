@@ -23,7 +23,7 @@ qualitatively different regimes:
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Hashable, List, Sequence, Set, Tuple
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph

@@ -16,7 +16,7 @@ offending line so a typo in a 10k-line file is findable.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, Optional, TextIO, Tuple, Union
+from typing import Dict, Optional, TextIO, Tuple
 
 from repro.exceptions import ReproError
 from repro.graphs.digraph import DiGraph

@@ -21,7 +21,7 @@ already-marked edge is guaranteed the rest of its way up is marked too
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import NotATreeError
 from repro.graphs.graph import Graph

@@ -19,7 +19,7 @@ handled as the paper describes, this module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.graphs.graph import Graph
 

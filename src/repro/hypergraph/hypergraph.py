@@ -17,7 +17,7 @@ hypergraph substrate for that experiment:
 from __future__ import annotations
 
 import random
-from typing import FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
 
 from repro.exceptions import InvalidInstanceError
 

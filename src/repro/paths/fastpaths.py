@@ -1,0 +1,1287 @@
+"""Kernel-backed Read–Tarjan path enumeration (fast backend of §3).
+
+This module re-implements the Section 3 enumerator of
+:mod:`repro.paths.read_tarjan` directly on the integer kernel
+(:class:`repro.graphs.fastgraph.FastGraph` /
+:class:`~repro.graphs.fastgraph.FastDiGraph`):
+
+* the auxiliary S–T digraph of the paper's reduction is never
+  materialized — S/T membership is a role bit per vertex, the super
+  endpoints are the two ids past the vertex space, and auxiliary arc
+  ids start past the real arc id space;
+* reachability is one byte per vertex encoding reached / unvisited
+  target / excluded in a single array read per scanned arc;
+* the backward reach set of ``F-STP`` is cached across consecutive
+  sibling advances of one enumeration-tree frame (it is deterministic
+  in the frame's blocked state, which is unchanged between them);
+* adjacency is iterated from the kernel's cached pair/neighbour lists.
+
+**Equivalence contract.**  Every order-sensitive decision is made in
+the same sequence as the generic implementation makes it on the
+equivalent auxiliary digraph: out-arcs of a real vertex are visited in
+incidence order (equal to the aux digraph's per-tail insertion order),
+the super source's out-arcs follow ``set(sources)`` iteration order
+produced by the same expression on the same values, and the ``F-STP``
+forward DFS uses the same explicit stack discipline.  Reachability
+sweeps are membership-only in both implementations, so their internal
+traversal order is free.  Consequently the emitted solution stream is
+byte-identical to the object backend's on instances with plain-int
+vertices (the engine's relabeled normal form); the property tests in
+``tests/test_backend_equivalence.py`` pin this down.
+
+Masked enumeration: ``excluded`` vertices are pre-blocked, which is
+stream-equivalent to deleting them from the graph (the generic backend
+builds vertex-induced subcopies instead); the terminal-Steiner
+enumerator uses this to run all its per-component path queries against
+one compiled kernel.
+
+Meter note: the fast engine charges the meter in per-sweep batches
+(``meter.tick(k)``), so op totals are close to, but not identical
+with, the object backend's per-arc ticks.  Budgets and deadlines stop
+the enumeration all the same.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION, Event
+from repro.graphs.fastgraph import FastDiGraph, FastGraph
+from repro.paths.read_tarjan import Path
+
+_SRC = 1  # status bit: vertex is in S (arcs into it dropped)
+_TGT = 2  # status bit: vertex is in T (arcs out of it dropped)
+
+
+class _Ctx:
+    """Per-enumeration state shared by the F-STP / Lemma 11 subroutines."""
+
+    n2: int
+    pairs: Optional[List[List[Tuple[int, int]]]]
+    nbrs: Optional[List[List[int]]]
+    esum: Optional[List[int]]
+    eu: Optional[List[int]]
+    opairs: Optional[List[List[Tuple[int, int]]]]
+    ipairs: Optional[List[List[Tuple[int, int]]]]
+    itails: Optional[List[List[int]]]
+    at: Optional[List[int]]
+    ah: Optional[List[int]]
+    status: bytearray
+    src_list: List[int]
+    tgt_list: List[int]
+    tindex: dict
+    aux_s: int
+    aux_t: int
+    s_star: int
+    t_star: int
+    directed: bool
+    meter: object
+    vis: List[int]
+    vbox: List[int]
+    pvert: List[int]
+    parc: List[int]
+    excl: List[int]
+    blk_list: List[int]
+
+    __slots__ = (
+        "n2",
+        "pairs",
+        "nbrs",
+        "esum",
+        "eu",
+        "opairs",
+        "ipairs",
+        "itails",
+        "at",
+        "ah",
+        "status",
+        "src_list",
+        "tgt_list",
+        "tindex",
+        "aux_s",
+        "aux_t",
+        "s_star",
+        "t_star",
+        "directed",
+        "meter",
+        "vis",
+        "vbox",
+        "pvert",
+        "parc",
+        "excl",
+        "blk_list",
+    )
+
+
+def _und_ctx(
+    fg: FastGraph,
+    src_list: List[int],
+    tgt_list: List[int],
+    excluded: Iterable[int],
+    meter,
+) -> _Ctx:
+    ctx = _Ctx()
+    n = fg.n_space
+    ctx.n2 = n + 2
+    ctx.pairs = fg.incidence_pairs()
+    ctx.nbrs = fg.neighbor_lists()
+    ctx.esum = fg._esum
+    ctx.eu = fg._eu
+    ctx.opairs = ctx.ipairs = ctx.itails = ctx.at = ctx.ah = None
+    status = bytearray(ctx.n2)
+    for v in src_list:
+        status[v] |= _SRC
+    for v in tgt_list:
+        status[v] |= _TGT
+    ctx.status = status
+    ctx.excl = list(excluded)
+    ctx.blk_list = []
+    ctx.src_list = src_list
+    ctx.tgt_list = tgt_list
+    ctx.tindex = {w: j for j, w in enumerate(tgt_list)}
+    ctx.aux_s = 2 * fg.m_space
+    ctx.aux_t = ctx.aux_s + len(src_list)
+    ctx.s_star = n
+    ctx.t_star = n + 1
+    ctx.directed = False
+    ctx.meter = meter
+    scratch = fg._scratch
+    if scratch is None or len(scratch[0]) < ctx.n2:
+        scratch = fg._scratch = ([0] * ctx.n2, [0] * ctx.n2, [0] * ctx.n2, [0])
+    ctx.vis, ctx.pvert, ctx.parc, ctx.vbox = scratch
+    return ctx
+
+
+def _dir_ctx(
+    fd: FastDiGraph, src_list: List[int], tgt_list: List[int], meter
+) -> _Ctx:
+    ctx = _Ctx()
+    n = fd.n_space
+    ctx.n2 = n + 2
+    ctx.pairs = ctx.nbrs = ctx.esum = ctx.eu = None
+    ctx.opairs, ctx.ipairs, ctx.itails = fd.arc_pairs()
+    ctx.at = fd._at
+    ctx.ah = fd._ah
+    status = bytearray(ctx.n2)
+    for v in src_list:
+        status[v] |= _SRC
+    for v in tgt_list:
+        status[v] |= _TGT
+    ctx.status = status
+    ctx.excl = []
+    ctx.blk_list = []
+    ctx.src_list = src_list
+    ctx.tgt_list = tgt_list
+    ctx.tindex = {w: j for j, w in enumerate(tgt_list)}
+    ctx.aux_s = fd.m_space
+    ctx.aux_t = ctx.aux_s + len(src_list)
+    ctx.s_star = n
+    ctx.t_star = n + 1
+    ctx.directed = True
+    ctx.meter = meter
+    scratch = fd._scratch
+    if scratch is None or len(scratch[0]) < ctx.n2:
+        scratch = fd._scratch = ([0] * ctx.n2, [0] * ctx.n2, [0] * ctx.n2, [0])
+    ctx.vis, ctx.pvert, ctx.parc, ctx.vbox = scratch
+    return ctx
+
+
+def _reach_base(ctx: _Ctx, target: int) -> bytearray:
+    """Seed a reach array: 0 unknown, 1 reached, 2 unvisited target,
+    3 excluded (blocked / masked / removed).  The sweeps then pay a
+    single array read per arc."""
+    reach = bytearray(ctx.n2)
+    for w in ctx.tgt_list:
+        reach[w] = 2
+    for v in ctx.excl:
+        reach[v] = 3
+    for v in ctx.blk_list:
+        reach[v] = 3
+    reach[target] = 1
+    return reach
+
+
+def _backward_und(ctx: _Ctx, source: int, target: int) -> bytearray:
+    """Backward reachability of ``target`` avoiding blocked + source.
+
+    Deterministic in (blocked state, source, target), so callers may
+    cache the result while that state is unchanged.  ``reach[v] == 1``
+    is the membership test.
+    """
+    nbrs = ctx.nbrs
+    status = ctx.status
+    s_star = ctx.s_star
+    ops = 0
+    reach = _reach_base(ctx, target)
+    reach[source] = 3
+    stack = [target]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        y = pop()
+        if y >= s_star:
+            if y == ctx.t_star:
+                for w in ctx.tgt_list:
+                    ops += 1
+                    if reach[w] == 2:
+                        reach[w] = 1
+                        push(w)
+            continue
+        if status[y] & _SRC:
+            continue
+        lst = nbrs[y]
+        ops += len(lst)
+        for x in lst:
+            if reach[x]:  # reached, excluded, or a target (arc dropped)
+                continue
+            reach[x] = 1
+            push(x)
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    return reach
+
+
+def _find_path_und(
+    ctx: _Ctx,
+    frame: "_Frame",
+    source: int,
+    target: int,
+    forbidden: Optional[int],
+    after_arc: Optional[int],
+) -> Optional[Tuple[List[int], List[int]]]:
+    """``F-STP`` on the undirected kernel (see the generic docstring).
+
+    The backward reach set is computed once per enumeration-tree frame
+    and stored on it: every sibling advance of the frame runs under the
+    same blocked state, so the set is identical (the generic backend
+    recomputes it each time).
+    """
+    pairs = ctx.pairs
+    status = ctx.status
+    eu = ctx.eu
+    s_star = ctx.s_star
+    t_star = ctx.t_star
+    reach = frame.reach
+    if reach is None:
+        reach = frame.reach = _backward_und(ctx, source, target)
+    ops = 0
+
+    # Scan the outgoing arcs of `source` in the fixed order.
+    started = after_arc is None
+    chosen = -1
+    chead = -1
+    if source == s_star:
+        aux_s = ctx.aux_s
+        for i, h in enumerate(ctx.src_list):
+            aid = aux_s + i
+            ops += 1
+            if not started:
+                if aid == after_arc:
+                    started = True
+                continue
+            if aid == forbidden:
+                continue
+            if reach[h] == 1:
+                chosen = aid
+                chead = h
+                break
+    elif status[source] & _TGT:
+        aid = ctx.aux_t + ctx.tindex[source]
+        ops += 1
+        if started and aid != forbidden and reach[t_star] == 1:
+            chosen = aid
+            chead = t_star
+    else:
+        for e, h in pairs[source]:
+            aid = (e << 1) | (eu[e] != source)
+            ops += 1
+            if not started:
+                if aid == after_arc:
+                    started = True
+                continue
+            if aid == forbidden or status[h] & _SRC:
+                continue
+            if reach[h] == 1:
+                chosen = aid
+                chead = h
+                break
+    if chosen < 0:
+        if ctx.meter is not None and ops:
+            ctx.meter.tick(ops)
+        return None
+    if chead == target:
+        if ctx.meter is not None and ops:
+            ctx.meter.tick(ops)
+        return ([chosen], [source, target])
+
+    # Forward DFS from the chosen head, restricted to `reach`.
+    vis = ctx.vis
+    vbox = ctx.vbox
+    vgen = vbox[0] + 1
+    vbox[0] = vgen
+    pvert = ctx.pvert
+    parc = ctx.parc
+    vis[chead] = vgen
+    stack = [chead]
+    push = stack.append
+    pop = stack.pop
+    aux_t = ctx.aux_t
+    tindex = ctx.tindex
+    while stack:
+        v = pop()
+        if v == target:
+            break
+        if status[v] & _TGT:
+            ops += 1
+            if vis[t_star] != vgen and reach[t_star] == 1:
+                vis[t_star] = vgen
+                pvert[t_star] = v
+                parc[t_star] = aux_t + tindex[v]
+                push(t_star)
+            continue
+        lst = pairs[v]
+        ops += len(lst)
+        for e, w in lst:
+            if vis[w] == vgen or reach[w] != 1 or status[w] & _SRC:
+                continue
+            vis[w] = vgen
+            pvert[w] = v
+            parc[w] = (e << 1) | (eu[e] != v)
+            push(w)
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    arcs: List[int] = []
+    vertices: List[int] = [target]
+    v = target
+    while v != chead:
+        arcs.append(parc[v])
+        v = pvert[v]
+        vertices.append(v)
+    arcs.append(chosen)
+    vertices.append(source)
+    arcs.reverse()
+    vertices.reverse()
+    return (arcs, vertices)
+
+
+def _backward_dir(ctx: _Ctx, source: int, target: int) -> bytearray:
+    """Directed backward reachability (cacheable like the undirected)."""
+    itails = ctx.itails
+    status = ctx.status
+    s_star = ctx.s_star
+    ops = 0
+    reach = _reach_base(ctx, target)
+    reach[source] = 3
+    stack = [target]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        y = pop()
+        if y >= s_star:
+            if y == ctx.t_star:
+                for w in ctx.tgt_list:
+                    ops += 1
+                    if reach[w] == 2:
+                        reach[w] = 1
+                        push(w)
+            continue
+        if status[y] & _SRC:
+            continue
+        lst = itails[y]
+        ops += len(lst)
+        for x in lst:
+            if reach[x]:
+                continue
+            reach[x] = 1
+            push(x)
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    return reach
+
+
+def _find_path_dir(
+    ctx: _Ctx,
+    frame: "_Frame",
+    source: int,
+    target: int,
+    forbidden: Optional[int],
+    after_arc: Optional[int],
+) -> Optional[Tuple[List[int], List[int]]]:
+    """``F-STP`` on the directed kernel."""
+    opairs = ctx.opairs
+    status = ctx.status
+    s_star = ctx.s_star
+    t_star = ctx.t_star
+    reach = frame.reach
+    if reach is None:
+        reach = frame.reach = _backward_dir(ctx, source, target)
+    ops = 0
+
+    started = after_arc is None
+    chosen = -1
+    chead = -1
+    if source == s_star:
+        aux_s = ctx.aux_s
+        for i, h in enumerate(ctx.src_list):
+            aid = aux_s + i
+            ops += 1
+            if not started:
+                if aid == after_arc:
+                    started = True
+                continue
+            if aid == forbidden:
+                continue
+            if reach[h] == 1:
+                chosen = aid
+                chead = h
+                break
+    elif status[source] & _TGT:
+        aid = ctx.aux_t + ctx.tindex[source]
+        ops += 1
+        if started and aid != forbidden and reach[t_star] == 1:
+            chosen = aid
+            chead = t_star
+    else:
+        for a, h in opairs[source]:
+            ops += 1
+            if not started:
+                if a == after_arc:
+                    started = True
+                continue
+            if a == forbidden or status[h] & _SRC:
+                continue
+            if reach[h] == 1:
+                chosen = a
+                chead = h
+                break
+    if chosen < 0:
+        if ctx.meter is not None and ops:
+            ctx.meter.tick(ops)
+        return None
+    if chead == target:
+        if ctx.meter is not None and ops:
+            ctx.meter.tick(ops)
+        return ([chosen], [source, target])
+
+    vis = ctx.vis
+    vbox = ctx.vbox
+    vgen = vbox[0] + 1
+    vbox[0] = vgen
+    pvert = ctx.pvert
+    parc = ctx.parc
+    vis[chead] = vgen
+    stack = [chead]
+    push = stack.append
+    pop = stack.pop
+    aux_t = ctx.aux_t
+    tindex = ctx.tindex
+    while stack:
+        v = pop()
+        if v == target:
+            break
+        if status[v] & _TGT:
+            ops += 1
+            if vis[t_star] != vgen and reach[t_star] == 1:
+                vis[t_star] = vgen
+                pvert[t_star] = v
+                parc[t_star] = aux_t + tindex[v]
+                push(t_star)
+            continue
+        lst = opairs[v]
+        ops += len(lst)
+        for a, w in lst:
+            if vis[w] == vgen or reach[w] != 1 or status[w] & _SRC:
+                continue
+            vis[w] = vgen
+            pvert[w] = v
+            parc[w] = a
+            push(w)
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    arcs: List[int] = []
+    vertices: List[int] = [target]
+    v = target
+    while v != chead:
+        arcs.append(parc[v])
+        v = pvert[v]
+        vertices.append(v)
+    arcs.append(chosen)
+    vertices.append(source)
+    arcs.reverse()
+    vertices.reverse()
+    return (arcs, vertices)
+
+
+def _extendible_und(
+    ctx: _Ctx, q_arcs: Sequence[int], q_vertices: Sequence[int], target: int
+) -> List[int]:
+    """Lemma 11 sweep on the undirected kernel."""
+    k = len(q_vertices)
+    if k <= 2:
+        return []
+    pairs = ctx.pairs
+    nbrs = ctx.nbrs
+    status = ctx.status
+    eu = ctx.eu
+    esum = ctx.esum
+    s_star = ctx.s_star
+    t_star = ctx.t_star
+    aux_s = ctx.aux_s
+    aux_t = ctx.aux_t
+    ops = 0
+
+    prefix = q_vertices[: k - 2]
+    reach = _reach_base(ctx, target)
+    for v in prefix:
+        reach[v] = 3  # the Lemma 11 `removed` overlay
+    excluded = q_arcs[k - 2]
+    ex_e = excluded >> 1 if excluded < aux_s else -1
+
+    # Full backward pass for j = k-1.
+    stack = [target]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        y = pop()
+        if y >= s_star:
+            if y == t_star:
+                for j, w in enumerate(ctx.tgt_list):
+                    ops += 1
+                    if aux_t + j == excluded:
+                        continue
+                    if reach[w] == 2:
+                        reach[w] = 1
+                        push(w)
+            continue
+        if status[y] & _SRC:
+            continue
+        if ex_e < 0:
+            lst = nbrs[y]
+            ops += len(lst)
+            for x in lst:
+                if reach[x]:
+                    continue
+                reach[x] = 1
+                push(x)
+        else:
+            plst = pairs[y]
+            ops += len(plst)
+            for e, x in plst:
+                if reach[x]:
+                    continue
+                if e == ex_e and ((e << 1) | (eu[e] != x)) == excluded:
+                    continue
+                reach[x] = 1
+                push(x)
+
+    ext: List[int] = []
+    if reach[q_vertices[k - 2]] == 1:
+        ext.append(k - 1)
+
+    # Roll j from k-2 down to 2, maintaining `reach` decrementally.
+    frontier: List[int] = []
+    for j in range(k - 2, 1, -1):
+        vj = q_vertices[j - 1]
+        reach[vj] = 0  # removed.discard(vj)
+        excluded = q_arcs[j - 1]
+        ex_e = excluded >> 1  # always a real arc (index >= 1, < k-2)
+
+        if reach[vj] != 1:
+            for e, h in pairs[vj]:
+                ops += 1
+                if e == ex_e and ((e << 1) | (eu[e] != vj)) == excluded:
+                    continue
+                if reach[h] == 3 or status[h] & _SRC:
+                    continue
+                if reach[h] == 1:
+                    frontier.append(vj)
+                    break
+        pc = q_arcs[j]
+        ops += 1
+        if pc >= aux_t:
+            tail = ctx.tgt_list[pc - aux_t]
+            head = t_star
+        elif pc >= aux_s:
+            tail = s_star
+            head = ctx.src_list[pc - aux_s]
+        else:
+            e2 = pc >> 1
+            tail = eu[e2] if not pc & 1 else esum[e2] - eu[e2]
+            head = esum[e2] - tail
+        if not reach[tail] & 1 and reach[head] == 1:
+            frontier.append(tail)
+
+        while frontier:
+            x = frontier.pop()
+            if reach[x] == 1:
+                continue
+            reach[x] = 1
+            if status[x] & _SRC:
+                continue
+            plst = pairs[x]
+            ops += len(plst)
+            for e, z in plst:
+                if reach[z]:
+                    continue
+                if e == ex_e and ((e << 1) | (eu[e] != z)) == excluded:
+                    continue
+                frontier.append(z)
+
+        if reach[vj] == 1:
+            ext.append(j)
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    return ext
+
+
+def _extendible_dir(
+    ctx: _Ctx, q_arcs: Sequence[int], q_vertices: Sequence[int], target: int
+) -> List[int]:
+    """Lemma 11 sweep on the directed kernel."""
+    k = len(q_vertices)
+    if k <= 2:
+        return []
+    opairs = ctx.opairs
+    ipairs = ctx.ipairs
+    itails = ctx.itails
+    status = ctx.status
+    at = ctx.at
+    ah = ctx.ah
+    s_star = ctx.s_star
+    t_star = ctx.t_star
+    aux_s = ctx.aux_s
+    aux_t = ctx.aux_t
+    ops = 0
+
+    prefix = q_vertices[: k - 2]
+    reach = _reach_base(ctx, target)
+    for v in prefix:
+        reach[v] = 3
+    excluded = q_arcs[k - 2]
+    excluded_real = excluded < aux_s
+
+    stack = [target]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        y = pop()
+        if y >= s_star:
+            if y == t_star:
+                for j, w in enumerate(ctx.tgt_list):
+                    ops += 1
+                    if aux_t + j == excluded:
+                        continue
+                    if reach[w] == 2:
+                        reach[w] = 1
+                        push(w)
+            continue
+        if status[y] & _SRC:
+            continue
+        if excluded_real:
+            plst = ipairs[y]
+            ops += len(plst)
+            for a, x in plst:
+                if reach[x] or a == excluded:
+                    continue
+                reach[x] = 1
+                push(x)
+        else:
+            lst = itails[y]
+            ops += len(lst)
+            for x in lst:
+                if reach[x]:
+                    continue
+                reach[x] = 1
+                push(x)
+
+    ext: List[int] = []
+    if reach[q_vertices[k - 2]] == 1:
+        ext.append(k - 1)
+
+    frontier: List[int] = []
+    for j in range(k - 2, 1, -1):
+        vj = q_vertices[j - 1]
+        reach[vj] = 0
+        excluded = q_arcs[j - 1]
+
+        if reach[vj] != 1:
+            for a, h in opairs[vj]:
+                ops += 1
+                if a == excluded:
+                    continue
+                if reach[h] == 3 or status[h] & _SRC:
+                    continue
+                if reach[h] == 1:
+                    frontier.append(vj)
+                    break
+        pc = q_arcs[j]
+        ops += 1
+        if pc >= aux_t:
+            tail = ctx.tgt_list[pc - aux_t]
+            head = t_star
+        elif pc >= aux_s:
+            tail = s_star
+            head = ctx.src_list[pc - aux_s]
+        else:
+            tail = at[pc]
+            head = ah[pc]
+        if not reach[tail] & 1 and reach[head] == 1:
+            frontier.append(tail)
+
+        while frontier:
+            x = frontier.pop()
+            if reach[x] == 1:
+                continue
+            reach[x] = 1
+            if status[x] & _SRC:
+                continue
+            plst = ipairs[x]
+            ops += len(plst)
+            for a, z in plst:
+                if reach[z] or a == excluded:
+                    continue
+                frontier.append(z)
+
+        if reach[vj] == 1:
+            ext.append(j)
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    return ext
+
+
+def _backward_und_plain(ctx: _Ctx, source: int, target: int) -> bytearray:
+    """Plain-mode backward reachability (no S/T roles, no sentinels)."""
+    nbrs = ctx.nbrs
+    ops = 0
+    reach = bytearray(ctx.n2)
+    for v in ctx.excl:
+        reach[v] = 3
+    for v in ctx.blk_list:
+        reach[v] = 3
+    reach[source] = 3
+    reach[target] = 1
+    stack = [target]
+    push = stack.append
+    pop = stack.pop
+    if ctx.meter is None:
+        while stack:
+            y = pop()
+            for x in nbrs[y]:
+                if reach[x]:
+                    continue
+                reach[x] = 1
+                push(x)
+        return reach
+    while stack:
+        y = pop()
+        lst = nbrs[y]
+        ops += len(lst)
+        for x in lst:
+            if reach[x]:
+                continue
+            reach[x] = 1
+            push(x)
+    if ops:
+        ctx.meter.tick(ops)
+    return reach
+
+
+def _find_path_und_plain(
+    ctx: _Ctx,
+    frame: "_Frame",
+    source: int,
+    target: int,
+    forbidden: Optional[int],
+    after_arc: Optional[int],
+) -> Optional[Tuple[List[int], List[int]]]:
+    """``F-STP`` specialized for plain undirected s-t enumeration.
+
+    Identical decisions to :func:`_find_path_und` with every role/
+    sentinel test compiled out (there are no S/T roles in plain mode).
+    """
+    pairs = ctx.pairs
+    eu = ctx.eu
+    reach = frame.reach
+    if reach is None:
+        reach = frame.reach = _backward_und_plain(ctx, source, target)
+    ops = 0
+
+    started = after_arc is None
+    chosen = -1
+    chead = -1
+    for e, h in pairs[source]:
+        aid = (e << 1) | (eu[e] != source)
+        ops += 1
+        if not started:
+            if aid == after_arc:
+                started = True
+            continue
+        if aid == forbidden:
+            continue
+        if reach[h] == 1:
+            chosen = aid
+            chead = h
+            break
+    if chosen < 0:
+        if ctx.meter is not None and ops:
+            ctx.meter.tick(ops)
+        return None
+    if chead == target:
+        if ctx.meter is not None and ops:
+            ctx.meter.tick(ops)
+        return ([chosen], [source, target])
+
+    vis = ctx.vis
+    vbox = ctx.vbox
+    vgen = vbox[0] + 1
+    vbox[0] = vgen
+    pvert = ctx.pvert
+    parc = ctx.parc
+    vis[chead] = vgen
+    stack = [chead]
+    push = stack.append
+    pop = stack.pop
+    if ctx.meter is None:
+        while stack:
+            v = pop()
+            if v == target:
+                break
+            for e, w in pairs[v]:
+                if vis[w] == vgen or reach[w] != 1:
+                    continue
+                vis[w] = vgen
+                pvert[w] = v
+                parc[w] = (e << 1) | (eu[e] != v)
+                push(w)
+    else:
+        while stack:
+            v = pop()
+            if v == target:
+                break
+            lst = pairs[v]
+            ops += len(lst)
+            for e, w in lst:
+                if vis[w] == vgen or reach[w] != 1:
+                    continue
+                vis[w] = vgen
+                pvert[w] = v
+                parc[w] = (e << 1) | (eu[e] != v)
+                push(w)
+        if ops:
+            ctx.meter.tick(ops)
+    arcs: List[int] = []
+    vertices: List[int] = [target]
+    v = target
+    while v != chead:
+        arcs.append(parc[v])
+        v = pvert[v]
+        vertices.append(v)
+    arcs.append(chosen)
+    vertices.append(source)
+    arcs.reverse()
+    vertices.reverse()
+    return (arcs, vertices)
+
+
+def _extendible_und_plain(
+    ctx: _Ctx, q_arcs: Sequence[int], q_vertices: Sequence[int], target: int
+) -> List[int]:
+    """Lemma 11 sweep specialized for plain undirected enumeration."""
+    k = len(q_vertices)
+    if k <= 2:
+        return []
+    pairs = ctx.pairs
+    eu = ctx.eu
+    esum = ctx.esum
+    ops = 0
+
+    prefix = q_vertices[: k - 2]
+    reach = bytearray(ctx.n2)
+    for v in ctx.excl:
+        reach[v] = 3
+    for v in ctx.blk_list:
+        reach[v] = 3
+    for v in prefix:
+        reach[v] = 3
+    reach[target] = 1
+    excluded = q_arcs[k - 2]
+    ex_e = excluded >> 1
+
+    stack = [target]
+    push = stack.append
+    pop = stack.pop
+    metered = ctx.meter is not None
+    if metered:
+        while stack:
+            y = pop()
+            plst = pairs[y]
+            ops += len(plst)
+            for e, x in plst:
+                if reach[x]:
+                    continue
+                if e == ex_e and ((e << 1) | (eu[e] != x)) == excluded:
+                    continue
+                reach[x] = 1
+                push(x)
+    else:
+        while stack:
+            y = pop()
+            for e, x in pairs[y]:
+                if reach[x]:
+                    continue
+                if e == ex_e and ((e << 1) | (eu[e] != x)) == excluded:
+                    continue
+                reach[x] = 1
+                push(x)
+
+    ext: List[int] = []
+    if reach[q_vertices[k - 2]] == 1:
+        ext.append(k - 1)
+
+    frontier: List[int] = []
+    for j in range(k - 2, 1, -1):
+        vj = q_vertices[j - 1]
+        reach[vj] = 0
+        excluded = q_arcs[j - 1]
+        ex_e = excluded >> 1
+
+        if reach[vj] != 1:
+            for e, h in pairs[vj]:
+                ops += 1
+                if reach[h] == 1 and not (
+                    e == ex_e and ((e << 1) | (eu[e] != vj)) == excluded
+                ):
+                    frontier.append(vj)
+                    break
+        pc = q_arcs[j]
+        ops += 1
+        e2 = pc >> 1
+        tail = eu[e2] if not pc & 1 else esum[e2] - eu[e2]
+        head = esum[e2] - tail
+        if not reach[tail] & 1 and reach[head] == 1:
+            frontier.append(tail)
+
+        while frontier:
+            x = frontier.pop()
+            if reach[x] == 1:
+                continue
+            reach[x] = 1
+            plst = pairs[x]
+            ops += len(plst)
+            for e, z in plst:
+                if reach[z]:
+                    continue
+                if e == ex_e and ((e << 1) | (eu[e] != z)) == excluded:
+                    continue
+                frontier.append(z)
+
+        if reach[vj] == 1:
+            ext.append(j)
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    return ext
+
+
+class _Frame:
+    """One ``E-STP`` activation (mirrors the generic ``_Frame``)."""
+
+    __slots__ = (
+        "source",
+        "forbidden",
+        "depth",
+        "node_id",
+        "q_arcs",
+        "q_vertices",
+        "ext",
+        "pos",
+        "added_vertices",
+        "added_arcs",
+        "reach",
+    )
+
+    def __init__(self, source, forbidden, depth, node_id, added_vertices, added_arcs):
+        self.source = source
+        self.forbidden = forbidden
+        self.depth = depth
+        self.node_id = node_id
+        self.q_arcs: List[int] = []
+        self.q_vertices: List[int] = []
+        self.ext: List[int] = []
+        self.pos = 0
+        self.added_vertices = added_vertices
+        self.added_arcs = added_arcs
+        # Backward reach of the target under this frame's blocked state.
+        # (Annotated Optional: computed lazily by the first F-STP call.)
+        # The blocked state whenever this frame is top-of-stack equals
+        # its creation state (children restore on pop), so one sweep per
+        # frame serves every sibling advance.  A frame already holds
+        # O(path length) state (q_arcs / q_vertices); this adds O(n).
+        self.reach: Optional[bytearray] = None
+
+
+def _events(ctx: _Ctx, source: int, target: int, emit: int = 0) -> Iterator:
+    """Algorithm 1 on the kernel; event-for-event parallel to the generic
+    ``_enumerate_events`` run on the equivalent auxiliary digraph.
+
+    ``emit`` selects the output shape: 0 yields the full raw event
+    stream (sentinel vertices, internal arc ids); the nonzero modes
+    yield bare :class:`Path` records ready for the consumer, skipping
+    discover/examine events entirely — 1 strips the super endpoints and
+    maps arc ids to edge ids (undirected S-T), 2 maps arc ids to edge
+    ids (plain undirected s-t), 3 strips the super endpoints (directed
+    S-T).
+    """
+    if source == target:
+        if emit:
+            yield Path((source,), ())
+        else:
+            yield (DISCOVER, 0, 0)
+            yield (SOLUTION, Path((source,), ()))
+            yield (EXAMINE, 0, 0)
+        return
+    if ctx.directed:
+        find_path = _find_path_dir
+        extendible = _extendible_dir
+    elif ctx.src_list or ctx.tgt_list:
+        find_path = _find_path_und
+        extendible = _extendible_und
+    else:
+        find_path = _find_path_und_plain
+        extendible = _extendible_und_plain
+
+    prefix_arcs: List[int] = []
+    prefix_vertices: List[int] = [source]
+    node_counter = 0
+
+    root = _Frame(source, None, 0, node_counter, (), 0)
+    found = find_path(ctx, root, source, target, None, None)
+    if found is None:
+        return
+    if emit == 0:
+        yield (DISCOVER, root.node_id, 0)
+    root.q_arcs, root.q_vertices = found
+    root.ext = extendible(ctx, root.q_arcs, root.q_vertices, target)
+    root.pos = 0
+    if root.depth % 2 == 0:
+        fv = prefix_vertices[:-1] + root.q_vertices
+        fa = prefix_arcs + root.q_arcs
+        if emit == 0:
+            yield (SOLUTION, Path(tuple(fv), tuple(fa)))
+        elif emit == 1:
+            yield Path(tuple(fv[1:-1]), tuple([a >> 1 for a in fa[1:-1]]))
+        elif emit == 2:
+            yield Path(tuple(fv), tuple([a >> 1 for a in fa]))
+        else:
+            yield Path(tuple(fv[1:-1]), tuple(fa[1:-1]))
+
+    stack = [root]
+    while stack:
+        frame = stack[-1]
+        if frame.pos < len(frame.ext):
+            i = frame.ext[frame.pos]
+            frame.pos += 1
+            added = tuple(frame.q_vertices[: i - 1])
+            if added:
+                ctx.blk_list.extend(added)
+            prefix_arcs.extend(frame.q_arcs[: i - 1])
+            prefix_vertices.extend(frame.q_vertices[1:i])
+            node_counter += 1
+            child = _Frame(
+                frame.q_vertices[i - 1],
+                frame.q_arcs[i - 1],
+                frame.depth + 1,
+                node_counter,
+                added,
+                i - 1,
+            )
+            found = find_path(
+                ctx, child, child.source, target, child.forbidden, None
+            )
+            if found is None:  # pragma: no cover - excluded by extendibility
+                if added:
+                    del ctx.blk_list[len(ctx.blk_list) - len(added) :]
+                del prefix_arcs[len(prefix_arcs) - child.added_arcs :]
+                del prefix_vertices[len(prefix_vertices) - child.added_arcs :]
+                continue
+            if emit == 0:
+                yield (DISCOVER, child.node_id, child.depth)
+            child.q_arcs, child.q_vertices = found
+            child.ext = extendible(ctx, child.q_arcs, child.q_vertices, target)
+            child.pos = 0
+            stack.append(child)
+            if child.depth % 2 == 0:
+                fv = prefix_vertices[:-1] + child.q_vertices
+                fa = prefix_arcs + child.q_arcs
+                if emit == 0:
+                    yield (SOLUTION, Path(tuple(fv), tuple(fa)))
+                elif emit == 1:
+                    yield Path(tuple(fv[1:-1]), tuple([a >> 1 for a in fa[1:-1]]))
+                elif emit == 2:
+                    yield Path(tuple(fv), tuple([a >> 1 for a in fa]))
+                else:
+                    yield Path(tuple(fv[1:-1]), tuple(fa[1:-1]))
+            continue
+
+        if frame.depth % 2 == 1:
+            fv = prefix_vertices[:-1] + frame.q_vertices
+            fa = prefix_arcs + frame.q_arcs
+            if emit == 0:
+                yield (SOLUTION, Path(tuple(fv), tuple(fa)))
+            elif emit == 1:
+                yield Path(tuple(fv[1:-1]), tuple([a >> 1 for a in fa[1:-1]]))
+            elif emit == 2:
+                yield Path(tuple(fv), tuple([a >> 1 for a in fa]))
+            else:
+                yield Path(tuple(fv[1:-1]), tuple(fa[1:-1]))
+        found = find_path(
+            ctx, frame, frame.source, target, frame.forbidden, frame.q_arcs[0]
+        )
+        if found is not None:
+            frame.q_arcs, frame.q_vertices = found
+            frame.ext = extendible(ctx, frame.q_arcs, frame.q_vertices, target)
+            frame.pos = 0
+            if frame.depth % 2 == 0:
+                fv = prefix_vertices[:-1] + frame.q_vertices
+                fa = prefix_arcs + frame.q_arcs
+                if emit == 0:
+                    yield (SOLUTION, Path(tuple(fv), tuple(fa)))
+                elif emit == 1:
+                    yield Path(tuple(fv[1:-1]), tuple([a >> 1 for a in fa[1:-1]]))
+                elif emit == 2:
+                    yield Path(tuple(fv), tuple([a >> 1 for a in fa]))
+                else:
+                    yield Path(tuple(fv[1:-1]), tuple(fa[1:-1]))
+            continue
+
+        if emit == 0:
+            yield (EXAMINE, frame.node_id, frame.depth)
+        stack.pop()
+        if frame.added_vertices:
+            n_added = len(frame.added_vertices)
+            del ctx.blk_list[len(ctx.blk_list) - n_added :]
+        if frame.added_arcs:
+            del prefix_arcs[len(prefix_arcs) - frame.added_arcs :]
+            del prefix_vertices[len(prefix_vertices) - frame.added_arcs :]
+
+
+# ----------------------------------------------------------------------
+# public wrappers (parallel to the generic module's API)
+# ----------------------------------------------------------------------
+def _split_sets(
+    fg, sources: Iterable[int], targets: Iterable[int]
+) -> Tuple[List[int], List[int]]:
+    source_set = set(sources)
+    target_set = set(targets)
+    if source_set & target_set:
+        raise ValueError("S and T must be disjoint")
+    # A source/target missing from the graph is a dead end either way;
+    # dropping it keeps the scan decisions identical to the generic
+    # backend's (which materializes it as an isolated aux vertex).
+    src_list = [v for v in source_set if v in fg]
+    tgt_list = [v for v in target_set if v in fg]
+    return src_list, tgt_list
+
+
+def fast_set_path_events(
+    fg: FastGraph,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    meter=None,
+    excluded: Iterable[int] = (),
+) -> Iterator[Event]:
+    """Event stream of undirected ``S``-``T`` path enumeration.
+
+    Kernel counterpart of :func:`repro.paths.read_tarjan.set_path_events`;
+    ``excluded`` vertices are masked out (stream-equivalent to
+    enumerating in ``G - excluded``).
+    """
+    src_list, tgt_list = _split_sets(fg, sources, targets)
+    ctx = _und_ctx(fg, src_list, tgt_list, excluded, meter)
+    for event in _events(ctx, ctx.s_star, ctx.t_star):
+        if event[0] == SOLUTION:
+            path = event[1]
+            yield (
+                SOLUTION,
+                Path(path.vertices[1:-1], tuple(a >> 1 for a in path.arcs[1:-1])),
+            )
+        else:
+            yield event
+
+
+def fast_enumerate_set_paths(
+    fg: FastGraph,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    meter=None,
+    excluded: Iterable[int] = (),
+) -> Iterator[Path]:
+    """All ``S``-``T`` paths (kernel backend), O(n+m) delay."""
+    src_list, tgt_list = _split_sets(fg, sources, targets)
+    ctx = _und_ctx(fg, src_list, tgt_list, excluded, meter)
+    return _events(ctx, ctx.s_star, ctx.t_star, emit=1)
+
+
+def fast_st_path_events_undirected(
+    fg: FastGraph,
+    source: int,
+    target: int,
+    meter=None,
+    excluded: Iterable[int] = (),
+) -> Iterator[Event]:
+    """Event stream of plain undirected ``s``-``t`` path enumeration.
+
+    Kernel counterpart of running the generic enumerator on
+    ``graph.to_directed()``; solutions carry *edge* ids.
+    """
+    if source not in fg or target not in fg:
+        return
+    ctx = _und_ctx(fg, [], [], excluded, meter)
+    for event in _events(ctx, source, target):
+        if event[0] == SOLUTION:
+            path = event[1]
+            yield (SOLUTION, Path(path.vertices, tuple(a >> 1 for a in path.arcs)))
+        else:
+            yield event
+
+
+def fast_enumerate_st_paths_undirected(
+    fg: FastGraph,
+    source: int,
+    target: int,
+    meter=None,
+    excluded: Iterable[int] = (),
+) -> Iterator[Path]:
+    """All simple ``source``-``target`` paths (kernel backend)."""
+    if source not in fg or target not in fg:
+        return iter(())
+    ctx = _und_ctx(fg, [], [], excluded, meter)
+    return _events(ctx, source, target, emit=2)
+
+
+def fast_set_path_events_directed(
+    fd: FastDiGraph,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    meter=None,
+) -> Iterator[Event]:
+    """Event stream of directed ``S``-``T`` path enumeration (kernel)."""
+    src_list, tgt_list = _split_sets(fd, sources, targets)
+    ctx = _dir_ctx(fd, src_list, tgt_list, meter)
+    for event in _events(ctx, ctx.s_star, ctx.t_star):
+        if event[0] == SOLUTION:
+            path = event[1]
+            yield (SOLUTION, Path(path.vertices[1:-1], path.arcs[1:-1]))
+        else:
+            yield event
+
+
+def fast_enumerate_set_paths_directed(
+    fd: FastDiGraph,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    meter=None,
+) -> Iterator[Path]:
+    """All directed ``S``-``T`` paths (kernel backend, original arc ids)."""
+    src_list, tgt_list = _split_sets(fd, sources, targets)
+    ctx = _dir_ctx(fd, src_list, tgt_list, meter)
+    return _events(ctx, ctx.s_star, ctx.t_star, emit=3)

@@ -425,15 +425,37 @@ def _undirected_path(path: Path) -> Path:
 
 
 def enumerate_st_paths_undirected(
-    graph: Graph, source: Vertex, target: Vertex, meter=None
+    graph: Graph, source: Vertex, target: Vertex, meter=None, backend: str = "object"
 ) -> Iterator[Path]:
     """Enumerate all simple ``source``-``target`` paths of an undirected
     graph in O(n+m) delay.
 
     The paper's reduction: replace each edge by two opposite arcs; each
     undirected path then corresponds to exactly one directed path.  The
-    reported ``arcs`` are *edge* ids of ``graph``.
+    reported ``arcs`` are *edge* ids of ``graph``.  ``backend="fast"``
+    runs the kernel enumerator (:mod:`repro.paths.fastpaths`): the same
+    stream on integer-compact instances, the same path set otherwise
+    (see :mod:`repro.core.backend`).
     """
+    from repro.graphs.fastgraph import check_backend
+
+    check_backend(backend)
+    if backend == "fast":
+        from repro.graphs.fastgraph import compile_undirected
+        from repro.paths.fastpaths import fast_enumerate_st_paths_undirected
+
+        fg, index = compile_undirected(graph)
+        if index is None:
+            yield from fast_enumerate_st_paths_undirected(fg, source, target, meter)
+            return
+        labels = list(index)
+        s = index.get(source)
+        t = index.get(target)
+        if s is None or t is None:
+            return
+        for path in fast_enumerate_st_paths_undirected(fg, s, t, meter):
+            yield Path(tuple(labels[v] for v in path.vertices), path.arcs)
+        return
     directed = graph.to_directed()
     for path in enumerate_st_paths(directed, source, target, meter):
         yield _undirected_path(path)
@@ -525,13 +547,32 @@ def enumerate_set_paths(
     sources: Iterable[Vertex],
     targets: Iterable[Vertex],
     meter=None,
+    backend: str = "object",
 ) -> Iterator[Path]:
     """Enumerate all ``S``-``T`` paths of an undirected graph.
 
     An ``S``-``T`` path starts in ``S``, ends in ``T`` and has no internal
     vertex in ``S ∪ T`` — exactly the "valid path" notion the Steiner
-    enumerators branch on.  O(n+m) delay.
+    enumerators branch on.  O(n+m) delay.  ``backend="fast"`` runs the
+    kernel enumerator.
     """
+    from repro.graphs.fastgraph import check_backend
+
+    check_backend(backend)
+    if backend == "fast":
+        from repro.graphs.fastgraph import compile_undirected
+        from repro.paths.fastpaths import fast_enumerate_set_paths
+
+        fg, index = compile_undirected(graph)
+        if index is None:
+            yield from fast_enumerate_set_paths(fg, sources, targets, meter)
+            return
+        labels = list(index)
+        src = [index[v] for v in sources if v in index]
+        tgt = [index[v] for v in targets if v in index]
+        for path in fast_enumerate_set_paths(fg, src, tgt, meter):
+            yield Path(tuple(labels[v] for v in path.vertices), path.arcs)
+        return
     for event in set_path_events(graph, sources, targets, meter):
         if event[0] == SOLUTION:
             yield event[1]
@@ -575,8 +616,29 @@ def enumerate_set_paths_directed(
     sources: Iterable[Vertex],
     targets: Iterable[Vertex],
     meter=None,
+    backend: str = "object",
 ) -> Iterator[Path]:
-    """Enumerate directed ``S``-``T`` paths (original arc ids reported)."""
+    """Enumerate directed ``S``-``T`` paths (original arc ids reported).
+
+    ``backend="fast"`` runs the kernel enumerator.
+    """
+    from repro.graphs.fastgraph import check_backend
+
+    check_backend(backend)
+    if backend == "fast":
+        from repro.graphs.fastgraph import compile_directed
+        from repro.paths.fastpaths import fast_enumerate_set_paths_directed
+
+        fd, index = compile_directed(digraph)
+        if index is None:
+            yield from fast_enumerate_set_paths_directed(fd, sources, targets, meter)
+            return
+        labels = list(index)
+        src = [index[v] for v in sources if v in index]
+        tgt = [index[v] for v in targets if v in index]
+        for path in fast_enumerate_set_paths_directed(fd, src, tgt, meter):
+            yield Path(tuple(labels[v] for v in path.vertices), path.arcs)
+        return
     for event in set_path_events_directed(digraph, sources, targets, meter):
         if event[0] == SOLUTION:
             yield event[1]

@@ -89,7 +89,7 @@ def backtracking_st_paths(
                 yield Path(tuple(path_vertices) + (target,), tuple(path_arcs) + (aid,))
                 continue
             if prune:
-                blocked = on_path  # head must still reach target around it
+                # head must still reach target around the current path
                 on_path.add(head)
                 alive = _can_reach(digraph, head, target, on_path, meter)
                 on_path.discard(head)

@@ -23,16 +23,7 @@ stop early when fewer than K loopless paths exist.
 from __future__ import annotations
 
 import heapq
-from typing import (
-    Dict,
-    Hashable,
-    Iterator,
-    List,
-    Mapping,
-    Optional,
-    Set,
-    Tuple,
-)
+from typing import Hashable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import NoSolutionError, VertexNotFound
 from repro.graphs.digraph import DiGraph

@@ -1,0 +1,250 @@
+"""Property tests: the fast kernel backend ≡ the object backend.
+
+For every enumerator with a ``backend`` switch, the two backends must
+produce *identical ordered solution streams* on integer-compact
+instances (the engine's relabeled normal form) — not just the same
+solution sets.  Hypothesis drives random multigraph instances through
+all six core enumerators plus the path layer, and separately checks the
+kernel's delete/contract/restore cycle round-trips exactly.
+"""
+
+from itertools import islice
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.directed_steiner import enumerate_minimal_directed_steiner_trees
+from repro.core.induced_paths import enumerate_chordless_st_paths
+from repro.core.induced_steiner import enumerate_minimal_induced_steiner_subgraphs
+from repro.core.steiner_forest import enumerate_minimal_steiner_forests
+from repro.core.steiner_tree import (
+    enumerate_minimal_steiner_trees,
+    enumerate_minimal_steiner_trees_simple,
+)
+from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
+from repro.graphs.digraph import DiGraph
+from repro.graphs.fastgraph import FastGraph
+from repro.graphs.graph import Graph
+from repro.graphs.linegraph import line_graph
+from repro.paths.read_tarjan import (
+    enumerate_set_paths,
+    enumerate_set_paths_directed,
+    enumerate_st_paths_undirected,
+)
+
+CAP = 400  # per-instance solution cap keeps worst cases bounded
+
+
+def _streams_equal(factory):
+    """Drain both backends (capped) and assert identical order."""
+    reference = list(islice(factory("object"), CAP))
+    candidate = list(islice(factory("fast"), CAP))
+    assert reference == candidate
+    return reference
+
+
+@st.composite
+def undirected_instances(draw):
+    """A small integer-compact multigraph plus a vertex sample."""
+    n = draw(st.integers(min_value=2, max_value=9))
+    m = draw(st.integers(min_value=1, max_value=18))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.append((u, v))
+    k = draw(st.integers(min_value=1, max_value=min(4, n)))
+    sample = draw(st.permutations(range(n)))[:k]
+    return Graph.from_edges(edges, vertices=range(n)), list(sample)
+
+
+@st.composite
+def directed_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    m = draw(st.integers(min_value=1, max_value=16))
+    arcs = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            arcs.append((u, v))
+    order = draw(st.permutations(range(n)))
+    return DiGraph.from_arcs(arcs, vertices=range(n)), list(order)
+
+
+@settings(max_examples=60, deadline=None)
+@given(undirected_instances())
+def test_steiner_tree_streams_identical(case):
+    graph, terminals = case
+    _streams_equal(
+        lambda backend: enumerate_minimal_steiner_trees(
+            graph, terminals, backend=backend
+        )
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(undirected_instances())
+def test_steiner_tree_simple_streams_identical(case):
+    graph, terminals = case
+    _streams_equal(
+        lambda backend: enumerate_minimal_steiner_trees_simple(
+            graph, terminals, backend=backend
+        )
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(undirected_instances())
+def test_steiner_forest_streams_identical(case):
+    graph, terminals = case
+    families = [terminals[:2], terminals[1:]] if len(terminals) > 2 else [terminals]
+    _streams_equal(
+        lambda backend: enumerate_minimal_steiner_forests(
+            graph, families, backend=backend
+        )
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(undirected_instances())
+def test_terminal_steiner_streams_identical(case):
+    graph, terminals = case
+    if len(terminals) < 2:
+        terminals = list(range(2))
+    _streams_equal(
+        lambda backend: enumerate_minimal_terminal_steiner_trees(
+            graph, terminals, backend=backend
+        )
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(directed_instances())
+def test_directed_steiner_streams_identical(case):
+    digraph, order = case
+    root, terminals = order[0], order[1:3]
+    _streams_equal(
+        lambda backend: enumerate_minimal_directed_steiner_trees(
+            digraph, terminals, root, backend=backend
+        )
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(undirected_instances())
+def test_induced_steiner_streams_identical(case):
+    """Line graphs are claw-free, so Theorem 42's precondition holds."""
+    base, sample = case
+    lg = line_graph(base)
+    if lg.num_vertices < 2:
+        return
+    # Relabel the line graph (edge-labelled vertices) to compact ints.
+    index = {v: i for i, v in enumerate(lg.vertices())}
+    relabeled = Graph.from_edges(
+        [(index[e.u], index[e.v]) for e in lg.edges()], vertices=range(len(index))
+    )
+    terminals = [i % relabeled.num_vertices for i in sample[:2]]
+    _streams_equal(
+        lambda backend: enumerate_minimal_induced_steiner_subgraphs(
+            relabeled, terminals, backend=backend
+        )
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(undirected_instances())
+def test_chordless_path_streams_identical(case):
+    graph, sample = case
+    source, target = sample[0], sample[-1]
+    _streams_equal(
+        lambda backend: enumerate_chordless_st_paths(
+            graph, source, target, backend=backend
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(undirected_instances())
+def test_st_path_streams_identical(case):
+    graph, sample = case
+    source, target = sample[0], sample[-1]
+    _streams_equal(
+        lambda backend: enumerate_st_paths_undirected(
+            graph, source, target, backend=backend
+        )
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(undirected_instances())
+def test_set_path_streams_identical(case):
+    graph, sample = case
+    if len(sample) < 2:
+        return
+    sources = frozenset(sample[:-1])
+    targets = (sample[-1],)
+    _streams_equal(
+        lambda backend: enumerate_set_paths(graph, sources, targets, backend=backend)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(directed_instances())
+def test_set_path_directed_streams_identical(case):
+    digraph, order = case
+    sources = frozenset(order[:2])
+    targets = tuple(order[2:4]) or (order[-1],)
+    if set(sources) & set(targets):
+        return
+    _streams_equal(
+        lambda backend: enumerate_set_paths_directed(
+            digraph, sources, targets, backend=backend
+        )
+    )
+
+
+@st.composite
+def mutation_scripts(draw):
+    """An instance plus a random delete/contract script."""
+    graph, _sample = draw(undirected_instances())
+    ops = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["remove", "contract"]), st.integers(0, 10**6)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return graph, ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(mutation_scripts())
+def test_delete_contract_restore_round_trip(case):
+    """A kernel mutation batch rolls back to the byte-exact start state —
+    including incidence order — and enumeration streams after the
+    rollback are unchanged."""
+    graph, ops = case
+    terminals = sorted(graph.vertices())[:2]
+    fg = FastGraph.from_graph(graph)
+    before_inc = {v: list(fg.incident_ids(v)) for v in fg.vertices()}
+    before_stream = list(
+        islice(enumerate_minimal_steiner_trees(graph, terminals, backend="fast"), CAP)
+    )
+    mark = fg.checkpoint()
+    for kind, pick in ops:
+        alive = list(fg.edge_ids())
+        if not alive:
+            break
+        eid = alive[pick % len(alive)]
+        if kind == "remove":
+            fg.remove_edge(eid)
+        else:
+            fg.contract_edge(eid)
+    fg.rollback(mark)
+    after_inc = {v: list(fg.incident_ids(v)) for v in fg.vertices()}
+    assert before_inc == after_inc
+    after_stream = list(
+        islice(enumerate_minimal_steiner_trees(fg, terminals, backend="fast"), CAP)
+    )
+    assert before_stream == after_stream

@@ -4,14 +4,8 @@ import io
 
 import pytest
 
-from repro.bench.harness import (
-    Measurement,
-    fit_linearity,
-    measure_enumeration,
-    print_table,
-)
+from repro.bench.harness import fit_linearity, measure_enumeration, print_table
 from repro.bench.workloads import (
-    FORCED_TAIL_SWEEP,
     directed_size_sweep,
     directed_terminal_sweep,
     forced_tail_instance,

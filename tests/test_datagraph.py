@@ -1,6 +1,5 @@
 """Keyword search over data graphs (K-fragment application layer)."""
 
-import itertools
 
 import pytest
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import EdgeNotFound, SelfLoopError, VertexNotFound
-from repro.graphs.digraph import Arc, DiGraph
+from repro.graphs.digraph import DiGraph
 
 
 class TestConstruction:

@@ -11,14 +11,12 @@ from repro.core.steiner_tree import (
 from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
 from repro.datagraph.kfragments import strong_kfragments, undirected_kfragments
 from repro.datagraph.model import DataGraph
-from repro.graphs.digraph import DiGraph
 from repro.graphs.generators import (
     gadget_chain,
     grid_graph,
     random_connected_graph,
     random_terminals,
 )
-from repro.graphs.graph import Graph
 from repro.paths.read_tarjan import enumerate_st_paths_undirected
 
 from conftest import random_simple_graph
@@ -129,17 +127,6 @@ class TestKeywordSearchEndToEnd:
         direct = set(
             enumerate_minimal_steiner_trees(query.graph, query.terminals)
         )
-        via_api = {
-            f.structural_edges
-            | frozenset(
-                eid
-                for eid in direct_sol
-                if eid in query.keyword_edge_ids
-            )
-            for f, direct_sol in zip(
-                undirected_kfragments(dg, ["database", "learning"]), direct
-            )
-        }
         # same number of answers either way
         assert len(list(undirected_kfragments(dg, ["database", "learning"]))) == len(
             direct

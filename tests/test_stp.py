@@ -11,7 +11,6 @@ from repro.graphs.generators import random_connected_graph, random_terminals
 from repro.graphs.graph import Graph
 from repro.graphs.stp import (
     STPFormatError,
-    STPInstance,
     format_stp,
     parse_stp,
     read_stp,

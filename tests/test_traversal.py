@@ -3,7 +3,6 @@
 import random
 
 import networkx as nx
-import pytest
 
 from repro.enumeration.delay import CostMeter
 from repro.graphs.digraph import DiGraph

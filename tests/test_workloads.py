@@ -5,11 +5,9 @@ workloads are deterministic and have the advertised shapes; these tests
 pin both down.
 """
 
-import pytest
 
 from repro.bench.workloads import (
     FORCED_TAIL_SWEEP,
-    SHAPE_SWEEP,
     SIZE_SWEEP,
     directed_size_sweep,
     forced_tail_instance,

@@ -26,7 +26,7 @@ from repro.zdd.steiner import (
     enumerate_minimal_steiner_trees_zdd,
     spanning_tree_zdd,
 )
-from repro.zdd.zdd import BOTTOM, TOP, ZDD, ZDDBuilder, family_zdd
+from repro.zdd.zdd import BOTTOM, TOP, ZDDBuilder, family_zdd
 
 
 class TestZDDSubstrate:

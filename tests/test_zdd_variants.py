@@ -12,7 +12,6 @@ from repro.core.internal_steiner import (
 from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
 from repro.exceptions import InvalidInstanceError
 from repro.graphs.generators import (
-    complete_graph,
     cycle_graph,
     path_graph,
     random_connected_graph,
