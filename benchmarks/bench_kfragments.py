@@ -5,19 +5,35 @@ underlying Steiner enumerators, so the first answers of a keyword query
 arrive after O(n+m) work regardless of how many answers exist — the
 property Kimelfeld and Sagiv identified as the core requirement of
 keyword search systems.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_kfragments.py``)
+for the gated backend comparison over undirected / strong / ranked
+keyword queries: fragment streams are verified byte-identical per query
+before timing, and the run **fails** if the aggregate fast-vs-object
+speedup (max of geometric mean and total-time ratio) drops below 2x
+(override via ``BENCH_BACKEND_GATE``).
 """
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
 
-from repro.bench.harness import measure_enumeration, print_table
+from repro.bench.harness import (
+    compare_backends,
+    measure_enumeration,
+    print_table,
+    summarize_backend_comparisons,
+)
 from repro.datagraph.kfragments import (
     strong_kfragments,
     top_k_fragments,
     undirected_kfragments,
 )
 from repro.datagraph.model import synthetic_data_graph
+from repro.datagraph.ranked import ranked_kfragments
 
 from benchutil import make_drainer
 
@@ -28,10 +44,11 @@ CORPora = [
 ]
 
 
+
 def _rare_query(dg, count=2):
     """Pick the rarest keywords so the answer set stays enumerable."""
     vocab = sorted(dg.vocabulary(), key=lambda kw: (len(dg.nodes_with_keyword(kw)), kw))
-    return [vocab[0], vocab[1]][:count]
+    return vocab[:count]
 
 
 @pytest.mark.parametrize("case", CORPora, ids=lambda c: c[0])
@@ -81,3 +98,87 @@ def test_first_answer_latency_table(benchmark):
     norms = [r[4] for r in rows]
     assert max(norms) / max(min(norms), 1e-9) < 10
     benchmark(lambda: None)
+
+
+# ----------------------------------------------------------------------
+# backend comparison (the `python benchmarks/bench_kfragments.py` mode)
+# ----------------------------------------------------------------------
+LIMIT = 300  # fragments per query
+
+
+def query_workload():
+    """(label, size, factory) triples across the three ported query
+    shapes and the realistic 2–5 keyword query mix (more keywords =
+    more terminals = more branching, the regime keyword search actually
+    stresses; 2-keyword queries degenerate to path enumeration, gated
+    separately in bench_paths.py)."""
+    cases = []
+    for name, dg in CORPora:
+        for nkw in (2, 3, 4, 5):
+            query = _rare_query(dg, nkw)
+            cases.append(
+                (
+                    f"undirected-k{nkw}/{name}",
+                    dg.graph.size,
+                    lambda backend, d=dg, q=query: undirected_kfragments(
+                        d, q, backend=backend
+                    ),
+                )
+            )
+    for name, dg in CORPora[1:]:
+        for nkw in (3, 4, 5):
+            query = _rare_query(dg, nkw)
+            cases.append(
+                (
+                    f"strong-k{nkw}/{name}",
+                    dg.graph.size,
+                    lambda backend, d=dg, q=query: strong_kfragments(
+                        d, q, backend=backend
+                    ),
+                )
+            )
+        query = _rare_query(dg, 3)
+        cases.append(
+            (
+                f"ranked-k3/{name}",
+                dg.graph.size,
+                lambda backend, d=dg, q=query: ranked_kfragments(
+                    d, q, lookahead=64, backend=backend
+                ),
+            )
+        )
+    return cases
+
+
+def run_backend_comparison(out=sys.stdout, min_speedup: float = None):
+    """Compare keyword-query backends; assert the aggregate gate."""
+    if min_speedup is None:
+        min_speedup = float(os.environ.get("BENCH_BACKEND_GATE", "2.0"))
+    comparisons = []
+    for label, size, factory in query_workload():
+        comparisons.append(compare_backends(label, size, factory, limit=LIMIT))
+    geo, total = summarize_backend_comparisons(comparisons)
+    print_table(
+        "A-kfrag backend comparison (byte-identical fragment streams)",
+        ("query", "n+m", "answers", "object s", "fast s", "speedup"),
+        [
+            (c.label, c.size, c.solutions, c.object_seconds, c.fast_seconds, c.speedup)
+            for c in comparisons
+        ],
+        out=out,
+    )
+    print(
+        f"aggregate speedup: geomean {geo:.2f}x, total-time {total:.2f}x "
+        f"(gate: >= {min_speedup:.1f}x)",
+        file=out,
+    )
+    if max(geo, total) < min_speedup:
+        raise AssertionError(
+            f"fast keyword-search backend speedup {max(geo, total):.2f}x "
+            f"below the {min_speedup:.1f}x gate"
+        )
+    return comparisons
+
+
+if __name__ == "__main__":
+    run_backend_comparison()

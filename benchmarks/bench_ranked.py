@@ -1,0 +1,139 @@
+"""R-rank — ranked enumeration on the kernel backend (the [25] layer).
+
+Claims exercised:
+
+* the look-ahead ranked stream inherits the underlying enumerator's
+  linear delay (per-solution heap overhead is O(log L));
+* ``backend="fast"`` produces the byte-identical ranked stream —
+  including tie order, which follows the RANKED ORDER contract of
+  ``repro.core.backend`` — at ≥2x aggregate throughput.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_ranked.py``) for
+the gated backend comparison: streams are verified identical per
+instance before timing, per-instance speedups are printed, and the run
+**fails** if the aggregate (max of geometric mean and total-time ratio)
+drops below 2x (override via ``BENCH_BACKEND_GATE``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+
+import pytest
+
+from repro.bench.harness import (
+    compare_backends,
+    print_table,
+    summarize_backend_comparisons,
+)
+from repro.bench.workloads import (
+    steiner_tree_size_sweep,
+    steiner_tree_terminal_sweep,
+)
+from repro.core.ranked import (
+    enumerate_approximately_by_weight,
+    k_lightest_minimal_steiner_trees,
+)
+from repro.engine.jobs import EnumerationJob
+
+from benchutil import make_drainer
+
+LIMIT = 300  # ranked solutions per instance
+LOOKAHEAD = 64
+
+
+def _tie_heavy_weights(graph, seed: int = 7):
+    """Weights from a 3-value set: ranked ties on nearly every level."""
+    rng = random.Random(seed)
+    return {e: rng.choice([1.0, 2.0, 3.0]) for e in graph.edge_ids()}
+
+
+def standard_instances():
+    """The T1-st instances in the engine's integer normal form, each with
+    deterministic tie-heavy weights (the production ranking shape)."""
+    out = []
+    for inst in steiner_tree_size_sweep() + steiner_tree_terminal_sweep():
+        job = EnumerationJob.steiner_tree(inst.graph, inst.terminals)
+        indexed, _labels, index_of = job.instantiate_indexed()
+        terminals = [index_of[t] for t in job.terminals]
+        out.append((inst.name, indexed, terminals, _tie_heavy_weights(indexed)))
+    return out
+
+
+@pytest.mark.parametrize(
+    "case", standard_instances()[:4], ids=lambda c: c[0]
+)
+def test_ranked_stream(benchmark, case):
+    name, graph, terminals, weights = case
+    count = benchmark(
+        make_drainer(
+            lambda: enumerate_approximately_by_weight(
+                graph, terminals, weights, lookahead=LOOKAHEAD, backend="fast"
+            ),
+            LIMIT,
+        )
+    )
+    assert count > 0
+
+
+@pytest.mark.parametrize(
+    "case", standard_instances()[:2], ids=lambda c: c[0]
+)
+def test_ranked_topk(benchmark, case):
+    name, graph, terminals, weights = case
+    top = benchmark(
+        lambda: k_lightest_minimal_steiner_trees(
+            graph, terminals, weights, 10, backend="fast"
+        )
+    )
+    assert top
+
+
+# ----------------------------------------------------------------------
+# backend comparison (the `python benchmarks/bench_ranked.py` mode)
+# ----------------------------------------------------------------------
+def run_backend_comparison(out=sys.stdout, min_speedup: float = None):
+    """Compare ranked backends; assert the aggregate speedup gate."""
+    if min_speedup is None:
+        min_speedup = float(os.environ.get("BENCH_BACKEND_GATE", "2.0"))
+    comparisons = []
+    for name, graph, terminals, weights in standard_instances():
+        comparisons.append(
+            compare_backends(
+                name,
+                graph.size,
+                lambda backend, g=graph, w=terminals, wt=weights: (
+                    enumerate_approximately_by_weight(
+                        g, w, wt, lookahead=LOOKAHEAD, backend=backend
+                    )
+                ),
+                limit=LIMIT,
+            )
+        )
+    geo, total = summarize_backend_comparisons(comparisons)
+    print_table(
+        "R-rank backend comparison (byte-identical ranked streams, tie-heavy weights)",
+        ("instance", "n+m", "solutions", "object s", "fast s", "speedup"),
+        [
+            (c.label, c.size, c.solutions, c.object_seconds, c.fast_seconds, c.speedup)
+            for c in comparisons
+        ],
+        out=out,
+    )
+    print(
+        f"aggregate speedup: geomean {geo:.2f}x, total-time {total:.2f}x "
+        f"(gate: >= {min_speedup:.1f}x)",
+        file=out,
+    )
+    if max(geo, total) < min_speedup:
+        raise AssertionError(
+            f"fast ranked backend speedup {max(geo, total):.2f}x below the "
+            f"{min_speedup:.1f}x gate"
+        )
+    return comparisons
+
+
+if __name__ == "__main__":
+    run_backend_comparison()

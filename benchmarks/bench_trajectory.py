@@ -50,10 +50,16 @@ REPS = 3
 
 def pinned_jobs() -> List[Tuple[str, EnumerationJob]]:
     """One pinned job per enumerator kind (deterministic instances)."""
+    from repro.datagraph.model import synthetic_data_graph
+
     st = steiner_tree_size_sweep()[2]
     sf = forest_size_sweep()[2]
     ts = terminal_steiner_size_sweep()[2]
     ds = directed_size_sweep()[2]
+    dg = synthetic_data_graph(240, 120, 80, 2, seed=13)
+    vocab = sorted(
+        dg.vocabulary(), key=lambda kw: (len(dg.nodes_with_keyword(kw)), kw)
+    )
     return [
         ("steiner-tree", EnumerationJob.steiner_tree(st.graph, st.terminals, limit=300)),
         ("steiner-forest", EnumerationJob.steiner_forest(sf.graph, sf.families, limit=200)),
@@ -75,7 +81,41 @@ def pinned_jobs() -> List[Tuple[str, EnumerationJob]]:
                 st.graph, st.terminals[0], st.terminals[1], limit=200
             ),
         ),
+        ("kfragments", EnumerationJob.kfragments(dg, vocab[:4], limit=300)),
     ]
+
+
+def pinned_direct() -> List[Tuple[str, "object"]]:
+    """Pinned measurements for layers without an EnumerationJob kind.
+
+    Each entry is ``(kind, runner)`` with ``runner(backend) -> (lines,
+    count)``; lines must be byte-identical across backends.
+    """
+    import random
+    from itertools import islice
+
+    from repro.core.ranked import enumerate_approximately_by_weight
+
+    inst = steiner_tree_size_sweep()[2]
+    job = EnumerationJob.steiner_tree(inst.graph, inst.terminals)
+    graph, _labels, index_of = job.instantiate_indexed()
+    terminals = [index_of[t] for t in job.terminals]
+    rng = random.Random(7)
+    weights = {e: rng.choice([1.0, 2.0, 3.0]) for e in graph.edge_ids()}
+
+    def ranked_runner(backend: str):
+        lines = tuple(
+            f"{w:g} " + ",".join(map(str, sorted(sol)))
+            for w, sol in islice(
+                enumerate_approximately_by_weight(
+                    graph, terminals, weights, lookahead=64, backend=backend
+                ),
+                300,
+            )
+        )
+        return lines, len(lines)
+
+    return [("ranked-approx", ranked_runner)]
 
 
 def _with_backend(job: EnumerationJob, backend: str) -> EnumerationJob:
@@ -86,21 +126,30 @@ def _with_backend(job: EnumerationJob, backend: str) -> EnumerationJob:
 
 def measure() -> Dict[str, dict]:
     """Run the pinned subset on both backends; return per-kind metrics."""
-    kinds: Dict[str, dict] = {}
+    runners: List[Tuple[str, "object"]] = []
     for kind, job in pinned_jobs():
+
+        def job_runner(backend: str, job=job):
+            result = run_job(_with_backend(job, backend))
+            return result.lines, result.count
+
+        runners.append((kind, job_runner))
+    runners.extend(pinned_direct())
+
+    kinds: Dict[str, dict] = {}
+    for kind, runner in runners:
         entry: Dict[str, dict] = {}
         lines = {}
         for backend in ("object", "fast"):
-            bjob = _with_backend(job, backend)
             best = float("inf")
             solutions = 0
             for _ in range(REPS):
                 start = time.perf_counter()
-                result = run_job(bjob)
+                out, count = runner(backend)
                 wall = time.perf_counter() - start
                 best = min(best, wall)
-                solutions = result.count
-                lines[backend] = result.lines
+                solutions = count
+                lines[backend] = out
             entry[backend] = {
                 "wall_s": round(best, 6),
                 "solutions": solutions,

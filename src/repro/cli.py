@@ -155,6 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("graph", help="edge-list file")
         p.add_argument("--limit", type=int, default=None, help="stop after N solutions")
 
+    def add_backend(p):
+        p.add_argument(
+            "--backend",
+            choices=("object", "fast"),
+            default="object",
+            help="enumeration backend (fast = integer kernel)",
+        )
+
     p = sub.add_parser("steiner-tree", help="enumerate minimal Steiner trees")
     add_common(p)
     p.add_argument("--terminals", nargs="+", required=True)
@@ -163,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the output-queue variant (Theorem 20)",
     )
+    add_backend(p)
 
     p = sub.add_parser("steiner-forest", help="enumerate minimal Steiner forests")
     add_common(p)
@@ -213,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--histogram", action="store_true", help="also print size -> count rows"
     )
+    add_backend(p)
 
     p = sub.add_parser(
         "ranked", help="k lightest minimal Steiner trees (uses edge weights)"
@@ -220,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.add_argument("--terminals", nargs="+", required=True)
     p.add_argument("-k", type=int, default=5)
+    add_backend(p)
 
     p = sub.add_parser("yen", help="k shortest loopless s-t paths by weight")
     p.add_argument("graph")
@@ -301,7 +312,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             else enumerate_minimal_steiner_trees
         )
         _emit(
-            (_render_undirected(g, sol) for sol in enum(g, args.terminals)),
+            (
+                _render_undirected(g, sol)
+                for sol in enum(g, args.terminals, backend=args.backend)
+            ),
             args.limit,
             out,
         )
@@ -357,7 +371,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         from repro.zdd.steiner import build_steiner_tree_zdd
 
         g = load_graph(args.graph)
-        zdd = build_steiner_tree_zdd(g, args.terminals)
+        zdd = build_steiner_tree_zdd(g, args.terminals, backend=args.backend)
         print(zdd.count(), file=out)
         if args.histogram:
             for size, count in zdd.count_by_size().items():
@@ -367,7 +381,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
 
         g, weights = load_weighted_graph(args.graph)
         for weight, sol in k_lightest_minimal_steiner_trees(
-            g, args.terminals, weights, args.k
+            g, args.terminals, weights, args.k, backend=args.backend
         ):
             print(f"{weight:g} {_render_undirected(g, sol)}", file=out)
     elif args.command == "yen":

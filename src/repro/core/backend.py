@@ -21,6 +21,8 @@ The implementations live in :mod:`repro.graphs.fastgraph`; this module
 re-exports them at the layer the enumerators import from.
 """
 
+from typing import FrozenSet, Tuple
+
 from repro.graphs.fastgraph import (
     BACKENDS,
     check_backend,
@@ -30,6 +32,38 @@ from repro.graphs.fastgraph import (
     map_query_vertices,
 )
 
+# ----------------------------------------------------------------------
+# The ranked ordering contract
+# ----------------------------------------------------------------------
+# Every ranked/top-k entry point (repro.core.ranked, repro.datagraph.ranked)
+# orders solutions by RANKED ORDER:
+#
+#     (weight, canonical edge-id tuple)   with the tuple sorted ascending.
+#
+# The weight is the float64 sum of the solution's edge weights in the
+# solution set's own iteration order (``tree_weight`` semantics on the
+# object backend, ``FastGraph.total_weight`` on the kernel — the same
+# additions in the same order, so the floats are bit-identical).  Ties —
+# equal weights, which integral weight models produce constantly — break
+# by the canonical edge-id tuple, which depends only on the solution
+# itself, never on enumeration arrival order.  That is what makes ranked
+# streams byte-identical across backends: arrival order is a backend
+# implementation detail, the ranked key is not.
+#
+# ``tests/test_backend_equivalence.py`` pins this contract with
+# duplicate-weight instances on both backends.
+
+
+def solution_sort_key(solution: FrozenSet[int]) -> Tuple[int, ...]:
+    """Canonical tie-break key of a solution: sorted edge-id tuple."""
+    return tuple(sorted(solution))
+
+
+def ranked_key(weight, solution: FrozenSet[int]) -> Tuple:
+    """The RANKED ORDER key: ``(weight, canonical edge-id tuple)``."""
+    return (weight, tuple(sorted(solution)))
+
+
 __all__ = [
     "BACKENDS",
     "check_backend",
@@ -37,4 +71,6 @@ __all__ = [
     "compile_undirected",
     "map_query_vertex",
     "map_query_vertices",
+    "ranked_key",
+    "solution_sort_key",
 ]

@@ -18,12 +18,22 @@ This module reproduces that trade-off explicitly:
 * :func:`weight_of_optimum` (re-exported Dreyfus–Wagner) anchors both:
   the first emission's weight can be compared against the true optimum,
   which the tests do.
+
+Both entry points take ``backend="object" | "fast"``.  On the fast
+backend the instance is compiled into the integer kernel once (or the
+caller passes an already-compiled kernel, which is reused as-is), the
+weight mapping is flattened into a float64 array indexed by edge id,
+and the look-ahead heap becomes a kernel-native best-first frontier
+over the fast enumerator's stream.  Emission order follows the
+RANKED ORDER contract of :mod:`repro.core.backend` — ``(weight,
+canonical edge-id tuple)`` — so ties break by the solution itself, never
+by arrival order, and the two backends' ranked streams are
+byte-identical wherever their underlying enumeration streams are.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import (
     FrozenSet,
     Hashable,
@@ -33,8 +43,15 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    cast,
 )
 
+from repro.core.backend import (
+    check_backend,
+    compile_undirected,
+    map_query_vertices,
+    ranked_key,
+)
 from repro.core.optimum import dreyfus_wagner, tree_weight
 from repro.core.steiner_tree import enumerate_minimal_steiner_trees
 from repro.graphs.graph import Graph
@@ -44,12 +61,81 @@ Weight = float
 Solution = FrozenSet[int]
 
 
+class _ReversedKey:
+    """Inverts comparison so heapq's min-heap acts as a max-heap on
+    RANKED ORDER keys (tuples of mixed width don't negate)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_ReversedKey") -> bool:
+        return other.key < self.key
+
+
+def _weighted_stream(
+    graph: Graph,
+    terminals: Sequence[Vertex],
+    weights: Mapping[int, Weight],
+    meter,
+    backend: str,
+) -> Iterator[Tuple[Weight, Solution]]:
+    """The enumeration stream annotated with RANKED-ORDER weights.
+
+    On the fast backend the weight mapping is flattened once into a
+    float64 array indexed by edge id (0.0 default, mirroring
+    ``tree_weight``'s ``.get`` default) and every solution's weight is
+    summed from it in the solution set's own iteration order — the same
+    float additions in the same order as ``tree_weight``, so the emitted
+    weights are bit-identical across backends.  The array is local to
+    the stream: a compiled kernel shared across streams (the datagraph
+    layer's cached compilation) is never mutated.
+    """
+    if backend == "fast":
+        fg, index = compile_undirected(graph)
+        if fg is graph:
+            # The caller passed an already-compiled kernel (e.g. the
+            # datagraph layer's cached compilation, shared across
+            # streams): never mutate it — flatten the weights into a
+            # stream-local array with the same semantics instead.
+            wf = [0.0] * fg.m_space
+            for eid, w in weights.items():
+                if 0 <= eid < fg.m_space:
+                    wf[eid] = w
+
+            def weight_of(solution: Solution) -> Weight:
+                total: float = 0  # int start, like sum()
+                for eid in solution:
+                    total += wf[eid]
+                return total
+
+        else:
+            # Fresh kernel owned by this stream: load the weights into
+            # its flat dual-storage arrays (DESIGN.md §3.4).
+            fg.load_weights(weights)
+            weight_of = fg.total_weight
+        for solution in enumerate_minimal_steiner_trees(
+            cast(Graph, fg),
+            map_query_vertices(index, terminals),
+            meter=meter,
+            backend="fast",
+        ):
+            yield weight_of(solution), solution
+    else:
+        for solution in enumerate_minimal_steiner_trees(
+            graph, terminals, meter=meter
+        ):
+            yield tree_weight(weights, solution), solution
+
+
 def enumerate_approximately_by_weight(
     graph: Graph,
     terminals: Sequence[Vertex],
     weights: Mapping[int, Weight],
     lookahead: int = 64,
     meter=None,
+    backend: str = "object",
 ) -> Iterator[Tuple[Weight, Solution]]:
     """Minimal Steiner trees in approximately ascending weight order.
 
@@ -58,25 +144,26 @@ def enumerate_approximately_by_weight(
     heap and pops the lightest buffered one.  The stream is ``lookahead``-
     sorted; per-solution overhead is O(log lookahead) on top of the
     enumeration delay, so the linear-delay guarantee survives up to that
-    logarithmic factor.
+    logarithmic factor.  Buffered solutions with equal weight are
+    released in RANKED ORDER (canonical edge-id tuple), independent of
+    arrival order.
 
     Yields ``(weight, solution)`` pairs.
     """
     if lookahead < 1:
         raise ValueError("lookahead must be at least 1")
-    source = enumerate_minimal_steiner_trees(graph, terminals, meter=meter)
-    heap: List[Tuple[Weight, int, Solution]] = []
-    tiebreak = itertools.count()
-    for solution in source:
-        heapq.heappush(
-            heap, (tree_weight(weights, solution), next(tiebreak), solution)
-        )
+    check_backend(backend)
+    heap: List[Tuple[Tuple, Solution]] = []
+    for weight, solution in _weighted_stream(
+        graph, terminals, weights, meter, backend
+    ):
+        heapq.heappush(heap, (ranked_key(weight, solution), solution))
         if len(heap) > lookahead:
-            w, _t, sol = heapq.heappop(heap)
-            yield (w, sol)
+            key, sol = heapq.heappop(heap)
+            yield (key[0], sol)
     while heap:
-        w, _t, sol = heapq.heappop(heap)
-        yield (w, sol)
+        key, sol = heapq.heappop(heap)
+        yield (key[0], sol)
 
 
 def k_lightest_minimal_steiner_trees(
@@ -85,26 +172,29 @@ def k_lightest_minimal_steiner_trees(
     weights: Mapping[int, Weight],
     k: int,
     meter=None,
+    backend: str = "object",
 ) -> List[Tuple[Weight, Solution]]:
     """The exact ``k`` lightest minimal Steiner trees (total-time).
 
     Full enumeration with a size-``k`` max-heap: O(N log k) heap overhead
     over the amortized-linear enumeration of all ``N`` solutions.  Exact,
-    sorted ascending.
+    sorted ascending in RANKED ORDER.
     """
+    check_backend(backend)
     if k < 1:
         return []
-    heap: List[Tuple[Weight, int, Solution]] = []  # max-heap via negation
-    tiebreak = itertools.count()
-    for solution in enumerate_minimal_steiner_trees(graph, terminals, meter=meter):
-        w = tree_weight(weights, solution)
-        entry = (-w, next(tiebreak), solution)
+    # Max-heap on RANKED ORDER keys: heap[0] is the heaviest kept entry.
+    heap: List[Tuple[_ReversedKey, Weight, Solution]] = []
+    for weight, solution in _weighted_stream(
+        graph, terminals, weights, meter, backend
+    ):
+        key = ranked_key(weight, solution)
         if len(heap) < k:
-            heapq.heappush(heap, entry)
-        elif entry[0] > heap[0][0]:
-            heapq.heapreplace(heap, entry)
-    result = [(-negw, sol) for negw, _t, sol in heap]
-    result.sort(key=lambda pair: (pair[0], sorted(pair[1])))
+            heapq.heappush(heap, (_ReversedKey(key), weight, solution))
+        elif key < heap[0][0].key:
+            heapq.heapreplace(heap, (_ReversedKey(key), weight, solution))
+    result = [(w, sol) for _rk, w, sol in heap]
+    result.sort(key=lambda pair: ranked_key(pair[0], pair[1]))
     return result
 
 

@@ -54,7 +54,11 @@ from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION, Event
 from repro.enumeration.queue_method import regulate
 from repro.exceptions import InvalidInstanceError
 from repro.graphs.bridges import find_bridges
-from repro.graphs.fastgraph import FastGraph
+from repro.graphs.fastgraph import (
+    FastGraph,
+    fast_prune_non_terminal_leaves,
+    fast_spanning_forest,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.spanning import prune_non_terminal_leaves, spanning_tree_edges
 from repro.graphs.traversal import connected_components
@@ -94,6 +98,7 @@ class _Component:
         "terminal_edges",
         "work_graph",
         "_kernel",
+        "_kernel_c",
     )
 
     def kernel(self, n_space: int) -> FastGraph:
@@ -106,6 +111,13 @@ class _Component:
         if self._kernel is None:
             self._kernel = FastGraph.from_graph(self.work_graph, n_space=n_space)
         return self._kernel
+
+    def kernel_c(self, n_space: int) -> FastGraph:
+        """``G[C]`` compiled once as a kernel (fast backend): the
+        substrate for the per-node spanning/flag completion step."""
+        if self._kernel_c is None:
+            self._kernel_c = FastGraph.from_graph(self.graph_c, n_space=n_space)
+        return self._kernel_c
 
     def __init__(self, graph: Graph, vertices: Set[Vertex], terminals, meter):
         self.vertices = vertices
@@ -125,6 +137,7 @@ class _Component:
         # G[C ∪ W] minus terminal-terminal edges: the working graph whose
         # subgraphs G[C ∪ {w}] host the path enumerations.
         self._kernel = None
+        self._kernel_c = None
         self.work_graph = Graph()
         for v in vertices:
             self.work_graph.add_vertex(v)
@@ -211,6 +224,97 @@ def _completion_and_flags(
             flag[u] = flag[v] and (eid in comp.bridges_c)
             stack.append(u)
     return spanning, flag
+
+
+def _uf_find(parent: Dict[int, int], x: int) -> int:
+    """Dict union-find find with path compression (lazy insertion)."""
+    root = parent.setdefault(x, x)
+    while parent[root] != root:
+        root = parent[root]
+    while parent[x] != root:
+        parent[x], x = root, parent[x]
+    return root
+
+
+def _fast_completion_and_flags(
+    comp: _Component, state: _PartialTree, n_space: int, meter
+):
+    """Kernel version of :func:`_completion_and_flags`.
+
+    The spanning scan runs on the ``G[C]`` kernel in the same global
+    edge order (identical chosen set), and the BFS bridge flags become
+    an inline union-find over the spanning tree's bridge edges: paths in
+    a tree are unique, so "the ``V(T)``-``v`` path is bridge-only"
+    equals "``v`` is bridge-connected to ``V(T) ∩ C``" — exactly the
+    argument :func:`repro.core.steiner_tree._fast_completion_branch_terminal`
+    uses.  Returns ``(spanning, flag_of)`` with ``flag_of`` a callable.
+    """
+    kc = comp.kernel_c(n_space)
+    interior_required = [e for e in state.edges if kc.has_edge_id(e)]
+    spanning, _forest_parent = fast_spanning_forest(
+        kc, required=interior_required, meter=meter
+    )
+    eu, esum = kc._eu, kc._esum
+    bridges = comp.bridges_c
+    parent: Dict[int, int] = {}
+    ops = 0
+    for eid in spanning:
+        ops += 1
+        if eid not in bridges:
+            continue
+        u = eu[eid]
+        ru = _uf_find(parent, u)
+        rv = _uf_find(parent, esum[eid] - u)
+        if ru != rv:
+            parent[ru] = rv
+    anchor = -1  # vertex ids are non-negative; safe synthetic root
+    parent[anchor] = anchor
+    comp_vertices = comp.vertices
+    for v in state.vertices:
+        if v not in comp_vertices:
+            continue
+        rv = _uf_find(parent, v)
+        ra = _uf_find(parent, anchor)
+        if rv != ra:
+            parent[rv] = ra
+    if meter is not None and ops:
+        meter.tick(ops)
+
+    def flag_of(v) -> bool:
+        return _uf_find(parent, v) == _uf_find(parent, anchor)
+
+    return spanning, flag_of
+
+
+def _fast_leaf_completion(
+    comp: _Component,
+    state: _PartialTree,
+    terminals,
+    spanning: Set[int],
+    n_space: int,
+    meter,
+) -> Solution:
+    """Kernel version of :func:`_leaf_completion` (same fixed point)."""
+    kw = comp.kernel(n_space)
+    edges = set(spanning)
+    terminal_set = set(terminals)
+    covered_edge: Dict[Vertex, int] = {}
+    eu, esum = kw._eu, kw._esum
+    for eid in state.edges:
+        u = eu[eid]
+        v = esum[eid] - u
+        if u in terminal_set:
+            covered_edge[u] = eid
+        if v in terminal_set:
+            covered_edge[v] = eid
+    for w in terminals:
+        if w in state.vertices:
+            edges.add(covered_edge[w])
+        else:
+            eid, _other = comp.terminal_edges[w][0]
+            edges.add(eid)
+    pruned = fast_prune_non_terminal_leaves(kw, edges, terminals, meter=meter)
+    return frozenset(pruned)
 
 
 def _leaf_completion(
@@ -302,7 +406,13 @@ def terminal_steiner_events(
                     if w in state.uncovered:
                         return ("branch", w)
                 raise AssertionError("unreachable")
-            spanning, flag = _completion_and_flags(comp, state, ordered, meter)
+            if fast:
+                spanning, flag_of = _fast_completion_and_flags(
+                    comp, state, graph.n_space, meter
+                )
+            else:
+                spanning, flag = _completion_and_flags(comp, state, ordered, meter)
+                flag_of = lambda v: flag.get(v, True)  # noqa: E731
             for w in ordered:
                 if w not in state.uncovered:
                     continue
@@ -310,8 +420,15 @@ def terminal_steiner_events(
                 if len(edges_into_c) >= 2:
                     return ("branch", w)
                 eid, v = edges_into_c[0]
-                if not flag.get(v, True):
+                if not flag_of(v):
                     return ("branch", w)
+            if fast:
+                return (
+                    "leaf",
+                    _fast_leaf_completion(
+                        comp, state, ordered, spanning, graph.n_space, meter
+                    ),
+                )
             return ("leaf", _leaf_completion(comp, state, ordered, spanning, meter))
 
         def child_paths(w):

@@ -8,10 +8,14 @@ from repro.datagraph.kfragments import (
     undirected_kfragments,
 )
 from repro.datagraph.model import (
+    CompiledDirectedQuery,
+    CompiledQuery,
     DataGraph,
     DirectedQueryGraph,
     KeywordNode,
     QueryGraph,
+    compile_directed_query,
+    compile_query,
     synthetic_data_graph,
 )
 from repro.datagraph.ranked import (
@@ -23,6 +27,10 @@ from repro.datagraph.ranked import (
 )
 
 __all__ = [
+    "compile_directed_query",
+    "compile_query",
+    "CompiledDirectedQuery",
+    "CompiledQuery",
     "DataGraph",
     "degree_weight_model",
     "directed_kfragments",

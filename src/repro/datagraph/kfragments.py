@@ -11,6 +11,15 @@ Fragments are reported as :class:`Fragment` records carrying the
 structural edges, the matched nodes per keyword, and a size used for
 ranking (number of structural edges — the usual proxy for answer
 compactness in keyword search).
+
+Every enumerating entry point takes ``backend="object" | "fast"``.  The
+augmented query graph is compiled once to the integer-compact normal
+form (:meth:`DataGraph.compiled_query`, cached across repeated queries)
+and the chosen backend runs on that; because the compiled instance is
+integer-compact, the two backends' fragment streams are byte-identical,
+and the stream no longer depends on keyword-label hash order at all.
+Solutions are projected back through the original query graph — edge
+ids survive compilation, so no translation is needed.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ from typing import (
 from repro.core.directed_steiner import enumerate_minimal_directed_steiner_trees
 from repro.core.steiner_tree import enumerate_minimal_steiner_trees
 from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
-from repro.datagraph.model import DataGraph, KeywordNode, QueryGraph
+from repro.datagraph.model import CompiledQuery, DataGraph, KeywordNode, QueryGraph
 
 Node = Hashable
 Keyword = str
@@ -70,8 +79,23 @@ def _project(query: QueryGraph, solution: FrozenSet[int]) -> Fragment:
     return Fragment(frozenset(structural), tuple(matches), len(structural))
 
 
+def _project_compiled(compiled: CompiledQuery, solution: FrozenSet[int]) -> Fragment:
+    """:func:`_project` with the compiled query's precomputed match
+    table and C-level set splitting (projection is per-answer work both
+    backends pay, so it is kept off the Python bytecode path)."""
+    kw_ids = compiled.keyword_edge_ids
+    structural = solution - kw_ids
+    match_of = compiled.match_of
+    matches = [match_of[eid] for eid in solution & kw_ids]
+    matches.sort(key=lambda kv: kv[0])
+    return Fragment(structural, tuple(matches), len(structural))
+
+
 def undirected_kfragments(
-    datagraph: DataGraph, keywords: Sequence[Keyword], meter=None
+    datagraph: DataGraph,
+    keywords: Sequence[Keyword],
+    meter=None,
+    backend: str = "object",
 ) -> Iterator[Fragment]:
     """Enumerate undirected K-fragments (= minimal Steiner trees).
 
@@ -85,15 +109,18 @@ def undirected_kfragments(
     >>> [f.size for f in undirected_kfragments(dg, ["x", "y"])]
     [1]
     """
-    query = datagraph.query_graph(keywords)
+    compiled = datagraph.compiled_query(keywords)
     for solution in enumerate_minimal_steiner_trees(
-        query.graph, query.terminals, meter=meter
+        compiled.instance(backend), compiled.terminals, meter=meter, backend=backend
     ):
-        yield _project(query, solution)
+        yield _project_compiled(compiled, solution)
 
 
 def strong_kfragments(
-    datagraph: DataGraph, keywords: Sequence[Keyword], meter=None
+    datagraph: DataGraph,
+    keywords: Sequence[Keyword],
+    meter=None,
+    backend: str = "object",
 ) -> Iterator[Fragment]:
     """Enumerate strong K-fragments (= minimal terminal Steiner trees).
 
@@ -101,21 +128,27 @@ def strong_kfragments(
     and match nodes are never used as mere connectors.  Needs ≥ 2 query
     keywords (a strong fragment for one keyword is a single node).
     """
-    query = datagraph.query_graph(keywords)
+    compiled = datagraph.compiled_query(keywords)
     for solution in enumerate_minimal_terminal_steiner_trees(
-        query.graph, query.terminals, meter=meter
+        compiled.instance(backend), compiled.terminals, meter=meter, backend=backend
     ):
-        yield _project(query, solution)
+        yield _project_compiled(compiled, solution)
 
 
 def directed_kfragments(
-    datagraph: DataGraph, keywords: Sequence[Keyword], root: Node, meter=None
+    datagraph: DataGraph,
+    keywords: Sequence[Keyword],
+    root: Node,
+    meter=None,
+    backend: str = "object",
 ) -> Iterator[Fragment]:
     """Enumerate directed K-fragments rooted at ``root``
     (= minimal directed Steiner trees)."""
-    directed_query, r = datagraph.directed_query_graph(keywords, root)
+    compiled, root_id = datagraph.compiled_directed_query(keywords, root)
+    directed_query = compiled.query
     for solution in enumerate_minimal_directed_steiner_trees(
-        directed_query.digraph, directed_query.terminals, r, meter=meter
+        compiled.instance(backend), compiled.terminals, root_id, meter=meter,
+        backend=backend,
     ):
         structural = []
         matches: List[Tuple[Keyword, Node]] = []
@@ -136,6 +169,7 @@ def top_k_fragments(
     variant: str = "undirected",
     root: Optional[Node] = None,
     exhaustive: bool = True,
+    backend: str = "object",
 ) -> List[Fragment]:
     """The ``k`` smallest fragments for a query.
 
@@ -147,13 +181,13 @@ def top_k_fragments(
     note that exact ranked enumeration needs different machinery [25]).
     """
     if variant == "undirected":
-        source = undirected_kfragments(datagraph, keywords)
+        source = undirected_kfragments(datagraph, keywords, backend=backend)
     elif variant == "strong":
-        source = strong_kfragments(datagraph, keywords)
+        source = strong_kfragments(datagraph, keywords, backend=backend)
     elif variant == "directed":
         if root is None:
             raise ValueError("directed fragments need a root")
-        source = directed_kfragments(datagraph, keywords, root)
+        source = directed_kfragments(datagraph, keywords, root, backend=backend)
     else:
         raise ValueError(f"unknown variant {variant!r}")
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Hashable,
@@ -75,6 +76,108 @@ class DirectedQueryGraph(NamedTuple):
     keyword_arc_ids: FrozenSet[int]
 
 
+class CompiledQuery(NamedTuple):
+    """A query graph relabeled to the integer-compact normal form.
+
+    The enumeration layers run on ``graph`` (vertices ``0..n-1``, edge
+    ids preserved, per-vertex incidence order preserved) — the
+    precondition for the fast backend's byte-identical-stream guarantee,
+    and also what makes the *object* backend's tie-breaks independent of
+    keyword-label hashes.  Projection back to answers goes through
+    ``query`` (edge ids are shared, so solutions need no translation).
+    """
+
+    graph: Graph
+    terminals: Tuple[int, ...]
+    keyword_edge_ids: FrozenSet[int]
+    index: Dict[Node, int]
+    query: QueryGraph
+    #: eid -> (keyword, matched structural node) for every augmented
+    #: edge, so per-fragment projection is a dict lookup instead of an
+    #: endpoint inspection
+    match_of: Dict[int, Tuple[str, Node]]
+    #: the pre-compiled integer kernel of ``graph``; the fast enumerators
+    #: are read-only over it, so every query stream (and every engine
+    #: cache hit) reuses one compilation
+    kernel: Any
+
+    def instance(self, backend: str) -> Any:
+        """The enumeration substrate for ``backend``."""
+        return self.kernel if backend == "fast" else self.graph
+
+
+class CompiledDirectedQuery(NamedTuple):
+    """Directed counterpart of :class:`CompiledQuery` (arc ids shared)."""
+
+    digraph: DiGraph
+    terminals: Tuple[int, ...]
+    keyword_arc_ids: FrozenSet[int]
+    index: Dict[Node, int]
+    query: DirectedQueryGraph
+    #: pre-compiled :class:`FastDiGraph` (see :class:`CompiledQuery`)
+    kernel: Any
+
+    def instance(self, backend: str) -> Any:
+        """The enumeration substrate for ``backend``."""
+        return self.kernel if backend == "fast" else self.digraph
+
+
+def compile_query(query: QueryGraph) -> CompiledQuery:
+    """Relabel ``query.graph`` to integer-compact form (ids preserved).
+
+    Vertices are numbered in iteration (insertion) order; edges are
+    re-added in insertion order with their original ids, so per-vertex
+    incidence order — the order every order-sensitive traversal follows
+    — is identical to the source's.
+    """
+    g = query.graph
+    index: Dict[Node, int] = {}
+    compact = Graph()
+    for v in g.vertices():
+        index[v] = len(index)
+        compact.add_vertex(index[v])
+    for edge in g.edges():
+        compact.add_edge(index[edge.u], index[edge.v], eid=edge.eid)
+    match_of: Dict[int, Tuple[str, Node]] = {}
+    for eid in query.keyword_edge_ids:
+        u, v = g.endpoints(eid)
+        terminal, node = (u, v) if isinstance(u, KeywordNode) else (v, u)
+        match_of[eid] = (terminal.keyword, node)
+    from repro.graphs.fastgraph import FastGraph
+
+    return CompiledQuery(
+        compact,
+        tuple(index[t] for t in query.terminals),
+        query.keyword_edge_ids,
+        index,
+        query,
+        match_of,
+        FastGraph.from_graph(compact),
+    )
+
+
+def compile_directed_query(query: DirectedQueryGraph) -> CompiledDirectedQuery:
+    """Relabel a directed query graph to integer-compact form."""
+    d = query.digraph
+    index: Dict[Node, int] = {}
+    compact = DiGraph()
+    for v in d.vertices():
+        index[v] = len(index)
+        compact.add_vertex(index[v])
+    for arc in d.arcs():
+        compact.add_arc(index[arc.tail], index[arc.head], aid=arc.aid)
+    from repro.graphs.fastgraph import FastDiGraph
+
+    return CompiledDirectedQuery(
+        compact,
+        tuple(index[t] for t in query.terminals),
+        query.keyword_arc_ids,
+        index,
+        query,
+        FastDiGraph.from_digraph(compact),
+    )
+
+
 class DataGraph:
     """A structural graph whose nodes carry keyword sets.
 
@@ -90,10 +193,28 @@ class DataGraph:
     ['paper1']
     """
 
+    #: compiled-query cache capacity per data graph (FIFO eviction)
+    COMPILE_CACHE_SIZE = 128
+
     def __init__(self) -> None:
         self.graph = Graph()
         self._keywords_of: Dict[Node, Set[Keyword]] = {}
         self._nodes_of: Dict[Keyword, Set[Node]] = {}
+        self._version = 0
+        self._compiled: Dict[Tuple[Keyword, ...], Tuple[int, CompiledQuery]] = {}
+        self._compiled_directed: Dict[
+            Tuple[Keyword, ...], Tuple[int, CompiledDirectedQuery]
+        ] = {}
+
+    def _mutated(self) -> None:
+        """Bump the version and drop now-stale compiled queries (each
+        pins a full graph + kernel copy; capacity eviction alone would
+        free them one at a time)."""
+        self._version += 1
+        if self._compiled:
+            self._compiled.clear()
+        if self._compiled_directed:
+            self._compiled_directed.clear()
 
     # ------------------------------------------------------------------
     def add_node(self, node: Node, keywords: Iterable[Keyword] = ()) -> Node:
@@ -103,6 +224,7 @@ class DataGraph:
         for kw in keywords:
             bag.add(kw)
             self._nodes_of.setdefault(kw, set()).add(node)
+        self._mutated()
         return node
 
     def add_keywords(self, node: Node, keywords: Iterable[Keyword]) -> None:
@@ -112,12 +234,14 @@ class DataGraph:
         for kw in keywords:
             self._keywords_of[node].add(kw)
             self._nodes_of.setdefault(kw, set()).add(node)
+        self._mutated()
 
     def add_link(self, a: Node, b: Node) -> int:
         """Add a structural edge; missing endpoints are created."""
         for v in (a, b):
             if v not in self.graph:
                 self.add_node(v)
+        self._mutated()
         return self.graph.add_edge(a, b)
 
     # ------------------------------------------------------------------
@@ -197,6 +321,51 @@ class DataGraph:
             DirectedQueryGraph(d, tuple(terminals), frozenset(aug_ids)),
             root,
         )
+
+    # ------------------------------------------------------------------
+    # compiled (integer-compact) queries, cached per keyword set
+    # ------------------------------------------------------------------
+    def compiled_query(self, keywords: Sequence[Keyword]) -> CompiledQuery:
+        """:func:`compile_query` of :meth:`query_graph`, memoized.
+
+        The cache key is the distinct-keyword tuple; entries are
+        invalidated whenever the data graph mutates (every ``add_*``
+        bumps an internal version).  Long-lived engines re-running the
+        same query — the engine cache-hit path — skip both the augmented
+        graph build and the relabeling.
+        """
+        key = tuple(dict.fromkeys(keywords))
+        hit = self._compiled.get(key)
+        if hit is not None and hit[0] == self._version:
+            return hit[1]
+        compiled = compile_query(self.query_graph(key))
+        if key not in self._compiled and len(self._compiled) >= self.COMPILE_CACHE_SIZE:
+            self._compiled.pop(next(iter(self._compiled)))
+        self._compiled[key] = (self._version, compiled)
+        return compiled
+
+    def compiled_directed_query(
+        self, keywords: Sequence[Keyword], root: Node
+    ) -> Tuple[CompiledDirectedQuery, int]:
+        """Memoized :func:`compile_directed_query`; returns the compiled
+        query plus the root's integer id.  The cache is root-independent
+        (the augmented digraph does not depend on the root)."""
+        if root not in self.graph:
+            raise InvalidInstanceError(f"root {root!r} is not in the data graph")
+        key = tuple(dict.fromkeys(keywords))
+        hit = self._compiled_directed.get(key)
+        if hit is not None and hit[0] == self._version:
+            compiled = hit[1]
+        else:
+            query, _root = self.directed_query_graph(key, root)
+            compiled = compile_directed_query(query)
+            if (
+                key not in self._compiled_directed
+                and len(self._compiled_directed) >= self.COMPILE_CACHE_SIZE
+            ):
+                self._compiled_directed.pop(next(iter(self._compiled_directed)))
+            self._compiled_directed[key] = (self._version, compiled)
+        return compiled, compiled.index[root]
 
 
 def synthetic_data_graph(

@@ -17,6 +17,11 @@ adds that ranking layer on top of the K-fragment enumerators:
 
 Keyword-attachment edges get weight 0: they encode which node matched a
 keyword, not a traversal cost, so ranking is by the structural part only.
+
+Both entry points take ``backend="object" | "fast"`` and run on the
+compiled integer-compact query (:meth:`DataGraph.compiled_query`), so
+ranked streams are byte-identical across backends — including ties,
+which follow the RANKED ORDER contract of :mod:`repro.core.backend`.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from repro.core.ranked import (
     enumerate_approximately_by_weight,
     k_lightest_minimal_steiner_trees,
 )
-from repro.datagraph.kfragments import Fragment, _project
+from repro.datagraph.kfragments import Fragment, _project_compiled
 from repro.datagraph.model import DataGraph, QueryGraph
 
 Keyword = str
@@ -89,6 +94,7 @@ def top_k_weighted_fragments(
     keywords: Sequence[Keyword],
     k: int,
     model: str = "degree",
+    backend: str = "object",
 ) -> List[RankedFragment]:
     """The exact ``k`` lightest undirected fragments under a weight model.
 
@@ -102,13 +108,13 @@ def top_k_weighted_fragments(
     >>> [f.fragment.size for f in top_k_weighted_fragments(dg, ["x", "y"], 1)]
     [1]
     """
-    query = datagraph.query_graph(keywords)
-    weights = _model_weights(datagraph, query, model)
+    compiled = datagraph.compiled_query(keywords)
+    weights = _model_weights(datagraph, compiled.query, model)
     ranked = k_lightest_minimal_steiner_trees(
-        query.graph, query.terminals, weights, k
+        compiled.instance(backend), compiled.terminals, weights, k, backend=backend
     )
     return [
-        RankedFragment(weight, _project(query, solution))
+        RankedFragment(weight, _project_compiled(compiled, solution))
         for weight, solution in ranked
     ]
 
@@ -118,6 +124,7 @@ def ranked_kfragments(
     keywords: Sequence[Keyword],
     model: str = "degree",
     lookahead: int = 64,
+    backend: str = "object",
 ) -> Iterator[RankedFragment]:
     """Stream fragments in approximately ascending weight.
 
@@ -137,9 +144,13 @@ def ranked_kfragments(
     >>> sizes[0] <= sizes[-1]
     True
     """
-    query = datagraph.query_graph(keywords)
-    weights = _model_weights(datagraph, query, model)
+    compiled = datagraph.compiled_query(keywords)
+    weights = _model_weights(datagraph, compiled.query, model)
     for weight, solution in enumerate_approximately_by_weight(
-        query.graph, query.terminals, weights, lookahead=lookahead
+        compiled.instance(backend),
+        compiled.terminals,
+        weights,
+        lookahead=lookahead,
+        backend=backend,
     ):
-        yield RankedFragment(weight, _project(query, solution))
+        yield RankedFragment(weight, _project_compiled(compiled, solution))

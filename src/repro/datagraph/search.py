@@ -55,6 +55,12 @@ class KeywordSearchEngine:
     default_limit:
         Enumeration cap per query (linear delay makes the cap a real
         latency bound, not a heuristic).
+    backend:
+        Default enumeration backend for every query: ``"object"``
+        (reference) or ``"fast"`` (integer kernel).  Per-query override
+        via :meth:`query`'s ``backend`` argument.  Both produce the same
+        answer stream (queries run on the compiled integer-compact query
+        graph); ``"fast"`` is the production choice.
 
     Examples
     --------
@@ -67,11 +73,19 @@ class KeywordSearchEngine:
     (1, 1)
     """
 
-    def __init__(self, datagraph: DataGraph, default_limit: int = 1000) -> None:
+    def __init__(
+        self,
+        datagraph: DataGraph,
+        default_limit: int = 1000,
+        backend: str = "object",
+    ) -> None:
+        from repro.core.backend import check_backend
+
         if default_limit < 1:
             raise ValueError("default_limit must be positive")
         self.datagraph = datagraph
         self.default_limit = default_limit
+        self.backend = check_backend(backend)
         self._query_count = 0
 
     # ------------------------------------------------------------------
@@ -82,14 +96,16 @@ class KeywordSearchEngine:
         root: Optional[Node] = None,
         limit: Optional[int] = None,
         top: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> QueryResult:
         """Run a keyword query.
 
         ``limit`` caps the enumeration (default: engine default);
-        ``top`` keeps only the k smallest answers of the enumerated set.
-        Raises :class:`InvalidInstanceError` for unknown keywords and
-        :class:`ValueError` for bad parameters — a typo should fail loud,
-        not return an empty result page.
+        ``top`` keeps only the k smallest answers of the enumerated set;
+        ``backend`` overrides the engine's default backend for this
+        query.  Raises :class:`InvalidInstanceError` for unknown
+        keywords and :class:`ValueError` for bad parameters — a typo
+        should fail loud, not return an empty result page.
         """
         if variant not in VARIANTS:
             raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
@@ -98,13 +114,16 @@ class KeywordSearchEngine:
         cap = self.default_limit if limit is None else limit
         if cap < 1:
             raise ValueError("limit must be positive")
+        chosen = self.backend if backend is None else backend
 
         if variant == "undirected":
-            source = undirected_kfragments(self.datagraph, keywords)
+            source = undirected_kfragments(self.datagraph, keywords, backend=chosen)
         elif variant == "strong":
-            source = strong_kfragments(self.datagraph, keywords)
+            source = strong_kfragments(self.datagraph, keywords, backend=chosen)
         else:
-            source = directed_kfragments(self.datagraph, keywords, root)
+            source = directed_kfragments(
+                self.datagraph, keywords, root, backend=chosen
+            )
 
         started = time.perf_counter()
         answers: List[Fragment] = []

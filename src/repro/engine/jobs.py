@@ -663,7 +663,7 @@ def iter_structures(job: EnumerationJob, meter: Optional[CostMeter] = None) -> I
         from repro.datagraph.kfragments import undirected_kfragments
 
         for fragment in undirected_kfragments(
-            instance, list(job.keywords), meter=meter
+            instance, list(job.keywords), meter=meter, backend=backend
         ):
             yield _render_fragment(job, labels, fragment)
     else:  # pragma: no cover - validate() rejects unknown kinds

@@ -122,6 +122,8 @@ class FastGraph:
         "_inc",
         "_posu",
         "_posv",
+        "_wf",
+        "_wi",
         "_vertex_alive",
         "_edge_alive",
         "_vorder",
@@ -147,6 +149,14 @@ class FastGraph:
         self._inc: List[List[int]] = []  # vertex -> incident eids
         self._posu: List[int] = []  # eid -> index in _inc[_eu[eid]]
         self._posv: List[int] = []  # eid -> index in _inc[_ev[eid]]
+        # Flat edge-weight storage (see DESIGN.md §3.4): _wf holds the
+        # float64 weight (0.0 = unweighted, matching tree_weight's
+        # default), _wi holds the exact integer dual when the weight is
+        # integral (None otherwise) so integral workloads — uniform
+        # weights, hop counts — get exact comparisons with no float
+        # accumulation concerns.
+        self._wf: List[float] = []  # eid -> float64 weight
+        self._wi: List[Optional[int]] = []  # eid -> exact int dual (or None)
         self._vertex_alive = bytearray()
         self._edge_alive = bytearray()
         # Iteration orders, mirroring the object graph's dict semantics.
@@ -245,6 +255,8 @@ class FastGraph:
         fg._inc = [list(lst) for lst in self._inc]
         fg._posu = list(self._posu)
         fg._posv = list(self._posv)
+        fg._wf = list(self._wf)
+        fg._wi = list(self._wi)
         fg._vertex_alive = bytearray(self._vertex_alive)
         fg._edge_alive = bytearray(self._edge_alive)
         fg._vorder = dict(self._vorder)
@@ -270,6 +282,8 @@ class FastGraph:
         self._esum.extend([0] * extra)
         self._posu.extend([0] * extra)
         self._posv.extend([0] * extra)
+        self._wf.extend([0.0] * extra)
+        self._wi.extend([0] * extra)
         self._edge_alive.extend(b"\x00" * extra)
         self.m_space = space
 
@@ -449,11 +463,16 @@ class FastGraph:
             return vertex
         self._grow_vertices(vertex + 1)
         self._vertex_alive[vertex] = 1
-        # Mirror dict semantics: (re-)adding appends at the end.
-        self._vorder.pop(vertex, None)
+        # Mirror dict semantics: (re-)adding appends at the end.  A
+        # revived tombstone moves from its original position, so record
+        # that position (rare path) for byte-exact rollback.
+        tomb_pos = None
+        if vertex in self._vorder:
+            tomb_pos = list(self._vorder).index(vertex)
+            del self._vorder[vertex]
         self._vorder[vertex] = None
         self._n_alive += 1
-        self._undo.append(("av", vertex))
+        self._undo.append(("av", vertex, tomb_pos))
         self.version += 1
         return vertex
 
@@ -475,6 +494,13 @@ class FastGraph:
         self.add_vertex(u)
         self.add_vertex(v)
         self._grow_edges(eid + 1)
+        # A reused id overwrites the dead slot's endpoints and moves its
+        # order tombstone to the end; capture both for exact rollback.
+        tomb_pos = None
+        if eid in self._eorder:
+            tomb_pos = list(self._eorder).index(eid)
+            del self._eorder[eid]
+        old_u, old_v = self._eu[eid], self._ev[eid]
         self._eu[eid] = u
         self._ev[eid] = v
         self._esum[eid] = u + v
@@ -483,10 +509,9 @@ class FastGraph:
         self._posv[eid] = len(self._inc[v])
         self._inc[v].append(eid)
         self._edge_alive[eid] = 1
-        self._eorder.pop(eid, None)
         self._eorder[eid] = None
         self._m_alive += 1
-        self._undo.append(("ae", eid))
+        self._undo.append(("ae", eid, tomb_pos, old_u, old_v))
         self._dirty.append(u)
         self._dirty.append(v)
         self.version += 1
@@ -615,7 +640,7 @@ class FastGraph:
                 self._dirty.append(self._eu[eid])
                 self._dirty.append(self._ev[eid])
             elif op == "ae":
-                eid = record[1]
+                _, eid, tomb_pos, old_u, old_v = record
                 u, v = self._eu[eid], self._ev[eid]
                 self._detach(eid, u, self._posu[eid])
                 self._detach(eid, v, self._posv[eid])
@@ -623,6 +648,18 @@ class FastGraph:
                 self._m_alive -= 1
                 self._dirty.append(u)
                 self._dirty.append(v)
+                if tomb_pos is None:
+                    # brand-new id: drop the order key entirely
+                    self._eorder.pop(eid, None)
+                else:
+                    # reused id: restore the dead slot's endpoints and
+                    # put the tombstone back where it was (rare path)
+                    self._eu[eid] = old_u
+                    self._ev[eid] = old_v
+                    self._esum[eid] = old_u + old_v
+                    keys = [k for k in self._eorder if k != eid]
+                    keys.insert(tomb_pos, eid)
+                    self._eorder = dict.fromkeys(keys)
             elif op == "mv":
                 _, e, side, loser, pos = record
                 survivor = self._eu[e] if side == 0 else self._ev[e]
@@ -635,17 +672,87 @@ class FastGraph:
                 self._esum[e] = loser + other
                 self._attach_at(e, loser, pos)
             elif op == "av":
-                vtx = record[1]
+                _, vtx, tomb_pos = record
                 self._vertex_alive[vtx] = 0
                 self._n_alive -= 1
+                if tomb_pos is None:
+                    self._vorder.pop(vtx, None)
+                else:
+                    keys = [k for k in self._vorder if k != vtx]
+                    keys.insert(tomb_pos, vtx)
+                    self._vorder = dict.fromkeys(keys)
             elif op == "rv":
                 vtx = record[1]
                 self._vertex_alive[vtx] = 1
                 self._n_alive += 1
                 self._dirty.append(vtx)
+            elif op == "wt":
+                _, eid, old_wf, old_wi = record
+                self._wf[eid] = old_wf
+                self._wi[eid] = old_wi
             else:  # pragma: no cover - defensive
                 raise AssertionError(f"unknown undo record {record!r}")
         self.version += 1
+
+    # ------------------------------------------------------------------
+    # edge weights (flat dual storage; see DESIGN.md §3.4)
+    # ------------------------------------------------------------------
+    def set_weight(self, eid: int, weight: float) -> None:
+        """Set the weight of edge ``eid`` (undo-logged).
+
+        The float64 value is stored in ``_wf``; when it is integral the
+        exact integer dual goes into ``_wi`` (``None`` otherwise), so
+        integer-weighted workloads keep exact arithmetic.  The update is
+        rolled back by :meth:`rollback` like any structural mutation.
+        """
+        if not self.has_edge_id(eid):
+            raise EdgeNotFound(eid)
+        wf = float(weight)
+        self._undo.append(("wt", eid, self._wf[eid], self._wi[eid]))
+        self._wf[eid] = wf
+        self._wi[eid] = int(wf) if wf.is_integer() else None
+
+    def weight(self, eid: int) -> float:
+        """The float64 weight of edge ``eid`` (0.0 if never set)."""
+        if not self.has_edge_id(eid):
+            raise EdgeNotFound(eid)
+        return self._wf[eid]
+
+    def load_weights(self, weights) -> None:
+        """Bulk-load a ``{eid: weight}`` mapping (undo-logged per edge).
+
+        Missing edges keep weight 0.0, mirroring ``tree_weight``'s
+        ``weights.get(eid, 0.0)`` default on the object backend.
+        """
+        for eid, w in weights.items():
+            if self.has_edge_id(eid):
+                self.set_weight(eid, w)
+
+    def total_weight(self, eids: Iterable[int]) -> float:
+        """Float sum of the weights of ``eids``.
+
+        Accumulates in the caller's iteration order starting from ``0``
+        — the byte-identical twin of
+        :func:`repro.core.optimum.tree_weight` on the same id sequence,
+        which is what keeps ranked streams identical across backends.
+        """
+        total: float = 0  # int start, like sum(): the empty sum stays int 0
+        wf = self._wf
+        for eid in eids:
+            total += wf[eid]
+        return total
+
+    def exact_total_weight(self, eids: Iterable[int]) -> Optional[int]:
+        """Exact integer sum of the weights, or ``None`` if any weight
+        in ``eids`` is non-integral (fall back to :meth:`total_weight`)."""
+        total = 0
+        wi = self._wi
+        for eid in eids:
+            w = wi[eid]
+            if w is None:
+                return None
+            total += w
+        return total
 
     # ------------------------------------------------------------------
     # derived graphs (returned as object graphs, like the protocol says)
@@ -1387,6 +1494,84 @@ def contracted_kernel(
         ck._eu[eid] = cu
         ck._ev[eid] = cv
         ck._esum[eid] = cu + cv
+        ck._edge_alive[eid] = 1
+        ck._eorder[eid] = None
+        ck._posu[eid] = len(ck._inc[cu])
+        ck._inc[cu].append(eid)
+        ck._posv[eid] = len(ck._inc[cv])
+        ck._inc[cv].append(eid)
+        ck._m_alive += 1
+    if meter is not None and ops:
+        meter.tick(ops)
+    return ck, vmap
+
+
+def contracted_kernel_weighted(
+    fg: FastGraph, eids: Iterable[int], meter=None
+) -> Tuple[FastGraph, List[int]]:
+    """``G/F`` with parallel edges folded to their minimum weight.
+
+    Weighted variant of :func:`contracted_kernel`: after contracting the
+    components spanned by ``eids``, every parallel-edge bundle between
+    the same component pair is replaced by its lightest member (ties
+    broken by smallest edge id, so the fold is deterministic and the
+    survivor's id is stable).  Self-loops vanish as usual.  This is the
+    standard weighted-contraction step of Steiner lower-bound
+    machinery: the folded kernel preserves lightest-connection
+    distances, not the solution multiset, so the enumeration backends
+    never use it implicitly.
+
+    Surviving edges keep their ids and weights (exact integer duals
+    included) and appear in global id order.
+    """
+    n = fg.n_space
+    parent, find = fast_union_find(n)
+    for eid in eids:
+        if not fg.has_edge_id(eid):
+            raise EdgeNotFound(eid)
+        ru, rv = find(fg._eu[eid]), find(fg._ev[eid])
+        if ru != rv:
+            parent[ru] = rv
+    label = [-1] * n
+    vmap = [-1] * n
+    next_label = 0
+    for v in fg.vertices():
+        root = find(v)
+        if label[root] < 0:
+            label[root] = next_label
+            next_label += 1
+        vmap[v] = label[root]
+    # Pick the lightest representative per component pair.
+    best: Dict[Tuple[int, int], Tuple[float, int]] = {}
+    eu, ev, wf = fg._eu, fg._ev, fg._wf
+    ops = 0
+    for eid in fg.edge_ids():
+        ops += 1
+        cu, cv = vmap[eu[eid]], vmap[ev[eid]]
+        if cu == cv:
+            continue
+        key = (cu, cv) if cu < cv else (cv, cu)
+        cand = (wf[eid], eid)
+        prior = best.get(key)
+        if prior is None or cand < prior:
+            best[key] = cand
+    ck = FastGraph()
+    ck._grow_vertices(next_label)
+    for c in range(next_label):
+        ck._vertex_alive[c] = 1
+        ck._vorder[c] = None
+    ck._n_alive = next_label
+    ck._grow_edges(fg.m_space)
+    keep = {eid for _w, eid in best.values()}
+    for eid in fg.edge_ids():
+        if eid not in keep:
+            continue
+        cu, cv = vmap[eu[eid]], vmap[ev[eid]]
+        ck._eu[eid] = cu
+        ck._ev[eid] = cv
+        ck._esum[eid] = cu + cv
+        ck._wf[eid] = wf[eid]
+        ck._wi[eid] = fg._wi[eid]
         ck._edge_alive[eid] = 1
         ck._eorder[eid] = None
         ck._posu[eid] = len(ck._inc[cu])

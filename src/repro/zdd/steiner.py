@@ -35,7 +35,9 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.backend import check_backend, compile_undirected, map_query_vertices
 from repro.exceptions import InvalidInstanceError
+from repro.graphs.fastgraph import FastGraph
 from repro.graphs.graph import Graph
 from repro.zdd.zdd import BOTTOM, TOP, ZDD, ZDDBuilder
 
@@ -80,19 +82,49 @@ def bfs_edge_order(graph: Graph, start: Vertex) -> List[int]:
     return order
 
 
+def fast_bfs_edge_order(fg: FastGraph, start: int) -> List[int]:
+    """Kernel twin of :func:`bfs_edge_order` (flat arrays, byte bitsets).
+
+    Produces the relabeled image of the object-graph order: the sweep is
+    driven by the kernel's cached ``(eid, other)`` incidence pairs, and
+    the per-vertex ``sorted()`` is decided by the (preserved) edge ids,
+    so the variable order — and with it the whole ZDD — is identical.
+    """
+    seen = bytearray(fg.n_space)
+    taken = bytearray(fg.m_space)
+    order: List[int] = []
+    pairs = fg.incidence_pairs()
+    seen[start] = 1
+    queue = [start]
+    while queue:
+        nxt: List[int] = []
+        for v in queue:
+            for eid, u in sorted(pairs[v]):
+                if not taken[eid]:
+                    taken[eid] = 1
+                    order.append(eid)
+                if not seen[u]:
+                    seen[u] = 1
+                    nxt.append(u)
+        queue = nxt
+    for eid in sorted(fg.edge_ids()):
+        if not taken[eid]:
+            order.append(eid)
+    return order
+
+
 class _FrontierDP:
     """One construction run; see module docstring for the state design."""
 
     def __init__(
         self,
-        graph: Graph,
+        endpoints: Sequence[Tuple[Vertex, Vertex]],
         terminals: Sequence[Vertex],
         minimal: bool,
         edge_order: Sequence[int],
         terminal_leaf_only: bool = False,
         internal_terminals: bool = False,
     ) -> None:
-        self.graph = graph
         self.terminals = set(terminals)
         self.t_total = len(self.terminals)
         self.minimal = minimal
@@ -101,7 +133,7 @@ class _FrontierDP:
         #: internal Steiner mode (Definition 5): every terminal degree ≥ 2
         self.internal_terminals = internal_terminals
         self.order = list(edge_order)
-        self.endpoints = [graph.endpoints(eid) for eid in self.order]
+        self.endpoints = list(endpoints)
 
         first: Dict[Vertex, int] = {}
         last: Dict[Vertex, int] = {}
@@ -210,6 +242,7 @@ def build_steiner_tree_zdd(
     terminals: Sequence[Vertex],
     minimal: bool = True,
     edge_order: Optional[Sequence[int]] = None,
+    backend: str = "object",
     _terminal_leaf_only: bool = False,
     _internal_terminals: bool = False,
 ) -> ZDD:
@@ -228,6 +261,14 @@ def build_steiner_tree_zdd(
     edge_order:
         Optional explicit variable order (edge ids).  Defaults to a BFS
         sweep from the first terminal (:func:`bfs_edge_order`).
+    backend:
+        ``"object"`` walks the object graph; ``"fast"`` compiles the
+        instance into the integer kernel and drives the frontier
+        construction (BFS edge order, endpoint extraction) from its flat
+        arrays.  The ZDD — node structure, counts, solution sets *and*
+        their iteration order — is identical either way: the DP state is
+        position-indexed, not label-indexed, and edge ids survive
+        compilation.
 
     Examples
     --------
@@ -238,6 +279,7 @@ def build_steiner_tree_zdd(
     >>> sorted(sorted(s) for s in z)
     [[0, 1, 3], [2, 3]]
     """
+    check_backend(backend)
     terms = list(dict.fromkeys(terminals))
     if not terms:
         raise InvalidInstanceError("at least one terminal is required")
@@ -245,9 +287,34 @@ def build_steiner_tree_zdd(
         if w not in graph:
             raise InvalidInstanceError(f"terminal {w!r} is not in the graph")
 
-    order = list(edge_order) if edge_order is not None else bfs_edge_order(graph, terms[0])
-    if sorted(order) != sorted(graph.edge_ids()):
-        raise InvalidInstanceError("edge_order must be a permutation of the edge ids")
+    if backend == "fast":
+        fg, index = compile_undirected(graph)
+        dp_terms: List = map_query_vertices(index, terms)
+        order = (
+            list(edge_order)
+            if edge_order is not None
+            else fast_bfs_edge_order(fg, dp_terms[0])
+        )
+        if sorted(order) != sorted(fg.edge_ids()):
+            raise InvalidInstanceError(
+                "edge_order must be a permutation of the edge ids"
+            )
+        eu, ev = fg._eu, fg._ev
+        endpoints: List[Tuple[Vertex, Vertex]] = [(eu[e], ev[e]) for e in order]
+        isolated = [w for w in dp_terms if not fg._inc[w]]
+    else:
+        dp_terms = terms
+        order = (
+            list(edge_order)
+            if edge_order is not None
+            else bfs_edge_order(graph, terms[0])
+        )
+        if sorted(order) != sorted(graph.edge_ids()):
+            raise InvalidInstanceError(
+                "edge_order must be a permutation of the edge ids"
+            )
+        endpoints = [graph.endpoints(eid) for eid in order]
+        isolated = [w for w in terms if graph.degree(w) == 0]
     position = {eid: i for i, eid in enumerate(order)}
     builder = ZDDBuilder(position)
 
@@ -255,7 +322,6 @@ def build_steiner_tree_zdd(
         # the unique minimal Steiner tree of a single terminal is the
         # bare vertex: the family {∅}
         return builder.finish(TOP)
-    isolated = [w for w in terms if graph.degree(w) == 0]
     if isolated:
         # an isolated single terminal admits only the bare-vertex tree;
         # with more terminals there is no connecting tree at all
@@ -264,8 +330,8 @@ def build_steiner_tree_zdd(
         return builder.finish(BOTTOM)
 
     dp = _FrontierDP(
-        graph,
-        terms,
+        endpoints,
+        dp_terms,
         minimal,
         order,
         terminal_leaf_only=_terminal_leaf_only,
@@ -320,7 +386,10 @@ def build_steiner_tree_zdd(
 
 
 def count_steiner_trees_zdd(
-    graph: Graph, terminals: Sequence[Vertex], minimal: bool = True
+    graph: Graph,
+    terminals: Sequence[Vertex],
+    minimal: bool = True,
+    backend: str = "object",
 ) -> int:
     """Exact solution count via the ZDD (no enumeration).
 
@@ -330,11 +399,13 @@ def count_steiner_trees_zdd(
     >>> count_steiner_trees_zdd(g, [0, 2])
     2
     """
-    return build_steiner_tree_zdd(graph, terminals, minimal=minimal).count()
+    return build_steiner_tree_zdd(
+        graph, terminals, minimal=minimal, backend=backend
+    ).count()
 
 
 def enumerate_minimal_steiner_trees_zdd(
-    graph: Graph, terminals: Sequence[Vertex]
+    graph: Graph, terminals: Sequence[Vertex], backend: str = "object"
 ) -> Iterator[FrozenSet[int]]:
     """Enumerate minimal Steiner trees from the compiled ZDD.
 
@@ -343,13 +414,14 @@ def enumerate_minimal_steiner_trees_zdd(
     with the compile-first/enumerate-later cost profile (exponential
     preprocessing possible, near-constant per solution afterwards).
     """
-    yield from build_steiner_tree_zdd(graph, terminals, minimal=True)
+    yield from build_steiner_tree_zdd(graph, terminals, minimal=True, backend=backend)
 
 
 def build_terminal_steiner_tree_zdd(
     graph: Graph,
     terminals: Sequence[Vertex],
     edge_order: Optional[Sequence[int]] = None,
+    backend: str = "object",
 ) -> ZDD:
     """ZDD of the *minimal terminal Steiner trees* (Section 5.1 family).
 
@@ -368,7 +440,12 @@ def build_terminal_steiner_tree_zdd(
     if len(terms) < 2:
         raise InvalidInstanceError("terminal Steiner trees need ≥ 2 terminals")
     return build_steiner_tree_zdd(
-        graph, terms, minimal=True, edge_order=edge_order, _terminal_leaf_only=True
+        graph,
+        terms,
+        minimal=True,
+        edge_order=edge_order,
+        backend=backend,
+        _terminal_leaf_only=True,
     )
 
 
@@ -376,6 +453,7 @@ def build_internal_steiner_tree_zdd(
     graph: Graph,
     terminals: Sequence[Vertex],
     edge_order: Optional[Sequence[int]] = None,
+    backend: str = "object",
 ) -> ZDD:
     """ZDD of the *internal Steiner trees* (Definition 5's family).
 
@@ -402,7 +480,12 @@ def build_internal_steiner_tree_zdd(
         position = {eid: i for i, eid in enumerate(sorted(graph.edge_ids()))}
         return ZDDBuilder(position).finish(BOTTOM)
     return build_steiner_tree_zdd(
-        graph, terms, minimal=False, edge_order=edge_order, _internal_terminals=True
+        graph,
+        terms,
+        minimal=False,
+        edge_order=edge_order,
+        backend=backend,
+        _internal_terminals=True,
     )
 
 
@@ -411,6 +494,7 @@ def enumerate_cost_constrained_minimal_steiner_trees(
     terminals: Sequence[Vertex],
     weights,
     budget: float,
+    backend: str = "object",
 ) -> Iterator[FrozenSet[int]]:
     """Minimal Steiner trees of total weight at most ``budget``.
 
@@ -426,12 +510,12 @@ def enumerate_cost_constrained_minimal_steiner_trees(
     ...     g, [0, 2], {0: 1, 1: 1, 2: 5}, budget=3))
     [frozenset({0, 1})]
     """
-    zdd = build_steiner_tree_zdd(graph, terminals)
+    zdd = build_steiner_tree_zdd(graph, terminals, backend=backend)
     for _weight, solution in zdd.iter_within_budget(weights, budget):
         yield solution
 
 
-def spanning_tree_zdd(graph: Graph) -> ZDD:
+def spanning_tree_zdd(graph: Graph, backend: str = "object") -> ZDD:
     """ZDD of all spanning trees (Steiner trees with ``W = V``).
 
     With every vertex a terminal the leaf rule is vacuous, so minimal
@@ -442,4 +526,4 @@ def spanning_tree_zdd(graph: Graph) -> ZDD:
     vertices = list(graph.vertices())
     if not vertices:
         raise InvalidInstanceError("spanning trees of the empty graph are undefined")
-    return build_steiner_tree_zdd(graph, vertices, minimal=True)
+    return build_steiner_tree_zdd(graph, vertices, minimal=True, backend=backend)

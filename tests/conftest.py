@@ -2,12 +2,70 @@
 
 from __future__ import annotations
 
+import json
+import os
 import random
+from typing import List, NamedTuple, Optional
 
 import pytest
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+class CorpusCase(NamedTuple):
+    """One regression-corpus instance (see tests/corpus/README.md)."""
+
+    name: str
+    description: str
+    graph: Graph
+    terminals: List[int]
+    weights: dict
+    keywords: Optional[dict]  # node -> keyword list, or None
+    query: Optional[List[str]]
+    expected_solutions: int
+    expected_fragments: Optional[int]
+
+    def datagraph(self):
+        """The instance as a DataGraph (keyword corpora only)."""
+        from repro.datagraph.model import DataGraph
+
+        dg = DataGraph()
+        for v in self.graph.vertices():
+            dg.add_node(v, (self.keywords or {}).get(str(v), []))
+        for edge in self.graph.edges():
+            dg.add_link(edge.u, edge.v)
+        return dg
+
+
+def load_corpus() -> List[CorpusCase]:
+    """Load every pinned instance from tests/corpus/*.json."""
+    cases = []
+    for fname in sorted(os.listdir(CORPUS_DIR)):
+        if not fname.endswith(".json"):
+            continue
+        with open(os.path.join(CORPUS_DIR, fname)) as fh:
+            raw = json.load(fh)
+        graph = Graph.from_edges(
+            [tuple(e) for e in raw["edges"]], vertices=range(raw["num_vertices"])
+        )
+        cases.append(
+            CorpusCase(
+                name=raw["name"],
+                description=raw["description"],
+                graph=graph,
+                terminals=list(raw["terminals"]),
+                weights={int(k): v for k, v in raw.get("weights", {}).items()},
+                keywords=raw.get("keywords"),
+                query=raw.get("query"),
+                expected_solutions=raw["expected_solutions"],
+                expected_fragments=raw.get("expected_fragments"),
+            )
+        )
+    assert cases, "regression corpus is empty"
+    return cases
 
 
 def random_simple_graph(rng: random.Random, max_n: int = 7, p: float = 0.5) -> Graph:

@@ -204,6 +204,171 @@ def test_set_path_directed_streams_identical(case):
     )
 
 
+# ----------------------------------------------------------------------
+# newly ported layers: ranked, datagraph, ZDD (PR 3)
+# ----------------------------------------------------------------------
+@st.composite
+def weighted_instances(draw):
+    """An undirected instance plus weights drawn from a tiny value set,
+    so duplicate total weights (ranked-order ties) are the norm."""
+    graph, sample = draw(undirected_instances())
+    values = st.sampled_from([1.0, 1.0, 2.0, 0.5])
+    weights = {eid: draw(values) for eid in graph.edge_ids()}
+    return graph, sample, weights
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_instances(), st.integers(min_value=1, max_value=8))
+def test_ranked_approx_streams_identical(case, lookahead):
+    """Approximate-order ranked streams agree, including tie order
+    (RANKED ORDER: weight, then canonical edge-id tuple)."""
+    from repro.core.ranked import enumerate_approximately_by_weight
+
+    graph, terminals, weights = case
+    _streams_equal(
+        lambda backend: enumerate_approximately_by_weight(
+            graph, terminals, weights, lookahead=lookahead, backend=backend
+        )
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_instances(), st.integers(min_value=1, max_value=6))
+def test_ranked_topk_identical(case, k):
+    from repro.core.ranked import k_lightest_minimal_steiner_trees
+
+    graph, terminals, weights = case
+    reference = k_lightest_minimal_steiner_trees(
+        graph, terminals, weights, k, backend="object"
+    )
+    candidate = k_lightest_minimal_steiner_trees(
+        graph, terminals, weights, k, backend="fast"
+    )
+    assert reference == candidate
+
+
+@settings(max_examples=40, deadline=None)
+@given(undirected_instances())
+def test_zdd_construction_identical(case):
+    """The compiled ZDD — count, solution sets, iteration order — is
+    backend-independent."""
+    from repro.zdd.steiner import build_steiner_tree_zdd
+
+    graph, terminals = case
+    reference = build_steiner_tree_zdd(graph, terminals, backend="object")
+    candidate = build_steiner_tree_zdd(graph, terminals, backend="fast")
+    assert reference.count() == candidate.count()
+    assert list(reference) == list(candidate)
+
+
+@st.composite
+def datagraph_instances(draw):
+    """A small integer-node data graph with a 2-keyword query that is
+    guaranteed to match."""
+    from repro.datagraph.model import DataGraph
+
+    n = draw(st.integers(min_value=3, max_value=8))
+    m = draw(st.integers(min_value=2, max_value=14))
+    alphabet = ["x", "y", "z"]
+    dg = DataGraph()
+    for v in range(n):
+        kws = draw(st.lists(st.sampled_from(alphabet), max_size=2))
+        dg.add_node(v, kws)
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            dg.add_link(u, v)
+    dg.add_keywords(draw(st.integers(min_value=0, max_value=n - 1)), ["x"])
+    dg.add_keywords(draw(st.integers(min_value=0, max_value=n - 1)), ["y"])
+    return dg
+
+
+@settings(max_examples=30, deadline=None)
+@given(datagraph_instances())
+def test_kfragment_streams_identical(dg):
+    from repro.datagraph.kfragments import strong_kfragments, undirected_kfragments
+
+    _streams_equal(
+        lambda backend: undirected_kfragments(dg, ["x", "y"], backend=backend)
+    )
+    _streams_equal(
+        lambda backend: strong_kfragments(dg, ["x", "y"], backend=backend)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(datagraph_instances())
+def test_directed_kfragment_streams_identical(dg):
+    from repro.datagraph.kfragments import directed_kfragments
+
+    root = next(iter(dg.graph.vertices()))
+    _streams_equal(
+        lambda backend: directed_kfragments(dg, ["x", "y"], root, backend=backend)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(datagraph_instances(), st.integers(min_value=1, max_value=8))
+def test_ranked_kfragment_streams_identical(dg, lookahead):
+    from repro.datagraph.ranked import ranked_kfragments, top_k_weighted_fragments
+
+    for model in ("uniform", "degree"):
+        _streams_equal(
+            lambda backend, m=model: ranked_kfragments(
+                dg, ["x", "y"], model=m, lookahead=lookahead, backend=backend
+            )
+        )
+        assert top_k_weighted_fragments(
+            dg, ["x", "y"], 4, model, backend="object"
+        ) == top_k_weighted_fragments(dg, ["x", "y"], 4, model, backend="fast")
+
+
+@settings(max_examples=40, deadline=None)
+@given(undirected_instances(), st.integers(min_value=0, max_value=20))
+def test_midstream_limit_stops_identical(case, limit):
+    """Stopping either backend after ``limit`` solutions yields the same
+    truncated stream — cancellation points cannot diverge."""
+    graph, terminals = case
+    reference = list(
+        islice(
+            enumerate_minimal_steiner_trees(graph, terminals, backend="object"),
+            limit,
+        )
+    )
+    candidate = list(
+        islice(
+            enumerate_minimal_steiner_trees(graph, terminals, backend="fast"),
+            limit,
+        )
+    )
+    assert reference == candidate
+
+
+@settings(max_examples=15, deadline=None)
+@given(datagraph_instances(), st.integers(min_value=1, max_value=6))
+def test_engine_limit_stops_identical_across_backends(dg, limit):
+    """EnumerationJob limit stops truncate both backends at the same
+    prefix, and a deadline stop is always a prefix of the full stream."""
+    from dataclasses import replace
+
+    from repro.engine.jobs import EnumerationJob, run_job
+
+    job = EnumerationJob.kfragments(dg, ["x", "y"], limit=limit)
+    by_backend = {}
+    for backend in ("object", "fast"):
+        by_backend[backend] = run_job(replace(job, backend=backend)).lines
+    assert by_backend["object"] == by_backend["fast"]
+    full = run_job(replace(job, limit=None, backend="fast")).lines
+    assert full[:limit] == by_backend["fast"]
+    # an expired deadline stops cleanly at a prefix on both backends
+    for backend in ("object", "fast"):
+        stopped = run_job(
+            replace(job, limit=None, deadline=0.0, backend=backend)
+        )
+        assert tuple(stopped.lines) == full[: len(stopped.lines)]
+
+
 @st.composite
 def mutation_scripts(draw):
     """An instance plus a random delete/contract script."""

@@ -2,6 +2,8 @@
 
 import random
 
+import pytest
+
 from repro.core.directed_steiner import enumerate_minimal_directed_steiner_trees
 from repro.core.steiner_forest import enumerate_minimal_steiner_forests
 from repro.core.steiner_tree import (
@@ -145,6 +147,7 @@ class TestKeywordSearchEndToEnd:
 
 
 class TestStress:
+    @pytest.mark.slow
     def test_medium_instance_full_enumeration(self):
         """A mid-size instance end-to-end: everything enumerated, no
         duplicates, all verified."""

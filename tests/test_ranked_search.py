@@ -82,6 +82,7 @@ class TestTopK:
         nodes = {v for eid in best.fragment.structural_edges for v in dg.graph.endpoints(eid)}
         assert "hub" not in nodes  # p1 - p3 - p2 beats p1 - hub - p2
 
+    @pytest.mark.slow
     def test_weights_nondecreasing(self):
         dg = synthetic_data_graph(30, 15, 12, 2, seed=3)
         vocab = sorted(dg.vocabulary())[:2]
@@ -111,6 +112,7 @@ class TestStreaming:
         }
         assert streamed == direct
 
+    @pytest.mark.slow
     def test_large_lookahead_gives_sorted_stream(self):
         dg = synthetic_data_graph(25, 12, 10, 2, seed=7)
         vocab = sorted(dg.vocabulary())[:2]
@@ -129,6 +131,7 @@ class TestStreaming:
         assert first.fragment.matches
 
 
+@pytest.mark.slow
 @settings(max_examples=20, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=500),

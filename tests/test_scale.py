@@ -8,6 +8,8 @@ an instance far too big to enumerate exhaustively.
 
 import itertools
 
+import pytest
+
 from repro.core.directed_steiner import enumerate_minimal_directed_steiner_trees
 from repro.core.steiner_forest import enumerate_minimal_steiner_forests
 from repro.core.steiner_tree import (
@@ -28,6 +30,9 @@ FIRST = 50
 
 def take(iterable, k=FIRST):
     return list(itertools.islice(iterable, k))
+
+
+pytestmark = pytest.mark.slow
 
 
 class TestStreamingScale:
