@@ -1,0 +1,205 @@
+"""Streaming-service benchmark: concurrency throughput + warm replay gate.
+
+Spins up a real :class:`repro.serve.EnumerationServer` (in-process, on
+an ephemeral port, with a temporary persistent store) and measures the
+full network path — HTTP request, worker-pool enumeration, chunked
+NDJSON streaming, store write-back — under concurrent clients:
+
+1. **Cold phase** — ``BENCH_SERVE_CLIENTS`` (default 4) threads each
+   stream a *distinct* enumeration job concurrently.  Every stream is
+   checked byte-for-byte against :func:`repro.engine.jobs.run_job`, and
+   per-client wall time + time-to-first-solution are recorded.
+2. **Warm phase** — the same clients repeat the same jobs; every
+   stream must now replay from the result store (``cached: true``),
+   byte-identical to the cold pass.
+3. **Restart phase** — a brand-new server over the same store
+   directory serves one of the jobs; it must still replay warm
+   (persistence across restarts).
+
+Gates (all hard failures):
+
+* all cold streams byte-identical to the reference enumeration;
+* all warm streams replayed (``cached``) and byte-identical to cold;
+* aggregate warm speedup >= ``BENCH_SERVE_GATE`` (default 5.0);
+* the post-restart stream replays from the store.
+
+Environment knobs: ``BENCH_SERVE_CLIENTS`` (concurrent clients, >= 4
+for the acceptance criterion), ``BENCH_SERVE_WORKERS`` (pool size),
+``BENCH_SERVE_GATE`` (warm-speedup floor), ``BENCH_SERVE_LIMIT``
+(solutions per job).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Tuple
+
+from repro.engine.jobs import EnumerationJob, run_job
+from repro.serve import EnumerationServer, ServeClient, ServerThread
+
+
+def client_jobs(count: int, limit: int) -> List[EnumerationJob]:
+    """``count`` distinct mid-size jobs (distinct instances: no
+    accidental cache sharing during the cold phase)."""
+    import random
+
+    jobs: List[EnumerationJob] = []
+    for c in range(count):
+        rng = random.Random(1000 + c)
+        n = 30
+        edges = set()
+        # A connected ring + random chords: dense enough to enumerate
+        # hundreds of Steiner trees, small enough to stay in budget.
+        for i in range(n):
+            edges.add((f"c{c}n{i}", f"c{c}n{(i + 1) % n}"))
+        while len(edges) < int(n * 2.2):
+            u, v = rng.sample(range(n), 2)
+            edges.add((f"c{c}n{min(u, v)}", f"c{c}n{max(u, v)}"))
+        terminals = [f"c{c}n0", f"c{c}n{n // 3}", f"c{c}n{2 * n // 3}"]
+        jobs.append(
+            EnumerationJob.steiner_tree(
+                sorted(edges), terminals, limit=limit, job_id=f"client{c}"
+            )
+        )
+    return jobs
+
+
+def stream_once(
+    port: int, job: EnumerationJob, chunk: int = 32
+) -> Tuple[Tuple[str, ...], float, float, bool]:
+    """Stream ``job``; returns (lines, wall_s, first_solution_s, cached)."""
+    client = ServeClient(port=port, timeout=300)
+    start = time.perf_counter()
+    first = None
+    lines: List[str] = []
+    cached = False
+    for event in client.enumerate(job, chunk=chunk):
+        if event["event"] == "solution":
+            if first is None:
+                first = time.perf_counter() - start
+            lines.append(event["line"])
+        elif event["event"] == "end":
+            cached = bool(event["cached"])
+    wall = time.perf_counter() - start
+    return tuple(lines), wall, first if first is not None else wall, cached
+
+
+def run_phase(
+    port: int, jobs: List[EnumerationJob]
+) -> Tuple[float, List[Tuple[Tuple[str, ...], float, float, bool]]]:
+    """All jobs concurrently (one thread per client); returns the
+    phase's wall clock and the per-client measurements."""
+    results: List = [None] * len(jobs)
+    errors: List = []
+
+    def worker(i: int) -> None:
+        try:
+            results[i] = stream_once(port, jobs[i])
+        except Exception as exc:  # noqa: BLE001 — surfaced below
+            errors.append((i, exc))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(len(jobs))]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise AssertionError(f"client streams failed: {errors}")
+    return wall, results
+
+
+def main() -> int:
+    clients = int(os.environ.get("BENCH_SERVE_CLIENTS", "4"))
+    workers = int(os.environ.get("BENCH_SERVE_WORKERS", "2"))
+    gate = float(os.environ.get("BENCH_SERVE_GATE", "5.0"))
+    limit = int(os.environ.get("BENCH_SERVE_LIMIT", "800"))
+    if clients < 4:
+        print("warning: acceptance criterion needs >= 4 clients", file=sys.stderr)
+
+    jobs = client_jobs(clients, limit)
+    print(f"reference enumeration of {clients} jobs ...")
+    expected = [run_job(job).lines for job in jobs]
+    store_dir = tempfile.mkdtemp(prefix="bench-serve-")
+    failures: List[str] = []
+    stats: Dict[str, float] = {}
+    try:
+        with ServerThread(
+            EnumerationServer(workers=workers, store=store_dir)
+        ) as thread:
+            print(
+                f"server up on :{thread.port} "
+                f"({workers} workers, {clients} concurrent clients)"
+            )
+            cold_wall, cold = run_phase(thread.port, jobs)
+            for i, (lines, _w, _f, _c) in enumerate(cold):
+                if lines != expected[i]:
+                    failures.append(f"cold stream {i} diverged from run_job")
+            solutions = sum(len(r[0]) for r in cold)
+            first_lat = [r[2] for r in cold]
+            print(
+                f"cold: {cold_wall:.3f}s wall, {solutions} solutions "
+                f"({solutions / cold_wall:.0f} sols/s aggregate), "
+                f"first-solution latency avg {sum(first_lat)/len(first_lat)*1000:.1f}ms "
+                f"max {max(first_lat)*1000:.1f}ms"
+            )
+
+            warm_wall, warm = run_phase(thread.port, jobs)
+            for i, (lines, _w, _f, cached) in enumerate(warm):
+                if lines != cold[i][0]:
+                    failures.append(f"warm stream {i} diverged from the cold pass")
+                if not cached:
+                    failures.append(f"warm stream {i} was not served from the store")
+            speedup = cold_wall / warm_wall if warm_wall else float("inf")
+            print(
+                f"warm: {warm_wall:.3f}s wall, replay speedup {speedup:.1f}x "
+                f"(gate >= {gate:.1f}x)"
+            )
+            if speedup < gate:
+                failures.append(
+                    f"warm replay speedup {speedup:.2f}x below the {gate:.1f}x gate"
+                )
+            stats.update(
+                cold_wall=cold_wall, warm_wall=warm_wall, speedup=speedup,
+            )
+
+        # Restart persistence: a fresh server over the same store.
+        with ServerThread(
+            EnumerationServer(workers=1, store=store_dir)
+        ) as thread:
+            lines, wall, _first, cached = stream_once(thread.port, jobs[0])
+            print(
+                f"restart: stream replayed in {wall*1000:.1f}ms "
+                f"(cached={cached})"
+            )
+            if not cached:
+                failures.append("post-restart stream was not served from the store")
+            if lines != expected[0]:
+                failures.append("post-restart stream diverged")
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    if failures:
+        print("BENCH-SERVE FAILURES:", file=sys.stderr)
+        for message in failures:
+            print(f"  - {message}", file=sys.stderr)
+        return 1
+    print(
+        f"bench-serve ok: {clients} concurrent clients sustained, "
+        f"warm replay {stats['speedup']:.1f}x >= {gate:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,8 +17,8 @@ Quickstart
 [0, 1, 3]
 [2, 3]
 
-See README.md for the architecture overview, DESIGN.md for the paper ↔
-module map, and EXPERIMENTS.md for the reproduced complexity claims.
+See README.md for the quickstart, docs/architecture.md for the paper ↔
+module map, and docs/ for the full documentation site.
 """
 
 from repro.core import (
@@ -69,6 +69,12 @@ from repro.graphs import (
     write_stp,
 )
 from repro.hypergraph import Hypergraph, enumerate_minimal_transversals
+from repro.serve import (
+    EnumerationServer,
+    ResultStore,
+    ServeClient,
+    ServerThread,
+)
 from repro.paths import (
     enumerate_set_paths,
     enumerate_set_paths_directed,
@@ -114,6 +120,7 @@ __all__ = [
     "enumerate_st_paths_undirected",
     "EnumerationCursor",
     "EnumerationJob",
+    "EnumerationServer",
     "Graph",
     "Hypergraph",
     "InstanceCache",
@@ -122,7 +129,10 @@ __all__ = [
     "parse_stp",
     "ranked_kfragments",
     "read_stp",
+    "ResultStore",
     "run_batch",
+    "ServeClient",
+    "ServerThread",
     "strong_kfragments",
     "to_networkx",
     "top_k_fragments",

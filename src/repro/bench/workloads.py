@@ -47,6 +47,7 @@ class ForestInstance(NamedTuple):
 
     @property
     def size(self) -> int:
+        """``n + m``."""
         return self.graph.size
 
 
@@ -60,6 +61,7 @@ class DirectedInstance(NamedTuple):
 
     @property
     def size(self) -> int:
+        """``n + m``."""
         return self.digraph.size
 
 

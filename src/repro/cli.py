@@ -18,6 +18,8 @@ Usage (after installation)::
     python -m repro convert graph.txt out.stp --terminals a b c
     python -m repro batch jobs.jsonl --workers 4
     python -m repro serve --workers 4
+    python -m repro serve --port 8080 --workers 4 --store store/
+    python -m repro client jobs.jsonl --port 8080
 
 Graph files are whitespace-separated edge lists, one edge per line
 (``u v [weight]``); lines starting with ``#`` are ignored.  For the
@@ -26,15 +28,18 @@ command reads SteinLib ``.stp`` files instead.  Solutions are printed
 one per line as sorted endpoint pairs, so the output is pipeline-
 friendly (``head -n k`` exploits the linear delay: the process streams).
 
-The two engine commands drive :mod:`repro.engine`.  ``batch`` reads a
-``jobs.jsonl`` file (one JSON job spec per line, e.g. ``{"kind":
-"steiner-tree", "edges": [["a","b"],["b","c"]], "terminals":
-["a","c"]}``), fans the jobs across ``--workers`` processes with
-instance caching, and writes one JSON result per line — output is
-byte-identical for every worker count.  ``serve`` runs the same engine
-as a stdin/stdout JSONL request loop (``{"op": "run", "job": {...}}``,
-``{"op": "batch", ...}``, ``{"op": "stats"}``, ``{"op": "quit"}``) for
-long-lived clients.
+The service commands drive :mod:`repro.engine` and :mod:`repro.serve`.
+``batch`` reads a ``jobs.jsonl`` file (one JSON job spec per line,
+e.g. ``{"kind": "steiner-tree", "edges": [["a","b"],["b","c"]],
+"terminals": ["a","c"]}``), fans the jobs across ``--workers``
+processes with instance caching, and writes one JSON result per line —
+output is byte-identical for every worker count.  ``serve`` without
+``--port`` runs a stdin/stdout JSONL request loop (``{"op": "run",
+"job": {...}}``, ``{"op": "batch", ...}``, ``{"op": "stats"}``,
+``{"op": "quit"}``); with ``--port`` it runs the asyncio HTTP/NDJSON
+streaming service (incremental solutions, persistent ``--store``
+replay, resumable streams — see ``docs/guides/serve.md``), and
+``client`` is its blocking smoke-test counterpart.
 """
 
 from __future__ import annotations
@@ -145,6 +150,7 @@ def _emit(lines: Iterable[str], limit: Optional[int], out) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Linear-delay enumeration for minimal Steiner problems",
@@ -290,17 +296,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
-        "serve", help="serve enumeration jobs over a stdin/stdout JSONL loop"
+        "serve",
+        help="serve enumeration jobs (HTTP streaming with --port, else a "
+        "stdin/stdout JSONL loop)",
     )
     p.add_argument("--workers", type=int, default=1, help="worker process count")
     p.add_argument("--no-cache", action="store_true", help="disable the instance cache")
     p.add_argument(
         "--cache-size", type=int, default=256, help="instance cache capacity"
     )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="run the asyncio HTTP/NDJSON streaming service on this port "
+        "(0 = ephemeral; omit for the legacy stdin/stdout loop)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (with --port)")
+    p.add_argument(
+        "--store",
+        default=None,
+        help="directory for the persistent result store (replays survive restarts)",
+    )
+    p.add_argument(
+        "--chunk", type=int, default=64, help="solutions per streamed chunk"
+    )
+    p.add_argument(
+        "--max-deadline",
+        type=float,
+        default=None,
+        help="server-side cap (seconds) on every job's deadline",
+    )
+
+    p = sub.add_parser(
+        "client", help="stream jobs from a running `repro serve --port` instance"
+    )
+    p.add_argument(
+        "jobs",
+        nargs="?",
+        default=None,
+        help="jobs.jsonl file ('-' = stdin); omit with --stats/--health",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="server address")
+    p.add_argument("--port", type=int, required=True, help="server port")
+    p.add_argument("--stream-id", default=None, help="resumable stream identifier")
+    p.add_argument(
+        "--offset", type=int, default=None, help="resume position (overrides checkpoint)"
+    )
+    p.add_argument("--chunk", type=int, default=None, help="per-chunk solution count")
+    p.add_argument(
+        "--events",
+        action="store_true",
+        help="print the raw NDJSON events instead of solution lines",
+    )
+    p.add_argument("--stats", action="store_true", help="print server stats and exit")
+    p.add_argument(
+        "--health", action="store_true", help="probe /healthz and exit 0/1"
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Parse ``argv`` and run the selected subcommand; returns the exit
+    status (0 on success)."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
 
@@ -440,11 +498,121 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     elif args.command == "batch":
         _run_batch(args, out)
     elif args.command == "serve":
-        from repro.engine.cache import InstanceCache
+        _run_serve(args, out)
+    elif args.command == "client":
+        return _run_client(args, out)
+    return 0
+
+
+def _serve_tiers(args):
+    """``(memory cache | None, ResultStore | None)`` for the serve front ends."""
+    from repro.engine.cache import InstanceCache
+
+    cache = None if args.no_cache else InstanceCache(maxsize=args.cache_size)
+    if args.store is None:
+        return cache, None
+    from repro.serve.store import ResultStore
+
+    return cache, ResultStore(args.store)
+
+
+def _run_serve(args, out) -> None:
+    """The ``serve`` subcommand body (HTTP with --port, else stdio)."""
+    cache, store = _serve_tiers(args)
+    if args.port is None:
         from repro.engine.service import serve
 
-        cache = False if args.no_cache else InstanceCache(maxsize=args.cache_size)
-        serve(out_stream=out, workers=args.workers, cache=cache)
+        stdio_cache: object
+        if store is not None:
+            from repro.serve.store import TieredCache
+
+            stdio_cache = TieredCache(cache, store)
+        else:
+            stdio_cache = cache if cache is not None else False
+        serve(out_stream=out, workers=args.workers, cache=stdio_cache)
+        return
+    import asyncio
+
+    from repro.serve.server import EnumerationServer
+
+    server = EnumerationServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache=False if cache is None else cache,
+        store=store,
+        chunk=args.chunk,
+        max_deadline=args.max_deadline,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        print(f"serving on {args.host}:{server.port}", file=sys.stderr, flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+def _run_client(args, out) -> int:
+    """The ``client`` subcommand body: stream jobs, print lines/events."""
+    import json
+
+    from repro.engine.jobs import load_jobs_jsonl
+    from repro.exceptions import ReproError
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(host=args.host, port=args.port)
+    if args.health:
+        try:
+            client.health()
+        except Exception as exc:  # noqa: BLE001 — any failure means unhealthy
+            print(f"unhealthy: {exc}", file=sys.stderr)
+            return 1
+        print("ok", file=out)
+        return 0
+    if args.stats:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True), file=out)
+        return 0
+    if args.jobs is None:
+        raise SystemExit("client needs a jobs.jsonl file (or --stats/--health)")
+    if args.jobs == "-":
+        from repro.engine.jobs import EnumerationJob
+
+        jobs = []
+        for line_no, line in enumerate(sys.stdin, 1):
+            body = line.strip()
+            if not body or body.startswith("#"):
+                continue
+            try:
+                jobs.append(EnumerationJob.from_json(body))
+            except (ReproError, ValueError) as exc:
+                raise SystemExit(f"stdin:{line_no}: {exc}") from exc
+    else:
+        try:
+            jobs = load_jobs_jsonl(args.jobs)
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.jobs}: {exc}") from exc
+        except ReproError as exc:
+            raise SystemExit(str(exc)) from exc
+    if len(jobs) > 1 and (args.stream_id is not None or args.offset is not None):
+        # A checkpoint binds one stream_id to one instance; fanning it
+        # across different jobs would 409 on every job after the first.
+        raise SystemExit("--stream-id/--offset need exactly one job")
+    for job in jobs:
+        try:
+            for event in client.enumerate(
+                job, stream_id=args.stream_id, chunk=args.chunk, offset=args.offset
+            ):
+                if args.events:
+                    print(json.dumps(event, sort_keys=True), file=out, flush=True)
+                elif event.get("event") == "solution":
+                    print(event["line"], file=out, flush=True)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     return 0
 
 

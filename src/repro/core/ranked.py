@@ -112,7 +112,7 @@ def _weighted_stream(
 
         else:
             # Fresh kernel owned by this stream: load the weights into
-            # its flat dual-storage arrays (DESIGN.md §3.4).
+            # its flat dual-storage arrays (docs/guides/graphs.md).
             fg.load_weights(weights)
             weight_of = fg.total_weight
         for solution in enumerate_minimal_steiner_trees(

@@ -217,7 +217,7 @@ def _digest(payload: Any) -> str:
     return hashlib.sha256(repr(payload).encode()).hexdigest()
 
 
-def _job_fingerprint(job: EnumerationJob) -> str:
+def job_fingerprint(job: EnumerationJob) -> str:
     """Exact-instance identity (labels, edge order, query params).
 
     Two jobs with equal fingerprints produce identical enumeration
@@ -270,14 +270,16 @@ def instance_key(job: EnumerationJob) -> Tuple[str, Optional[List[Any]]]:
     return _digest(exact), None
 
 
-def _to_canonical(kind: str, structures, order: List[Any]) -> tuple:
+def to_canonical(kind: str, structures, order: List[Any]) -> tuple:
+    """Re-express label-level ``structures`` in canonical vertex indices."""
     pos = {v: i for i, v in enumerate(order)}
     if kind in VERTEX_SET_KINDS or kind in PATH_KINDS:
         return tuple(tuple(pos[v] for v in s) for s in structures)
     return tuple(tuple((pos[u], pos[v]) for u, v in s) for s in structures)
 
 
-def _from_canonical(job: EnumerationJob, canonical, order: List[Any]) -> tuple:
+def from_canonical(job: EnumerationJob, canonical, order: List[Any]) -> tuple:
+    """Translate canonical-index structures into ``job``'s own labels."""
     if job.kind in VERTEX_SET_KINDS:
         # Vertex sets are rendered sorted by repr (matching
         # iter_structures); paths keep their traversal order.
@@ -305,6 +307,91 @@ class _Entry:
     canonical: bool
     exhausted: bool
     fingerprint: str  # exact-instance identity of the donor job
+    # The donor's own rendered lines (canonical entries only): lets an
+    # exact-fingerprint hit skip the canonical->label translation and
+    # re-rendering entirely — the donor's stream IS the requester's.
+    lines: Optional[tuple] = None
+
+
+def line_result(job: EnumerationJob, lines: tuple, exhausted: bool) -> JobResult:
+    """A replayed result served straight from stored rendered lines.
+
+    Exactly :func:`entry_result` on a raw-line payload — the named
+    wrapper marks the exact-fingerprint fast path (no canonical
+    translation) at its call sites.
+    """
+    return entry_result(job, tuple(lines), False, exhausted, None)
+
+
+def cacheable(result: JobResult) -> bool:
+    """True when ``result`` is sound to record for future replay.
+
+    Deadline- and budget-stopped runs are rejected: their cut point is
+    timing-dependent, so replaying them would be nondeterministic.
+    Errored runs carry no reusable content either.
+    """
+    return result.stop_reason not in ("deadline", "budget") and result.error is None
+
+
+def entry_usable(
+    job: EnumerationJob, same_fingerprint: bool, exhausted: bool, count: int
+) -> bool:
+    """Serve gating shared by :class:`InstanceCache` and the disk store.
+
+    An exact-fingerprint entry is the job's own stream, so a stored
+    prefix may satisfy a ``limit`` by truncation.  A relabeled entry is
+    a permutation of the job's stream, so only the *complete* solution
+    set may be served (truncating it would return a different subset
+    than a fresh limited run would).
+    """
+    if same_fingerprint:
+        return exhausted or (job.limit is not None and count >= job.limit)
+    return exhausted and (job.limit is None or job.limit >= count)
+
+
+def entry_result(
+    job: EnumerationJob,
+    payload: tuple,
+    canonical: bool,
+    exhausted: bool,
+    order: Optional[List[Any]],
+    apply_limit: bool = True,
+) -> JobResult:
+    """Materialize a stored entry as a :class:`JobResult` for ``job``.
+
+    Canonical payloads are translated through ``order`` into the job's
+    own labels; raw-line payloads are served verbatim.  With
+    ``apply_limit`` the job's ``limit`` truncates the stream (the stored
+    entry may know more solutions than the job asked for).
+    """
+    structures: Optional[tuple]
+    if canonical:
+        if order is None:
+            raise RuntimeError("canonical cache entry hit through a non-canonical key")
+        structures = from_canonical(job, payload, order)
+        lines = tuple(structure_line(job, s) for s in structures)
+    else:
+        structures = None
+        lines = payload
+    stop_reason = None
+    if apply_limit and job.limit is not None and len(lines) >= job.limit:
+        lines = lines[: job.limit]
+        structures = structures[: job.limit] if structures is not None else None
+        exhausted = False
+        stop_reason = "limit"
+    elif not exhausted:
+        stop_reason = "limit"
+    return JobResult(
+        job_id=job.job_id,
+        kind=job.kind,
+        lines=lines,
+        exhausted=exhausted,
+        stop_reason=stop_reason,
+        elapsed=0.0,
+        ops=0,
+        cached=True,
+        structures=structures,
+    )
 
 
 @dataclass
@@ -389,24 +476,13 @@ class InstanceCache:
         if entry is None:
             self.stats.misses += 1
             return None
-        if entry.fingerprint == _job_fingerprint(job):
-            # Same instance: the stored stream is this job's own order,
-            # so prefixes may satisfy a limit by truncation.
-            usable = entry.exhausted or (
-                job.limit is not None and len(entry.payload) >= job.limit
-            )
-        else:
-            # Relabeled instance: the stored stream is a permutation of
-            # this job's order, so only the *complete* solution set may
-            # be served — truncating it would return a different subset
-            # than a fresh limited run.
-            usable = entry.exhausted and (
-                job.limit is None or job.limit >= len(entry.payload)
-            )
-        if not usable:
+        same = entry.fingerprint == job_fingerprint(job)
+        if not entry_usable(job, same, entry.exhausted, len(entry.payload)):
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        if same and entry.canonical and entry.lines is not None:
+            return line_result(job, entry.lines, entry.exhausted)
         return self._result_from_entry(job, entry, order)
 
     def prefix(self, job: EnumerationJob) -> Optional[JobResult]:
@@ -420,7 +496,7 @@ class InstanceCache:
         """
         key, order = self._instance_key(job)
         entry = self._load(key)
-        if entry is None or entry.fingerprint != _job_fingerprint(job):
+        if entry is None or entry.fingerprint != job_fingerprint(job):
             # A relabeled donor's prefix is in the donor's order; splicing
             # it onto this job's live enumeration would duplicate some
             # solutions and drop others, so only exact matches serve.
@@ -435,7 +511,7 @@ class InstanceCache:
         An existing entry is only replaced by one that knows strictly
         more solutions.
         """
-        if result.stop_reason in ("deadline", "budget") or result.error is not None:
+        if not cacheable(result):
             return
         key, order = self._instance_key(job)
         if order is not None and result.structures is None:
@@ -447,13 +523,39 @@ class InstanceCache:
                 len(existing.payload) >= result.count and not upgrades
             ):
                 return
-        fingerprint = _job_fingerprint(job)
+        fingerprint = job_fingerprint(job)
         if order is not None:
-            payload = _to_canonical(job.kind, result.structures, order)
-            entry = _Entry(payload, True, result.exhausted, fingerprint)
+            payload = to_canonical(job.kind, result.structures, order)
+            entry = _Entry(
+                payload, True, result.exhausted, fingerprint, tuple(result.lines)
+            )
         else:
             entry = _Entry(tuple(result.lines), False, result.exhausted, fingerprint)
         self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        self._shrink()
+
+    def adopt_entry(
+        self,
+        job: EnumerationJob,
+        payload: tuple,
+        canonical: bool,
+        exhausted: bool,
+        fingerprint: str,
+        lines: Optional[tuple] = None,
+    ) -> None:
+        """Insert a pre-built entry for ``job``'s key (tier promotion).
+
+        Used by the disk tier to promote a hit into memory without
+        re-deriving structures.  The caller asserts the payload matches
+        the entry shape ``job``'s key implies (canonical payload iff the
+        key canonicalizes).
+        """
+        key, order = self._instance_key(job)
+        if canonical != (order is not None):
+            return  # shape mismatch: refuse rather than corrupt the tier
+        self._entries[key] = _Entry(payload, canonical, exhausted, fingerprint, lines)
         self._entries.move_to_end(key)
         self.stats.stores += 1
         self._shrink()
@@ -473,35 +575,8 @@ class InstanceCache:
         order: Optional[List[Any]],
         apply_limit: bool = True,
     ) -> JobResult:
-        if entry.canonical:
-            if order is None:
-                raise RuntimeError(
-                    "canonical cache entry hit through a non-canonical key"
-                )
-            structures = _from_canonical(job, entry.payload, order)
-            lines = tuple(structure_line(job, s) for s in structures)
-        else:
-            structures = None
-            lines = entry.payload
-        exhausted = entry.exhausted
-        stop_reason = None
-        if apply_limit and job.limit is not None and len(lines) >= job.limit:
-            lines = lines[: job.limit]
-            structures = structures[: job.limit] if structures is not None else None
-            exhausted = False
-            stop_reason = "limit"
-        elif not entry.exhausted:
-            stop_reason = "limit"
-        return JobResult(
-            job_id=job.job_id,
-            kind=job.kind,
-            lines=lines,
-            exhausted=exhausted,
-            stop_reason=stop_reason,
-            elapsed=0.0,
-            ops=0,
-            cached=True,
-            structures=structures,
+        return entry_result(
+            job, entry.payload, entry.canonical, entry.exhausted, order, apply_limit
         )
 
     # ------------------------------------------------------------------

@@ -138,11 +138,17 @@ def _handle_request(runner: BatchRunner, request: Dict[str, Any]) -> Dict[str, A
         request = {"op": "run", "job": request}
     op = request.get("op")
     if op == "run":
-        job = EnumerationJob.from_dict(request["job"])
+        spec = request.get("job")
+        if not isinstance(spec, dict):
+            raise InvalidInstanceError("'run' requests need a 'job' object")
+        job = EnumerationJob.from_dict(spec)
         result = runner.run([job])[0]
         return {"ok": True, "result": result.to_dict()}
     if op == "batch":
-        jobs = [EnumerationJob.from_dict(spec) for spec in request["jobs"]]
+        specs = request.get("jobs")
+        if not isinstance(specs, list):
+            raise InvalidInstanceError("'batch' requests need a 'jobs' array")
+        jobs = [EnumerationJob.from_dict(spec) for spec in specs]
         results = runner.run(jobs)
         return {"ok": True, "results": [r.to_dict() for r in results]}
     if op == "stats":

@@ -149,7 +149,7 @@ class FastGraph:
         self._inc: List[List[int]] = []  # vertex -> incident eids
         self._posu: List[int] = []  # eid -> index in _inc[_eu[eid]]
         self._posv: List[int] = []  # eid -> index in _inc[_ev[eid]]
-        # Flat edge-weight storage (see DESIGN.md §3.4): _wf holds the
+        # Flat edge-weight storage (see docs/guides/graphs.md): _wf holds the
         # float64 weight (0.0 = unweighted, matching tree_weight's
         # default), _wi holds the exact integer dual when the weight is
         # integral (None otherwise) so integral workloads — uniform
@@ -695,7 +695,7 @@ class FastGraph:
         self.version += 1
 
     # ------------------------------------------------------------------
-    # edge weights (flat dual storage; see DESIGN.md §3.4)
+    # edge weights (flat dual storage; see docs/guides/graphs.md)
     # ------------------------------------------------------------------
     def set_weight(self, eid: int, weight: float) -> None:
         """Set the weight of edge ``eid`` (undo-logged).
@@ -1257,7 +1257,7 @@ class ConnectivityIndex:
     instead of an O(n+m) recompute.
 
     This is substrate for in-place delete/contract/restore enumeration
-    (see DESIGN.md §3.2); the current fast backends rebuild contracted
+    (see docs/guides/graphs.md); the current fast backends rebuild contracted
     kernels per node instead — they need the object backend's exact
     stream order, which in-place contraction's incidence-order
     perturbation would break.

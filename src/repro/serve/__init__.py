@@ -1,0 +1,39 @@
+"""Streaming enumeration service: async server, worker pool, result store.
+
+This package turns :mod:`repro.engine` into a network service:
+
+* :class:`ResultStore` (:mod:`repro.serve.store`) — a disk-backed result
+  store keyed by the engine's isomorphism-stable instance digest, with
+  cursor checkpoints that survive process restarts.  It speaks the same
+  ``lookup`` / ``prefix`` / ``store`` protocol as
+  :class:`repro.engine.cache.InstanceCache`, so cursors and the batch
+  pool accept one interchangeably.
+* :class:`WorkerPool` (:mod:`repro.serve.workers`) — a persistent pool
+  of enumeration worker processes streaming solution chunks back over
+  pipes with credit-based flow control and cooperative cancellation.
+* :class:`EnumerationServer` (:mod:`repro.serve.server`) — an asyncio
+  HTTP/1.1 endpoint (``POST /enumerate``) that streams newline-
+  delimited JSON events with per-client backpressure, replays
+  warm-store hits without re-enumerating, and checkpoints interrupted
+  streams for resumption.
+* :class:`ServeClient` (:mod:`repro.serve.client`) — a blocking
+  stdlib-only client used by ``repro client``, the tests, and the
+  benchmarks.
+
+See ``docs/guides/serve.md`` for the architecture walkthrough and the
+wire protocol reference.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.server import EnumerationServer, ServerThread
+from repro.serve.store import ResultStore, TieredCache
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "EnumerationServer",
+    "ResultStore",
+    "ServeClient",
+    "ServerThread",
+    "TieredCache",
+    "WorkerPool",
+]

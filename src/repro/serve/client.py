@@ -1,0 +1,157 @@
+"""Blocking stdlib client for the streaming enumeration service.
+
+:class:`ServeClient` speaks the protocol documented in
+:mod:`repro.serve.protocol` using :mod:`http.client` (which decodes the
+chunked transfer encoding transparently), so events arrive as the
+server flushes them — iterate :meth:`ServeClient.enumerate` and the
+first solution is available while the enumeration is still running.
+
+This is the client behind ``repro client``, the end-to-end tests and
+``benchmarks/bench_serve.py``.  It is intentionally synchronous: the
+service exists so *clients* don't need an async runtime.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.engine.jobs import EnumerationJob
+from repro.exceptions import ReproError
+
+
+class ServeError(ReproError):
+    """The server answered with an error event or status."""
+
+
+class ServeClient:
+    """A blocking HTTP/NDJSON client for :class:`EnumerationServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout:
+        Socket timeout in seconds for each request.
+
+    Examples
+    --------
+    ::
+
+        client = ServeClient(port=8080)
+        job = EnumerationJob.steiner_tree(edges, terminals)
+        for event in client.enumerate(job):
+            if event["event"] == "solution":
+                print(event["line"])
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request_json(self, method: str, path: str, body: Optional[bytes] = None) -> Dict[str, Any]:
+        conn = self._connection()
+        try:
+            conn.request(
+                method, path, body=body, headers={"Content-Type": "application/json"}
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode() or "{}")
+            if response.status != 200:
+                raise ServeError(
+                    payload.get("error", f"HTTP {response.status} from {path}")
+                )
+            return payload
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz`` — raises :class:`ServeError` when unhealthy."""
+        return self._request_json("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats`` — the server's aggregate counters."""
+        return self._request_json("GET", "/stats")
+
+    def enumerate(
+        self,
+        job: Union[EnumerationJob, Dict[str, Any]],
+        stream_id: Optional[str] = None,
+        chunk: Optional[int] = None,
+        offset: Optional[int] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream the events for ``job`` (a job object or spec dict).
+
+        Yields every NDJSON event as a dict, incrementally.  With a
+        ``stream_id`` the server checkpoints progress and a later call
+        resumes the stream; pass ``offset`` to resume from an exact
+        position the caller tracked itself (it overrides the server's
+        checkpoint).  A non-200 response or an ``error`` event raises
+        :class:`ServeError`; a stream that ends without a terminal
+        event (server died) raises too, so callers never mistake a
+        truncated stream for a complete one.
+        """
+        spec = job.to_dict() if isinstance(job, EnumerationJob) else dict(job)
+        payload: Dict[str, Any] = {"job": spec}
+        if stream_id is not None:
+            payload["stream_id"] = stream_id
+        if chunk is not None:
+            payload["chunk"] = chunk
+        if offset is not None:
+            payload["offset"] = offset
+        body = json.dumps(payload).encode()
+        conn = self._connection()
+        try:
+            conn.request(
+                "POST", "/enumerate", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read().decode()
+                try:
+                    event = json.loads(raw)
+                except json.JSONDecodeError:
+                    event = {"error": raw.strip() or f"HTTP {response.status}"}
+                raise ServeError(event.get("error", f"HTTP {response.status}"))
+            ended = False
+            while True:
+                raw_line = response.readline()
+                if not raw_line:
+                    break
+                line = raw_line.decode().strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                yield event
+                if event.get("event") == "error":
+                    raise ServeError(event.get("error", "stream failed"))
+                if event.get("event") == "end":
+                    ended = True
+                    break
+            if not ended:
+                raise ServeError("stream ended without a terminal event")
+        finally:
+            conn.close()
+
+    def solutions(
+        self,
+        job: Union[EnumerationJob, Dict[str, Any]],
+        stream_id: Optional[str] = None,
+        chunk: Optional[int] = None,
+    ) -> List[str]:
+        """Convenience: the stream's solution lines, in order."""
+        return [
+            event["line"]
+            for event in self.enumerate(job, stream_id=stream_id, chunk=chunk)
+            if event.get("event") == "solution"
+        ]

@@ -1,0 +1,119 @@
+"""Wire protocol helpers for the streaming service.
+
+The service speaks **HTTP/1.1 + NDJSON**: a request is a normal HTTP
+``POST`` whose body is one JSON object, and a streaming response is
+``Transfer-Encoding: chunked`` with ``Content-Type:
+application/x-ndjson`` — one JSON event object per line.  Event shapes:
+
+``{"event": "accepted", "id": ..., "kind": ..., "offset": N,
+"source": "live" | "replay" | "partial-replay"}``
+    First line of every stream; ``offset`` is the resume position
+    (0 for fresh streams) and ``source`` says how the stream is fed.
+
+``{"event": "solution", "seq": N, "line": "..."}``
+    One enumerated solution.  ``seq`` is the absolute position in the
+    job's solution stream (resumed streams continue their numbering),
+    ``line`` the CLI's canonical text rendering.
+
+``{"event": "end", "count": N, "total": N, "exhausted": bool,
+"stop_reason": ..., "cached": bool}``
+    Terminal event of a successful stream.  ``count`` is the number of
+    solutions this response delivered, ``total`` the stream position
+    reached, ``cached`` whether the whole response was replayed from
+    the store/cache without enumerating.
+
+``{"event": "error", "error": "..."}``
+    Terminal event of a failed stream (also sent as the body of
+    non-200 responses).
+
+Plain-JSON endpoints (``GET /healthz``, ``GET /stats``) return a single
+object with ``Content-Length``.  This module contains the framing
+helpers shared by the asyncio server; the blocking client
+(:mod:`repro.serve.client`) uses :mod:`http.client`, which decodes
+chunked NDJSON transparently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+#: Reason phrases for the status codes the server emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+class ProtocolError(Exception):
+    """Malformed HTTP request (surfaces as a 400 response)."""
+
+
+def encode_event(event: Dict[str, Any]) -> bytes:
+    """One NDJSON event line, HTTP-chunk framed."""
+    data = (json.dumps(event, sort_keys=True) + "\n").encode()
+    return b"%x\r\n%s\r\n" % (len(data), data)
+
+
+#: The zero-length chunk that terminates a chunked response body.
+FINAL_CHUNK = b"0\r\n\r\n"
+
+
+def response_head(
+    status: int, content_type: str, length: Optional[int] = None
+) -> bytes:
+    """HTTP/1.1 response head; chunked when ``length`` is ``None``."""
+    head = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if length is None:
+        head.append("Transfer-Encoding: chunked")
+    else:
+        head.append(f"Content-Length: {length}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode()
+
+
+def json_response(status: int, payload: Dict[str, Any]) -> bytes:
+    """A complete plain-JSON HTTP response."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return response_head(status, "application/json", len(body)) + body
+
+
+async def read_request(reader) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one HTTP/1.1 request: ``(method, path, headers, body)``.
+
+    Returns ``None`` at EOF (client closed without sending a request);
+    raises :class:`ProtocolError` on malformed input.
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, path, _version = line.decode("latin-1").split()
+    except ValueError as exc:
+        raise ProtocolError(f"malformed request line {line!r}") from exc
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            raise ProtocolError("connection closed inside the header block")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError as exc:
+        raise ProtocolError("malformed Content-Length") from exc
+    if length < 0 or length > 64 * 1024 * 1024:
+        raise ProtocolError(f"unreasonable Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body

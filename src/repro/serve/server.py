@@ -1,0 +1,694 @@
+"""Asyncio streaming enumeration server (HTTP/1.1 + NDJSON).
+
+:class:`EnumerationServer` is the network front end of the engine: it
+accepts :class:`repro.engine.jobs.EnumerationJob` payloads over
+``POST /enumerate`` and streams solutions back **incrementally** —
+clients see the first solution as soon as the enumerator's
+linear-delay guarantee produces it, not when the run finishes.
+
+Data path per request::
+
+    client ──HTTP──> server ──pipe──> pooled worker process
+           <─NDJSON─        <─chunks─
+
+* **Backpressure** — a worker sends one chunk then blocks for a flow
+  credit; the server grants the credit only after the chunk is written
+  to the socket and ``drain()`` returns.  A slow client therefore
+  suspends its own enumeration (bounded memory per stream: one chunk in
+  the worker, one in the socket buffer) without affecting other
+  clients.
+* **Cancellation** — a disconnected client turns the pending credit
+  into a ``cancel``; the worker abandons the run and returns to the
+  pool warm.  Deadlines and op budgets ride on the job itself
+  (:mod:`repro.engine.jobs`) and stop streams server-side.
+* **Warm replay** — completed enumerations land in the
+  :class:`~repro.serve.store.ResultStore` (disk) and the
+  :class:`~repro.engine.cache.InstanceCache` (memory) keyed by the
+  isomorphism-stable instance digest, so a repeated — or *relabeled* —
+  query replays the stored stream (translated to the caller's labels)
+  without touching a worker.
+* **Resumable streams** — a request may carry a ``stream_id``; the
+  server checkpoints the delivered offset (and the solution prefix) on
+  disconnect or completion, and a later request with the same
+  ``stream_id`` resumes exactly where the stream stopped, **across
+  server restarts**, because checkpoints live in the store.
+
+The server binds ``port=0`` by default (ephemeral, for tests and
+embedding); ``repro serve --port N`` runs it standalone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.engine.cache import InstanceCache, job_fingerprint
+from repro.engine.jobs import EnumerationJob, JobResult
+from repro.exceptions import InvalidInstanceError, ReproError
+from repro.serve.protocol import (
+    FINAL_CHUNK,
+    ProtocolError,
+    encode_event,
+    json_response,
+    read_request,
+    response_head,
+)
+from repro.serve.store import ResultStore, TieredCache
+from repro.serve.workers import DEFAULT_CHUNK, WorkerDied, WorkerPool
+
+
+@dataclass
+class ServerStats:
+    """Aggregate counters exposed at ``GET /stats``."""
+
+    requests: int = 0
+    streams: int = 0
+    solutions: int = 0
+    replays: int = 0
+    live_runs: int = 0
+    resumed: int = 0
+    cancelled: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for JSON serving."""
+        return dataclasses.asdict(self)
+
+
+class _Disconnect(Exception):
+    """The client went away mid-stream."""
+
+
+@dataclass
+class _StreamState:
+    """Bookkeeping for one in-flight enumeration stream."""
+
+    job: EnumerationJob
+    offset: int  # resume position (solutions already delivered historically)
+    stream_id: Optional[str]
+    total: int = 0  # stream position reached (offset + delivered this time)
+    known_lines: List[str] = field(default_factory=list)  # prefix [0, len) when contiguous
+    known_structures: List[Any] = field(default_factory=list)
+    contiguous: bool = True  # known_lines covers [0, total) with no holes
+    exhausted: bool = False
+    stop_reason: Optional[str] = None
+    cached: bool = True  # flips False once a worker enumerates
+
+
+class EnumerationServer:
+    """The asyncio streaming service over a persistent worker pool.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`port` after :meth:`start`).
+    workers:
+        Size of the persistent enumeration worker pool — the cap on
+        concurrently *enumerating* streams (replayed streams don't
+        occupy a worker).
+    cache:
+        An :class:`InstanceCache`, ``None`` to build a default one, or
+        ``False`` to disable the memory tier.
+    store:
+        A :class:`ResultStore`, a directory path to open one, or
+        ``None`` to run memory-only (no persistence, no resumable
+        streams across restarts).
+    chunk:
+        Solutions per flow-control chunk (the per-client queue bound).
+    max_deadline:
+        Server-side cap in seconds applied to every job's ``deadline``
+        (jobs without one get exactly this allowance).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        cache: Union[InstanceCache, None, bool] = None,
+        store: Union[ResultStore, str, None] = None,
+        chunk: int = DEFAULT_CHUNK,
+        mp_context: Optional[str] = None,
+        max_deadline: Optional[float] = None,
+    ) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.host = host
+        self._requested_port = port
+        self.workers = workers
+        self.chunk = chunk
+        self.mp_context = mp_context
+        self.max_deadline = max_deadline
+        self.stats = ServerStats()
+        memory: Optional[InstanceCache]
+        if cache is False:
+            memory = None
+        elif cache is None:
+            memory = InstanceCache()
+        else:
+            memory = cache  # type: ignore[assignment]
+        self.store: Optional[ResultStore]
+        if isinstance(store, str):
+            self.store = ResultStore(store)
+        else:
+            self.store = store
+        self.tier = TieredCache(memory, self.store)
+        self._pool: Optional[WorkerPool] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._worker_sem: Optional[asyncio.Semaphore] = None
+        self._conn_tasks: set = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self._requested_port
+
+    async def start(self) -> None:
+        """Bind the listening socket and spin up the worker pool."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._pool = WorkerPool(self.workers, mp_context=self.mp_context)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers + 2, thread_name_prefix="repro-serve"
+        )
+        self._worker_sem = asyncio.Semaphore(self.workers)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        """Close the listener, drain in-flight streams, stop the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._conn_tasks:
+            # Let in-flight streams finish (they checkpoint on the way
+            # out); anything still running after the grace period is
+            # torn down with the pool.
+            await asyncio.wait(set(self._conn_tasks), timeout=10)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._handle_request(reader, writer)
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _handle_request(self, reader, writer) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(read_request(reader), timeout=30)
+            except ProtocolError as exc:
+                writer.write(json_response(400, {"event": "error", "error": str(exc)}))
+                await writer.drain()
+                return
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError, OSError):
+                return
+            if request is None:
+                return
+            method, path, _headers, body = request
+            self.stats.requests += 1
+            if path == "/healthz" and method == "GET":
+                writer.write(json_response(200, {"ok": True}))
+                await writer.drain()
+            elif path == "/stats" and method == "GET":
+                writer.write(json_response(200, self._stats_payload()))
+                await writer.drain()
+            elif path == "/enumerate":
+                if method != "POST":
+                    writer.write(
+                        json_response(405, {"event": "error", "error": "POST required"})
+                    )
+                    await writer.drain()
+                else:
+                    await self._enumerate(body, writer)
+            else:
+                writer.write(
+                    json_response(404, {"event": "error", "error": f"no route {path}"})
+                )
+                await writer.drain()
+        except (ConnectionError, _Disconnect, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"ok": True, "workers": self.workers}
+        payload.update(self.stats.as_dict())
+        payload.update(self.tier.as_dict())
+        return payload
+
+    # ------------------------------------------------------------------
+    # the /enumerate stream
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_enumerate_body(
+        body: bytes,
+    ) -> Tuple[Dict[str, Any], Optional[str], Optional[int], Optional[int]]:
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise InvalidInstanceError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise InvalidInstanceError("request body must be a JSON object")
+        if "job" in payload:
+            spec = payload["job"]
+            stream_id = payload.get("stream_id")
+            chunk = payload.get("chunk")
+            offset = payload.get("offset")
+        else:
+            spec, stream_id, chunk, offset = payload, None, None, None
+        if not isinstance(spec, dict):
+            raise InvalidInstanceError("'job' must be a JSON object")
+        if stream_id is not None and not isinstance(stream_id, str):
+            raise InvalidInstanceError("'stream_id' must be a string")
+        if chunk is not None:
+            if not isinstance(chunk, int) or chunk < 1:
+                raise InvalidInstanceError("'chunk' must be a positive integer")
+        if offset is not None:
+            if not isinstance(offset, int) or offset < 0:
+                raise InvalidInstanceError("'offset' must be a non-negative integer")
+        return spec, stream_id, chunk, offset
+
+    def _apply_deadline_cap(self, job: EnumerationJob) -> EnumerationJob:
+        cap = self.max_deadline
+        if cap is None:
+            return job
+        if job.deadline is None or job.deadline > cap:
+            return dataclasses.replace(job, deadline=cap)
+        return job
+
+    def _resolve_resume(
+        self, job: EnumerationJob, stream_id: Optional[str]
+    ) -> Tuple[int, bool]:
+        """Load the checkpointed offset for ``stream_id`` (0 when fresh)."""
+        if stream_id is None or self.store is None:
+            return 0, False
+        state = self.store.load_cursor(stream_id)
+        if state is None:
+            return 0, False
+        try:
+            checkpointed = EnumerationJob.from_dict(state["job"])
+            offset = int(state["offset"])
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            raise InvalidInstanceError(
+                f"corrupt checkpoint for stream {stream_id!r}: {exc}"
+            ) from exc
+        if (
+            checkpointed.kind != job.kind
+            or job_fingerprint(checkpointed) != job_fingerprint(job)
+        ):
+            raise InvalidInstanceError(
+                f"stream {stream_id!r} is checkpointed for a different job"
+            )
+        return offset, True
+
+    async def _enumerate(self, body: bytes, writer) -> None:
+        try:
+            spec, stream_id, chunk_override, explicit_offset = self._parse_enumerate_body(
+                body
+            )
+            job = EnumerationJob.from_dict(spec)
+            job = self._apply_deadline_cap(job)
+            offset, resumed = self._resolve_resume(job, stream_id)
+            if explicit_offset is not None:
+                # The client knows exactly what it consumed (the server
+                # checkpoint can run ahead by in-flight bytes the client
+                # never read), so an explicit offset wins.
+                offset = explicit_offset
+                resumed = resumed or explicit_offset > 0
+        except (InvalidInstanceError, ReproError) as exc:
+            self.stats.errors += 1
+            writer.write(json_response(400, {"event": "error", "error": str(exc)}))
+            await writer.drain()
+            return
+        except Exception as exc:  # noqa: BLE001 — a bad request must not kill the server
+            self.stats.errors += 1
+            writer.write(
+                json_response(
+                    500, {"event": "error", "error": f"{type(exc).__name__}: {exc}"}
+                )
+            )
+            await writer.drain()
+            return
+        self.stats.streams += 1
+        if resumed:
+            self.stats.resumed += 1
+        chunk = chunk_override or self.chunk
+        state = _StreamState(job=job, offset=offset, stream_id=stream_id, total=offset)
+
+        writer.write(response_head(200, "application/x-ndjson"))
+        try:
+            await self._run_stream(state, chunk, writer)
+        except _Disconnect:
+            self.stats.cancelled += 1
+            self._finish_stream(state)  # checkpoint what was delivered
+            raise
+        except WorkerDied as exc:
+            self.stats.errors += 1
+            # Persist what was soundly delivered (prefix + checkpoint) so
+            # a resume after the failure does not restart from scratch.
+            self._finish_stream(state)
+            await self._write_event(writer, {"event": "error", "error": str(exc)})
+            writer.write(FINAL_CHUNK)
+            await writer.drain()
+            return
+        writer.write(FINAL_CHUNK)
+        await writer.drain()
+
+    async def _run_stream(self, state: _StreamState, chunk: int, writer) -> None:
+        job = state.job
+        cap = job.limit  # total stream length bound
+
+        async def accepted(source: str) -> None:
+            await self._write_event(
+                writer,
+                {
+                    "event": "accepted",
+                    "id": job.job_id,
+                    "kind": job.kind,
+                    "offset": state.offset,
+                    "source": source,
+                },
+            )
+
+        if cap is not None and state.offset >= cap:
+            # The checkpointed stream already reached this job's limit.
+            await accepted("replay")
+            state.stop_reason = "limit"
+            await self._write_end(writer, state)
+            return
+        # -- tier 1: a complete stored result replays without a worker --
+        full = self.tier.lookup(job)
+        if full is not None:
+            self.stats.replays += 1
+            await accepted("replay")
+            await self._replay_lines(writer, state, full.lines, full.structures, chunk)
+            state.exhausted = full.exhausted
+            state.stop_reason = full.stop_reason
+            self._finish_stream(state)
+            await self._write_end(writer, state)
+            return
+        # -- tier 2: a stored exact-instance prefix replays, then a
+        #    worker continues past it ------------------------------------
+        pref = self.tier.prefix(job)
+        pref_lines: Tuple[str, ...] = pref.lines if pref is not None else ()
+        pref_structures = pref.structures if pref is not None else None
+        if pref_lines:
+            state.known_lines.extend(pref_lines)
+            if pref_structures is not None and len(pref_structures) == len(pref_lines):
+                state.known_structures.extend(pref_structures)
+            else:
+                state.known_structures.extend([None] * len(pref_lines))
+        replay_upto = len(pref_lines)
+        if cap is not None:
+            replay_upto = min(replay_upto, cap)
+        replayed = replay_upto > state.offset
+        live_start = max(state.offset, replay_upto)
+        limit_hit_by_replay = cap is not None and replay_upto >= cap
+        live_needed = not limit_hit_by_replay
+        if replayed:
+            await accepted("partial-replay" if live_needed else "replay")
+            visible = [(i, pref_lines[i]) for i in range(state.offset, replay_upto)]
+            await self._emit_solutions(writer, state, visible)
+        else:
+            await accepted("live")
+        if not live_needed:
+            self.stats.replays += 1
+            state.exhausted = False
+            state.stop_reason = "limit"
+            self._finish_stream(state)
+            await self._write_end(writer, state)
+            return
+        if state.offset > len(pref_lines):
+            # Resuming past what the store knows: the worker fast-forwards
+            # and the prefix [len(pref_lines), offset) stays unknown.
+            state.contiguous = False
+        state.cached = False
+        self.stats.live_runs += 1
+        await self._stream_live(writer, state, live_start, chunk)
+        self._finish_stream(state)
+        await self._write_end(writer, state)
+
+    # ------------------------------------------------------------------
+    # stream segments
+    # ------------------------------------------------------------------
+    async def _write_event(self, writer, event: Dict[str, Any]) -> None:
+        if writer.is_closing():
+            raise _Disconnect
+        writer.write(encode_event(event))
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise _Disconnect from exc
+
+    async def _emit_solutions(self, writer, state: _StreamState, positioned) -> None:
+        """Write ``(position, line)`` events and advance the stream total."""
+        if not positioned:
+            return
+        if writer.is_closing():
+            raise _Disconnect
+        out = bytearray()
+        for position, line in positioned:
+            out += encode_event({"event": "solution", "seq": position, "line": line})
+            state.total = position + 1
+            self.stats.solutions += 1
+        writer.write(bytes(out))
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise _Disconnect from exc
+
+    async def _replay_lines(
+        self, writer, state: _StreamState, lines, structures, chunk: int
+    ) -> None:
+        state.known_lines = list(lines)
+        if structures is not None and len(structures) == len(lines):
+            state.known_structures = list(structures)
+        else:
+            state.known_structures = [None] * len(lines)
+        # Replays have no worker pacing to respect; batch writes harder
+        # (drain() still applies socket backpressure per batch).
+        step = max(chunk, 256)
+        for start in range(state.offset, len(lines), step):
+            batch = [
+                (i, lines[i]) for i in range(start, min(start + step, len(lines)))
+            ]
+            await self._emit_solutions(writer, state, batch)
+        state.total = max(state.total, len(lines))
+
+    async def _stream_live(
+        self, writer, state: _StreamState, live_start: int, chunk: int
+    ) -> None:
+        assert self._pool is not None and self._worker_sem is not None
+        assert self._executor is not None
+        loop = asyncio.get_running_loop()
+        async with self._worker_sem:
+            handle = self._pool.acquire()
+            try:
+                handle.start_stream(state.job, live_start, chunk)
+                position = live_start
+                while True:
+                    msg = await loop.run_in_executor(self._executor, handle.recv)
+                    if msg[0] == "chunk":
+                        lines, structures = msg[1], msg[2]
+                        batch = []
+                        for line, structure in zip(lines, structures):
+                            if state.contiguous and position == len(state.known_lines):
+                                state.known_lines.append(line)
+                                state.known_structures.append(structure)
+                            batch.append((position, line))
+                            position += 1
+                        try:
+                            await self._emit_solutions(writer, state, batch)
+                        except _Disconnect:
+                            handle.cancel()
+                            await loop.run_in_executor(
+                                self._executor, handle.drain_to_end
+                            )
+                            raise
+                        handle.credit()
+                    elif msg[0] == "end":
+                        meta = msg[1]
+                        if meta.get("error"):
+                            raise WorkerDied(meta["error"])
+                        state.exhausted = bool(meta.get("exhausted"))
+                        state.stop_reason = meta.get("stop_reason")
+                        return
+            finally:
+                if self._pool is not None:
+                    self._pool.release(handle)
+                else:  # pragma: no cover - server stopped mid-stream
+                    handle.close()
+
+    # ------------------------------------------------------------------
+    # completion: persist results + checkpoints
+    # ------------------------------------------------------------------
+    def _finish_stream(self, state: _StreamState) -> None:
+        """Store the known prefix and update the stream's checkpoint."""
+        job = state.job
+        known = len(state.known_lines)
+        if state.contiguous and known and not state.cached:
+            complete = state.exhausted and known >= state.total
+            structures: Optional[Tuple[Any, ...]] = tuple(state.known_structures)
+            if any(s is None for s in structures):
+                structures = None
+            result = JobResult(
+                job_id=job.job_id,
+                kind=job.kind,
+                lines=tuple(state.known_lines),
+                exhausted=complete,
+                stop_reason=None if complete else "limit",
+                elapsed=0.0,
+                ops=0,
+                structures=structures,
+            )
+            self.tier.store(job, result)
+        if state.stream_id is None or self.store is None:
+            return
+        if state.exhausted:
+            self.store.drop_cursor(state.stream_id)
+            return
+        digest: Optional[str] = None
+        if state.contiguous and known >= state.total:
+            hasher = hashlib.sha256()
+            for line in state.known_lines[: state.total]:
+                hasher.update(line.encode())
+                hasher.update(b"\n")
+            digest = hasher.hexdigest()
+        self.store.save_cursor(
+            state.stream_id,
+            {
+                "version": 1,
+                "job": job.to_dict(),
+                "offset": state.total,
+                "digest": digest,
+            },
+        )
+
+    async def _write_end(self, writer, state: _StreamState) -> None:
+        await self._write_event(
+            writer,
+            {
+                "event": "end",
+                "count": state.total - state.offset,
+                "total": state.total,
+                "exhausted": state.exhausted,
+                "stop_reason": state.stop_reason,
+                "cached": state.cached,
+            },
+        )
+
+
+class ServerThread:
+    """Run an :class:`EnumerationServer` on a background event loop.
+
+    For embedding the service in synchronous programs — the CLI smoke
+    client, the tests and the benchmarks drive the server through this.
+
+    Examples
+    --------
+    ::
+
+        with ServerThread(EnumerationServer(workers=2)) as server:
+            client = ServeClient(port=server.port)
+            ...
+
+    The context exit stops the loop and joins the thread.
+    """
+
+    def __init__(self, server: EnumerationServer) -> None:
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        """Start the loop thread and block until the socket is bound."""
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        if not self._started.is_set():  # pragma: no cover - startup is fast
+            raise RuntimeError("server did not start within 30s")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                await self.server.start()
+            except BaseException as exc:  # pragma: no cover - bind errors
+                self._startup_error = exc
+                self._started.set()
+                raise
+            self._started.set()
+            await self._stop.wait()
+            await self.server.stop()
+
+        asyncio.run(main())
+
+    @property
+    def port(self) -> int:
+        """The server's bound port."""
+        return self.server.port
+
+    def stop(self) -> None:
+        """Stop the server and join the loop thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

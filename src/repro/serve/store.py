@@ -1,0 +1,389 @@
+"""Disk-backed result store: persistent replay across process restarts.
+
+:class:`ResultStore` is the durable sibling of
+:class:`repro.engine.cache.InstanceCache`.  Entries are keyed by the
+same isomorphism-stable instance digest (:func:`repro.engine.cache.instance_key`),
+so a *relabeled* copy of a solved instance replays the stored stream
+translated into the caller's vertex names, and the same serve-gating
+rules apply (relabeled hits serve only complete solution sets; exact
+fingerprint matches may satisfy a ``limit`` by prefix truncation).
+
+The store speaks the cache's ``lookup`` / ``prefix`` / ``store``
+protocol, so every consumer that accepts an ``InstanceCache`` — the
+batch pool, :class:`repro.engine.cursor.EnumerationCursor`, the serving
+layer — accepts a ``ResultStore`` unchanged.  On top of that it
+persists **cursor checkpoints** (`save_cursor` / `load_cursor`), which
+is what lets an interrupted server stream resume after a restart.
+
+Storage format: one JSON file per entry under ``<root>/entries/``
+(canonical payloads are pure integer structures, so they round-trip
+through JSON exactly), one JSON file per checkpoint under
+``<root>/cursors/``.  Writes are atomic (tempfile + ``os.replace``), so
+a killed process never leaves a half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.cache import (
+    CacheStats,
+    InstanceCache,
+    cacheable,
+    entry_result,
+    entry_usable,
+    instance_key,
+    job_fingerprint,
+    line_result,
+    to_canonical,
+)
+from repro.engine.jobs import (
+    ARC_SET_KINDS,
+    EDGE_SET_KINDS,
+    EnumerationJob,
+    JobResult,
+)
+from repro.exceptions import InvalidInstanceError
+
+_SCHEMA = 1
+
+
+def _payload_to_json(payload: tuple, canonical: bool) -> list:
+    """JSON-ready form of an entry payload (nested tuples become lists)."""
+    if not canonical:
+        return list(payload)
+    return [[list(pair) if isinstance(pair, tuple) else pair for pair in s] for s in payload]
+
+
+def _payload_from_json(kind: str, raw: list, canonical: bool) -> tuple:
+    """Rebuild the exact tuple payload stored by :func:`_payload_to_json`."""
+    if not canonical:
+        return tuple(raw)
+    if kind in EDGE_SET_KINDS or kind in ARC_SET_KINDS:
+        return tuple(tuple((int(a), int(b)) for a, b in s) for s in raw)
+    return tuple(tuple(int(x) for x in s) for s in raw)
+
+
+class ResultStore:
+    """Persistent enumeration results + cursor checkpoints on disk.
+
+    Parameters
+    ----------
+    root:
+        Directory for the store (created on demand).  Layout:
+        ``entries/<key>.json`` for results, ``cursors/<id>.json`` for
+        checkpoints.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.engine.jobs import EnumerationJob, run_job
+    >>> root = tempfile.mkdtemp()
+    >>> store = ResultStore(root)
+    >>> job = EnumerationJob.steiner_tree([("a", "b"), ("b", "c")], ["a", "c"])
+    >>> store.store(job, run_job(job))
+    >>> ResultStore(root).lookup(job).lines  # a fresh process replays it
+    ('a-b b-c',)
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.stats = CacheStats()
+        self._key_memo: "OrderedDict[EnumerationJob, Tuple[str, Optional[List[Any]]]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def _entries_dir(self) -> str:
+        return os.path.join(self.root, "entries")
+
+    def _cursors_dir(self) -> str:
+        return os.path.join(self.root, "cursors")
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self._entries_dir(), f"{key}.json")
+
+    def _cursor_path(self, stream_id: str) -> str:
+        # Stream ids are caller-chosen; hash them so any string is a
+        # safe, fixed-length file name.
+        digest = hashlib.sha256(stream_id.encode()).hexdigest()[:40]
+        return os.path.join(self._cursors_dir(), f"{digest}.json")
+
+    @staticmethod
+    def _write_atomic(path: str, payload: Dict[str, Any]) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _instance_key(self, job: EnumerationJob) -> Tuple[str, Optional[List[Any]]]:
+        memo = self._key_memo
+        hit = memo.get(job)
+        if hit is not None:
+            memo.move_to_end(job)
+            return hit
+        computed = instance_key(job)
+        memo[job] = computed
+        while len(memo) > 1024:
+            memo.popitem(last=False)
+        return computed
+
+    def _read_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._entry_path(key)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            return None  # unreadable entry == miss; a future store rewrites it
+        if record.get("schema") != _SCHEMA:
+            return None
+        return record
+
+    # ------------------------------------------------------------------
+    # the cache protocol: lookup / prefix / store
+    # ------------------------------------------------------------------
+    def lookup(self, job: EnumerationJob) -> Optional[JobResult]:
+        """A complete :class:`JobResult` for ``job`` from disk, or ``None``.
+
+        Same gating as :meth:`InstanceCache.lookup`: exact-fingerprint
+        entries may satisfy a ``limit`` by truncation, relabeled entries
+        serve only complete solution sets (translated to the caller's
+        labels).
+        """
+        key, order = self._instance_key(job)
+        record = self._read_entry(key)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        same = record["fingerprint"] == job_fingerprint(job)
+        if not entry_usable(job, same, record["exhausted"], len(record["payload"])):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.disk_hits += 1
+        if same and record["canonical"] and record.get("lines") is not None:
+            # Exact instance: the donor's rendered lines ARE this job's
+            # stream — skip the canonical translation entirely.
+            return line_result(job, tuple(record["lines"]), record["exhausted"])
+        payload = _payload_from_json(job.kind, record["payload"], record["canonical"])
+        return entry_result(job, payload, record["canonical"], record["exhausted"], order)
+
+    def prefix(self, job: EnumerationJob) -> Optional[JobResult]:
+        """The stored solution prefix for ``job`` (exact matches only).
+
+        Like :meth:`InstanceCache.prefix`: serves incomplete entries and
+        never truncates to the job's ``limit``; relabeled donors are
+        skipped because their stream order is a permutation of this
+        job's.
+        """
+        key, order = self._instance_key(job)
+        record = self._read_entry(key)
+        if record is None or record["fingerprint"] != job_fingerprint(job):
+            return None
+        payload = _payload_from_json(job.kind, record["payload"], record["canonical"])
+        return entry_result(
+            job, payload, record["canonical"], record["exhausted"], order,
+            apply_limit=False,
+        )
+
+    def store(self, job: EnumerationJob, result: JobResult) -> None:
+        """Persist ``result`` for ``job`` (upgrade-only, atomic write).
+
+        Deadline/budget-stopped and errored results are rejected (their
+        cut point is not deterministic); an existing entry is replaced
+        only by one that knows strictly more solutions.
+        """
+        if not cacheable(result):
+            return
+        key, order = self._instance_key(job)
+        if order is not None and result.structures is None:
+            return  # canonical entries need structures to translate on hit
+        existing = self._read_entry(key)
+        if existing is not None:
+            upgrades = result.exhausted and not existing["exhausted"]
+            if existing["exhausted"] or (
+                len(existing["payload"]) >= result.count and not upgrades
+            ):
+                return
+        if order is not None:
+            canonical = True
+            payload = to_canonical(job.kind, result.structures, order)
+        else:
+            canonical = False
+            payload = tuple(result.lines)
+        record = {
+            "schema": _SCHEMA,
+            "kind": job.kind,
+            "canonical": canonical,
+            "exhausted": result.exhausted,
+            "fingerprint": job_fingerprint(job),
+            "payload": _payload_to_json(payload, canonical),
+        }
+        if canonical:
+            record["lines"] = list(result.lines)
+        self._write_atomic(self._entry_path(key), record)
+        self.stats.stores += 1
+
+    def raw_entry(
+        self, job: EnumerationJob
+    ) -> Optional[Tuple[tuple, bool, bool, str, Optional[tuple]]]:
+        """The stored entry in :class:`InstanceCache` shape, for promotion.
+
+        Returns ``(payload, canonical, exhausted, fingerprint, lines)``
+        or ``None`` on a miss.
+        """
+        key, _order = self._instance_key(job)
+        record = self._read_entry(key)
+        if record is None:
+            return None
+        payload = _payload_from_json(job.kind, record["payload"], record["canonical"])
+        lines = tuple(record["lines"]) if record.get("lines") is not None else None
+        return (
+            payload,
+            record["canonical"],
+            record["exhausted"],
+            record["fingerprint"],
+            lines,
+        )
+
+    # ------------------------------------------------------------------
+    # cursor checkpoints
+    # ------------------------------------------------------------------
+    def save_cursor(self, stream_id: str, state: Dict[str, Any]) -> None:
+        """Persist a cursor checkpoint dict under ``stream_id`` (atomic)."""
+        self._write_atomic(
+            self._cursor_path(stream_id),
+            {"schema": _SCHEMA, "stream_id": stream_id, "state": state},
+        )
+
+    def load_cursor(self, stream_id: str) -> Optional[Dict[str, Any]]:
+        """The checkpoint saved under ``stream_id``, or ``None``."""
+        try:
+            with open(self._cursor_path(stream_id)) as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise InvalidInstanceError(
+                f"unreadable cursor checkpoint for {stream_id!r}: {exc}"
+            ) from exc
+        if record.get("schema") != _SCHEMA or record.get("stream_id") != stream_id:
+            return None
+        return record["state"]
+
+    def drop_cursor(self, stream_id: str) -> bool:
+        """Delete the checkpoint for ``stream_id``; True if one existed."""
+        try:
+            os.unlink(self._cursor_path(stream_id))
+            return True
+        except FileNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1 for name in os.listdir(self._entries_dir()) if name.endswith(".json")
+            )
+        except FileNotFoundError:
+            return 0
+
+    def cursor_count(self) -> int:
+        """Number of persisted cursor checkpoints."""
+        try:
+            return sum(
+                1 for name in os.listdir(self._cursors_dir()) if name.endswith(".json")
+            )
+        except FileNotFoundError:
+            return 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stats payload for the service ``/stats`` endpoint."""
+        payload: Dict[str, Any] = dict(self.stats.as_dict())
+        payload["entries"] = len(self)
+        payload["cursors"] = self.cursor_count()
+        return payload
+
+
+class TieredCache:
+    """Memory-LRU front + persistent-store back, one cache protocol.
+
+    ``lookup``/``prefix`` consult the in-memory :class:`InstanceCache`
+    first and fall back to the :class:`ResultStore`; disk hits are
+    promoted into memory.  ``store`` writes through to both tiers.  The
+    serving layer and ``repro batch --store`` use this so repeated
+    queries are memory-fast while every completed enumeration survives
+    restarts.
+    """
+
+    def __init__(self, cache: Optional[InstanceCache], store: Optional[ResultStore]) -> None:
+        self.cache = cache
+        self.store_tier = store
+
+    def _tiers(self):
+        return [t for t in (self.cache, self.store_tier) if t is not None]
+
+    def lookup(self, job: EnumerationJob) -> Optional[JobResult]:
+        """First complete hit across the tiers (disk hits are promoted)."""
+        for tier in self._tiers():
+            result = tier.lookup(job)
+            if result is not None:
+                if tier is self.store_tier and self.cache is not None:
+                    raw = self.store_tier.raw_entry(job)
+                    if raw is not None:
+                        self.cache.adopt_entry(job, *raw)
+                return result
+        return None
+
+    def prefix(self, job: EnumerationJob) -> Optional[JobResult]:
+        """The longest stored prefix across the tiers (exact matches only)."""
+        best: Optional[JobResult] = None
+        for tier in self._tiers():
+            result = tier.prefix(job)
+            if result is not None and (best is None or result.count > best.count):
+                best = result
+            if best is not None and best.exhausted:
+                break
+        return best
+
+    def store(self, job: EnumerationJob, result: JobResult) -> None:
+        """Write ``result`` through to every tier."""
+        for tier in self._tiers():
+            tier.store(job, result)
+
+    @property
+    def stats(self) -> CacheStats:
+        """The front tier's counters (keeps :class:`BatchRunner` happy)."""
+        tiers = self._tiers()
+        return tiers[0].stats if tiers else CacheStats()
+
+    def __len__(self) -> int:
+        return sum(len(tier) for tier in self._tiers())
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Per-tier stats payload."""
+        payload: Dict[str, Any] = {}
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats.as_dict()
+            payload["cache_entries"] = len(self.cache)
+        if self.store_tier is not None:
+            payload["store"] = self.store_tier.as_dict()
+        return payload

@@ -95,3 +95,59 @@ class TestCommands:
     def test_unknown_command_rejected(self, graph_file):
         with pytest.raises(SystemExit):
             run(["frobnicate", graph_file])
+
+
+class TestServeRegression:
+    """`repro serve` must answer bad jobs with an error line, never hang.
+
+    Regression for the PR-1 stub: an unknown enumerator kind (or any
+    malformed request) has to produce an ``{"ok": false, ...}`` response
+    and leave the loop alive for the next request — a hung subprocess
+    here fails the test via the timeout.
+    """
+
+    def _serve(self, stdin_payload: str) -> list:
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        src = os.path.join(root, "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve"],
+            input=stdin_payload,
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        import json
+
+        return [json.loads(line) for line in proc.stdout.splitlines() if line.strip()]
+
+    def test_unknown_kind_returns_error_line(self):
+        responses = self._serve(
+            '{"op": "run", "job": {"kind": "frobnicate", "edges": [["a","b"]]}}\n'
+        )
+        assert len(responses) == 1
+        assert responses[0]["ok"] is False
+        assert "unknown job kind" in responses[0]["error"]
+
+    def test_loop_survives_bad_request_and_keeps_serving(self):
+        responses = self._serve(
+            '{"op": "run", "job": {"kind": "bogus"}}\n'
+            '{"kind": "steiner-tree", "edges": [["a","b"],["b","c"]],'
+            ' "terminals": ["a","c"]}\n'
+            '{"op": "quit"}\n'
+        )
+        assert [r["ok"] for r in responses] == [False, True, True]
+        assert responses[1]["result"]["lines"] == ["a-b b-c"]
+
+    def test_missing_job_field_is_an_error_not_a_crash(self):
+        responses = self._serve('{"op": "run"}\n{"op": "quit"}\n')
+        assert responses[0]["ok"] is False
+        assert responses[1].get("bye") is True

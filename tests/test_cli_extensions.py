@@ -188,3 +188,97 @@ class TestConvert:
         _, direct = run(["steiner-tree", weighted_graph_file, "--terminals", "a", "d"])
         _, via_stp = run(["stp", str(out_path)])
         assert len(direct) == len(via_stp)
+
+
+class TestServeClientCLI:
+    """`repro serve --port` + `repro client`: the network smoke path."""
+
+    @pytest.fixture
+    def server_proc(self, tmp_path):
+        import os
+        import re
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        src = os.path.join(root, "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--workers", "1",
+                "--store", str(tmp_path / "store"),
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stderr.readline()
+            match = re.search(r":(\d+)$", line.strip())
+            assert match, f"no port announcement in {line!r}"
+            port = int(match.group(1))
+            deadline = time.monotonic() + 20
+            from repro.serve.client import ServeClient
+
+            while True:
+                try:
+                    ServeClient(port=port, timeout=5).health()
+                    break
+                except Exception:
+                    assert time.monotonic() < deadline, "server never became healthy"
+                    time.sleep(0.05)
+            yield port
+        finally:
+            proc.terminate()
+            proc.wait(timeout=20)
+
+    def test_client_streams_solution_lines(self, tmp_path, server_proc):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(
+            '{"kind": "steiner-tree", "edges": [["a","b"],["b","c"],["a","c"],'
+            '["c","d"]], "terminals": ["a","d"]}\n'
+        )
+        out = io.StringIO()
+        code = main(["client", str(jobs), "--port", str(server_proc)], out=out)
+        assert code == 0
+        assert sorted(out.getvalue().strip().splitlines()) == [
+            "a-b b-c c-d",
+            "a-c c-d",
+        ]
+
+    def test_client_events_and_stats(self, tmp_path, server_proc):
+        import json
+
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(
+            '{"kind": "st-path", "edges": [["a","b"],["b","c"]],'
+            ' "source": "a", "target": "c"}\n'
+        )
+        out = io.StringIO()
+        assert main(
+            ["client", str(jobs), "--port", str(server_proc), "--events"], out=out
+        ) == 0
+        events = [json.loads(line) for line in out.getvalue().strip().splitlines()]
+        assert events[0]["event"] == "accepted"
+        assert events[-1]["event"] == "end"
+
+        out = io.StringIO()
+        assert main(["client", "--port", str(server_proc), "--stats"], out=out) == 0
+        stats = json.loads(out.getvalue())
+        assert stats["ok"] is True and stats["streams"] >= 1
+
+    def test_client_health(self, server_proc):
+        out = io.StringIO()
+        assert main(["client", "--port", str(server_proc), "--health"], out=out) == 0
+        assert out.getvalue().strip() == "ok"
+
+    def test_client_surfaces_server_errors(self, tmp_path, server_proc):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text('{"kind": "steiner-tree", "edges": [], "terminals": ["a"]}\n')
+        out = io.StringIO()
+        code = main(["client", str(jobs), "--port", str(server_proc)], out=out)
+        assert code == 1

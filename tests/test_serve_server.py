@@ -1,0 +1,273 @@
+"""End-to-end tests for the asyncio streaming service.
+
+Every test talks to a real server over a real socket through the
+blocking :class:`ServeClient` — the same path `repro client` uses.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.jobs import EnumerationJob, run_job
+from repro.serve import EnumerationServer, ServeClient, ServerThread
+from repro.serve.client import ServeError
+
+EDGES = [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d"), ("b", "d")]
+
+
+def steiner_job(**opts) -> EnumerationJob:
+    return EnumerationJob.steiner_tree(EDGES, ["a", "d"], **opts)
+
+
+def grid_job(n: int = 4, **opts) -> EnumerationJob:
+    edges = []
+    for i in range(n):
+        for j in range(n):
+            if i < n - 1:
+                edges.append((f"v{i}{j}", f"v{i+1}{j}"))
+            if j < n - 1:
+                edges.append((f"v{i}{j}", f"v{i}{j+1}"))
+    return EnumerationJob.steiner_tree(edges, ["v00", f"v{n-1}{n-1}"], **opts)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    store = str(tmp_path_factory.mktemp("serve-store"))
+    with ServerThread(EnumerationServer(workers=2, store=store)) as thread:
+        yield thread
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(port=server.port)
+
+
+class TestStreaming:
+    def test_live_stream_matches_run_job(self, client):
+        job = steiner_job(job_id="live-1")
+        events = list(client.enumerate(job, chunk=2))
+        assert events[0]["event"] == "accepted"
+        assert events[-1]["event"] == "end"
+        lines = [e["line"] for e in events if e["event"] == "solution"]
+        assert tuple(lines) == run_job(job).lines
+        assert [e["seq"] for e in events if e["event"] == "solution"] == list(
+            range(len(lines))
+        )
+        assert events[-1]["exhausted"] is True
+
+    def test_warm_replay_is_cached(self, client):
+        job = EnumerationJob.st_path(EDGES, "a", "d", job_id="warm")
+        cold = list(client.enumerate(job))
+        warm = list(client.enumerate(job))
+        assert cold[-1]["cached"] is False or cold[0]["source"] != "live"
+        assert warm[0]["source"] == "replay"
+        assert warm[-1]["cached"] is True
+        assert [e for e in warm if e["event"] == "solution"] == [
+            e for e in cold if e["event"] == "solution"
+        ]
+
+    def test_relabeled_instance_replays_translated(self, client):
+        base = EnumerationJob.steiner_tree(
+            [("p", "q"), ("q", "r"), ("p", "r"), ("r", "s")], ["p", "s"]
+        )
+        client.solutions(base)  # seed the store
+        relabeled = EnumerationJob.steiner_tree(
+            [("P", "Q"), ("Q", "R"), ("P", "R"), ("R", "S")], ["P", "S"]
+        )
+        events = list(client.enumerate(relabeled))
+        assert events[0]["source"] == "replay"
+        assert sorted(e["line"] for e in events if e["event"] == "solution") == sorted(
+            run_job(relabeled).lines
+        )
+
+    def test_limit_is_enforced(self, client):
+        job = grid_job(job_id="lim", limit=5)
+        lines = client.solutions(job)
+        assert tuple(lines) == run_job(grid_job())  .lines[:5]
+        end = list(client.enumerate(job))[-1]
+        assert end["stop_reason"] == "limit"
+        assert end["exhausted"] is False
+
+    def test_explicit_offset_resume(self, client):
+        job = grid_job(job_id="off")
+        full = run_job(job).lines
+        head = client.solutions(grid_job(limit=6))
+        tail = [
+            e["line"]
+            for e in client.enumerate(job, offset=6)
+            if e["event"] == "solution"
+        ]
+        assert tuple(head + tail) == full
+
+    def test_concurrent_streaming_clients(self, server):
+        """Four clients stream four distinct jobs concurrently, all exact."""
+        jobs = [
+            EnumerationJob.steiner_tree(EDGES, ["a", "d"], job_id="c0"),
+            EnumerationJob.st_path(EDGES, "a", "d", job_id="c1"),
+            grid_job(job_id="c2"),
+            EnumerationJob.steiner_tree(
+                [("x", "y"), ("y", "z"), ("x", "z"), ("z", "w")], ["x", "w"],
+                job_id="c3",
+            ),
+        ]
+        expected = [run_job(job).lines for job in jobs]
+        results: list = [None] * len(jobs)
+        errors: list = []
+
+        def stream(i: int) -> None:
+            try:
+                results[i] = tuple(
+                    ServeClient(port=server.port).solutions(jobs[i], chunk=3)
+                )
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append((i, exc))
+
+        threads = [
+            threading.Thread(target=stream, args=(i,)) for i in range(len(jobs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert results == expected
+
+
+class TestErrors:
+    def test_unknown_kind_is_a_clean_error(self, client):
+        """The regression the stdio stub documented: no hang, a real error."""
+        with pytest.raises(ServeError, match="unknown job kind"):
+            list(client.enumerate({"kind": "bogus", "edges": [["a", "b"]]}))
+        # The server survives and keeps serving.
+        assert client.health() == {"ok": True}
+
+    def test_query_vertex_not_in_instance(self, client):
+        job = {
+            "kind": "steiner-tree",
+            "edges": [["a", "b"]],
+            "terminals": ["a", "zz"],
+        }
+        with pytest.raises(ServeError, match="not in the instance"):
+            list(client.enumerate(job))
+
+    def test_malformed_body(self, client):
+        import http.client
+
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=10)
+        try:
+            conn.request("POST", "/enumerate", body=b"{nope", headers={})
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+    def test_unknown_route_404(self, client):
+        import http.client
+
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=10)
+        try:
+            conn.request("GET", "/nope")
+            assert conn.getresponse().status == 404
+        finally:
+            conn.close()
+
+    def test_stats_and_health(self, client):
+        assert client.health() == {"ok": True}
+        stats = client.stats()
+        assert stats["ok"] is True
+        assert stats["workers"] == 2
+        assert stats["streams"] >= 1
+
+
+class TestRestartResume:
+    def test_disconnect_checkpoints_and_restart_resumes(self, tmp_path):
+        """Kill the client mid-stream, restart the *server*, resume the
+        stream: the concatenation is byte-identical to one uninterrupted
+        run."""
+        store = str(tmp_path / "store")
+        job = grid_job(job_id="rr")
+        full = run_job(job).lines
+
+        with ServerThread(EnumerationServer(workers=1, store=store)) as thread:
+            consumed = []
+            stream = ServeClient(port=thread.port).enumerate(
+                job, stream_id="rr-1", chunk=2
+            )
+            for event in stream:
+                if event["event"] == "solution":
+                    consumed.append(event["line"])
+                    if len(consumed) == 9:
+                        stream.close()  # mid-stream disconnect
+                        break
+
+        # A brand-new server process-equivalent on the same store.
+        with ServerThread(EnumerationServer(workers=1, store=store)) as thread:
+            events = list(
+                ServeClient(port=thread.port).enumerate(
+                    job, stream_id="rr-1", offset=len(consumed)
+                )
+            )
+            assert events[0]["offset"] == 9
+            tail = [e["line"] for e in events if e["event"] == "solution"]
+            assert tuple(consumed + tail) == full
+            assert events[-1]["exhausted"] is True
+
+    def test_checkpoint_conflict_is_rejected(self, tmp_path):
+        import time
+
+        from repro.serve.store import ResultStore
+
+        store = str(tmp_path / "store")
+        with ServerThread(EnumerationServer(workers=1, store=store)) as thread:
+            client = ServeClient(port=thread.port)
+            stream = client.enumerate(grid_job(), stream_id="s", chunk=1)
+            got = 0
+            for event in stream:
+                if event["event"] == "solution":
+                    got += 1
+                    if got == 3:
+                        stream.close()
+                        break
+            # The disconnect checkpoint is written asynchronously once
+            # the server notices the dead socket; wait for it.
+            reader = ResultStore(store)
+            deadline = time.monotonic() + 30
+            while reader.load_cursor("s") is None:
+                assert time.monotonic() < deadline, "checkpoint never appeared"
+                time.sleep(0.02)
+            other = steiner_job()
+            with pytest.raises(ServeError, match="different job"):
+                list(client.enumerate(other, stream_id="s"))
+
+    def test_server_side_checkpoint_alone_resumes(self, tmp_path):
+        """Without an explicit offset the server's checkpoint drives the
+        resume position; the resumed tail continues the stream with no
+        duplicates relative to the checkpoint."""
+        store = str(tmp_path / "store")
+        job = grid_job(job_id="ck")
+        full = run_job(job).lines
+        with ServerThread(EnumerationServer(workers=1, store=store)) as thread:
+            stream = ServeClient(port=thread.port).enumerate(
+                job, stream_id="ck-1", chunk=1
+            )
+            seen = 0
+            for event in stream:
+                if event["event"] == "solution":
+                    seen += 1
+                    if seen == 4:
+                        stream.close()
+                        break
+        with ServerThread(EnumerationServer(workers=1, store=store)) as thread:
+            events = list(
+                ServeClient(port=thread.port).enumerate(job, stream_id="ck-1")
+            )
+            offset = events[0]["offset"]
+            assert offset >= 4  # at least what the client consumed
+            tail = [(e["seq"], e["line"]) for e in events if e["event"] == "solution"]
+            for seq, line in tail:
+                assert full[seq] == line
+            if tail:
+                assert tail[0][0] == offset
+            assert events[-1]["total"] == len(full)

@@ -1,0 +1,97 @@
+"""Audit the public API surface for missing docstrings.
+
+Walks every module under ``repro`` and reports public objects without a
+docstring, mirroring the ruff/pydocstyle rules the lint gate enforces
+on ``src/`` (D100 module, D101 class, D102 method, D103 function, D104
+package):
+
+* module and package docstrings;
+* module-level public functions and classes *defined in that module*
+  (re-exports are the defining module's responsibility);
+* public methods, properties, class/static methods in a public class's
+  own ``__dict__`` (dunders and ``_private`` names are exempt, matching
+  pydocstyle's "public" definition).
+
+Exit status 0 when the surface is fully documented, 1 otherwise — CI's
+docs job runs this before building the site, and
+``tests/test_docs.py`` keeps it green in tier-1.
+
+Usage::
+
+    PYTHONPATH=src python tools/audit_docstrings.py [--package repro]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import sys
+from typing import Iterator, List, Tuple
+
+
+def iter_modules(package_name: str) -> Iterator[str]:
+    """Yield ``package_name`` and every submodule name under it."""
+    package = importlib.import_module(package_name)
+    yield package_name
+    for info in pkgutil.walk_packages(package.__path__, prefix=package_name + "."):
+        yield info.name
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def audit_module(module_name: str) -> List[Tuple[str, str]]:
+    """Missing-docstring findings for one module: ``(where, what)``."""
+    module = importlib.import_module(module_name)
+    findings: List[Tuple[str, str]] = []
+    if not (module.__doc__ or "").strip():
+        kind = "package" if hasattr(module, "__path__") else "module"
+        findings.append((module_name, f"undocumented {kind}"))
+    for name, obj in vars(module).items():
+        if not _is_public(name):
+            continue
+        if inspect.isfunction(obj) and obj.__module__ == module_name:
+            if not (obj.__doc__ or "").strip():
+                findings.append((f"{module_name}.{name}", "undocumented function"))
+        elif inspect.isclass(obj) and obj.__module__ == module_name:
+            if not (obj.__doc__ or "").strip():
+                findings.append((f"{module_name}.{name}", "undocumented class"))
+            for attr_name, attr in vars(obj).items():
+                if not _is_public(attr_name):
+                    continue
+                target = None
+                if inspect.isfunction(attr):
+                    target = attr
+                elif isinstance(attr, (classmethod, staticmethod)):
+                    target = attr.__func__
+                elif isinstance(attr, property):
+                    target = attr.fget
+                if target is not None and not (target.__doc__ or "").strip():
+                    findings.append(
+                        (f"{module_name}.{name}.{attr_name}", "undocumented method")
+                    )
+    return findings
+
+
+def main(argv=None) -> int:
+    """CLI entry point; prints findings and returns the exit status."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--package", default="repro", help="root package to audit")
+    args = parser.parse_args(argv)
+    findings: List[Tuple[str, str]] = []
+    for module_name in sorted(set(iter_modules(args.package))):
+        findings.extend(audit_module(module_name))
+    if findings:
+        print(f"{len(findings)} public object(s) lack docstrings:", file=sys.stderr)
+        for where, what in sorted(findings):
+            print(f"  {where}: {what}", file=sys.stderr)
+        return 1
+    print(f"docstring audit clean for package {args.package!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

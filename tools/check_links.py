@@ -1,0 +1,128 @@
+"""Check Markdown links across the docs tree and the top-level docs.
+
+Scans ``docs/**/*.md``, ``README.md``, ``DESIGN.md``,
+``benchmarks/README.md`` and ``tests/corpus/README.md`` for inline
+Markdown links/images and verifies that:
+
+* relative file targets exist (anchors are split off first);
+* intra-document anchors (``#section``) match a heading in the target
+  file (GitHub/mkdocs slug rules: lowercase, punctuation stripped,
+  spaces to dashes);
+* reference-style link definitions resolve.
+
+External links (``http://``, ``https://``, ``mailto:``) are *not*
+fetched — the checker must stay deterministic and offline.  Exit
+status 0 when everything resolves, 1 otherwise; CI's docs job and
+``tests/test_docs.py`` both run it.
+
+Usage::
+
+    python tools/check_links.py [--root .]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+#: files outside docs/ included in the scan.
+EXTRA_FILES = ["README.md", "DESIGN.md", "benchmarks/README.md", "tests/corpus/README.md"]
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(root: str) -> List[str]:
+    """Every Markdown file the checker covers, relative to ``root``."""
+    files: List[str] = []
+    docs = os.path.join(root, "docs")
+    for dirpath, _dirnames, filenames in os.walk(docs):
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                files.append(os.path.relpath(os.path.join(dirpath, name), root))
+    for extra in EXTRA_FILES:
+        if os.path.exists(os.path.join(root, extra)):
+            files.append(extra)
+    return files
+
+
+def anchors_of(path: str, cache: Dict[str, Set[str]]) -> Set[str]:
+    """The set of heading anchors defined in ``path`` (memoized)."""
+    if path not in cache:
+        try:
+            with open(path) as handle:
+                body = _CODE_FENCE.sub("", handle.read())
+        except OSError:
+            cache[path] = set()
+        else:
+            cache[path] = {slugify(m.group(1)) for m in _HEADING.finditer(body)}
+    return cache[path]
+
+
+def check_file(
+    rel_path: str, root: str, anchor_cache: Dict[str, Set[str]]
+) -> List[Tuple[str, str]]:
+    """Broken links in one file: ``(target, reason)`` pairs."""
+    path = os.path.join(root, rel_path)
+    with open(path) as handle:
+        body = _CODE_FENCE.sub("", handle.read())
+    problems: List[Tuple[str, str]] = []
+    for match in _LINK.finditer(body):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if slugify(target[1:]) not in anchors_of(path, anchor_cache):
+                problems.append((target, "no such heading in this file"))
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), file_part)
+        )
+        if not os.path.exists(resolved):
+            problems.append((target, "target file does not exist"))
+            continue
+        if anchor and resolved.endswith(".md"):
+            if slugify(anchor) not in anchors_of(resolved, anchor_cache):
+                problems.append((target, "no such heading in the target file"))
+    return problems
+
+
+def main(argv=None) -> int:
+    """Scan every covered file; print and count the broken links."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the checkout containing this script)",
+    )
+    args = parser.parse_args(argv)
+    anchor_cache: Dict[str, Set[str]] = {}
+    total = 0
+    broken = 0
+    for rel_path in markdown_files(args.root):
+        problems = check_file(rel_path, args.root, anchor_cache)
+        total += 1
+        for target, reason in problems:
+            broken += 1
+            print(f"{rel_path}: {target}: {reason}", file=sys.stderr)
+    if broken:
+        print(f"{broken} broken link(s) across {total} files", file=sys.stderr)
+        return 1
+    print(f"links ok across {total} Markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
