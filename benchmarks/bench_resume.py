@@ -1,0 +1,137 @@
+"""Resume benchmark: snapshot thaw vs replay fast-forward, gated.
+
+The suspendable-enumerator core (:mod:`repro.engine.suspend`) exists to
+make resuming a deep stream O(state) instead of O(offset).  This bench
+measures exactly that claim and gates on it:
+
+1. Build a job whose solution stream is ≥ ``BENCH_RESUME_DEPTH``
+   (default 10 000) solutions deep, drive a cursor that far, and
+   checkpoint — the checkpoint embeds the serialized search state.
+2. **Snapshot resume** — ``EnumerationCursor.resume(state)`` thaws the
+   frozen branch-and-bound stack and delivers the next solution.
+3. **Replay resume** — ``EnumerationCursor.resume(state,
+   resume_mode="replay")`` re-runs the enumerator and discards the
+   first ``depth`` solutions before delivering the same next solution.
+
+Both resumes must deliver byte-identical tails, and the replay/snapshot
+time ratio must be ≥ ``BENCH_RESUME_GATE`` (default 10.0) on both
+backends — the acceptance criterion of the suspendable-core refactor.
+
+Environment knobs: ``BENCH_RESUME_DEPTH`` (resume depth),
+``BENCH_RESUME_GATE`` (speedup floor), ``BENCH_RESUME_TAIL``
+(solutions delivered after the resume; default 64), ``BENCH_RESUME_REPS``
+(repetitions, best kept; default 3).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resume.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.engine.cursor import EnumerationCursor
+from repro.engine.jobs import EnumerationJob
+
+
+def deep_job(backend: str, depth: int) -> EnumerationJob:
+    """An ``st-path`` job with comfortably more than ``depth`` solutions.
+
+    A ladder graph with ``n`` rungs has ~``2**n`` simple corner-to-corner
+    paths; rails + rungs keep the per-solution work small, so the bench
+    isolates resume cost rather than enumeration cost.
+    """
+    rungs = 2
+    while 2**rungs <= depth * 2:
+        rungs += 1
+    edges: List[Tuple[int, int]] = []
+    for i in range(rungs):
+        edges.append((2 * i, 2 * i + 2))  # top rail
+        edges.append((2 * i + 1, 2 * i + 3))  # bottom rail
+        edges.append((2 * i, 2 * i + 1))  # rung
+    edges.append((2 * rungs, 2 * rungs + 1))  # closing rung
+    return EnumerationJob.st_path(
+        edges, 0, 2 * rungs + 1, job_id="bench-resume", backend=backend
+    )
+
+
+def measure_backend(
+    backend: str, depth: int, tail: int, reps: int
+) -> Dict[str, float]:
+    """Checkpoint at ``depth`` and time both resume modes."""
+    job = deep_job(backend, depth)
+    cursor = EnumerationCursor(job)
+    prep_start = time.perf_counter()
+    head = cursor.take(depth)
+    prep_wall = time.perf_counter() - prep_start
+    if len(head) < depth:
+        raise AssertionError(
+            f"instance too shallow: {len(head)} solutions < depth {depth}"
+        )
+    state = cursor.checkpoint()
+    if "snapshot" not in state:
+        raise AssertionError("checkpoint did not embed a search snapshot")
+
+    def resume_once(mode: str) -> Tuple[float, float, List[str]]:
+        start = time.perf_counter()
+        resumed = EnumerationCursor.resume(state, resume_mode=mode)
+        got = resumed.take(tail)
+        first = time.perf_counter() - start
+        return first, time.perf_counter() - start, got
+
+    walls = {"snapshot": float("inf"), "replay": float("inf")}
+    tails = {}
+    for mode in ("snapshot", "replay"):
+        for _ in range(reps):
+            _first, wall, got = resume_once(mode)
+            walls[mode] = min(walls[mode], wall)
+            tails[mode] = got
+    if tails["snapshot"] != tails["replay"]:
+        raise AssertionError(f"{backend}: resume tails diverged between modes")
+    ratio = walls["replay"] / walls["snapshot"] if walls["snapshot"] else 0.0
+    print(
+        f"{backend:6s} depth {depth}: enumerate {prep_wall*1000:8.1f}ms | "
+        f"replay-resume {walls['replay']*1000:8.1f}ms | "
+        f"snapshot-resume {walls['snapshot']*1000:8.1f}ms | "
+        f"speedup {ratio:8.1f}x"
+    )
+    return {
+        "prep_s": prep_wall,
+        "replay_s": walls["replay"],
+        "snapshot_s": walls["snapshot"],
+        "speedup": ratio,
+    }
+
+
+def main() -> int:
+    depth = int(os.environ.get("BENCH_RESUME_DEPTH", "10000"))
+    gate = float(os.environ.get("BENCH_RESUME_GATE", "10.0"))
+    tail = int(os.environ.get("BENCH_RESUME_TAIL", "64"))
+    reps = int(os.environ.get("BENCH_RESUME_REPS", "3"))
+    print(
+        f"bench_resume: depth={depth} tail={tail} reps={reps} "
+        f"gate>={gate:.1f}x (replay/snapshot)"
+    )
+    failures: List[str] = []
+    for backend in ("object", "fast"):
+        metrics = measure_backend(backend, depth, tail, reps)
+        if metrics["speedup"] < gate:
+            failures.append(
+                f"{backend}: snapshot-resume speedup {metrics['speedup']:.1f}x "
+                f"below the {gate:.1f}x gate"
+            )
+    if failures:
+        print("RESUME GATE FAILED:", file=sys.stderr)
+        for message in failures:
+            print(f"  - {message}", file=sys.stderr)
+        return 1
+    print(f"gate passed: snapshot-resume >= {gate:.1f}x over replay on both backends")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

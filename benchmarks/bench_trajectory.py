@@ -144,7 +144,49 @@ def pinned_direct() -> List[Tuple[str, "object"]]:
             raise AssertionError("serve-replay: warm lookup missed")
         return replay.lines, replay.count
 
-    return [("ranked-approx", ranked_runner), ("serve-replay", serve_replay_runner)]
+    # resume: snapshot thaw vs replay fast-forward at a deep cursor
+    # position (benchmarks/bench_resume.py gates the full 10k-depth
+    # criterion; this entry keeps the ratio on the per-commit
+    # trajectory).  The "object" column resumes by replay, the "fast"
+    # column by thawing the checkpoint's search-state snapshot — the
+    # reported "speedup" is the O(state)-resume advantage.
+    from repro.engine.cursor import EnumerationCursor
+
+    resume_depth = 3000
+    resume_job = _resume_job(resume_depth)
+    resume_cursor = EnumerationCursor(resume_job)
+    if len(resume_cursor.take(resume_depth)) < resume_depth:
+        raise AssertionError("resume: instance too shallow for the pinned depth")
+    resume_state = resume_cursor.checkpoint()
+    if "snapshot" not in resume_state:
+        raise AssertionError("resume: checkpoint did not embed a snapshot")
+
+    def resume_runner(backend: str):
+        mode = "replay" if backend == "object" else "snapshot"
+        resumed = EnumerationCursor.resume(resume_state, resume_mode=mode)
+        lines = tuple(resumed.take(64))
+        return lines, len(lines)
+
+    return [
+        ("ranked-approx", ranked_runner),
+        ("serve-replay", serve_replay_runner),
+        ("resume", resume_runner),
+    ]
+
+
+def _resume_job(depth: int) -> EnumerationJob:
+    """A ladder-graph st-path job ≥ ``depth`` solutions deep (see
+    benchmarks/bench_resume.py)."""
+    rungs = 2
+    while 2**rungs <= depth * 2:
+        rungs += 1
+    edges = []
+    for i in range(rungs):
+        edges.extend([(2 * i, 2 * i + 2), (2 * i + 1, 2 * i + 3), (2 * i, 2 * i + 1)])
+    edges.append((2 * rungs, 2 * rungs + 1))
+    return EnumerationJob.st_path(
+        edges, 0, 2 * rungs + 1, job_id="traj-resume", backend="fast"
+    )
 
 
 def _with_backend(job: EnumerationJob, backend: str) -> EnumerationJob:

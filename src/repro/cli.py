@@ -294,6 +294,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--stats", action="store_true", help="print a run summary to stderr"
     )
+    p.add_argument(
+        "--checkpoints",
+        default=None,
+        help="directory of per-job cursor checkpoints: every job (which "
+        "then needs an 'id') resumes from its checkpoint, and re-running "
+        "the same command continues the batch until all jobs exhaust",
+    )
+    p.add_argument(
+        "--resume-mode",
+        choices=("snapshot", "replay"),
+        default="snapshot",
+        help="how checkpointed jobs resume: thaw the serialized search "
+        "state (O(state), suspendable kinds) or replay fast-forward "
+        "(O(offset), always available)",
+    )
+
+    p = sub.add_parser(
+        "snapshot",
+        help="inspect a search-state snapshot (header only, no payload "
+        "deserialization)",
+    )
+    p.add_argument(
+        "file",
+        help="a raw snapshot blob, or a cursor checkpoint JSON with an "
+        "embedded snapshot (e.g. written by `repro batch --checkpoints`)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the raw header as JSON"
+    )
 
     p = sub.add_parser(
         "serve",
@@ -497,6 +526,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
               f"label map: {pairs}", file=out)
     elif args.command == "batch":
         _run_batch(args, out)
+    elif args.command == "snapshot":
+        return _run_snapshot(args, out)
     elif args.command == "serve":
         _run_serve(args, out)
     elif args.command == "client":
@@ -636,6 +667,9 @@ def _run_batch(args, out) -> None:
         if args.no_cache
         else InstanceCache(maxsize=args.cache_size, spill_dir=args.spill_dir)
     )
+    if args.checkpoints is not None:
+        _run_batch_checkpointed(args, jobs, cache, out)
+        return
     runner = BatchRunner(workers=args.workers, cache=cache)
     results = runner.run(jobs)
     for result in results:
@@ -651,6 +685,131 @@ def _run_batch(args, out) -> None:
             f"{stats['wall_seconds']:.3f}s on {args.workers} worker(s)",
             file=sys.stderr,
         )
+
+
+def _run_batch_checkpointed(args, jobs, cache, out) -> None:
+    """``repro batch --checkpoints DIR``: restartable cursor-driven runs.
+
+    Each job streams through an :class:`EnumerationCursor`; a job that
+    stops early (limit / deadline / budget) checkpoints to
+    ``DIR/<job_id>.json`` — with the serialized search state embedded
+    for suspendable kinds — and the next invocation of the same command
+    resumes every unfinished job from its checkpoint (``--resume-mode``
+    picks snapshot thaw vs replay fast-forward).  Exhausted jobs drop
+    their checkpoints.
+    """
+    import hashlib
+    import json
+    import os
+
+    from repro.engine.cursor import EnumerationCursor
+    from repro.exceptions import ReproError
+
+    os.makedirs(args.checkpoints, exist_ok=True)
+    missing = [i for i, job in enumerate(jobs, 1) if not job.job_id]
+    if missing:
+        raise SystemExit(
+            f"--checkpoints needs an 'id' on every job (missing on line(s) "
+            f"{', '.join(map(str, missing))})"
+        )
+    # `cache` is False for --no-cache, else an InstanceCache (which is
+    # falsy while empty — do not truthiness-test it away).
+    cache = None if cache is False else cache
+    for job in jobs:
+        digest = hashlib.sha256(job.job_id.encode()).hexdigest()[:40]
+        path = os.path.join(args.checkpoints, f"{digest}.json")
+        try:
+            if os.path.exists(path):
+                cursor = EnumerationCursor.load(
+                    path, cache=cache, job=job, resume_mode=args.resume_mode
+                )
+            else:
+                cursor = EnumerationCursor(job, cache=cache)
+            start = cursor.offset
+            lines = cursor.drain()
+        except ReproError as exc:
+            raise SystemExit(f"job {job.job_id!r}: {exc}") from exc
+        complete = cursor.exhausted and cursor.stop_reason is None
+        if complete:
+            if os.path.exists(path):
+                os.unlink(path)
+        else:
+            cursor.save(path)
+        if args.text:
+            for line in lines:
+                print(line, file=out)
+        else:
+            print(
+                json.dumps(
+                    {
+                        "id": job.job_id,
+                        "kind": job.kind,
+                        "count": len(lines),
+                        "offset": start,
+                        "position": cursor.offset,
+                        "exhausted": complete,
+                        "stop_reason": cursor.stop_reason,
+                        "lines": lines,
+                    },
+                    sort_keys=True,
+                ),
+                file=out,
+            )
+
+
+def _run_snapshot(args, out) -> int:
+    """The ``snapshot`` subcommand body: dump a snapshot's header.
+
+    Accepts a raw snapshot blob or any JSON document with an embedded
+    base64 ``snapshot`` field (cursor checkpoints, store records).  Only
+    the envelope header is parsed — the payload is never deserialized,
+    so inspection is safe on untrusted files.
+    """
+    import base64
+    import json
+
+    from repro.core.suspend import SNAPSHOT_MAGIC, SnapshotError, read_snapshot_header
+
+    try:
+        with open(args.file, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.file}: {exc}") from exc
+    blob = None
+    if raw.startswith(SNAPSHOT_MAGIC):
+        blob = raw
+    else:
+        try:
+            document = json.loads(raw.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            document = None
+        node = document
+        if isinstance(node, dict) and isinstance(node.get("state"), dict):
+            node = node["state"]  # ResultStore cursor record wrapper
+        if isinstance(node, dict) and node.get("snapshot"):
+            try:
+                blob = base64.b64decode(node["snapshot"])
+            except (ValueError, TypeError):
+                blob = None
+    if blob is None:
+        print(f"{args.file}: no snapshot found", file=sys.stderr)
+        return 1
+    try:
+        header = read_snapshot_header(blob)
+    except SnapshotError as exc:
+        print(f"{args.file}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(header, sort_keys=True), file=out)
+        return 0
+    print(f"kind:        {header['kind']}", file=out)
+    print(f"backend:     {header['backend']}", file=out)
+    print(f"fingerprint: {header['fingerprint']}", file=out)
+    print(f"frames:      {header.get('frames')}", file=out)
+    print(f"emitted:     {header.get('emitted')}", file=out)
+    print(f"python:      {header.get('python')}", file=out)
+    print(f"payload:     {len(blob)} bytes", file=out)
+    return 0
 
 
 def _run_stp(args, out) -> None:

@@ -19,8 +19,7 @@ the equivalence concretely:
 
 from __future__ import annotations
 
-import itertools
-from typing import FrozenSet, Hashable, Iterator, List, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.graphs.graph import Graph
 from repro.graphs.spanning import is_tree, tree_leaves
@@ -54,15 +53,95 @@ def is_internal_steiner_tree(
     return all(w in vs and w not in leaves for w in terminals)
 
 
+class InternalSteinerSearch:
+    """Suspendable exhaustive internal-Steiner-tree enumeration.
+
+    No polynomial-delay algorithm exists unless P = NP (Theorem 37), so
+    the search state here is not a branch-and-bound stack but the
+    position in the subset lattice: the current cardinality ``r`` and
+    the index vector of the current ``r``-combination of the sorted edge
+    id list (``itertools.combinations`` order, stepped explicitly).
+    :meth:`state` / :meth:`restore` freeze and thaw that position, which
+    matters precisely because the brute force is expensive: an
+    interrupted hardness experiment resumes where it stopped instead of
+    re-testing the entire prefix of the lattice.
+    """
+
+    def __init__(self, graph: Graph, terminals: Sequence[Vertex]) -> None:
+        self.graph = graph
+        self.terminals: List[Vertex] = list(terminals)
+        self.eids: List[int] = sorted(graph.edge_ids())
+        self.r = 0
+        self.indices: Optional[List[int]] = None  # None = start of rank r
+        self.done = False
+        self.emitted = 0
+
+    def advance(self) -> Optional[FrozenSet[int]]:
+        """The next internal Steiner tree, or ``None`` when exhausted."""
+        n = len(self.eids)
+        while not self.done:
+            if self.indices is None:
+                if self.r > n:
+                    self.done = True
+                    break
+                self.indices = list(range(self.r))
+            else:
+                # Step to the next r-combination in lexicographic order.
+                i = self.r - 1
+                while i >= 0 and self.indices[i] == i + n - self.r:
+                    i -= 1
+                if i < 0:
+                    self.r += 1
+                    self.indices = None
+                    continue
+                self.indices[i] += 1
+                for j in range(i + 1, self.r):
+                    self.indices[j] = self.indices[j - 1] + 1
+            sub = tuple(self.eids[i] for i in self.indices)
+            if is_internal_steiner_tree(self.graph, sub, self.terminals):
+                self.emitted += 1
+                return frozenset(sub)
+        return None
+
+    # -- snapshot plumbing ---------------------------------------------
+    @property
+    def frame_count(self) -> int:
+        """Search depth proxy: the current combination cardinality."""
+        return self.r
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data lattice position."""
+        return {
+            "terminals": list(self.terminals),
+            "r": self.r,
+            "indices": None if self.indices is None else list(self.indices),
+            "done": self.done,
+            "emitted": self.emitted,
+        }
+
+    @classmethod
+    def restore(cls, graph: Graph, state: Dict[str, Any]) -> "InternalSteinerSearch":
+        """Rebuild the search over ``graph`` from a :meth:`state` dict."""
+        machine = cls(graph, state["terminals"])
+        machine.r = state["r"]
+        machine.indices = (
+            None if state["indices"] is None else list(state["indices"])
+        )
+        machine.done = state["done"]
+        machine.emitted = state["emitted"]
+        return machine
+
+
 def enumerate_internal_steiner_trees_brute(
     graph: Graph, terminals: Sequence[Vertex]
 ) -> Iterator[FrozenSet[int]]:
     """All internal Steiner trees by exhaustion (tiny instances only)."""
-    eids = sorted(graph.edge_ids())
-    for r in range(len(eids) + 1):
-        for sub in itertools.combinations(eids, r):
-            if is_internal_steiner_tree(graph, sub, terminals):
-                yield frozenset(sub)
+    machine = InternalSteinerSearch(graph, terminals)
+    while True:
+        tree = machine.advance()
+        if tree is None:
+            return
+        yield tree
 
 
 def has_internal_steiner_tree(graph: Graph, terminals: Sequence[Vertex]) -> bool:

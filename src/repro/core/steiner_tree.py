@@ -28,7 +28,9 @@ the paper composes the two algorithms.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Hashable,
@@ -54,8 +56,8 @@ from repro.graphs.fastgraph import (
 from repro.graphs.graph import Graph
 from repro.graphs.spanning import minimal_steiner_completion
 from repro.graphs.traversal import component_of
-from repro.paths.fastpaths import fast_enumerate_set_paths
-from repro.paths.read_tarjan import enumerate_set_paths
+from repro.paths.fastpaths import FastPathSearch, fast_set_path_search
+from repro.paths.read_tarjan import SetPathSearch
 
 Vertex = Hashable
 Solution = FrozenSet[int]
@@ -83,13 +85,24 @@ def _terminals_connected(graph: Graph, terminals: Sequence[Vertex], meter) -> bo
 
 class _PartialTree:
     """Shared mutable state: the partial Steiner tree ``T`` of the node
-    currently being visited, with O(path length) apply/undo."""
+    currently being visited, with O(path length) apply/undo.
+
+    ``vertices`` is an insertion-ordered dict (used as an ordered set):
+    its iteration order — the order in which vertices were attached to
+    ``T`` — is the order handed to the path enumerators as the source
+    set.  That makes every order-sensitive decision a deterministic
+    function of the search path itself, which is what lets a restored
+    snapshot (which replays the surviving attach records) reproduce the
+    uninterrupted run's remaining stream byte-for-byte; a plain
+    ``set``'s iteration order would depend on its full mutation history,
+    including branches long since undone.
+    """
 
     __slots__ = ("edges", "vertices", "uncovered")
 
     def __init__(self, start: Vertex, terminals: Sequence[Vertex]):
         self.edges: Set[int] = set()
-        self.vertices: Set[Vertex] = {start}
+        self.vertices: Dict[Vertex, None] = {start: None}
         self.uncovered: Set[Vertex] = set(terminals) - {start}
 
     def apply(self, path) -> Tuple[Tuple[int, ...], Tuple[Vertex, ...], Tuple[Vertex, ...]]:
@@ -98,14 +111,24 @@ class _PartialTree:
         new_vertices = tuple(path.vertices[1:])  # vertices[0] is in V(T)
         covered = tuple(v for v in new_vertices if v in self.uncovered)
         self.edges.update(new_edges)
-        self.vertices.update(new_vertices)
+        for v in new_vertices:
+            self.vertices[v] = None
         self.uncovered.difference_update(covered)
         return new_edges, new_vertices, covered
+
+    def apply_record(self, record) -> None:
+        """Re-apply a stored undo record (snapshot restore path)."""
+        new_edges, new_vertices, covered = record
+        self.edges.update(new_edges)
+        for v in new_vertices:
+            self.vertices[v] = None
+        self.uncovered.difference_update(covered)
 
     def undo(self, record) -> None:
         new_edges, new_vertices, covered = record
         self.edges.difference_update(new_edges)
-        self.vertices.difference_update(new_vertices)
+        for v in new_vertices:
+            del self.vertices[v]
         self.uncovered.update(covered)
 
 
@@ -228,78 +251,268 @@ def _fast_completion_branch_terminal(
     return None, frozenset(completion)
 
 
-def _fast_steiner_tree_events(
-    graph, terminals: Sequence[Vertex], meter, improved: bool
-) -> Iterator[Event]:
-    """Fast-backend event stream (same stream as the object backend on
-    integer-compact instances; see :mod:`repro.core.backend`)."""
-    fg, index = compile_undirected(graph)
-    ordered = map_query_vertices(index, terminals)
-    labels = fast_component_labels(fg, meter=meter)
-    root_label = labels[ordered[0]]
-    if any(labels[w] != root_label for w in ordered):
-        return
-    if len(ordered) == 1:
-        yield (DISCOVER, 0, 0)
-        yield (SOLUTION, frozenset())
-        yield (EXAMINE, 0, 0)
-        return
+class _TreeFrame:
+    """One enumeration-tree activation: a path machine plus undo data."""
 
-    bridges = fast_bridges(fg, meter=meter) if improved else frozenset()
-    state = _PartialTree(ordered[0], ordered)
-    node_counter = 0
+    __slots__ = ("paths", "record", "node_id", "depth", "sources", "branch")
 
-    def node_action() -> Tuple[str, object]:
-        if improved:
+    def __init__(self, paths, record, node_id, depth, sources, branch):
+        self.paths = paths  # suspendable path search (``next_path()``)
+        self.record = record  # partial-tree undo record (None at the root)
+        self.node_id = node_id
+        self.depth = depth
+        self.sources = sources  # ordered V(T) at frame creation
+        self.branch = branch  # the branch terminal this frame expands
+
+
+class SteinerTreeSearch:
+    """Suspendable machine of the minimal-Steiner-tree enumeration.
+
+    One :meth:`advance` call returns the next traversal event
+    (``discover`` / ``solution`` / ``examine``) or ``None`` when the
+    enumeration is exhausted, for both the ``object`` and ``fast``
+    backends and both branching rules (``improved`` per Theorem 17,
+    plain Algorithm 2 otherwise).  :meth:`state` captures the complete
+    search state as plain data — the frame stack (each frame holding its
+    path machine's state, its undo record and its ordered source set),
+    the pending event queue and the node counter — and :meth:`restore`
+    rebuilds the machine mid-enumeration so that the remaining stream is
+    byte-identical to the uninterrupted run's tail.  Static analysis
+    (backend compilation, bridges, connectivity) is recomputed from the
+    instance on restore, never serialized.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        terminals: Sequence[Vertex],
+        meter=None,
+        improved: bool = True,
+        backend: str = "object",
+    ) -> None:
+        check_backend(backend)
+        self.graph = graph
+        self.meter = meter
+        self.improved = improved
+        self.backend = backend
+        self.input_terminals: List[Vertex] = list(terminals)
+        ordered = _validate_instance(graph, self.input_terminals)
+        self.fast = backend == "fast"
+        self._dead = False
+        if self.fast:
+            self.fg, index = compile_undirected(graph)
+            ordered = map_query_vertices(index, ordered)
+            labels = fast_component_labels(self.fg, meter=meter)
+            root_label = labels[ordered[0]]
+            if any(labels[w] != root_label for w in ordered):
+                self._dead = True
+        else:
+            self.fg = None
+            if not _terminals_connected(graph, ordered, meter):
+                self._dead = True
+        self.ordered = ordered
+        self.bridges: FrozenSet[int] = frozenset()
+        if improved and not self._dead and len(ordered) > 1:
+            self.bridges = (
+                fast_bridges(self.fg, meter=meter)
+                if self.fast
+                else find_bridges(graph, meter=meter)
+            )
+        self.state_tree = _PartialTree(ordered[0], ordered)
+        self.node_counter = 0
+        self.stack: List[_TreeFrame] = []
+        self.pending: deque = deque()
+        self.phase = 0  # 0 = not started, 1 = running, 2 = exhausted
+        self.emitted = 0  # solutions produced (header bookkeeping)
+
+    # ------------------------------------------------------------------
+    def advance(self) -> Optional[Event]:
+        """The next traversal event, or ``None`` when exhausted."""
+        while True:
+            if self.pending:
+                event = self.pending.popleft()
+                if event[0] == SOLUTION:
+                    self.emitted += 1
+                return event
+            if self.phase == 2:
+                return None
+            if self.phase == 0:
+                self._start()
+            else:
+                self._step()
+
+    def _node_action(self) -> Tuple[str, object]:
+        """Classify the current node: output a leaf or pick a branch
+        terminal."""
+        state = self.state_tree
+        if self.improved:
             if not state.uncovered:
                 return ("leaf", frozenset(state.edges))
-            w, completion = _fast_completion_branch_terminal(
-                fg, state, ordered, bridges, meter
-            )
+            if self.fast:
+                w, completion = _fast_completion_branch_terminal(
+                    self.fg, state, self.ordered, self.bridges, self.meter
+                )
+            else:
+                w, completion = _completion_branch_terminal(
+                    self.graph, state, self.ordered, self.bridges, self.meter
+                )
             if w is None:
                 return ("leaf", completion)
             return ("branch", w)
         if not state.uncovered:
             return ("leaf", frozenset(state.edges))
-        for w in ordered:
+        # Plain Algorithm 2: first uncovered terminal in the fixed order.
+        for w in self.ordered:
             if w in state.uncovered:
                 return ("branch", w)
         raise AssertionError("unreachable")
 
-    yield (DISCOVER, node_counter, 0)
-    kind, payload = node_action()
-    if kind == "leaf":
-        yield (SOLUTION, payload)
-        yield (EXAMINE, node_counter, 0)
-        return
+    def _open_paths(self, sources: Tuple[Vertex, ...], branch: Vertex):
+        """A suspendable ``V(T)``-``branch`` path search on the backend."""
+        if self.fast:
+            return fast_set_path_search(
+                self.fg, sources, (branch,), meter=self.meter
+            )
+        return SetPathSearch(self.graph, sources, (branch,), meter=self.meter)
 
-    root_paths = fast_enumerate_set_paths(
-        fg, frozenset(state.vertices), (payload,), meter=meter
-    )
-    stack: List[List[object]] = [[root_paths, None, node_counter, 0]]
-    while stack:
-        frame = stack[-1]
-        paths, _undo, node_id, depth = frame
-        path = next(paths, None)  # type: ignore[arg-type]
-        if path is None:
-            yield (EXAMINE, node_id, depth)
-            stack.pop()
-            if frame[1] is not None:
-                state.undo(frame[1])
-            continue
-        record = state.apply(path)
-        node_counter += 1
-        yield (DISCOVER, node_counter, depth + 1)
-        kind, payload = node_action()
+    def _start(self) -> None:
+        self.phase = 1
+        if self._dead:
+            self.phase = 2
+            return
+        if len(self.ordered) == 1:
+            self.pending.append((DISCOVER, 0, 0))
+            self.pending.append((SOLUTION, frozenset()))
+            self.pending.append((EXAMINE, 0, 0))
+            self.phase = 2
+            return
+        self.pending.append((DISCOVER, self.node_counter, 0))
+        kind, payload = self._node_action()
         if kind == "leaf":
-            yield (SOLUTION, payload)
-            yield (EXAMINE, node_counter, depth + 1)
-            state.undo(record)
-            continue
-        child_paths = fast_enumerate_set_paths(
-            fg, frozenset(state.vertices), (payload,), meter=meter
+            self.pending.append((SOLUTION, payload))
+            self.pending.append((EXAMINE, self.node_counter, 0))
+            self.phase = 2
+            return
+        sources = tuple(self.state_tree.vertices)
+        self.stack.append(
+            _TreeFrame(
+                self._open_paths(sources, payload),
+                None,
+                self.node_counter,
+                0,
+                sources,
+                payload,
+            )
         )
-        stack.append([child_paths, record, node_counter, depth + 1])
+
+    def _step(self) -> None:
+        """One enumeration-tree traversal step (the old loop body)."""
+        if not self.stack:
+            self.phase = 2
+            return
+        frame = self.stack[-1]
+        path = frame.paths.next_path()
+        if path is None:
+            self.pending.append((EXAMINE, frame.node_id, frame.depth))
+            self.stack.pop()
+            if frame.record is not None:
+                self.state_tree.undo(frame.record)
+            return
+        record = self.state_tree.apply(path)
+        self.node_counter += 1
+        self.pending.append((DISCOVER, self.node_counter, frame.depth + 1))
+        kind, payload = self._node_action()
+        if kind == "leaf":
+            self.pending.append((SOLUTION, payload))
+            self.pending.append((EXAMINE, self.node_counter, frame.depth + 1))
+            self.state_tree.undo(record)
+            return
+        sources = tuple(self.state_tree.vertices)
+        self.stack.append(
+            _TreeFrame(
+                self._open_paths(sources, payload),
+                record,
+                self.node_counter,
+                frame.depth + 1,
+                sources,
+                payload,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # snapshot plumbing
+    # ------------------------------------------------------------------
+    @property
+    def frame_count(self) -> int:
+        """Search-stack depth (tree frames + their path-machine frames)."""
+        return len(self.stack) + sum(
+            len(f.paths.stack)
+            if isinstance(f.paths, FastPathSearch)
+            else len(f.paths.machine.stack)
+            for f in self.stack
+        )
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data search state (static analysis is recomputed)."""
+        return {
+            "terminals": list(self.input_terminals),
+            "improved": self.improved,
+            "backend": self.backend,
+            "node_counter": self.node_counter,
+            "phase": self.phase,
+            "emitted": self.emitted,
+            "pending": list(self.pending),
+            "frames": [
+                {
+                    "paths": frame.paths.state(),
+                    "record": frame.record,
+                    "node_id": frame.node_id,
+                    "depth": frame.depth,
+                    "sources": tuple(frame.sources),
+                    "branch": frame.branch,
+                }
+                for frame in self.stack
+            ],
+        }
+
+    def _restore_paths(self, paths_state: Dict[str, Any]):
+        if self.fast:
+            return FastPathSearch.restore(self.fg, paths_state, self.meter)
+        return SetPathSearch.restore(self.graph, paths_state, self.meter)
+
+    @classmethod
+    def restore(cls, graph: Graph, state: Dict[str, Any], meter=None):
+        """Rebuild a machine over ``graph`` from a :meth:`state` dict.
+
+        ``graph`` must be (a deterministic reconstruction of) the
+        instance the state was captured on; enumerator-level snapshots
+        bind that with the instance fingerprint.
+        """
+        machine = cls(
+            graph,
+            state["terminals"],
+            meter=meter,
+            improved=state["improved"],
+            backend=state["backend"],
+        )
+        machine.node_counter = state["node_counter"]
+        machine.phase = state["phase"]
+        machine.emitted = state["emitted"]
+        machine.pending = deque(state["pending"])
+        for fstate in state["frames"]:
+            if fstate["record"] is not None:
+                machine.state_tree.apply_record(fstate["record"])
+            machine.stack.append(
+                _TreeFrame(
+                    machine._restore_paths(fstate["paths"]),
+                    fstate["record"],
+                    fstate["node_id"],
+                    fstate["depth"],
+                    tuple(fstate["sources"]),
+                    fstate["branch"],
+                )
+            )
+        return machine
 
 
 def steiner_tree_events(
@@ -315,80 +528,18 @@ def steiner_tree_events(
     ``solution`` per minimal Steiner tree.  ``improved=False`` runs plain
     Algorithm 2 (used by the AB-bridge ablation).  ``backend="fast"``
     compiles the instance into the integer kernel
-    (:mod:`repro.graphs.fastgraph`) and yields the same stream.
+    (:mod:`repro.graphs.fastgraph`) and yields the same stream.  Both
+    drain a :class:`SteinerTreeSearch` machine, which is the suspendable
+    form of this traversal.
     """
-    check_backend(backend)
-    ordered = _validate_instance(graph, terminals)
-    if backend == "fast":
-        yield from _fast_steiner_tree_events(graph, ordered, meter, improved)
-        return
-    if not _terminals_connected(graph, ordered, meter):
-        return
-    if len(ordered) == 1:
-        yield (DISCOVER, 0, 0)
-        yield (SOLUTION, frozenset())
-        yield (EXAMINE, 0, 0)
-        return
-
-    bridges = find_bridges(graph, meter=meter) if improved else frozenset()
-    state = _PartialTree(ordered[0], ordered)
-    node_counter = 0
-
-    def node_action() -> Tuple[str, object]:
-        """Classify the current node: output a leaf or pick a branch
-        terminal."""
-        if improved:
-            if not state.uncovered:
-                return ("leaf", frozenset(state.edges))
-            w, completion = _completion_branch_terminal(
-                graph, state, ordered, bridges, meter
-            )
-            if w is None:
-                return ("leaf", completion)
-            return ("branch", w)
-        if not state.uncovered:
-            return ("leaf", frozenset(state.edges))
-        # Plain Algorithm 2: first uncovered terminal in the fixed order.
-        for w in ordered:
-            if w in state.uncovered:
-                return ("branch", w)
-        raise AssertionError("unreachable")
-
-    yield (DISCOVER, node_counter, 0)
-    kind, payload = node_action()
-    if kind == "leaf":
-        yield (SOLUTION, payload)
-        yield (EXAMINE, node_counter, 0)
-        return
-
-    # Stack frames: (path generator, undo record or None, node id, depth).
-    root_paths = enumerate_set_paths(
-        graph, frozenset(state.vertices), (payload,), meter=meter
+    machine = SteinerTreeSearch(
+        graph, terminals, meter=meter, improved=improved, backend=backend
     )
-    stack: List[List[object]] = [[root_paths, None, node_counter, 0]]
-    while stack:
-        frame = stack[-1]
-        paths, _undo, node_id, depth = frame
-        path = next(paths, None)  # type: ignore[arg-type]
-        if path is None:
-            yield (EXAMINE, node_id, depth)
-            stack.pop()
-            if frame[1] is not None:
-                state.undo(frame[1])
-            continue
-        record = state.apply(path)
-        node_counter += 1
-        yield (DISCOVER, node_counter, depth + 1)
-        kind, payload = node_action()
-        if kind == "leaf":
-            yield (SOLUTION, payload)
-            yield (EXAMINE, node_counter, depth + 1)
-            state.undo(record)
-            continue
-        child_paths = enumerate_set_paths(
-            graph, frozenset(state.vertices), (payload,), meter=meter
-        )
-        stack.append([child_paths, record, node_counter, depth + 1])
+    while True:
+        event = machine.advance()
+        if event is None:
+            return
+        yield event
 
 
 def enumerate_minimal_steiner_trees(

@@ -37,7 +37,9 @@ O(n+m) delay with the output-queue regulator (Theorem 31).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Hashable,
@@ -63,10 +65,11 @@ from repro.graphs.graph import Graph
 from repro.graphs.spanning import prune_non_terminal_leaves, spanning_tree_edges
 from repro.graphs.traversal import connected_components
 from repro.paths.fastpaths import (
-    fast_enumerate_set_paths,
-    fast_enumerate_st_paths_undirected,
+    FastPathSearch,
+    fast_set_path_search,
+    fast_st_path_search,
 )
-from repro.paths.read_tarjan import enumerate_set_paths, enumerate_st_paths_undirected
+from repro.paths.read_tarjan import SetPathSearch, StPathSearch
 
 Vertex = Hashable
 Solution = FrozenSet[int]
@@ -168,11 +171,19 @@ def valid_components(
 
 
 class _PartialTree:
+    """Partial terminal Steiner tree with ordered vertex attachment.
+
+    ``vertices`` is an insertion-ordered dict used as an ordered set —
+    see :class:`repro.core.steiner_tree._PartialTree` for why attachment
+    order (not hash-table history) must drive the path enumerators'
+    source ordering for snapshots to restore byte-identically.
+    """
+
     __slots__ = ("edges", "vertices", "uncovered")
 
     def __init__(self, terminals: Sequence[Vertex]):
         self.edges: Set[int] = set()
-        self.vertices: Set[Vertex] = set()
+        self.vertices: Dict[Vertex, None] = {}
         self.uncovered: Set[Vertex] = set(terminals)
 
     def apply_path(self, path_vertices, path_eids):
@@ -180,14 +191,24 @@ class _PartialTree:
         new_vertices = tuple(v for v in path_vertices if v not in self.vertices)
         covered = tuple(v for v in new_vertices if v in self.uncovered)
         self.edges.update(new_edges)
-        self.vertices.update(new_vertices)
+        for v in new_vertices:
+            self.vertices[v] = None
         self.uncovered.difference_update(covered)
         return new_edges, new_vertices, covered
+
+    def apply_record(self, record):
+        """Re-apply a stored undo record (snapshot restore path)."""
+        new_edges, new_vertices, covered = record
+        self.edges.update(new_edges)
+        for v in new_vertices:
+            self.vertices[v] = None
+        self.uncovered.difference_update(covered)
 
     def undo(self, record):
         new_edges, new_vertices, covered = record
         self.edges.difference_update(new_edges)
-        self.vertices.difference_update(new_vertices)
+        for v in new_vertices:
+            del self.vertices[v]
         self.uncovered.update(covered)
 
 
@@ -342,6 +363,357 @@ def _leaf_completion(
     return frozenset(pruned)
 
 
+class _TsFrame:
+    """One enumeration-tree activation: a path machine plus undo data."""
+
+    __slots__ = ("paths", "record", "node_id", "depth", "kind", "branch", "sources")
+
+    def __init__(self, paths, record, node_id, depth, kind, branch, sources):
+        self.paths = paths  # suspendable path search (``next_path()``)
+        self.record = record  # partial-tree undo record (None at a root)
+        self.node_id = node_id
+        self.depth = depth
+        self.kind = kind  # "root" (w0-w1 paths) or "child" (V(T)-w paths)
+        self.branch = branch  # branch terminal for "child" frames
+        self.sources = sources  # ordered V(T) ∩ C at frame creation
+
+
+class TerminalSteinerSearch:
+    """Suspendable machine of the terminal-Steiner-tree enumeration.
+
+    The machine form of :func:`terminal_steiner_events`: per valid
+    component it grows a partial tree by suspendable path searches, so
+    the complete search state — current component index, frame stack
+    (each frame holding its path machine's state and undo record) and
+    pending event queue — serializes as plain data via :meth:`state` and
+    restores mid-enumeration via :meth:`restore` with a byte-identical
+    remaining stream.  Component analysis, kernels and sub-graph copies
+    are recomputed from the instance on restore.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        terminals: Sequence[Vertex],
+        meter=None,
+        improved: bool = True,
+        backend: str = "object",
+    ) -> None:
+        check_backend(backend)
+        self.meter = meter
+        self.improved = improved
+        self.backend = backend
+        self.fast = backend == "fast"
+        self.input_terminals: List[Vertex] = list(terminals)
+        if self.fast:
+            fg, index = compile_undirected(graph)
+            self.graph = fg  # FastGraph implements the Graph protocol
+            terminals = map_query_vertices(index, terminals)
+        else:
+            self.graph = graph
+        self.ordered = _validate(self.graph, terminals)
+        self.two = len(self.ordered) == 2
+        if self.two:
+            self.components: List[_Component] = []
+        else:
+            self.components = [
+                _Component(self.graph, comp, self.ordered, meter)
+                for comp in valid_components(self.graph, self.ordered, meter=meter)
+            ]
+        self.comp_index = 0
+        self.state_tree: Optional[_PartialTree] = None
+        self.two_machine = None
+        self.node_counter = 0
+        self.stack: List[_TsFrame] = []
+        self.pending: deque = deque()
+        self.phase = 0  # 0 = not started, 1 = running, 2 = exhausted
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    def advance(self) -> Optional[Event]:
+        """The next traversal event, or ``None`` when exhausted."""
+        while True:
+            if self.pending:
+                event = self.pending.popleft()
+                if event[0] == SOLUTION:
+                    self.emitted += 1
+                return event
+            if self.phase == 2:
+                return None
+            if self.phase == 0:
+                self._start()
+            elif self.two:
+                self._step_two()
+            else:
+                self._step()
+
+    # -- |W| = 2: s-t path enumeration (paper, §5.1) -------------------
+    def _open_two(self):
+        if self.fast:
+            return fast_st_path_search(
+                self.graph, self.ordered[0], self.ordered[1], meter=self.meter
+            )
+        return StPathSearch(
+            self.graph, self.ordered[0], self.ordered[1], meter=self.meter
+        )
+
+    def _step_two(self) -> None:
+        path = self.two_machine.next_path()
+        if path is None:
+            self.pending.append((EXAMINE, 0, 0))
+            self.phase = 2
+            return
+        if len(path.arcs) == 0:
+            return
+        self.pending.append((SOLUTION, frozenset(path.arcs)))
+
+    # -- |W| >= 3: per-component partial-tree growth -------------------
+    def _start(self) -> None:
+        self.phase = 1
+        if self.two:
+            self.pending.append((DISCOVER, 0, 0))
+            self.two_machine = self._open_two()
+            return
+        if not self.components:
+            self.phase = 2
+            return
+        self.pending.append((DISCOVER, 0, 0))
+        self._enter_component()
+
+    def _enter_component(self) -> None:
+        comp = self.components[self.comp_index]
+        self.state_tree = _PartialTree(self.ordered)
+        self.stack = [
+            _TsFrame(self._open_root(comp), None, self.node_counter, 0, "root", None, ())
+        ]
+
+    def _node_action(self, comp: _Component) -> Tuple[str, object]:
+        state = self.state_tree
+        ordered = self.ordered
+        meter = self.meter
+        if not state.uncovered:
+            return ("leaf", frozenset(state.edges))
+        if not self.improved:
+            for w in ordered:
+                if w in state.uncovered:
+                    return ("branch", w)
+            raise AssertionError("unreachable")
+        if self.fast:
+            spanning, flag_of = _fast_completion_and_flags(
+                comp, state, self.graph.n_space, meter
+            )
+        else:
+            spanning, flag = _completion_and_flags(comp, state, ordered, meter)
+            flag_of = lambda v: flag.get(v, True)  # noqa: E731
+        for w in ordered:
+            if w not in state.uncovered:
+                continue
+            edges_into_c = comp.terminal_edges[w]
+            if len(edges_into_c) >= 2:
+                return ("branch", w)
+            eid, v = edges_into_c[0]
+            if not flag_of(v):
+                return ("branch", w)
+        if self.fast:
+            return (
+                "leaf",
+                _fast_leaf_completion(
+                    comp, state, ordered, spanning, self.graph.n_space, meter
+                ),
+            )
+        return ("leaf", _leaf_completion(comp, state, ordered, spanning, meter))
+
+    def _child_sub(self, comp: _Component, w: Vertex) -> Graph:
+        """``G[C ∪ {w}]`` (object backend): the child-path substrate."""
+        sub = Graph()
+        for v in comp.vertices:
+            sub.add_vertex(v)
+        for edge in comp.graph_c.edges():
+            sub.add_edge(edge.u, edge.v, eid=edge.eid)
+        sub.add_vertex(w)
+        for eid, other in comp.terminal_edges[w]:
+            sub.add_edge(w, other, eid=eid)
+        return sub
+
+    def _root_sub(self, comp: _Component) -> Graph:
+        """``G[C ∪ {w0, w1}]`` (object backend): the root-path substrate."""
+        w0, w1 = self.ordered[0], self.ordered[1]
+        sub = Graph()
+        for v in comp.vertices:
+            sub.add_vertex(v)
+        for edge in comp.graph_c.edges():
+            sub.add_edge(edge.u, edge.v, eid=edge.eid)
+        for w in (w0, w1):
+            sub.add_vertex(w)
+            for eid, other in comp.terminal_edges[w]:
+                sub.add_edge(w, other, eid=eid)
+        return sub
+
+    def _open_child(self, comp: _Component, sources: Tuple[Vertex, ...], w: Vertex):
+        """Paths from (V(T) ∩ C) to ``w`` inside ``G[C ∪ {w}]``."""
+        if self.fast:
+            return fast_set_path_search(
+                comp.kernel(self.graph.n_space),
+                sources,
+                (w,),
+                meter=self.meter,
+                excluded=[t for t in self.ordered if t != w],
+            )
+        return SetPathSearch(self._child_sub(comp, w), sources, (w,), meter=self.meter)
+
+    def _open_root(self, comp: _Component):
+        """Root children for a component: w0-w1 paths in G[C ∪ {w0, w1}]."""
+        w0, w1 = self.ordered[0], self.ordered[1]
+        if self.fast:
+            return fast_st_path_search(
+                comp.kernel(self.graph.n_space),
+                w0,
+                w1,
+                meter=self.meter,
+                excluded=[t for t in self.ordered if t != w0 and t != w1],
+            )
+        return StPathSearch(self._root_sub(comp), w0, w1, meter=self.meter)
+
+    def _step(self) -> None:
+        """One enumeration-tree traversal step (the old loop body)."""
+        if not self.stack:
+            self.comp_index += 1
+            if self.comp_index < len(self.components):
+                self._enter_component()
+            else:
+                self.pending.append((EXAMINE, 0, 0))
+                self.phase = 2
+            return
+        comp = self.components[self.comp_index]
+        frame = self.stack[-1]
+        path = frame.paths.next_path()
+        if path is None:
+            if frame.depth > 0:
+                self.pending.append((EXAMINE, frame.node_id, frame.depth))
+            self.stack.pop()
+            if frame.record is not None:
+                self.state_tree.undo(frame.record)
+            return
+        record = self.state_tree.apply_path(path.vertices, path.arcs)
+        self.node_counter += 1
+        self.pending.append((DISCOVER, self.node_counter, frame.depth + 1))
+        kind, payload = self._node_action(comp)
+        if kind == "leaf":
+            self.pending.append((SOLUTION, payload))
+            self.pending.append((EXAMINE, self.node_counter, frame.depth + 1))
+            self.state_tree.undo(record)
+            return
+        sources = tuple(
+            v for v in self.state_tree.vertices if v in comp.vertices
+        )
+        self.stack.append(
+            _TsFrame(
+                self._open_child(comp, sources, payload),
+                record,
+                self.node_counter,
+                frame.depth + 1,
+                "child",
+                payload,
+                sources,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # snapshot plumbing
+    # ------------------------------------------------------------------
+    @property
+    def frame_count(self) -> int:
+        """Search-stack depth (component frames; two-terminal mode: 1)."""
+        if self.two:
+            return 1 if self.two_machine is not None else 0
+        return len(self.stack)
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data search state (components are recomputed on restore)."""
+        payload: Dict[str, Any] = {
+            "terminals": list(self.input_terminals),
+            "improved": self.improved,
+            "backend": self.backend,
+            "node_counter": self.node_counter,
+            "phase": self.phase,
+            "emitted": self.emitted,
+            "pending": list(self.pending),
+            "comp_index": self.comp_index,
+            "frames": [
+                {
+                    "paths": frame.paths.state(),
+                    "record": frame.record,
+                    "node_id": frame.node_id,
+                    "depth": frame.depth,
+                    "kind": frame.kind,
+                    "branch": frame.branch,
+                    "sources": tuple(frame.sources),
+                }
+                for frame in self.stack
+            ],
+        }
+        if self.two_machine is not None:
+            payload["two"] = self.two_machine.state()
+        return payload
+
+    def _restore_paths(self, fstate: Dict[str, Any], comp: _Component):
+        if self.fast:
+            return FastPathSearch.restore(
+                comp.kernel(self.graph.n_space), fstate["paths"], self.meter
+            )
+        if fstate["kind"] == "root":
+            return StPathSearch.restore(self._root_sub(comp), fstate["paths"], self.meter)
+        return SetPathSearch.restore(
+            self._child_sub(comp, fstate["branch"]), fstate["paths"], self.meter
+        )
+
+    @classmethod
+    def restore(cls, graph: Graph, state: Dict[str, Any], meter=None):
+        """Rebuild a machine over ``graph`` from a :meth:`state` dict."""
+        machine = cls(
+            graph,
+            state["terminals"],
+            meter=meter,
+            improved=state["improved"],
+            backend=state["backend"],
+        )
+        machine.node_counter = state["node_counter"]
+        machine.phase = state["phase"]
+        machine.emitted = state["emitted"]
+        machine.pending = deque(state["pending"])
+        machine.comp_index = state["comp_index"]
+        if "two" in state:
+            inner = state["two"]
+            if machine.fast:
+                machine.two_machine = FastPathSearch.restore(
+                    machine.graph, inner, meter
+                )
+            else:
+                machine.two_machine = StPathSearch.restore(
+                    machine.graph, inner, meter
+                )
+        if not machine.two and machine.phase == 1 and machine.comp_index < len(
+            machine.components
+        ):
+            comp = machine.components[machine.comp_index]
+            machine.state_tree = _PartialTree(machine.ordered)
+            for fstate in state["frames"]:
+                if fstate["record"] is not None:
+                    machine.state_tree.apply_record(fstate["record"])
+                machine.stack.append(
+                    _TsFrame(
+                        machine._restore_paths(fstate, comp),
+                        fstate["record"],
+                        fstate["node_id"],
+                        fstate["depth"],
+                        fstate["kind"],
+                        fstate["branch"],
+                        tuple(fstate["sources"]),
+                    )
+                )
+        return machine
+
+
 def terminal_steiner_events(
     graph: Graph,
     terminals: Sequence[Vertex],
@@ -355,148 +727,18 @@ def terminal_steiner_events(
     completions, flags — all well-defined per node) and swaps the path
     enumerations onto one compiled kernel per valid component, masking
     the terminals outside each query instead of rebuilding
-    ``G[C ∪ {w}]`` subcopies.
+    ``G[C ∪ {w}]`` subcopies.  Both backends drain a
+    :class:`TerminalSteinerSearch` machine, the suspendable form of this
+    traversal.
     """
-    check_backend(backend)
-    fast = backend == "fast"
-    if fast:
-        fg, index = compile_undirected(graph)
-        graph = fg  # FastGraph implements the Graph protocol
-        terminals = map_query_vertices(index, terminals)
-    ordered = _validate(graph, terminals)
-
-    if len(ordered) == 2:
-        # |W| = 2: identical to s-t path enumeration (paper, §5.1).
-        node = 0
-        yield (DISCOVER, node, 0)
-        if fast:
-            two_paths = fast_enumerate_st_paths_undirected(
-                graph, ordered[0], ordered[1], meter=meter
-            )
-        else:
-            two_paths = enumerate_st_paths_undirected(
-                graph, ordered[0], ordered[1], meter=meter
-            )
-        for path in two_paths:
-            if len(path.arcs) == 0:
-                continue
-            yield (SOLUTION, frozenset(path.arcs))
-        yield (EXAMINE, node, 0)
-        return
-
-    components = [
-        _Component(graph, comp, ordered, meter)
-        for comp in valid_components(graph, ordered, meter=meter)
-    ]
-    if not components:
-        return
-
-    node_counter = 0
-    w0, w1 = ordered[0], ordered[1]
-    yield (DISCOVER, node_counter, 0)
-
-    for comp in components:
-        state = _PartialTree(ordered)
-
-        def node_action() -> Tuple[str, object]:
-            if not state.uncovered:
-                return ("leaf", frozenset(state.edges))
-            if not improved:
-                for w in ordered:
-                    if w in state.uncovered:
-                        return ("branch", w)
-                raise AssertionError("unreachable")
-            if fast:
-                spanning, flag_of = _fast_completion_and_flags(
-                    comp, state, graph.n_space, meter
-                )
-            else:
-                spanning, flag = _completion_and_flags(comp, state, ordered, meter)
-                flag_of = lambda v: flag.get(v, True)  # noqa: E731
-            for w in ordered:
-                if w not in state.uncovered:
-                    continue
-                edges_into_c = comp.terminal_edges[w]
-                if len(edges_into_c) >= 2:
-                    return ("branch", w)
-                eid, v = edges_into_c[0]
-                if not flag_of(v):
-                    return ("branch", w)
-            if fast:
-                return (
-                    "leaf",
-                    _fast_leaf_completion(
-                        comp, state, ordered, spanning, graph.n_space, meter
-                    ),
-                )
-            return ("leaf", _leaf_completion(comp, state, ordered, spanning, meter))
-
-        def child_paths(w):
-            # paths from (V(T) ∩ C) to w inside G[C ∪ {w}]
-            sources = frozenset(v for v in state.vertices if v in comp.vertices)
-            if fast:
-                return fast_enumerate_set_paths(
-                    comp.kernel(graph.n_space),
-                    sources,
-                    (w,),
-                    meter=meter,
-                    excluded=[t for t in ordered if t != w],
-                )
-            sub = Graph()
-            for v in comp.vertices:
-                sub.add_vertex(v)
-            for edge in comp.graph_c.edges():
-                sub.add_edge(edge.u, edge.v, eid=edge.eid)
-            sub.add_vertex(w)
-            for eid, other in comp.terminal_edges[w]:
-                sub.add_edge(w, other, eid=eid)
-            return enumerate_set_paths(sub, sources, (w,), meter=meter)
-
-        # Root children for this component: w0-w1 paths in G[C ∪ {w0, w1}].
-        def root_paths():
-            if fast:
-                return fast_enumerate_st_paths_undirected(
-                    comp.kernel(graph.n_space),
-                    w0,
-                    w1,
-                    meter=meter,
-                    excluded=[t for t in ordered if t != w0 and t != w1],
-                )
-            sub = Graph()
-            for v in comp.vertices:
-                sub.add_vertex(v)
-            for edge in comp.graph_c.edges():
-                sub.add_edge(edge.u, edge.v, eid=edge.eid)
-            for w in (w0, w1):
-                sub.add_vertex(w)
-                for eid, other in comp.terminal_edges[w]:
-                    sub.add_edge(w, other, eid=eid)
-            return enumerate_st_paths_undirected(sub, w0, w1, meter=meter)
-
-        stack: List[List[object]] = [[root_paths(), None, node_counter, 0]]
-        while stack:
-            frame = stack[-1]
-            paths, _undo, node_id, depth = frame
-            path = next(paths, None)  # type: ignore[arg-type]
-            if path is None:
-                if depth > 0:
-                    yield (EXAMINE, node_id, depth)
-                stack.pop()
-                if frame[1] is not None:
-                    state.undo(frame[1])
-                continue
-            record = state.apply_path(path.vertices, path.arcs)
-            node_counter += 1
-            yield (DISCOVER, node_counter, depth + 1)
-            kind, payload = node_action()
-            if kind == "leaf":
-                yield (SOLUTION, payload)
-                yield (EXAMINE, node_counter, depth + 1)
-                state.undo(record)
-                continue
-            stack.append([child_paths(payload), record, node_counter, depth + 1])
-
-    yield (EXAMINE, 0, 0)
+    machine = TerminalSteinerSearch(
+        graph, terminals, meter=meter, improved=improved, backend=backend
+    )
+    while True:
+        event = machine.advance()
+        if event is None:
+            return
+        yield event
 
 
 def enumerate_minimal_terminal_steiner_trees(

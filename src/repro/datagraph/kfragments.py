@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import heapq
 from typing import (
+    Any,
+    Dict,
     FrozenSet,
     Hashable,
     Iterator,
@@ -37,9 +39,10 @@ from typing import (
 )
 
 from repro.core.directed_steiner import enumerate_minimal_directed_steiner_trees
-from repro.core.steiner_tree import enumerate_minimal_steiner_trees
-from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
+from repro.core.steiner_tree import SteinerTreeSearch
+from repro.core.terminal_steiner import TerminalSteinerSearch
 from repro.datagraph.model import CompiledQuery, DataGraph, KeywordNode, QueryGraph
+from repro.enumeration.events import SOLUTION
 
 Node = Hashable
 Keyword = str
@@ -91,6 +94,97 @@ def _project_compiled(compiled: CompiledQuery, solution: FrozenSet[int]) -> Frag
     return Fragment(structural, tuple(matches), len(structural))
 
 
+class KFragmentSearch:
+    """Suspendable K-fragment enumeration (the keyword-search driver).
+
+    Wraps the suspendable Steiner machine for the chosen ``variant``
+    (``"undirected"`` → :class:`repro.core.steiner_tree.SteinerTreeSearch`,
+    ``"strong"`` → :class:`repro.core.terminal_steiner.TerminalSteinerSearch`)
+    over the compiled query graph and projects each solution to a
+    :class:`Fragment`.  :meth:`state` serializes the inner machine's
+    search state plus the query; :meth:`restore` recompiles the query
+    from the data graph (the compilation is deterministic and cached)
+    and resumes with a byte-identical fragment tail.
+    """
+
+    def __init__(
+        self,
+        datagraph: DataGraph,
+        keywords: Sequence[Keyword],
+        meter=None,
+        backend: str = "object",
+        variant: str = "undirected",
+    ) -> None:
+        if variant not in ("undirected", "strong"):
+            raise ValueError(f"unsupported suspendable variant {variant!r}")
+        self.datagraph = datagraph
+        self.keywords: List[Keyword] = list(keywords)
+        self.backend = backend
+        self.variant = variant
+        self.compiled = datagraph.compiled_query(self.keywords)
+        maker = SteinerTreeSearch if variant == "undirected" else TerminalSteinerSearch
+        self.machine = maker(
+            self.compiled.instance(backend),
+            self.compiled.terminals,
+            meter=meter,
+            improved=True,
+            backend=backend,
+        )
+
+    def advance(self) -> Optional[Fragment]:
+        """The next fragment, or ``None`` when exhausted."""
+        while True:
+            event = self.machine.advance()
+            if event is None:
+                return None
+            if event[0] == SOLUTION:
+                return _project_compiled(self.compiled, event[1])
+
+    @property
+    def emitted(self) -> int:
+        """Fragments produced so far."""
+        return self.machine.emitted
+
+    @property
+    def frame_count(self) -> int:
+        """Search-stack depth of the inner Steiner machine."""
+        return self.machine.frame_count
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data state: query spec + inner machine state."""
+        return {
+            "keywords": list(self.keywords),
+            "backend": self.backend,
+            "variant": self.variant,
+            "machine": self.machine.state(),
+        }
+
+    @classmethod
+    def restore(
+        cls, datagraph: DataGraph, state: Dict[str, Any], meter=None
+    ) -> "KFragmentSearch":
+        """Rebuild the search over ``datagraph`` from a :meth:`state`.
+
+        The inner Steiner machine is built once, by its own ``restore``
+        (which performs the static analysis) — not first constructed
+        fresh and then thrown away.
+        """
+        variant = state["variant"]
+        if variant not in ("undirected", "strong"):
+            raise ValueError(f"unsupported suspendable variant {variant!r}")
+        search = cls.__new__(cls)
+        search.datagraph = datagraph
+        search.keywords = list(state["keywords"])
+        search.backend = state["backend"]
+        search.variant = variant
+        search.compiled = datagraph.compiled_query(search.keywords)
+        maker = SteinerTreeSearch if variant == "undirected" else TerminalSteinerSearch
+        search.machine = maker.restore(
+            search.compiled.instance(search.backend), state["machine"], meter
+        )
+        return search
+
+
 def undirected_kfragments(
     datagraph: DataGraph,
     keywords: Sequence[Keyword],
@@ -109,11 +203,12 @@ def undirected_kfragments(
     >>> [f.size for f in undirected_kfragments(dg, ["x", "y"])]
     [1]
     """
-    compiled = datagraph.compiled_query(keywords)
-    for solution in enumerate_minimal_steiner_trees(
-        compiled.instance(backend), compiled.terminals, meter=meter, backend=backend
-    ):
-        yield _project_compiled(compiled, solution)
+    machine = KFragmentSearch(datagraph, keywords, meter=meter, backend=backend)
+    while True:
+        fragment = machine.advance()
+        if fragment is None:
+            return
+        yield fragment
 
 
 def strong_kfragments(
@@ -128,11 +223,14 @@ def strong_kfragments(
     and match nodes are never used as mere connectors.  Needs ≥ 2 query
     keywords (a strong fragment for one keyword is a single node).
     """
-    compiled = datagraph.compiled_query(keywords)
-    for solution in enumerate_minimal_terminal_steiner_trees(
-        compiled.instance(backend), compiled.terminals, meter=meter, backend=backend
-    ):
-        yield _project_compiled(compiled, solution)
+    machine = KFragmentSearch(
+        datagraph, keywords, meter=meter, backend=backend, variant="strong"
+    )
+    while True:
+        fragment = machine.advance()
+        if fragment is None:
+            return
+        yield fragment
 
 
 def directed_kfragments(

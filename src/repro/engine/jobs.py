@@ -69,6 +69,18 @@ JOB_KINDS = (
 #: isomorphic instances (see :mod:`repro.engine.cache`).
 RELABELABLE_KINDS = JOB_KINDS - {"kfragments"}
 
+#: Kinds with a suspendable search machine (:mod:`repro.engine.suspend`):
+#: their streams checkpoint as serialized search-state snapshots and
+#: resume in O(state) instead of replaying ``offset`` solutions.  The
+#: remaining kinds (``steiner-forest``, ``directed-steiner``,
+#: ``induced-steiner``, ``chordless-path``) are replay-only for now:
+#: cursors and serve streams still resume, but by fast-forwarding the
+#: re-run enumeration.  The serve layer surfaces this capability split
+#: under ``suspendable_kinds`` in ``GET /stats``.
+SUSPENDABLE_KINDS = frozenset(
+    {"steiner-tree", "terminal-steiner", "st-path", "kfragments"}
+)
+
 _DIRECTED_KINDS = frozenset({"directed-steiner"})
 
 
@@ -489,7 +501,12 @@ class JobResult:
     the cache stores (see :mod:`repro.engine.cache`) and is excluded from
     serialization.  ``exhausted`` is True iff the enumeration ran to
     completion; otherwise ``stop_reason`` says why it stopped
-    (``limit`` / ``deadline`` / ``budget``).
+    (``limit`` / ``deadline`` / ``budget``).  For suspendable kinds
+    (:data:`SUSPENDABLE_KINDS`) a cleanly stopped run also carries a
+    search-state ``snapshot``: pass it back as ``run_job(job,
+    resume=...)`` to continue the stream in O(state) instead of
+    replaying the delivered prefix.  Like ``structures`` it is excluded
+    from serialization and comparison.
     """
 
     job_id: Optional[str]
@@ -504,6 +521,7 @@ class JobResult:
     structures: Optional[Tuple[Any, ...]] = field(
         default=None, repr=False, compare=False
     )
+    snapshot: Optional[bytes] = field(default=None, repr=False, compare=False)
 
     @property
     def count(self) -> int:
@@ -677,38 +695,98 @@ def structure_line(job: EnumerationJob, structure) -> str:
     return render_structure(job.kind, structure)
 
 
-def run_job(job: EnumerationJob) -> JobResult:
-    """Execute ``job`` to its limit/deadline/budget; never raises on overrun."""
+def run_job(job: EnumerationJob, resume: Optional[bytes] = None) -> JobResult:
+    """Execute ``job`` to its limit/deadline/budget; never raises on overrun.
+
+    Suspendable kinds (:data:`SUSPENDABLE_KINDS`) run on their search
+    machine: a run stopped cleanly (limit reached, or the deadline
+    observed between solutions) carries a search-state ``snapshot`` in
+    its result, and passing that blob back as ``resume`` continues the
+    stream where it stopped — the job's ``limit`` always bounds the
+    *total* stream position, resumed segments included.  A run aborted
+    mid-step (op budget / deadline tripped inside the substrate) has no
+    clean machine state and returns no snapshot; such streams resume by
+    replay.  ``resume`` for a replay-only kind raises
+    :class:`InvalidInstanceError`.
+    """
     start = time.perf_counter()
-    meter = _BudgetMeter(
-        budget=job.budget,
-        deadline_at=(
-            (time.monotonic() + job.deadline) if job.deadline is not None else None
-        ),
+    deadline_at = (
+        (time.monotonic() + job.deadline) if job.deadline is not None else None
     )
+    meter = _BudgetMeter(budget=job.budget, deadline_at=deadline_at)
     structures: List[Any] = []
     stop_reason: Optional[str] = None
     exhausted = False
-    if job.limit == 0:
-        stop_reason = "limit"
-    else:
+    snapshot_out: Optional[bytes] = None
+    if job.kind in SUSPENDABLE_KINDS:
+        from repro.engine.suspend import JobSearch
+
+        # Machine-driven runs enforce the deadline between solutions —
+        # a clean suspension point, so the stop keeps its snapshot —
+        # instead of letting the substrate meter abort mid-step.
+        meter.deadline_at = None
+        lines_list: List[str] = []
+        search = (
+            JobSearch.restore(job, resume, meter)
+            if resume is not None
+            else JobSearch(job, meter)
+        )
+        remaining = (
+            None if job.limit is None else max(0, job.limit - search.emitted)
+        )
+        clean = True
         try:
-            for structure in iter_structures(job, meter):
-                structures.append(structure)
-                if job.limit is not None and len(structures) >= job.limit:
+            while True:
+                if remaining is not None and len(structures) >= remaining:
                     stop_reason = "limit"
                     break
-                if (
-                    meter.deadline_at is not None
-                    and time.monotonic() > meter.deadline_at
-                ):
+                pair = search.next()
+                if pair is None:
+                    exhausted = True
+                    break
+                line, structure = pair
+                lines_list.append(line)
+                structures.append(structure)
+                # Limit before deadline, matching the replay-only branch:
+                # reaching the cap reports "limit" even when the clock
+                # has also just run out.
+                if remaining is not None and len(structures) >= remaining:
+                    stop_reason = "limit"
+                    break
+                if deadline_at is not None and time.monotonic() > deadline_at:
                     stop_reason = "deadline"
                     break
-            else:
-                exhausted = True
         except BudgetExceeded as exc:
             stop_reason = exc.reason
-    lines = tuple(structure_line(job, s) for s in structures)
+            clean = False  # the machine state is mid-step: not resumable
+        if not exhausted and clean:
+            snapshot_out = search.snapshot()
+        lines = tuple(lines_list)
+    else:
+        if resume is not None:
+            raise InvalidInstanceError(
+                f"job kind {job.kind!r} is replay-only (no snapshot resume)"
+            )
+        if job.limit == 0:
+            stop_reason = "limit"
+        else:
+            try:
+                for structure in iter_structures(job, meter):
+                    structures.append(structure)
+                    if job.limit is not None and len(structures) >= job.limit:
+                        stop_reason = "limit"
+                        break
+                    if (
+                        meter.deadline_at is not None
+                        and time.monotonic() > meter.deadline_at
+                    ):
+                        stop_reason = "deadline"
+                        break
+                else:
+                    exhausted = True
+            except BudgetExceeded as exc:
+                stop_reason = exc.reason
+        lines = tuple(structure_line(job, s) for s in structures)
     return JobResult(
         job_id=job.job_id,
         kind=job.kind,
@@ -718,6 +796,7 @@ def run_job(job: EnumerationJob) -> JobResult:
         elapsed=time.perf_counter() - start,
         ops=meter.count,
         structures=tuple(structures),
+        snapshot=snapshot_out,
     )
 
 

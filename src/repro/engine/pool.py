@@ -47,6 +47,7 @@ class _Task(NamedTuple):
     lo: int  # first forced-edge index of the shard chunk (inclusive)
     hi: int  # last forced-edge index (exclusive); -1 = whole job
     incident: Optional[Tuple[int, ...]] = None  # anchor plan, parent-computed
+    snapshot: Optional[bytes] = None  # search-state resume blob (whole jobs)
 
 
 def shard_anchor(job: EnumerationJob) -> Optional[Tuple[int, List[int]]]:
@@ -152,7 +153,7 @@ def _execute_task(task: _Task) -> Tuple[int, int, JobResult]:
     """
     try:
         if task.hi < 0:
-            result = run_job(task.job)
+            result = run_job(task.job, resume=task.snapshot)
         else:
             result = run_steiner_shard(task.job, task.lo, task.hi, task.incident)
     except Exception as exc:  # noqa: BLE001 — isolate per-job failures
@@ -223,6 +224,7 @@ def run_batch(
     workers: int = 1,
     cache: Optional[InstanceCache] = None,
     mp_context: Optional[str] = None,
+    resume_snapshots: Optional[Sequence[Optional[bytes]]] = None,
 ) -> List[JobResult]:
     """Run ``jobs`` on ``workers`` processes; results come back in job order.
 
@@ -233,6 +235,13 @@ def run_batch(
     the cache (their shard-ordered output would not match a future
     unsharded run of the same instance).
 
+    ``resume_snapshots`` (parallel to ``jobs``) continues suspendable
+    jobs from serialized search states (see :mod:`repro.engine.suspend`):
+    a resumed job delivers only its remaining tail, so it bypasses the
+    cache (a tail is not a full result), duplicate coalescing and
+    sharding.  Stopped suspendable jobs return fresh snapshots on their
+    results, so a driver can run a batch in deadline-bounded rounds.
+
     Examples
     --------
     >>> jobs = [EnumerationJob.steiner_tree([("a", "b"), ("b", "c")], ["a", "c"])]
@@ -242,17 +251,30 @@ def run_batch(
     jobs = list(jobs)
     for job in jobs:
         job.validate()
+    if resume_snapshots is None:
+        resumes: List[Optional[bytes]] = [None] * len(jobs)
+    else:
+        resumes = list(resume_snapshots)
+        if len(resumes) != len(jobs):
+            raise ValueError("resume_snapshots must parallel jobs")
     results: List[Optional[JobResult]] = [None] * len(jobs)
-    plans = [shard_anchor(job) if job.shards > 1 else None for job in jobs]
+    plans = [
+        shard_anchor(job) if job.shards > 1 and resumes[i] is None else None
+        for i, job in enumerate(jobs)
+    ]
     sharded = [plan is not None for plan in plans]
     tasks: List[_Task] = []
     # Exact-duplicate jobs (same work, possibly different job_id) run
     # once: later occurrences borrow the first occurrence's result.
     # Deadline/budget jobs are exempt (their results are timing-
-    # dependent, so each must pay its own way).
+    # dependent, so each must pay its own way); resumed jobs are exempt
+    # too (their position makes the work unique).
     leaders: Dict[tuple, int] = {}
     follower_of: Dict[int, int] = {}
     for i, job in enumerate(jobs):
+        if resumes[i] is not None:
+            tasks.append(_Task(i, 0, job, 0, -1, None, resumes[i]))
+            continue
         if cache is not None and not sharded[i]:
             hit = cache.lookup(job)
             if hit is not None:
@@ -307,7 +329,9 @@ def run_batch(
             raise RuntimeError(f"job {i} produced no result")
         if cache is not None and not result.cached and not sharded[i] and (
             i not in follower_of
-        ):
+        ) and resumes[i] is None:
+            # Resumed jobs deliver a tail, not the full stream: caching
+            # one would poison later lookups of the same instance.
             cache.store(jobs[i], result)
         final.append(result)
     return final

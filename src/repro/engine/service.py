@@ -82,15 +82,22 @@ class BatchRunner:
         self.wall_seconds = 0.0
 
     # ------------------------------------------------------------------
-    def run(self, jobs: Sequence[EnumerationJob]) -> List[JobResult]:
+    def run(
+        self,
+        jobs: Sequence[EnumerationJob],
+        resume_snapshots: Optional[Sequence[Optional[bytes]]] = None,
+    ) -> List[JobResult]:
         """Run a batch; results are returned in job order, deterministic
-        in the worker count."""
+        in the worker count.  ``resume_snapshots`` continues suspendable
+        jobs from serialized search states (see
+        :func:`repro.engine.pool.run_batch`)."""
         start = time.perf_counter()
         results = run_batch(
             jobs,
             workers=self.workers,
             cache=self.cache,
             mp_context=self.mp_context,
+            resume_snapshots=resume_snapshots,
         )
         self.wall_seconds += time.perf_counter() - start
         self.jobs_run += len(results)
@@ -114,9 +121,20 @@ class BatchRunner:
         """A resumable cursor over ``job`` wired to this runner's cache."""
         return EnumerationCursor(job, cache=self.cache)
 
-    def resume_cursor(self, state: Dict[str, Any]) -> EnumerationCursor:
-        """Resume a checkpointed cursor against this runner's cache."""
-        return EnumerationCursor.resume(state, cache=self.cache)
+    def resume_cursor(
+        self,
+        state: Dict[str, Any],
+        job: Optional[EnumerationJob] = None,
+        resume_mode: str = "snapshot",
+    ) -> EnumerationCursor:
+        """Resume a checkpointed cursor against this runner's cache.
+
+        ``job`` (when given) must match the checkpoint's fingerprint and
+        backend — see :meth:`EnumerationCursor.resume`.
+        """
+        return EnumerationCursor.resume(
+            state, cache=self.cache, job=job, resume_mode=resume_mode
+        )
 
     def stats(self) -> Dict[str, Any]:
         """Aggregate counters (plus cache stats when caching is on)."""

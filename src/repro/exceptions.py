@@ -62,6 +62,18 @@ class NoSolutionError(InvalidInstanceError):
     """
 
 
+class CursorStateError(InvalidInstanceError):
+    """A resume token does not belong to the stream it is resumed against.
+
+    Raised when a cursor checkpoint or search-state snapshot is replayed
+    against a job whose instance fingerprint, kind, or backend differs
+    from the one the token was taken for — silently fast-forwarding the
+    wrong stream would duplicate or drop solutions.  Subclasses
+    :class:`InvalidInstanceError` so existing "bad request" handling
+    (e.g. the serve layer's 400 mapping) keeps working.
+    """
+
+
 class ClawFreeViolation(InvalidInstanceError):
     """A claw (induced ``K_{1,3}``) was found in a graph that an algorithm
     requires to be claw-free."""

@@ -43,7 +43,8 @@ the enumeration all the same.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.enumeration.events import DISCOVER, EXAMINE, SOLUTION, Event
 from repro.graphs.fastgraph import FastDiGraph, FastGraph
@@ -1018,150 +1019,279 @@ class _Frame:
         # O(path length) state (q_arcs / q_vertices); this adds O(n).
         self.reach: Optional[bytearray] = None
 
+    def as_state(self) -> tuple:
+        """Plain-data form for snapshots.  ``reach`` is a derived cache
+        (deterministic in the frame's blocked state) and is dropped; the
+        first F-STP call after restore recomputes it byte-identically."""
+        return (
+            self.source,
+            self.forbidden,
+            self.depth,
+            self.node_id,
+            list(self.q_arcs),
+            list(self.q_vertices),
+            list(self.ext),
+            self.pos,
+            tuple(self.added_vertices),
+            self.added_arcs,
+        )
 
-def _events(ctx: _Ctx, source: int, target: int, emit: int = 0) -> Iterator:
-    """Algorithm 1 on the kernel; event-for-event parallel to the generic
-    ``_enumerate_events`` run on the equivalent auxiliary digraph.
+    @classmethod
+    def from_state(cls, state: tuple) -> "_Frame":
+        frame = cls(state[0], state[1], state[2], state[3], state[8], state[9])
+        frame.q_arcs = list(state[4])
+        frame.q_vertices = list(state[5])
+        frame.ext = list(state[6])
+        frame.pos = state[7]
+        return frame
 
-    ``emit`` selects the output shape: 0 yields the full raw event
-    stream (sentinel vertices, internal arc ids); the nonzero modes
-    yield bare :class:`Path` records ready for the consumer, skipping
-    discover/examine events entirely — 1 strips the super endpoints and
-    maps arc ids to edge ids (undirected S-T), 2 maps arc ids to edge
-    ids (plain undirected s-t), 3 strips the super endpoints (directed
-    S-T).
+
+class FastPathSearch:
+    """Algorithm 1 on the kernel as an explicit-state machine.
+
+    Kernel counterpart of :class:`repro.paths.read_tarjan.PathSearch`:
+    event-for-event parallel to the generic machine run on the
+    equivalent auxiliary digraph, and suspendable the same way —
+    :meth:`state` serializes the frame stack, shared prefix, blocked
+    overlay and pending output queue as plain data, and :meth:`restore`
+    rebuilds the context (including the per-frame backward-reach caches,
+    which are recomputed lazily and deterministically) from the kernel.
+
+    ``emit`` selects the output shape of :meth:`advance`: 0 yields the
+    full raw event stream (sentinel vertices, internal arc ids); the
+    nonzero modes yield bare :class:`Path` records ready for the
+    consumer, skipping discover/examine events entirely — 1 strips the
+    super endpoints and maps arc ids to edge ids (undirected S-T), 2
+    maps arc ids to edge ids (plain undirected s-t), 3 strips the super
+    endpoints (directed S-T).
     """
-    if source == target:
-        if emit:
-            yield Path((source,), ())
+
+    __slots__ = (
+        "ctx",
+        "source",
+        "target",
+        "emit",
+        "_find_path",
+        "_extendible",
+        "prefix_arcs",
+        "prefix_vertices",
+        "node_counter",
+        "stack",
+        "pending",
+        "phase",
+    )
+
+    def __init__(self, ctx: _Ctx, source: int, target: int, emit: int = 0) -> None:
+        self.ctx = ctx
+        self.source = source
+        self.target = target
+        self.emit = emit
+        if ctx.directed:
+            self._find_path = _find_path_dir
+            self._extendible = _extendible_dir
+        elif ctx.src_list or ctx.tgt_list:
+            self._find_path = _find_path_und
+            self._extendible = _extendible_und
         else:
-            yield (DISCOVER, 0, 0)
-            yield (SOLUTION, Path((source,), ()))
-            yield (EXAMINE, 0, 0)
-        return
-    if ctx.directed:
-        find_path = _find_path_dir
-        extendible = _extendible_dir
-    elif ctx.src_list or ctx.tgt_list:
-        find_path = _find_path_und
-        extendible = _extendible_und
-    else:
-        find_path = _find_path_und_plain
-        extendible = _extendible_und_plain
+            self._find_path = _find_path_und_plain
+            self._extendible = _extendible_und_plain
+        self.prefix_arcs: List[int] = []
+        self.prefix_vertices: List[int] = []
+        self.node_counter = 0
+        self.stack: List[_Frame] = []
+        self.pending: deque = deque()
+        self.phase = 0  # 0 = not started, 1 = running, 2 = exhausted
 
-    prefix_arcs: List[int] = []
-    prefix_vertices: List[int] = [source]
-    node_counter = 0
+    # ------------------------------------------------------------------
+    def advance(self):
+        """The next event (``emit == 0``) or :class:`Path`, else ``None``."""
+        while True:
+            if self.pending:
+                return self.pending.popleft()
+            if self.phase == 2:
+                return None
+            if self.phase == 0:
+                self._start()
+            else:
+                self._step()
 
-    root = _Frame(source, None, 0, node_counter, (), 0)
-    found = find_path(ctx, root, source, target, None, None)
-    if found is None:
-        return
-    if emit == 0:
-        yield (DISCOVER, root.node_id, 0)
-    root.q_arcs, root.q_vertices = found
-    root.ext = extendible(ctx, root.q_arcs, root.q_vertices, target)
-    root.pos = 0
-    if root.depth % 2 == 0:
-        fv = prefix_vertices[:-1] + root.q_vertices
-        fa = prefix_arcs + root.q_arcs
+    def next_path(self) -> Optional[Path]:
+        """:meth:`advance` under a path-shaped emit mode (1/2/3)."""
+        return self.advance()
+
+    def _emit_solution(self, frame: _Frame) -> None:
+        fv = self.prefix_vertices[:-1] + frame.q_vertices
+        fa = self.prefix_arcs + frame.q_arcs
+        emit = self.emit
         if emit == 0:
-            yield (SOLUTION, Path(tuple(fv), tuple(fa)))
+            self.pending.append((SOLUTION, Path(tuple(fv), tuple(fa))))
         elif emit == 1:
-            yield Path(tuple(fv[1:-1]), tuple([a >> 1 for a in fa[1:-1]]))
+            self.pending.append(
+                Path(tuple(fv[1:-1]), tuple([a >> 1 for a in fa[1:-1]]))
+            )
         elif emit == 2:
-            yield Path(tuple(fv), tuple([a >> 1 for a in fa]))
+            self.pending.append(Path(tuple(fv), tuple([a >> 1 for a in fa])))
         else:
-            yield Path(tuple(fv[1:-1]), tuple(fa[1:-1]))
+            self.pending.append(Path(tuple(fv[1:-1]), tuple(fa[1:-1])))
 
-    stack = [root]
-    while stack:
-        frame = stack[-1]
+    def _start(self) -> None:
+        self.phase = 1
+        source, target = self.source, self.target
+        if source == target:
+            if self.emit:
+                self.pending.append(Path((source,), ()))
+            else:
+                self.pending.append((DISCOVER, 0, 0))
+                self.pending.append((SOLUTION, Path((source,), ())))
+                self.pending.append((EXAMINE, 0, 0))
+            self.phase = 2
+            return
+        self.prefix_vertices = [source]
+        root = _Frame(source, None, 0, self.node_counter, (), 0)
+        found = self._find_path(self.ctx, root, source, target, None, None)
+        if found is None:
+            self.phase = 2
+            return
+        if self.emit == 0:
+            self.pending.append((DISCOVER, root.node_id, 0))
+        root.q_arcs, root.q_vertices = found
+        root.ext = self._extendible(self.ctx, root.q_arcs, root.q_vertices, target)
+        root.pos = 0
+        if root.depth % 2 == 0:
+            self._emit_solution(root)
+        self.stack.append(root)
+
+    def _step(self) -> None:
+        """One enumeration-tree traversal step (the old loop body)."""
+        if not self.stack:
+            self.phase = 2
+            return
+        ctx, target = self.ctx, self.target
+        frame = self.stack[-1]
         if frame.pos < len(frame.ext):
             i = frame.ext[frame.pos]
             frame.pos += 1
             added = tuple(frame.q_vertices[: i - 1])
             if added:
                 ctx.blk_list.extend(added)
-            prefix_arcs.extend(frame.q_arcs[: i - 1])
-            prefix_vertices.extend(frame.q_vertices[1:i])
-            node_counter += 1
+            self.prefix_arcs.extend(frame.q_arcs[: i - 1])
+            self.prefix_vertices.extend(frame.q_vertices[1:i])
+            self.node_counter += 1
             child = _Frame(
                 frame.q_vertices[i - 1],
                 frame.q_arcs[i - 1],
                 frame.depth + 1,
-                node_counter,
+                self.node_counter,
                 added,
                 i - 1,
             )
-            found = find_path(
+            found = self._find_path(
                 ctx, child, child.source, target, child.forbidden, None
             )
             if found is None:  # pragma: no cover - excluded by extendibility
                 if added:
                     del ctx.blk_list[len(ctx.blk_list) - len(added) :]
-                del prefix_arcs[len(prefix_arcs) - child.added_arcs :]
-                del prefix_vertices[len(prefix_vertices) - child.added_arcs :]
-                continue
-            if emit == 0:
-                yield (DISCOVER, child.node_id, child.depth)
+                del self.prefix_arcs[len(self.prefix_arcs) - child.added_arcs :]
+                del self.prefix_vertices[
+                    len(self.prefix_vertices) - child.added_arcs :
+                ]
+                return
+            if self.emit == 0:
+                self.pending.append((DISCOVER, child.node_id, child.depth))
             child.q_arcs, child.q_vertices = found
-            child.ext = extendible(ctx, child.q_arcs, child.q_vertices, target)
+            child.ext = self._extendible(ctx, child.q_arcs, child.q_vertices, target)
             child.pos = 0
-            stack.append(child)
+            self.stack.append(child)
             if child.depth % 2 == 0:
-                fv = prefix_vertices[:-1] + child.q_vertices
-                fa = prefix_arcs + child.q_arcs
-                if emit == 0:
-                    yield (SOLUTION, Path(tuple(fv), tuple(fa)))
-                elif emit == 1:
-                    yield Path(tuple(fv[1:-1]), tuple([a >> 1 for a in fa[1:-1]]))
-                elif emit == 2:
-                    yield Path(tuple(fv), tuple([a >> 1 for a in fa]))
-                else:
-                    yield Path(tuple(fv[1:-1]), tuple(fa[1:-1]))
-            continue
+                self._emit_solution(child)
+            return
 
         if frame.depth % 2 == 1:
-            fv = prefix_vertices[:-1] + frame.q_vertices
-            fa = prefix_arcs + frame.q_arcs
-            if emit == 0:
-                yield (SOLUTION, Path(tuple(fv), tuple(fa)))
-            elif emit == 1:
-                yield Path(tuple(fv[1:-1]), tuple([a >> 1 for a in fa[1:-1]]))
-            elif emit == 2:
-                yield Path(tuple(fv), tuple([a >> 1 for a in fa]))
-            else:
-                yield Path(tuple(fv[1:-1]), tuple(fa[1:-1]))
-        found = find_path(
+            self._emit_solution(frame)
+        found = self._find_path(
             ctx, frame, frame.source, target, frame.forbidden, frame.q_arcs[0]
         )
         if found is not None:
             frame.q_arcs, frame.q_vertices = found
-            frame.ext = extendible(ctx, frame.q_arcs, frame.q_vertices, target)
+            frame.ext = self._extendible(ctx, frame.q_arcs, frame.q_vertices, target)
             frame.pos = 0
             if frame.depth % 2 == 0:
-                fv = prefix_vertices[:-1] + frame.q_vertices
-                fa = prefix_arcs + frame.q_arcs
-                if emit == 0:
-                    yield (SOLUTION, Path(tuple(fv), tuple(fa)))
-                elif emit == 1:
-                    yield Path(tuple(fv[1:-1]), tuple([a >> 1 for a in fa[1:-1]]))
-                elif emit == 2:
-                    yield Path(tuple(fv), tuple([a >> 1 for a in fa]))
-                else:
-                    yield Path(tuple(fv[1:-1]), tuple(fa[1:-1]))
-            continue
+                self._emit_solution(frame)
+            return
 
-        if emit == 0:
-            yield (EXAMINE, frame.node_id, frame.depth)
-        stack.pop()
+        if self.emit == 0:
+            self.pending.append((EXAMINE, frame.node_id, frame.depth))
+        self.stack.pop()
         if frame.added_vertices:
             n_added = len(frame.added_vertices)
             del ctx.blk_list[len(ctx.blk_list) - n_added :]
         if frame.added_arcs:
-            del prefix_arcs[len(prefix_arcs) - frame.added_arcs :]
-            del prefix_vertices[len(prefix_vertices) - frame.added_arcs :]
+            del self.prefix_arcs[len(self.prefix_arcs) - frame.added_arcs :]
+            del self.prefix_vertices[len(self.prefix_vertices) - frame.added_arcs :]
+
+    # ------------------------------------------------------------------
+    # snapshot plumbing
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Plain-data search state.
+
+        The context's ordered source/target/excluded lists are captured
+        verbatim (they fix the auxiliary arc id space and every scan
+        order); the kernel arrays and per-frame reach caches are not —
+        they are rebuilt from the graph on :meth:`restore`.
+        """
+        ctx = self.ctx
+        return {
+            "directed": ctx.directed,
+            "src": list(ctx.src_list),
+            "tgt": list(ctx.tgt_list),
+            "excl": list(ctx.excl),
+            "blk": list(ctx.blk_list),
+            "source": self.source,
+            "target": self.target,
+            "emit": self.emit,
+            "prefix_arcs": list(self.prefix_arcs),
+            "prefix_vertices": list(self.prefix_vertices),
+            "node_counter": self.node_counter,
+            "stack": [frame.as_state() for frame in self.stack],
+            "pending": list(self.pending),
+            "phase": self.phase,
+        }
+
+    @classmethod
+    def restore(cls, graph, state: Dict[str, Any], meter=None) -> "FastPathSearch":
+        """Rebuild a machine over the compiled kernel ``graph``.
+
+        ``graph`` is the :class:`FastGraph` / :class:`FastDiGraph` the
+        state was captured on (or a deterministic recompilation of the
+        same instance — the enumerator-level snapshots guarantee that
+        via the instance fingerprint).
+        """
+        if state["directed"]:
+            ctx = _dir_ctx(graph, list(state["src"]), list(state["tgt"]), meter)
+        else:
+            ctx = _und_ctx(
+                graph, list(state["src"]), list(state["tgt"]), state["excl"], meter
+            )
+        ctx.blk_list = list(state["blk"])
+        machine = cls(ctx, state["source"], state["target"], state["emit"])
+        machine.prefix_arcs = list(state["prefix_arcs"])
+        machine.prefix_vertices = list(state["prefix_vertices"])
+        machine.node_counter = state["node_counter"]
+        machine.stack = [_Frame.from_state(f) for f in state["stack"]]
+        machine.pending = deque(state["pending"])
+        machine.phase = state["phase"]
+        return machine
+
+
+def _events(ctx: _Ctx, source: int, target: int, emit: int = 0) -> Iterator:
+    """Drain a :class:`FastPathSearch` (generator shape of the machine)."""
+    machine = FastPathSearch(ctx, source, target, emit)
+    while True:
+        item = machine.advance()
+        if item is None:
+            return
+        yield item
 
 
 # ----------------------------------------------------------------------
@@ -1180,6 +1310,34 @@ def _split_sets(
     src_list = [v for v in source_set if v in fg]
     tgt_list = [v for v in target_set if v in fg]
     return src_list, tgt_list
+
+
+def fast_set_path_search(
+    fg: FastGraph,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    meter=None,
+    excluded: Iterable[int] = (),
+) -> FastPathSearch:
+    """Suspendable machine form of :func:`fast_enumerate_set_paths`."""
+    src_list, tgt_list = _split_sets(fg, sources, targets)
+    ctx = _und_ctx(fg, src_list, tgt_list, excluded, meter)
+    return FastPathSearch(ctx, ctx.s_star, ctx.t_star, emit=1)
+
+
+def fast_st_path_search(
+    fg: FastGraph,
+    source: int,
+    target: int,
+    meter=None,
+    excluded: Iterable[int] = (),
+) -> FastPathSearch:
+    """Suspendable machine form of :func:`fast_enumerate_st_paths_undirected`."""
+    ctx = _und_ctx(fg, [], [], excluded, meter)
+    machine = FastPathSearch(ctx, source, target, emit=2)
+    if source not in fg or target not in fg:
+        machine.phase = 2  # mirror the generator wrappers: empty stream
+    return machine
 
 
 def fast_set_path_events(

@@ -36,7 +36,10 @@ the Steiner-forest enumerator needs after contraction.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import (
+    Any,
+    Dict,
     Hashable,
     Iterable,
     Iterator,
@@ -96,6 +99,30 @@ class _Frame:
         self.pos = 0
         self.added_vertices = added_vertices  # blocked when frame was pushed
         self.added_arcs = added_arcs  # arcs appended to the global prefix
+
+    def as_state(self) -> tuple:
+        """Plain-data form for :class:`PathSearch` snapshots."""
+        return (
+            self.source,
+            self.forbidden,
+            self.depth,
+            self.node_id,
+            list(self.q_arcs),
+            list(self.q_vertices),
+            list(self.ext),
+            self.pos,
+            tuple(self.added_vertices),
+            self.added_arcs,
+        )
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "_Frame":
+        frame = cls(state[0], state[1], state[2], state[3], state[8], state[9])
+        frame.q_arcs = list(state[4])
+        frame.q_vertices = list(state[5])
+        frame.ext = list(state[6])
+        frame.pos = state[7]
+        return frame
 
 
 def _tick(meter, amount: int = 1) -> None:
@@ -263,45 +290,113 @@ def _extendible_indices(
     return ext
 
 
-def _enumerate_events(
-    digraph: DiGraph, source: Vertex, target: Vertex, meter=None
-) -> Iterator[Event]:
-    """Run Algorithm 1 on an explicit stack, emitting traversal events."""
-    if source not in digraph or target not in digraph:
-        return
-    if source == target:
-        yield (DISCOVER, 0, 0)
-        yield (SOLUTION, Path((source,), ()))
-        yield (EXAMINE, 0, 0)
-        return
+class PathSearch:
+    """Algorithm 1 as an explicit-state machine (the suspendable core).
 
-    blocked: Set[Vertex] = set()
-    prefix_arcs: List[int] = []
-    prefix_vertices: List[Vertex] = [source]
-    node_counter = 0
+    One :meth:`advance` call returns the next traversal event
+    (``discover`` / ``solution`` / ``examine``), or ``None`` once the
+    enumeration is exhausted.  Between two ``advance`` calls the entire
+    search state is plain data — the frame stack, the shared prefix, the
+    blocked set (derivable from the frames) and a queue of events already
+    produced but not yet delivered — so :meth:`state` can serialize it
+    and :meth:`restore` can rebuild the machine mid-enumeration with a
+    byte-identical remaining stream (see :mod:`repro.core.suspend`).
 
-    root = _Frame(source, None, 0, node_counter, (), 0)
-    found = _find_path(digraph, source, target, blocked, None, None, meter)
-    if found is None:
-        return
-    yield (DISCOVER, root.node_id, 0)
-    root.q_arcs, root.q_vertices = found
-    root.ext = _extendible_indices(
-        digraph, blocked, root.q_arcs, root.q_vertices, target, meter
+    The generator wrappers below (:func:`_enumerate_events` and the
+    public API) all drain one of these machines.
+    """
+
+    __slots__ = (
+        "digraph",
+        "source",
+        "target",
+        "meter",
+        "blocked",
+        "prefix_arcs",
+        "prefix_vertices",
+        "node_counter",
+        "stack",
+        "pending",
+        "phase",
     )
-    root.pos = 0
-    if root.depth % 2 == 0:
-        yield (
-            SOLUTION,
-            Path(
-                tuple(prefix_vertices[:-1]) + tuple(root.q_vertices),
-                tuple(prefix_arcs) + tuple(root.q_arcs),
-            ),
+
+    def __init__(
+        self, digraph: DiGraph, source: Vertex, target: Vertex, meter=None
+    ) -> None:
+        self.digraph = digraph
+        self.source = source
+        self.target = target
+        self.meter = meter
+        self.blocked: Set[Vertex] = set()
+        self.prefix_arcs: List[int] = []
+        self.prefix_vertices: List[Vertex] = []
+        self.node_counter = 0
+        self.stack: List[_Frame] = []
+        self.pending: deque = deque()
+        self.phase = 0  # 0 = not started, 1 = running, 2 = exhausted
+
+    # ------------------------------------------------------------------
+    def advance(self) -> Optional[Event]:
+        """The next traversal event, or ``None`` when exhausted."""
+        while True:
+            if self.pending:
+                return self.pending.popleft()
+            if self.phase == 2:
+                return None
+            if self.phase == 0:
+                self._start()
+            else:
+                self._step()
+
+    def _emit_solution(self, frame: _Frame) -> None:
+        self.pending.append(
+            (
+                SOLUTION,
+                Path(
+                    tuple(self.prefix_vertices[:-1]) + tuple(frame.q_vertices),
+                    tuple(self.prefix_arcs) + tuple(frame.q_arcs),
+                ),
+            )
         )
 
-    stack = [root]
-    while stack:
-        frame = stack[-1]
+    def _start(self) -> None:
+        self.phase = 1
+        digraph, source, target = self.digraph, self.source, self.target
+        if source not in digraph or target not in digraph:
+            self.phase = 2
+            return
+        if source == target:
+            self.pending.append((DISCOVER, 0, 0))
+            self.pending.append((SOLUTION, Path((source,), ())))
+            self.pending.append((EXAMINE, 0, 0))
+            self.phase = 2
+            return
+        self.prefix_vertices = [source]
+        root = _Frame(source, None, 0, self.node_counter, (), 0)
+        found = _find_path(
+            digraph, source, target, self.blocked, None, None, self.meter
+        )
+        if found is None:
+            self.phase = 2
+            return
+        self.pending.append((DISCOVER, root.node_id, 0))
+        root.q_arcs, root.q_vertices = found
+        root.ext = _extendible_indices(
+            digraph, self.blocked, root.q_arcs, root.q_vertices, target, self.meter
+        )
+        root.pos = 0
+        if root.depth % 2 == 0:
+            self._emit_solution(root)
+        self.stack.append(root)
+
+    def _step(self) -> None:
+        """One enumeration-tree traversal step (the old loop body)."""
+        if not self.stack:
+            self.phase = 2
+            return
+        digraph, target, meter = self.digraph, self.target, self.meter
+        blocked = self.blocked
+        frame = self.stack[-1]
         if frame.pos < len(frame.ext):
             i = frame.ext[frame.pos]
             frame.pos += 1
@@ -310,14 +405,14 @@ def _enumerate_events(
             added = tuple(frame.q_vertices[: i - 1])
             for v in added:
                 blocked.add(v)
-            prefix_arcs.extend(frame.q_arcs[: i - 1])
-            prefix_vertices.extend(frame.q_vertices[1:i])
-            node_counter += 1
+            self.prefix_arcs.extend(frame.q_arcs[: i - 1])
+            self.prefix_vertices.extend(frame.q_vertices[1:i])
+            self.node_counter += 1
             child = _Frame(
                 frame.q_vertices[i - 1],
                 frame.q_arcs[i - 1],
                 frame.depth + 1,
-                node_counter,
+                self.node_counter,
                 added,
                 i - 1,
             )
@@ -327,35 +422,25 @@ def _enumerate_events(
             if found is None:  # pragma: no cover - excluded by extendibility
                 for v in added:
                     blocked.discard(v)
-                del prefix_arcs[len(prefix_arcs) - child.added_arcs :]
-                del prefix_vertices[len(prefix_vertices) - child.added_arcs :]
-                continue
-            yield (DISCOVER, child.node_id, child.depth)
+                del self.prefix_arcs[len(self.prefix_arcs) - child.added_arcs :]
+                del self.prefix_vertices[
+                    len(self.prefix_vertices) - child.added_arcs :
+                ]
+                return
+            self.pending.append((DISCOVER, child.node_id, child.depth))
             child.q_arcs, child.q_vertices = found
             child.ext = _extendible_indices(
                 digraph, blocked, child.q_arcs, child.q_vertices, target, meter
             )
             child.pos = 0
-            stack.append(child)
+            self.stack.append(child)
             if child.depth % 2 == 0:
-                yield (
-                    SOLUTION,
-                    Path(
-                        tuple(prefix_vertices[:-1]) + tuple(child.q_vertices),
-                        tuple(prefix_arcs) + tuple(child.q_arcs),
-                    ),
-                )
-            continue
+                self._emit_solution(child)
+            return
 
         # All children of the current sibling path processed.
         if frame.depth % 2 == 1:
-            yield (
-                SOLUTION,
-                Path(
-                    tuple(prefix_vertices[:-1]) + tuple(frame.q_vertices),
-                    tuple(prefix_arcs) + tuple(frame.q_arcs),
-                ),
-            )
+            self._emit_solution(frame)
         found = _find_path(
             digraph,
             frame.source,
@@ -372,22 +457,65 @@ def _enumerate_events(
             )
             frame.pos = 0
             if frame.depth % 2 == 0:
-                yield (
-                    SOLUTION,
-                    Path(
-                        tuple(prefix_vertices[:-1]) + tuple(frame.q_vertices),
-                        tuple(prefix_arcs) + tuple(frame.q_arcs),
-                    ),
-                )
-            continue
+                self._emit_solution(frame)
+            return
 
-        yield (EXAMINE, frame.node_id, frame.depth)
-        stack.pop()
+        self.pending.append((EXAMINE, frame.node_id, frame.depth))
+        self.stack.pop()
         for v in frame.added_vertices:
             blocked.discard(v)
         if frame.added_arcs:
-            del prefix_arcs[len(prefix_arcs) - frame.added_arcs :]
-            del prefix_vertices[len(prefix_vertices) - frame.added_arcs :]
+            del self.prefix_arcs[len(self.prefix_arcs) - frame.added_arcs :]
+            del self.prefix_vertices[len(self.prefix_vertices) - frame.added_arcs :]
+
+    # ------------------------------------------------------------------
+    # snapshot plumbing
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Plain-data search state (``blocked`` is derived, not stored)."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "prefix_arcs": list(self.prefix_arcs),
+            "prefix_vertices": list(self.prefix_vertices),
+            "node_counter": self.node_counter,
+            "stack": [frame.as_state() for frame in self.stack],
+            "pending": list(self.pending),
+            "phase": self.phase,
+        }
+
+    @classmethod
+    def restore(
+        cls, digraph: DiGraph, state: Dict[str, Any], meter=None
+    ) -> "PathSearch":
+        """Rebuild a machine over ``digraph`` from a :meth:`state` dict.
+
+        ``digraph`` must be (a deterministic reconstruction of) the
+        digraph the state was captured on; the enumerator-level
+        snapshots guarantee that via the instance fingerprint.
+        """
+        machine = cls(digraph, state["source"], state["target"], meter)
+        machine.prefix_arcs = list(state["prefix_arcs"])
+        machine.prefix_vertices = list(state["prefix_vertices"])
+        machine.node_counter = state["node_counter"]
+        machine.stack = [_Frame.from_state(f) for f in state["stack"]]
+        for frame in machine.stack:
+            machine.blocked.update(frame.added_vertices)
+        machine.pending = deque(state["pending"])
+        machine.phase = state["phase"]
+        return machine
+
+
+def _enumerate_events(
+    digraph: DiGraph, source: Vertex, target: Vertex, meter=None
+) -> Iterator[Event]:
+    """Run Algorithm 1 on an explicit stack, emitting traversal events."""
+    machine = PathSearch(digraph, source, target, meter)
+    while True:
+        event = machine.advance()
+        if event is None:
+            return
+        yield event
 
 
 # ----------------------------------------------------------------------
@@ -462,12 +590,23 @@ def enumerate_st_paths_undirected(
 
 
 class _SuperSource:
-    """Sentinel super-source used by the S-T set-path reduction."""
+    """Sentinel super-source used by the S-T set-path reduction.
+
+    All instances compare equal: a suspended search state that mentions
+    the super endpoints round-trips through serialization and still
+    matches the sentinels of a freshly rebuilt auxiliary digraph.
+    """
 
     __slots__ = ()
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<S*>"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _SuperSource)
+
+    def __hash__(self) -> int:
+        return hash(_SuperSource)
 
 
 class _SuperTarget:
@@ -477,6 +616,12 @@ class _SuperTarget:
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<T*>"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _SuperTarget)
+
+    def __hash__(self) -> int:
+        return hash(_SuperTarget)
 
 
 def build_set_path_digraph(
@@ -576,6 +721,112 @@ def enumerate_set_paths(
     for event in set_path_events(graph, sources, targets, meter):
         if event[0] == SOLUTION:
             yield event[1]
+
+
+class SetPathSearch:
+    """Suspendable undirected ``S``-``T`` path enumeration (object backend).
+
+    The machine form of :func:`enumerate_set_paths`: :meth:`next_path`
+    returns one path at a time, and :meth:`state` / :meth:`restore`
+    freeze / thaw the search mid-enumeration.  The auxiliary digraph is
+    *not* part of the state — it is rebuilt deterministically from the
+    stored source/target orderings and the (fingerprint-bound) graph.
+    """
+
+    __slots__ = ("sources", "targets", "machine")
+
+    def __init__(
+        self,
+        graph: Graph,
+        sources: Iterable[Vertex],
+        targets: Iterable[Vertex],
+        meter=None,
+    ) -> None:
+        self.sources = tuple(sources)
+        self.targets = tuple(targets)
+        digraph, s_star, t_star = build_set_path_digraph(
+            graph, self.sources, self.targets
+        )
+        self.machine = PathSearch(digraph, s_star, t_star, meter)
+
+    def next_path(self) -> Optional[Path]:
+        """The next ``S``-``T`` path, or ``None`` when exhausted."""
+        while True:
+            event = self.machine.advance()
+            if event is None:
+                return None
+            if event[0] == SOLUTION:
+                path = event[1]
+                return Path(
+                    path.vertices[1:-1], tuple(a // 2 for a in path.arcs[1:-1])
+                )
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data state: source/target orderings + machine state."""
+        return {
+            "sources": self.sources,
+            "targets": self.targets,
+            "machine": self.machine.state(),
+        }
+
+    @classmethod
+    def restore(
+        cls, graph: Graph, state: Dict[str, Any], meter=None
+    ) -> "SetPathSearch":
+        """Rebuild the search over ``graph`` from a :meth:`state` dict."""
+        search = cls.__new__(cls)
+        search.sources = tuple(state["sources"])
+        search.targets = tuple(state["targets"])
+        digraph, _s_star, _t_star = build_set_path_digraph(
+            graph, search.sources, search.targets
+        )
+        search.machine = PathSearch.restore(digraph, state["machine"], meter)
+        return search
+
+
+class StPathSearch:
+    """Suspendable plain ``s``-``t`` path enumeration (object backend).
+
+    Machine form of :func:`enumerate_st_paths_undirected` (the paper's
+    two-arcs-per-edge reduction); reported arcs are edge ids.
+    """
+
+    __slots__ = ("source", "target", "machine")
+
+    def __init__(self, graph: Graph, source: Vertex, target: Vertex, meter=None):
+        self.source = source
+        self.target = target
+        self.machine = PathSearch(graph.to_directed(), source, target, meter)
+
+    def next_path(self) -> Optional[Path]:
+        """The next simple path, or ``None`` when exhausted."""
+        while True:
+            event = self.machine.advance()
+            if event is None:
+                return None
+            if event[0] == SOLUTION:
+                return _undirected_path(event[1])
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data state (the directed view is rebuilt on restore)."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "machine": self.machine.state(),
+        }
+
+    @classmethod
+    def restore(
+        cls, graph: Graph, state: Dict[str, Any], meter=None
+    ) -> "StPathSearch":
+        """Rebuild the search over ``graph`` from a :meth:`state` dict."""
+        search = cls.__new__(cls)
+        search.source = state["source"]
+        search.target = state["target"]
+        search.machine = PathSearch.restore(
+            graph.to_directed(), state["machine"], meter
+        )
+        return search
 
 
 def build_set_path_digraph_directed(

@@ -48,9 +48,11 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+import base64
+
 from repro.engine.cache import InstanceCache, job_fingerprint
-from repro.engine.jobs import EnumerationJob, JobResult
-from repro.exceptions import InvalidInstanceError, ReproError
+from repro.engine.jobs import SUSPENDABLE_KINDS, EnumerationJob, JobResult
+from repro.exceptions import CursorStateError, InvalidInstanceError, ReproError
 from repro.serve.protocol import (
     FINAL_CHUNK,
     ProtocolError,
@@ -75,6 +77,7 @@ class ServerStats:
     resumed: int = 0
     cancelled: int = 0
     errors: int = 0
+    worker_replacements: int = 0  # crashed workers replaced mid-stream
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for JSON serving."""
@@ -99,6 +102,9 @@ class _StreamState:
     exhausted: bool = False
     stop_reason: Optional[str] = None
     cached: bool = True  # flips False once a worker enumerates
+    resume_snapshot: Optional[bytes] = None  # thawed from the checkpoint
+    last_snapshot: Optional[bytes] = None  # freshest worker search state
+    last_snapshot_pos: int = -1  # absolute stream position of last_snapshot
 
 
 class EnumerationServer:
@@ -276,6 +282,9 @@ class EnumerationServer:
         payload: Dict[str, Any] = {"ok": True, "workers": self.workers}
         payload.update(self.stats.as_dict())
         payload.update(self.tier.as_dict())
+        # Capability split: these kinds checkpoint search-state snapshots
+        # and resume in O(state); the rest resume by replay fast-forward.
+        payload["suspendable_kinds"] = sorted(SUSPENDABLE_KINDS)
         return payload
 
     # ------------------------------------------------------------------
@@ -320,13 +329,16 @@ class EnumerationServer:
 
     def _resolve_resume(
         self, job: EnumerationJob, stream_id: Optional[str]
-    ) -> Tuple[int, bool]:
-        """Load the checkpointed offset for ``stream_id`` (0 when fresh)."""
+    ) -> Tuple[int, bool, Optional[bytes]]:
+        """Load the checkpointed offset (and search-state snapshot, for
+        suspendable kinds) for ``stream_id`` — ``(0, False, None)`` when
+        fresh.  A checkpoint taken for a different job (kind, backend or
+        instance fingerprint) raises :class:`CursorStateError`."""
         if stream_id is None or self.store is None:
-            return 0, False
+            return 0, False, None
         state = self.store.load_cursor(stream_id)
         if state is None:
-            return 0, False
+            return 0, False, None
         try:
             checkpointed = EnumerationJob.from_dict(state["job"])
             offset = int(state["offset"])
@@ -336,12 +348,21 @@ class EnumerationServer:
             ) from exc
         if (
             checkpointed.kind != job.kind
+            or checkpointed.backend != job.backend
             or job_fingerprint(checkpointed) != job_fingerprint(job)
         ):
-            raise InvalidInstanceError(
-                f"stream {stream_id!r} is checkpointed for a different job"
+            raise CursorStateError(
+                f"stream {stream_id!r} is checkpointed for a different job "
+                f"(kind={checkpointed.kind!r}, backend={checkpointed.backend!r})"
             )
-        return offset, True
+        snapshot: Optional[bytes] = None
+        encoded = state.get("snapshot")
+        if encoded and job.kind in SUSPENDABLE_KINDS:
+            try:
+                snapshot = base64.b64decode(encoded)
+            except (ValueError, TypeError):
+                snapshot = None  # unreadable: replay fast-forward instead
+        return offset, True, snapshot
 
     async def _enumerate(self, body: bytes, writer) -> None:
         try:
@@ -350,11 +371,13 @@ class EnumerationServer:
             )
             job = EnumerationJob.from_dict(spec)
             job = self._apply_deadline_cap(job)
-            offset, resumed = self._resolve_resume(job, stream_id)
+            offset, resumed, resume_snapshot = self._resolve_resume(job, stream_id)
             if explicit_offset is not None:
                 # The client knows exactly what it consumed (the server
                 # checkpoint can run ahead by in-flight bytes the client
-                # never read), so an explicit offset wins.
+                # never read), so an explicit offset wins.  The worker
+                # reconciles the snapshot with the override (it restarts
+                # when the snapshot is past the requested position).
                 offset = explicit_offset
                 resumed = resumed or explicit_offset > 0
         except (InvalidInstanceError, ReproError) as exc:
@@ -375,7 +398,13 @@ class EnumerationServer:
         if resumed:
             self.stats.resumed += 1
         chunk = chunk_override or self.chunk
-        state = _StreamState(job=job, offset=offset, stream_id=stream_id, total=offset)
+        state = _StreamState(
+            job=job,
+            offset=offset,
+            stream_id=stream_id,
+            total=offset,
+            resume_snapshot=resume_snapshot,
+        )
 
         writer.write(response_head(200, "application/x-ndjson"))
         try:
@@ -520,46 +549,91 @@ class EnumerationServer:
     async def _stream_live(
         self, writer, state: _StreamState, live_start: int, chunk: int
     ) -> None:
+        """Drive one worker stream; crashed workers are replaced in place.
+
+        Suspendable kinds ship a search-state snapshot with every chunk,
+        so when a worker process dies mid-stream the replacement resumes
+        from the last delivered chunk boundary in O(state) — the client
+        sees an uninterrupted solution stream.  Replay-only kinds
+        restart the replacement with an offset fast-forward instead.
+        """
         assert self._pool is not None and self._worker_sem is not None
         assert self._executor is not None
         loop = asyncio.get_running_loop()
+        position = live_start
+        snapshot = None
+        if state.resume_snapshot is not None:
+            snapshot = state.resume_snapshot
+        replacements = 0
         async with self._worker_sem:
-            handle = self._pool.acquire()
-            try:
-                handle.start_stream(state.job, live_start, chunk)
-                position = live_start
-                while True:
-                    msg = await loop.run_in_executor(self._executor, handle.recv)
-                    if msg[0] == "chunk":
-                        lines, structures = msg[1], msg[2]
-                        batch = []
-                        for line, structure in zip(lines, structures):
-                            if state.contiguous and position == len(state.known_lines):
-                                state.known_lines.append(line)
-                                state.known_structures.append(structure)
-                            batch.append((position, line))
-                            position += 1
-                        try:
-                            await self._emit_solutions(writer, state, batch)
-                        except _Disconnect:
-                            handle.cancel()
-                            await loop.run_in_executor(
-                                self._executor, handle.drain_to_end
-                            )
-                            raise
-                        handle.credit()
-                    elif msg[0] == "end":
-                        meta = msg[1]
-                        if meta.get("error"):
-                            raise WorkerDied(meta["error"])
-                        state.exhausted = bool(meta.get("exhausted"))
-                        state.stop_reason = meta.get("stop_reason")
-                        return
-            finally:
-                if self._pool is not None:
-                    self._pool.release(handle)
-                else:  # pragma: no cover - server stopped mid-stream
-                    handle.close()
+            while True:  # one iteration per worker (original + replacements)
+                handle = self._pool.acquire()
+                try:
+                    handle.start_stream(state.job, position, chunk, snapshot)
+                    while True:
+                        msg = await loop.run_in_executor(self._executor, handle.recv)
+                        if msg[0] == "chunk":
+                            lines, structures, snap = msg[1], msg[2], msg[3]
+                            batch = []
+                            for line, structure in zip(lines, structures):
+                                if state.contiguous and position == len(
+                                    state.known_lines
+                                ):
+                                    state.known_lines.append(line)
+                                    state.known_structures.append(structure)
+                                batch.append((position, line))
+                                position += 1
+                            if snap is not None:
+                                # Freeze now: the snapshot matches the
+                                # post-batch position, which is what
+                                # state.total becomes even if the client
+                                # disconnects mid-write below.
+                                state.last_snapshot = snap
+                                state.last_snapshot_pos = position
+                            try:
+                                await self._emit_solutions(writer, state, batch)
+                            except _Disconnect:
+                                handle.cancel()
+                                await loop.run_in_executor(
+                                    self._executor, handle.drain_to_end
+                                )
+                                raise
+                            handle.credit()
+                        elif msg[0] == "end":
+                            meta = msg[1]
+                            if meta.get("error"):
+                                raise WorkerDied(meta["error"])
+                            state.exhausted = bool(meta.get("exhausted"))
+                            state.stop_reason = meta.get("stop_reason")
+                            snap = meta.get("snapshot")
+                            if snap is not None:
+                                state.last_snapshot = snap
+                                state.last_snapshot_pos = position
+                            return
+                except WorkerDied as exc:
+                    if handle.alive or replacements >= 2:
+                        # A job-level error (deterministic) or too many
+                        # process deaths: surface it.
+                        raise
+                    replacements += 1
+                    self.stats.worker_replacements += 1
+                    # Resume on a fresh worker from the last chunk
+                    # boundary: O(state) via the snapshot when we hold
+                    # one at exactly `position`, else offset replay.
+                    if (
+                        state.last_snapshot is not None
+                        and state.last_snapshot_pos == position
+                    ):
+                        snapshot = state.last_snapshot
+                    else:
+                        snapshot = None
+                    _ = exc  # retry with the replacement worker
+                    continue
+                finally:
+                    if self._pool is not None:
+                        self._pool.release(handle)
+                    else:  # pragma: no cover - server stopped mid-stream
+                        handle.close()
 
     # ------------------------------------------------------------------
     # completion: persist results + checkpoints
@@ -596,15 +670,27 @@ class EnumerationServer:
                 hasher.update(line.encode())
                 hasher.update(b"\n")
             digest = hasher.hexdigest()
-        self.store.save_cursor(
-            state.stream_id,
-            {
-                "version": 1,
-                "job": job.to_dict(),
-                "offset": state.total,
-                "digest": digest,
-            },
-        )
+        checkpoint: Dict[str, Any] = {
+            "version": 1,
+            "job": job.to_dict(),
+            "offset": state.total,
+            "digest": digest,
+        }
+        # Embed the search state frozen at exactly the checkpoint offset
+        # (the last chunk boundary): the next request with this
+        # stream_id resumes in O(state) instead of replaying the prefix.
+        snapshot = None
+        if state.last_snapshot is not None and state.last_snapshot_pos == state.total:
+            snapshot = state.last_snapshot
+        elif (
+            state.resume_snapshot is not None and state.total == state.offset
+        ):
+            # No live progress this round: re-issue the inherited
+            # snapshot so checkpoint chains stay O(state).
+            snapshot = state.resume_snapshot
+        if snapshot is not None:
+            checkpoint["snapshot"] = base64.b64encode(snapshot).decode("ascii")
+        self.store.save_cursor(state.stream_id, checkpoint)
 
     async def _write_end(self, writer, state: _StreamState) -> None:
         await self._write_event(

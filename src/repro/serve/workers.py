@@ -6,14 +6,14 @@ run-to-completion workers cannot provide.  :class:`WorkerPool` keeps
 ``workers`` long-lived processes, each on a duplex pipe, speaking a
 tiny credit-based protocol:
 
-=================================  ====================================
-parent → worker                    worker → parent
-=================================  ====================================
-``("run", spec, offset, chunk)``   ``("chunk", lines, structures)``
-``("more",)``  (flow credit)       ``("end", meta)``
-``("cancel",)``                    —
-``("quit",)``                      —
-=================================  ====================================
+==========================================  ====================================
+parent → worker                             worker → parent
+==========================================  ====================================
+``("run", spec, offset, chunk, snapshot)``  ``("chunk", lines, structures, snap)``
+``("more",)``  (flow credit)                ``("end", meta)``
+``("cancel",)``                             —
+``("quit",)``                               —
+==========================================  ====================================
 
 After every ``chunk`` the worker **blocks until it receives a credit**
 (``more``) or a ``cancel`` — at most one chunk is ever in flight per
@@ -24,7 +24,15 @@ pending chunk with ``cancel`` instead of ``more`` and the worker
 abandons the enumeration and returns to its idle loop, ready for the
 next job — no process churn.
 
-``offset`` makes streams resumable: the worker fast-forwards past the
+Resumable streams: for suspendable kinds
+(:data:`repro.engine.jobs.SUSPENDABLE_KINDS`) the ``run`` message may
+carry a serialized search-state ``snapshot``
+(:mod:`repro.engine.suspend`) — the worker thaws it and continues in
+O(state) instead of fast-forwarding, and every ``chunk`` (plus the
+clean-``end`` meta) carries a fresh snapshot of the state *after* that
+chunk, which is what lets the server checkpoint streams for O(state)
+resume and transparently replace a crashed worker mid-stream.  Without
+a snapshot (or for replay-only kinds) ``offset`` fast-forwards past the
 first ``offset`` solutions of the (deterministic) enumeration without
 rendering them.  The execution envelope carries over from
 :mod:`repro.engine.jobs`: the job's ``deadline`` bounds the live
@@ -33,8 +41,9 @@ when delivery begins, exactly like
 :class:`repro.engine.cursor.EnumerationCursor`.
 
 A worker that dies mid-stream (OOM-killed, crashed) surfaces as a
-``("end", {... "error": ...})`` to the caller and is replaced by a
-fresh process on release.
+:class:`WorkerDied` to the caller and is replaced by a fresh process;
+the server restarts the stream on the replacement from the last chunk's
+snapshot.
 """
 
 from __future__ import annotations
@@ -47,6 +56,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.engine.jobs import (
     BudgetExceeded,
     EnumerationJob,
+    SUSPENDABLE_KINDS,
     _BudgetMeter,
     iter_structures,
     structure_line,
@@ -56,7 +66,13 @@ from repro.engine.jobs import (
 DEFAULT_CHUNK = 64
 
 
-def _stream_job(conn, spec: Dict[str, Any], offset: int, chunk: int) -> None:
+def _stream_job(
+    conn,
+    spec: Dict[str, Any],
+    offset: int,
+    chunk: int,
+    snapshot: Optional[bytes] = None,
+) -> None:
     """Run one streaming enumeration on the worker side of ``conn``."""
     start = time.perf_counter()
     meter = _BudgetMeter()
@@ -66,13 +82,19 @@ def _stream_job(conn, spec: Dict[str, Any], offset: int, chunk: int) -> None:
     error: Optional[str] = None
     buf_lines: list = []
     buf_structures: list = []
+    search = None  # suspendable machine (when the kind supports one)
+    clean = True  # False after a mid-step abort: snapshot unusable
+    last_snap: list = [None, -1]  # [blob, emitted position] from flush()
 
     def flush() -> bool:
         """Send the buffered chunk; False when the stream was cancelled."""
         nonlocal stop_reason
         if not buf_lines:
             return True
-        conn.send(("chunk", list(buf_lines), list(buf_structures)))
+        snap = search.snapshot() if search is not None and clean else None
+        if snap is not None:
+            last_snap[0], last_snap[1] = snap, search.emitted
+        conn.send(("chunk", list(buf_lines), list(buf_structures), snap))
         buf_lines.clear()
         buf_structures.clear()
         reply = conn.recv()
@@ -83,9 +105,10 @@ def _stream_job(conn, spec: Dict[str, Any], offset: int, chunk: int) -> None:
 
     try:
         job = EnumerationJob.from_dict(spec)
-        meter.deadline_at = (
+        deadline_at = (
             (time.monotonic() + job.deadline) if job.deadline is not None else None
         )
+        meter.deadline_at = deadline_at
         remaining: Optional[int] = None
         if job.limit is not None:
             remaining = max(0, job.limit - offset)
@@ -94,6 +117,61 @@ def _stream_job(conn, spec: Dict[str, Any], offset: int, chunk: int) -> None:
             meter.budget = job.budget
         if remaining == 0:
             stop_reason = "limit"
+        elif job.kind in SUSPENDABLE_KINDS:
+            from repro.engine.suspend import JobSearch
+
+            # Machine-driven streams enforce the deadline between
+            # solutions — a clean suspension point, so deadline stops
+            # keep their snapshot — instead of letting the substrate
+            # meter abort mid-step.
+            meter.deadline_at = None
+            if snapshot is not None:
+                search = JobSearch.restore(job, snapshot, meter)
+                if search.emitted > offset:
+                    # The snapshot ran past the requested position (an
+                    # explicit client offset behind the checkpoint):
+                    # restart and fast-forward — still deterministic.
+                    search = JobSearch(job, meter)
+            else:
+                search = JobSearch(job, meter)
+            try:
+                while True:
+                    pair = search.next()
+                    if pair is None:
+                        exhausted = True
+                        break
+                    line, structure = pair
+                    if search.emitted <= offset:
+                        if (
+                            deadline_at is not None
+                            and time.monotonic() > deadline_at
+                        ):
+                            stop_reason = "deadline"
+                            break
+                        continue  # fast-forward the uncovered gap
+                    if not armed:
+                        armed = True
+                        if job.budget is not None:
+                            meter.budget = meter.count + job.budget
+                    buf_lines.append(line)
+                    buf_structures.append(structure)
+                    delivered += 1
+                    if remaining is not None and delivered >= remaining:
+                        stop_reason = "limit"
+                        break
+                    if deadline_at is not None and time.monotonic() > deadline_at:
+                        stop_reason = "deadline"
+                        break
+                    if len(buf_lines) >= chunk:
+                        if not flush():
+                            break
+            except BudgetExceeded:
+                clean = False
+                raise
+            if exhausted and search.emitted < offset:
+                error = "stream offset exceeds the job's solution stream"
+                exhausted = False
+                stop_reason = "error"
         else:
             seen = 0
             for structure in iter_structures(job, meter):
@@ -125,10 +203,25 @@ def _stream_job(conn, spec: Dict[str, Any], offset: int, chunk: int) -> None:
         error = f"{type(exc).__name__}: {exc}"
         stop_reason = "error"
         exhausted = False
+        clean = False
     try:
         if stop_reason != "cancelled":
             if not flush():
                 pass  # cancelled at the final chunk; fall through to "end"
+        final_snap = None
+        if (
+            search is not None
+            and clean
+            and not exhausted
+            and error is None
+            and stop_reason != "cancelled"  # drain_to_end discards the meta
+        ):
+            # The final flush usually froze the state at this exact
+            # position already; reuse it instead of re-serializing.
+            if last_snap[0] is not None and last_snap[1] == search.emitted:
+                final_snap = last_snap[0]
+            else:
+                final_snap = search.snapshot()
         conn.send(
             (
                 "end",
@@ -139,6 +232,7 @@ def _stream_job(conn, spec: Dict[str, Any], offset: int, chunk: int) -> None:
                     "ops": meter.count,
                     "elapsed": round(time.perf_counter() - start, 6),
                     "error": error,
+                    "snapshot": final_snap,
                 },
             )
         )
@@ -159,8 +253,8 @@ def _worker_main(conn) -> None:
             conn.send(("pong", os.getpid()))
             continue
         if msg[0] == "run":
-            _, spec, offset, chunk = msg
-            _stream_job(conn, spec, offset, chunk)
+            _, spec, offset, chunk, snapshot = msg
+            _stream_job(conn, spec, offset, chunk, snapshot)
 
 
 class WorkerDied(RuntimeError):
@@ -180,9 +274,19 @@ class WorkerHandle:
         self.failed = False
 
     # -- blocking half: the server calls these through an executor -----
-    def start_stream(self, job: EnumerationJob, offset: int, chunk: int) -> None:
-        """Dispatch a streaming run to this worker."""
-        self.conn.send(("run", job.to_dict(), offset, chunk))
+    def start_stream(
+        self,
+        job: EnumerationJob,
+        offset: int,
+        chunk: int,
+        snapshot: Optional[bytes] = None,
+    ) -> None:
+        """Dispatch a streaming run to this worker.
+
+        ``snapshot`` (suspendable kinds only) thaws the enumeration at
+        ``offset`` in O(state) instead of fast-forwarding.
+        """
+        self.conn.send(("run", job.to_dict(), offset, chunk, snapshot))
 
     def recv(self) -> Tuple[Any, ...]:
         """Receive the next protocol message (raises :class:`WorkerDied`)."""
@@ -260,6 +364,7 @@ class WorkerPool:
         self._ctx = multiprocessing.get_context(mp_context)
         self.size = workers
         self._idle: list = [WorkerHandle(self._ctx) for _ in range(workers)]
+        self._all: list = list(self._idle)
         self._closed = False
 
     def acquire(self) -> WorkerHandle:
@@ -280,8 +385,15 @@ class WorkerPool:
                 handle.close()
             except Exception:  # pragma: no cover - close is best-effort
                 pass
+            if handle in self._all:
+                self._all.remove(handle)
             handle = WorkerHandle(self._ctx)
+            self._all.append(handle)
         self._idle.append(handle)
+
+    def _all_handles(self) -> list:
+        """Every live handle, busy ones included (introspection/tests)."""
+        return list(self._all)
 
     def close(self) -> None:
         """Terminate every pooled worker."""

@@ -214,6 +214,90 @@ class TestRestartResume:
             assert tuple(consumed + tail) == full
             assert events[-1]["exhausted"] is True
 
+    def test_disconnect_checkpoint_embeds_search_snapshot(self, tmp_path):
+        """Suspendable kinds checkpoint the frozen search state itself,
+        and the restarted server resumes from it (not by replaying the
+        prefix) with a byte-identical tail."""
+        import time
+
+        from repro.core.suspend import read_snapshot_header
+        from repro.serve.store import ResultStore
+
+        store = str(tmp_path / "store")
+        job = grid_job(job_id="snap")
+        full = run_job(job).lines
+
+        with ServerThread(EnumerationServer(workers=1, store=store)) as thread:
+            consumed = []
+            stream = ServeClient(port=thread.port).enumerate(
+                job, stream_id="snap-1", chunk=2
+            )
+            for event in stream:
+                if event["event"] == "solution":
+                    consumed.append(event["line"])
+                    if len(consumed) == 8:
+                        stream.close()
+                        break
+            reader = ResultStore(store)
+            state = None
+            for _ in range(100):
+                state = reader.load_cursor("snap-1")
+                if state is not None:
+                    break
+                time.sleep(0.05)
+            assert state is not None and "snapshot" in state
+            import base64
+
+            header = read_snapshot_header(base64.b64decode(state["snapshot"]))
+            assert header["kind"] == "steiner-tree"
+            assert header["emitted"] == state["offset"]
+
+        with ServerThread(EnumerationServer(workers=1, store=store)) as thread:
+            tail = [
+                e["line"]
+                for e in ServeClient(port=thread.port).enumerate(
+                    job, stream_id="snap-1", offset=len(consumed)
+                )
+                if e["event"] == "solution"
+            ]
+        assert tuple(consumed + tail) == full
+
+    def test_worker_crash_is_replaced_mid_stream(self, tmp_path):
+        """SIGKILL the enumerating worker: the server replaces it and
+        the client's stream continues without a gap or duplicate."""
+        import os
+        import signal
+        import time
+
+        store = str(tmp_path / "store")
+        job = grid_job(job_id="crash")
+        full = run_job(job).lines
+        server = EnumerationServer(workers=1, store=store, chunk=2)
+        with ServerThread(server) as thread:
+            got = []
+            killed = False
+            for event in ServeClient(port=thread.port).enumerate(job):
+                if event["event"] != "solution":
+                    continue
+                got.append(event["line"])
+                if not killed and len(got) == 6:
+                    # The pool has one worker and it is busy (not idle):
+                    # find and kill its process.
+                    assert server._pool is not None
+                    idle = {h.process.pid for h in server._pool._idle}
+                    busy = [
+                        h.process.pid
+                        for h in server._pool._all_handles()
+                        if h.process.pid not in idle
+                    ]
+                    assert busy
+                    os.kill(busy[0], signal.SIGKILL)
+                    killed = True
+                    time.sleep(0.05)
+            assert killed
+            assert tuple(got) == full
+            assert server.stats.worker_replacements >= 1
+
     def test_checkpoint_conflict_is_rejected(self, tmp_path):
         import time
 
