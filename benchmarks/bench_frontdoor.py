@@ -1,0 +1,215 @@
+"""Front-door benchmark: named-dataset warm path + many-tenant fairness.
+
+Two phases against a real in-process :class:`EnumerationServer` (no
+result store, no instance cache — so the *front-door* caches are the
+only thing separating the phases):
+
+1. **Warm-path gate** — a keyword graph is registered once under a
+   name; ``BENCH_FRONTDOOR_ROUNDS`` ``/answer`` requests then reference
+   the name.  The per-request-upload control runs the same query as
+   ``/enumerate`` kfragments jobs that ship the full edge list + keyword
+   table in every request body (rebuilding the graph and recompiling the
+   query server-side each time).  The named warm path must be at least
+   ``BENCH_FRONTDOOR_GATE`` (default 5.0) times faster per request, and
+   every warm answer must be byte-identical to the first.
+2. **Many-tenant fairness smoke** — one tenant per tier (free,
+   standard, paid) fires concurrent ``/enumerate`` streams at a
+   2-worker pool.  Every stream must complete byte-identical to the
+   reference enumeration and every tenant's usage must be accounted —
+   i.e. paid-tier priority must not starve the free tier.
+
+Environment knobs: ``BENCH_FRONTDOOR_ROUNDS`` (timed requests per
+phase, default 10), ``BENCH_FRONTDOOR_GATE`` (warm-path speedup floor,
+default 5.0), ``BENCH_FRONTDOOR_TAIL`` (payload tree-appendage
+size in nodes, default 1500).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_frontdoor.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Tuple
+
+from repro.engine.jobs import EnumerationJob, run_job
+from repro.serve import EnumerationServer, ServeClient, ServerThread
+
+KEYWORDS = ["alpha", "beta", "gamma"]
+
+
+def keyword_graph(tail: int) -> Tuple[List[Tuple[str, str]], List[Tuple[str, List[str]]]]:
+    """A small keyword core + a ``tail``-node tree appendage.
+
+    The keywords (and therefore every minimal answer) live in the
+    8-node core, so the query itself is cheap; the appendage is a tree,
+    which inclusion-minimal Steiner structures can never enter — it
+    exists purely to make the payload big, i.e. to make the
+    per-request-upload control pay for shipping, parsing, rebuilding
+    and recompiling a large graph on every request."""
+    core = [
+        ("c0", "c1"), ("c1", "c2"), ("c2", "c3"), ("c3", "c0"),
+        ("c1", "c4"), ("c4", "c5"), ("c5", "c2"), ("c0", "c6"),
+        ("c6", "c7"), ("c7", "c3"),
+    ]
+    edges = list(core)
+    edges.append(("c0", "t0"))
+    for i in range(tail - 1):
+        # a binary tree keeps the appendage shallow but wide
+        edges.append((f"t{i // 2}", f"t{i + 1}"))
+    node_keywords = [
+        ("c0", ["alpha"]),
+        ("c2", ["beta"]),
+        ("c5", ["gamma"]),
+    ]
+    return edges, node_keywords
+
+
+def timed(fn, rounds: int) -> Tuple[float, List[object]]:
+    """Mean seconds per call over ``rounds`` calls + the results."""
+    results = []
+    start = time.perf_counter()
+    for _ in range(rounds):
+        results.append(fn())
+    return (time.perf_counter() - start) / rounds, results
+
+
+def warm_path_phase(
+    port: int, rounds: int, tail: int, failures: List[str]
+) -> Dict[str, float]:
+    """Named-dataset ``/answer`` vs per-request kfragments upload."""
+    edges, node_keywords = keyword_graph(tail)
+    client = ServeClient(port=port, timeout=300)
+    client.register_dataset("bench", edges, node_keywords=node_keywords)
+    client.answer("bench", KEYWORDS, k=3)  # warm graph + compiled query
+
+    warm_mean, warm_docs = timed(
+        lambda: client.answer("bench", KEYWORDS, k=3), rounds
+    )
+    first = warm_docs[0]["answers"]
+    if not first:
+        failures.append("warm /answer returned no answers")
+    for doc in warm_docs[1:]:
+        if doc["answers"] != first:
+            failures.append("warm /answer responses disagree")
+            break
+    if not all(
+        d["provenance"]["answer_cached"] or d["provenance"]["compiled_query_warm"]
+        for d in warm_docs
+    ):
+        failures.append("warm /answer did not hit the front-door caches")
+
+    # the control ships the whole graph in every request body
+    upload_spec = {
+        "kind": "kfragments",
+        "edges": [list(e) for e in edges],
+        "keywords": KEYWORDS,
+        "node_keywords": [[n, kws] for n, kws in node_keywords],
+        "limit": 16,
+    }
+    upload_mean, _uploads = timed(
+        lambda: client.solutions(dict(upload_spec)), rounds
+    )
+
+    speedup = upload_mean / warm_mean if warm_mean > 0 else float("inf")
+    return {
+        "warm_ms": warm_mean * 1000.0,
+        "upload_ms": upload_mean * 1000.0,
+        "speedup": speedup,
+    }
+
+
+def fairness_phase(server: EnumerationServer, port: int, failures: List[str]) -> Dict[str, int]:
+    """Concurrent streams from one tenant per tier; nobody starves."""
+    tiers = ["free", "standard", "paid"]
+    keys = {t: server.tenants.issue(f"bench-{t}", tier=t).key for t in tiers}
+    jobs = {}
+    for tier in tiers:
+        n = 18
+        edges = [(f"{tier}{i}", f"{tier}{(i + 1) % n}") for i in range(n)]
+        edges += [(f"{tier}{i}", f"{tier}{(i + 2) % n}") for i in range(0, n, 2)]
+        jobs[tier] = EnumerationJob.steiner_tree(
+            edges, [f"{tier}0", f"{tier}{n // 2}"], limit=400
+        )
+    expected = {t: run_job(j).lines for t, j in jobs.items()}
+    completions: Dict[str, int] = {t: 0 for t in tiers}
+    lock = threading.Lock()
+    errors: List[str] = []
+
+    def worker(tier: str) -> None:
+        try:
+            lines = tuple(
+                ServeClient(port=port, timeout=300, api_key=keys[tier]).solutions(
+                    jobs[tier]
+                )
+            )
+            if lines != expected[tier]:
+                raise AssertionError(f"{tier}: stream differs from reference")
+            with lock:
+                completions[tier] += 1
+        except Exception as exc:  # noqa: BLE001 — surfaced below
+            with lock:
+                errors.append(f"{tier}: {exc}")
+
+    threads = [
+        threading.Thread(target=worker, args=(tier,))
+        for tier in tiers
+        for _ in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    failures.extend(errors)
+    for tier in tiers:
+        if completions[tier] != 3:
+            failures.append(f"{tier} tier starved: {completions[tier]}/3 completed")
+        usage = server.tenants.usage(f"bench-{tier}")
+        if usage["requests"] < 3:
+            failures.append(f"{tier} tier usage not accounted: {usage}")
+    return completions
+
+
+def main() -> int:
+    rounds = int(os.environ.get("BENCH_FRONTDOOR_ROUNDS", "10"))
+    gate = float(os.environ.get("BENCH_FRONTDOOR_GATE", "5.0"))
+    tail = int(os.environ.get("BENCH_FRONTDOOR_TAIL", "1500"))
+    failures: List[str] = []
+
+    server = EnumerationServer(workers=2, cache=False, tenants=None)
+    with ServerThread(server) as thread:
+        stats = warm_path_phase(thread.port, rounds, tail, failures)
+        print(
+            f"warm /answer      {stats['warm_ms']:8.2f} ms/req\n"
+            f"per-req upload    {stats['upload_ms']:8.2f} ms/req\n"
+            f"speedup           {stats['speedup']:8.2f}x   (gate {gate:g}x)"
+        )
+        if stats["speedup"] < gate:
+            failures.append(
+                f"warm-path speedup {stats['speedup']:.2f}x below the {gate:g}x gate"
+            )
+
+    fair_server = EnumerationServer(
+        workers=2, cache=False, tenants=os.path.join(
+            os.environ.get("TMPDIR", "/tmp"), f"bench-frontdoor-tenants-{os.getpid()}"
+        )
+    )
+    with ServerThread(fair_server) as thread:
+        completions = fairness_phase(fair_server, thread.port, failures)
+        print(f"fairness          {completions} (3 streams per tier, all byte-exact)")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall front-door gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -134,6 +134,17 @@ PAGES = {
             "repro.serve.protocol",
         ],
     ),
+    "repro.frontdoor": (
+        "repro.frontdoor — multi-tenant query front door",
+        [
+            "repro.frontdoor",
+            "repro.frontdoor.registry",
+            "repro.frontdoor.tenants",
+            "repro.frontdoor.answers",
+            "repro.frontdoor.scheduling",
+            "repro.frontdoor.metrics",
+        ],
+    ),
     "repro.bench": (
         "repro.bench — measurement harness",
         ["repro.bench", "repro.bench.harness", "repro.bench.workloads"],

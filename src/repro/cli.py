@@ -356,6 +356,81 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="server-side cap (seconds) on every job's deadline",
     )
+    p.add_argument(
+        "--registry",
+        default=None,
+        help="dataset registry directory (defaults to <store>/datasets "
+        "when --store is set)",
+    )
+    p.add_argument(
+        "--tenants",
+        default=None,
+        help="tenant registry directory: enables API keys and quotas",
+    )
+    p.add_argument(
+        "--require-auth",
+        action="store_true",
+        help="reject anonymous requests (every request needs an API key)",
+    )
+    p.add_argument(
+        "--warm",
+        type=int,
+        default=0,
+        help="pre-warm this many of the most-used datasets at startup",
+    )
+
+    p = sub.add_parser(
+        "dataset", help="manage the named-dataset registry (front door)"
+    )
+    dsub = p.add_subparsers(dest="action", required=True)
+    d = dsub.add_parser("add", help="register a graph under a name")
+    d.add_argument("name", help="dataset name ([A-Za-z0-9][A-Za-z0-9._-]*)")
+    d.add_argument("graph", help="edge-list file (u v per line)")
+    d.add_argument(
+        "--keywords",
+        default=None,
+        help="node-keyword file: one `node kw kw ...` line per node",
+    )
+    d.add_argument("--registry", required=True, help="registry directory")
+    d = dsub.add_parser("list", help="list registered datasets")
+    d.add_argument("--registry", required=True, help="registry directory")
+    d = dsub.add_parser("rm", help="unregister a dataset")
+    d.add_argument("name", help="dataset name")
+    d.add_argument("--registry", required=True, help="registry directory")
+
+    p = sub.add_parser(
+        "tenant", help="manage API keys and quotas (front door)"
+    )
+    tsub = p.add_subparsers(dest="action", required=True)
+    t = tsub.add_parser("add", help="issue (or re-key) a tenant API key")
+    t.add_argument("name", help="tenant name")
+    t.add_argument(
+        "--tier",
+        default="free",
+        choices=("free", "standard", "paid"),
+        help="quota/priority tier",
+    )
+    t.add_argument(
+        "--requests", type=int, default=None, help="override: requests per window"
+    )
+    t.add_argument(
+        "--solutions", type=int, default=None, help="override: solutions per window"
+    )
+    t.add_argument(
+        "--compute-seconds",
+        type=float,
+        default=None,
+        help="override: compute seconds per window",
+    )
+    t.add_argument(
+        "--window", type=float, default=None, help="override: window length (seconds)"
+    )
+    t.add_argument("--tenants", required=True, help="tenant registry directory")
+    t = tsub.add_parser("list", help="list tenants and their usage")
+    t.add_argument("--tenants", required=True, help="tenant registry directory")
+    t = tsub.add_parser("revoke", help="revoke a tenant's API key")
+    t.add_argument("name", help="tenant name")
+    t.add_argument("--tenants", required=True, help="tenant registry directory")
 
     p = sub.add_parser(
         "client", help="stream jobs from a running `repro serve --port` instance"
@@ -530,6 +605,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _run_snapshot(args, out)
     elif args.command == "serve":
         _run_serve(args, out)
+    elif args.command == "dataset":
+        return _run_dataset(args, out)
+    elif args.command == "tenant":
+        return _run_tenant(args, out)
     elif args.command == "client":
         return _run_client(args, out)
     return 0
@@ -574,6 +653,10 @@ def _run_serve(args, out) -> None:
         store=store,
         chunk=args.chunk,
         max_deadline=args.max_deadline,
+        registry=args.registry,
+        tenants=args.tenants,
+        require_auth=args.require_auth,
+        warm=args.warm,
     )
 
     async def _main() -> None:
@@ -585,6 +668,102 @@ def _run_serve(args, out) -> None:
         asyncio.run(_main())
     except KeyboardInterrupt:
         pass
+
+
+def _load_edge_list(path: str) -> List[Tuple[str, str]]:
+    """Raw ``(u, v)`` pairs from an edge-list file (weights ignored)."""
+    edges = []
+    with open(path) as handle:
+        for line in handle:
+            parts = line.split()
+            if not parts or parts[0].startswith("#"):
+                continue
+            if len(parts) < 2:
+                raise SystemExit(f"{path}: malformed edge line {line.strip()!r}")
+            edges.append((parts[0], parts[1]))
+    return edges
+
+
+def _load_node_keywords(path: str) -> List[Tuple[str, List[str]]]:
+    """``(node, keywords)`` pairs from a ``node kw kw ...`` file."""
+    pairs = []
+    with open(path) as handle:
+        for line in handle:
+            parts = line.split()
+            if not parts or parts[0].startswith("#"):
+                continue
+            pairs.append((parts[0], parts[1:]))
+    return pairs
+
+
+def _run_dataset(args, out) -> int:
+    """The ``dataset add/list/rm`` subcommand bodies."""
+    from repro.exceptions import ReproError
+    from repro.frontdoor.registry import DatasetRegistry
+
+    registry = DatasetRegistry(args.registry)
+    if args.action == "add":
+        node_keywords = (
+            _load_node_keywords(args.keywords) if args.keywords else None
+        )
+        try:
+            record, deduped = registry.add(
+                args.name,
+                _load_edge_list(args.graph),
+                node_keywords=node_keywords,
+            )
+        except ReproError as exc:
+            raise SystemExit(str(exc)) from exc
+        note = " (deduped: identical up to relabeling)" if deduped else ""
+        print(
+            f"registered {record.name}: {record.num_vertices} vertices, "
+            f"{record.num_edges} edges, digest {record.digest[:12]}{note}",
+            file=out,
+        )
+    elif args.action == "list":
+        for record in registry.list():
+            print(
+                f"{record.name}\t{record.num_vertices}v\t{record.num_edges}e"
+                f"\tuses={record.uses}\t{record.digest[:12]}",
+                file=out,
+            )
+    elif args.action == "rm":
+        if not registry.remove(args.name):
+            raise SystemExit(f"unknown dataset {args.name!r}")
+        print(f"removed {args.name}", file=out)
+    return 0
+
+
+def _run_tenant(args, out) -> int:
+    """The ``tenant add/list/revoke`` subcommand bodies."""
+    import json
+
+    from repro.exceptions import ReproError
+    from repro.frontdoor.tenants import TenantRegistry
+
+    registry = TenantRegistry(args.tenants)
+    if args.action == "add":
+        try:
+            tenant = registry.issue(
+                args.name,
+                tier=args.tier,
+                requests=args.requests,
+                solutions=args.solutions,
+                compute_seconds=args.compute_seconds,
+                window=args.window,
+            )
+        except ReproError as exc:
+            raise SystemExit(str(exc)) from exc
+        # The key is shown exactly once here; the registry file stores it
+        # but `tenant list` never echoes it.
+        print(f"{tenant.name} ({tenant.tier}) key: {tenant.key}", file=out)
+    elif args.action == "list":
+        print(json.dumps(registry.usage_table(), indent=2, sort_keys=True), file=out)
+    elif args.action == "revoke":
+        if not registry.revoke(args.name):
+            raise SystemExit(f"unknown tenant {args.name!r}")
+        print(f"revoked {args.name}", file=out)
+    return 0
 
 
 def _run_client(args, out) -> int:

@@ -108,7 +108,7 @@ def enumerate_chordless_st_paths(
         fg, index = compile_undirected(graph)
         s = map_query_vertex(index, source) if source in graph else source
         t = map_query_vertex(index, target) if target in graph else target
-        inner = enumerate_chordless_st_paths(fg, s, t, meter=meter)
+        inner = _fast_chordless_st_paths(fg, s, t, meter)
         if index is None:
             yield from inner
         else:
@@ -162,6 +162,112 @@ def enumerate_chordless_st_paths(
         for u in reversed(candidates):
             if extendible(prefix, u):
                 stack.append((u, True))
+
+
+def _fast_chordless_st_paths(
+    fg, source: int, target: int, meter=None
+) -> Iterator[Tuple[int, ...]]:
+    """Kernel-native chordless path enumeration over a :class:`FastGraph`.
+
+    Same certificate-guided backtracking as the object implementation —
+    and the same solution stream, solution for solution — but the two
+    O(|prefix| · Δ) set unions per search node (the ``forbidden`` set for
+    candidate filtering and the ``blocked`` set per extendibility probe)
+    are replaced by flat integer arrays maintained incrementally:
+
+    * ``cov[u]`` counts how many *body* vertices (the prefix minus its
+      tip) cover ``u`` with their closed neighbourhood — updated in
+      O(deg) when a vertex enters or leaves the body, so the candidate
+      filter is a single array read per neighbour.
+    * The tip's closed neighbourhood is stamped once per search node
+      (the object version rebuilds the union per candidate), and the
+      extendibility sweep early-exits at the target.
+
+    Yields integer-vertex tuples; the backend dispatcher translates
+    labels when the input graph was relabeled during compilation.
+    """
+    from repro.exceptions import VertexNotFound as _VNF
+
+    if source not in fg:
+        raise _VNF(source)
+    if target not in fg:
+        raise _VNF(target)
+    if source == target:
+        yield (source,)
+        return
+    n = len(fg.neighbor_lists())
+    raw = fg.neighbor_lists()
+    # Distinct neighbours, pre-sorted once into the object backend's
+    # ``sorted(neighbor_set(v), key=repr)`` exploration order.
+    adj_sorted: List[List[int]] = [sorted(set(lst), key=repr) for lst in raw]
+    cov = [0] * n  # closed-neighbourhood cover counts of the body
+    tip_mark = [0] * n  # node-level stamp: N[tip] ∪ {tip}
+    visited = [0] * n  # probe-level stamp: reachability sweep marks
+    node_stamp = 0
+    probe_stamp = 0
+
+    def cover(v: int, delta: int) -> None:
+        cov[v] += delta
+        for u in adj_sorted[v]:
+            cov[u] += delta
+        _tick(meter, len(adj_sorted[v]))
+
+    def extendible(u: int) -> bool:
+        """Can the prefix extended by ``u`` still reach the target
+        chordlessly?  ``blocked`` = body cover ∪ N[tip] ∪ {tip}, minus
+        ``u`` itself (the object version's ``blocked.discard(tip)``)."""
+        nonlocal probe_stamp
+        blocked_t = cov[target] > 0 or tip_mark[target] == node_stamp
+        if blocked_t and target != u:
+            return False
+        if u == target:
+            return True
+        probe_stamp += 1
+        stack = [u]
+        visited[u] = probe_stamp
+        while stack:
+            v = stack.pop()
+            for w in raw[v]:
+                _tick(meter)
+                if w == target:
+                    return True
+                if (
+                    visited[w] != probe_stamp
+                    and cov[w] == 0
+                    and tip_mark[w] != node_stamp
+                    and w != u
+                ):
+                    visited[w] = probe_stamp
+                    stack.append(w)
+        return False
+
+    prefix: List[int] = []
+    stack: List[Tuple[int, bool]] = [(source, True)]
+    while stack:
+        v, entering = stack.pop()
+        if not entering:
+            prefix.pop()
+            if prefix:
+                cover(prefix[-1], -1)  # the new tip leaves the body
+            continue
+        if prefix:
+            cover(prefix[-1], +1)  # the old tip joins the body
+        prefix.append(v)
+        stack.append((v, False))
+        if v == target:
+            yield tuple(prefix)
+            continue
+        node_stamp += 1
+        tip_mark[v] = node_stamp
+        for u in adj_sorted[v]:
+            tip_mark[u] = node_stamp
+        _tick(meter, len(adj_sorted[v]))
+        survivors = [
+            u for u in adj_sorted[v] if cov[u] == 0 and extendible(u)
+        ]
+        for u in reversed(survivors):
+            stack.append((u, True))
+    return
 
 
 def enumerate_minimal_induced_steiner_pairs(

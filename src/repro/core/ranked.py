@@ -166,6 +166,45 @@ def enumerate_approximately_by_weight(
         yield (key[0], sol)
 
 
+def top_k_minimal_steiner_trees(
+    graph: Graph,
+    terminals: Sequence[Vertex],
+    weights: Mapping[int, Weight],
+    k: int,
+    meter=None,
+    backend: str = "object",
+) -> Tuple[List[Tuple[Weight, Solution]], int]:
+    """The exact top-``k`` plus the number of solutions scanned.
+
+    Same contract as :func:`k_lightest_minimal_steiner_trees` (which
+    delegates here) but also reports how many solutions the full
+    enumeration streamed through the heap — the work measure the
+    serving layer's answer provenance exposes, so an operator can see
+    when a dataset's answer cost is enumeration-bound rather than k.
+
+    Returns ``(results, scanned)`` with ``results`` ascending in
+    RANKED ORDER.
+    """
+    check_backend(backend)
+    if k < 1:
+        return [], 0
+    # Max-heap on RANKED ORDER keys: heap[0] is the heaviest kept entry.
+    heap: List[Tuple[_ReversedKey, Weight, Solution]] = []
+    scanned = 0
+    for weight, solution in _weighted_stream(
+        graph, terminals, weights, meter, backend
+    ):
+        scanned += 1
+        key = ranked_key(weight, solution)
+        if len(heap) < k:
+            heapq.heappush(heap, (_ReversedKey(key), weight, solution))
+        elif key < heap[0][0].key:
+            heapq.heapreplace(heap, (_ReversedKey(key), weight, solution))
+    result = [(w, sol) for _rk, w, sol in heap]
+    result.sort(key=lambda pair: ranked_key(pair[0], pair[1]))
+    return result, scanned
+
+
 def k_lightest_minimal_steiner_trees(
     graph: Graph,
     terminals: Sequence[Vertex],
@@ -180,22 +219,9 @@ def k_lightest_minimal_steiner_trees(
     over the amortized-linear enumeration of all ``N`` solutions.  Exact,
     sorted ascending in RANKED ORDER.
     """
-    check_backend(backend)
-    if k < 1:
-        return []
-    # Max-heap on RANKED ORDER keys: heap[0] is the heaviest kept entry.
-    heap: List[Tuple[_ReversedKey, Weight, Solution]] = []
-    for weight, solution in _weighted_stream(
-        graph, terminals, weights, meter, backend
-    ):
-        key = ranked_key(weight, solution)
-        if len(heap) < k:
-            heapq.heappush(heap, (_ReversedKey(key), weight, solution))
-        elif key < heap[0][0].key:
-            heapq.heapreplace(heap, (_ReversedKey(key), weight, solution))
-    result = [(w, sol) for _rk, w, sol in heap]
-    result.sort(key=lambda pair: ranked_key(pair[0], pair[1]))
-    return result
+    return top_k_minimal_steiner_trees(
+        graph, terminals, weights, k, meter=meter, backend=backend
+    )[0]
 
 
 def weight_of_optimum(

@@ -325,6 +325,14 @@ class DataGraph:
     # ------------------------------------------------------------------
     # compiled (integer-compact) queries, cached per keyword set
     # ------------------------------------------------------------------
+    def has_compiled_query(self, keywords: Sequence[Keyword]) -> bool:
+        """True when :meth:`compiled_query` would hit its memo (same
+        keyword set, no mutation since).  The serving layer reports this
+        in answer provenance so operators can see cache warmth."""
+        key = tuple(dict.fromkeys(keywords))
+        hit = self._compiled.get(key)
+        return hit is not None and hit[0] == self._version
+
     def compiled_query(self, keywords: Sequence[Keyword]) -> CompiledQuery:
         """:func:`compile_query` of :meth:`query_graph`, memoized.
 

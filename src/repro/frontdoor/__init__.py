@@ -1,0 +1,53 @@
+"""Multi-tenant query front door for the enumeration service.
+
+The serve layer (:mod:`repro.serve`) speaks raw enumeration: every
+request ships its own graph and gets an NDJSON stream back.  This
+package adds the layer a *service* needs on top of that engine:
+
+* :mod:`repro.frontdoor.registry` — named datasets, registered once
+  (``POST /datasets`` / ``repro dataset add``) and deduplicated by the
+  isomorphism-stable instance digest, so queries reference a name
+  instead of re-uploading edges.
+* :mod:`repro.frontdoor.tenants` — API keys with per-tenant sliding-
+  window quotas (requests / solutions / compute seconds) and tier
+  priorities; violations surface as 401/429 with ``Retry-After``.
+* :mod:`repro.frontdoor.scheduling` — the priority gate that orders
+  tenants' access to the worker pool (paid tiers first, with an
+  anti-starvation fairness escape hatch).
+* :mod:`repro.frontdoor.answers` — the compact ``GET /answer`` path:
+  top-k weighted answers with provenance, on the datagraph
+  compiled-query cache and :mod:`repro.core.ranked`.
+* :mod:`repro.frontdoor.metrics` — latency histograms, per-tenant usage
+  accounting and the structured ``GET /metrics`` payload, plus the
+  access log.
+
+:class:`repro.serve.server.EnumerationServer` wires these together; see
+``docs/guides/frontdoor.md`` for the operator walkthrough.
+"""
+
+from repro.frontdoor.answers import AnswerEngine
+from repro.frontdoor.metrics import LatencyHistogram, MetricsRegistry
+from repro.frontdoor.registry import DatasetError, DatasetRecord, DatasetRegistry
+from repro.frontdoor.scheduling import PriorityGate
+from repro.frontdoor.tenants import (
+    AuthError,
+    Quota,
+    QuotaExceeded,
+    Tenant,
+    TenantRegistry,
+)
+
+__all__ = [
+    "AnswerEngine",
+    "AuthError",
+    "DatasetError",
+    "DatasetRecord",
+    "DatasetRegistry",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "PriorityGate",
+    "Quota",
+    "QuotaExceeded",
+    "Tenant",
+    "TenantRegistry",
+]

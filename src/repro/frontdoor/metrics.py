@@ -1,0 +1,125 @@
+"""Ops surface: latency histograms, counters and the access log.
+
+:class:`MetricsRegistry` is the single sink the server feeds — one
+:class:`LatencyHistogram` per request kind, a flat counter table, and a
+structured access-log line per request on the ``repro.frontdoor.access``
+logger (one JSON object per line, so operators can tail it straight
+into their log pipeline).  ``GET /metrics`` renders the registry
+together with the tenant usage table, cache/store counters and
+scheduler state.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from typing import Any, Dict, Optional
+
+#: Upper bucket bounds in milliseconds (log-ish spacing) + overflow.
+BUCKET_BOUNDS_MS = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 15000, 60000,
+)
+
+access_logger = logging.getLogger("repro.frontdoor.access")
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (bounds in milliseconds).
+
+    Examples
+    --------
+    >>> h = LatencyHistogram()
+    >>> h.observe(0.003); h.observe(0.300)
+    >>> h.count, h.as_dict()["buckets"]["<=5ms"]
+    (2, 1)
+    """
+
+    __slots__ = ("counts", "count", "sum_ms", "max_ms")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(BUCKET_BOUNDS_MS) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one observation of ``seconds`` wall time."""
+        ms = seconds * 1000.0
+        self.count += 1
+        self.sum_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+        for i, bound in enumerate(BUCKET_BOUNDS_MS):
+            if ms <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering with labeled buckets."""
+        buckets = {
+            f"<={bound}ms": self.counts[i]
+            for i, bound in enumerate(BUCKET_BOUNDS_MS)
+        }
+        buckets[f">{BUCKET_BOUNDS_MS[-1]}ms"] = self.counts[-1]
+        mean = self.sum_ms / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "sum_ms": round(self.sum_ms, 3),
+            "mean_ms": round(mean, 3),
+            "max_ms": round(self.max_ms, 3),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe sink for per-kind latencies + named counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latency: Dict[str, LatencyHistogram] = {}
+        self._counters: Dict[str, int] = {}
+
+    def observe(self, kind: str, seconds: float) -> None:
+        """Record one request of ``kind`` taking ``seconds``."""
+        with self._lock:
+            hist = self._latency.get(kind)
+            if hist is None:
+                hist = self._latency[kind] = LatencyHistogram()
+            hist.observe(seconds)
+
+    def inc(self, counter: str, amount: int = 1) -> None:
+        """Bump a named counter."""
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def access(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        seconds: float,
+        tenant: Optional[str] = None,
+        **extra: Any,
+    ) -> None:
+        """Emit one structured access-log line (JSON object per line)."""
+        record = {
+            "method": method,
+            "path": path,
+            "status": status,
+            "ms": round(seconds * 1000.0, 3),
+            "tenant": tenant,
+        }
+        record.update(extra)
+        access_logger.info(json.dumps(record, sort_keys=True))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The histogram + counter tables for ``GET /metrics``."""
+        with self._lock:
+            return {
+                "latency": {
+                    kind: hist.as_dict()
+                    for kind, hist in sorted(self._latency.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+            }

@@ -1,0 +1,385 @@
+"""Named datasets: register a graph once, query it by name forever.
+
+``POST /datasets`` (or ``repro dataset add``) stores a graph under a
+caller-chosen name; every later request references the name instead of
+shipping the edge list.  Payloads are **content-addressed by the
+isomorphism-stable instance digest** (:func:`repro.engine.cache.instance_key`
+over a terminal-free probe job), the same key the result store uses —
+so registering a relabeled copy of an existing dataset stores **no
+second payload**: the new name becomes another pointer to the shared
+payload, and the engine's canonical result cache is shared between the
+two names automatically.
+
+Layout under ``root`` (all writes atomic; ``root=None`` = memory only)::
+
+    names/<sha256(name)>.json   {"name", "digest", counts, created}
+    payloads/<digest>.json      {"edges", "vertices", "node_keywords"}
+    usage.json                  per-name use counts + last keywords
+
+Use counts drive the server's cache warming: the most-queried datasets
+get their data graphs (and last compiled queries) rebuilt at startup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.engine.cache import instance_key
+from repro.engine.jobs import EnumerationJob
+from repro.exceptions import ReproError
+
+_SCHEMA = 1
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class DatasetError(ReproError):
+    """Invalid dataset operation (bad name, unknown dataset, conflict)."""
+
+
+class DatasetRecord(NamedTuple):
+    """One registered dataset name."""
+
+    name: str
+    digest: str
+    num_vertices: int
+    num_edges: int
+    created: float
+    uses: int = 0
+
+
+def dataset_digest(
+    edges: Sequence[Tuple[Any, Any]],
+    vertices: Sequence[Any] = (),
+    node_keywords: Optional[Sequence[Tuple[Any, Sequence[str]]]] = None,
+) -> str:
+    """The isomorphism-stable digest of a graph payload.
+
+    A terminal-free Steiner probe job feeds the same canonical-signature
+    machinery the result store keys on, so relabeled copies of one graph
+    collapse to one digest (falling back to the exact digest when the
+    symmetry-refinement budget trips — dedupe then needs label equality).
+    Keyword annotations are folded in through the canonical vertex
+    order, so two structurally identical graphs with *different*
+    keyword tables never collide, while a relabeled copy whose keywords
+    moved with its labels still can (dedupe misses are harmless; a
+    false merge would silently drop annotations).
+    """
+    probe = EnumerationJob(
+        kind="steiner-tree",
+        edges=tuple((u, v) for u, v in edges),
+        vertices=tuple(vertices),
+    )
+    digest, order = instance_key(probe)
+    if not node_keywords:
+        return digest
+    pos = (
+        {v: i for i, v in enumerate(order)} if order is not None else {}
+    )
+    canon = sorted(
+        (
+            (0, pos[node]) if node in pos else (1, repr(node)),
+            tuple(sorted(str(kw) for kw in kws)),
+        )
+        for node, kws in node_keywords
+        if kws
+    )
+    if not canon:
+        return digest
+    return hashlib.sha256((digest + repr(canon)).encode()).hexdigest()
+
+
+class DatasetRegistry:
+    """Content-addressed named graph store.
+
+    Parameters
+    ----------
+    root:
+        Directory for the registry files; ``None`` keeps the registry
+        in memory (useful for tests and ephemeral servers).
+
+    Examples
+    --------
+    >>> reg = DatasetRegistry(None)
+    >>> rec, deduped = reg.add("tri", [("a", "b"), ("b", "c"), ("a", "c")])
+    >>> rec.num_edges, deduped
+    (3, False)
+    >>> reg.add("tri2", [("x", "y"), ("y", "z"), ("x", "z")])[1]
+    True
+    """
+
+    def __init__(self, root: Optional[str]) -> None:
+        self.root = root
+        self._lock = threading.Lock()
+        # memory tier (always populated; the disk tier mirrors it)
+        self._names: Dict[str, Dict[str, Any]] = {}
+        self._payloads: Dict[str, Dict[str, Any]] = {}
+        self._uses: Dict[str, int] = {}
+        self._last_keywords: Dict[str, List[str]] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _names_dir(self) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, "names")
+
+    def _payloads_dir(self) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, "payloads")
+
+    def _name_path(self, name: str) -> str:
+        digest = hashlib.sha256(name.encode()).hexdigest()[:40]
+        return os.path.join(self._names_dir(), f"{digest}.json")
+
+    @staticmethod
+    def _write_atomic(path: str, payload: Dict[str, Any]) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _load(self) -> None:
+        if self.root is None:
+            return
+        try:
+            listing = os.listdir(self._names_dir())
+        except FileNotFoundError:
+            listing = []
+        for entry in listing:
+            if not entry.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self._names_dir(), entry)) as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if record.get("schema") != _SCHEMA:
+                continue
+            self._names[record["name"]] = record
+        for digest in {r["digest"] for r in self._names.values()}:
+            path = os.path.join(self._payloads_dir(), f"{digest}.json")
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if payload.get("schema") == _SCHEMA:
+                self._payloads[digest] = payload
+        usage_path = os.path.join(self.root, "usage.json")
+        try:
+            with open(usage_path) as handle:
+                usage = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            usage = None
+        if usage and usage.get("schema") == _SCHEMA:
+            self._uses = {str(k): int(v) for k, v in usage.get("uses", {}).items()}
+            self._last_keywords = {
+                str(k): list(v) for k, v in usage.get("keywords", {}).items()
+            }
+
+    def _persist_usage(self) -> None:
+        if self.root is None:
+            return
+        self._write_atomic(
+            os.path.join(self.root, "usage.json"),
+            {
+                "schema": _SCHEMA,
+                "uses": self._uses,
+                "keywords": self._last_keywords,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        edges: Sequence[Tuple[Any, Any]],
+        vertices: Sequence[Any] = (),
+        node_keywords: Optional[Sequence[Tuple[Any, Sequence[str]]]] = None,
+    ) -> Tuple[DatasetRecord, bool]:
+        """Register ``edges`` under ``name``; returns ``(record, deduped)``.
+
+        ``deduped`` is True when an isomorphic payload was already
+        stored (the name points at the existing payload).  Re-adding an
+        existing name is idempotent for the same graph and a
+        :class:`DatasetError` for a different one.
+        """
+        if not _NAME_RE.match(name or ""):
+            raise DatasetError(
+                f"invalid dataset name {name!r} (want [A-Za-z0-9._-], "
+                "max 64 chars, leading alphanumeric)"
+            )
+        edge_tuple = tuple((u, v) for u, v in edges)
+        if not edge_tuple and not vertices:
+            raise DatasetError("dataset needs at least one edge or vertex")
+        digest = dataset_digest(edge_tuple, vertices, node_keywords)
+        with self._lock:
+            existing = self._names.get(name)
+            if existing is not None and existing["digest"] != digest:
+                raise DatasetError(
+                    f"dataset {name!r} already registered with a different graph"
+                )
+            deduped = digest in self._payloads or any(
+                r["digest"] == digest for r in self._names.values()
+            )
+            if digest not in self._payloads:
+                payload = {
+                    "schema": _SCHEMA,
+                    "edges": [[u, v] for u, v in edge_tuple],
+                    "vertices": list(vertices),
+                    "node_keywords": [
+                        [node, sorted(kws)] for node, kws in (node_keywords or [])
+                    ],
+                }
+                self._payloads[digest] = payload
+                if self.root is not None:
+                    self._write_atomic(
+                        os.path.join(self._payloads_dir(), f"{digest}.json"),
+                        payload,
+                    )
+            vertex_set = {v for e in edge_tuple for v in e} | set(vertices)
+            record = {
+                "schema": _SCHEMA,
+                "name": name,
+                "digest": digest,
+                "num_vertices": len(vertex_set),
+                "num_edges": len(edge_tuple),
+                "created": existing["created"] if existing else time.time(),
+            }
+            self._names[name] = record
+            if self.root is not None:
+                self._write_atomic(self._name_path(name), record)
+            return self._record(record), deduped
+
+    def _record(self, raw: Dict[str, Any]) -> DatasetRecord:
+        return DatasetRecord(
+            name=raw["name"],
+            digest=raw["digest"],
+            num_vertices=int(raw["num_vertices"]),
+            num_edges=int(raw["num_edges"]),
+            created=float(raw["created"]),
+            uses=self._uses.get(raw["name"], 0),
+        )
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def describe(self, name: str) -> Optional[DatasetRecord]:
+        """The record for ``name``, or ``None``."""
+        raw = self._names.get(name)
+        return self._record(raw) if raw is not None else None
+
+    def payload(self, name: str) -> Dict[str, Any]:
+        """The stored graph payload for ``name``.
+
+        Raises :class:`DatasetError` for unknown names (the server maps
+        this to a 404).
+        """
+        raw = self._names.get(name)
+        if raw is None:
+            raise DatasetError(f"unknown dataset {name!r}")
+        payload = self._payloads.get(raw["digest"])
+        if payload is None:
+            raise DatasetError(f"dataset {name!r} payload is missing")
+        return payload
+
+    def list(self) -> List[DatasetRecord]:
+        """All registered datasets, sorted by name."""
+        return [self._record(self._names[n]) for n in sorted(self._names)]
+
+    def remove(self, name: str) -> bool:
+        """Unregister ``name``; drops the payload when unreferenced."""
+        with self._lock:
+            raw = self._names.pop(name, None)
+            if raw is None:
+                return False
+            if self.root is not None:
+                try:
+                    os.unlink(self._name_path(name))
+                except FileNotFoundError:
+                    pass
+            digest = raw["digest"]
+            if not any(r["digest"] == digest for r in self._names.values()):
+                self._payloads.pop(digest, None)
+                if self.root is not None:
+                    try:
+                        os.unlink(
+                            os.path.join(self._payloads_dir(), f"{digest}.json")
+                        )
+                    except FileNotFoundError:
+                        pass
+            self._uses.pop(name, None)
+            self._last_keywords.pop(name, None)
+            self._persist_usage()
+            return True
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    # ------------------------------------------------------------------
+    # usage + warming hints
+    # ------------------------------------------------------------------
+    def record_use(self, name: str, keywords: Sequence[str] = ()) -> None:
+        """Count one query against ``name`` (drives cache warming)."""
+        with self._lock:
+            self._uses[name] = self._uses.get(name, 0) + 1
+            if keywords:
+                self._last_keywords[name] = list(keywords)
+            self._persist_usage()
+
+    def popular(self, k: int) -> List[str]:
+        """The ``k`` most-used dataset names (most queried first)."""
+        ranked = sorted(
+            self._names, key=lambda n: (-self._uses.get(n, 0), n)
+        )
+        return ranked[: max(0, k)]
+
+    def last_keywords(self, name: str) -> List[str]:
+        """The keywords of ``name``'s most recent answer query."""
+        return list(self._last_keywords.get(name, []))
+
+    # ------------------------------------------------------------------
+    # job-spec resolution
+    # ------------------------------------------------------------------
+    def resolve_spec(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Expand a ``{"dataset": name, ...}`` job spec into edges.
+
+        Leaves specs without a ``dataset`` reference untouched.  The
+        dataset's edges / vertices / keyword table are injected; a spec
+        that also ships its own ``edges`` is rejected as ambiguous.
+        """
+        if "dataset" not in spec:
+            return spec
+        name = spec["dataset"]
+        if not isinstance(name, str):
+            raise DatasetError("'dataset' must be a string name")
+        if spec.get("edges"):
+            raise DatasetError("give either 'dataset' or 'edges', not both")
+        payload = self.payload(name)
+        resolved = {k: v for k, v in spec.items() if k != "dataset"}
+        resolved["edges"] = [list(e) for e in payload["edges"]]
+        if payload.get("vertices"):
+            resolved["vertices"] = list(payload["vertices"])
+        if payload.get("node_keywords") and "node_keywords" not in resolved:
+            resolved["node_keywords"] = [
+                [node, list(kws)] for node, kws in payload["node_keywords"]
+            ]
+        self.record_use(name, resolved.get("keywords") or ())
+        return resolved

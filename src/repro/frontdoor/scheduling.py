@@ -1,0 +1,135 @@
+"""Priority-aware admission to the enumeration worker pool.
+
+The server used to gate live enumerations with a plain
+``asyncio.Semaphore(workers)`` — strictly FIFO, so one burst of free-tier
+traffic queues ahead of every paid request that arrives after it.
+:class:`PriorityGate` keeps the same bounded-concurrency contract but
+grants freed slots to the **highest-priority waiter** instead of the
+oldest one, with one escape hatch: every ``fairness_every``-th grant
+goes to the longest-waiting request regardless of priority, so a
+saturating stream of high-priority work can delay low tiers but never
+starve them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+
+
+class _Slot:
+    """Context manager returned by :meth:`PriorityGate.slot`."""
+
+    __slots__ = ("_gate", "_priority")
+
+    def __init__(self, gate: "PriorityGate", priority: int) -> None:
+        self._gate = gate
+        self._priority = priority
+
+    async def __aenter__(self) -> None:
+        await self._gate.acquire(self._priority)
+
+    async def __aexit__(self, *exc: Any) -> None:
+        self._gate.release()
+
+
+class PriorityGate:
+    """A counted gate whose waiters are served by priority, fairly.
+
+    Parameters
+    ----------
+    slots:
+        Concurrent holders allowed (the worker-pool size).
+    fairness_every:
+        Every ``fairness_every``-th grant that has a choice of waiters
+        picks the longest-waiting one instead of the highest-priority
+        one.  ``0`` disables the escape hatch (pure priority order).
+
+    Examples
+    --------
+    ::
+
+        gate = PriorityGate(workers)
+        async with gate.slot(priority=tenant.priority):
+            ...  # drive one worker stream
+    """
+
+    def __init__(self, slots: int, fairness_every: int = 4) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self._slots = slots
+        self._free = slots
+        self._fairness_every = fairness_every
+        self._seq = 0
+        # (priority, arrival seq, future); selection scans the list —
+        # the waiter set is bounded by concurrent client connections.
+        self._waiters: List[List[Any]] = []
+        self.grants = 0
+        self.fairness_grants = 0
+
+    # ------------------------------------------------------------------
+    def slot(self, priority: int = 0) -> _Slot:
+        """An ``async with`` context holding one slot at ``priority``."""
+        return _Slot(self, priority)
+
+    async def acquire(self, priority: int = 0) -> None:
+        """Take a slot, waiting behind higher-priority requests."""
+        if self._free > 0 and not self._waiters:
+            self._free -= 1
+            self.grants += 1
+            return
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        entry = [priority, self._seq, future]
+        self._seq += 1
+        self._waiters.append(entry)
+        try:
+            await future
+        except asyncio.CancelledError:
+            if entry in self._waiters:
+                self._waiters.remove(entry)
+            elif future.done() and not future.cancelled():
+                # Granted and cancelled in the same tick: give it back.
+                self.release()
+            raise
+
+    def release(self) -> None:
+        """Return a slot and wake the next waiter (if any)."""
+        self._free += 1
+        self._wake()
+
+    def _wake(self) -> None:
+        while self._free > 0 and self._waiters:
+            fair_turn = (
+                self._fairness_every > 0
+                and (self.grants + 1) % self._fairness_every == 0
+            )
+            if fair_turn:
+                entry = min(self._waiters, key=lambda e: e[1])  # oldest
+                self.fairness_grants += 1
+            else:
+                # Highest priority; FIFO within a priority class.
+                entry = max(self._waiters, key=lambda e: (e[0], -e[1]))
+            self._waiters.remove(entry)
+            future: Optional[asyncio.Future] = entry[2]
+            if future is None or future.done():
+                continue  # cancelled while queued
+            self._free -= 1
+            self.grants += 1
+            future.set_result(None)
+
+    # ------------------------------------------------------------------
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        return len(self._waiters)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Scheduler counters for the metrics endpoint."""
+        return {
+            "slots": self._slots,
+            "free": self._free,
+            "waiting": self.waiting,
+            "grants": self.grants,
+            "fairness_grants": self.fairness_grants,
+        }

@@ -6,6 +6,14 @@ chunked transfer encoding transparently), so events arrive as the
 server flushes them — iterate :meth:`ServeClient.enumerate` and the
 first solution is available while the enumeration is still running.
 
+On top of the raw stream it wraps the front-door surface: dataset
+registration (:meth:`register_dataset`), the compact top-k
+:meth:`answer` endpoint, and the ops documents (:meth:`stats`,
+:meth:`metrics`).  Pass ``api_key`` to authenticate as a tenant; the
+key rides on every request as a bearer token.  Auth and quota errors
+surface as :class:`ServeError` with ``status`` (401/429) and — for
+quota rejections — ``retry_after`` seconds.
+
 This is the client behind ``repro client``, the end-to-end tests and
 ``benchmarks/bench_serve.py``.  It is intentionally synchronous: the
 service exists so *clients* don't need an async runtime.
@@ -15,14 +23,28 @@ from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.engine.jobs import EnumerationJob
 from repro.exceptions import ReproError
 
 
 class ServeError(ReproError):
-    """The server answered with an error event or status."""
+    """The server answered with an error event or status.
+
+    ``status`` is the HTTP status code (0 for stream-level errors);
+    ``retry_after`` is the server's back-off hint on 429 responses.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
 
 
 class ServeClient:
@@ -34,12 +56,15 @@ class ServeClient:
         Server address.
     timeout:
         Socket timeout in seconds for each request.
+    api_key:
+        Tenant API key sent as ``Authorization: Bearer`` on every
+        request (``None`` = anonymous).
 
     Examples
     --------
     ::
 
-        client = ServeClient(port=8080)
+        client = ServeClient(port=8080, api_key=key)
         job = EnumerationJob.steiner_tree(edges, terminals)
         for event in client.enumerate(job):
             if event["event"] == "solution":
@@ -47,28 +72,57 @@ class ServeClient:
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 60.0,
+        api_key: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.api_key = api_key
 
     # ------------------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
         return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
 
-    def _request_json(self, method: str, path: str, body: Optional[bytes] = None) -> Dict[str, Any]:
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.api_key is not None:
+            headers["Authorization"] = f"Bearer {self.api_key}"
+        return headers
+
+    @staticmethod
+    def _error_from(response, payload: Dict[str, Any]) -> ServeError:
+        retry_after: Optional[float] = None
+        header = response.getheader("Retry-After")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                retry_after = None
+        if retry_after is None and "retry_after" in payload:
+            retry_after = payload["retry_after"]
+        return ServeError(
+            payload.get("error", f"HTTP {response.status}"),
+            status=response.status,
+            retry_after=retry_after,
+        )
+
+    def _request_json(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Dict[str, Any]:
         conn = self._connection()
         try:
-            conn.request(
-                method, path, body=body, headers={"Content-Type": "application/json"}
-            )
+            conn.request(method, path, body=body, headers=self._headers())
             response = conn.getresponse()
-            payload = json.loads(response.read().decode() or "{}")
+            try:
+                payload = json.loads(response.read().decode() or "{}")
+            except json.JSONDecodeError:
+                payload = {}
             if response.status != 200:
-                raise ServeError(
-                    payload.get("error", f"HTTP {response.status} from {path}")
-                )
+                raise self._error_from(response, payload)
             return payload
         finally:
             conn.close()
@@ -82,6 +136,65 @@ class ServeClient:
         """``GET /stats`` — the server's aggregate counters."""
         return self._request_json("GET", "/stats")
 
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics`` — the structured ops document."""
+        return self._request_json("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    # dataset registry
+    # ------------------------------------------------------------------
+    def register_dataset(
+        self,
+        name: str,
+        edges: Sequence[Sequence[Any]],
+        vertices: Sequence[Any] = (),
+        node_keywords: Optional[Sequence[Sequence[Any]]] = None,
+    ) -> Dict[str, Any]:
+        """``POST /datasets`` — register ``edges`` under ``name``."""
+        payload: Dict[str, Any] = {
+            "name": name,
+            "edges": [list(e) for e in edges],
+        }
+        if vertices:
+            payload["vertices"] = list(vertices)
+        if node_keywords:
+            payload["node_keywords"] = [
+                [node, list(kws)] for node, kws in node_keywords
+            ]
+        return self._request_json("POST", "/datasets", json.dumps(payload).encode())
+
+    def datasets(self) -> List[Dict[str, Any]]:
+        """``GET /datasets`` — all registered dataset records."""
+        return self._request_json("GET", "/datasets")["datasets"]
+
+    def remove_dataset(self, name: str) -> Dict[str, Any]:
+        """``DELETE /datasets/<name>`` — unregister ``name``."""
+        return self._request_json("DELETE", f"/datasets/{name}")
+
+    # ------------------------------------------------------------------
+    # the compact answer endpoint
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        dataset: str,
+        keywords: Sequence[str],
+        k: int = 5,
+        model: str = "degree",
+        backend: str = "fast",
+    ) -> Dict[str, Any]:
+        """``POST /answer`` — top-``k`` answers with weights + provenance."""
+        payload = {
+            "dataset": dataset,
+            "keywords": list(keywords),
+            "k": k,
+            "model": model,
+            "backend": backend,
+        }
+        return self._request_json("POST", "/answer", json.dumps(payload).encode())
+
+    # ------------------------------------------------------------------
+    # the raw stream
+    # ------------------------------------------------------------------
     def enumerate(
         self,
         job: Union[EnumerationJob, Dict[str, Any]],
@@ -91,11 +204,14 @@ class ServeClient:
     ) -> Iterator[Dict[str, Any]]:
         """Stream the events for ``job`` (a job object or spec dict).
 
-        Yields every NDJSON event as a dict, incrementally.  With a
-        ``stream_id`` the server checkpoints progress and a later call
-        resumes the stream; pass ``offset`` to resume from an exact
-        position the caller tracked itself (it overrides the server's
-        checkpoint).  A non-200 response or an ``error`` event raises
+        A spec dict may reference a registered dataset by name —
+        ``{"kind": ..., "dataset": "mygraph", ...}`` — instead of
+        shipping edges; the server resolves the name.  Yields every
+        NDJSON event as a dict, incrementally.  With a ``stream_id``
+        the server checkpoints progress and a later call resumes the
+        stream; pass ``offset`` to resume from an exact position the
+        caller tracked itself (it overrides the server's checkpoint).
+        A non-200 response or an ``error`` event raises
         :class:`ServeError`; a stream that ends without a terminal
         event (server died) raises too, so callers never mistake a
         truncated stream for a complete one.
@@ -111,10 +227,7 @@ class ServeClient:
         body = json.dumps(payload).encode()
         conn = self._connection()
         try:
-            conn.request(
-                "POST", "/enumerate", body=body,
-                headers={"Content-Type": "application/json"},
-            )
+            conn.request("POST", "/enumerate", body=body, headers=self._headers())
             response = conn.getresponse()
             if response.status != 200:
                 raw = response.read().decode()
@@ -122,7 +235,7 @@ class ServeClient:
                     event = json.loads(raw)
                 except json.JSONDecodeError:
                     event = {"error": raw.strip() or f"HTTP {response.status}"}
-                raise ServeError(event.get("error", f"HTTP {response.status}"))
+                raise self._error_from(response, event)
             ended = False
             while True:
                 raw_line = response.readline()

@@ -42,9 +42,11 @@ from typing import Any, Dict, Optional, Tuple
 REASONS = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
@@ -64,7 +66,10 @@ FINAL_CHUNK = b"0\r\n\r\n"
 
 
 def response_head(
-    status: int, content_type: str, length: Optional[int] = None
+    status: int,
+    content_type: str,
+    length: Optional[int] = None,
+    headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     """HTTP/1.1 response head; chunked when ``length`` is ``None``."""
     head = [
@@ -72,6 +77,8 @@ def response_head(
         f"Content-Type: {content_type}",
         "Connection: close",
     ]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
     if length is None:
         head.append("Transfer-Encoding: chunked")
     else:
@@ -79,10 +86,31 @@ def response_head(
     return ("\r\n".join(head) + "\r\n\r\n").encode()
 
 
-def json_response(status: int, payload: Dict[str, Any]) -> bytes:
-    """A complete plain-JSON HTTP response."""
+def json_response(
+    status: int,
+    payload: Dict[str, Any],
+    headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """A complete plain-JSON HTTP response (optionally extra headers)."""
     body = (json.dumps(payload, sort_keys=True) + "\n").encode()
-    return response_head(status, "application/json", len(body)) + body
+    return response_head(status, "application/json", len(body), headers) + body
+
+
+def split_target(target: str) -> Tuple[str, Dict[str, str]]:
+    """Split a request target into ``(path, query-params)``.
+
+    Query values are percent-decoded (``+`` means space); a repeated
+    parameter keeps its last value.  The front-door endpoints
+    (``GET /answer?dataset=...&q=...``) route through this; the legacy
+    routes see their unchanged path.
+    """
+    from urllib.parse import parse_qsl, unquote
+
+    path, _sep, raw_query = target.partition("?")
+    params: Dict[str, str] = {}
+    for key, value in parse_qsl(raw_query, keep_blank_values=True):
+        params[key] = value
+    return unquote(path), params
 
 
 async def read_request(reader) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:

@@ -43,7 +43,10 @@ import asyncio
 import dataclasses
 import hashlib
 import json
+import math
+import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -53,6 +56,16 @@ import base64
 from repro.engine.cache import InstanceCache, job_fingerprint
 from repro.engine.jobs import SUSPENDABLE_KINDS, EnumerationJob, JobResult
 from repro.exceptions import CursorStateError, InvalidInstanceError, ReproError
+from repro.frontdoor.answers import AnswerEngine
+from repro.frontdoor.metrics import MetricsRegistry
+from repro.frontdoor.registry import DatasetError, DatasetRegistry
+from repro.frontdoor.scheduling import PriorityGate
+from repro.frontdoor.tenants import (
+    AuthError,
+    QuotaExceeded,
+    Tenant,
+    TenantRegistry,
+)
 from repro.serve.protocol import (
     FINAL_CHUNK,
     ProtocolError,
@@ -60,6 +73,7 @@ from repro.serve.protocol import (
     json_response,
     read_request,
     response_head,
+    split_target,
 )
 from repro.serve.store import ResultStore, TieredCache
 from repro.serve.workers import DEFAULT_CHUNK, WorkerDied, WorkerPool
@@ -105,6 +119,7 @@ class _StreamState:
     resume_snapshot: Optional[bytes] = None  # thawed from the checkpoint
     last_snapshot: Optional[bytes] = None  # freshest worker search state
     last_snapshot_pos: int = -1  # absolute stream position of last_snapshot
+    priority: int = 0  # tenant tier priority for worker-slot scheduling
 
 
 class EnumerationServer:
@@ -131,6 +146,20 @@ class EnumerationServer:
     max_deadline:
         Server-side cap in seconds applied to every job's ``deadline``
         (jobs without one get exactly this allowance).
+    registry:
+        A :class:`DatasetRegistry`, a directory path to open one, or
+        ``None`` to derive one from the store (``<store>/datasets``
+        when a store is configured, memory-only otherwise).
+    tenants:
+        A :class:`TenantRegistry`, a directory path, or ``None`` to run
+        without authentication/quotas.
+    require_auth:
+        Reject requests without a valid API key (``/healthz`` stays
+        open).  Without it, keys are validated and accounted when
+        presented but anonymous requests pass.
+    warm:
+        Warm the graphs + last compiled queries of this many of the
+        most-queried datasets at startup (store-stats-driven).
     """
 
     def __init__(
@@ -143,6 +172,10 @@ class EnumerationServer:
         chunk: int = DEFAULT_CHUNK,
         mp_context: Optional[str] = None,
         max_deadline: Optional[float] = None,
+        registry: Union[DatasetRegistry, str, None] = None,
+        tenants: Union[TenantRegistry, str, None] = None,
+        require_auth: bool = False,
+        warm: int = 0,
     ) -> None:
         if chunk < 1:
             raise ValueError("chunk must be >= 1")
@@ -166,10 +199,28 @@ class EnumerationServer:
         else:
             self.store = store
         self.tier = TieredCache(memory, self.store)
+        if isinstance(registry, str):
+            self.registry = DatasetRegistry(registry)
+        elif registry is not None:
+            self.registry = registry
+        elif self.store is not None:
+            self.registry = DatasetRegistry(os.path.join(self.store.root, "datasets"))
+        else:
+            self.registry = DatasetRegistry(None)
+        if isinstance(tenants, str):
+            self.tenants: Optional[TenantRegistry] = TenantRegistry(tenants)
+        else:
+            self.tenants = tenants
+        if require_auth and self.tenants is None:
+            self.tenants = TenantRegistry(None)
+        self.require_auth = require_auth
+        self.warm = warm
+        self.answers = AnswerEngine(self.registry)
+        self.metrics = MetricsRegistry()
         self._pool: Optional[WorkerPool] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._worker_sem: Optional[asyncio.Semaphore] = None
+        self._gate: Optional[PriorityGate] = None
         self._conn_tasks: set = set()
 
     # ------------------------------------------------------------------
@@ -190,7 +241,11 @@ class EnumerationServer:
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers + 2, thread_name_prefix="repro-serve"
         )
-        self._worker_sem = asyncio.Semaphore(self.workers)
+        self._gate = PriorityGate(self.workers)
+        if self.warm > 0:
+            warmed = self.answers.warm_popular(self.warm)
+            if warmed:
+                self.metrics.inc("datasets_warmed", len(warmed))
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
@@ -237,10 +292,13 @@ class EnumerationServer:
                 self._conn_tasks.discard(task)
 
     async def _handle_request(self, reader, writer) -> None:
+        started = time.perf_counter()
+        method, path, tenant_name, status = "-", "-", None, 0
         try:
             try:
                 request = await asyncio.wait_for(read_request(reader), timeout=30)
             except ProtocolError as exc:
+                status = 400
                 writer.write(json_response(400, {"event": "error", "error": str(exc)}))
                 await writer.drain()
                 return
@@ -248,35 +306,226 @@ class EnumerationServer:
                 return
             if request is None:
                 return
-            method, path, _headers, body = request
+            method, target, headers, body = request
+            path, params = split_target(target)
             self.stats.requests += 1
-            if path == "/healthz" and method == "GET":
-                writer.write(json_response(200, {"ok": True}))
+            try:
+                tenant = self._authorize(method, path, headers)
+            except AuthError as exc:
+                status = 401
+                self.metrics.inc("auth_failures")
+                writer.write(json_response(401, {"event": "error", "error": str(exc)}))
                 await writer.drain()
-            elif path == "/stats" and method == "GET":
-                writer.write(json_response(200, self._stats_payload()))
-                await writer.drain()
-            elif path == "/enumerate":
-                if method != "POST":
-                    writer.write(
-                        json_response(405, {"event": "error", "error": "POST required"})
-                    )
-                    await writer.drain()
-                else:
-                    await self._enumerate(body, writer)
-            else:
+                return
+            except QuotaExceeded as exc:
+                status = 429
+                self.metrics.inc("quota_rejections")
                 writer.write(
-                    json_response(404, {"event": "error", "error": f"no route {path}"})
+                    json_response(
+                        429,
+                        {
+                            "event": "error",
+                            "error": str(exc),
+                            "retry_after": round(exc.retry_after, 3),
+                        },
+                        headers={"Retry-After": str(max(1, math.ceil(exc.retry_after)))},
+                    )
                 )
                 await writer.drain()
+                return
+            tenant_name = tenant.name if tenant is not None else None
+            status = await self._route(
+                method, path, params, body, writer, tenant
+            )
         except (ConnectionError, _Disconnect, OSError):
-            pass
+            status = status or 499  # client went away mid-stream
         finally:
+            if path != "-":
+                self.metrics.access(
+                    method,
+                    path,
+                    status,
+                    time.perf_counter() - started,
+                    tenant=tenant_name,
+                )
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    # ------------------------------------------------------------------
+    # authentication + routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _api_key(headers: Dict[str, str]) -> Optional[str]:
+        auth = headers.get("authorization", "")
+        if auth.lower().startswith("bearer "):
+            return auth[7:].strip() or None
+        return headers.get("x-api-key") or None
+
+    #: Routes that consume request quota (ops/read surfaces stay free).
+    _CHARGED = {"/enumerate", "/answer", "/datasets"}
+
+    def _authorize(
+        self, method: str, path: str, headers: Dict[str, str]
+    ) -> Optional[Tenant]:
+        """Authenticate + admit one request; ``None`` for anonymous.
+
+        With ``require_auth`` every route except ``/healthz`` needs a
+        valid key; otherwise keys are checked (and charged) only when
+        presented.  Charged routes run the atomic quota admission.
+        """
+        if self.tenants is None or path == "/healthz":
+            return None
+        key = self._api_key(headers)
+        if key is None and not self.require_auth:
+            return None
+        tenant = self.tenants.authenticate(key)
+        charged = path in self._CHARGED or path.startswith("/datasets/")
+        if charged:
+            self.tenants.admit(tenant)
+        return tenant
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        params: Dict[str, str],
+        body: bytes,
+        writer,
+        tenant: Optional[Tenant],
+    ) -> int:
+        """Dispatch one request; returns the response status for the log."""
+        if path == "/healthz" and method == "GET":
+            return await self._simple(writer, 200, {"ok": True})
+        if path == "/stats" and method == "GET":
+            return await self._simple(writer, 200, self._stats_payload())
+        if path == "/metrics" and method == "GET":
+            return await self._simple(writer, 200, self._metrics_payload())
+        if path == "/enumerate":
+            if method != "POST":
+                return await self._simple(
+                    writer, 405, {"event": "error", "error": "POST required"}
+                )
+            await self._enumerate(body, writer, tenant)
+            return 200
+        if path == "/datasets":
+            if method == "POST":
+                return await self._register_dataset(body, writer)
+            if method == "GET":
+                return await self._simple(
+                    writer,
+                    200,
+                    {
+                        "ok": True,
+                        "datasets": [r._asdict() for r in self.registry.list()],
+                    },
+                )
+            return await self._simple(
+                writer, 405, {"event": "error", "error": "POST or GET required"}
+            )
+        if path.startswith("/datasets/") and method == "DELETE":
+            name = path[len("/datasets/"):]
+            removed = self.registry.remove(name)
+            if not removed:
+                return await self._simple(
+                    writer, 404, {"event": "error", "error": f"unknown dataset {name!r}"}
+                )
+            return await self._simple(writer, 200, {"ok": True, "removed": name})
+        if path == "/answer" and method in ("GET", "POST"):
+            return await self._answer(method, params, body, writer)
+        return await self._simple(
+            writer, 404, {"event": "error", "error": f"no route {path}"}
+        )
+
+    async def _simple(
+        self,
+        writer,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> int:
+        writer.write(json_response(status, payload, headers))
+        await writer.drain()
+        return status
+
+    # ------------------------------------------------------------------
+    # front-door endpoints
+    # ------------------------------------------------------------------
+    async def _register_dataset(self, body: bytes, writer) -> int:
+        started = time.perf_counter()
+        try:
+            spec = json.loads(body.decode() or "{}")
+            if not isinstance(spec, dict):
+                raise DatasetError("request body must be a JSON object")
+            record, deduped = self.registry.add(
+                str(spec.get("name", "")),
+                spec.get("edges") or [],
+                vertices=spec.get("vertices") or [],
+                node_keywords=spec.get("node_keywords") or None,
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError, TypeError, ValueError) as exc:
+            return await self._simple(
+                writer, 400, {"event": "error", "error": f"bad dataset payload: {exc}"}
+            )
+        except ReproError as exc:
+            return await self._simple(writer, 400, {"event": "error", "error": str(exc)})
+        self.metrics.observe("datasets", time.perf_counter() - started)
+        self.metrics.inc("datasets_deduped" if deduped else "datasets_registered")
+        return await self._simple(
+            writer,
+            200,
+            {
+                "ok": True,
+                "name": record.name,
+                "digest": record.digest,
+                "deduped": deduped,
+                "num_vertices": record.num_vertices,
+                "num_edges": record.num_edges,
+            },
+        )
+
+    async def _answer(
+        self, method: str, params: Dict[str, str], body: bytes, writer
+    ) -> int:
+        started = time.perf_counter()
+        try:
+            if method == "POST":
+                spec = json.loads(body.decode() or "{}")
+                if not isinstance(spec, dict):
+                    raise InvalidInstanceError("request body must be a JSON object")
+            else:
+                spec = dict(params)
+                if "q" in spec and "keywords" not in spec:
+                    spec["keywords"] = [
+                        kw for kw in str(spec.pop("q")).split(",") if kw
+                    ]
+            keywords = spec.get("keywords") or []
+            if isinstance(keywords, str):
+                keywords = [kw for kw in keywords.split(",") if kw]
+            payload = await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                lambda: self.answers.answer(
+                    str(spec.get("dataset", "")),
+                    keywords,
+                    k=int(spec.get("k", 5)),
+                    model=str(spec.get("model", "degree")),
+                    backend=str(spec.get("backend", "fast")),
+                ),
+            )
+        except DatasetError as exc:
+            return await self._simple(writer, 404, {"event": "error", "error": str(exc)})
+        except (
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+            TypeError,
+            ValueError,
+            ReproError,
+        ) as exc:
+            return await self._simple(writer, 400, {"event": "error", "error": str(exc)})
+        self.metrics.observe("answer", time.perf_counter() - started)
+        return await self._simple(writer, 200, payload)
 
     def _stats_payload(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"ok": True, "workers": self.workers}
@@ -285,6 +534,24 @@ class EnumerationServer:
         # Capability split: these kinds checkpoint search-state snapshots
         # and resume in O(state); the rest resume by replay fast-forward.
         payload["suspendable_kinds"] = sorted(SUSPENDABLE_KINDS)
+        payload["datasets"] = len(self.registry)
+        return payload
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        """The structured ops document behind ``GET /metrics``."""
+        payload: Dict[str, Any] = {"ok": True}
+        payload.update(self.metrics.as_dict())
+        payload["tenants"] = (
+            self.tenants.usage_table() if self.tenants is not None else {}
+        )
+        payload["scheduler"] = self._gate.as_dict() if self._gate is not None else {}
+        payload["store"] = self.tier.as_dict()
+        payload["answers"] = self.answers.as_dict()
+        payload["datasets"] = {r.name: r.uses for r in self.registry.list()}
+        payload["streams"] = self.stats.streams
+        payload["solutions"] = self.stats.solutions
+        payload["worker_replacements"] = self.stats.worker_replacements
+        payload["errors"] = self.stats.errors
         return payload
 
     # ------------------------------------------------------------------
@@ -364,11 +631,15 @@ class EnumerationServer:
                 snapshot = None  # unreadable: replay fast-forward instead
         return offset, True, snapshot
 
-    async def _enumerate(self, body: bytes, writer) -> None:
+    async def _enumerate(
+        self, body: bytes, writer, tenant: Optional[Tenant] = None
+    ) -> None:
+        started = time.perf_counter()
         try:
             spec, stream_id, chunk_override, explicit_offset = self._parse_enumerate_body(
                 body
             )
+            spec = self.registry.resolve_spec(spec)
             job = EnumerationJob.from_dict(spec)
             job = self._apply_deadline_cap(job)
             offset, resumed, resume_snapshot = self._resolve_resume(job, stream_id)
@@ -404,26 +675,41 @@ class EnumerationServer:
             stream_id=stream_id,
             total=offset,
             resume_snapshot=resume_snapshot,
+            priority=tenant.priority if tenant is not None else 0,
         )
 
         writer.write(response_head(200, "application/x-ndjson"))
         try:
-            await self._run_stream(state, chunk, writer)
-        except _Disconnect:
-            self.stats.cancelled += 1
-            self._finish_stream(state)  # checkpoint what was delivered
-            raise
-        except WorkerDied as exc:
-            self.stats.errors += 1
-            # Persist what was soundly delivered (prefix + checkpoint) so
-            # a resume after the failure does not restart from scratch.
-            self._finish_stream(state)
-            await self._write_event(writer, {"event": "error", "error": str(exc)})
+            try:
+                await self._run_stream(state, chunk, writer)
+            except _Disconnect:
+                self.stats.cancelled += 1
+                self._finish_stream(state)  # checkpoint what was delivered
+                raise
+            except WorkerDied as exc:
+                self.stats.errors += 1
+                # Persist what was soundly delivered (prefix + checkpoint)
+                # so a resume after the failure does not restart from
+                # scratch.
+                self._finish_stream(state)
+                await self._write_event(writer, {"event": "error", "error": str(exc)})
+                writer.write(FINAL_CHUNK)
+                await writer.drain()
+                return
             writer.write(FINAL_CHUNK)
             await writer.drain()
-            return
-        writer.write(FINAL_CHUNK)
-        await writer.drain()
+        finally:
+            elapsed = time.perf_counter() - started
+            self.metrics.observe(job.kind, elapsed)
+            if tenant is not None and self.tenants is not None:
+                # Solutions delivered + compute seconds land in the same
+                # sliding window the admission check reads, so the next
+                # request sees them (429 once the caps are consumed).
+                self.tenants.record(
+                    tenant,
+                    solutions=max(0, state.total - state.offset),
+                    compute_seconds=0.0 if state.cached else elapsed,
+                )
 
     async def _run_stream(self, state: _StreamState, chunk: int, writer) -> None:
         job = state.job
@@ -557,7 +843,7 @@ class EnumerationServer:
         sees an uninterrupted solution stream.  Replay-only kinds
         restart the replacement with an offset fast-forward instead.
         """
-        assert self._pool is not None and self._worker_sem is not None
+        assert self._pool is not None and self._gate is not None
         assert self._executor is not None
         loop = asyncio.get_running_loop()
         position = live_start
@@ -565,7 +851,7 @@ class EnumerationServer:
         if state.resume_snapshot is not None:
             snapshot = state.resume_snapshot
         replacements = 0
-        async with self._worker_sem:
+        async with self._gate.slot(state.priority):
             while True:  # one iteration per worker (original + replacements)
                 handle = self._pool.acquire()
                 try:

@@ -379,11 +379,29 @@ class TieredCache:
         return sum(len(tier) for tier in self._tiers())
 
     def as_dict(self) -> Dict[str, Any]:
-        """Per-tier stats payload."""
+        """Per-tier stats payload plus the cross-tier aggregate.
+
+        ``tiered`` folds both tiers into the counters an operator
+        actually watches: where hits land (memory vs disk), how many
+        lookups missed everywhere, and eviction/store churn.
+        """
         payload: Dict[str, Any] = {}
         if self.cache is not None:
             payload["cache"] = self.cache.stats.as_dict()
             payload["cache_entries"] = len(self.cache)
         if self.store_tier is not None:
             payload["store"] = self.store_tier.as_dict()
+        mem = self.cache.stats if self.cache is not None else CacheStats()
+        disk = self.store_tier.stats if self.store_tier is not None else CacheStats()
+        # A lookup that misses memory falls through to disk, so the
+        # true end-to-end misses are the *last* tier's misses (or the
+        # memory tier's when no store is configured).
+        misses = disk.misses if self.store_tier is not None else mem.misses
+        payload["tiered"] = {
+            "memory_hits": mem.hits,
+            "disk_hits": disk.disk_hits,
+            "misses": misses,
+            "evictions": mem.evictions + disk.evictions,
+            "stores": mem.stores + disk.stores,
+        }
         return payload
