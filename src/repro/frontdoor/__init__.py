@@ -25,7 +25,7 @@ package adds the layer a *service* needs on top of that engine:
 ``docs/guides/frontdoor.md`` for the operator walkthrough.
 """
 
-from repro.frontdoor.answers import AnswerEngine
+from repro.frontdoor.answers import AnswerEngine, AnswerTimeout
 from repro.frontdoor.metrics import LatencyHistogram, MetricsRegistry
 from repro.frontdoor.registry import DatasetError, DatasetRecord, DatasetRegistry
 from repro.frontdoor.scheduling import PriorityGate
@@ -39,6 +39,7 @@ from repro.frontdoor.tenants import (
 
 __all__ = [
     "AnswerEngine",
+    "AnswerTimeout",
     "AuthError",
     "DatasetError",
     "DatasetRecord",

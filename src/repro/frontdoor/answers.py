@@ -31,6 +31,7 @@ datasets cold.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -40,12 +41,22 @@ from repro.core.ranked import top_k_minimal_steiner_trees
 from repro.datagraph.kfragments import _project_compiled
 from repro.datagraph.model import DataGraph
 from repro.datagraph.ranked import _model_weights
-from repro.exceptions import InvalidInstanceError
-from repro.frontdoor.registry import DatasetRegistry
+from repro.engine.jobs import BudgetExceeded, _BudgetMeter
+from repro.exceptions import InvalidInstanceError, ReproError
+from repro.frontdoor.registry import DatasetError, DatasetRegistry
 
 #: Answer cap per request: /answer is the compact endpoint; bulk
 #: retrieval belongs to the /enumerate stream.
 MAX_K = 100
+
+
+class AnswerTimeout(ReproError):
+    """An /answer enumeration overran the server's deadline cap.
+
+    Unlike /enumerate — where a deadline is a clean stop with partial
+    results — /answer promises the *exact* top-k, so an overrun is an
+    error (the server maps it to HTTP 503).
+    """
 
 
 def build_data_graph(payload: Dict[str, Any]) -> DataGraph:
@@ -82,6 +93,14 @@ class AnswerEngine:
         self.registry = registry
         self.graph_cache_size = graph_cache_size
         self.answer_cache_size = answer_cache_size
+        # The engine is driven from multiple server executor threads:
+        # ``_lock`` guards the two LRUs and the counters; ``_compute``
+        # holds one lock per cached digest serializing computation on
+        # that graph (the compiled-query memo and the shared kernel
+        # behind it are not safe to drive from two threads at once —
+        # distinct datasets still answer in parallel).
+        self._lock = threading.Lock()
+        self._compute: Dict[str, threading.Lock] = {}
         self._graphs: "OrderedDict[str, DataGraph]" = OrderedDict()
         # (digest, keywords, k, model, backend) -> finished answer doc;
         # content-addressed keys make invalidation automatic (a dataset
@@ -98,20 +117,34 @@ class AnswerEngine:
         """The (cached) data graph for dataset ``name`` + its digest."""
         record = self.registry.describe(name)
         if record is None:
-            from repro.frontdoor.registry import DatasetError
-
             raise DatasetError(f"unknown dataset {name!r}")
-        cached = self._graphs.get(record.digest)
-        if cached is not None:
-            self._graphs.move_to_end(record.digest)
-            self.graph_hits += 1
-            return cached, record.digest
-        self.graph_misses += 1
+        with self._lock:
+            cached = self._graphs.get(record.digest)
+            if cached is not None:
+                self._graphs.move_to_end(record.digest)
+                self.graph_hits += 1
+                return cached, record.digest
+            self.graph_misses += 1
         dg = build_data_graph(self.registry.payload(name))
-        self._graphs[record.digest] = dg
-        while len(self._graphs) > self.graph_cache_size:
-            self._graphs.popitem(last=False)
+        with self._lock:
+            existing = self._graphs.get(record.digest)
+            if existing is not None:
+                # A racer materialized the same digest while we built;
+                # keep its copy so every thread computes on one object.
+                self._graphs.move_to_end(record.digest)
+                return existing, record.digest
+            self._graphs[record.digest] = dg
+            while len(self._graphs) > self.graph_cache_size:
+                evicted, _ = self._graphs.popitem(last=False)
+                self._compute.pop(evicted, None)
         return dg, record.digest
+
+    def _lookup_answer(self, cache_key: Tuple) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            cached = self._answers.get(cache_key)
+            if cached is not None:
+                self._answers.move_to_end(cache_key)
+            return cached
 
     # ------------------------------------------------------------------
     def answer(
@@ -121,12 +154,16 @@ class AnswerEngine:
         k: int = 5,
         model: str = "degree",
         backend: str = "fast",
+        deadline: Optional[float] = None,
     ) -> Dict[str, Any]:
         """The top-``k`` answer document for ``keywords`` on ``name``.
 
-        Raises the usual :class:`~repro.exceptions.ReproError` family on
-        bad input (unknown dataset/keyword, bad k/model/backend); the
-        server maps those to 4xx responses.
+        ``deadline`` caps the enumeration's wall clock in seconds (the
+        server passes its ``max_deadline``); an overrun raises
+        :class:`AnswerTimeout`.  Raises the usual
+        :class:`~repro.exceptions.ReproError` family on bad input
+        (unknown dataset/keyword, bad k/model/backend); the server maps
+        those to 4xx responses.
         """
         check_backend(backend)
         if not isinstance(k, int) or k < 1 or k > MAX_K:
@@ -137,33 +174,79 @@ class AnswerEngine:
         started = time.perf_counter()
         dg, digest = self.dataset_graph(name)
         cache_key = (digest, tuple(keywords), k, model, backend)
-        cached = self._answers.get(cache_key)
-        if cached is not None:
-            self._answers.move_to_end(cache_key)
+        cached = self._lookup_answer(cache_key)
+        if cached is None:
+            with self._lock:
+                compute = self._compute.setdefault(digest, threading.Lock())
+            with compute:
+                # A racer on the same dataset may have finished this
+                # exact query while we waited for the compute lock.
+                cached = self._lookup_answer(cache_key)
+                if cached is None:
+                    document = self._compute_answer(
+                        dg,
+                        cache_key,
+                        name,
+                        keywords,
+                        k,
+                        model,
+                        backend,
+                        deadline,
+                        started,
+                    )
+                    self.registry.record_use(name, keywords)
+                    return document
+        with self._lock:
             self.answer_hits += 1
             self.answers_served += 1
-            self.registry.record_use(name, keywords)
-            elapsed = time.perf_counter() - started
-            return {
-                **cached,
-                "dataset": name,
-                "provenance": {
-                    **cached["provenance"],
-                    "answer_cached": True,
-                    "elapsed_ms": round(elapsed * 1000.0, 3),
-                },
-            }
-        self.answer_misses += 1
+        self.registry.record_use(name, keywords)
+        elapsed = time.perf_counter() - started
+        return {
+            **cached,
+            "dataset": name,
+            "provenance": {
+                **cached["provenance"],
+                "answer_cached": True,
+                "elapsed_ms": round(elapsed * 1000.0, 3),
+            },
+        }
+
+    def _compute_answer(
+        self,
+        dg: DataGraph,
+        cache_key: Tuple,
+        name: str,
+        keywords: List[str],
+        k: int,
+        model: str,
+        backend: str,
+        deadline: Optional[float],
+        started: float,
+    ) -> Dict[str, Any]:
+        """Enumerate one answer document (caller holds the compute lock)."""
+        digest = cache_key[0]
+        with self._lock:
+            self.answer_misses += 1
+        meter = None
+        if deadline is not None:
+            meter = _BudgetMeter(deadline_at=time.monotonic() + float(deadline))
         compiled_warm = dg.has_compiled_query(keywords)
         compiled = dg.compiled_query(keywords)
         weights = _model_weights(dg, compiled.query, model)
-        ranked, scanned = top_k_minimal_steiner_trees(
-            compiled.instance(backend),
-            compiled.terminals,
-            weights,
-            k,
-            backend=backend,
-        )
+        try:
+            ranked, scanned = top_k_minimal_steiner_trees(
+                compiled.instance(backend),
+                compiled.terminals,
+                weights,
+                k,
+                meter=meter,
+                backend=backend,
+            )
+        except BudgetExceeded as exc:
+            raise AnswerTimeout(
+                f"/answer on {name!r} exceeded the {deadline:g}s deadline "
+                "before the exact top-k was known"
+            ) from exc
         answers: List[Dict[str, Any]] = []
         for rank, (weight, solution) in enumerate(ranked, 1):
             fragment = _project_compiled(compiled, solution)
@@ -179,8 +262,6 @@ class AnswerEngine:
                 }
             )
         elapsed = time.perf_counter() - started
-        self.answers_served += 1
-        self.registry.record_use(name, keywords)
         document = {
             "ok": True,
             "dataset": name,
@@ -198,9 +279,11 @@ class AnswerEngine:
                 "elapsed_ms": round(elapsed * 1000.0, 3),
             },
         }
-        self._answers[cache_key] = document
-        while len(self._answers) > self.answer_cache_size:
-            self._answers.popitem(last=False)
+        with self._lock:
+            self.answers_served += 1
+            self._answers[cache_key] = document
+            while len(self._answers) > self.answer_cache_size:
+                self._answers.popitem(last=False)
         return document
 
     # ------------------------------------------------------------------
@@ -236,12 +319,13 @@ class AnswerEngine:
 
     def as_dict(self) -> Dict[str, Any]:
         """Counters for the metrics endpoint."""
-        return {
-            "graphs_cached": len(self._graphs),
-            "graph_hits": self.graph_hits,
-            "graph_misses": self.graph_misses,
-            "answers_cached": len(self._answers),
-            "answer_hits": self.answer_hits,
-            "answer_misses": self.answer_misses,
-            "answers_served": self.answers_served,
-        }
+        with self._lock:
+            return {
+                "graphs_cached": len(self._graphs),
+                "graph_hits": self.graph_hits,
+                "graph_misses": self.graph_misses,
+                "answers_cached": len(self._answers),
+                "answer_hits": self.answer_hits,
+                "answer_misses": self.answer_misses,
+                "answers_served": self.answers_served,
+            }

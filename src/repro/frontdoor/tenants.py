@@ -27,11 +27,15 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import InvalidInstanceError, ReproError
 
 _SCHEMA = 1
+
+#: Column of each quota resource in a usage event row
+#: ``[timestamp, requests, solutions, compute_seconds]``.
+_FIELD_COLUMN = {"requests": 1, "solutions": 2, "compute_seconds": 3}
 
 #: Scheduling priority per tier; higher preempts the worker queue.
 TIER_PRIORITIES = {"free": 0, "standard": 5, "paid": 10}
@@ -126,6 +130,12 @@ class TenantRegistry:
         self.root = root
         self.clock = clock
         self._lock = threading.Lock()
+        # usage.json writes happen *outside* ``_lock`` (admission of
+        # other tenants must not serialize behind disk I/O); ``_io_lock``
+        # orders the writers and ``_usage_seq`` versions the snapshots.
+        self._io_lock = threading.Lock()
+        self._usage_seq = 0
+        self._usage_written = 0
         self._tenants: Dict[str, Tenant] = {}  # name -> tenant
         self._by_key: Dict[str, str] = {}  # key -> name
         # name -> [[ts, requests, solutions, seconds], ...] events
@@ -203,13 +213,39 @@ class TenantRegistry:
             },
         )
 
-    def _persist_usage(self) -> None:
+    def _snapshot_usage(
+        self,
+    ) -> Optional[Tuple[int, Dict[str, List[List[float]]]]]:
+        """Version + copy the usage table (call under ``_lock``)."""
         if self.root is None:
+            return None
+        self._usage_seq += 1
+        events = {
+            name: [list(event) for event in rows]
+            for name, rows in self._events.items()
+        }
+        return self._usage_seq, events
+
+    def _flush_usage(
+        self, snapshot: Optional[Tuple[int, Dict[str, List[List[float]]]]]
+    ) -> None:
+        """Write a usage snapshot to disk, outside the tenant lock.
+
+        Snapshots are totally ordered by ``_usage_seq`` (taken under
+        ``_lock``), so a writer that lost the race to a newer snapshot
+        skips its write — the newer file already contains every event
+        this snapshot holds.
+        """
+        if snapshot is None:
             return
-        self._write_atomic(
-            self._path("usage.json"),
-            {"schema": _SCHEMA, "events": self._events},
-        )
+        seq, events = snapshot
+        with self._io_lock:
+            if seq <= self._usage_written:
+                return
+            self._write_atomic(
+                self._path("usage.json"), {"schema": _SCHEMA, "events": events}
+            )
+            self._usage_written = seq
 
     # ------------------------------------------------------------------
     # tenant management
@@ -312,12 +348,19 @@ class TenantRegistry:
             "compute_seconds": sum(e[3] for e in kept),
         }
 
-    def _retry_after(self, tenant: Tenant, now: float) -> float:
-        events = self._events.get(tenant.name, [])
-        if not events:
+    def _retry_after(self, tenant: Tenant, now: float, field: str) -> float:
+        """Seconds until the window frees one unit of ``field``.
+
+        Only events that contribute to the exhausted resource matter:
+        when the requests cap trips, a solutions-only event sliding out
+        of the window frees nothing, so the clock runs to the oldest
+        event with a nonzero amount in ``field``'s column.
+        """
+        column = _FIELD_COLUMN[field]
+        stamps = [e[0] for e in self._events.get(tenant.name, []) if e[column] > 0]
+        if not stamps:
             return tenant.quota.window
-        oldest = min(e[0] for e in events)
-        return oldest + tenant.quota.window - now
+        return min(stamps) + tenant.quota.window - now
 
     def admit(self, key_or_tenant: Any) -> Tenant:
         """Authenticate + atomically charge one request against the quota.
@@ -344,11 +387,15 @@ class TenantRegistry:
                     raise QuotaExceeded(
                         f"tenant {tenant.name!r} exceeded its {field} quota "
                         f"({totals[field]:g}/{cap:g} in {quota.window:g}s)",
-                        retry_after=self._retry_after(tenant, now),
+                        retry_after=self._retry_after(tenant, now, field),
                     )
             self._events.setdefault(tenant.name, []).append([now, 1, 0, 0.0])
-            self._persist_usage()
-            return tenant
+            snapshot = self._snapshot_usage()
+        # Durable before returning: when _flush_usage comes back, this
+        # snapshot — or a newer one containing the same event — is on
+        # disk, but other tenants were free to admit during the write.
+        self._flush_usage(snapshot)
+        return tenant
 
     def record(
         self, tenant: Tenant, solutions: int = 0, compute_seconds: float = 0.0
@@ -360,7 +407,8 @@ class TenantRegistry:
             self._events.setdefault(tenant.name, []).append(
                 [self.clock(), 0, float(solutions), float(compute_seconds)]
             )
-            self._persist_usage()
+            snapshot = self._snapshot_usage()
+        self._flush_usage(snapshot)
 
     def usage(self, name: str) -> Dict[str, float]:
         """Current window totals for tenant ``name``."""

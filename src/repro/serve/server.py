@@ -56,7 +56,7 @@ import base64
 from repro.engine.cache import InstanceCache, job_fingerprint
 from repro.engine.jobs import SUSPENDABLE_KINDS, EnumerationJob, JobResult
 from repro.exceptions import CursorStateError, InvalidInstanceError, ReproError
-from repro.frontdoor.answers import AnswerEngine
+from repro.frontdoor.answers import AnswerEngine, AnswerTimeout
 from repro.frontdoor.metrics import MetricsRegistry
 from repro.frontdoor.registry import DatasetError, DatasetRegistry
 from repro.frontdoor.scheduling import PriorityGate
@@ -120,6 +120,7 @@ class _StreamState:
     last_snapshot: Optional[bytes] = None  # freshest worker search state
     last_snapshot_pos: int = -1  # absolute stream position of last_snapshot
     priority: int = 0  # tenant tier priority for worker-slot scheduling
+    compute_seconds: float = 0.0  # accumulated worker-busy time (quota charge)
 
 
 class EnumerationServer:
@@ -220,6 +221,7 @@ class EnumerationServer:
         self._pool: Optional[WorkerPool] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._answer_executor: Optional[ThreadPoolExecutor] = None
         self._gate: Optional[PriorityGate] = None
         self._conn_tasks: set = set()
 
@@ -240,6 +242,13 @@ class EnumerationServer:
         self._pool = WorkerPool(self.workers, mp_context=self.mp_context)
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers + 2, thread_name_prefix="repro-serve"
+        )
+        # /answer enumerations run in their own executor: a burst of
+        # expensive answers must never pin the threads the /enumerate
+        # streams (handle.recv) and quota admissions run on.  The
+        # PriorityGate still bounds total concurrent enumeration work.
+        self._answer_executor = ThreadPoolExecutor(
+            max_workers=max(2, self.workers), thread_name_prefix="repro-answer"
         )
         self._gate = PriorityGate(self.workers)
         if self.warm > 0:
@@ -267,6 +276,9 @@ class EnumerationServer:
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
+        if self._answer_executor is not None:
+            self._answer_executor.shutdown(wait=False)
+            self._answer_executor = None
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled."""
@@ -310,7 +322,7 @@ class EnumerationServer:
             path, params = split_target(target)
             self.stats.requests += 1
             try:
-                tenant = self._authorize(method, path, headers)
+                tenant = await self._authorize(method, path, headers)
             except AuthError as exc:
                 status = 401
                 self.metrics.inc("auth_failures")
@@ -364,17 +376,34 @@ class EnumerationServer:
             return auth[7:].strip() or None
         return headers.get("x-api-key") or None
 
-    #: Routes that consume request quota (ops/read surfaces stay free).
-    _CHARGED = {"/enumerate", "/answer", "/datasets"}
+    @staticmethod
+    def _charged(method: str, path: str) -> bool:
+        """Does this request consume request quota?
 
-    def _authorize(
+        Only compute and mutation surfaces are charged: enumeration,
+        answers and dataset writes.  Read-only ops surfaces (/stats,
+        /metrics, GET /datasets, /healthz) stay free.
+        """
+        if path == "/enumerate":
+            return method == "POST"
+        if path == "/answer":
+            return method in ("GET", "POST")
+        if path == "/datasets":
+            return method == "POST"
+        if path.startswith("/datasets/"):
+            return method == "DELETE"
+        return False
+
+    async def _authorize(
         self, method: str, path: str, headers: Dict[str, str]
     ) -> Optional[Tenant]:
         """Authenticate + admit one request; ``None`` for anonymous.
 
         With ``require_auth`` every route except ``/healthz`` needs a
         valid key; otherwise keys are checked (and charged) only when
-        presented.  Charged routes run the atomic quota admission.
+        presented.  Charged routes run the atomic quota admission —
+        off the event loop, because admission persists usage.json and
+        the loop must keep serving streams during that disk write.
         """
         if self.tenants is None or path == "/healthz":
             return None
@@ -382,9 +411,10 @@ class EnumerationServer:
         if key is None and not self.require_auth:
             return None
         tenant = self.tenants.authenticate(key)
-        charged = path in self._CHARGED or path.startswith("/datasets/")
-        if charged:
-            self.tenants.admit(tenant)
+        if self._charged(method, path):
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor, self.tenants.admit, tenant
+            )
         return tenant
 
     async def _route(
@@ -434,7 +464,7 @@ class EnumerationServer:
                 )
             return await self._simple(writer, 200, {"ok": True, "removed": name})
         if path == "/answer" and method in ("GET", "POST"):
-            return await self._answer(method, params, body, writer)
+            return await self._answer(method, params, body, writer, tenant)
         return await self._simple(
             writer, 404, {"event": "error", "error": f"no route {path}"}
         )
@@ -486,46 +516,109 @@ class EnumerationServer:
             },
         )
 
+    async def _record_usage(
+        self,
+        tenant: Optional[Tenant],
+        solutions: int = 0,
+        compute_seconds: float = 0.0,
+    ) -> None:
+        """Attach usage to the tenant's window, off the event loop."""
+        if tenant is None or self.tenants is None or self._executor is None:
+            return
+        if not solutions and not compute_seconds:
+            return
+        registry = self.tenants
+        await asyncio.get_running_loop().run_in_executor(
+            self._executor,
+            lambda: registry.record(
+                tenant, solutions=solutions, compute_seconds=compute_seconds
+            ),
+        )
+
     async def _answer(
-        self, method: str, params: Dict[str, str], body: bytes, writer
+        self,
+        method: str,
+        params: Dict[str, str],
+        body: bytes,
+        writer,
+        tenant: Optional[Tenant],
     ) -> int:
         started = time.perf_counter()
+        count = 0
+        compute_seconds = 0.0
         try:
-            if method == "POST":
-                spec = json.loads(body.decode() or "{}")
-                if not isinstance(spec, dict):
-                    raise InvalidInstanceError("request body must be a JSON object")
-            else:
-                spec = dict(params)
-                if "q" in spec and "keywords" not in spec:
-                    spec["keywords"] = [
-                        kw for kw in str(spec.pop("q")).split(",") if kw
-                    ]
-            keywords = spec.get("keywords") or []
-            if isinstance(keywords, str):
-                keywords = [kw for kw in keywords.split(",") if kw]
-            payload = await asyncio.get_running_loop().run_in_executor(
-                self._executor,
-                lambda: self.answers.answer(
-                    str(spec.get("dataset", "")),
-                    keywords,
-                    k=int(spec.get("k", 5)),
-                    model=str(spec.get("model", "degree")),
-                    backend=str(spec.get("backend", "fast")),
-                ),
+            try:
+                if method == "POST":
+                    spec = json.loads(body.decode() or "{}")
+                    if not isinstance(spec, dict):
+                        raise InvalidInstanceError(
+                            "request body must be a JSON object"
+                        )
+                else:
+                    spec = dict(params)
+                    if "q" in spec and "keywords" not in spec:
+                        spec["keywords"] = [
+                            kw for kw in str(spec.pop("q")).split(",") if kw
+                        ]
+                keywords = spec.get("keywords") or []
+                if isinstance(keywords, str):
+                    keywords = [kw for kw in keywords.split(",") if kw]
+                assert self._gate is not None and self._answer_executor is not None
+                # /answer burns real enumeration CPU, so it takes a
+                # worker-pool slot exactly like a live /enumerate stream
+                # — priority-aware, with the same fairness hatch — and
+                # runs under the server's deadline cap.
+                priority = tenant.priority if tenant is not None else 0
+                async with self._gate.slot(priority):
+                    compute_started = time.perf_counter()
+                    try:
+                        payload = await asyncio.get_running_loop().run_in_executor(
+                            self._answer_executor,
+                            lambda: self.answers.answer(
+                                str(spec.get("dataset", "")),
+                                keywords,
+                                k=int(spec.get("k", 5)),
+                                model=str(spec.get("model", "degree")),
+                                backend=str(spec.get("backend", "fast")),
+                                deadline=self.max_deadline,
+                            ),
+                        )
+                    finally:
+                        compute_seconds = time.perf_counter() - compute_started
+                count = int(payload.get("count", 0))
+            except AnswerTimeout as exc:
+                self.metrics.inc("answer_deadlines")
+                return await self._simple(
+                    writer,
+                    503,
+                    {
+                        "event": "error",
+                        "error": str(exc),
+                        "stop_reason": "deadline",
+                    },
+                )
+            except DatasetError as exc:
+                return await self._simple(
+                    writer, 404, {"event": "error", "error": str(exc)}
+                )
+            except (
+                json.JSONDecodeError,
+                UnicodeDecodeError,
+                TypeError,
+                ValueError,
+                ReproError,
+            ) as exc:
+                return await self._simple(
+                    writer, 400, {"event": "error", "error": str(exc)}
+                )
+            self.metrics.observe("answer", time.perf_counter() - started)
+            return await self._simple(writer, 200, payload)
+        finally:
+            # Charge what actually ran — a deadline abort burned CPU
+            # too; delivered answers count toward the solutions quota.
+            await self._record_usage(
+                tenant, solutions=count, compute_seconds=compute_seconds
             )
-        except DatasetError as exc:
-            return await self._simple(writer, 404, {"event": "error", "error": str(exc)})
-        except (
-            json.JSONDecodeError,
-            UnicodeDecodeError,
-            TypeError,
-            ValueError,
-            ReproError,
-        ) as exc:
-            return await self._simple(writer, 400, {"event": "error", "error": str(exc)})
-        self.metrics.observe("answer", time.perf_counter() - started)
-        return await self._simple(writer, 200, payload)
 
     def _stats_payload(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"ok": True, "workers": self.workers}
@@ -701,15 +794,17 @@ class EnumerationServer:
         finally:
             elapsed = time.perf_counter() - started
             self.metrics.observe(job.kind, elapsed)
-            if tenant is not None and self.tenants is not None:
-                # Solutions delivered + compute seconds land in the same
-                # sliding window the admission check reads, so the next
-                # request sees them (429 once the caps are consumed).
-                self.tenants.record(
-                    tenant,
-                    solutions=max(0, state.total - state.offset),
-                    compute_seconds=0.0 if state.cached else elapsed,
-                )
+            # Solutions delivered + compute seconds land in the same
+            # sliding window the admission check reads, so the next
+            # request sees them (429 once the caps are consumed).
+            # compute_seconds is accumulated worker-busy time, not wall
+            # clock: queueing behind other tenants in the gate or a
+            # slow-reading client must not eat the tenant's quota.
+            await self._record_usage(
+                tenant,
+                solutions=max(0, state.total - state.offset),
+                compute_seconds=state.compute_seconds,
+            )
 
     async def _run_stream(self, state: _StreamState, chunk: int, writer) -> None:
         job = state.job
@@ -857,7 +952,14 @@ class EnumerationServer:
                 try:
                     handle.start_stream(state.job, position, chunk, snapshot)
                     while True:
+                        # The recv wait is the worker computing its next
+                        # chunk, so its sum approximates worker-busy time
+                        # — the compute-seconds charge.  Time queued in
+                        # the gate or blocked on a slow-reading client
+                        # (drain() below) burns no worker and is free.
+                        recv_started = time.perf_counter()
                         msg = await loop.run_in_executor(self._executor, handle.recv)
+                        state.compute_seconds += time.perf_counter() - recv_started
                         if msg[0] == "chunk":
                             lines, structures, snap = msg[1], msg[2], msg[3]
                             batch = []

@@ -20,6 +20,8 @@ import pytest
 from repro.engine.jobs import EnumerationJob
 from repro.exceptions import ReproError
 from repro.frontdoor import (
+    AnswerEngine,
+    AnswerTimeout,
     AuthError,
     DatasetError,
     DatasetRegistry,
@@ -232,6 +234,34 @@ class TestTenantRegistry:
         assert outcomes.count("ok") == 1
         assert outcomes.count("429") == 7
 
+    def test_retry_after_tracks_the_exhausted_resource(self):
+        # An old solutions-only event must not shorten the requests
+        # Retry-After: freeing it frees no request unit.
+        clock = FakeClock()
+        reg = TenantRegistry(None, clock=clock)
+        tenant = reg.issue("acme", requests=1, solutions=100, window=60.0)
+        reg.record(tenant, solutions=5)  # t=1000, zero requests
+        clock.now += 30
+        reg.admit(tenant.key)  # t=1030: the only request unit
+        clock.now += 10
+        with pytest.raises(QuotaExceeded) as exc:
+            reg.admit(tenant.key)
+        # the request unit frees at 1030+60, not at 1000+60
+        assert exc.value.retry_after == pytest.approx(50.0)
+
+    def test_retry_after_for_solutions_ignores_request_events(self):
+        clock = FakeClock()
+        reg = TenantRegistry(None, clock=clock)
+        tenant = reg.issue("acme", requests=100, solutions=5, window=60.0)
+        reg.admit(tenant.key)  # t=1000: request-only event
+        clock.now += 40
+        reg.record(tenant, solutions=5)  # t=1040: fills the solutions cap
+        clock.now += 10
+        with pytest.raises(QuotaExceeded, match="solutions") as exc:
+            reg.admit(tenant.key)
+        # the solutions free at 1040+60, not at 1000+60
+        assert exc.value.retry_after == pytest.approx(50.0)
+
     def test_accounting_survives_reopen(self, tmp_path):
         clock = FakeClock()
         reg = TenantRegistry(str(tmp_path), clock=clock)
@@ -312,6 +342,65 @@ class TestPriorityGate:
 
         snap = asyncio.run(run())
         assert snap["free"] == 2 and snap["grants"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# answer engine (unit)
+# ---------------------------------------------------------------------------
+class TestAnswerEngine:
+    def test_concurrent_answers_race_safely(self):
+        # Tiny LRUs force evictions while 8 threads hammer two datasets
+        # with mixed queries; every document must match the
+        # single-threaded reference (no KeyError, no corrupted caches).
+        reg = DatasetRegistry(None)
+        reg.add("d1", EDGES, node_keywords=NODE_KEYWORDS)
+        reg.add("d2", EDGES[:-1], node_keywords=NODE_KEYWORDS)
+        queries = [
+            ("d1", ["alpha", "beta"]),
+            ("d1", ["alpha", "gamma"]),
+            ("d2", ["alpha", "beta"]),
+            ("d2", ["beta", "gamma"]),
+        ]
+        reference = {
+            (name, tuple(kws)): AnswerEngine(reg).answer(name, kws)["answers"]
+            for name, kws in queries
+        }
+        engine = AnswerEngine(reg, graph_cache_size=1, answer_cache_size=2)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed: int) -> None:
+            barrier.wait()
+            for i in range(25):
+                name, kws = queries[(seed + i) % len(queries)]
+                try:
+                    doc = engine.answer(name, kws)
+                    if doc["answers"] != reference[(name, tuple(kws))]:
+                        errors.append(f"mismatch on {name}/{kws}")
+                except Exception as exc:  # noqa: BLE001 — the race is the test
+                    errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = engine.as_dict()
+        assert stats["answers_served"] == 200
+
+    def test_deadline_overrun_raises_answer_timeout(self, monkeypatch):
+        from repro.engine import jobs as engine_jobs
+
+        # Check the deadline on every tick so the tiny graph trips it.
+        monkeypatch.setattr(engine_jobs._BudgetMeter, "_CHECK_EVERY", 1)
+        reg = DatasetRegistry(None)
+        reg.add("slow", EDGES, node_keywords=NODE_KEYWORDS)
+        engine = AnswerEngine(reg)
+        with pytest.raises(AnswerTimeout):
+            engine.answer("slow", ["alpha", "beta"], deadline=0.0)
+        # the aborted computation must not be cached as an answer
+        assert engine.as_dict()["answers_cached"] == 0
 
 
 # ---------------------------------------------------------------------------
@@ -414,6 +503,22 @@ class TestAnswerEndpoint:
         conn.close()
         assert resp.status == 200
         assert doc["keywords"] == ["alpha", "beta"] and doc["count"] <= 2
+
+    def test_deadline_overrun_maps_to_503(self, monkeypatch):
+        from repro.engine import jobs as engine_jobs
+        from repro.serve.client import ServeError
+
+        # Per-tick deadline checks + a zero allowance: the /answer
+        # enumeration trips the cap immediately and the endpoint must
+        # refuse (503) rather than return a silently-truncated top-k.
+        monkeypatch.setattr(engine_jobs._BudgetMeter, "_CHECK_EVERY", 1)
+        srv = EnumerationServer(workers=1, max_deadline=0.0)
+        with ServerThread(srv) as thread:
+            c = ServeClient(port=thread.port)
+            c.register_dataset("dl", EDGES, node_keywords=NODE_KEYWORDS)
+            with pytest.raises(ServeError) as exc:
+                c.answer("dl", ["alpha", "beta"])
+            assert exc.value.status == 503
 
     def test_unknown_dataset_404_and_bad_input_400(self, client):
         from repro.serve.client import ServeError
@@ -598,6 +703,44 @@ class TestAuthQuota:
             t.join()
         assert outcomes.count("ok") == 1
         assert outcomes.count("429") == 5
+
+    def test_answer_charges_solutions_and_compute(self, auth_setup):
+        from repro.serve.client import ServeError
+
+        server, _ = auth_setup
+        admin = server.server.tenants
+        tenant = admin.issue("solcap", requests=100, solutions=1, window=3600.0)
+        client = ServeClient(port=server.port, api_key=tenant.key)
+        client.register_dataset("solq", EDGES, node_keywords=NODE_KEYWORDS)
+        doc = client.answer("solq", ["alpha", "beta"])
+        assert doc["count"] >= 1
+        # usage lands just after the response bytes; poll it in
+        deadline = time.time() + 5
+        while time.time() < deadline and admin.usage("solcap")["solutions"] < 1:
+            time.sleep(0.01)
+        usage = admin.usage("solcap")
+        assert usage["solutions"] >= 1
+        assert usage["compute_seconds"] > 0
+        with pytest.raises(ServeError) as exc:
+            client.answer("solq", ["alpha"])
+        assert exc.value.status == 429
+        assert "solutions" in str(exc.value)
+
+    def test_read_only_surfaces_stay_uncharged(self, auth_setup):
+        from repro.serve.client import ServeError
+
+        server, _ = auth_setup
+        tenant = server.server.tenants.issue("reader", requests=1, window=3600.0)
+        client = ServeClient(port=server.port, api_key=tenant.key)
+        for _ in range(3):  # none of these consume the single request unit
+            client.datasets()
+            client.stats()
+            client.metrics()
+        client.register_dataset("rdr", EDGES)  # the one charged request
+        with pytest.raises(ServeError) as exc:
+            client.register_dataset("rdr2", EDGES[:-1])
+        assert exc.value.status == 429
+        client.datasets()  # reads keep working after the 429
 
     def test_quota_accounting_survives_restart(self, tmp_path):
         from repro.serve.client import ServeError
