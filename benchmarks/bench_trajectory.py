@@ -47,6 +47,30 @@ from repro.engine.jobs import EnumerationJob, run_job
 #: Measurement repetitions per (kind, backend); best run is kept.
 REPS = 3
 
+#: Extra repetitions for kinds whose wall is short enough to be
+#: jitter-dominated at 3 reps (best-of converges with more samples).
+REPS_OVERRIDE = {"minimum-enum": 7}
+
+#: Hard speedup floors (fast over object), independent of the baseline:
+#: the kinds ported in the matrix-closing PR must hold ≥1.5x.
+SPEEDUP_FLOORS: Dict[str, float] = {
+    "induced-steiner": 1.5,
+    "group-steiner": 1.5,
+    "minimum-enum": 1.5,
+    "fk-dualization": 1.5,
+}
+
+
+def _line_graph_edges(base) -> List[Tuple[int, int]]:
+    """Edge list of the line graph on ``base``'s edge ids (claw-free)."""
+    pairs = set()
+    for v in base.vertices():
+        inc = sorted(e.eid for e in base.incident(v))
+        for i in range(len(inc)):
+            for j in range(i + 1, len(inc)):
+                pairs.add((inc[i], inc[j]))
+    return sorted(pairs)
+
 
 def pinned_jobs() -> List[Tuple[str, EnumerationJob]]:
     """One pinned job per enumerator kind (deterministic instances)."""
@@ -82,7 +106,19 @@ def pinned_jobs() -> List[Tuple[str, EnumerationJob]]:
             ),
         ),
         ("kfragments", EnumerationJob.kfragments(dg, vocab[:4], limit=300)),
+        ("induced-steiner", _induced_steiner_job()),
     ]
+
+
+def _induced_steiner_job() -> EnumerationJob:
+    """A claw-free (line graph) instance for the induced-Steiner kind."""
+    from repro.graphs.generators import random_connected_graph
+
+    base = random_connected_graph(18, 14, 11)
+    edges = _line_graph_edges(base)
+    eids = sorted(base.edge_ids())
+    terminals = [eids[0], eids[len(eids) // 2], eids[-1]]
+    return EnumerationJob.induced_steiner(edges, terminals, limit=200)
 
 
 def pinned_direct() -> List[Tuple[str, "object"]]:
@@ -167,10 +203,73 @@ def pinned_direct() -> List[Tuple[str, "object"]]:
         lines = tuple(resumed.take(64))
         return lines, len(lines)
 
+    # group-steiner: brute-force enumeration, object verifier vs the
+    # kernel's bitmask judge (same candidate order, swapped accept test)
+    from repro.core.group_steiner import enumerate_minimal_group_steiner_trees_brute
+    from repro.graphs.generators import random_connected_graph, random_terminals
+
+    gs_graph = random_connected_graph(11, 7, 9)
+    gs_families = [random_terminals(gs_graph, 3, 9 + i) for i in range(3)]
+
+    def group_steiner_runner(backend: str):
+        lines = tuple(
+            f"v:{sol.vertex}"
+            if sol.vertex is not None
+            else ",".join(map(str, sorted(sol.edges)))
+            for sol in enumerate_minimal_group_steiner_trees_brute(
+                gs_graph, gs_families, max_edges=5, backend=backend
+            )
+        )
+        return lines, len(lines)
+
+    # minimum-enum: the Dreyfus–Wagner table + tight-move walk; a dense
+    # instance keeps the relaxation loop (where the kernel's flat arrays
+    # pay off) the dominant cost
+    from repro.core.minimum_enum import enumerate_minimum_steiner_trees_dp
+
+    me_graph = random_connected_graph(80, 600, 3)
+    me_terms = random_terminals(me_graph, 7, 4)
+    me_rng = random.Random(3)
+    me_weights = {e: float(me_rng.choice([1, 1, 2, 3])) for e in me_graph.edge_ids()}
+
+    def minimum_enum_runner(backend: str):
+        lines = tuple(
+            ",".join(map(str, sorted(sol)))
+            for sol in enumerate_minimum_steiner_trees_dp(
+                me_graph, me_terms, me_weights, backend=backend
+            )
+        )
+        return lines, len(lines)
+
+    # fk-dualization: incremental FK transversal enumeration, frozenset
+    # recursion vs the single-int bitmask mirror
+    from repro.hypergraph.dualization import enumerate_minimal_transversals_fk
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    fk_rng = random.Random(17)
+    fk_universe = list(range(16))
+    fk_edges = [
+        frozenset(fk_rng.sample(fk_universe, fk_rng.choice([2, 3, 3, 4, 4])))
+        for _ in range(16)
+    ]
+    fk_hypergraph = Hypergraph(fk_universe, fk_edges)
+
+    def fk_runner(backend: str):
+        lines = tuple(
+            ",".join(map(str, sorted(sol, key=repr)))
+            for sol in enumerate_minimal_transversals_fk(
+                fk_hypergraph, backend=backend
+            )
+        )
+        return lines, len(lines)
+
     return [
         ("ranked-approx", ranked_runner),
         ("serve-replay", serve_replay_runner),
         ("resume", resume_runner),
+        ("group-steiner", group_steiner_runner),
+        ("minimum-enum", minimum_enum_runner),
+        ("fk-dualization", fk_runner),
     ]
 
 
@@ -211,21 +310,25 @@ def measure() -> Dict[str, dict]:
     for kind, runner in runners:
         entry: Dict[str, dict] = {}
         lines = {}
-        for backend in ("object", "fast"):
-            best = float("inf")
-            solutions = 0
-            for _ in range(REPS):
+        best = {"object": float("inf"), "fast": float("inf")}
+        solutions = {"object": 0, "fast": 0}
+        # interleave the backends so a load spike lands on both sides of
+        # the ratio instead of inflating one backend's every rep
+        for _ in range(REPS_OVERRIDE.get(kind, REPS)):
+            for backend in ("object", "fast"):
                 start = time.perf_counter()
                 out, count = runner(backend)
                 wall = time.perf_counter() - start
-                best = min(best, wall)
-                solutions = count
+                best[backend] = min(best[backend], wall)
+                solutions[backend] = count
                 lines[backend] = out
+        for backend in ("object", "fast"):
+            wall = best[backend]
             entry[backend] = {
-                "wall_s": round(best, 6),
-                "solutions": solutions,
-                "sols_per_s": round(solutions / best, 2) if best else 0.0,
-                "jobs_per_s": round(1.0 / best, 3) if best else 0.0,
+                "wall_s": round(wall, 6),
+                "solutions": solutions[backend],
+                "sols_per_s": round(solutions[backend] / wall, 2) if wall else 0.0,
+                "jobs_per_s": round(1.0 / wall, 3) if wall else 0.0,
             }
         if lines["object"] != lines["fast"]:
             raise AssertionError(
@@ -267,6 +370,15 @@ def gate(
 ) -> List[str]:
     """Compare against the baseline; return regression messages."""
     failures: List[str] = []
+    for kind, floor_speedup in SPEEDUP_FLOORS.items():
+        cur = current.get(kind)
+        if cur is None:
+            failures.append(f"{kind}: missing from the current run")
+        elif cur["speedup"] < floor_speedup:
+            failures.append(
+                f"{kind}: speedup {cur['speedup']:.2f}x below the"
+                f" {floor_speedup:.1f}x floor"
+            )
     for kind, base in baseline.items():
         cur = current.get(kind)
         if cur is None:

@@ -28,6 +28,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.backend import check_backend, compile_undirected
 from repro.core.verification import is_minimal_group_steiner_tree
 from repro.graphs.graph import Graph
 from repro.hypergraph.hypergraph import Hypergraph, enumerate_minimal_transversals
@@ -85,8 +86,134 @@ def transversal_to_group_steiner_instance(hypergraph: Hypergraph) -> StarInstanc
     return StarInstance(g, center, families, leaf_of, element_of)
 
 
+class _FastGroupSteinerJudge:
+    """Kernel accept test mirroring :func:`is_minimal_group_steiner_tree`.
+
+    Vertex sets are single-int bitmasks, family hits are one ``&`` per
+    family, and the tree check is a union-find over the candidate's own
+    edges — the accept/reject decisions (and hence the brute-force
+    stream) are identical to the object verifier's by construction.
+    """
+
+    __slots__ = ("_eu", "_ev", "_fam_masks", "_deg", "_touched")
+
+    def __init__(self, fg, families_mapped) -> None:
+        self._eu = fg._eu
+        self._ev = fg._ev
+        self._fam_masks = [
+            self._mask(family) for family in families_mapped
+        ]
+        self._deg = [0] * fg.n_space
+        self._touched: list = []
+
+    @staticmethod
+    def _mask(vertices) -> int:
+        m = 0
+        for v in vertices:
+            m |= 1 << v
+        return m
+
+    def _hits_all(self, vbits: int) -> bool:
+        for mask in self._fam_masks:
+            if not (mask & vbits):
+                return False
+        return True
+
+    def accepts_vertex(self, v: int) -> bool:
+        return self._hits_all(1 << v)
+
+    def accepts_edges(self, eids: Tuple[int, ...]) -> bool:
+        eu, ev, deg = self._eu, self._ev, self._deg
+        touched = self._touched
+        touched.clear()
+        vbits = 0
+        parent: dict = {}
+        n_vertices = 0
+        merges = 0
+        try:
+            for eid in eids:
+                u, v = eu[eid], ev[eid]
+                for x in (u, v):
+                    if not (vbits >> x) & 1:
+                        vbits |= 1 << x
+                        parent[x] = x
+                        n_vertices += 1
+                    deg[x] += 1
+                    touched.append(x)
+                ru = u
+                while parent[ru] != ru:
+                    parent[ru] = parent[parent[ru]]
+                    ru = parent[ru]
+                rv = v
+                while parent[rv] != rv:
+                    parent[rv] = parent[parent[rv]]
+                    rv = parent[rv]
+                if ru == rv:
+                    return False  # cycle (or parallel edge): not a tree
+                parent[ru] = rv
+                merges += 1
+            if merges != n_vertices - 1:
+                return False  # disconnected forest
+            if not self._hits_all(vbits):
+                return False
+            # Minimality: no leaf may be removable keeping all families hit.
+            if len(eids) == 1:
+                u, v = eu[eids[0]], ev[eids[0]]
+                return not (self._hits_all(1 << u) or self._hits_all(1 << v))
+            bits = vbits
+            while bits:
+                low = bits & (-bits)
+                bits ^= low
+                leaf = low.bit_length() - 1
+                if deg[leaf] == 1 and self._hits_all(vbits ^ low):
+                    return False
+            return True
+        finally:
+            for x in touched:
+                deg[x] = 0
+
+
+def _fast_group_steiner_brute(
+    graph: Graph,
+    families: Sequence[Sequence[Vertex]],
+    max_edges: Optional[int],
+) -> Iterator[GroupSteinerSolution]:
+    """Kernel backend of :func:`enumerate_minimal_group_steiner_trees_brute`.
+
+    Candidate order (single vertices by repr, then edge subsets of
+    growing size over sorted edge ids) is shared with the object
+    backend; only the accept test runs on the kernel.
+    """
+    fg, index = compile_undirected(graph)
+    # A family member missing from the graph can never be hit; the object
+    # verifier silently ignores it, so drop it from the mask.
+    judge = _FastGroupSteinerJudge(
+        fg,
+        [
+            [
+                (w if index is None else index[w])
+                for w in dict.fromkeys(family)
+                if w in graph
+            ]
+            for family in families
+        ],
+    )
+    for v in sorted(graph.vertices(), key=repr):
+        if judge.accepts_vertex(v if index is None else index[v]):
+            yield GroupSteinerSolution(frozenset(), v)
+    eids = sorted(graph.edge_ids())
+    limit = len(eids) if max_edges is None else min(max_edges, len(eids))
+    for r in range(1, limit + 1):
+        for sub in itertools.combinations(eids, r):
+            if judge.accepts_edges(sub):
+                yield GroupSteinerSolution(frozenset(sub), None)
+
+
 def enumerate_minimal_group_steiner_trees_brute(
-    graph: Graph, families: Sequence[Sequence[Vertex]], max_edges: Optional[int] = None
+    graph: Graph,
+    families: Sequence[Sequence[Vertex]],
+    max_edges: Optional[int] = None,
+    backend: str = "object",
 ) -> Iterator[GroupSteinerSolution]:
     """Brute-force minimal group Steiner tree enumeration.
 
@@ -94,7 +221,14 @@ def enumerate_minimal_group_steiner_trees_brute(
     :func:`~repro.core.verification.is_minimal_group_steiner_tree`.  Only
     for small instances — Theorem 38 says nothing substantially better
     can exist without settling hypergraph dualization.
+    ``backend="fast"`` replaces the per-candidate object verifier with
+    bitmask family tests on the compiled kernel; the candidate order is
+    shared, so the streams are byte-identical.
     """
+    check_backend(backend, kind="group-steiner")
+    if backend == "fast":
+        yield from _fast_group_steiner_brute(graph, families, max_edges)
+        return
     # single-vertex trees
     for v in sorted(graph.vertices(), key=repr):
         if is_minimal_group_steiner_tree(graph, (), v, families):
@@ -109,6 +243,7 @@ def enumerate_minimal_group_steiner_trees_brute(
 
 def minimal_transversals_via_group_steiner(
     hypergraph: Hypergraph,
+    backend: str = "object",
 ) -> Iterator[FrozenSet]:
     """Theorem 38, forward direction: dualize through group Steiner trees.
 
@@ -120,7 +255,7 @@ def minimal_transversals_via_group_steiner(
     """
     instance = transversal_to_group_steiner_instance(hypergraph)
     for solution in enumerate_minimal_group_steiner_trees_brute(
-        instance.graph, instance.families
+        instance.graph, instance.families, backend=backend
     ):
         vs = solution.vertex_set(instance.graph)
         yield frozenset(

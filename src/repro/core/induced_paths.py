@@ -26,7 +26,7 @@ out of scope (documented in DESIGN.md §5).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, List, Sequence, Set, Tuple
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import InvalidInstanceError, VertexNotFound
 from repro.graphs.graph import Graph
@@ -84,6 +84,262 @@ def _reachable_avoiding(
     return seen
 
 
+class ChordlessPathSearch:
+    """Suspendable machine of chordless ``s``-``t`` path enumeration.
+
+    One :meth:`advance` call returns the next chordless path (a vertex
+    tuple in original labels) or ``None`` when exhausted, on either
+    backend.  The certificate-guided backtracking state is exactly the
+    explicit ``prefix`` + ``(vertex, entering)`` stack the enumeration
+    has always used, so :meth:`state` serializes it verbatim;
+    :meth:`restore` rebuilds the machine and — on the ``fast`` backend —
+    recomputes the body cover counts from the restored prefix (they are
+    a pure function of it), leaving the remaining stream byte-identical
+    to the uninterrupted run's tail.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        source: Vertex,
+        target: Vertex,
+        meter=None,
+        backend: str = "object",
+    ) -> None:
+        from repro.core.backend import (
+            check_backend,
+            compile_undirected,
+            map_query_vertex,
+        )
+
+        check_backend(backend, kind="chordless-path")
+        self.graph = graph
+        self.meter = meter
+        self.backend = backend
+        self.source = source
+        self.target = target
+        self.fast = backend == "fast"
+        self.emitted = 0
+        self.phase = 0  # 0 = not started, 1 = running, 2 = exhausted
+        if self.fast:
+            fg, index = compile_undirected(graph)
+            self.fg = fg
+            self._labels = None if index is None else list(index)
+            s = map_query_vertex(index, source) if source in graph else source
+            t = map_query_vertex(index, target) if target in graph else target
+            if s not in fg:
+                raise VertexNotFound(source)
+            if t not in fg:
+                raise VertexNotFound(target)
+            self._s, self._t = s, t
+            raw = fg.neighbor_lists()
+            self._raw = raw
+            # Distinct neighbours, pre-sorted once into the object
+            # backend's ``sorted(neighbor_set(v), key=repr)`` order.
+            self._adj: List[List[int]] = [sorted(set(lst), key=repr) for lst in raw]
+            n = len(raw)
+            self._cov = [0] * n  # closed-neighbourhood cover counts (body)
+            self._tip_mark = [0] * n  # node-level stamp: N[tip] ∪ {tip}
+            self._visited = [0] * n  # probe-level stamp: sweep marks
+            self._node_stamp = 0
+            self._probe_stamp = 0
+        else:
+            if source not in graph:
+                raise VertexNotFound(source)
+            if target not in graph:
+                raise VertexNotFound(target)
+            self._s, self._t = source, target
+        self.prefix: List[Vertex] = []
+        self.stack: List[Tuple[Vertex, bool]] = [(self._s, True)]
+
+    # ------------------------------------------------------------------
+    def advance(self) -> Optional[Tuple[Vertex, ...]]:
+        """The next chordless path, or ``None`` when exhausted."""
+        if self.phase == 0:
+            self.phase = 1
+            if self._s == self._t:
+                self.phase = 2
+                self.emitted += 1
+                return (self.source,)
+        if self.phase == 2:
+            return None
+        path = self._run_fast() if self.fast else self._run_object()
+        if path is None:
+            self.phase = 2
+            return None
+        self.emitted += 1
+        return path
+
+    def _emit(self, prefix: List[int]) -> Tuple[Vertex, ...]:
+        if self._labels is None:
+            return tuple(prefix)
+        labels = self._labels
+        return tuple(labels[v] for v in prefix)
+
+    def _run_object(self) -> Optional[Tuple[Vertex, ...]]:
+        graph, meter, target = self.graph, self.meter, self._t
+        prefix, stack = self.prefix, self.stack
+
+        def extendible(tip: Vertex) -> bool:
+            blocked: Set[Vertex] = set()
+            for v in prefix:
+                blocked.add(v)
+                blocked.update(graph.neighbor_set(v))
+                _tick(meter, graph.degree(v))
+            blocked.discard(tip)
+            if target in blocked:
+                return False
+            return target in _reachable_avoiding(graph, tip, blocked, meter)
+
+        while stack:
+            v, entering = stack.pop()
+            if not entering:
+                prefix.pop()
+                continue
+            prefix.append(v)
+            stack.append((v, False))
+            if v == target:
+                return tuple(prefix)
+            body = prefix[:-1]
+            forbidden: Set[Vertex] = set(body)
+            for p in body:
+                forbidden.update(graph.neighbor_set(p))
+                _tick(meter, graph.degree(p))
+            candidates = [
+                u
+                for u in sorted(graph.neighbor_set(v), key=repr)
+                if u not in forbidden
+            ]
+            # push in reverse so exploration follows sorted order
+            for u in reversed(candidates):
+                if extendible(u):
+                    stack.append((u, True))
+        return None
+
+    def _run_fast(self) -> Optional[Tuple[Vertex, ...]]:
+        """Kernel-native steps: the two O(|prefix| · Δ) set unions per
+        search node (candidate filter + extendibility ``blocked`` set)
+        are flat integer arrays maintained incrementally — ``cov[u]``
+        counts how many *body* vertices cover ``u`` with their closed
+        neighbourhood, the tip's neighbourhood is stamped once per node,
+        and the reachability sweep early-exits at the target."""
+        meter, target = self.meter, self._t
+        prefix, stack = self.prefix, self.stack
+        raw, adj_sorted = self._raw, self._adj
+        cov, tip_mark, visited = self._cov, self._tip_mark, self._visited
+
+        def cover(v: int, delta: int) -> None:
+            cov[v] += delta
+            for u in adj_sorted[v]:
+                cov[u] += delta
+            _tick(meter, len(adj_sorted[v]))
+
+        def extendible(u: int) -> bool:
+            # blocked = body cover ∪ N[tip] ∪ {tip}, minus ``u`` itself
+            # (the object backend's ``blocked.discard(tip)``).
+            node_stamp = self._node_stamp
+            blocked_t = cov[target] > 0 or tip_mark[target] == node_stamp
+            if blocked_t and target != u:
+                return False
+            if u == target:
+                return True
+            self._probe_stamp += 1
+            probe_stamp = self._probe_stamp
+            sweep = [u]
+            visited[u] = probe_stamp
+            while sweep:
+                v = sweep.pop()
+                for w in raw[v]:
+                    _tick(meter)
+                    if w == target:
+                        return True
+                    if (
+                        visited[w] != probe_stamp
+                        and cov[w] == 0
+                        and tip_mark[w] != node_stamp
+                        and w != u
+                    ):
+                        visited[w] = probe_stamp
+                        sweep.append(w)
+            return False
+
+        while stack:
+            v, entering = stack.pop()
+            if not entering:
+                prefix.pop()
+                if prefix:
+                    cover(prefix[-1], -1)  # the new tip leaves the body
+                continue
+            if prefix:
+                cover(prefix[-1], +1)  # the old tip joins the body
+            prefix.append(v)
+            stack.append((v, False))
+            if v == target:
+                return self._emit(prefix)
+            self._node_stamp += 1
+            node_stamp = self._node_stamp
+            tip_mark[v] = node_stamp
+            for u in adj_sorted[v]:
+                tip_mark[u] = node_stamp
+            _tick(meter, len(adj_sorted[v]))
+            survivors = [
+                u for u in adj_sorted[v] if cov[u] == 0 and extendible(u)
+            ]
+            for u in reversed(survivors):
+                stack.append((u, True))
+        return None
+
+    # ------------------------------------------------------------------
+    # snapshot plumbing
+    # ------------------------------------------------------------------
+    @property
+    def frame_count(self) -> int:
+        """Search-stack depth (header bookkeeping for inspection tools)."""
+        return len(self.stack)
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data search state.
+
+        The prefix and the ``(vertex, entering)`` stack are captured
+        verbatim; the kernel arrays (cover counts, stamps) are pure
+        functions of the prefix and are recomputed on :meth:`restore`.
+        """
+        return {
+            "source": self.source,
+            "target": self.target,
+            "backend": self.backend,
+            "phase": self.phase,
+            "emitted": self.emitted,
+            "prefix": list(self.prefix),
+            "stack": [tuple(item) for item in self.stack],
+        }
+
+    @classmethod
+    def restore(
+        cls, graph: Graph, state: Dict[str, Any], meter=None
+    ) -> "ChordlessPathSearch":
+        """Rebuild a machine over ``graph`` from a :meth:`state` dict."""
+        machine = cls(
+            graph,
+            state["source"],
+            state["target"],
+            meter=meter,
+            backend=state["backend"],
+        )
+        machine.phase = state["phase"]
+        machine.emitted = state["emitted"]
+        machine.prefix = list(state["prefix"])
+        machine.stack = [(v, bool(flag)) for v, flag in state["stack"]]
+        if machine.fast:
+            # cov is Σ over body vertices of their closed neighbourhoods.
+            cov, adj_sorted = machine._cov, machine._adj
+            for v in machine.prefix[:-1]:
+                cov[v] += 1
+                for u in adj_sorted[v]:
+                    cov[u] += 1
+        return machine
+
+
 def enumerate_chordless_st_paths(
     graph: Graph, source: Vertex, target: Vertex, meter=None, backend: str = "object"
 ) -> Iterator[Tuple[Vertex, ...]]:
@@ -91,6 +347,8 @@ def enumerate_chordless_st_paths(
 
     Deterministic order (successors explored in ``repr`` order).  The
     trivial one-vertex path is yielded when ``source == target``.
+    Both backends drain a :class:`ChordlessPathSearch` machine, which is
+    the suspendable form of this enumeration.
 
     Examples
     --------
@@ -101,173 +359,14 @@ def enumerate_chordless_st_paths(
     The walk ``(0, 1, 2, 3)`` is *not* chordless: edge ``0``-``2`` is a
     chord, so the minimal induced connector is the short route only.
     """
-    from repro.core.backend import check_backend, compile_undirected, map_query_vertex
-
-    check_backend(backend)
-    if backend == "fast":
-        fg, index = compile_undirected(graph)
-        s = map_query_vertex(index, source) if source in graph else source
-        t = map_query_vertex(index, target) if target in graph else target
-        inner = _fast_chordless_st_paths(fg, s, t, meter)
-        if index is None:
-            yield from inner
-        else:
-            labels = list(index)
-            for path in inner:
-                yield tuple(labels[v] for v in path)
-        return
-    if source not in graph:
-        raise VertexNotFound(source)
-    if target not in graph:
-        raise VertexNotFound(target)
-    if source == target:
-        yield (source,)
-        return
-
-    def extendible(prefix: List[Vertex], tip: Vertex) -> bool:
-        """Can ``prefix + [tip]`` complete to a chordless path to t?"""
-        blocked: Set[Vertex] = set()
-        for v in prefix:
-            blocked.add(v)
-            blocked.update(graph.neighbor_set(v))
-            _tick(meter, graph.degree(v))
-        blocked.discard(tip)
-        if target in blocked:
-            return False
-        return target in _reachable_avoiding(graph, tip, blocked, meter)
-
-    prefix: List[Vertex] = []
-    stack: List[Tuple[Vertex, bool]] = [(source, True)]
-    while stack:
-        v, entering = stack.pop()
-        if not entering:
-            prefix.pop()
-            continue
-        prefix.append(v)
-        stack.append((v, False))
-        if v == target:
-            yield tuple(prefix)
-            continue
-        body = prefix[:-1]
-        forbidden: Set[Vertex] = set(body)
-        for p in body:
-            forbidden.update(graph.neighbor_set(p))
-            _tick(meter, graph.degree(p))
-        candidates = [
-            u
-            for u in sorted(graph.neighbor_set(v), key=repr)
-            if u not in forbidden
-        ]
-        # push in reverse so exploration follows sorted order
-        for u in reversed(candidates):
-            if extendible(prefix, u):
-                stack.append((u, True))
-
-
-def _fast_chordless_st_paths(
-    fg, source: int, target: int, meter=None
-) -> Iterator[Tuple[int, ...]]:
-    """Kernel-native chordless path enumeration over a :class:`FastGraph`.
-
-    Same certificate-guided backtracking as the object implementation —
-    and the same solution stream, solution for solution — but the two
-    O(|prefix| · Δ) set unions per search node (the ``forbidden`` set for
-    candidate filtering and the ``blocked`` set per extendibility probe)
-    are replaced by flat integer arrays maintained incrementally:
-
-    * ``cov[u]`` counts how many *body* vertices (the prefix minus its
-      tip) cover ``u`` with their closed neighbourhood — updated in
-      O(deg) when a vertex enters or leaves the body, so the candidate
-      filter is a single array read per neighbour.
-    * The tip's closed neighbourhood is stamped once per search node
-      (the object version rebuilds the union per candidate), and the
-      extendibility sweep early-exits at the target.
-
-    Yields integer-vertex tuples; the backend dispatcher translates
-    labels when the input graph was relabeled during compilation.
-    """
-    from repro.exceptions import VertexNotFound as _VNF
-
-    if source not in fg:
-        raise _VNF(source)
-    if target not in fg:
-        raise _VNF(target)
-    if source == target:
-        yield (source,)
-        return
-    n = len(fg.neighbor_lists())
-    raw = fg.neighbor_lists()
-    # Distinct neighbours, pre-sorted once into the object backend's
-    # ``sorted(neighbor_set(v), key=repr)`` exploration order.
-    adj_sorted: List[List[int]] = [sorted(set(lst), key=repr) for lst in raw]
-    cov = [0] * n  # closed-neighbourhood cover counts of the body
-    tip_mark = [0] * n  # node-level stamp: N[tip] ∪ {tip}
-    visited = [0] * n  # probe-level stamp: reachability sweep marks
-    node_stamp = 0
-    probe_stamp = 0
-
-    def cover(v: int, delta: int) -> None:
-        cov[v] += delta
-        for u in adj_sorted[v]:
-            cov[u] += delta
-        _tick(meter, len(adj_sorted[v]))
-
-    def extendible(u: int) -> bool:
-        """Can the prefix extended by ``u`` still reach the target
-        chordlessly?  ``blocked`` = body cover ∪ N[tip] ∪ {tip}, minus
-        ``u`` itself (the object version's ``blocked.discard(tip)``)."""
-        nonlocal probe_stamp
-        blocked_t = cov[target] > 0 or tip_mark[target] == node_stamp
-        if blocked_t and target != u:
-            return False
-        if u == target:
-            return True
-        probe_stamp += 1
-        stack = [u]
-        visited[u] = probe_stamp
-        while stack:
-            v = stack.pop()
-            for w in raw[v]:
-                _tick(meter)
-                if w == target:
-                    return True
-                if (
-                    visited[w] != probe_stamp
-                    and cov[w] == 0
-                    and tip_mark[w] != node_stamp
-                    and w != u
-                ):
-                    visited[w] = probe_stamp
-                    stack.append(w)
-        return False
-
-    prefix: List[int] = []
-    stack: List[Tuple[int, bool]] = [(source, True)]
-    while stack:
-        v, entering = stack.pop()
-        if not entering:
-            prefix.pop()
-            if prefix:
-                cover(prefix[-1], -1)  # the new tip leaves the body
-            continue
-        if prefix:
-            cover(prefix[-1], +1)  # the old tip joins the body
-        prefix.append(v)
-        stack.append((v, False))
-        if v == target:
-            yield tuple(prefix)
-            continue
-        node_stamp += 1
-        tip_mark[v] = node_stamp
-        for u in adj_sorted[v]:
-            tip_mark[u] = node_stamp
-        _tick(meter, len(adj_sorted[v]))
-        survivors = [
-            u for u in adj_sorted[v] if cov[u] == 0 and extendible(u)
-        ]
-        for u in reversed(survivors):
-            stack.append((u, True))
-    return
+    machine = ChordlessPathSearch(
+        graph, source, target, meter=meter, backend=backend
+    )
+    while True:
+        path = machine.advance()
+        if path is None:
+            return
+        yield path
 
 
 def enumerate_minimal_induced_steiner_pairs(

@@ -26,6 +26,7 @@ hundreds of random instances.
 from __future__ import annotations
 
 import heapq
+from operator import add
 from typing import (
     Dict,
     FrozenSet,
@@ -38,6 +39,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.backend import check_backend, compile_undirected, map_query_vertex
 from repro.exceptions import InvalidInstanceError, NoSolutionError
 from repro.graphs.graph import Graph
 
@@ -96,10 +98,121 @@ def _forward_table(
     return cost
 
 
+def _fast_minimum_steiner_dp(
+    graph: Graph,
+    terms: Sequence[Vertex],
+    weights: Mapping[int, Weight],
+) -> Tuple[Solution, ...]:
+    """Kernel backend of the DW table + tight-move walk.
+
+    The value table lives in flat per-subset float arrays (no dicts, no
+    ``repr`` heap ties) and adjacency comes from the kernel's cached
+    incidence pairs.  Every emitted tuple is canonically sorted per DP
+    state exactly like the object backend's, and the tight-move tests
+    are value-pure, so the streams are byte-identical.
+    """
+    import heapq
+
+    fg, index = compile_undirected(graph)
+    terms = [map_query_vertex(index, t) for t in terms]
+    pairs = fg.incidence_pairs()
+    n = fg.n_space
+    t = len(terms)
+    full = (1 << t) - 1
+    INF = float("inf")
+    cost: Dict[int, list] = {}
+    # flat eid -> weight array: the Dijkstra inner loop does one list
+    # index instead of a dict hash per scanned arc
+    wmax = max(weights, default=-1)
+    warr = [0.0] * (wmax + 1)
+    for eid, w in weights.items():
+        warr[eid] = w
+    # per-vertex (neighbour, arc-weight) rows: the relaxation loop reads
+    # a pre-resolved weight instead of chasing eid -> weight
+    adj = [[(u, warr[eid]) for eid, u in pairs[v]] for v in range(n)]
+
+    for s in range(1, full + 1):
+        if s & (s - 1) == 0:
+            dist = [INF] * n
+            dist[terms[s.bit_length() - 1]] = 0.0
+        else:
+            dist = [INF] * n
+            low = s & (-s)
+            a = (s - 1) & s
+            while a:
+                if a & low:
+                    b = s ^ a
+                    ca, cb = cost[a], cost[b]
+                    # in-place merge: map(add) runs at C speed and the
+                    # body only executes on an actual improvement
+                    for i, c in enumerate(map(add, ca, cb)):
+                        if c < dist[i] - _EPS:
+                            dist[i] = c
+                a = (a - 1) & s
+        heap = [(d, v) for v, d in enumerate(dist) if d < INF]
+        heapq.heapify(heap)
+        heappop, heappush = heapq.heappop, heapq.heappush
+        # no settled array: every push strictly improves dist, so a stale
+        # entry always satisfies d > dist[v]
+        while heap:
+            d, v = heappop(heap)
+            if d > dist[v]:
+                continue
+            for u, wu in adj[v]:
+                nd = d + wu
+                if nd < dist[u] - _EPS:
+                    dist[u] = nd
+                    heappush(heap, (nd, u))
+        cost[s] = dist
+
+    root = terms[0]
+    if cost[full][root] == INF:
+        raise NoSolutionError("terminals are not connected in the graph")
+
+    memo: Dict[Tuple[int, int], Tuple[Solution, ...]] = {}
+
+    def solutions_for(s: int, v: int) -> Tuple[Solution, ...]:
+        key = (s, v)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        target = cost[s][v]
+        assert target < INF
+        out: Set[Solution] = set()
+        if s & (s - 1) == 0 and terms[s.bit_length() - 1] == v:
+            out.add(frozenset())
+        # tight edge moves
+        for eid, u in pairs[v]:
+            du = cost[s][u]
+            if du < INF and abs(du + warr[eid] - target) < _EPS:
+                for sub in solutions_for(s, u):
+                    if eid not in sub:
+                        out.add(sub | {eid})
+        # tight merge moves (canonical split: A contains the lowest bit)
+        low = s & (-s)
+        a = (s - 1) & s
+        while a:
+            if a & low:
+                b = s ^ a
+                da, db = cost[a][v], cost[b][v]
+                if da < INF and db < INF and abs(da + db - target) < _EPS:
+                    for left in solutions_for(a, v):
+                        for right in solutions_for(b, v):
+                            if not (left & right):
+                                out.add(left | right)
+            a = (a - 1) & s
+        result = tuple(sorted(out, key=sorted))
+        memo[key] = result
+        return result
+
+    return solutions_for(full, root)
+
+
 def enumerate_minimum_steiner_trees_dp(
     graph: Graph,
     terminals: Sequence[Vertex],
     weights: Optional[Mapping[int, Weight]] = None,
+    backend: str = "object",
 ) -> Iterator[Solution]:
     """All minimum-weight Steiner trees, from the DW table's tight moves.
 
@@ -117,6 +230,7 @@ def enumerate_minimum_steiner_trees_dp(
     ...        enumerate_minimum_steiner_trees_dp(g, [0, 2], {0: 1, 1: 1, 2: 2}))
     [[0, 1], [2]]
     """
+    check_backend(backend, kind="minimum-steiner-dp")
     terms = list(dict.fromkeys(terminals))
     if not terms:
         raise InvalidInstanceError("at least one terminal is required")
@@ -132,6 +246,9 @@ def enumerate_minimum_steiner_trees_dp(
             )
     if len(terms) == 1:
         yield frozenset()
+        return
+    if backend == "fast":
+        yield from _fast_minimum_steiner_dp(graph, terms, weights)
         return
 
     cost = _forward_table(graph, terms, weights)
@@ -189,6 +306,12 @@ def count_minimum_steiner_trees(
     graph: Graph,
     terminals: Sequence[Vertex],
     weights: Optional[Mapping[int, Weight]] = None,
+    backend: str = "object",
 ) -> int:
     """Number of distinct minimum-weight Steiner trees."""
-    return sum(1 for _ in enumerate_minimum_steiner_trees_dp(graph, terminals, weights))
+    return sum(
+        1
+        for _ in enumerate_minimum_steiner_trees_dp(
+            graph, terminals, weights, backend=backend
+        )
+    )

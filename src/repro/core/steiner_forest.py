@@ -20,7 +20,9 @@ O(m)-delay with the output-queue regulator (Theorem 25's second half).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Hashable,
@@ -46,8 +48,8 @@ from repro.graphs.fastgraph import (
 from repro.graphs.graph import Graph
 from repro.graphs.lca import LCAIndex, mark_terminal_paths
 from repro.graphs.traversal import component_of, connected_components
-from repro.paths.fastpaths import fast_enumerate_st_paths_undirected
-from repro.paths.read_tarjan import enumerate_st_paths_undirected
+from repro.paths.fastpaths import FastPathSearch, fast_st_path_search
+from repro.paths.read_tarjan import StPathSearch
 
 Vertex = Hashable
 Solution = FrozenSet[int]
@@ -105,6 +107,10 @@ class _ForestState:
         self.edges.update(fresh)
         return fresh
 
+    def apply_record(self, record: Tuple[int, ...]) -> None:
+        """Re-apply a stored undo record (snapshot restore path)."""
+        self.edges.update(record)
+
     def undo(self, record: Tuple[int, ...]) -> None:
         self.edges.difference_update(record)
 
@@ -161,147 +167,160 @@ def _unique_completion(
     return frozenset(marked)
 
 
-def _fast_steiner_forest_events(
-    graph, pairs: List[Pair], meter, improved: bool
-) -> Iterator[Event]:
-    """Fast-backend event stream (kernel contraction + kernel paths).
+class _ForestFrame:
+    """One enumeration-tree activation: a path machine plus undo data.
 
-    Per node the contracted graph is rebuilt as a kernel
-    (:func:`repro.graphs.fastgraph.contracted_kernel`), whose surviving
-    edges appear in the same global order as the object backend's
-    ``contract_edges`` output — the stream order never observes the
-    component labels themselves, so the solution stream matches.  The
-    leaf extraction (:func:`_unique_completion`) is shared with the
-    object backend: it runs on the *original* instance either way.
+    The contracted substrate the path machine runs on is *not* stored:
+    it is a deterministic function of the forest edges applied so far,
+    so :meth:`SteinerForestSearch.restore` rebuilds it frame by frame
+    while replaying the undo records.
     """
-    fg, index = compile_undirected(graph)
-    pairs = [(map_query_vertex(index, a), map_query_vertex(index, b)) for a, b in pairs]
-    labels = fast_component_labels(fg, meter=meter)
-    if any(labels[a] != labels[b] for a, b in pairs):
-        return
 
-    state = _ForestState()
-    node_counter = 0
-    n_space = fg.n_space
+    __slots__ = ("paths", "record", "node_id", "depth", "pair")
 
-    def node_action() -> Tuple[str, object]:
-        # Union-find over the partial forest: pending pairs.
-        parent = list(range(n_space))
-        eu, ev = fg._eu, fg._ev
-        for eid in state.edges:
-            ru = eu[eid]
-            while parent[ru] != ru:
-                parent[ru] = parent[parent[ru]]
-                ru = parent[ru]
-            rv = ev[eid]
-            while parent[rv] != rv:
-                parent[rv] = parent[parent[rv]]
-                rv = parent[rv]
-            if ru != rv:
-                parent[ru] = rv
+    def __init__(self, paths, record, node_id, depth, pair):
+        self.paths = paths  # suspendable st-path search on the contraction
+        self.record = record  # forest undo record (None at the root)
+        self.node_id = node_id
+        self.depth = depth
+        self.pair = pair  # the pending pair this frame branches on
 
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
 
-        pending = [(a, b) for a, b in pairs if find(a) != find(b)]
-        if not pending:
-            return ("leaf", frozenset(state.edges))
-        ck, vmap = contracted_kernel(fg, state.edges, meter=meter)
-        if meter is not None:
-            meter.tick(ck.num_edges + ck.num_vertices)
-        if not improved:
-            a, b = pending[0]
-            return ("branch", (a, b, ck, vmap))
-        bridges = fast_bridges(ck, meter=meter)
-        bparent = list(range(ck.n_space))
-        ceu, cev = ck._eu, ck._ev
-        for eid in bridges:
-            ru = ceu[eid]
-            while bparent[ru] != ru:
-                bparent[ru] = bparent[bparent[ru]]
-                ru = bparent[ru]
-            rv = cev[eid]
-            while bparent[rv] != rv:
-                bparent[rv] = bparent[bparent[rv]]
-                rv = bparent[rv]
-            if ru != rv:
-                bparent[ru] = rv
+class SteinerForestSearch:
+    """Suspendable machine of the Steiner-forest enumeration.
 
-        def bfind(x: int) -> int:
-            while bparent[x] != x:
-                bparent[x] = bparent[bparent[x]]
-                x = bparent[x]
-            return x
+    The forest counterpart of
+    :class:`repro.core.steiner_tree.SteinerTreeSearch`: one
+    :meth:`advance` call returns the next traversal event or ``None``,
+    for both backends and both branching rules, and :meth:`state` /
+    :meth:`restore` freeze / thaw the search mid-enumeration.  Each
+    frame's child paths run on the multigraph ``G/E(F)`` contracted at
+    that node; a restored machine replays the per-frame undo records and
+    rebuilds each contraction (a pure function of the applied edges)
+    before thawing the frame's path machine against it.
+    """
 
-        for a, b in pending:
-            if bfind(vmap[a]) != bfind(vmap[b]):
+    def __init__(
+        self,
+        graph: Graph,
+        families: Sequence[Sequence[Vertex]],
+        meter=None,
+        improved: bool = True,
+        backend: str = "object",
+    ) -> None:
+        check_backend(backend, kind="steiner-forest")
+        self.meter = meter
+        self.improved = improved
+        self.backend = backend
+        self.input_families: List[List[Vertex]] = [list(f) for f in families]
+        self.fast = backend == "fast"
+        pairs = normalize_families(graph, self.input_families)
+        if self.fast:
+            fg, index = compile_undirected(graph)
+            self._g = fg  # FastGraph implements the Graph protocol
+            pairs = [
+                (map_query_vertex(index, a), map_query_vertex(index, b))
+                for a, b in pairs
+            ]
+        else:
+            self._g = graph
+        self.pairs: List[Pair] = pairs
+        if not pairs:
+            self._dead = False
+        elif self.fast:
+            labels = fast_component_labels(self._g, meter=meter)
+            self._dead = any(labels[a] != labels[b] for a, b in pairs)
+        else:
+            self._dead = not _pairs_connected_in_graph(self._g, pairs, meter)
+        self.state_forest = _ForestState()
+        self.node_counter = 0
+        self.stack: List[_ForestFrame] = []
+        self.pending: deque = deque()
+        self.phase = 0  # 0 = not started, 1 = running, 2 = exhausted
+        self.emitted = 0  # solutions produced (header bookkeeping)
+
+    # ------------------------------------------------------------------
+    def advance(self) -> Optional[Event]:
+        """The next traversal event, or ``None`` when exhausted."""
+        while True:
+            if self.pending:
+                event = self.pending.popleft()
+                if event[0] == SOLUTION:
+                    self.emitted += 1
+                return event
+            if self.phase == 2:
+                return None
+            if self.phase == 0:
+                self._start()
+            else:
+                self._step()
+
+    def _node_action(self) -> Tuple[str, object]:
+        """Leaf/branch decision for the current partial forest (Lemma 24)."""
+        meter = self.meter
+        state = self.state_forest
+        pairs = self.pairs
+        if self.fast:
+            fg = self._g
+            parent = list(range(fg.n_space))
+            eu, ev = fg._eu, fg._ev
+            for eid in state.edges:
+                ru = eu[eid]
+                while parent[ru] != ru:
+                    parent[ru] = parent[parent[ru]]
+                    ru = parent[ru]
+                rv = ev[eid]
+                while parent[rv] != rv:
+                    parent[rv] = parent[parent[rv]]
+                    rv = parent[rv]
+                if ru != rv:
+                    parent[ru] = rv
+
+            def find(x: int) -> int:
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
+
+            pending = [(a, b) for a, b in pairs if find(a) != find(b)]
+            if not pending:
+                return ("leaf", frozenset(state.edges))
+            ck, vmap = contracted_kernel(fg, state.edges, meter=meter)
+            if meter is not None:
+                meter.tick(ck.num_edges + ck.num_vertices)
+            if not self.improved:
+                a, b = pending[0]
                 return ("branch", (a, b, ck, vmap))
-        return ("leaf", _unique_completion(fg, state.edges, bridges, pairs, meter))
+            bridges = fast_bridges(ck, meter=meter)
+            bparent = list(range(ck.n_space))
+            ceu, cev = ck._eu, ck._ev
+            for eid in bridges:
+                ru = ceu[eid]
+                while bparent[ru] != ru:
+                    bparent[ru] = bparent[bparent[ru]]
+                    ru = bparent[ru]
+                rv = cev[eid]
+                while bparent[rv] != rv:
+                    bparent[rv] = bparent[bparent[rv]]
+                    rv = bparent[rv]
+                if ru != rv:
+                    bparent[ru] = rv
 
-    def child_paths(branch_payload):
-        a, b, ck, vmap = branch_payload
-        return fast_enumerate_st_paths_undirected(ck, vmap[a], vmap[b], meter=meter)
+            def bfind(x: int) -> int:
+                while bparent[x] != x:
+                    bparent[x] = bparent[bparent[x]]
+                    x = bparent[x]
+                return x
 
-    yield (DISCOVER, node_counter, 0)
-    kind, payload = node_action()
-    if kind == "leaf":
-        yield (SOLUTION, payload)
-        yield (EXAMINE, node_counter, 0)
-        return
+            for a, b in pending:
+                if bfind(vmap[a]) != bfind(vmap[b]):
+                    return ("branch", (a, b, ck, vmap))
+            return (
+                "leaf",
+                _unique_completion(fg, state.edges, bridges, pairs, meter),
+            )
 
-    stack: List[List[object]] = [[child_paths(payload), None, node_counter, 0]]
-    while stack:
-        frame = stack[-1]
-        paths, _undo, node_id, depth = frame
-        path = next(paths, None)  # type: ignore[arg-type]
-        if path is None:
-            yield (EXAMINE, node_id, depth)
-            stack.pop()
-            if frame[1] is not None:
-                state.undo(frame[1])
-            continue
-        record = state.apply(path.arcs)
-        node_counter += 1
-        yield (DISCOVER, node_counter, depth + 1)
-        kind, payload = node_action()
-        if kind == "leaf":
-            yield (SOLUTION, payload)
-            yield (EXAMINE, node_counter, depth + 1)
-            state.undo(record)
-            continue
-        stack.append([child_paths(payload), record, node_counter, depth + 1])
-
-
-def steiner_forest_events(
-    graph: Graph,
-    families: Sequence[Sequence[Vertex]],
-    meter=None,
-    improved: bool = True,
-    backend: str = "object",
-) -> Iterator[Event]:
-    """Event stream of the Steiner-forest enumeration-tree traversal."""
-    check_backend(backend)
-    pairs = normalize_families(graph, families)
-    if not pairs:
-        # No constraints: the empty forest is the unique minimal solution.
-        yield (DISCOVER, 0, 0)
-        yield (SOLUTION, frozenset())
-        yield (EXAMINE, 0, 0)
-        return
-    if backend == "fast":
-        yield from _fast_steiner_forest_events(graph, pairs, meter, improved)
-        return
-    if not _pairs_connected_in_graph(graph, pairs, meter):
-        return
-
-    state = _ForestState()
-    node_counter = 0
-
-    def node_action() -> Tuple[str, object]:
-        """Leaf/branch decision for the current partial forest."""
+        graph = self._g
         roots = _forest_components(graph, state.edges)
         pending = [(a, b) for a, b in pairs if roots[a] != roots[b]]
         if not pending:
@@ -311,7 +330,7 @@ def steiner_forest_events(
         vmap = contraction.vertex_map
         if meter is not None:
             meter.tick(cgraph.num_edges + cgraph.num_vertices)
-        if not improved:
+        if not self.improved:
             a, b = pending[0]
             return ("branch", (a, b, cgraph, vmap))
         bridges = find_bridges(cgraph, meter=meter)
@@ -335,40 +354,184 @@ def steiner_forest_events(
         for a, b in pending:
             if find(vmap[a]) != find(vmap[b]):
                 return ("branch", (a, b, cgraph, vmap))
-        return ("leaf", _unique_completion(graph, state.edges, bridges, pairs, meter))
+        return (
+            "leaf",
+            _unique_completion(graph, state.edges, bridges, pairs, meter),
+        )
 
-    def child_paths(branch_payload):
-        a, b, cgraph, vmap = branch_payload
-        return enumerate_st_paths_undirected(cgraph, vmap[a], vmap[b], meter=meter)
+    def _open_paths(self, payload):
+        """A suspendable ``a``-``b`` path search on the contraction."""
+        a, b, csub, vmap = payload
+        if self.fast:
+            return fast_st_path_search(csub, vmap[a], vmap[b], meter=self.meter)
+        return StPathSearch(csub, vmap[a], vmap[b], meter=self.meter)
 
-    yield (DISCOVER, node_counter, 0)
-    kind, payload = node_action()
-    if kind == "leaf":
-        yield (SOLUTION, payload)
-        yield (EXAMINE, node_counter, 0)
-        return
-
-    stack: List[List[object]] = [[child_paths(payload), None, node_counter, 0]]
-    while stack:
-        frame = stack[-1]
-        paths, _undo, node_id, depth = frame
-        path = next(paths, None)  # type: ignore[arg-type]
-        if path is None:
-            yield (EXAMINE, node_id, depth)
-            stack.pop()
-            if frame[1] is not None:
-                state.undo(frame[1])
-            continue
-        record = state.apply(path.arcs)
-        node_counter += 1
-        yield (DISCOVER, node_counter, depth + 1)
-        kind, payload = node_action()
+    def _start(self) -> None:
+        self.phase = 1
+        if self._dead:
+            self.phase = 2
+            return
+        self.pending.append((DISCOVER, self.node_counter, 0))
+        kind, payload = self._node_action()
         if kind == "leaf":
-            yield (SOLUTION, payload)
-            yield (EXAMINE, node_counter, depth + 1)
-            state.undo(record)
-            continue
-        stack.append([child_paths(payload), record, node_counter, depth + 1])
+            self.pending.append((SOLUTION, payload))
+            self.pending.append((EXAMINE, self.node_counter, 0))
+            self.phase = 2
+            return
+        self.stack.append(
+            _ForestFrame(
+                self._open_paths(payload),
+                None,
+                self.node_counter,
+                0,
+                (payload[0], payload[1]),
+            )
+        )
+
+    def _step(self) -> None:
+        """One enumeration-tree traversal step (the old loop body)."""
+        if not self.stack:
+            self.phase = 2
+            return
+        frame = self.stack[-1]
+        path = frame.paths.next_path()
+        if path is None:
+            self.pending.append((EXAMINE, frame.node_id, frame.depth))
+            self.stack.pop()
+            if frame.record is not None:
+                self.state_forest.undo(frame.record)
+            return
+        record = self.state_forest.apply(path.arcs)
+        self.node_counter += 1
+        self.pending.append((DISCOVER, self.node_counter, frame.depth + 1))
+        kind, payload = self._node_action()
+        if kind == "leaf":
+            self.pending.append((SOLUTION, payload))
+            self.pending.append((EXAMINE, self.node_counter, frame.depth + 1))
+            self.state_forest.undo(record)
+            return
+        self.stack.append(
+            _ForestFrame(
+                self._open_paths(payload),
+                record,
+                self.node_counter,
+                frame.depth + 1,
+                (payload[0], payload[1]),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # snapshot plumbing
+    # ------------------------------------------------------------------
+    @property
+    def frame_count(self) -> int:
+        """Search-stack depth (tree frames + their path-machine frames)."""
+        return len(self.stack) + sum(
+            len(f.paths.stack)
+            if isinstance(f.paths, FastPathSearch)
+            else len(f.paths.machine.stack)
+            for f in self.stack
+        )
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data search state (contractions are recomputed)."""
+        return {
+            "families": [list(f) for f in self.input_families],
+            "improved": self.improved,
+            "backend": self.backend,
+            "node_counter": self.node_counter,
+            "phase": self.phase,
+            "emitted": self.emitted,
+            "pending": list(self.pending),
+            "frames": [
+                {
+                    "paths": frame.paths.state(),
+                    "record": frame.record,
+                    "node_id": frame.node_id,
+                    "depth": frame.depth,
+                    "pair": tuple(frame.pair),
+                }
+                for frame in self.stack
+            ],
+        }
+
+    def _contracted_substrate(self):
+        """The contraction of the current forest edges (restore path)."""
+        if self.fast:
+            ck, _vmap = contracted_kernel(
+                self._g, self.state_forest.edges, meter=self.meter
+            )
+            return ck
+        return contract_edges(self._g, self.state_forest.edges).graph
+
+    def _restore_paths(self, csub, paths_state: Dict[str, Any]):
+        if self.fast:
+            return FastPathSearch.restore(csub, paths_state, self.meter)
+        return StPathSearch.restore(csub, paths_state, self.meter)
+
+    @classmethod
+    def restore(cls, graph: Graph, state: Dict[str, Any], meter=None):
+        """Rebuild a machine over ``graph`` from a :meth:`state` dict.
+
+        ``graph`` must be (a deterministic reconstruction of) the
+        instance the state was captured on; enumerator-level snapshots
+        bind that with the instance fingerprint.  Contractions are pure
+        functions of the replayed forest edges, so each frame's path
+        machine thaws against a freshly rebuilt substrate.
+        """
+        machine = cls(
+            graph,
+            state["families"],
+            meter=meter,
+            improved=state["improved"],
+            backend=state["backend"],
+        )
+        machine.node_counter = state["node_counter"]
+        machine.phase = state["phase"]
+        machine.emitted = state["emitted"]
+        machine.pending = deque(state["pending"])
+        for fstate in state["frames"]:
+            if fstate["record"] is not None:
+                machine.state_forest.apply_record(fstate["record"])
+            csub = machine._contracted_substrate()
+            machine.stack.append(
+                _ForestFrame(
+                    machine._restore_paths(csub, fstate["paths"]),
+                    fstate["record"],
+                    fstate["node_id"],
+                    fstate["depth"],
+                    tuple(fstate["pair"]),
+                )
+            )
+        return machine
+
+
+def steiner_forest_events(
+    graph: Graph,
+    families: Sequence[Sequence[Vertex]],
+    meter=None,
+    improved: bool = True,
+    backend: str = "object",
+) -> Iterator[Event]:
+    """Event stream of the Steiner-forest enumeration-tree traversal.
+
+    ``backend="fast"`` rebuilds each node's contracted multigraph as a
+    kernel (:func:`repro.graphs.fastgraph.contracted_kernel`), whose
+    surviving edges appear in the same global order as the object
+    backend's ``contract_edges`` output, and enumerates child paths with
+    the kernel path machine; the leaf extraction
+    (:func:`_unique_completion`) runs on the original instance either
+    way.  Both backends drain a :class:`SteinerForestSearch` machine,
+    the suspendable form of this traversal.
+    """
+    machine = SteinerForestSearch(
+        graph, families, meter=meter, improved=improved, backend=backend
+    )
+    while True:
+        event = machine.advance()
+        if event is None:
+            return
+        yield event
 
 
 def enumerate_minimal_steiner_forests(

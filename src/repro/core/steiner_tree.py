@@ -290,7 +290,7 @@ class SteinerTreeSearch:
         improved: bool = True,
         backend: str = "object",
     ) -> None:
-        check_backend(backend)
+        check_backend(backend, kind="steiner-tree")
         self.graph = graph
         self.meter = meter
         self.improved = improved

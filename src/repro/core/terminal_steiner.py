@@ -399,7 +399,7 @@ class TerminalSteinerSearch:
         improved: bool = True,
         backend: str = "object",
     ) -> None:
-        check_backend(backend)
+        check_backend(backend, kind="terminal-steiner")
         self.meter = meter
         self.improved = improved
         self.backend = backend

@@ -85,7 +85,7 @@ class KeywordSearchEngine:
             raise ValueError("default_limit must be positive")
         self.datagraph = datagraph
         self.default_limit = default_limit
-        self.backend = check_backend(backend)
+        self.backend = check_backend(backend, kind="kfragments")
         self._query_count = 0
 
     # ------------------------------------------------------------------

@@ -47,12 +47,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.capabilities import spec as kind_spec
 from repro.engine.jobs import (
     EnumerationJob,
     JobResult,
-    PATH_KINDS,
-    RELABELABLE_KINDS,
-    VERTEX_SET_KINDS,
     structure_line,
 )
 
@@ -137,7 +135,7 @@ def canonical_signature(job: EnumerationJob) -> Optional[Tuple[List[Any], tuple]
     relabelable or the symmetry search exceeds its budget.  Two jobs get
     equal certificates iff their role-annotated instances are isomorphic.
     """
-    if job.kind not in RELABELABLE_KINDS:
+    if not kind_spec(job.kind).relabelable:
         return None
     vertices, roles = _job_vertices_and_roles(job)
     n = len(vertices)
@@ -273,20 +271,20 @@ def instance_key(job: EnumerationJob) -> Tuple[str, Optional[List[Any]]]:
 def to_canonical(kind: str, structures, order: List[Any]) -> tuple:
     """Re-express label-level ``structures`` in canonical vertex indices."""
     pos = {v: i for i, v in enumerate(order)}
-    if kind in VERTEX_SET_KINDS or kind in PATH_KINDS:
+    if kind_spec(kind).result_shape in ("vertex-set", "path"):
         return tuple(tuple(pos[v] for v in s) for s in structures)
     return tuple(tuple((pos[u], pos[v]) for u, v in s) for s in structures)
 
 
 def from_canonical(job: EnumerationJob, canonical, order: List[Any]) -> tuple:
     """Translate canonical-index structures into ``job``'s own labels."""
-    if job.kind in VERTEX_SET_KINDS:
+    if kind_spec(job.kind).result_shape == "vertex-set":
         # Vertex sets are rendered sorted by repr (matching
         # iter_structures); paths keep their traversal order.
         return tuple(
             tuple(sorted((order[i] for i in s), key=repr)) for s in canonical
         )
-    if job.kind in PATH_KINDS:
+    if kind_spec(job.kind).result_shape == "path":
         return tuple(tuple(order[i] for i in s) for s in canonical)
     structures = []
     for s in canonical:

@@ -10,7 +10,7 @@ tail — the concatenation of the two passes equals one uninterrupted run.
 Resumption cost, in order of preference:
 
 1. **Snapshot resume** (kinds in
-   :data:`repro.engine.jobs.SUSPENDABLE_KINDS`): the checkpoint embeds
+   ``suspendable`` in :mod:`repro.core.capabilities`): the checkpoint embeds
    the frozen branch-and-bound stack (:mod:`repro.engine.suspend`), so
    the resumed cursor continues in O(state) — no re-enumeration, no
    matter how deep the stream position is.
@@ -37,11 +37,11 @@ import json
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.cache import InstanceCache, job_fingerprint
+from repro.core.capabilities import spec as kind_spec
 from repro.engine.jobs import (
     BudgetExceeded,
     EnumerationJob,
     JobResult,
-    SUSPENDABLE_KINDS,
     _BudgetMeter,
     iter_structures,
     structure_line,
@@ -305,7 +305,7 @@ class EnumerationCursor:
         if (
             blob is None
             or self.resume_mode != "snapshot"
-            or self.job.kind not in SUSPENDABLE_KINDS
+            or not kind_spec(self.job.kind).suspendable
         ):
             return None
         from repro.core.suspend import SnapshotError, read_snapshot_header
@@ -446,7 +446,7 @@ class EnumerationCursor:
             # allowance re-skipping the prefix and never make progress
             # across resumes.  With a cache attached the fast-forward is
             # free, so deadline-stopped cursors also progress.
-            suspendable = self.job.kind in SUSPENDABLE_KINDS
+            suspendable = kind_spec(self.job.kind).suspendable
             deadline_at = (
                 (time.monotonic() + self.job.deadline)
                 if self.job.deadline is not None
@@ -512,7 +512,7 @@ class EnumerationCursor:
     # ------------------------------------------------------------------
     def _current_snapshot(self) -> Optional[bytes]:
         """The search-state blob for :meth:`checkpoint`, if sound."""
-        if self.job.kind not in SUSPENDABLE_KINDS or self._dirty:
+        if not kind_spec(self.job.kind).suspendable or self._dirty:
             return None
         if self._search is not None and self._search.emitted == self.offset:
             return self._search.snapshot()

@@ -45,6 +45,8 @@ from typing import (
     Tuple,
 )
 
+from repro.core import capabilities
+from repro.core.capabilities import require_backend, spec as kind_spec
 from repro.enumeration.delay import CostMeter
 from repro.exceptions import InvalidInstanceError, ReproError
 from repro.graphs.digraph import DiGraph
@@ -52,36 +54,44 @@ from repro.graphs.graph import Graph
 
 Vertex = Hashable
 
-#: Kinds whose solutions are edge sets of an undirected graph.
-EDGE_SET_KINDS = frozenset({"steiner-tree", "steiner-forest", "terminal-steiner"})
-#: Kinds whose solutions are arc sets of a digraph.
-ARC_SET_KINDS = frozenset({"directed-steiner"})
-#: Kinds whose solutions are vertex sets.
-VERTEX_SET_KINDS = frozenset({"induced-steiner"})
-#: Kinds whose solutions are ordered vertex paths.
-PATH_KINDS = frozenset({"st-path", "chordless-path"})
-#: All job kinds the engine can execute.
-JOB_KINDS = (
-    EDGE_SET_KINDS | ARC_SET_KINDS | VERTEX_SET_KINDS | PATH_KINDS | {"kfragments"}
-)
+#: All job kinds the engine can execute — derived from the kind
+#: capability registry (:mod:`repro.core.capabilities`), which is the
+#: single source of truth for result shapes, backend support,
+#: suspendability, relabelability and cacheability.
+JOB_KINDS = capabilities.JOB_KINDS
 
-#: Kinds whose cache entries can be translated between relabeled
-#: isomorphic instances (see :mod:`repro.engine.cache`).
-RELABELABLE_KINDS = JOB_KINDS - {"kfragments"}
+# ----------------------------------------------------------------------
+# deprecated capability frozensets
+# ----------------------------------------------------------------------
+# The capability split used to be encoded here as five frozensets that
+# serve/cursor/cache each imported.  They are now derived views of the
+# registry, kept importable for one release; new code should consult
+# :func:`repro.core.capabilities.spec` / ``kinds_where`` instead.
+_DEPRECATED_KIND_SETS = {
+    "EDGE_SET_KINDS": {"result_shape": "edge-set"},
+    "ARC_SET_KINDS": {"result_shape": "arc-set"},
+    "VERTEX_SET_KINDS": {"result_shape": "vertex-set"},
+    "PATH_KINDS": {"result_shape": "path"},
+    "RELABELABLE_KINDS": {"relabelable": True},
+    "SUSPENDABLE_KINDS": {"suspendable": True},
+}
 
-#: Kinds with a suspendable search machine (:mod:`repro.engine.suspend`):
-#: their streams checkpoint as serialized search-state snapshots and
-#: resume in O(state) instead of replaying ``offset`` solutions.  The
-#: remaining kinds (``steiner-forest``, ``directed-steiner``,
-#: ``induced-steiner``, ``chordless-path``) are replay-only for now:
-#: cursors and serve streams still resume, but by fast-forwarding the
-#: re-run enumeration.  The serve layer surfaces this capability split
-#: under ``suspendable_kinds`` in ``GET /stats``.
-SUSPENDABLE_KINDS = frozenset(
-    {"steiner-tree", "terminal-steiner", "st-path", "kfragments"}
-)
 
-_DIRECTED_KINDS = frozenset({"directed-steiner"})
+def __getattr__(name: str):
+    flags = _DEPRECATED_KIND_SETS.get(name)
+    if flags is not None:
+        import warnings
+
+        warnings.warn(
+            f"repro.engine.jobs.{name} is deprecated and will be removed "
+            f"one release after 0.7; use "
+            f"repro.core.capabilities.kinds_where({', '.join(f'{k}={v!r}' for k, v in flags.items())}) "
+            f"or repro.core.capabilities.spec(kind) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return capabilities.kinds_where(**flags)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class BudgetExceeded(ReproError):
@@ -327,7 +337,7 @@ class EnumerationJob:
         if self.kind == "steiner-forest":
             if not self.families:
                 raise InvalidInstanceError("steiner-forest jobs need 'families'")
-        elif self.kind in PATH_KINDS:
+        elif kind_spec(self.kind).result_shape == "path":
             if self.source is None or self.target is None:
                 raise InvalidInstanceError(f"{self.kind} jobs need 'source'/'target'")
         elif self.kind == "kfragments":
@@ -346,12 +356,7 @@ class EnumerationJob:
             raise InvalidInstanceError("budget must be >= 0")
         if self.shards < 1:
             raise InvalidInstanceError("shards must be >= 1")
-        from repro.core.backend import BACKENDS
-
-        if self.backend not in BACKENDS:
-            raise InvalidInstanceError(
-                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
-            )
+        require_backend(self.kind, self.backend)
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready dict; omits defaulted fields for compact job files."""
@@ -423,7 +428,7 @@ class EnumerationJob:
     @property
     def is_directed(self) -> bool:
         """True for kinds whose instance is a digraph."""
-        return self.kind in _DIRECTED_KINDS
+        return kind_spec(self.kind).directed
 
     def instantiate(self):
         """Build the concrete :class:`Graph` / :class:`DiGraph` / data graph."""
@@ -502,7 +507,8 @@ class JobResult:
     serialization.  ``exhausted`` is True iff the enumeration ran to
     completion; otherwise ``stop_reason`` says why it stopped
     (``limit`` / ``deadline`` / ``budget``).  For suspendable kinds
-    (:data:`SUSPENDABLE_KINDS`) a cleanly stopped run also carries a
+    (``suspendable`` in :mod:`repro.core.capabilities`) a cleanly
+    stopped run also carries a
     search-state ``snapshot``: pass it back as ``run_job(job,
     resume=...)`` to continue the stream in O(state) instead of
     replaying the delivered prefix.  Like ``structures`` it is excluded
@@ -549,21 +555,22 @@ class JobResult:
 # ----------------------------------------------------------------------
 def render_structure(kind: str, structure) -> str:
     """Render a label-level solution structure as the CLI's text line."""
-    if kind in EDGE_SET_KINDS:
+    shape = kind_spec(kind).result_shape
+    if shape == "edge-set":
         return (
             " ".join(f"{u}-{v}" for u, v in structure)
             if structure
             else "(single-vertex tree)"
         )
-    if kind in ARC_SET_KINDS:
+    if shape == "arc-set":
         return (
             " ".join(f"{u}->{v}" for u, v in structure)
             if structure
             else "(single-vertex tree)"
         )
-    if kind in VERTEX_SET_KINDS:
+    if shape == "vertex-set":
         return " ".join(map(str, structure))
-    if kind in PATH_KINDS:
+    if shape == "path":
         return "->".join(map(str, structure))
     raise InvalidInstanceError(f"no structure rendering for kind {kind!r}")
 
@@ -698,7 +705,8 @@ def structure_line(job: EnumerationJob, structure) -> str:
 def run_job(job: EnumerationJob, resume: Optional[bytes] = None) -> JobResult:
     """Execute ``job`` to its limit/deadline/budget; never raises on overrun.
 
-    Suspendable kinds (:data:`SUSPENDABLE_KINDS`) run on their search
+    Suspendable kinds (``suspendable`` in the capability registry,
+    :mod:`repro.core.capabilities`) run on their search
     machine: a run stopped cleanly (limit reached, or the deadline
     observed between solutions) carries a search-state ``snapshot`` in
     its result, and passing that blob back as ``resume`` continues the
@@ -718,7 +726,7 @@ def run_job(job: EnumerationJob, resume: Optional[bytes] = None) -> JobResult:
     stop_reason: Optional[str] = None
     exhausted = False
     snapshot_out: Optional[bytes] = None
-    if job.kind in SUSPENDABLE_KINDS:
+    if kind_spec(job.kind).suspendable:
         from repro.engine.suspend import JobSearch
 
         # Machine-driven runs enforce the deadline between solutions —

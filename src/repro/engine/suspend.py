@@ -33,8 +33,8 @@ from repro.core.suspend import (
     unpack_snapshot,
 )
 from repro.engine.cache import job_fingerprint
+from repro.core.capabilities import kinds_where, spec as kind_spec
 from repro.engine.jobs import (
-    SUSPENDABLE_KINDS,
     EnumerationJob,
     _render_fragment,
     solution_edge_structure,
@@ -48,7 +48,7 @@ from repro.enumeration.events import SOLUTION
 def supports_snapshot(job_or_kind) -> bool:
     """True when the job's kind has a suspendable machine."""
     kind = getattr(job_or_kind, "kind", job_or_kind)
-    return kind in SUSPENDABLE_KINDS
+    return kind in kinds_where(suspendable=True)
 
 
 class JobSearch:
@@ -87,6 +87,39 @@ class JobSearch:
                 improved=True,
                 backend=backend,
             )
+        elif kind == "steiner-forest":
+            from repro.core.steiner_forest import SteinerForestSearch
+
+            self._machine = SteinerForestSearch(
+                instance,
+                self._indexed_families,
+                meter=meter,
+                improved=True,
+                backend=backend,
+            )
+        elif kind == "directed-steiner":
+            from repro.core.directed_steiner import DirectedSteinerSearch
+
+            self._machine = DirectedSteinerSearch(
+                instance,
+                self._indexed_terminals,
+                self._indexed_root,
+                meter=meter,
+                improved=True,
+                backend=backend,
+            )
+        elif kind == "induced-steiner":
+            from repro.core.induced_steiner import InducedSteinerSearch
+
+            self._machine = InducedSteinerSearch(
+                instance, self._indexed_terminals, meter=meter, backend=backend
+            )
+        elif kind == "chordless-path":
+            from repro.core.induced_paths import ChordlessPathSearch
+
+            self._machine = ChordlessPathSearch(
+                instance, self._source, self._target, meter=meter, backend=backend
+            )
         elif kind == "st-path":
             if backend == "fast":
                 from repro.paths.fastpaths import fast_st_path_search
@@ -116,10 +149,10 @@ class JobSearch:
         ``restore``.
         """
         job.validate()
-        if job.kind not in SUSPENDABLE_KINDS:
+        if not kind_spec(job.kind).suspendable:
             raise InvalidInstanceError(
                 f"job kind {job.kind!r} has no suspendable machine; "
-                f"suspendable kinds: {sorted(SUSPENDABLE_KINDS)}"
+                f"suspendable kinds: {sorted(kinds_where(suspendable=True))}"
             )
         self.job = job
         self.meter = meter
@@ -128,10 +161,23 @@ class JobSearch:
         instance, labels, index_of = job.instantiate_indexed()
         self.labels = labels
         self._instance = instance
-        if job.kind in ("steiner-tree", "terminal-steiner"):
+        if job.kind in ("steiner-tree", "terminal-steiner", "induced-steiner"):
             self._indexed_terminals = [
                 self._query_vertex(index_of, t) for t in job.terminals
             ]
+        elif job.kind == "steiner-forest":
+            self._indexed_families = [
+                [self._query_vertex(index_of, t) for t in family]
+                for family in job.families
+            ]
+        elif job.kind == "directed-steiner":
+            self._indexed_terminals = [
+                self._query_vertex(index_of, t) for t in job.terminals
+            ]
+            self._indexed_root = self._query_vertex(index_of, job.root)
+        elif job.kind == "chordless-path":
+            self._source = self._query_vertex(index_of, job.source)
+            self._target = self._query_vertex(index_of, job.target)
         elif job.kind == "st-path":
             self._source = self._query_vertex(index_of, job.source)
             self._target = self._query_vertex(index_of, job.target)
@@ -156,7 +202,12 @@ class JobSearch:
         """The next ``(line, structure)`` pair, or ``None`` at the end."""
         job = self.job
         kind = job.kind
-        if kind in ("steiner-tree", "terminal-steiner"):
+        if kind in (
+            "steiner-tree",
+            "terminal-steiner",
+            "steiner-forest",
+            "directed-steiner",
+        ):
             while True:
                 event = self._machine.advance()
                 if event is None:
@@ -164,6 +215,18 @@ class JobSearch:
                 if event[0] == SOLUTION:
                     structure = solution_edge_structure(job, event[1])
                     break
+        elif kind == "induced-steiner":
+            solution = self._machine.advance()
+            if solution is None:
+                return None
+            structure = tuple(
+                sorted((self.labels[v] for v in solution), key=repr)
+            )
+        elif kind == "chordless-path":
+            path = self._machine.advance()
+            if path is None:
+                return None
+            structure = tuple(self.labels[v] for v in path)
         elif kind == "st-path":
             path = self._machine.next_path()
             if path is None:
@@ -240,6 +303,30 @@ class JobSearch:
             from repro.core.terminal_steiner import TerminalSteinerSearch
 
             search._machine = TerminalSteinerSearch.restore(
+                search._instance, inner, meter
+            )
+        elif kind == "steiner-forest":
+            from repro.core.steiner_forest import SteinerForestSearch
+
+            search._machine = SteinerForestSearch.restore(
+                search._instance, inner, meter
+            )
+        elif kind == "directed-steiner":
+            from repro.core.directed_steiner import DirectedSteinerSearch
+
+            search._machine = DirectedSteinerSearch.restore(
+                search._instance, inner, meter
+            )
+        elif kind == "induced-steiner":
+            from repro.core.induced_steiner import InducedSteinerSearch
+
+            search._machine = InducedSteinerSearch.restore(
+                search._instance, inner, meter
+            )
+        elif kind == "chordless-path":
+            from repro.core.induced_paths import ChordlessPathSearch
+
+            search._machine = ChordlessPathSearch.restore(
                 search._instance, inner, meter
             )
         elif kind == "st-path":

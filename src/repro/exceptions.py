@@ -74,6 +74,28 @@ class CursorStateError(InvalidInstanceError):
     """
 
 
+class UnsupportedBackendError(InvalidInstanceError):
+    """An enumerator or job was asked for a backend it does not support.
+
+    Every ``backend=`` entry point (the :mod:`repro.core` enumerators,
+    the path layer, :class:`repro.engine.jobs.EnumerationJob`) raises
+    this same error for an unknown or unsupported backend, naming the
+    kind and the supported set.  Subclasses
+    :class:`InvalidInstanceError` so the serve layer's 400 mapping and
+    existing ``except`` clauses keep working.
+    """
+
+    def __init__(self, backend, supported, kind=None):
+        where = f" for kind {kind!r}" if kind is not None else ""
+        super().__init__(
+            f"unsupported backend {backend!r}{where}; "
+            f"expected one of {sorted(supported)}"
+        )
+        self.backend = backend
+        self.supported = tuple(supported)
+        self.kind = kind
+
+
 class ClawFreeViolation(InvalidInstanceError):
     """A claw (induced ``K_{1,3}``) was found in a graph that an algorithm
     requires to be claw-free."""

@@ -1809,12 +1809,17 @@ def fast_minimal_steiner_completion(
 BACKENDS: Tuple[str, ...] = ("object", "fast")
 
 
-def check_backend(backend: str) -> str:
-    """Validate a backend name; returns it for chaining."""
+def check_backend(backend: str, kind: Optional[str] = None) -> str:
+    """Validate a backend name; returns it for chaining.
+
+    Raises :class:`~repro.exceptions.UnsupportedBackendError` — the
+    uniform rejection every ``backend=`` entry point shares — naming
+    the enumerator ``kind`` when the caller supplies one.
+    """
     if backend not in BACKENDS:
-        raise InvalidInstanceError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}"
-        )
+        from repro.exceptions import UnsupportedBackendError
+
+        raise UnsupportedBackendError(backend, BACKENDS, kind=kind)
     return backend
 
 

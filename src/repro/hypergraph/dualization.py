@@ -28,7 +28,9 @@ the two on hundreds of random instances.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import (
+    Dict,
     FrozenSet,
     Hashable,
     Iterable,
@@ -40,6 +42,7 @@ from typing import (
 )
 
 from repro.exceptions import InvalidInstanceError
+from repro.graphs.fastgraph import check_backend
 from repro.hypergraph.hypergraph import Hypergraph
 
 Element = Hashable
@@ -219,8 +222,156 @@ def _minimize_transversal(
     return frozenset(current)
 
 
+# ----------------------------------------------------------------------
+# bitmask backend
+# ----------------------------------------------------------------------
+# Elements are ranked by ``_order_key`` and sets become single-int
+# bitmasks, so every set operation of the FK recursion (subset tests,
+# intersections, the antichain sort, the greedy transversal trim) is one
+# integer instruction.  Bit ``i`` carries rank ``i``, which makes
+# ascending-bit iteration coincide with the object backend's
+# ``_order_key``-sorted iteration — every tie-break lands on the same
+# element, so the witness sequence (and hence the transversal stream)
+# is byte-identical.
+
+
+def _bits_ascending(mask: int) -> Iterator[int]:
+    while mask:
+        low = mask & (-mask)
+        mask ^= low
+        yield low.bit_length() - 1
+
+
+@lru_cache(maxsize=1 << 16)
+def _mask_bits(mask: int) -> Tuple[int, ...]:
+    """Ascending bit positions of ``mask``, memoized.
+
+    The FK recursion re-sorts the same masks thousands of times; caching
+    the expansion turns the antichain sort key into a dict hit.
+    """
+    return tuple(_bits_ascending(mask))
+
+
+def _mask_key(mask: int) -> Tuple[int, Tuple[int, ...]]:
+    bits = _mask_bits(mask)
+    return (len(bits), bits)
+
+
+def _minimize_masks(family: Iterable[int]) -> Tuple[int, ...]:
+    """Bitmask form of :func:`minimize_antichain` (same result order)."""
+    sets = sorted(set(family), key=_mask_key)
+    kept: List[int] = []
+    for cand in sets:
+        for k in kept:
+            if k & cand == k:
+                break
+        else:
+            kept.append(cand)
+    return tuple(kept)
+
+
+def _most_frequent_bit(f: Tuple[int, ...], g: Tuple[int, ...]) -> int:
+    counts: Dict[int, int] = {}
+    get = counts.get
+    for fam in (f, g):
+        for m in fam:
+            for x in _mask_bits(m):
+                counts[x] = get(x, 0) + 1
+    return max(counts, key=lambda x: (counts[x], x))
+
+
+def _fk_masks(f: Tuple[int, ...], g: Tuple[int, ...], universe: int) -> Optional[int]:
+    """Bitmask mirror of :func:`_fk` (identical witness decisions)."""
+    if not f:
+        if g == (0,):
+            return None
+        return universe
+    if f[0] == 0:
+        if not g:
+            return None
+        return universe & ~g[0]
+    if not g:
+        hit = 0
+        for m in f:
+            hit |= m & (-m)
+        return universe & ~hit
+    if g[0] == 0:
+        return f[0]
+
+    for a in f:
+        for b in g:
+            if not (a & b):
+                return a
+
+    if len(f) == 1:
+        a = f[0]
+        if all(b.bit_count() == 1 for b in g):
+            gset = set(g)
+            for x in _bits_ascending(a):
+                if (1 << x) not in gset:
+                    return universe & ~(1 << x)
+            return None
+    if len(g) == 1 and len(f) > 1:
+        y = _fk_masks(g, f, universe)
+        return None if y is None else universe & ~y
+
+    v = _most_frequent_bit(f, g)
+    bit = 1 << v
+    rest = universe & ~bit
+    f1 = tuple(a & ~bit for a in f if a & bit)
+    f0 = tuple(a for a in f if not (a & bit))
+    g1 = tuple(b & ~bit for b in g if b & bit)
+    g0 = tuple(b for b in g if not (b & bit))
+
+    y = _fk_masks(_minimize_masks(f1 + f0), _minimize_masks(g0), rest)
+    if y is not None:
+        return y | bit
+    y = _fk_masks(_minimize_masks(f0), _minimize_masks(g1 + g0), rest)
+    if y is not None:
+        return y
+    return None
+
+
+def _minimize_transversal_masks(edges: Tuple[int, ...], transversal: int) -> int:
+    current = transversal
+    for x in _bits_ascending(transversal):
+        trimmed = current & ~(1 << x)
+        if all(trimmed & e for e in edges):
+            current = trimmed
+    return current
+
+
+def _fast_fk_transversals(hypergraph: Hypergraph) -> Iterator[FrozenSet[Element]]:
+    """Bitmask backend of :func:`enumerate_minimal_transversals_fk`."""
+    elements = sorted(hypergraph.universe, key=_order_key)
+    rank = {e: i for i, e in enumerate(elements)}
+    universe = (1 << len(elements)) - 1
+
+    def to_mask(members) -> int:
+        m = 0
+        for e in members:
+            m |= 1 << rank[e]
+        return m
+
+    edges = _minimize_masks(to_mask(e) for e in hypergraph.edges)
+    if not edges:
+        yield frozenset()
+        return
+    found: List[int] = []
+    while True:
+        witness = _fk_masks(edges, _minimize_masks(found), universe)
+        if witness is None:
+            return
+        transversal = _minimize_transversal_masks(edges, universe & ~witness)
+        if transversal in found:  # pragma: no cover - defensive guard
+            raise AssertionError("FK witness produced a repeated transversal")
+        found.append(transversal)
+        yield frozenset(elements[i] for i in _bits_ascending(transversal))
+
+
 def enumerate_minimal_transversals_fk(
     hypergraph: Hypergraph,
+    backend: str = "object",
 ) -> Iterator[FrozenSet[Element]]:
     """Incremental minimal-transversal enumeration via FK duality tests.
 
@@ -239,6 +390,10 @@ def enumerate_minimal_transversals_fk(
     >>> [sorted(t) for t in enumerate_minimal_transversals_fk(h)]
     [[2], [1, 3]]
     """
+    check_backend(backend, kind="fk-dualization")
+    if backend == "fast":
+        yield from _fast_fk_transversals(hypergraph)
+        return
     universe = frozenset(hypergraph.universe)
     edges = minimize_antichain(hypergraph.edges)
     if not edges:
@@ -256,6 +411,10 @@ def enumerate_minimal_transversals_fk(
         yield transversal
 
 
-def count_minimal_transversals_fk(hypergraph: Hypergraph) -> int:
+def count_minimal_transversals_fk(
+    hypergraph: Hypergraph, backend: str = "object"
+) -> int:
     """Number of minimal transversals, via the FK enumeration loop."""
-    return sum(1 for _ in enumerate_minimal_transversals_fk(hypergraph))
+    return sum(
+        1 for _ in enumerate_minimal_transversals_fk(hypergraph, backend=backend)
+    )

@@ -20,8 +20,8 @@ This module re-implements the Section 3 enumerator of
 the same sequence as the generic implementation makes it on the
 equivalent auxiliary digraph: out-arcs of a real vertex are visited in
 incidence order (equal to the aux digraph's per-tail insertion order),
-the super source's out-arcs follow ``set(sources)`` iteration order
-produced by the same expression on the same values, and the ``F-STP``
+the super source's out-arcs follow the caller's source order
+(ordered dedup, same as the generic builders), and the ``F-STP``
 forward DFS uses the same explicit stack discipline.  Reachability
 sweeps are membership-only in both implementations, so their internal
 traversal order is free.  Consequently the emitted solution stream is
@@ -1300,15 +1300,17 @@ def _events(ctx: _Ctx, source: int, target: int, emit: int = 0) -> Iterator:
 def _split_sets(
     fg, sources: Iterable[int], targets: Iterable[int]
 ) -> Tuple[List[int], List[int]]:
-    source_set = set(sources)
-    target_set = set(targets)
-    if source_set & target_set:
+    # Ordered dedup mirroring the generic builders: the auxiliary arc
+    # order — and hence the stream — follows the caller's sequence order.
+    source_list = list(dict.fromkeys(sources))
+    target_list = list(dict.fromkeys(targets))
+    if set(source_list) & set(target_list):
         raise ValueError("S and T must be disjoint")
     # A source/target missing from the graph is a dead end either way;
     # dropping it keeps the scan decisions identical to the generic
     # backend's (which materializes it as an isolated aux vertex).
-    src_list = [v for v in source_set if v in fg]
-    tgt_list = [v for v in target_set if v in fg]
+    src_list = [v for v in source_list if v in fg]
+    tgt_list = [v for v in target_list if v in fg]
     return src_list, tgt_list
 
 
@@ -1323,6 +1325,18 @@ def fast_set_path_search(
     src_list, tgt_list = _split_sets(fg, sources, targets)
     ctx = _und_ctx(fg, src_list, tgt_list, excluded, meter)
     return FastPathSearch(ctx, ctx.s_star, ctx.t_star, emit=1)
+
+
+def fast_set_path_search_directed(
+    fd: FastDiGraph,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    meter=None,
+) -> FastPathSearch:
+    """Suspendable machine form of :func:`fast_enumerate_set_paths_directed`."""
+    src_list, tgt_list = _split_sets(fd, sources, targets)
+    ctx = _dir_ctx(fd, src_list, tgt_list, meter)
+    return FastPathSearch(ctx, ctx.s_star, ctx.t_star, emit=3)
 
 
 def fast_st_path_search(

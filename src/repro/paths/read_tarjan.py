@@ -567,7 +567,7 @@ def enumerate_st_paths_undirected(
     """
     from repro.graphs.fastgraph import check_backend
 
-    check_backend(backend)
+    check_backend(backend, kind="st-path")
     if backend == "fast":
         from repro.graphs.fastgraph import compile_undirected
         from repro.paths.fastpaths import fast_enumerate_st_paths_undirected
@@ -636,8 +636,15 @@ def build_set_path_digraph(
     ``(digraph, super_source, super_target)``; auxiliary arcs have ids
     ``≥ 2 * (max edge id + 1)``.
     """
-    source_set = set(sources)
-    target_set = set(targets)
+    # Ordered dedup: the auxiliary arcs out of the super source (and the
+    # scan order they induce) follow the *caller's* source/target order,
+    # making the path stream a pure function of the handed-in sequences —
+    # the kernel backend mirrors this, which is what keeps the two
+    # backends' streams byte-identical on non-integer labels.
+    source_list = list(dict.fromkeys(sources))
+    target_list = list(dict.fromkeys(targets))
+    source_set = set(source_list)
+    target_set = set(target_list)
     if source_set & target_set:
         raise ValueError("S and T must be disjoint")
     d = DiGraph()
@@ -655,10 +662,10 @@ def build_set_path_digraph(
     d.add_vertex(s_star)
     d.add_vertex(t_star)
     aux = 2 * (max_eid + 1)
-    for v in source_set:
+    for v in source_list:
         d.add_arc(s_star, v, aid=aux)
         aux += 1
-    for v in target_set:
+    for v in target_list:
         d.add_arc(v, t_star, aid=aux)
         aux += 1
     return d, s_star, t_star
@@ -703,7 +710,7 @@ def enumerate_set_paths(
     """
     from repro.graphs.fastgraph import check_backend
 
-    check_backend(backend)
+    check_backend(backend, kind="set-path")
     if backend == "fast":
         from repro.graphs.fastgraph import compile_undirected
         from repro.paths.fastpaths import fast_enumerate_set_paths
@@ -837,8 +844,12 @@ def build_set_path_digraph_directed(
     Arcs into ``S`` and out of ``T`` are dropped; original arc ids are
     preserved; auxiliary arcs get fresh ids above the maximum.
     """
-    source_set = set(sources)
-    target_set = set(targets)
+    # Ordered dedup, for the same reason as the undirected builder: the
+    # stream must be a pure function of the caller's source/target order.
+    source_list = list(dict.fromkeys(sources))
+    target_list = list(dict.fromkeys(targets))
+    source_set = set(source_list)
+    target_set = set(target_list)
     if source_set & target_set:
         raise ValueError("S and T must be disjoint")
     d = DiGraph()
@@ -853,13 +864,72 @@ def build_set_path_digraph_directed(
     d.add_vertex(s_star)
     d.add_vertex(t_star)
     aux = max_aid + 1
-    for v in source_set:
+    for v in source_list:
         d.add_arc(s_star, v, aid=aux)
         aux += 1
-    for v in target_set:
+    for v in target_list:
         d.add_arc(v, t_star, aid=aux)
         aux += 1
     return d, s_star, t_star
+
+
+class SetPathSearchDirected:
+    """Suspendable directed ``S``-``T`` path enumeration (object backend).
+
+    Machine form of :func:`enumerate_set_paths_directed`: paths are over
+    the original digraph (super endpoints stripped, original arc ids
+    preserved).  Like :class:`SetPathSearch`, the auxiliary digraph is
+    rebuilt deterministically from the stored source/target orderings on
+    restore, never serialized.
+    """
+
+    __slots__ = ("sources", "targets", "machine")
+
+    def __init__(
+        self,
+        digraph: DiGraph,
+        sources: Iterable[Vertex],
+        targets: Iterable[Vertex],
+        meter=None,
+    ) -> None:
+        self.sources = tuple(sources)
+        self.targets = tuple(targets)
+        aux, s_star, t_star = build_set_path_digraph_directed(
+            digraph, self.sources, self.targets
+        )
+        self.machine = PathSearch(aux, s_star, t_star, meter)
+
+    def next_path(self) -> Optional[Path]:
+        """The next directed ``S``-``T`` path, or ``None`` when exhausted."""
+        while True:
+            event = self.machine.advance()
+            if event is None:
+                return None
+            if event[0] == SOLUTION:
+                path = event[1]
+                return Path(path.vertices[1:-1], path.arcs[1:-1])
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data state: source/target orderings + machine state."""
+        return {
+            "sources": self.sources,
+            "targets": self.targets,
+            "machine": self.machine.state(),
+        }
+
+    @classmethod
+    def restore(
+        cls, digraph: DiGraph, state: Dict[str, Any], meter=None
+    ) -> "SetPathSearchDirected":
+        """Rebuild the search over ``digraph`` from a :meth:`state` dict."""
+        search = cls.__new__(cls)
+        search.sources = tuple(state["sources"])
+        search.targets = tuple(state["targets"])
+        aux, _s_star, _t_star = build_set_path_digraph_directed(
+            digraph, search.sources, search.targets
+        )
+        search.machine = PathSearch.restore(aux, state["machine"], meter)
+        return search
 
 
 def enumerate_set_paths_directed(
@@ -875,7 +945,7 @@ def enumerate_set_paths_directed(
     """
     from repro.graphs.fastgraph import check_backend
 
-    check_backend(backend)
+    check_backend(backend, kind="set-path-directed")
     if backend == "fast":
         from repro.graphs.fastgraph import compile_directed
         from repro.paths.fastpaths import fast_enumerate_set_paths_directed

@@ -54,7 +54,8 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import base64
 
 from repro.engine.cache import InstanceCache, job_fingerprint
-from repro.engine.jobs import SUSPENDABLE_KINDS, EnumerationJob, JobResult
+from repro.core.capabilities import capability_matrix, kinds_where, spec as kind_spec
+from repro.engine.jobs import EnumerationJob, JobResult
 from repro.exceptions import CursorStateError, InvalidInstanceError, ReproError
 from repro.frontdoor.answers import AnswerEngine, AnswerTimeout
 from repro.frontdoor.metrics import MetricsRegistry
@@ -624,9 +625,11 @@ class EnumerationServer:
         payload: Dict[str, Any] = {"ok": True, "workers": self.workers}
         payload.update(self.stats.as_dict())
         payload.update(self.tier.as_dict())
-        # Capability split: these kinds checkpoint search-state snapshots
-        # and resume in O(state); the rest resume by replay fast-forward.
-        payload["suspendable_kinds"] = sorted(SUSPENDABLE_KINDS)
+        # The full per-kind capability matrix is the contract clients
+        # should consult (see docs/contracts/capabilities.md); the flat
+        # suspendable_kinds list is kept alongside for one release.
+        payload["capabilities"] = capability_matrix()
+        payload["suspendable_kinds"] = sorted(kinds_where(suspendable=True))
         payload["datasets"] = len(self.registry)
         return payload
 
@@ -634,6 +637,8 @@ class EnumerationServer:
         """The structured ops document behind ``GET /metrics``."""
         payload: Dict[str, Any] = {"ok": True}
         payload.update(self.metrics.as_dict())
+        payload["capabilities"] = capability_matrix()
+        payload["suspendable_kinds"] = sorted(kinds_where(suspendable=True))
         payload["tenants"] = (
             self.tenants.usage_table() if self.tenants is not None else {}
         )
@@ -717,7 +722,7 @@ class EnumerationServer:
             )
         snapshot: Optional[bytes] = None
         encoded = state.get("snapshot")
-        if encoded and job.kind in SUSPENDABLE_KINDS:
+        if encoded and kind_spec(job.kind).suspendable:
             try:
                 snapshot = base64.b64decode(encoded)
             except (ValueError, TypeError):

@@ -42,9 +42,8 @@ from repro.engine.cache import (
     line_result,
     to_canonical,
 )
+from repro.core.capabilities import spec as kind_spec
 from repro.engine.jobs import (
-    ARC_SET_KINDS,
-    EDGE_SET_KINDS,
     EnumerationJob,
     JobResult,
 )
@@ -64,7 +63,7 @@ def _payload_from_json(kind: str, raw: list, canonical: bool) -> tuple:
     """Rebuild the exact tuple payload stored by :func:`_payload_to_json`."""
     if not canonical:
         return tuple(raw)
-    if kind in EDGE_SET_KINDS or kind in ARC_SET_KINDS:
+    if kind_spec(kind).result_shape in ("edge-set", "arc-set"):
         return tuple(tuple((int(a), int(b)) for a, b in s) for s in raw)
     return tuple(tuple(int(x) for x in s) for s in raw)
 

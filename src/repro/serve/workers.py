@@ -25,7 +25,7 @@ abandons the enumeration and returns to its idle loop, ready for the
 next job — no process churn.
 
 Resumable streams: for suspendable kinds
-(:data:`repro.engine.jobs.SUSPENDABLE_KINDS`) the ``run`` message may
+(``suspendable`` in :mod:`repro.core.capabilities`) the ``run`` message may
 carry a serialized search-state ``snapshot``
 (:mod:`repro.engine.suspend`) — the worker thaws it and continues in
 O(state) instead of fast-forwarding, and every ``chunk`` (plus the
@@ -53,10 +53,10 @@ import os
 import time
 from typing import Any, Dict, Optional, Tuple
 
+from repro.core.capabilities import spec as kind_spec
 from repro.engine.jobs import (
     BudgetExceeded,
     EnumerationJob,
-    SUSPENDABLE_KINDS,
     _BudgetMeter,
     iter_structures,
     structure_line,
@@ -117,7 +117,7 @@ def _stream_job(
             meter.budget = job.budget
         if remaining == 0:
             stop_reason = "limit"
-        elif job.kind in SUSPENDABLE_KINDS:
+        elif kind_spec(job.kind).suspendable:
             from repro.engine.suspend import JobSearch
 
             # Machine-driven streams enforce the deadline between

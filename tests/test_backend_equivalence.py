@@ -20,8 +20,13 @@ from repro.core.steiner_tree import (
     enumerate_minimal_steiner_trees,
     enumerate_minimal_steiner_trees_simple,
 )
+from repro.core.group_steiner import enumerate_minimal_group_steiner_trees_brute
+from repro.core.minimum_enum import enumerate_minimum_steiner_trees_dp
 from repro.core.terminal_steiner import enumerate_minimal_terminal_steiner_trees
+from repro.exceptions import NoSolutionError
 from repro.graphs.digraph import DiGraph
+from repro.hypergraph.dualization import enumerate_minimal_transversals_fk
+from repro.hypergraph.hypergraph import Hypergraph
 from repro.graphs.fastgraph import FastGraph
 from repro.graphs.graph import Graph
 from repro.graphs.linegraph import line_graph
@@ -207,6 +212,60 @@ def test_set_path_directed_streams_identical(case):
 # ----------------------------------------------------------------------
 # newly ported layers: ranked, datagraph, ZDD (PR 3)
 # ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(undirected_instances())
+def test_group_steiner_brute_streams_identical(case):
+    graph, terminals = case
+    families = [terminals, terminals[:1] + [0]]
+    _streams_equal(
+        lambda backend: enumerate_minimal_group_steiner_trees_brute(
+            graph, families, max_edges=4, backend=backend
+        )
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(undirected_instances(), st.booleans())
+def test_minimum_steiner_dp_streams_identical(case, unit_weights):
+    graph, terminals = case
+    weights = (
+        None
+        if unit_weights
+        else {eid: 1.0 + (eid % 3) for eid in graph.edge_ids()}
+    )
+
+    def run(backend):
+        try:
+            return list(
+                enumerate_minimum_steiner_trees_dp(
+                    graph, terminals, weights, backend=backend
+                )
+            )
+        except NoSolutionError:
+            return "no-solution"
+
+    assert run("object") == run("fast")
+
+
+@st.composite
+def hypergraph_instances(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    ne = draw(st.integers(min_value=0, max_value=5))
+    edges = []
+    for _ in range(ne):
+        k = draw(st.integers(min_value=1, max_value=n))
+        edges.append(set(draw(st.permutations(range(n)))[:k]))
+    return Hypergraph(range(n), edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(hypergraph_instances())
+def test_fk_transversal_streams_identical(h):
+    _streams_equal(
+        lambda backend: enumerate_minimal_transversals_fk(h, backend=backend)
+    )
+
+
 @st.composite
 def weighted_instances(draw):
     """An undirected instance plus weights drawn from a tiny value set,

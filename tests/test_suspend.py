@@ -40,11 +40,13 @@ from repro.core.internal_steiner import (
 from repro.datagraph.kfragments import KFragmentSearch
 from repro.datagraph.model import DataGraph
 from repro.engine.cursor import EnumerationCursor
+from repro.core.capabilities import kinds_where
 from repro.engine.jobs import (
-    SUSPENDABLE_KINDS,
     EnumerationJob,
     run_job,
 )
+
+SUSPENDABLE_KINDS = kinds_where(suspendable=True)
 from repro.engine.pool import run_batch
 from repro.engine.suspend import JobSearch
 from repro.enumeration.events import SOLUTION
@@ -339,10 +341,20 @@ def test_kfragments_interrupt_restore(backend, variant):
 # ----------------------------------------------------------------------
 def _suspendable_jobs(limit=None, backend="object"):
     edges = [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (0, 3), (3, 4), (2, 4)]
+    cycle = [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]
+    arcs = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 4), (2, 4)]
     dg = _demo_datagraph()
     return [
         EnumerationJob.steiner_tree(edges, [0, 4], limit=limit, backend=backend),
+        EnumerationJob.steiner_forest(
+            edges, [[0, 4], [1, 2]], limit=limit, backend=backend
+        ),
         EnumerationJob.terminal_steiner(edges, [0, 4], limit=limit, backend=backend),
+        EnumerationJob.directed_steiner(
+            arcs, [3, 4], 0, limit=limit, backend=backend
+        ),
+        EnumerationJob.induced_steiner(cycle, [0, 3], limit=limit, backend=backend),
+        EnumerationJob.chordless_path(edges, 0, 4, limit=limit, backend=backend),
         EnumerationJob.st_path(edges, 0, 4, limit=limit, backend=backend),
         EnumerationJob.kfragments(dg, ["x", "y"], limit=limit, backend=backend),
     ]
@@ -492,7 +504,9 @@ def test_run_job_deadline_stop_carries_snapshot():
         assert full.lines == result.lines + rest.lines
 
 
-def test_replay_only_kind_still_checkpoints_without_snapshot():
+def test_formerly_replay_only_kind_checkpoints_with_snapshot():
+    # induced-steiner used to resume by O(offset) replay; now every kind
+    # carries a suspendable machine, so the checkpoint embeds a snapshot.
     job = EnumerationJob.induced_steiner(
         [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)], [0, 3]
     )
@@ -500,7 +514,7 @@ def test_replay_only_kind_still_checkpoints_without_snapshot():
     cursor = EnumerationCursor(job)
     head = cursor.take(1)
     state = cursor.checkpoint()
-    assert "snapshot" not in state
+    assert "snapshot" in state
     assert head + EnumerationCursor.resume(state).drain() == full
 
 
