@@ -134,6 +134,17 @@ PAGES = {
             "repro.serve.protocol",
         ],
     ),
+    "repro.serve.fleet": (
+        "repro.serve.fleet — sharded multi-replica serving",
+        [
+            "repro.serve.fleet",
+            "repro.serve.fleet.hashring",
+            "repro.serve.fleet.router",
+            "repro.serve.fleet.replicas",
+            "repro.serve.fleet.admission",
+            "repro.serve.fleet.proxy",
+        ],
+    ),
     "repro.frontdoor": (
         "repro.frontdoor — multi-tenant query front door",
         [

@@ -378,6 +378,123 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="pre-warm this many of the most-used datasets at startup",
     )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="write a mid-stream cursor checkpoint every N live solutions "
+        "(makes a crashed replica's streams resumable by the fleet)",
+    )
+    p.add_argument(
+        "--sndbuf",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="bound each connection's send buffering to ~BYTES so slow "
+        "clients park their worker instead of filling kernel memory",
+    )
+    p.add_argument(
+        "--join",
+        default=None,
+        metavar="ROUTER_URL",
+        help="register with a fleet router (http://HOST:PORT) after binding",
+    )
+    p.add_argument(
+        "--name",
+        default=None,
+        help="replica name announced to the fleet router (default: "
+        "replica-<pid>)",
+    )
+
+    p = sub.add_parser(
+        "fleet",
+        help="run a sharded serve fleet: a consistent-hash router fronting "
+        "N replica processes over one shared store",
+    )
+    p.add_argument(
+        "--replicas", type=int, default=2, help="replica process count"
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="router port (0 = ephemeral, announced on stderr)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="router bind address")
+    p.add_argument(
+        "--store",
+        required=True,
+        help="shared result-store directory (all replicas point at it; "
+        "checkpoints written there are what stream migration thaws)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1, help="worker processes per replica"
+    )
+    p.add_argument(
+        "--chunk", type=int, default=64, help="solutions per streamed chunk"
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        help="replica mid-stream checkpoint cadence (solutions)",
+    )
+    p.add_argument(
+        "--registry",
+        default=None,
+        help="dataset registry directory (defaults to <store>/datasets)",
+    )
+    p.add_argument(
+        "--tenants",
+        default=None,
+        help="tenant registry directory: fleet-wide API keys and quotas "
+        "(enforced at the router; replicas stay anonymous)",
+    )
+    p.add_argument(
+        "--require-auth",
+        action="store_true",
+        help="reject anonymous requests at the router",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-client sustained requests/second (router admission)",
+    )
+    p.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="per-client burst allowance (defaults to 2x --rate)",
+    )
+    p.add_argument(
+        "--max-streams",
+        type=int,
+        default=64,
+        help="concurrent proxied streams across all clients",
+    )
+    p.add_argument(
+        "--per-client-streams",
+        type=int,
+        default=8,
+        help="concurrent streams any single client may hold",
+    )
+    p.add_argument(
+        "--vnodes", type=int, default=64, help="virtual ring points per replica"
+    )
+    p.add_argument(
+        "--sndbuf",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="bound per-connection buffering (router and replicas) to "
+        "~BYTES — makes slow-client backpressure reach the workers",
+    )
+    p.add_argument(
+        "--respawn",
+        action="store_true",
+        help="restart and re-join replicas that die (supervision loop)",
+    )
 
     p = sub.add_parser(
         "dataset", help="manage the named-dataset registry (front door)"
@@ -605,6 +722,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _run_snapshot(args, out)
     elif args.command == "serve":
         _run_serve(args, out)
+    elif args.command == "fleet":
+        return _run_fleet(args, out)
     elif args.command == "dataset":
         return _run_dataset(args, out)
     elif args.command == "tenant":
@@ -630,6 +749,8 @@ def _run_serve(args, out) -> None:
     """The ``serve`` subcommand body (HTTP with --port, else stdio)."""
     cache, store = _serve_tiers(args)
     if args.port is None:
+        if args.join is not None:
+            raise SystemExit("--join requires the HTTP service (--port)")
         from repro.engine.service import serve
 
         stdio_cache: object
@@ -642,6 +763,7 @@ def _run_serve(args, out) -> None:
         serve(out_stream=out, workers=args.workers, cache=stdio_cache)
         return
     import asyncio
+    import os
 
     from repro.serve.server import EnumerationServer
 
@@ -657,17 +779,109 @@ def _run_serve(args, out) -> None:
         tenants=args.tenants,
         require_auth=args.require_auth,
         warm=args.warm,
+        checkpoint_every=args.checkpoint_every,
+        sndbuf=args.sndbuf,
     )
 
     async def _main() -> None:
         await server.start()
         print(f"serving on {args.host}:{server.port}", file=sys.stderr, flush=True)
+        if args.join is not None:
+            from repro.serve.fleet import join_router
+
+            name = args.name or f"replica-{os.getpid()}"
+            # Registration is a blocking HTTP call; keep the fresh
+            # event loop responsive (the router health-probes us back
+            # before accepting the join).
+            await asyncio.get_running_loop().run_in_executor(
+                None, join_router, args.join, name, args.host, server.port
+            )
+            print(
+                f"joined fleet at {args.join} as {name}",
+                file=sys.stderr,
+                flush=True,
+            )
         await server.serve_forever()
 
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
         pass
+
+
+def _run_fleet(args, out) -> int:
+    """The ``fleet`` subcommand: router + N supervised replica children."""
+    import os
+    import time as _time
+
+    from repro.serve.fleet import FleetRouter, ReplicaProcess, RouterThread
+
+    registry = args.registry or os.path.join(args.store, "datasets")
+    router = FleetRouter(
+        host=args.host,
+        port=args.port,
+        vnodes=args.vnodes,
+        registry=registry,
+        tenants=args.tenants,
+        require_auth=args.require_auth,
+        max_streams=args.max_streams,
+        per_client_streams=args.per_client_streams,
+        rate=args.rate,
+        burst=args.burst,
+        sndbuf=args.sndbuf,
+    )
+    thread = RouterThread(router).start()
+    url = f"http://{args.host}:{thread.port}"
+    print(f"router on {args.host}:{thread.port}", file=sys.stderr, flush=True)
+
+    def spawn(index: int) -> ReplicaProcess:
+        proc = ReplicaProcess(
+            f"replica-{index}",
+            store=args.store,
+            registry=registry,
+            host=args.host,
+            workers=args.workers,
+            chunk=args.chunk,
+            checkpoint_every=args.checkpoint_every,
+            sndbuf=args.sndbuf,
+            join=url,
+        )
+        proc.start()
+        return proc
+
+    replicas = {}
+    try:
+        for index in range(args.replicas):
+            replicas[index] = spawn(index)
+        print(
+            f"fleet up: {args.replicas} replicas behind {url}",
+            file=sys.stderr,
+            flush=True,
+        )
+        while True:
+            _time.sleep(1.0)
+            for index, proc in list(replicas.items()):
+                if proc.running:
+                    continue
+                print(
+                    f"replica-{index} exited (code {proc.returncode})",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                if args.respawn:
+                    replicas[index] = spawn(index)
+                    print(f"replica-{index} respawned", file=sys.stderr, flush=True)
+                else:
+                    del replicas[index]
+            if not replicas:
+                print("all replicas gone; shutting down", file=sys.stderr, flush=True)
+                return 1
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        for proc in replicas.values():
+            proc.terminate()
+        thread.stop()
 
 
 def _load_edge_list(path: str) -> List[Tuple[str, str]]:

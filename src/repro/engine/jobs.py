@@ -413,7 +413,12 @@ class EnumerationJob:
                 )
         except (TypeError, ValueError) as exc:
             raise InvalidInstanceError(f"malformed job spec: {exc}") from exc
-        job = cls(**kwargs)
+        try:
+            job = cls(**kwargs)
+        except TypeError as exc:
+            # e.g. a spec with no "kind" at all: the dataclass raises a
+            # bare TypeError, which HTTP surfaces must see as a 400.
+            raise InvalidInstanceError(f"malformed job spec: {exc}") from exc
         job.validate()
         return job
 

@@ -51,6 +51,40 @@ def supports_snapshot(job_or_kind) -> bool:
     return kind in kinds_where(suspendable=True)
 
 
+def snapshot_usable(
+    blob: bytes,
+    job: Optional[EnumerationJob] = None,
+    allow_cross_version: bool = False,
+) -> bool:
+    """Cheaply decide whether ``blob`` could thaw (header-only check).
+
+    Validates the envelope magic + header and, when ``job`` is given,
+    that kind / backend / fingerprint / Python version all line up —
+    without deserializing any machine state.  The serve layer uses this
+    to degrade an unusable checkpoint snapshot to a deterministic
+    offset replay instead of failing the stream (the property the fleet
+    router's migration path leans on when replicas run under different
+    interpreters or a snapshot in the shared store is damaged).
+    """
+    try:
+        header = read_snapshot_header(blob)
+    except SnapshotError:
+        return False
+    if not allow_cross_version:
+        import sys
+
+        tag = f"{sys.version_info.major}.{sys.version_info.minor}"
+        if header.get("python") != tag:
+            return False
+    if job is None:
+        return True
+    return (
+        header.get("kind") == job.kind
+        and header.get("backend") == job.backend
+        and header.get("fingerprint") == job_fingerprint(job)
+    )
+
+
 class JobSearch:
     """A suspendable ``(line, structure)`` stream for one job.
 
@@ -273,12 +307,19 @@ class JobSearch:
         )
 
     @classmethod
-    def restore(cls, job: EnumerationJob, blob: bytes, meter=None) -> "JobSearch":
+    def restore(
+        cls,
+        job: EnumerationJob,
+        blob: bytes,
+        meter=None,
+        allow_cross_version: bool = False,
+    ) -> "JobSearch":
         """Thaw a snapshot against ``job``.
 
         The envelope's kind, backend and instance fingerprint must all
         match ``job``; a mismatch raises :class:`CursorStateError`
-        before any state is deserialized.
+        before any state is deserialized.  Snapshots are bound to the
+        writing Python minor version unless ``allow_cross_version``.
         """
         try:
             _header, state = unpack_snapshot(
@@ -286,6 +327,7 @@ class JobSearch:
                 expect_kind=job.kind,
                 expect_backend=job.backend,
                 expect_fingerprint=job_fingerprint(job),
+                allow_cross_version=allow_cross_version,
             )
         except SnapshotError as exc:
             raise CursorStateError(f"cannot resume snapshot: {exc}") from exc

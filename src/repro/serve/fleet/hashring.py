@@ -1,0 +1,171 @@
+"""Deterministic consistent-hash ring keyed on instance digests.
+
+The fleet routes every request by the **isomorphism-stable instance
+digest** (:func:`repro.engine.cache.instance_key`) of the job's graph,
+so relabeled duplicates of the same instance always land on the same
+replica — the one whose :class:`~repro.serve.store.ResultStore` /
+compiled-query caches are already warm for that graph.
+
+The ring is built exclusively from SHA-256, never from Python's
+seeded ``hash()``: a router restarted with a different
+``PYTHONHASHSEED`` (or on a different host) maps every key to the same
+replica, which is what makes routing decisions reproducible and lets
+any router instance in front of the same replica set agree on
+placement.
+
+Membership changes have the classic consistent-hashing locality: adding
+a replica only moves keys *onto* the new replica (roughly ``K/N`` of
+them with ``K`` keys over ``N`` replicas), and removing one only moves
+the keys it owned — both properties are pinned by hypothesis tests in
+``tests/test_fleet_ring.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def _point(data: str) -> int:
+    """A 64-bit ring position derived from SHA-256 (seed-independent)."""
+    return int.from_bytes(hashlib.sha256(data.encode()).digest()[:8], "big")
+
+
+def routing_key(spec: Dict[str, Any], registry=None) -> str:
+    """The fleet routing key for one ``/enumerate`` job spec.
+
+    For inline-edge specs this is the isomorphism-stable instance
+    digest (relabeled copies of a graph share it); for
+    ``{"dataset": name}`` specs it is the registry record's
+    content-address digest (same key space).  Specs too malformed to
+    key fall back to a digest of their JSON shape — the owning replica
+    then rejects them with the documented 4xx, and the (nonsense) key
+    at least routes deterministically.
+    """
+    name = spec.get("dataset")
+    if isinstance(name, str) and registry is not None:
+        record = registry.describe(name)
+        if record is not None:
+            return record.digest
+        return hashlib.sha256(f"dataset:{name}".encode()).hexdigest()
+    try:
+        from repro.engine.cache import instance_key
+        from repro.engine.jobs import EnumerationJob
+
+        return instance_key(EnumerationJob.from_dict(spec))[0]
+    except Exception:  # noqa: BLE001 — malformed specs still need a route
+        import json
+
+        try:
+            shaped = json.dumps(spec, sort_keys=True, default=str)
+        except (TypeError, ValueError):
+            shaped = repr(sorted(map(str, spec)))
+        return hashlib.sha256(shaped.encode()).hexdigest()
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes with virtual points.
+
+    Parameters
+    ----------
+    vnodes:
+        Virtual points per node.  More points smooth the key
+        distribution (each node owns ``vnodes`` arcs of the ring)
+        at a small memory cost.
+
+    Examples
+    --------
+    >>> ring = HashRing(vnodes=16)
+    >>> ring.add("replica-a"); ring.add("replica-b")
+    >>> ring.route("somekey") in ("replica-a", "replica-b")
+    True
+    >>> ring.route("somekey") == ring.route("somekey")
+    True
+    """
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []  # sorted (position, node)
+        self._nodes: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> bool:
+        """Insert ``node``'s virtual points; False if already present."""
+        if node in self._nodes:
+            return False
+        positions = []
+        for i in range(self.vnodes):
+            pos = _point(f"{node}\x00{i}")
+            bisect.insort(self._points, (pos, node))
+            positions.append(pos)
+        self._nodes[node] = positions
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Drop ``node`` from the ring; False if it was not a member."""
+        positions = self._nodes.pop(node, None)
+        if positions is None:
+            return False
+        self._points = [p for p in self._points if p[1] != node]
+        return True
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> List[str]:
+        """Current members, sorted by name."""
+        return sorted(self._nodes)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, key: str) -> Optional[str]:
+        """The node owning ``key`` (``None`` on an empty ring)."""
+        if not self._points:
+            return None
+        pos = _point(key)
+        idx = bisect.bisect_right(self._points, (pos, "￿"))
+        if idx == len(self._points):
+            idx = 0
+        return self._points[idx][1]
+
+    def route_order(self, key: str) -> List[str]:
+        """Every node, nearest owner first — the failover preference.
+
+        Walking clockwise from ``key`` and keeping the first virtual
+        point of each distinct node gives the same successor list any
+        other router instance would compute, so failover placement is
+        as deterministic as primary placement.
+        """
+        if not self._points:
+            return []
+        pos = _point(key)
+        start = bisect.bisect_right(self._points, (pos, "￿"))
+        seen: List[str] = []
+        for i in range(len(self._points)):
+            node = self._points[(start + i) % len(self._points)][1]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == len(self._nodes):
+                    break
+        return seen
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def spread(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of ``keys`` each node owns (distribution check)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            node = self.route(key)
+            if node is not None:
+                counts[node] += 1
+        return counts

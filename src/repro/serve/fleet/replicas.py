@@ -1,0 +1,290 @@
+"""Replica process management + registration helpers.
+
+:class:`ReplicaProcess` launches one ``repro serve`` HTTP replica as a
+real child process (``python -m repro serve --port 0 ...``), parses the
+announced ephemeral port from its stderr, and can stop it gracefully
+(``SIGTERM``) or brutally (``SIGKILL`` — what the chaos harness uses to
+simulate a crashed host).  :func:`join_router` / :func:`leave_router`
+are the blocking client calls behind ``repro serve --join`` and the
+fleet CLI's membership management.
+
+Everything here is synchronous on purpose: process supervision runs in
+the CLI / test harness, not on the router's event loop.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.exceptions import ReproError
+
+
+class ReplicaExited(ReproError):
+    """A replica process died (or never announced its port)."""
+
+
+def _parse_router_url(router: str) -> Tuple[str, int]:
+    """``(host, port)`` from a router URL or bare ``host:port``."""
+    if "//" not in router:
+        router = f"http://{router}"
+    parts = urlsplit(router)
+    if parts.hostname is None or parts.port is None:
+        raise ReproError(
+            f"router address {router!r} must look like http://HOST:PORT"
+        )
+    return parts.hostname, parts.port
+
+
+def _fleet_post(router: str, path: str, payload: Dict, timeout: float) -> Dict:
+    host, port = _parse_router_url(router)
+    body = json.dumps(payload)
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(
+            "POST", path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            parsed = json.loads(raw.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            parsed = {}
+        if response.status != 200:
+            detail = parsed.get("error") or repr(raw[:200])
+            raise ReproError(
+                f"router rejected {path} ({response.status}): {detail}"
+            )
+        return parsed
+    finally:
+        conn.close()
+
+
+def join_router(
+    router: str, name: str, host: str, port: int, timeout: float = 30.0
+) -> Dict:
+    """Register a running replica with the fleet router (blocking)."""
+    return _fleet_post(
+        router, "/fleet/join", {"name": name, "host": host, "port": port}, timeout
+    )
+
+
+def leave_router(router: str, name: str, timeout: float = 30.0) -> Dict:
+    """Deregister a replica from the fleet router (blocking)."""
+    return _fleet_post(router, "/fleet/leave", {"name": name}, timeout)
+
+
+class ReplicaProcess:
+    """One ``repro serve`` replica running as a child process.
+
+    Parameters
+    ----------
+    name:
+        The replica's fleet name (also passed as ``--name``).
+    store:
+        Shared :class:`~repro.serve.store.ResultStore` directory —
+        every replica in a fleet points at the same one.
+    registry, tenants:
+        Optional dataset-registry / tenant directories.
+    join:
+        Router URL; when given the replica self-registers after binding
+        (``repro serve --join``).
+    checkpoint_every:
+        Mid-stream checkpoint cadence forwarded to the server — the
+        knob that makes SIGKILL migration resumable from a snapshot.
+    sndbuf:
+        Per-connection send-buffer bound forwarded as ``--sndbuf`` (see
+        :class:`~repro.serve.server.EnumerationServer`).
+    extra_args:
+        Additional raw CLI arguments.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store: Optional[str] = None,
+        registry: Optional[str] = None,
+        tenants: Optional[str] = None,
+        host: str = "127.0.0.1",
+        workers: int = 1,
+        chunk: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        sndbuf: Optional[int] = None,
+        join: Optional[str] = None,
+        extra_args: Sequence[str] = (),
+        env: Optional[Dict[str, str]] = None,
+        startup_timeout: float = 60.0,
+    ) -> None:
+        self.name = name
+        self.store = store
+        self.registry = registry
+        self.tenants = tenants
+        self.host = host
+        self.workers = workers
+        self.chunk = chunk
+        self.checkpoint_every = checkpoint_every
+        self.sndbuf = sndbuf
+        self.join = join
+        self.extra_args = list(extra_args)
+        self.env = env
+        self.startup_timeout = startup_timeout
+        self.port: Optional[int] = None
+        self._process: Optional[subprocess.Popen] = None
+        self._stderr: Deque[str] = deque(maxlen=200)
+        self._drain: Optional[threading.Thread] = None
+        self._announced = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def command(self) -> List[str]:
+        """The argv this replica runs with."""
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--workers",
+            str(self.workers),
+            "--name",
+            self.name,
+        ]
+        if self.store is not None:
+            cmd += ["--store", self.store]
+        if self.registry is not None:
+            cmd += ["--registry", self.registry]
+        if self.tenants is not None:
+            cmd += ["--tenants", self.tenants]
+        if self.chunk is not None:
+            cmd += ["--chunk", str(self.chunk)]
+        if self.checkpoint_every is not None:
+            cmd += ["--checkpoint-every", str(self.checkpoint_every)]
+        if self.sndbuf is not None:
+            cmd += ["--sndbuf", str(self.sndbuf)]
+        if self.join is not None:
+            cmd += ["--join", self.join]
+        cmd += self.extra_args
+        return cmd
+
+    def start(self) -> "ReplicaProcess":
+        """Spawn the child and block until it announces its port."""
+        if self._process is not None:
+            raise RuntimeError(f"replica {self.name!r} already started")
+        env = dict(os.environ if self.env is None else self.env)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        self._announced.clear()
+        self._process = subprocess.Popen(
+            self.command(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        self._drain = threading.Thread(target=self._drain_stderr, daemon=True)
+        self._drain.start()
+        deadline = time.monotonic() + self.startup_timeout
+        while not self._announced.wait(timeout=0.05):
+            if self._process.poll() is not None:
+                raise ReplicaExited(
+                    f"replica {self.name!r} exited with code "
+                    f"{self._process.returncode} before binding:\n"
+                    + "".join(self._stderr)
+                )
+            if time.monotonic() > deadline:
+                self.kill()
+                raise ReplicaExited(
+                    f"replica {self.name!r} did not announce a port within "
+                    f"{self.startup_timeout:g}s:\n" + "".join(self._stderr)
+                )
+        return self
+
+    def _drain_stderr(self) -> None:
+        process = self._process
+        if process is None or process.stderr is None:  # pragma: no cover
+            return
+        for line in process.stderr:
+            self._stderr.append(line)
+            if self.port is None and line.startswith("serving on "):
+                address = line[len("serving on "):].strip()
+                try:
+                    self.port = int(address.rsplit(":", 1)[1])
+                except (IndexError, ValueError):  # pragma: no cover
+                    continue
+                self._announced.set()
+        # EOF: the child is gone; unblock any waiter so start() can
+        # report the exit instead of timing out.
+        self._announced.set()
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> Optional[int]:
+        """The child's PID (``None`` before :meth:`start`)."""
+        return self._process.pid if self._process is not None else None
+
+    @property
+    def running(self) -> bool:
+        """Whether the child process is currently alive."""
+        return self._process is not None and self._process.poll() is None
+
+    @property
+    def returncode(self) -> Optional[int]:
+        """The child's exit code once it has exited."""
+        return self._process.returncode if self._process is not None else None
+
+    def stderr_tail(self) -> str:
+        """The last captured stderr lines (diagnostics)."""
+        return "".join(self._stderr)
+
+    def kill(self) -> None:
+        """SIGKILL the replica — the chaos harness's crash primitive.
+
+        No shutdown hook runs: in-flight streams drop mid-chunk and no
+        final checkpoint is written, exactly like a crashed host.  Only
+        the periodic ``checkpoint_every`` snapshots in the shared store
+        survive for the router to migrate from.
+        """
+        if self._process is None or self._process.poll() is not None:
+            return
+        try:
+            self._process.send_signal(signal.SIGKILL)
+        except (ProcessLookupError, OSError):  # pragma: no cover - raced exit
+            pass
+        self._process.wait(timeout=30)
+
+    def terminate(self, timeout: float = 10.0) -> None:
+        """Graceful stop: SIGTERM, escalating to SIGKILL on a hang."""
+        if self._process is None or self._process.poll() is not None:
+            return
+        try:
+            self._process.terminate()
+        except (ProcessLookupError, OSError):  # pragma: no cover - raced exit
+            return
+        try:
+            self._process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+            self.kill()
+
+    def __enter__(self) -> "ReplicaProcess":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.terminate()

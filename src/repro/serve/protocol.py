@@ -36,6 +36,7 @@ chunked NDJSON transparently.
 from __future__ import annotations
 
 import json
+import socket
 from typing import Any, Dict, Optional, Tuple
 
 #: Reason phrases for the status codes the server emits.
@@ -53,6 +54,41 @@ REASONS = {
 
 class ProtocolError(Exception):
     """Malformed HTTP request (surfaces as a 400 response)."""
+
+
+def clamp_connection_buffers(
+    writer, sndbuf: Optional[int] = None, rcvbuf: Optional[int] = None
+) -> None:
+    """Bound one connection's kernel/transport buffering (fairness knob).
+
+    Loopback TCP autotunes socket buffers into the megabytes, which lets
+    a whole solution stream sit in kernel memory while the consumer sips
+    from it — ``drain()`` never blocks, so per-stream backpressure (the
+    worker credit protocol) never engages and a slow client holds megabytes
+    of buffered state instead of parking its worker.  Clamping ``SO_SNDBUF``
+    (plus the asyncio transport's user-space write buffer) and/or
+    ``SO_RCVBUF`` restores the bound: buffering per connection is O(limit)
+    and ``drain()`` tracks the consumer's real pace.
+
+    No-op directions are skipped; a transport without a raw socket is
+    left alone.
+    """
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            if sndbuf is not None:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, sndbuf)
+            if rcvbuf is not None:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+        except OSError:  # pragma: no cover - exotic transports
+            pass
+    if sndbuf is not None:
+        transport = getattr(writer, "transport", None)
+        if transport is not None:
+            try:
+                transport.set_write_buffer_limits(high=sndbuf)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
 
 
 def encode_event(event: Dict[str, Any]) -> bytes:
@@ -137,6 +173,13 @@ async def read_request(reader) -> Optional[Tuple[str, str, Dict[str, str], bytes
         if not sep:
             raise ProtocolError(f"malformed header line {raw!r}")
         headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        # Request bodies are read by Content-Length only; silently
+        # treating a chunked body as empty would smuggle its frames
+        # into the connection as a phantom second request.
+        raise ProtocolError(
+            "chunked request bodies are not supported; send Content-Length"
+        )
     try:
         length = int(headers.get("content-length", "0"))
     except ValueError as exc:

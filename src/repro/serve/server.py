@@ -70,6 +70,7 @@ from repro.frontdoor.tenants import (
 from repro.serve.protocol import (
     FINAL_CHUNK,
     ProtocolError,
+    clamp_connection_buffers,
     encode_event,
     json_response,
     read_request,
@@ -93,6 +94,8 @@ class ServerStats:
     cancelled: int = 0
     errors: int = 0
     worker_replacements: int = 0  # crashed workers replaced mid-stream
+    checkpoints: int = 0  # periodic mid-stream checkpoints written
+    degraded_resumes: int = 0  # corrupt checkpoints degraded to fresh runs
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for JSON serving."""
@@ -162,6 +165,21 @@ class EnumerationServer:
     warm:
         Warm the graphs + last compiled queries of this many of the
         most-queried datasets at startup (store-stats-driven).
+    checkpoint_every:
+        Write a mid-stream cursor checkpoint to the store every this
+        many live solutions (``None`` checkpoints only at stream end /
+        disconnect).  Periodic checkpoints are what make a SIGKILLed
+        replica resumable: the fleet router migrates the stream to a
+        surviving replica, which thaws the last checkpoint from the
+        shared store instead of replaying from scratch.
+    sndbuf:
+        Bound each client connection's send-side buffering (kernel
+        ``SO_SNDBUF`` + asyncio write buffer) to ~this many bytes.
+        Loopback autotuning otherwise grows the buffers into the
+        megabytes, letting a slow consumer hold whole streams in kernel
+        memory while its worker free-runs; with the bound, ``drain()``
+        tracks the consumer's pace and backpressure parks the worker at
+        the credit wait.  ``None`` (default) keeps the OS sizing.
     """
 
     def __init__(
@@ -178,15 +196,23 @@ class EnumerationServer:
         tenants: Union[TenantRegistry, str, None] = None,
         require_auth: bool = False,
         warm: int = 0,
+        checkpoint_every: Optional[int] = None,
+        sndbuf: Optional[int] = None,
     ) -> None:
         if chunk < 1:
             raise ValueError("chunk must be >= 1")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+        if sndbuf is not None and sndbuf < 4096:
+            raise ValueError("sndbuf must be >= 4096 bytes (or None)")
         self.host = host
         self._requested_port = port
         self.workers = workers
         self.chunk = chunk
         self.mp_context = mp_context
         self.max_deadline = max_deadline
+        self.checkpoint_every = checkpoint_every
+        self.sndbuf = sndbuf
         self.stats = ServerStats()
         memory: Optional[InstanceCache]
         if cache is False:
@@ -298,6 +324,8 @@ class EnumerationServer:
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
+        if self.sndbuf is not None:
+            clamp_connection_buffers(writer, sndbuf=self.sndbuf)
         try:
             await self._handle_request(reader, writer)
         finally:
@@ -727,6 +755,15 @@ class EnumerationServer:
                 snapshot = base64.b64decode(encoded)
             except (ValueError, TypeError):
                 snapshot = None  # unreadable: replay fast-forward instead
+            if snapshot is not None:
+                from repro.engine.suspend import snapshot_usable
+
+                if not snapshot_usable(snapshot, job):
+                    # Damaged, cross-version, or bound to a different
+                    # job: drop it here (header check only) and let the
+                    # worker fast-forward deterministically instead of
+                    # failing the whole stream.
+                    snapshot = None
         return offset, True, snapshot
 
     async def _enumerate(
@@ -740,7 +777,21 @@ class EnumerationServer:
             spec = self.registry.resolve_spec(spec)
             job = EnumerationJob.from_dict(spec)
             job = self._apply_deadline_cap(job)
-            offset, resumed, resume_snapshot = self._resolve_resume(job, stream_id)
+            try:
+                offset, resumed, resume_snapshot = self._resolve_resume(
+                    job, stream_id
+                )
+            except (InvalidInstanceError, CursorStateError):
+                if explicit_offset is None:
+                    raise
+                # The caller pinned the exact resume position, so a
+                # corrupt or mismatched checkpoint is not fatal: run
+                # fresh and fast-forward to the requested offset.  The
+                # fleet router always migrates with an explicit offset,
+                # which is what makes store corruption survivable.
+                self.stats.degraded_resumes += 1
+                self.metrics.inc("degraded_resumes")
+                offset, resumed, resume_snapshot = 0, False, None
             if explicit_offset is not None:
                 # The client knows exactly what it consumed (the server
                 # checkpoint can run ahead by in-flight bytes the client
@@ -947,6 +998,10 @@ class EnumerationServer:
         assert self._executor is not None
         loop = asyncio.get_running_loop()
         position = live_start
+        cadence = self.checkpoint_every
+        if state.stream_id is None or self.store is None:
+            cadence = None  # nowhere (or no identity) to checkpoint under
+        next_checkpoint = position + cadence if cadence is not None else None
         snapshot = None
         if state.resume_snapshot is not None:
             snapshot = state.resume_snapshot
@@ -992,6 +1047,15 @@ class EnumerationServer:
                                 )
                                 raise
                             handle.credit()
+                            if (
+                                next_checkpoint is not None
+                                and position >= next_checkpoint
+                            ):
+                                # Credit first: the checkpoint write
+                                # overlaps the worker computing its next
+                                # chunk instead of stalling it.
+                                await self._checkpoint_midstream(state)
+                                next_checkpoint = position + cadence
                         elif msg[0] == "end":
                             meta = msg[1]
                             if meta.get("error"):
@@ -1027,6 +1091,40 @@ class EnumerationServer:
                         self._pool.release(handle)
                     else:  # pragma: no cover - server stopped mid-stream
                         handle.close()
+
+    async def _checkpoint_midstream(self, state: _StreamState) -> None:
+        """Persist a cursor at the current chunk boundary (off the loop).
+
+        Cheap on purpose — no prefix digest, no tier store, just the
+        job + offset (+ the search snapshot frozen at exactly this
+        boundary), which is everything a surviving replica needs to
+        thaw the stream after this process is SIGKILLed mid-stream.
+        The payload is captured synchronously; only the atomic disk
+        write runs in the executor.
+        """
+        assert self.store is not None and state.stream_id is not None
+        checkpoint: Dict[str, Any] = {
+            "version": 1,
+            "job": state.job.to_dict(),
+            "offset": state.total,
+            "digest": None,
+        }
+        if (
+            state.last_snapshot is not None
+            and state.last_snapshot_pos == state.total
+        ):
+            checkpoint["snapshot"] = base64.b64encode(state.last_snapshot).decode(
+                "ascii"
+            )
+        elif state.resume_snapshot is not None and state.total == state.offset:
+            checkpoint["snapshot"] = base64.b64encode(
+                state.resume_snapshot
+            ).decode("ascii")
+        store, stream_id = self.store, state.stream_id
+        await asyncio.get_running_loop().run_in_executor(
+            self._executor, store.save_cursor, stream_id, checkpoint
+        )
+        self.stats.checkpoints += 1
 
     # ------------------------------------------------------------------
     # completion: persist results + checkpoints
@@ -1095,6 +1193,9 @@ class EnumerationServer:
                 "exhausted": state.exhausted,
                 "stop_reason": state.stop_reason,
                 "cached": state.cached,
+                # Worker-busy time for this stream: the fleet router
+                # reads this to charge the owning tenant fleet-wide.
+                "compute_seconds": round(state.compute_seconds, 6),
             },
         )
 

@@ -278,10 +278,16 @@ class ResultStore:
                 record = json.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, ValueError) as exc:
+            # ValueError covers both malformed JSON and undecodable
+            # bytes (a corrupted file is rarely valid UTF-8).
             raise InvalidInstanceError(
                 f"unreadable cursor checkpoint for {stream_id!r}: {exc}"
             ) from exc
+        if not isinstance(record, dict):
+            raise InvalidInstanceError(
+                f"corrupt cursor checkpoint for {stream_id!r}: not a record"
+            )
         if record.get("schema") != _SCHEMA or record.get("stream_id") != stream_id:
             return None
         return record["state"]

@@ -126,12 +126,25 @@ def _stream_job(
             # meter abort mid-step.
             meter.deadline_at = None
             if snapshot is not None:
-                search = JobSearch.restore(job, snapshot, meter)
-                if search.emitted > offset:
-                    # The snapshot ran past the requested position (an
-                    # explicit client offset behind the checkpoint):
-                    # restart and fast-forward — still deterministic.
+                from repro.exceptions import CursorStateError
+
+                try:
+                    search = JobSearch.restore(job, snapshot, meter)
+                except CursorStateError:
+                    # A damaged, cross-version or mismatched snapshot
+                    # degrades to a deterministic offset fast-forward —
+                    # a slower resume, never a failed stream.  The fleet
+                    # migration path depends on this: the replacement
+                    # replica may thaw a checkpoint written by a replica
+                    # it shares nothing with but the store directory.
                     search = JobSearch(job, meter)
+                else:
+                    if search.emitted > offset:
+                        # The snapshot ran past the requested position
+                        # (an explicit client offset behind the
+                        # checkpoint): restart and fast-forward — still
+                        # deterministic.
+                        search = JobSearch(job, meter)
             else:
                 search = JobSearch(job, meter)
             try:

@@ -88,3 +88,62 @@ def test_version_is_pep440ish():
     parts = repro.__version__.split(".")
     assert len(parts) >= 2
     assert all(p.isdigit() for p in parts[:2])
+
+
+class TestPortHygiene:
+    """No fixed TCP ports anywhere in the test/bench surface.
+
+    Every server the suite starts must bind port 0 (the kernel picks a
+    free ephemeral port) so parallel runs — ``pytest -n auto``, CI
+    shards, a developer's live ``repro serve`` — can never collide."""
+
+    #: Matches a literal port being configured, e.g. ``port=8080``,
+    #: ``("127.0.0.1", 8080)`` or ``"--port", "8080"``.
+    _FIXED_PORT = __import__("re").compile(
+        r"""port["']?\s*[=:,]\s*["']?[1-9]\d{3,4}\b"""
+    )
+
+    def _scan(self, root):
+        import os
+
+        offenders = []
+        for dirpath, _dirs, files in os.walk(root):
+            for fname in files:
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                with open(path, encoding="utf-8") as handle:
+                    for lineno, line in enumerate(handle, 1):
+                        code = line.split("#", 1)[0]  # comments don't bind ports
+                        if self._FIXED_PORT.search(code):
+                            offenders.append(f"{path}:{lineno}: {line.strip()}")
+        return offenders
+
+    def test_no_fixed_ports_in_tests_or_benchmarks(self):
+        import os
+
+        here = os.path.dirname(__file__)
+        offenders = self._scan(here)
+        offenders += self._scan(os.path.join(here, os.pardir, "benchmarks"))
+        assert not offenders, "fixed TCP ports in the suite:\n" + "\n".join(offenders)
+
+    def test_server_and_router_default_to_ephemeral_ports(self):
+        import inspect as _inspect
+
+        from repro.serve.fleet import FleetRouter
+        from repro.serve.server import EnumerationServer
+
+        assert _inspect.signature(EnumerationServer).parameters["port"].default == 0
+        assert _inspect.signature(FleetRouter).parameters["port"].default == 0
+
+    def test_concurrent_servers_get_distinct_ports(self):
+        from repro.serve.server import EnumerationServer, ServerThread
+
+        first = ServerThread(EnumerationServer(workers=1)).start()
+        second = ServerThread(EnumerationServer(workers=1)).start()
+        try:
+            assert first.port != 0 and second.port != 0
+            assert first.port != second.port
+        finally:
+            first.stop()
+            second.stop()

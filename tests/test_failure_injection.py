@@ -4,7 +4,17 @@ Every enumerator and substrate gets fed malformed input — missing
 vertices, empty terminal sets, self-loops, negative weights, disconnected
 instances — and must raise the documented :mod:`repro.exceptions` types
 (or yield nothing where emptiness is the documented contract), never a
-bare ``KeyError`` from internal dictionaries."""
+bare ``KeyError`` from internal dictionaries.
+
+The same discipline applies one layer up: the serve/front-door HTTP
+surface (both a single replica and the fleet router, which share the
+request parser) gets fed malformed job bodies, truncated and chunked
+requests, mid-handshake disconnects and oversized payloads, and must
+answer with a documented 4xx — never a traceback-bearing 500 and never
+a hung connection (see the ``TestServeHTTP*`` classes)."""
+
+import json
+import socket
 
 import pytest
 
@@ -151,6 +161,179 @@ class TestCompiledStructures:
     def test_hypergraph_edge_outside_universe(self):
         with pytest.raises(InvalidInstanceError):
             Hypergraph([1], [{2}])
+
+
+@pytest.fixture(scope="module", params=["replica", "router"])
+def http_surface(request, tmp_path_factory):
+    """A live serve port: one bare replica, or the fleet router.
+
+    Both share :func:`repro.serve.protocol.read_request`, but each has
+    its own routing/relay layer, so the battery runs against both.
+    """
+    from repro.serve.fleet import FleetRouter, RouterThread
+    from repro.serve.server import EnumerationServer, ServerThread
+
+    server = ServerThread(EnumerationServer(workers=1)).start()
+    if request.param == "replica":
+        yield server.port
+        server.stop()
+        return
+    registry = tmp_path_factory.mktemp("http-surface") / "datasets"
+    router = FleetRouter(registry=str(registry))
+    thread = RouterThread(router).start()
+    router.add_replica("probe", "127.0.0.1", server.port)
+    yield thread.port
+    thread.stop()
+    server.stop()
+
+
+def _exchange(port: int, data: bytes, timeout: float = 10.0) -> bytes:
+    """Send raw bytes, half-close, and read the full response to EOF.
+
+    ``socket.timeout`` escaping here *is* the failure being tested for:
+    a surface that neither answers nor closes has hung the connection.
+    """
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(data)
+        sock.shutdown(socket.SHUT_WR)
+        out = b""
+        while True:
+            got = sock.recv(65536)
+            if not got:
+                return out
+            out += got
+
+
+def _post(port: int, path: str, body: bytes) -> bytes:
+    head = (
+        f"POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    )
+    return _exchange(port, head.encode() + body)
+
+
+def _status(response: bytes) -> int:
+    assert response.startswith(b"HTTP/1.1 "), response[:80]
+    return int(response.split(b" ", 2)[1])
+
+
+def _assert_clean_4xx(response: bytes) -> None:
+    status = _status(response)
+    assert 400 <= status < 500, response[:200]
+    assert b"Traceback" not in response
+    body = response.split(b"\r\n\r\n", 1)[1]
+    assert "error" in json.loads(body)  # machine-readable, documented shape
+
+
+def _healthy(port: int) -> bool:
+    response = _exchange(port, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+    return _status(response) == 200
+
+
+class TestServeHTTPMalformedBodies:
+    """Garbage /enumerate, /datasets and /answer bodies: documented 400s."""
+
+    BAD_ENUMERATE = {
+        "not-json": b"{nope",
+        "not-utf8": b'{"job": "\xff\xfe"}',
+        "json-array": b"[1, 2, 3]",
+        "json-scalar": b'"hello"',
+        "empty-object": b"{}",
+        "job-not-object": b'{"job": 7}',
+        "unknown-kind": b'{"job": {"kind": "no-such-kind"}}',
+        "missing-kind": b'{"job": {"edges": [[1, 2]]}}',
+        "edges-garbage": b'{"job": {"kind": "steiner-tree", "edges": "zzz", "terminals": [1]}}',
+        "unknown-field": b'{"job": {"kind": "st-path", "edges": [[1, 2]], "exploit": 1}}',
+        "bad-chunk": b'{"job": {"kind": "st-path", "edges": [[1, 2]], "source": 1, "target": 2}, "chunk": -5}',
+        "bad-offset": b'{"job": {"kind": "st-path", "edges": [[1, 2]], "source": 1, "target": 2}, "offset": "x"}',
+        "bad-stream-id": b'{"job": {"kind": "st-path", "edges": [[1, 2]], "source": 1, "target": 2}, "stream_id": 9}',
+    }
+
+    @pytest.mark.parametrize("case", sorted(BAD_ENUMERATE))
+    def test_enumerate_rejects_malformed_bodies(self, http_surface, case):
+        _assert_clean_4xx(_post(http_surface, "/enumerate", self.BAD_ENUMERATE[case]))
+        assert _healthy(http_surface)
+
+    def test_datasets_rejects_malformed_bodies(self, http_surface):
+        _assert_clean_4xx(_post(http_surface, "/datasets", b'{"name": 5, "edges": 1}'))
+        _assert_clean_4xx(_post(http_surface, "/datasets", b"!!"))
+        assert _healthy(http_surface)
+
+    def test_answer_rejects_malformed_bodies(self, http_surface):
+        _assert_clean_4xx(_post(http_surface, "/answer", b"[1]"))
+        _assert_clean_4xx(_post(http_surface, "/answer", b'{"dataset": 3}'))
+        assert _healthy(http_surface)
+
+
+class TestServeHTTPFraming:
+    """Broken HTTP framing: 400 or a prompt close, never a hang."""
+
+    def test_garbage_request_line(self, http_surface):
+        response = _exchange(http_surface, b"\x16\x03\x01\x02\x00 garbage\r\n\r\n")
+        _assert_clean_4xx(response)
+
+    def test_malformed_header_line(self, http_surface):
+        response = _exchange(
+            http_surface, b"GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n"
+        )
+        _assert_clean_4xx(response)
+
+    def test_malformed_content_length(self, http_surface):
+        response = _exchange(
+            http_surface,
+            b"POST /enumerate HTTP/1.1\r\nHost: t\r\nContent-Length: banana\r\n\r\n",
+        )
+        _assert_clean_4xx(response)
+
+    def test_oversized_payload_rejected_unread(self, http_surface):
+        # The 64 MiB body cap is enforced on the *declared* length: the
+        # server answers 400 without ever reading the body.
+        response = _exchange(
+            http_surface,
+            b"POST /enumerate HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: 999999999999\r\n\r\n",
+        )
+        _assert_clean_4xx(response)
+
+    def test_chunked_request_body_rejected(self, http_surface):
+        response = _exchange(
+            http_surface,
+            b"POST /enumerate HTTP/1.1\r\nHost: t\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n6\r\n{\"a\":1\r\n0\r\n\r\n",
+        )
+        _assert_clean_4xx(response)
+        assert b"Content-Length" in response  # the fix is in the message
+
+    def test_mid_request_line_disconnect(self, http_surface):
+        # Half-close after a partial request line: the surface must
+        # close its side promptly (EOF), not wait out a read timeout.
+        response = _exchange(http_surface, b"POST /enum")
+        if response:  # a 400 is fine too; silence + close is the contract
+            assert _status(response) >= 400
+        assert _healthy(http_surface)
+
+    def test_mid_header_block_disconnect(self, http_surface):
+        response = _exchange(http_surface, b"GET /healthz HTTP/1.1\r\nHost: t\r\nTrunc")
+        if response:
+            assert _status(response) >= 400
+        assert _healthy(http_surface)
+
+    def test_truncated_body_disconnect(self, http_surface):
+        response = _exchange(
+            http_surface,
+            b"POST /enumerate HTTP/1.1\r\nHost: t\r\n"
+            b'Content-Length: 500\r\n\r\n{"job"',
+        )
+        if response:
+            assert _status(response) >= 400
+        assert _healthy(http_surface)
+
+    def test_surface_survives_a_malformed_burst(self, http_surface):
+        for _ in range(5):
+            _exchange(http_surface, b"\r\n\r\n")
+            _exchange(http_surface, b"POST /enumerate HTTP/1.1\r\nX")
+            _post(http_surface, "/enumerate", b"{broken")
+        assert _healthy(http_surface)
 
 
 class TestExceptionHierarchy:

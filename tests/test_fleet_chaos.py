@@ -1,0 +1,472 @@
+"""Chaos regression tests: the fleet survives crashes without losing bytes.
+
+The wall's headline guarantee, pinned here for every result shape and
+both backends: **SIGKILL a replica mid-stream and the client's full
+stream is byte-identical to an uninterrupted run** — the router thaws
+the stream's last checkpoint on a surviving replica (or degrades to a
+fresh fast-forward) and the client never sees a gap, a duplicate, or a
+truncated stream.
+
+Mechanics the tests lean on:
+
+* Instances use long vertex labels so each stream carries a few MB of
+  solution bytes.  Loopback buffering (client recv is clamped small by
+  :func:`open_stream`) holds well under that, so a kill issued after a
+  handful of events always lands while the stream is genuinely live on
+  the owner — the migration path cannot be skipped by a stream that
+  quietly finished into socket buffers.
+* Every case uses a structurally distinct instance.  The store's
+  result cache is isomorphism-stable, so merely relabeling would
+  replay a previous case's cache and the kill would land after the
+  end; a pendant tail (or size bump) per case keeps streams live.
+* All randomness (kill points, victim choice) flows from the chaos
+  seed; failures print ``CHAOS_SEED`` for exact replay (see
+  ``tests/chaosutil.py``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+
+import pytest
+
+from chaosutil import FleetHarness, chaos_seed
+from repro.engine.jobs import EnumerationJob, run_job
+from repro.serve.client import ServeClient, ServeError
+
+KINDS = [
+    "steiner-tree",  # edge sets
+    "st-path",  # paths
+    "directed-steiner",  # arc sets
+    "induced-steiner",  # vertex sets
+    "kfragments",  # keyword fragments (pre-rendered lines)
+]
+
+
+def _pad(v, n: int) -> str:
+    """A long vertex label: volume without extra solver work."""
+    return f"{v}:" + "x" * n
+
+
+def make_spec(kind: str, backend: str = "fast", tail: int = 0) -> dict:
+    """A ~2 MB instance of ``kind``; ``tail`` varies the structure.
+
+    Tails are *forced* extensions (pendant paths into a terminal, or a
+    ladder-size bump), so solution counts stay in the calibrated range
+    while the instance digest — and therefore the cache key and the
+    routing key — changes.
+    """
+    if kind == "steiner-tree":
+        P, n = 700, 7  # K7: 326 trees spanning {1, 7}
+        edges = [
+            [_pad(i, P), _pad(j, P)]
+            for i in range(1, n + 1)
+            for j in range(i + 1, n + 1)
+        ]
+        edges += [[_pad(n + t, P), _pad(n + t + 1, P)] for t in range(tail)]
+        spec = {"kind": kind, "edges": edges, "terminals": [_pad(1, P), _pad(n + tail, P)]}
+    elif kind == "st-path":
+        P, n = 150, 8  # K8: 1957 s-t paths
+        edges = [
+            [_pad(i, P), _pad(j, P)]
+            for i in range(1, n + 1)
+            for j in range(i + 1, n + 1)
+        ]
+        edges += [[_pad(n + t, P), _pad(n + t + 1, P)] for t in range(tail)]
+        spec = {
+            "kind": kind,
+            "edges": edges,
+            "source": _pad(1, P),
+            "target": _pad(n + tail, P),
+        }
+    elif kind == "directed-steiner":
+        P, n = 200, 7  # dense arcs: 946 arborescences
+        arcs = [
+            [_pad(u, P), _pad(v, P)]
+            for u in range(1, n)
+            for v in range(1, n + 1)
+            if u != v
+        ]
+        arcs += [[_pad(n + t, P), _pad(n + t + 1, P)] for t in range(tail)]
+        spec = {
+            "kind": kind,
+            "edges": arcs,
+            "root": _pad(1, P),
+            "terminals": [_pad(n - 1, P), _pad(n + tail, P)],
+        }
+    elif kind == "induced-steiner":
+        P, n = 1100, 20 + tail  # triangular ladder (claw-free), ~150 sets
+        edges = [[_pad(i, P), _pad(i + 1, P)] for i in range(1, n)]
+        edges += [[_pad(i, P), _pad(i + 2, P)] for i in range(1, n - 1)]
+        spec = {"kind": kind, "edges": edges, "terminals": [_pad(1, P), _pad(n, P)]}
+    elif kind == "kfragments":
+        P = 800  # dense 6-vertex graph: 260 fragments
+        base = "abcdef"
+        edges = [
+            [_pad(u, P), _pad(v, P)] for i, u in enumerate(base) for v in base[i + 1 :]
+        ]
+        for t in range(tail):
+            edges.append([_pad("f" if t == 0 else f"t{t - 1}", P), _pad(f"t{t}", P)])
+        spec = {
+            "kind": kind,
+            "edges": edges,
+            "node_keywords": [
+                [_pad("a", P), ["alpha"]],
+                [_pad("c", P), ["beta"]],
+                [_pad("e", P), ["alpha"]],
+                [_pad("f", P), ["beta"]],
+            ],
+            "keywords": ["alpha", "beta"],
+        }
+    else:  # pragma: no cover - parametrization guards this
+        raise ValueError(kind)
+    spec["backend"] = backend
+    return spec
+
+
+def reference_lines(spec: dict) -> list:
+    """The uninterrupted ground truth, computed engine-side (no fleet)."""
+    return list(run_job(EnumerationJob.from_dict(spec)).lines)
+
+
+def open_stream(port: int, payload: dict, rcvbuf: int = 32768, timeout: float = 180.0):
+    """POST /enumerate and yield events, with a small client recv buffer.
+
+    Clamping ``SO_RCVBUF`` right after connect keeps the kernel from
+    autotuning the receive window up to megabytes: the router blocks on
+    backpressure quickly, which in turn holds the upstream replica
+    mid-stream — exactly the state the kill tests need to hit.
+    """
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    conn.connect()
+    conn.sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+    try:
+        conn.request(
+            "POST",
+            "/enumerate",
+            body=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        if response.status != 200:
+            raise ServeError(
+                response.read().decode(errors="replace")[:300],
+                status=response.status,
+            )
+        while True:
+            raw = response.readline()
+            if not raw:
+                return
+            line = raw.strip()
+            if line:
+                yield json.loads(line)
+    finally:
+        conn.close()
+
+
+def drain_with_kill(harness, payload, kill_after: int, victim: str):
+    """Stream ``payload`` via the router, SIGKILLing ``victim`` mid-stream.
+
+    Returns ``(solution_lines, end_event)``.  The kill fires after
+    ``kill_after`` solution events have reached the client, while the
+    multi-MB remainder is still pinned on the owner by backpressure.
+    """
+    lines, end = [], None
+    for event in open_stream(harness.port, payload):
+        if event.get("event") == "solution":
+            lines.append(event["line"])
+            if len(lines) == kill_after and victim is not None:
+                harness.kill_replica(victim)
+                victim = None
+        elif event.get("event") == "end":
+            end = event
+    assert victim is None, harness.note(
+        f"stream ended after {len(lines)} solutions, before the kill point"
+    )
+    return lines, end
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """One fleet for the whole wall; kills are healed by spawn_replica."""
+    store = tmp_path_factory.mktemp("chaos") / "store"
+    with FleetHarness(str(store), replicas=2, checkpoint_every=8, chunk=8) as harness:
+        yield harness
+
+
+def heal(harness) -> None:
+    """Top the fleet back up to two running replicas."""
+    while len(harness.running_replicas()) < 2:
+        harness.spawn_replica()
+
+
+class TestKillMidStream:
+    """SIGKILL the owner mid-stream: gap-free, byte-identical delivery."""
+
+    @pytest.mark.parametrize("backend", ["fast", "object"])
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_stream_survives_owner_kill(self, fleet, kind, backend):
+        heal(fleet)
+        # Per-case RNG: deterministic even when a single case is run.
+        rng = random.Random(f"{fleet.seed}:{kind}:{backend}")
+        tail = 0 if backend == "fast" else 1  # distinct instance per case
+        spec = make_spec(kind, backend=backend, tail=tail)
+        reference = reference_lines(spec)
+        owner = fleet.owner_of(spec)
+        assert owner in fleet.running_replicas(), fleet.note(f"owner {owner} dead")
+        migrations_before = fleet.router.stats.migrations
+
+        kill_after = rng.randrange(3, 20)
+        payload = {
+            "job": spec,
+            "stream_id": f"chaos-{kind}-{backend}",
+            "chunk": fleet.chunk,
+        }
+        lines, end = drain_with_kill(fleet, payload, kill_after, owner)
+
+        assert lines == reference, fleet.note(
+            f"{kind}/{backend}: stream diverged after killing {owner} "
+            f"at solution {kill_after}"
+        )
+        assert end is not None and end["event"] == "end", fleet.note("no end event")
+        assert end["count"] == len(reference), fleet.note(str(end))
+        assert end["exhausted"] is True, fleet.note(str(end))
+        assert fleet.router.stats.migrations > migrations_before, fleet.note(
+            f"{kind}/{backend}: kill did not exercise migration"
+        )
+
+
+class TestKillTrials:
+    """Ten seeded kill schedules in a row — 100% gap-free delivery."""
+
+    TRIALS = 10
+
+    def test_ten_seeded_replica_kill_trials(self, fleet):
+        rng = random.Random(f"{fleet.seed}:trials")
+        survived = 0
+        for trial in range(self.TRIALS):
+            heal(fleet)
+            # Tails 2.. keep these instances distinct from the matrix
+            # cases above (which use tails 0 and 1) and from each other.
+            spec = make_spec("steiner-tree", tail=trial + 2)
+            reference = reference_lines(spec)
+            owner = fleet.owner_of(spec)
+            kill_after = rng.randrange(3, 40)
+            migrations_before = fleet.router.stats.migrations
+
+            lines, end = drain_with_kill(
+                fleet,
+                {"job": spec, "stream_id": f"chaos-trial-{trial}", "chunk": fleet.chunk},
+                kill_after,
+                owner,
+            )
+
+            assert lines == reference, fleet.note(
+                f"trial {trial}: diverged (killed {owner} at {kill_after})"
+            )
+            assert end["count"] == len(reference) and end["exhausted"], fleet.note(
+                f"trial {trial}: bad end event {end}"
+            )
+            assert fleet.router.stats.migrations > migrations_before, fleet.note(
+                f"trial {trial}: no migration recorded"
+            )
+            survived += 1
+        assert survived == self.TRIALS, fleet.note(f"only {survived}/{self.TRIALS}")
+
+
+class TestRouterRestart:
+    """The router itself is disposable: routing state is pure function."""
+
+    def test_routing_survives_router_restart(self, fleet):
+        heal(fleet)
+        spec = make_spec("steiner-tree", tail=100)
+        before = {fleet.owner_of(make_spec(k, tail=100)) for k in KINDS}
+        owner_before = fleet.owner_of(spec)
+        fleet.restart_router()
+        assert fleet.owner_of(spec) == owner_before, fleet.note("placement moved")
+        after = {fleet.owner_of(make_spec(k, tail=100)) for k in KINDS}
+        assert before == after, fleet.note("placement moved across router restart")
+
+    def test_stream_resumes_through_a_fresh_router(self, fleet):
+        heal(fleet)
+        P = 10
+        edges = [
+            [_pad(i, P), _pad(j, P)] for i in range(1, 7) for j in range(i + 1, 7)
+        ]
+        edges += [[_pad(t, P), _pad(t + 1, P)] for t in range(200, 205)]
+        spec = {"kind": "steiner-tree", "edges": edges, "terminals": [_pad(1, P), _pad(6, P)]}
+        reference = reference_lines(spec)
+        assert len(reference) > 10
+
+        client = fleet.client()
+        head = [
+            e["line"]
+            for e in client.enumerate(dict(spec, limit=5), stream_id="chaos-restart")
+            if e.get("event") == "solution"
+        ]
+        assert head == reference[:5], fleet.note("head diverged")
+
+        fleet.restart_router()
+
+        tail_events = list(
+            fleet.client().enumerate(spec, stream_id="chaos-restart")
+        )
+        tail = [e["line"] for e in tail_events if e.get("event") == "solution"]
+        assert head + tail == reference, fleet.note("resume across router restart")
+        assert tail_events[-1]["exhausted"] is True
+
+
+class TestSlowClientBackpressure:
+    """One slow consumer must not wedge the rest of the fleet."""
+
+    def test_fast_streams_complete_while_a_slow_one_is_parked(self, fleet):
+        heal(fleet)
+        slow_spec = make_spec("st-path", tail=3)
+        slow_owner = fleet.owner_of(slow_spec)
+
+        # A small job placed on the *other* replica (each replica runs a
+        # single worker, so co-locating would measure queueing instead).
+        # Routing is isomorphism-stable, so candidates must differ
+        # *structurally*: a pendant chain of growing length hanging off
+        # vertex 2 (dead ends never appear in s-t paths, so the answer
+        # set stays put while the routing key changes).
+        P = 10
+        for chain in range(1, 41):
+            edges = [
+                [_pad(i, P), _pad(j, P)] for i in range(1, 7) for j in range(i + 1, 7)
+            ]
+            edges += [
+                [_pad(2 if c == 0 else f"c{c - 1}", P), _pad(f"c{c}", P)]
+                for c in range(chain)
+            ]
+            fast_spec = {
+                "kind": "st-path",
+                "edges": edges,
+                "source": _pad(1, P),
+                "target": _pad(6, P),
+            }
+            if fleet.owner_of(fast_spec) != slow_owner:
+                break
+        else:  # pragma: no cover - 40 salts always yield both owners
+            pytest.fail(fleet.note("could not place a job on the other replica"))
+
+        slow = open_stream(fleet.port, {"job": slow_spec, "chunk": fleet.chunk})
+        consumed = []
+        try:
+            while len(consumed) < 3:
+                event = next(slow)
+                if event.get("event") == "solution":
+                    consumed.append(event["line"])
+
+            # Park the slow stream (megabytes still undelivered) and run
+            # a complete job through the other replica.
+            fast_lines = fleet.client().solutions(fast_spec)
+            assert fast_lines == reference_lines(fast_spec), fleet.note(
+                "fast stream corrupted while a slow stream was parked"
+            )
+
+            # The slow stream is intact afterwards, to the last byte.
+            for event in slow:
+                if event.get("event") == "solution":
+                    consumed.append(event["line"])
+            assert consumed == reference_lines(slow_spec), fleet.note(
+                "slow stream corrupted"
+            )
+        finally:
+            slow.close()
+
+
+class TestStoreCorruption:
+    """Scribbled checkpoints degrade service; they never corrupt streams."""
+
+    def test_corrupt_checkpoint_migration_still_gap_free(self, fleet):
+        heal(fleet)
+        spec = make_spec("steiner-tree", tail=50)
+        reference = reference_lines(spec)
+        stream_id = "chaos-corrupt-migrate"
+        owner = fleet.owner_of(spec)
+        migrations_before = fleet.router.stats.migrations
+
+        lines, end = [], None
+        events = open_stream(
+            fleet.port, {"job": spec, "stream_id": stream_id, "chunk": fleet.chunk}
+        )
+        for event in events:
+            if event.get("event") == "solution":
+                lines.append(event["line"])
+                if len(lines) == 5 and owner is not None:
+                    # The owner is parked on backpressure, so the cursor
+                    # cannot be rewritten between these two calls; the
+                    # kill then forces a migration that must discover
+                    # the corruption and degrade, not die.
+                    fleet.wait_for_checkpoint(stream_id)
+                    assert fleet.corrupt_cursor(stream_id), fleet.note("no checkpoint")
+                    fleet.kill_replica(owner)
+                    owner = None
+            elif event.get("event") == "end":
+                end = event
+        assert owner is None, fleet.note("stream finished before the kill point")
+
+        assert lines == reference, fleet.note("degraded resume lost bytes")
+        assert end["count"] == len(reference) and end["exhausted"], fleet.note(str(end))
+        assert fleet.router.stats.migrations > migrations_before
+
+        stats = fleet.client().stats()
+        degraded = sum(
+            doc.get("degraded_resumes", 0) for doc in stats["replicas"].values()
+        )
+        assert degraded >= 1, fleet.note(
+            "migration did not take the degraded-resume path"
+        )
+
+    def test_corrupt_checkpoint_resume_without_offset_is_a_documented_400(self, fleet):
+        heal(fleet)
+        P = 10
+        edges = [
+            [_pad(i, P), _pad(j, P)] for i in range(1, 7) for j in range(i + 1, 7)
+        ]
+        edges += [[_pad(400, P), _pad(401, P)]]
+        spec = {"kind": "steiner-tree", "edges": edges, "terminals": [_pad(1, P), _pad(6, P)]}
+        stream_id = "chaos-corrupt-400"
+
+        client = fleet.client()
+        head = [
+            e
+            for e in client.enumerate(dict(spec, limit=3), stream_id=stream_id)
+            if e.get("event") == "solution"
+        ]
+        assert len(head) == 3
+        assert fleet.corrupt_cursor(stream_id), fleet.note("no checkpoint on disk")
+
+        # Without a client-tracked offset the server cannot know where
+        # the stream stood: a clean, documented 400 — never a 500, and
+        # never silently restarting from zero (which would duplicate
+        # already-delivered solutions).
+        with pytest.raises(ServeError) as err:
+            list(client.enumerate(spec, stream_id=stream_id))
+        assert err.value.status == 400, fleet.note(f"got {err.value.status}")
+
+
+class TestChaosDeterminism:
+    """The harness schedule is a pure function of the seed."""
+
+    def test_seeded_choices_replay_exactly(self, tmp_path):
+        picks = []
+        for _ in range(2):
+            rng = random.Random(chaos_seed(99))
+            picks.append([rng.randrange(3, 40) for _ in range(10)])
+        assert picks[0] == picks[1]
+
+    def test_seed_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("CHAOS_SEED", "31337")
+        assert chaos_seed() == 31337
+        assert chaos_seed(5) == 31337
+        monkeypatch.delenv("CHAOS_SEED")
+        assert chaos_seed(5) == 5
+
+    def test_note_carries_the_seed(self, tmp_path):
+        harness = FleetHarness(str(tmp_path / "s"), seed=424242)
+        assert "CHAOS_SEED=424242" in harness.note("boom")

@@ -1,0 +1,229 @@
+"""Property tests for the fleet's consistent-hash ring.
+
+Three guarantees the router leans on, pinned here with hypothesis:
+
+* **Remap locality** — adding a replica only moves keys *onto* it
+  (roughly ``K/N`` of them); removing one only moves the keys it
+  owned.  Everything else routes exactly as before.
+* **Relabel affinity** — relabeled duplicates of the same instance
+  produce the same routing key, so they share a replica's warm cache.
+* **Seed independence** — routing is pure SHA-256: a ring rebuilt in a
+  subprocess under a different ``PYTHONHASHSEED`` maps every key to
+  the same replica.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.fleet import HashRing, routing_key
+
+#: A fixed key population large enough for distribution statements.
+KEYS = [f"key-{i:04d}" for i in range(400)]
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+)
+node_sets = st.lists(names, min_size=1, max_size=8, unique=True)
+
+
+def build(nodes, vnodes=32) -> HashRing:
+    ring = HashRing(vnodes=vnodes)
+    for node in nodes:
+        ring.add(node)
+    return ring
+
+
+class TestRingBasics:
+    def test_empty_ring_routes_nowhere(self):
+        ring = HashRing()
+        assert ring.route("anything") is None
+        assert ring.route_order("anything") == []
+
+    def test_single_node_owns_everything(self):
+        ring = build(["only"])
+        assert all(ring.route(k) == "only" for k in KEYS)
+
+    def test_add_remove_membership(self):
+        ring = build(["a", "b"])
+        assert ring.add("a") is False  # already present
+        assert ring.remove("a") is True
+        assert ring.remove("a") is False
+        assert ring.nodes() == ["b"]
+        assert "b" in ring and "a" not in ring and len(ring) == 1
+
+    def test_vnodes_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_spread_is_roughly_balanced(self):
+        ring = build(["a", "b", "c"], vnodes=64)
+        counts = ring.spread(KEYS)
+        assert sum(counts.values()) == len(KEYS)
+        # With 64 vnodes each of 3 nodes should own a non-trivial share.
+        assert min(counts.values()) > len(KEYS) * 0.10, counts
+
+
+class TestRingProperties:
+    @given(nodes=node_sets, key=st.text(min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_route_is_deterministic_and_a_member(self, nodes, key):
+        ring, again = build(nodes), build(nodes)
+        owner = ring.route(key)
+        assert owner in nodes
+        assert owner == again.route(key)  # independent of insertion history
+
+    @given(nodes=node_sets, key=st.text(min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_route_order_starts_at_owner_and_covers_all(self, nodes, key):
+        ring = build(nodes)
+        order = ring.route_order(key)
+        assert order[0] == ring.route(key)
+        assert sorted(order) == sorted(nodes)
+
+    @given(nodes=node_sets, new=names)
+    @settings(max_examples=60, deadline=None)
+    def test_adding_moves_keys_only_onto_the_new_node(self, nodes, new):
+        if new in nodes:
+            return
+        ring = build(nodes)
+        before = {k: ring.route(k) for k in KEYS}
+        ring.add(new)
+        moved = 0
+        for key in KEYS:
+            after = ring.route(key)
+            if after != before[key]:
+                assert after == new, (key, before[key], after)
+                moved += 1
+        # Expected K/(N+1); allow generous statistical slack, which
+        # still catches a broken ring (that remaps ~everything).
+        expected = len(KEYS) / (len(nodes) + 1)
+        assert moved <= 3 * expected + 20, (moved, expected)
+
+    @given(nodes=st.lists(names, min_size=2, max_size=8, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_removing_moves_only_the_victims_keys(self, nodes):
+        ring = build(nodes)
+        victim = sorted(nodes)[0]
+        before = {k: ring.route(k) for k in KEYS}
+        ring.remove(victim)
+        for key in KEYS:
+            if before[key] == victim:
+                assert ring.route(key) != victim
+            else:
+                assert ring.route(key) == before[key], key
+
+    @given(nodes=node_sets, key=st.text(min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_remove_then_readd_restores_routing(self, nodes, key):
+        ring = build(nodes)
+        before = ring.route(key)
+        victim = sorted(nodes)[-1]
+        ring.remove(victim)
+        ring.add(victim)
+        assert ring.route(key) == before
+
+
+@st.composite
+def labeled_graphs(draw):
+    """A small connected-ish edge list plus two terminals."""
+    n = draw(st.integers(min_value=3, max_value=7))
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=8,
+        )
+    )
+    edges = [(i, i + 1) for i in range(n - 1)]  # spine keeps it connected
+    edges += [(u, v) for u, v in extra if u != v]
+    return n, edges
+
+
+class TestRoutingKey:
+    @given(data=labeled_graphs(), salt=st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_relabeled_instances_share_a_routing_key(self, data, salt):
+        n, edges = data
+        spec = {
+            "kind": "steiner-tree",
+            "edges": [[u, v] for u, v in edges],
+            "terminals": [0, n - 1],
+        }
+        relabel = {v: f"node-{salt}-{v}" for v in range(n)}
+        relabeled = {
+            "kind": "steiner-tree",
+            "edges": [[relabel[u], relabel[v]] for u, v in reversed(edges)],
+            "terminals": [relabel[n - 1], relabel[0]],
+        }
+        assert routing_key(spec) == routing_key(relabeled)
+
+    def test_different_instances_key_differently(self):
+        a = {"kind": "steiner-tree", "edges": [[1, 2], [2, 3]], "terminals": [1, 3]}
+        b = {"kind": "steiner-tree", "edges": [[1, 2], [2, 3], [1, 3]], "terminals": [1, 3]}
+        assert routing_key(a) != routing_key(b)
+
+    def test_malformed_specs_still_route_deterministically(self):
+        bad = {"kind": "no-such-kind", "edges": "garbage"}
+        assert routing_key(bad) == routing_key(dict(bad))
+        ring = HashRing()
+        ring.add("a")
+        ring.add("b")
+        assert ring.route(routing_key(bad)) in ("a", "b")
+
+
+_SUBPROCESS_SNIPPET = """
+import json, sys
+from repro.serve.fleet import HashRing, routing_key
+
+ring = HashRing(vnodes=32)
+for node in ("alpha", "beta", "gamma", "delta"):
+    ring.add(node)
+keys = [f"key-{i:04d}" for i in range(200)]
+spec = {"kind": "steiner-tree", "edges": [[1, 2], [2, 3], [1, 3], [3, 4]],
+        "terminals": [1, 4]}
+print(json.dumps({
+    "table": {k: ring.route(k) for k in keys},
+    "order": ring.route_order("pivot"),
+    "spec_key": routing_key(spec),
+}))
+"""
+
+
+class TestSeedIndependence:
+    def test_routing_identical_across_hash_seeds(self):
+        """Two interpreters with different PYTHONHASHSEEDs agree fully."""
+        import os
+
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        results = []
+        for seed in ("0", "424242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = os.path.abspath(src)
+            out = subprocess.run(
+                [sys.executable, "-c", _SUBPROCESS_SNIPPET],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+                timeout=120,
+            )
+            results.append(json.loads(out.stdout))
+        assert results[0] == results[1]
+        # And the parent process (a third hash seed, usually) agrees too.
+        ring = HashRing(vnodes=32)
+        for node in ("alpha", "beta", "gamma", "delta"):
+            ring.add(node)
+        assert results[0]["order"] == ring.route_order("pivot")
+        sample = {k: ring.route(k) for k in list(results[0]["table"])[:20]}
+        for key, owner in sample.items():
+            assert results[0]["table"][key] == owner
