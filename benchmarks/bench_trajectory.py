@@ -1,7 +1,9 @@
 """Benchmark trajectory: pinned quick subset → JSON snapshot → gate.
 
 CI runs this on every push (the ``bench-trajectory`` job): it measures a
-pinned subset of enumeration jobs on **both** backends, writes
+pinned subset of enumeration jobs on **every claimed backend** (object,
+fast, and — where the capability registry claims it and numpy is
+installed — vector, including the dense aggregate vector gate), writes
 ``BENCH_<short-sha>.json`` (uploaded as an artifact, so the repository
 accumulates a throughput history), and fails if throughput regressed
 more than the tolerance against the committed
@@ -48,8 +50,10 @@ from repro.engine.jobs import EnumerationJob, run_job
 REPS = 3
 
 #: Extra repetitions for kinds whose wall is short enough to be
-#: jitter-dominated at 3 reps (best-of converges with more samples).
-REPS_OVERRIDE = {"minimum-enum": 7}
+#: jitter-dominated at 3 reps (best-of converges with more samples); the
+#: dense vector-gate entries run seconds-long walls, where best-of-2 is
+#: already timing-stable and a third rep only stretches the run.
+REPS_OVERRIDE = {"minimum-enum": 7, "steiner-tree-dense": 2, "st-path-dense": 2}
 
 #: Hard speedup floors (fast over object), independent of the baseline:
 #: the kinds ported in the matrix-closing PR must hold ≥1.5x.
@@ -58,7 +62,23 @@ SPEEDUP_FLOORS: Dict[str, float] = {
     "group-steiner": 1.5,
     "minimum-enum": 1.5,
     "fk-dualization": 1.5,
+    "directed-steiner": 1.5,
 }
+
+#: Kinds measured on the vector backend as well (the VECTOR_KINDS among
+#: the pinned jobs; numpy-gated at run time).
+VECTOR_MEASURED = frozenset({"steiner-tree", "terminal-steiner", "st-path"})
+
+#: Hard aggregate floor for the vector backend on the pinned *dense*
+#: instance: summed object wall over summed vector wall across the
+#: steiner-tree + st-path dense entries must stay ≥5x.  Density is the
+#: lever — the bitset kernel consumes a whole adjacency row per
+#: Python-int OR, so its edge over the scalar backends grows with m/n;
+#: on the sparse size-sweep instances the intrinsic ratio is only ~2x.
+VECTOR_AGGREGATE_FLOOR = 5.0
+
+#: The dense entries the aggregate is computed over.
+VECTOR_DENSE_KINDS = ("steiner-tree-dense", "st-path-dense")
 
 
 def _line_graph_edges(base) -> List[Tuple[int, int]]:
@@ -273,6 +293,21 @@ def pinned_direct() -> List[Tuple[str, "object"]]:
     ]
 
 
+def dense_vector_jobs() -> List[Tuple[str, EnumerationJob]]:
+    """The pinned dense jobs behind the aggregate vector gate."""
+    from repro.bench.workloads import dense_vector_instance
+
+    inst = dense_vector_instance()
+    w = inst.terminals
+    return [
+        (
+            "steiner-tree-dense",
+            EnumerationJob.steiner_tree(inst.graph, inst.terminals, limit=480),
+        ),
+        ("st-path-dense", EnumerationJob.st_path(inst.graph, w[0], w[1], limit=480)),
+    ]
+
+
 def _resume_job(depth: int) -> EnumerationJob:
     """A ladder-graph st-path job ≥ ``depth`` solutions deep (see
     benchmarks/bench_resume.py)."""
@@ -295,34 +330,56 @@ def _with_backend(job: EnumerationJob, backend: str) -> EnumerationJob:
 
 
 def measure() -> Dict[str, dict]:
-    """Run the pinned subset on both backends; return per-kind metrics."""
-    runners: List[Tuple[str, "object"]] = []
+    """Run the pinned subset on every claimed backend; per-kind metrics."""
+    from repro.graphs.vecgraph import vec_available
+
+    vector_on = vec_available()
+    runners: List[Tuple[str, "object", Tuple[str, ...]]] = []
     for kind, job in pinned_jobs():
 
         def job_runner(backend: str, job=job):
             result = run_job(_with_backend(job, backend))
             return result.lines, result.count
 
-        runners.append((kind, job_runner))
-    runners.extend(pinned_direct())
+        backends = ("object", "fast")
+        if vector_on and kind in VECTOR_MEASURED:
+            backends = ("object", "fast", "vector")
+        runners.append((kind, job_runner, backends))
+    runners.extend((kind, runner, ("object", "fast")) for kind, runner in pinned_direct())
+    if vector_on:
+        # the dense aggregate gate: vector vs object only — the sparse
+        # pinned jobs above already keep fast honest on these kinds
+        for kind, job in dense_vector_jobs():
+
+            def dense_runner(backend: str, job=job):
+                result = run_job(_with_backend(job, backend))
+                return result.lines, result.count
+
+            runners.append((kind, dense_runner, ("object", "vector")))
+    else:
+        print(
+            "numpy unavailable: vector columns and the dense aggregate"
+            " gate are skipped",
+            file=sys.stderr,
+        )
 
     kinds: Dict[str, dict] = {}
-    for kind, runner in runners:
+    for kind, runner, backends in runners:
         entry: Dict[str, dict] = {}
         lines = {}
-        best = {"object": float("inf"), "fast": float("inf")}
-        solutions = {"object": 0, "fast": 0}
+        best = {backend: float("inf") for backend in backends}
+        solutions = {backend: 0 for backend in backends}
         # interleave the backends so a load spike lands on both sides of
         # the ratio instead of inflating one backend's every rep
         for _ in range(REPS_OVERRIDE.get(kind, REPS)):
-            for backend in ("object", "fast"):
+            for backend in backends:
                 start = time.perf_counter()
                 out, count = runner(backend)
                 wall = time.perf_counter() - start
                 best[backend] = min(best[backend], wall)
                 solutions[backend] = count
                 lines[backend] = out
-        for backend in ("object", "fast"):
+        for backend in backends:
             wall = best[backend]
             entry[backend] = {
                 "wall_s": round(wall, 6),
@@ -330,19 +387,43 @@ def measure() -> Dict[str, dict]:
                 "sols_per_s": round(solutions[backend] / wall, 2) if wall else 0.0,
                 "jobs_per_s": round(1.0 / wall, 3) if wall else 0.0,
             }
-        if lines["object"] != lines["fast"]:
-            raise AssertionError(
-                f"{kind}: fast backend output diverged from object backend"
-            )
+        for backend in backends[1:]:
+            if lines[backend] != lines["object"]:
+                raise AssertionError(
+                    f"{kind}: {backend} backend output diverged from object backend"
+                )
         obj_wall = entry["object"]["wall_s"]
-        fast_wall = entry["fast"]["wall_s"]
-        entry["speedup"] = round(obj_wall / fast_wall, 3) if fast_wall else 0.0
+        report = f"{kind:18s} object {obj_wall*1000:7.1f}ms"
+        if "fast" in entry:
+            fast_wall = entry["fast"]["wall_s"]
+            entry["speedup"] = round(obj_wall / fast_wall, 3) if fast_wall else 0.0
+            report += f"  fast {fast_wall*1000:7.1f}ms  speedup {entry['speedup']:.2f}x"
+        if "vector" in entry:
+            vec_wall = entry["vector"]["wall_s"]
+            entry["speedup_vector"] = (
+                round(obj_wall / vec_wall, 3) if vec_wall else 0.0
+            )
+            report += (
+                f"  vector {vec_wall*1000:7.1f}ms"
+                f"  v-speedup {entry['speedup_vector']:.2f}x"
+            )
         kinds[kind] = entry
-        print(
-            f"{kind:18s} object {obj_wall*1000:7.1f}ms  fast {fast_wall*1000:7.1f}ms"
-            f"  speedup {entry['speedup']:.2f}x  ({entry['fast']['sols_per_s']:.0f} sols/s fast)"
-        )
+        print(report)
+    agg = vector_aggregate(kinds)
+    if agg is not None:
+        print(f"vector dense aggregate: {agg:.2f}x over object")
     return kinds
+
+
+def vector_aggregate(kinds: Dict[str, dict]) -> "float | None":
+    """Summed object wall over summed vector wall across the dense
+    entries, or ``None`` when they were not measured (no numpy)."""
+    entries = [kinds.get(kind) for kind in VECTOR_DENSE_KINDS]
+    if any(e is None or "vector" not in e for e in entries):
+        return None
+    obj = sum(e["object"]["wall_s"] for e in entries)
+    vec = sum(e["vector"]["wall_s"] for e in entries)
+    return (obj / vec) if vec else 0.0
 
 
 def git_short_sha() -> str:
@@ -369,6 +450,9 @@ def gate(
     skip_absolute: bool,
 ) -> List[str]:
     """Compare against the baseline; return regression messages."""
+    from repro.graphs.vecgraph import vec_available
+
+    vector_on = vec_available()
     failures: List[str] = []
     for kind, floor_speedup in SPEEDUP_FLOORS.items():
         cur = current.get(kind)
@@ -379,23 +463,43 @@ def gate(
                 f"{kind}: speedup {cur['speedup']:.2f}x below the"
                 f" {floor_speedup:.1f}x floor"
             )
+    agg = vector_aggregate(current)
+    if agg is None:
+        if vector_on:
+            failures.append("vector-gate: dense vector entries missing")
+    elif agg < VECTOR_AGGREGATE_FLOOR:
+        failures.append(
+            f"vector-gate: dense aggregate {agg:.2f}x below the"
+            f" {VECTOR_AGGREGATE_FLOOR:.1f}x floor"
+        )
     for kind, base in baseline.items():
         cur = current.get(kind)
         if cur is None:
-            failures.append(f"{kind}: missing from the current run")
+            # vector-only entries legitimately vanish on no-numpy hosts
+            if not (kind in VECTOR_DENSE_KINDS and not vector_on):
+                failures.append(f"{kind}: missing from the current run")
             continue
         floor = 1.0 - tolerance
         base_speedup = base.get("speedup", 0.0)
-        if base_speedup and cur["speedup"] < floor * base_speedup:
+        if base_speedup and cur.get("speedup", 0.0) < floor * base_speedup:
             failures.append(
-                f"{kind}: speedup {cur['speedup']:.2f}x regressed >"
+                f"{kind}: speedup {cur.get('speedup', 0.0):.2f}x regressed >"
                 f"{tolerance:.0%} vs baseline {base_speedup:.2f}x"
+            )
+        base_vec = base.get("speedup_vector", 0.0)
+        cur_vec = cur.get("speedup_vector", 0.0)
+        if base_vec and vector_on and cur_vec < floor * base_vec:
+            failures.append(
+                f"{kind}: vector speedup {cur_vec:.2f}x regressed >"
+                f"{tolerance:.0%} vs baseline {base_vec:.2f}x"
             )
         if skip_absolute:
             continue
-        for backend in ("object", "fast"):
+        for backend in ("object", "fast", "vector"):
+            if backend == "vector" and not vector_on:
+                continue
             base_rate = base.get(backend, {}).get("sols_per_s", 0.0)
-            cur_rate = cur[backend]["sols_per_s"]
+            cur_rate = cur.get(backend, {}).get("sols_per_s", 0.0)
             if base_rate and cur_rate < floor * base_rate:
                 failures.append(
                     f"{kind}/{backend}: {cur_rate:.0f} sols/s regressed >"

@@ -37,6 +37,7 @@ PAGES = {
             "repro.graphs.graph",
             "repro.graphs.digraph",
             "repro.graphs.fastgraph",
+            "repro.graphs.vecgraph",
             "repro.graphs.contraction",
             "repro.graphs.bridges",
             "repro.graphs.spanning",
@@ -56,6 +57,7 @@ PAGES = {
             "repro.paths",
             "repro.paths.read_tarjan",
             "repro.paths.fastpaths",
+            "repro.paths.vecpaths",
             "repro.paths.simple",
             "repro.paths.yen",
         ],
@@ -130,6 +132,7 @@ PAGES = {
             "repro.serve.server",
             "repro.serve.store",
             "repro.serve.workers",
+            "repro.serve.arena",
             "repro.serve.client",
             "repro.serve.protocol",
         ],

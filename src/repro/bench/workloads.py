@@ -88,6 +88,22 @@ def steiner_tree_size_sweep(seed: int = 2022, terminals: int = 4) -> List[Steine
     return out
 
 
+def dense_vector_instance(
+    n: int = 480, extra: int = 40000, seed: int = 2502
+) -> SteinerInstance:
+    """T-vec: the pinned dense instance behind the vector-backend gate.
+
+    The bitset kernel's advantage over the scalar backends grows with
+    edge density (one Python-int OR consumes a whole adjacency row), so
+    the aggregate vector gate in ``benchmarks/bench_trajectory.py`` pins
+    a dense instance instead of reusing the sparse size sweep, where the
+    intrinsic ratio is only ~2x.
+    """
+    g = random_connected_graph(n, extra, seed)
+    w = random_terminals(g, 4, seed + 1)
+    return SteinerInstance(f"dense(n={n},m={g.num_edges})", g, w)
+
+
 def steiner_tree_terminal_sweep(
     seed: int = 2022, n: int = 120, extra: int = 80
 ) -> List[SteinerInstance]:

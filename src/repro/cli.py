@@ -164,9 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
     def add_backend(p):
         p.add_argument(
             "--backend",
-            choices=("object", "fast"),
+            choices=("object", "fast", "vector"),
             default="object",
-            help="enumeration backend (fast = integer kernel)",
+            help="enumeration backend (fast = integer kernel, "
+            "vector = numpy-batched kernel)",
         )
 
     p = sub.add_parser("steiner-tree", help="enumerate minimal Steiner trees")
@@ -580,9 +581,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Parse ``argv`` and run the selected subcommand; returns the exit
     status (0 on success)."""
+    from repro.exceptions import UnsupportedBackendError
+
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    try:
+        return _run_command(args, out)
+    except UnsupportedBackendError as exc:
+        # e.g. --backend vector on a numpy-free host: a one-line message,
+        # not a traceback.
+        raise SystemExit(str(exc)) from exc
 
+
+def _run_command(args, out) -> int:
     if args.command == "steiner-tree":
         g = load_graph(args.graph)
         enum = (

@@ -8,6 +8,12 @@ Every enumerator in :mod:`repro.core` (and the path layer) accepts a
 * ``"fast"`` — the integer kernel (:mod:`repro.graphs.fastgraph`): the
   instance is compiled once into flat arrays and the hot path/bridge/
   contraction machinery runs on them.
+* ``"vector"`` — the numpy kernel (:mod:`repro.graphs.vecgraph`): the
+  fast kernel plus a CSR adjacency snapshot that batches the
+  reachability sweeps through numpy.  Undirected kinds only
+  (steiner-tree, terminal-steiner, st-path, ranked); requires numpy
+  (:func:`repro.core.capabilities.require_backend` reports absence as
+  :class:`repro.exceptions.UnsupportedBackendError`).
 
 On *integer-compact* instances (vertices are exactly ``0..n-1`` — the
 engine's relabeled normal form) the two backends produce byte-identical

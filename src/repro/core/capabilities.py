@@ -47,7 +47,18 @@ RESULT_SHAPES: Tuple[str, ...] = (
 )
 
 #: Enumeration backends the library ships.
-BACKEND_NAMES: Tuple[str, ...] = ("object", "fast")
+BACKEND_NAMES: Tuple[str, ...] = ("object", "fast", "vector")
+
+#: The pair every kind supports (the numpy-free baseline).
+SCALAR_BACKENDS: Tuple[str, ...] = ("object", "fast")
+
+#: Kinds the numpy-vectorized kernel covers (undirected kinds whose hot
+#: loops run through the Read–Tarjan engine / spanning completion; the
+#: ranked wrapper rides on steiner-tree and is gated by its own entry
+#: points).  numpy availability is checked at validation time, not here.
+VECTOR_KINDS: FrozenSet[str] = frozenset(
+    {"steiner-tree", "terminal-steiner", "st-path"}
+)
 
 
 @dataclass(frozen=True)
@@ -84,14 +95,16 @@ class KindSpec:
 
 
 def _spec(kind: str, shape: str, *, directed: bool = False) -> KindSpec:
-    # Since PR 7 the matrix is closed: every kind runs on both backends,
-    # suspends, and caches; only kfragments (keyword queries are bound
-    # to concrete node labels) refuses relabeled cache translation.
+    # Since PR 7 the scalar matrix is closed: every kind runs on the
+    # object and fast backends, suspends, and caches; only kfragments
+    # (keyword queries are bound to concrete node labels) refuses
+    # relabeled cache translation.  The vector backend covers the
+    # VECTOR_KINDS subset.
     return KindSpec(
         kind=kind,
         result_shape=shape,
         directed=directed,
-        backends=BACKEND_NAMES,
+        backends=BACKEND_NAMES if kind in VECTOR_KINDS else SCALAR_BACKENDS,
         suspendable=True,
         relabelable=kind != "kfragments",
         cacheable=True,
@@ -163,6 +176,16 @@ def require_backend(kind: str, backend: str) -> str:
     kind_spec = spec(kind)
     if backend not in kind_spec.backends:
         raise UnsupportedBackendError(backend, kind_spec.backends, kind=kind)
+    if backend == "vector":
+        from repro.graphs.vecgraph import vec_available
+
+        if not vec_available():
+            raise UnsupportedBackendError(
+                backend,
+                SCALAR_BACKENDS,
+                kind=kind,
+                reason="numpy is not installed",
+            )
     return backend
 
 

@@ -54,7 +54,7 @@ from repro.enumeration.queue_method import regulate
 from repro.exceptions import InvalidInstanceError
 from repro.graphs.contraction import contract_vertex_set_directed
 from repro.graphs.digraph import DiGraph
-from repro.graphs.fastgraph import contracted_kernel_directed
+from repro.graphs.fastgraph import FastDiGraph, contracted_kernel_directed
 from repro.graphs.traversal import reachable_from
 from repro.paths.fastpaths import FastPathSearch, fast_set_path_search_directed
 from repro.paths.read_tarjan import SetPathSearchDirected
@@ -89,6 +89,40 @@ def _dfs_tree_and_postorder(
     """One DFS from ``root``: parent-arc map and post-order, consistently."""
     parent_arc: Dict[Vertex, Optional[int]] = {root: None}
     postorder: List[Vertex] = []
+    if isinstance(digraph, FastDiGraph):
+        # Kernel fast path: the raw per-vertex arc-id lists keep the
+        # exact ≺_v order of out_items, so the DFS — and every decision
+        # downstream of its post-order — is unchanged.  Every reached
+        # vertex's list is drained before its frame pops, so the batched
+        # tick charges the same arc total as the per-arc ticks.
+        out_rows = digraph._out
+        ah = digraph._ah
+        row = out_rows[root]
+        if meter is not None:
+            meter.tick(len(row))
+        fstack: List[list] = [[root, row, 0]]
+        while fstack:
+            frame = fstack[-1]
+            v, lst, i = frame
+            advanced = False
+            limit = len(lst)
+            while i < limit:
+                aid = lst[i]
+                i += 1
+                head = ah[aid]
+                if head not in parent_arc:
+                    frame[2] = i
+                    parent_arc[head] = aid
+                    row = out_rows[head]
+                    if meter is not None:
+                        meter.tick(len(row))
+                    fstack.append([head, row, 0])
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(v)
+                fstack.pop()
+        return parent_arc, postorder
     stack: List[Tuple[Vertex, Iterator]] = [(root, iter(digraph.out_items(root)))]
     while stack:
         v, it = stack[-1]
@@ -117,11 +151,12 @@ def _prune_to_tstar(
 
     Returns ``(arc set, vertex set, children map)`` of ``T*``.
     """
+    at = dprime._at if isinstance(dprime, FastDiGraph) else None
     children: Dict[Vertex, List[Vertex]] = {}
     for v, aid in parent_arc.items():
         if aid is None:
             continue
-        tail, _head = dprime.arc_endpoints(aid)
+        tail = at[aid] if at is not None else dprime.arc_endpoints(aid)[0]
         children.setdefault(tail, []).append(v)
     # Keep exactly the vertices with an uncovered terminal in their subtree.
     keep: Set[Vertex] = set()
@@ -151,7 +186,7 @@ def _prune_to_tstar(
         aid = parent_arc[v]
         if aid is None:
             continue
-        tail, _head = dprime.arc_endpoints(aid)
+        tail = at[aid] if at is not None else dprime.arc_endpoints(aid)[0]
         if tail in keep:
             tstar_arcs.add(aid)
             tstar_children.setdefault(tail, []).append(v)
@@ -172,6 +207,10 @@ def _second_solution_certificate(
     reached region is deleted afterwards, so every arc is scanned O(1)
     times and the whole check is O(n+m).
     """
+    fast = isinstance(dprime, FastDiGraph)
+    if fast:
+        out_rows = dprime._out
+        ah = dprime._ah
     removed: Set[Vertex] = set()
     for v in sorted(tstar_vertices, key=postorder_pos.__getitem__, reverse=True):
         if v in removed:
@@ -180,6 +219,22 @@ def _second_solution_certificate(
         stack = [v]
         while stack:
             x = stack.pop()
+            if fast:
+                # Kernel fast path: same scan order as out_items, ticks
+                # batched per scanned vertex.
+                row = out_rows[x]
+                if meter is not None:
+                    meter.tick(len(row))
+                for aid in row:
+                    y = ah[aid]
+                    if aid in tstar_arcs or y in removed or y in seen:
+                        continue
+                    if y in tstar_vertices:
+                        # all larger T* vertices are already removed, so y ≺ v
+                        return y
+                    seen.add(y)
+                    stack.append(y)
+                continue
             for aid, y in dprime.out_items(x):
                 if meter is not None:
                     meter.tick()

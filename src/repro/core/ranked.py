@@ -92,8 +92,8 @@ def _weighted_stream(
     the stream: a compiled kernel shared across streams (the datagraph
     layer's cached compilation) is never mutated.
     """
-    if backend == "fast":
-        fg, index = compile_undirected(graph)
+    if backend in ("fast", "vector"):
+        fg, index = compile_undirected(graph, vec=backend == "vector")
         if fg is graph:
             # The caller passed an already-compiled kernel (e.g. the
             # datagraph layer's cached compilation, shared across
@@ -119,7 +119,7 @@ def _weighted_stream(
             cast(Graph, fg),
             map_query_vertices(index, terminals),
             meter=meter,
-            backend="fast",
+            backend=backend,
         ):
             yield weight_of(solution), solution
     else:

@@ -188,6 +188,7 @@ def _fast_completion_branch_terminal(
     terminals: Sequence[int],
     bridges: Set[int],
     meter,
+    completion_fn=fast_minimal_steiner_completion,
 ) -> Tuple[Optional[int], Solution]:
     """Kernel version of :func:`_completion_branch_terminal`.
 
@@ -196,8 +197,10 @@ def _fast_completion_branch_terminal(
     completion's bridge edges".  A union-find over those edges answers
     that without building any adjacency structure, and — paths in a tree
     being unique — produces exactly the object backend's flags.
+    ``completion_fn`` lets the vector backend substitute its
+    base-forest-restricted completion (same output set).
     """
-    completion = fast_minimal_steiner_completion(
+    completion = completion_fn(
         fg, terminals, partial_eids=state.edges, meter=meter
     )
     eu, esum = fg._eu, fg._esum
@@ -297,10 +300,16 @@ class SteinerTreeSearch:
         self.backend = backend
         self.input_terminals: List[Vertex] = list(terminals)
         ordered = _validate_instance(graph, self.input_terminals)
-        self.fast = backend == "fast"
+        self.fast = backend in ("fast", "vector")
         self._dead = False
+        if backend == "vector":
+            from repro.graphs.vecgraph import vec_minimal_steiner_completion
+
+            self._completion_fn = vec_minimal_steiner_completion
+        else:
+            self._completion_fn = fast_minimal_steiner_completion
         if self.fast:
-            self.fg, index = compile_undirected(graph)
+            self.fg, index = compile_undirected(graph, vec=backend == "vector")
             ordered = map_query_vertices(index, ordered)
             labels = fast_component_labels(self.fg, meter=meter)
             root_label = labels[ordered[0]]
@@ -350,7 +359,12 @@ class SteinerTreeSearch:
                 return ("leaf", frozenset(state.edges))
             if self.fast:
                 w, completion = _fast_completion_branch_terminal(
-                    self.fg, state, self.ordered, self.bridges, self.meter
+                    self.fg,
+                    state,
+                    self.ordered,
+                    self.bridges,
+                    self.meter,
+                    completion_fn=self._completion_fn,
                 )
             else:
                 w, completion = _completion_branch_terminal(

@@ -102,8 +102,13 @@ class CompiledQuery(NamedTuple):
     kernel: Any
 
     def instance(self, backend: str) -> Any:
-        """The enumeration substrate for ``backend``."""
-        return self.kernel if backend == "fast" else self.graph
+        """The enumeration substrate for ``backend``.
+
+        The shared :class:`FastGraph` kernel also serves the vector
+        backend: the kind machines promote it with
+        ``VecGraph.from_kernel`` (a flat-array copy, no relabeling).
+        """
+        return self.kernel if backend in ("fast", "vector") else self.graph
 
 
 class CompiledDirectedQuery(NamedTuple):

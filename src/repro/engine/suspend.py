@@ -155,7 +155,7 @@ class JobSearch:
                 instance, self._source, self._target, meter=meter, backend=backend
             )
         elif kind == "st-path":
-            if backend == "fast":
+            if backend in ("fast", "vector"):
                 from repro.paths.fastpaths import fast_st_path_search
 
                 self._machine = fast_st_path_search(
@@ -215,10 +215,12 @@ class JobSearch:
         elif job.kind == "st-path":
             self._source = self._query_vertex(index_of, job.source)
             self._target = self._query_vertex(index_of, job.target)
-            if job.backend == "fast":
+            if job.backend in ("fast", "vector"):
                 from repro.core.backend import compile_undirected
 
-                self._substrate, _idx = compile_undirected(instance)
+                self._substrate, _idx = compile_undirected(
+                    instance, vec=job.backend == "vector"
+                )
             else:
                 self._substrate = instance
 
@@ -372,7 +374,7 @@ class JobSearch:
                 search._instance, inner, meter
             )
         elif kind == "st-path":
-            if job.backend == "fast":
+            if job.backend in ("fast", "vector"):
                 from repro.paths.fastpaths import FastPathSearch
 
                 search._machine = FastPathSearch.restore(

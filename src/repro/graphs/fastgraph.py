@@ -1806,31 +1806,83 @@ def fast_minimal_steiner_completion(
 # backend selection helpers (re-exported by repro.core.backend)
 # ----------------------------------------------------------------------
 #: Recognized enumeration backends.
-BACKENDS: Tuple[str, ...] = ("object", "fast")
+BACKENDS: Tuple[str, ...] = ("object", "fast", "vector")
 
 
-def check_backend(backend: str, kind: Optional[str] = None) -> str:
+def check_backend(
+    backend: str,
+    kind: Optional[str] = None,
+    supported: Optional[Tuple[str, ...]] = None,
+) -> str:
     """Validate a backend name; returns it for chaining.
 
     Raises :class:`~repro.exceptions.UnsupportedBackendError` — the
     uniform rejection every ``backend=`` entry point shares — naming
-    the enumerator ``kind`` when the caller supplies one.
+    the enumerator ``kind`` when the caller supplies one.  For
+    ``"vector"`` two extra gates apply: numpy must be importable, and
+    when ``kind`` is a registry kind its :class:`KindSpec` must claim
+    the backend.  Kinds outside the registry narrow the accepted set
+    explicitly via ``supported`` (e.g. the scalar-only ZDD / FK /
+    group-Steiner entry points pass ``("object", "fast")``).
     """
     if backend not in BACKENDS:
         from repro.exceptions import UnsupportedBackendError
 
         raise UnsupportedBackendError(backend, BACKENDS, kind=kind)
+    if supported is not None and backend not in supported:
+        from repro.exceptions import UnsupportedBackendError
+
+        raise UnsupportedBackendError(backend, supported, kind=kind)
+    if backend == "vector":
+        from repro.exceptions import UnsupportedBackendError
+        from repro.graphs.vecgraph import vec_available
+
+        if not vec_available():
+            raise UnsupportedBackendError(
+                backend,
+                ("object", "fast"),
+                kind=kind,
+                reason="numpy is not installed",
+            )
+        if kind is not None:
+            from repro.core.capabilities import KIND_REGISTRY
+
+            spec = KIND_REGISTRY.get(kind)
+            if spec is not None and "vector" not in spec.backends:
+                raise UnsupportedBackendError(backend, spec.backends, kind=kind)
     return backend
 
 
-def compile_undirected(graph) -> Tuple["FastGraph", Optional[Dict[object, int]]]:
+def compile_undirected(
+    graph, vec: bool = False
+) -> Tuple["FastGraph", Optional[Dict[object, int]]]:
     """Compile an undirected instance into a kernel.
 
     Returns ``(kernel, index)`` where ``index`` maps original vertex
     labels to kernel ids, or ``None`` when the instance was already
     integer-compact (ids coincide) or already a kernel.  Edge ids are
-    preserved either way.
+    preserved either way.  With ``vec=True`` the result is a
+    :class:`repro.graphs.vecgraph.VecGraph` (an already-compiled fast
+    kernel is promoted by copy; a vector kernel passes through).
     """
+    if vec:
+        from repro.graphs.vecgraph import VecGraph
+
+        if isinstance(graph, VecGraph):
+            return graph, None
+        if isinstance(graph, FastGraph):
+            return VecGraph.from_kernel(graph), None
+        if is_integer_compact(graph):
+            return VecGraph.from_graph(graph), None
+        index_v: Dict[object, int] = {}
+        vg = VecGraph()
+        for v in graph.vertices():
+            i = len(index_v)
+            index_v[v] = i
+            vg.add_vertex(i)
+        for edge in graph.edges():
+            vg.add_edge(index_v[edge.u], index_v[edge.v], eid=edge.eid)
+        return vg, index_v
     if isinstance(graph, FastGraph):
         return graph, None
     if is_integer_compact(graph):

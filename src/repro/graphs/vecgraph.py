@@ -1,0 +1,331 @@
+"""numpy-backed vector kernel (the ``vector`` backend's substrate).
+
+:class:`VecGraph` subclasses :class:`repro.graphs.fastgraph.FastGraph`
+and therefore inherits the whole kernel contract unchanged — the Graph
+protocol, undo-logged :meth:`~FastGraph.checkpoint` /
+:meth:`~FastGraph.rollback`, contraction, and the flat-array weight
+storage.  What it adds is a version-cached **CSR snapshot** of the live
+adjacency in numpy ``int32`` arrays (:meth:`VecGraph.csr`): enumeration
+never mutates the kernel (search state lives in overlays, see
+:mod:`repro.paths.fastpaths`), so one snapshot per compile serves the
+whole run, and the reachability sweeps in :mod:`repro.paths.vecpaths`
+expand whole frontiers with batched numpy gathers instead of per-edge
+python loops.
+
+The completion helpers here exploit a second consequence of the kernel
+being static during enumeration: the greedy spanning scan of
+:func:`repro.graphs.fastgraph.fast_spanning_forest` can be restricted to
+the **base forest** (the greedy forest with an empty required set,
+computed once per kernel version).  *Forcing lemma:* with distinct
+position weights, any edge the forced greedy selects outside the
+required set lies in the base forest — if ``e`` is not in the base
+forest, every edge of the base-forest path joining its endpoints
+precedes ``e`` in the scan order, and each of those edges leaves the
+forced run connected exactly where it left the free run connected, so
+``e``'s endpoints are already joined when ``e`` is scanned.  Hence
+scanning ``required + base forest`` (in the same global order) yields
+the identical chosen set and the identical component partition, at
+``O(n)`` per call instead of ``O(m)``.
+
+numpy is an **optional dependency**: this module imports with numpy
+absent (:func:`vec_available` reports it), and the backend entry points
+reject ``backend="vector"`` with
+:class:`~repro.exceptions.UnsupportedBackendError` before any code here
+needs an array.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.graphs.fastgraph import FastGraph, fast_prune_non_terminal_leaves
+
+try:  # pragma: no cover - exercised by the no-numpy CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def vec_available() -> bool:
+    """True when numpy is importable (the vector backend's precondition)."""
+    return _np is not None
+
+
+class CsrView:
+    """Immutable CSR snapshot of one kernel version.
+
+    Row ``v`` holds the live incidence of vertex ``v`` in the kernel's
+    per-vertex order (identical to ``FastGraph.incidence_pairs()``):
+
+    * ``heads[k]`` — the other endpoint,
+    * ``eids[k]`` — the edge id,
+    * ``aids[k]`` — the auxiliary arc id *leaving* ``v`` through that
+      edge, ``(eid << 1) | (eu[eid] != v)``; the opposite direction is
+      ``aids[k] ^ 1``.
+
+    ``indptr`` has ``n_space + 1`` entries; all arrays are read-only to
+    numpy (the snapshot is discarded, never patched, when the kernel
+    version moves).
+    """
+
+    __slots__ = (
+        "version",
+        "n_space",
+        "m_space",
+        "indptr",
+        "heads",
+        "eids",
+        "aids",
+        "_rows",
+    )
+
+    def __init__(self, fg: FastGraph) -> None:
+        np = _np
+        self.version = fg.version
+        self.n_space = n = fg.n_space
+        self.m_space = fg.m_space
+        eu = fg._eu
+        esum = fg._esum
+        inc = fg._inc
+        indptr: List[int] = [0] * (n + 1)
+        heads: List[int] = []
+        eids: List[int] = []
+        aids: List[int] = []
+        total = 0
+        for v in range(n):
+            for eid in inc[v]:
+                heads.append(esum[eid] - v)
+                eids.append(eid)
+                aids.append((eid << 1) | (eu[eid] != v))
+            total += len(inc[v])
+            indptr[v + 1] = total
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.heads = np.asarray(heads, dtype=np.int32)
+        self.eids = np.asarray(eids, dtype=np.int32)
+        self.aids = np.asarray(aids, dtype=np.int32)
+        for arr in (self.indptr, self.heads, self.eids, self.aids):
+            arr.setflags(write=False)
+        self._rows = None
+
+    def bit_rows(self):
+        """Python-domain row data, built once per snapshot.
+
+        Returns ``(indptr_l, heads_l, aids_l, adj0, deg)`` where
+        ``adj0[v]`` is the neighbour set of ``v`` as an int bit mask and
+        ``deg[v]`` its live degree.  The lists are shared by every
+        overlay built on this snapshot — callers that patch adjacency
+        rows in place must copy ``adj0`` first (the path overlays do).
+        """
+        rows = self._rows
+        if rows is None:
+            indptr_l = self.indptr.tolist()
+            heads_l = self.heads.tolist()
+            aids_l = self.aids.tolist()
+            n = self.n_space
+            adj0: List[int] = [0] * n
+            deg: List[int] = [0] * n
+            for v in range(n):
+                lo = indptr_l[v]
+                hi = indptr_l[v + 1]
+                acc = 0
+                for k in range(lo, hi):
+                    acc |= 1 << heads_l[k]
+                adj0[v] = acc
+                deg[v] = hi - lo
+            rows = self._rows = (indptr_l, heads_l, aids_l, adj0, deg)
+        return rows
+
+
+class VecGraph(FastGraph):
+    """A :class:`FastGraph` with a version-cached numpy CSR snapshot.
+
+    Behaviourally identical to its base class — every mutator,
+    checkpoint and query is inherited — so any code written against the
+    fast kernel runs unchanged on a vector kernel.  The snapshot is
+    rebuilt lazily on first :meth:`csr` access after a version bump,
+    which in practice means once per compile: the enumerators keep the
+    kernel static and track search state in overlays.
+    """
+
+    __slots__ = ("_csr", "_base_forest", "_base_forest_version")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._csr = None
+        self._base_forest = None
+        self._base_forest_version = -1
+
+    @classmethod
+    def from_kernel(cls, fg: FastGraph) -> "VecGraph":
+        """Promote a compiled kernel (ids, orders and weights copied).
+
+        Like :meth:`FastGraph.copy`, the undo log is not carried over;
+        the promotion is a fresh kernel that happens to share every id.
+        """
+        vg = cls()
+        vg.n_space = fg.n_space
+        vg.m_space = fg.m_space
+        vg._eu = list(fg._eu)
+        vg._ev = list(fg._ev)
+        vg._esum = list(fg._esum)
+        vg._inc = [list(lst) for lst in fg._inc]
+        vg._posu = list(fg._posu)
+        vg._posv = list(fg._posv)
+        vg._wf = list(fg._wf)
+        vg._wi = list(fg._wi)
+        vg._vertex_alive = bytearray(fg._vertex_alive)
+        vg._edge_alive = bytearray(fg._edge_alive)
+        vg._vorder = dict(fg._vorder)
+        vg._eorder = dict(fg._eorder)
+        vg._n_alive = fg._n_alive
+        vg._m_alive = fg._m_alive
+        return vg
+
+    def copy(self) -> "VecGraph":
+        """Independent copy that stays a vector kernel."""
+        return type(self).from_kernel(self)
+
+    def csr(self) -> CsrView:
+        """The CSR snapshot for the current kernel version."""
+        if _np is None:  # pragma: no cover - entry points reject earlier
+            from repro.exceptions import UnsupportedBackendError
+
+            raise UnsupportedBackendError(
+                "vector", ("object", "fast"), reason="numpy is not installed"
+            )
+        csr = self._csr
+        if csr is None or csr.version != self.version:
+            csr = self._csr = CsrView(self)
+        return csr
+
+    def base_forest(self) -> List[int]:
+        """Eids of the greedy spanning forest (no required set), in scan
+        order.  Cached per kernel version; see the module docstring's
+        forcing lemma for how the completion helpers use it."""
+        if self._base_forest is None or self._base_forest_version != self.version:
+            parent = list(range(self.n_space))
+            chosen: List[int] = []
+            eu, ev = self._eu, self._ev
+            alive = self._edge_alive
+            for eid in self._eorder:
+                if not alive[eid]:
+                    continue
+                ru = eu[eid]
+                while parent[ru] != ru:
+                    parent[ru] = parent[parent[ru]]
+                    ru = parent[ru]
+                rv = ev[eid]
+                while parent[rv] != rv:
+                    parent[rv] = parent[parent[rv]]
+                    rv = parent[rv]
+                if ru != rv:
+                    parent[ru] = rv
+                    chosen.append(eid)
+            self._base_forest = chosen
+            self._base_forest_version = self.version
+        return self._base_forest
+
+
+def vec_spanning_forest(
+    vg: VecGraph, required: Iterable[int] = (), meter=None
+) -> Tuple[Set[int], List[int]]:
+    """:func:`repro.graphs.fastgraph.fast_spanning_forest`, restricted
+    to ``required + base forest`` by the forcing lemma.
+
+    Same chosen set and same component partition, ``O(n)`` union-finds
+    per call instead of ``O(m)``.  Meter ticks count the edges actually
+    scanned (the vector backend's op totals are approximate relative to
+    the fast backend's, exactly as fast's are relative to object's).
+    """
+    from repro.exceptions import NotATreeError
+
+    parent = list(range(vg.n_space))
+    chosen: Set[int] = set()
+    eu, ev = vg._eu, vg._ev
+    for eid in required:
+        ru = eu[eid]
+        while parent[ru] != ru:
+            parent[ru] = parent[parent[ru]]
+            ru = parent[ru]
+        rv = ev[eid]
+        while parent[rv] != rv:
+            parent[rv] = parent[parent[rv]]
+            rv = parent[rv]
+        if ru == rv:
+            raise NotATreeError("required edge set contains a cycle")
+        parent[ru] = rv
+        chosen.add(eid)
+    ops = 0
+    for eid in vg.base_forest():
+        ops += 1
+        if eid in chosen:
+            continue
+        ru = eu[eid]
+        while parent[ru] != ru:
+            parent[ru] = parent[parent[ru]]
+            ru = parent[ru]
+        rv = ev[eid]
+        while parent[rv] != rv:
+            parent[rv] = parent[parent[rv]]
+            rv = parent[rv]
+        if ru != rv:
+            parent[ru] = rv
+            chosen.add(eid)
+    if meter is not None and ops:
+        meter.tick(ops)
+    return chosen, parent
+
+
+def vec_spanning_tree_edges(
+    vg: VecGraph, required: Iterable[int] = (), meter=None
+) -> Set[int]:
+    """Edge-set half of :func:`vec_spanning_forest`."""
+    return vec_spanning_forest(vg, required=required, meter=meter)[0]
+
+
+def vec_minimal_steiner_completion(
+    vg: VecGraph,
+    terminals: Sequence[int],
+    partial_eids: Iterable[int] = (),
+    meter=None,
+) -> Set[int]:
+    """:func:`repro.graphs.fastgraph.fast_minimal_steiner_completion`
+    on the base-forest-restricted spanning scan.
+
+    Output set identical to the fast helper's (and hence the object
+    backend's): the spanning forest, the connectivity verdict and the
+    component partition all coincide, and the prune fixed point is
+    unique.
+    """
+    from repro.exceptions import NoSolutionError
+
+    terminals = list(terminals)
+    if not terminals:
+        return set()
+    tree, parent = vec_spanning_forest(vg, required=partial_eids, meter=meter)
+    root = terminals[0]
+    if root not in vg:
+        if all(w == root for w in terminals):
+            return set()
+        raise NoSolutionError("terminals are not connected in the graph")
+    rr = root
+    while parent[rr] != rr:
+        parent[rr] = parent[parent[rr]]
+        rr = parent[rr]
+    for w in terminals:
+        rw = w
+        while parent[rw] != rw:
+            parent[rw] = parent[parent[rw]]
+            rw = parent[rw]
+        if rw != rr:
+            raise NoSolutionError("terminals are not connected in the graph")
+    eu = vg._eu
+    restricted = set()
+    for eid in tree:
+        ru = eu[eid]
+        while parent[ru] != ru:
+            parent[ru] = parent[parent[ru]]
+            ru = parent[ru]
+        if ru == rr:
+            restricted.add(eid)
+    return fast_prune_non_terminal_leaves(vg, restricted, terminals, meter=meter)

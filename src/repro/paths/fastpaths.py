@@ -83,6 +83,7 @@ class _Ctx:
     parc: List[int]
     excl: List[int]
     blk_list: List[int]
+    vec: Optional[object]
 
     __slots__ = (
         "n2",
@@ -111,6 +112,7 @@ class _Ctx:
         "parc",
         "excl",
         "blk_list",
+        "vec",
     )
 
 
@@ -150,6 +152,14 @@ def _und_ctx(
     if scratch is None or len(scratch[0]) < ctx.n2:
         scratch = fg._scratch = ([0] * ctx.n2, [0] * ctx.n2, [0] * ctx.n2, [0])
     ctx.vis, ctx.pvert, ctx.parc, ctx.vbox = scratch
+    # A VecGraph kernel switches the machine to the numpy subroutines
+    # (duck-typed on the CSR accessor so this module never needs numpy).
+    if hasattr(fg, "csr"):
+        from repro.paths.vecpaths import make_vec_view
+
+        ctx.vec = make_vec_view(fg, ctx)
+    else:
+        ctx.vec = None
     return ctx
 
 
@@ -184,6 +194,7 @@ def _dir_ctx(
     if scratch is None or len(scratch[0]) < ctx.n2:
         scratch = fd._scratch = ([0] * ctx.n2, [0] * ctx.n2, [0] * ctx.n2, [0])
     ctx.vis, ctx.pvert, ctx.parc, ctx.vbox = scratch
+    ctx.vec = None  # the vector backend covers undirected kinds only
     return ctx
 
 
@@ -1090,11 +1101,23 @@ class FastPathSearch:
             self._find_path = _find_path_dir
             self._extendible = _extendible_dir
         elif ctx.src_list or ctx.tgt_list:
-            self._find_path = _find_path_und
-            self._extendible = _extendible_und
+            if ctx.vec is not None:
+                from repro.paths import vecpaths
+
+                self._find_path = vecpaths._find_path_und_vec
+                self._extendible = vecpaths._extendible_und_vec
+            else:
+                self._find_path = _find_path_und
+                self._extendible = _extendible_und
         else:
-            self._find_path = _find_path_und_plain
-            self._extendible = _extendible_und_plain
+            if ctx.vec is not None:
+                from repro.paths import vecpaths
+
+                self._find_path = vecpaths._find_path_und_plain_vec
+                self._extendible = vecpaths._extendible_und_plain_vec
+            else:
+                self._find_path = _find_path_und_plain
+                self._extendible = _extendible_und_plain
         self.prefix_arcs: List[int] = []
         self.prefix_vertices: List[int] = []
         self.node_counter = 0

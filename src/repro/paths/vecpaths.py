@@ -1,0 +1,779 @@
+"""Vector-backend Read–Tarjan subroutines (numpy batched sweeps).
+
+Drop-in counterparts of the undirected F-STP / Lemma 11 helpers in
+:mod:`repro.paths.fastpaths`, selected by
+:class:`~repro.paths.fastpaths.FastPathSearch` when the compiled kernel
+is a :class:`repro.graphs.vecgraph.VecGraph`.  Two things change, both
+inside the latitude the equivalence contract explicitly grants:
+
+* **Batched backward sweeps.**  Reachability is membership-only in
+  every backend ("their internal traversal order is free", see the
+  fastpaths module docstring), so the backward pass expands whole BFS
+  frontiers at once: per-vertex adjacency *bit masks* (built from the
+  kernel's CSR snapshot) are OR-combined 64 vertices per machine word,
+  and the resulting reach set crosses back into the scalar consumers'
+  ``bytearray`` encoding through one ``numpy.unpackbits`` call.  The
+  reach *set* is identical; only the order vertices were discovered in
+  differs, and nothing observes that order.
+
+* **Early-exit forward DFS.**  F-STP's forward DFS writes each
+  vertex's parent pointers at most once (first-write-wins under the
+  generation guard), so the path reconstructed from ``target`` is fixed
+  the moment ``target`` is first *discovered*.  The scalar loop keeps
+  draining the stack until ``target`` is popped; these variants stop at
+  the discovering write.  Chosen arcs, parent chains and hence the
+  emitted stream are bit-for-bit unchanged — only wasted expansion
+  after the decisive write is skipped.
+
+The Lemma 11 decremental roll (j from k-2 down to 2) stays scalar: its
+frontiers are tiny and data-dependent, exactly the regime where python
+loops beat array dispatch.  Likewise meter totals remain approximate
+across backends (batch ticks), as documented for the fast backend.
+
+This module imports with numpy absent; the backend entry points reject
+``backend="vector"`` before any helper here runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised by the no-numpy CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+_SRC = 1  # status bit: vertex is in S (arcs into it dropped)
+_TGT = 2  # status bit: vertex is in T (arcs out of it dropped)
+
+
+class _VecView:
+    """Per-enumeration vector state: adjacency bit masks + seed masks.
+
+    ``adj[v]`` is the neighbour set of vertex ``v`` as a python int bit
+    mask (bit ``w`` set iff some live edge joins ``v`` and ``w``), built
+    once per compile from the kernel's CSR snapshot.  ``tmpl`` /
+    ``tmpl_plain`` are the static part of the reach seeding (targets
+    and excluded vertices, fixed for the context's lifetime);
+    ``banned`` / ``banned_plain`` are the same vertices as bit masks,
+    restricted to real vertices.  Dynamic seeds (the *mutable* blocked
+    list, prefix, source, target) are added per sweep.
+    """
+
+    __slots__ = (
+        "adj",
+        "deg",
+        "indptr_l",
+        "heads_l",
+        "aids_l",
+        "expand_mask",
+        "src_bits",
+        "banned",
+        "banned_plain",
+        "tgt2_bits",
+        "tmpl",
+        "tmpl_plain",
+    )
+
+
+def make_vec_view(fg, ctx) -> Optional[_VecView]:
+    """Build the vector overlay for one undirected enumeration context.
+
+    Returns ``None`` when numpy is unavailable (the caller then keeps
+    the scalar subroutines).
+    """
+    if _np is None:  # pragma: no cover - entry points reject earlier
+        return None
+    csr = fg.csr()
+    vv = _VecView()
+    n = csr.n_space
+    indptr_l, heads_l, aids_l, adj0, deg = csr.bit_rows()
+    vv.indptr_l = indptr_l
+    vv.heads_l = heads_l
+    vv.aids_l = aids_l
+    # Private copy: the sweeps patch adjacency rows in place (restored
+    # under ``finally``), and one snapshot can back overlays on several
+    # threads at once.
+    vv.adj = list(adj0)
+    vv.deg = deg
+    full = (1 << n) - 1
+    src_bits = 0
+    for v in ctx.src_list:
+        if v < n:
+            src_bits |= 1 << v
+    vv.expand_mask = full & ~src_bits
+    vv.src_bits = src_bits
+    tmpl = _np.zeros(ctx.n2, dtype=_np.uint8)
+    banned = 0
+    for w in ctx.tgt_list:
+        tmpl[w] = 2
+        if w < n:
+            banned |= 1 << w
+    for v in ctx.excl:
+        tmpl[v] = 3
+        if v < n:
+            banned |= 1 << v
+    tgt2 = 0
+    for w in ctx.tgt_list:
+        if w < n and tmpl[w] == 2:
+            tgt2 |= 1 << w
+    tmpl_plain = _np.zeros(ctx.n2, dtype=_np.uint8)
+    banned_plain = 0
+    for v in ctx.excl:
+        tmpl_plain[v] = 3
+        if v < n:
+            banned_plain |= 1 << v
+    vv.tmpl = tmpl
+    vv.tmpl_plain = tmpl_plain
+    vv.banned = banned
+    vv.banned_plain = banned_plain
+    vv.tgt2_bits = tgt2
+    return vv
+
+
+def _bitsweep(
+    vv, frontier: int, visited: int, expand: int, metered: bool
+) -> Tuple[int, int]:
+    """Flood backward from ``frontier`` (bit-parallel frontiers).
+
+    ``visited`` holds every vertex already assigned a nonzero reach
+    value (the seeds), so ``& ~visited`` is the single admission test,
+    exactly as ``reach[x] == 0`` is in the scalar sweeps.  ``expand``
+    masks which vertices propagate (S-vertices absorb in role mode).
+    Each frontier is expanded by OR-combining per-vertex adjacency
+    masks — 64 vertices per word operation.  Returns ``(ones, ops)``:
+    the newly reached vertex set and the meter op count.
+    """
+    adj = vv.adj
+    deg = vv.deg
+    ones = 0
+    ops = 0
+    while True:
+        m = frontier & expand
+        if not m:
+            break
+        acc = 0
+        if metered:
+            while m:
+                b = m & -m
+                v = b.bit_length() - 1
+                ops += deg[v]
+                acc |= adj[v]
+                m ^= b
+        else:
+            while m:
+                b = m & -m
+                acc |= adj[b.bit_length() - 1]
+                m ^= b
+        frontier = acc & ~visited
+        if not frontier:
+            break
+        visited |= frontier
+        ones |= frontier
+    return ones, ops
+
+
+def _row_without_arc(vv, ctx, excluded: int) -> Tuple[int, int]:
+    """``(vertex, mask)`` patch for a sweep that must not traverse the
+    edge of arc ``excluded`` toward its tail.
+
+    The scalar sweeps skip discovering ``x`` from ``y`` through edge
+    ``e`` exactly when the arc leaving ``x`` through ``e`` equals
+    ``excluded`` — so the one adjacency row to patch is the row of
+    ``excluded``'s *head* (where the opposite arc ``excluded ^ 1``
+    lives), rebuilt without that single incidence entry.  Parallel
+    edges keep their own entries, so multi-edges stay traversable.
+    """
+    ex_flip = excluded ^ 1
+    e = excluded >> 1
+    yh = ctx.eu[e] if not (ex_flip & 1) else ctx.esum[e] - ctx.eu[e]
+    aids_l = vv.aids_l
+    heads_l = vv.heads_l
+    acc = 0
+    for k in range(vv.indptr_l[yh], vv.indptr_l[yh + 1]):
+        if aids_l[k] != ex_flip:
+            acc |= 1 << heads_l[k]
+    return yh, acc
+
+
+def _row_minus_own_arc(vv, xt: int, arc: int) -> int:
+    """Row of ``xt`` rebuilt without the entry of arc ``arc`` itself.
+
+    The Lemma 11 roll's *center* test skips the arc leaving the scanned
+    vertex when it equals the excluded arc — the complementary patch to
+    :func:`_row_without_arc` (which drops the opposite incidence).
+    Parallel edges keep their own entries.
+    """
+    aids_l = vv.aids_l
+    heads_l = vv.heads_l
+    acc = 0
+    for k in range(vv.indptr_l[xt], vv.indptr_l[xt + 1]):
+        if aids_l[k] != arc:
+            acc |= 1 << heads_l[k]
+    return acc
+
+
+def _final_reach(tmpl, ones: int, n: int) -> bytearray:
+    """Template + swept vertex set, as the scalar consumers' bytearray.
+
+    ``ones`` only ever covers vertices whose template value is 0 (every
+    nonzero seed is in the sweep's visited mask), so a bitwise OR with
+    the unpacked 0/1 vector reproduces the scalar values; the dynamic
+    seeds (blocked, prefix, source, target) are then written by the
+    caller at bytearray speed, in the scalar seeding order.  ``tmpl``
+    itself is never mutated.
+    """
+    if not ones:
+        return bytearray(tmpl.tobytes())
+    nb = (n + 7) >> 3
+    bits = _np.unpackbits(
+        _np.frombuffer(ones.to_bytes(nb, "little"), dtype=_np.uint8),
+        bitorder="little",
+        count=n,
+    )
+    out = tmpl.copy()
+    out[:n] |= bits
+    return bytearray(out.tobytes())
+
+
+def _backward_und_vec(ctx, source: int, target: int) -> bytearray:
+    """Vectorized :func:`~repro.paths.fastpaths._backward_und`.
+
+    Same reach set (membership-only), returned as the same bytearray
+    shape so the scalar consumers (F-STP scans, frame caches, the
+    Lemma 11 roll) index it at bytearray speed.
+    """
+    vv = ctx.vec
+    n = len(vv.adj)
+    blk = ctx.blk_list
+    blk_bits = 0
+    for v in blk:
+        if v < n:
+            blk_bits |= 1 << v
+    visited = vv.banned | blk_bits
+    ops = 0
+    frontier = 0
+    seeds = 0
+    if target >= ctx.s_star:
+        if target == ctx.t_star:
+            ops += len(ctx.tgt_list)
+            seeds = vv.tgt2_bits & ~blk_bits
+            if source < n:
+                seeds &= ~(1 << source)
+            frontier = seeds
+    else:
+        frontier = 1 << target
+        visited |= frontier
+    if source < n:
+        visited |= 1 << source
+    ones, sweep_ops = _bitsweep(
+        vv, frontier, visited, vv.expand_mask, ctx.meter is not None
+    )
+    ops += sweep_ops
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    out = _final_reach(vv.tmpl, ones, n)
+    for v in blk:
+        out[v] = 3
+    out[target] = 1
+    out[source] = 3
+    s = seeds
+    while s:
+        b = s & -s
+        out[b.bit_length() - 1] = 1
+        s ^= b
+    return out
+
+
+def _backward_und_plain_vec(ctx, source: int, target: int) -> bytearray:
+    """Vectorized :func:`~repro.paths.fastpaths._backward_und_plain`."""
+    vv = ctx.vec
+    n = len(vv.adj)
+    blk = ctx.blk_list
+    blk_bits = 0
+    for v in blk:
+        if v < n:
+            blk_bits |= 1 << v
+    frontier = 1 << target
+    visited = vv.banned_plain | blk_bits | (1 << source) | frontier
+    ones, ops = _bitsweep(
+        vv, frontier, visited, vv.expand_mask, ctx.meter is not None
+    )
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    out = _final_reach(vv.tmpl_plain, ones, n)
+    for v in blk:
+        out[v] = 3
+    out[source] = 3
+    out[target] = 1
+    return out
+
+
+def _find_path_und_vec(
+    ctx,
+    frame,
+    source: int,
+    target: int,
+    forbidden: Optional[int],
+    after_arc: Optional[int],
+) -> Optional[Tuple[List[int], List[int]]]:
+    """``F-STP`` (role mode) with a vectorized backward pass and an
+    early-exit forward DFS — decisions identical to
+    :func:`~repro.paths.fastpaths._find_path_und`."""
+    pairs = ctx.pairs
+    status = ctx.status
+    eu = ctx.eu
+    s_star = ctx.s_star
+    t_star = ctx.t_star
+    reach = frame.reach
+    if reach is None:
+        reach = frame.reach = _backward_und_vec(ctx, source, target)
+    ops = 0
+
+    started = after_arc is None
+    chosen = -1
+    chead = -1
+    if source == s_star:
+        aux_s = ctx.aux_s
+        for i, h in enumerate(ctx.src_list):
+            aid = aux_s + i
+            ops += 1
+            if not started:
+                if aid == after_arc:
+                    started = True
+                continue
+            if aid == forbidden:
+                continue
+            if reach[h] == 1:
+                chosen = aid
+                chead = h
+                break
+    elif status[source] & _TGT:
+        aid = ctx.aux_t + ctx.tindex[source]
+        ops += 1
+        if started and aid != forbidden and reach[t_star] == 1:
+            chosen = aid
+            chead = t_star
+    else:
+        for e, h in pairs[source]:
+            aid = (e << 1) | (eu[e] != source)
+            ops += 1
+            if not started:
+                if aid == after_arc:
+                    started = True
+                continue
+            if aid == forbidden or status[h] & _SRC:
+                continue
+            if reach[h] == 1:
+                chosen = aid
+                chead = h
+                break
+    if chosen < 0:
+        if ctx.meter is not None and ops:
+            ctx.meter.tick(ops)
+        return None
+    if chead == target:
+        if ctx.meter is not None and ops:
+            ctx.meter.tick(ops)
+        return ([chosen], [source, target])
+
+    vis = ctx.vis
+    vbox = ctx.vbox
+    vgen = vbox[0] + 1
+    vbox[0] = vgen
+    pvert = ctx.pvert
+    parc = ctx.parc
+    vis[chead] = vgen
+    stack = [chead]
+    push = stack.append
+    pop = stack.pop
+    aux_t = ctx.aux_t
+    tindex = ctx.tindex
+    hit = False
+    while stack:
+        v = pop()
+        if v == target:
+            break
+        if status[v] & _TGT:
+            ops += 1
+            if vis[t_star] != vgen and reach[t_star] == 1:
+                vis[t_star] = vgen
+                pvert[t_star] = v
+                parc[t_star] = aux_t + tindex[v]
+                if t_star == target:
+                    break
+                push(t_star)
+            continue
+        lst = pairs[v]
+        ops += len(lst)
+        for e, w in lst:
+            if vis[w] == vgen or reach[w] != 1 or status[w] & _SRC:
+                continue
+            vis[w] = vgen
+            pvert[w] = v
+            parc[w] = (e << 1) | (eu[e] != v)
+            if w == target:
+                hit = True
+                break
+            push(w)
+        if hit:
+            break
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    arcs: List[int] = []
+    vertices: List[int] = [target]
+    v = target
+    while v != chead:
+        arcs.append(parc[v])
+        v = pvert[v]
+        vertices.append(v)
+    arcs.append(chosen)
+    vertices.append(source)
+    arcs.reverse()
+    vertices.reverse()
+    return (arcs, vertices)
+
+
+def _find_path_und_plain_vec(
+    ctx,
+    frame,
+    source: int,
+    target: int,
+    forbidden: Optional[int],
+    after_arc: Optional[int],
+) -> Optional[Tuple[List[int], List[int]]]:
+    """``F-STP`` (plain mode) with a vectorized backward pass and an
+    early-exit forward DFS — decisions identical to
+    :func:`~repro.paths.fastpaths._find_path_und_plain`."""
+    pairs = ctx.pairs
+    eu = ctx.eu
+    reach = frame.reach
+    if reach is None:
+        reach = frame.reach = _backward_und_plain_vec(ctx, source, target)
+    ops = 0
+
+    started = after_arc is None
+    chosen = -1
+    chead = -1
+    for e, h in pairs[source]:
+        aid = (e << 1) | (eu[e] != source)
+        ops += 1
+        if not started:
+            if aid == after_arc:
+                started = True
+            continue
+        if aid == forbidden:
+            continue
+        if reach[h] == 1:
+            chosen = aid
+            chead = h
+            break
+    if chosen < 0:
+        if ctx.meter is not None and ops:
+            ctx.meter.tick(ops)
+        return None
+    if chead == target:
+        if ctx.meter is not None and ops:
+            ctx.meter.tick(ops)
+        return ([chosen], [source, target])
+
+    vis = ctx.vis
+    vbox = ctx.vbox
+    vgen = vbox[0] + 1
+    vbox[0] = vgen
+    pvert = ctx.pvert
+    parc = ctx.parc
+    vis[chead] = vgen
+    stack = [chead]
+    push = stack.append
+    pop = stack.pop
+    hit = False
+    if ctx.meter is None:
+        while stack:
+            v = pop()
+            if v == target:
+                break
+            for e, w in pairs[v]:
+                if vis[w] == vgen or reach[w] != 1:
+                    continue
+                vis[w] = vgen
+                pvert[w] = v
+                parc[w] = (e << 1) | (eu[e] != v)
+                if w == target:
+                    hit = True
+                    break
+                push(w)
+            if hit:
+                break
+    else:
+        while stack:
+            v = pop()
+            if v == target:
+                break
+            lst = pairs[v]
+            ops += len(lst)
+            for e, w in lst:
+                if vis[w] == vgen or reach[w] != 1:
+                    continue
+                vis[w] = vgen
+                pvert[w] = v
+                parc[w] = (e << 1) | (eu[e] != v)
+                if w == target:
+                    hit = True
+                    break
+                push(w)
+            if hit:
+                break
+        if ops:
+            ctx.meter.tick(ops)
+    arcs: List[int] = []
+    vertices: List[int] = [target]
+    v = target
+    while v != chead:
+        arcs.append(parc[v])
+        v = pvert[v]
+        vertices.append(v)
+    arcs.append(chosen)
+    vertices.append(source)
+    arcs.reverse()
+    vertices.reverse()
+    return (arcs, vertices)
+
+
+def _extendible_und_vec(
+    ctx, q_arcs: Sequence[int], q_vertices: Sequence[int], target: int
+) -> List[int]:
+    """Lemma 11 (role mode), entirely in the bit domain.
+
+    The full ``j = k-1`` pass and the decremental roll are both
+    membership-only computations, so the reach values never need to be
+    materialized as a bytearray here: ``ones``/``twos``/``threes``
+    masks track the scalar byte values 1/2/3, the two sentinel cells
+    live in ``s_val``/``t_val``, and each roll step's re-flood is a
+    :func:`_bitsweep`.  The returned extendible index list is identical
+    to :func:`~repro.paths.fastpaths._extendible_und`'s."""
+    k = len(q_vertices)
+    if k <= 2:
+        return []
+    eu = ctx.eu
+    esum = ctx.esum
+    s_star = ctx.s_star
+    t_star = ctx.t_star
+    aux_s = ctx.aux_s
+    aux_t = ctx.aux_t
+    vv = ctx.vec
+    adj = vv.adj
+    deg = vv.deg
+    n = len(adj)
+    metered = ctx.meter is not None
+    expand = vv.expand_mask
+    src_bits = vv.src_bits
+    ops = 0
+
+    prefix = q_vertices[: k - 2]
+    blk_bits = 0
+    for v in ctx.blk_list:
+        if v < n:
+            blk_bits |= 1 << v
+    pfx_bits = 0
+    for v in prefix:
+        if v < n:
+            pfx_bits |= 1 << v
+    threes = (vv.banned & ~vv.tgt2_bits) | blk_bits | pfx_bits
+    base2 = vv.tgt2_bits & ~blk_bits & ~pfx_bits
+    ones = 0
+    frontier = 0
+    t_val = 0
+    s_val = 0
+    excluded = q_arcs[k - 2]
+    if target >= s_star:
+        if target == t_star:
+            t_val = 1
+            ops += len(ctx.tgt_list)
+            seeds = base2
+            if excluded >= aux_t:
+                w_skip = ctx.tgt_list[excluded - aux_t]
+                if w_skip < n:
+                    seeds &= ~(1 << w_skip)
+            frontier = seeds
+            ones = seeds
+            base2 &= ~seeds
+    else:
+        tb = 1 << target
+        if not tb & pfx_bits:
+            threes &= ~tb
+            base2 &= ~tb
+            ones |= tb
+        frontier = tb
+    twos = base2
+
+    if excluded < aux_s:
+        yh, patched = _row_without_arc(vv, ctx, excluded)
+        saved = adj[yh]
+        adj[yh] = patched
+        try:
+            swept, sweep_ops = _bitsweep(
+                vv, frontier, ones | twos | threes, expand, metered
+            )
+        finally:
+            adj[yh] = saved
+    else:
+        swept, sweep_ops = _bitsweep(
+            vv, frontier, ones | twos | threes, expand, metered
+        )
+    ops += sweep_ops
+    ones |= swept
+
+    ext: List[int] = []
+    if (ones >> q_vertices[k - 2]) & 1:
+        ext.append(k - 1)
+
+    # Decremental roll: one re-flood per j, all masks.
+    for j in range(k - 2, 1, -1):
+        vj = q_vertices[j - 1]
+        vb = 1 << vj
+        ones &= ~vb  # removed.discard(vj): reach[vj] = 0
+        threes &= ~vb
+        excluded = q_arcs[j - 1]
+        ex_e = excluded >> 1  # always a real arc (index >= 1, < k-2)
+        xt = eu[ex_e] if not excluded & 1 else esum[ex_e] - eu[ex_e]
+        row_vj = adj[vj]
+        if xt == vj:
+            row_vj = _row_minus_own_arc(vv, vj, excluded)
+        frontier = 0
+        if metered:
+            ops += deg[vj]
+        if row_vj & ones & ~src_bits:
+            frontier = vb
+            ones |= vb
+        pc = q_arcs[j]
+        ops += 1
+        if pc >= aux_t:
+            tail = ctx.tgt_list[pc - aux_t]
+            tb2 = 1 << tail
+            if t_val and not (ones | threes) & tb2:
+                frontier |= tb2
+                ones |= tb2
+                twos &= ~tb2
+        elif pc >= aux_s:
+            head = ctx.src_list[pc - aux_s]
+            if not s_val and (ones >> head) & 1:
+                s_val = 1  # s* absorbs: reach[s*] = 1, no expansion
+        else:
+            e2 = pc >> 1
+            tail = eu[e2] if not pc & 1 else esum[e2] - eu[e2]
+            head = esum[e2] - tail
+            tb2 = 1 << tail
+            if not (ones | threes) & tb2 and (ones >> head) & 1:
+                frontier |= tb2
+                ones |= tb2
+                twos &= ~tb2
+        if frontier:
+            yh, patched = _row_without_arc(vv, ctx, excluded)
+            saved = adj[yh]
+            adj[yh] = patched
+            try:
+                swept, sweep_ops = _bitsweep(
+                    vv, frontier, ones | twos | threes, expand, metered
+                )
+            finally:
+                adj[yh] = saved
+            ones |= swept
+            ops += sweep_ops
+        if (ones >> vj) & 1:
+            ext.append(j)
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    return ext
+
+
+def _extendible_und_plain_vec(
+    ctx, q_arcs: Sequence[int], q_vertices: Sequence[int], target: int
+) -> List[int]:
+    """Lemma 11 (plain mode): vectorized full pass, scalar roll —
+    mirrors :func:`~repro.paths.fastpaths._extendible_und_plain`."""
+    k = len(q_vertices)
+    if k <= 2:
+        return []
+    eu = ctx.eu
+    esum = ctx.esum
+    vv = ctx.vec
+    adj = vv.adj
+    deg = vv.deg
+    n = len(adj)
+    metered = ctx.meter is not None
+    expand = vv.expand_mask
+    ops = 0
+
+    prefix = q_vertices[: k - 2]
+    blk_bits = 0
+    for v in ctx.blk_list:
+        if v < n:
+            blk_bits |= 1 << v
+    pfx_bits = 0
+    for v in prefix:
+        pfx_bits |= 1 << v
+    excluded = q_arcs[k - 2]
+
+    tb = 1 << target
+    threes = (vv.banned_plain | blk_bits | pfx_bits) & ~tb
+    ones = tb
+    yh, patched = _row_without_arc(vv, ctx, excluded)
+    saved = adj[yh]
+    adj[yh] = patched
+    try:
+        swept, sweep_ops = _bitsweep(vv, tb, ones | threes, expand, metered)
+    finally:
+        adj[yh] = saved
+    ops += sweep_ops
+    ones |= swept
+
+    ext: List[int] = []
+    if (ones >> q_vertices[k - 2]) & 1:
+        ext.append(k - 1)
+
+    # Decremental roll: one re-flood per j, all masks (plain mode has
+    # no roles, sentinels, or 2-valued cells).
+    for j in range(k - 2, 1, -1):
+        vj = q_vertices[j - 1]
+        vb = 1 << vj
+        ones &= ~vb
+        threes &= ~vb
+        excluded = q_arcs[j - 1]
+        ex_e = excluded >> 1
+        xt = eu[ex_e] if not excluded & 1 else esum[ex_e] - eu[ex_e]
+        row_vj = adj[vj]
+        if xt == vj:
+            row_vj = _row_minus_own_arc(vv, vj, excluded)
+        frontier = 0
+        if metered:
+            ops += deg[vj]
+        if row_vj & ones:
+            frontier = vb
+            ones |= vb
+        pc = q_arcs[j]
+        ops += 1
+        e2 = pc >> 1
+        tail = eu[e2] if not pc & 1 else esum[e2] - eu[e2]
+        head = esum[e2] - tail
+        tb2 = 1 << tail
+        if not (ones | threes) & tb2 and (ones >> head) & 1:
+            frontier |= tb2
+            ones |= tb2
+        if frontier:
+            yh, patched = _row_without_arc(vv, ctx, excluded)
+            saved = adj[yh]
+            adj[yh] = patched
+            try:
+                swept, sweep_ops = _bitsweep(
+                    vv, frontier, ones | threes, expand, metered
+                )
+            finally:
+                adj[yh] = saved
+            ones |= swept
+            ops += sweep_ops
+        if (ones >> vj) & 1:
+            ext.append(j)
+    if ctx.meter is not None and ops:
+        ctx.meter.tick(ops)
+    return ext

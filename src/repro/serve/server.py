@@ -266,7 +266,15 @@ class EnumerationServer:
         """Bind the listening socket and spin up the worker pool."""
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._pool = WorkerPool(self.workers, mp_context=self.mp_context)
+        # A disk-backed store doubles as the home of the zero-copy
+        # instance arena: every worker — and every fleet replica sharing
+        # the store directory — maps one spool copy per dataset.
+        arena_dir = (
+            os.path.join(self.store.root, "arena") if self.store is not None else None
+        )
+        self._pool = WorkerPool(
+            self.workers, mp_context=self.mp_context, arena_dir=arena_dir
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers + 2, thread_name_prefix="repro-serve"
         )

@@ -104,6 +104,10 @@ def _stream_job(
         return True
 
     try:
+        if "arena" in spec:
+            from repro.serve import arena as _arena
+
+            spec = _arena.resolve_spec(spec)
         job = EnumerationJob.from_dict(spec)
         deadline_at = (
             (time.monotonic() + job.deadline) if job.deadline is not None else None
@@ -277,8 +281,9 @@ class WorkerDied(RuntimeError):
 class WorkerHandle:
     """One pooled worker process and its parent-side pipe end."""
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx, arena=None) -> None:
         self._ctx = ctx
+        self.arena = arena
         parent, child = ctx.Pipe(duplex=True)
         self.conn = parent
         self.process = ctx.Process(target=_worker_main, args=(child,), daemon=True)
@@ -297,9 +302,17 @@ class WorkerHandle:
         """Dispatch a streaming run to this worker.
 
         ``snapshot`` (suspendable kinds only) thaws the enumeration at
-        ``offset`` in O(state) instead of fast-forwarding.
+        ``offset`` in O(state) instead of fast-forwarding.  With an
+        arena attached, integer-compact instances travel as a spool-file
+        ref instead of an inline edge list — the worker maps the spool
+        read-only, so repeated streams of one dataset share a single
+        physical copy across every worker (and fleet replica) on the
+        machine.
         """
-        self.conn.send(("run", job.to_dict(), offset, chunk, snapshot))
+        spec = job.to_dict()
+        if self.arena is not None:
+            spec = self.arena.publish_spec(spec)
+        self.conn.send(("run", spec, offset, chunk, snapshot))
 
     def recv(self) -> Tuple[Any, ...]:
         """Receive the next protocol message (raises :class:`WorkerDied`)."""
@@ -362,13 +375,23 @@ class WorkerPool:
     mp_context:
         Multiprocessing start method (default: fork where available —
         workers inherit the warm interpreter).
+    arena_dir:
+        Optional spool directory for the zero-copy instance arena
+        (:mod:`repro.serve.arena`).  When set, integer-compact
+        instances are shipped to workers as mmap-backed spool refs
+        instead of inline edge lists.
 
     The pool is synchronous (``acquire`` blocks); the asyncio server
     wraps acquisition and the per-message ``recv`` in its executor.  A
     worker returned in a failed state is replaced transparently.
     """
 
-    def __init__(self, workers: int = 2, mp_context: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        mp_context: Optional[str] = None,
+        arena_dir: Optional[str] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if mp_context is None:
@@ -376,7 +399,14 @@ class WorkerPool:
             mp_context = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(mp_context)
         self.size = workers
-        self._idle: list = [WorkerHandle(self._ctx) for _ in range(workers)]
+        self.arena = None
+        if arena_dir is not None:
+            from repro.serve.arena import InstanceArena
+
+            self.arena = InstanceArena(arena_dir)
+        self._idle: list = [
+            WorkerHandle(self._ctx, arena=self.arena) for _ in range(workers)
+        ]
         self._all: list = list(self._idle)
         self._closed = False
 
@@ -400,7 +430,7 @@ class WorkerPool:
                 pass
             if handle in self._all:
                 self._all.remove(handle)
-            handle = WorkerHandle(self._ctx)
+            handle = WorkerHandle(self._ctx, arena=self.arena)
             self._all.append(handle)
         self._idle.append(handle)
 

@@ -428,6 +428,112 @@ def test_engine_limit_stops_identical_across_backends(dg, limit):
         assert tuple(stopped.lines) == full[: len(stopped.lines)]
 
 
+# ----------------------------------------------------------------------
+# the vector backend: three-way byte-identical streams
+# ----------------------------------------------------------------------
+from repro.graphs.vecgraph import vec_available
+
+_VEC = vec_available()
+
+
+def _streams_equal_vector(factory):
+    """Drain all three backends (capped) and assert identical order.
+
+    The vector leg is skipped when numpy is absent — the scalar pair
+    must still agree, which is what the no-numpy CI leg checks.
+    """
+    reference = list(islice(factory("object"), CAP))
+    assert list(islice(factory("fast"), CAP)) == reference
+    if _VEC:
+        assert list(islice(factory("vector"), CAP)) == reference
+    return reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(undirected_instances())
+def test_steiner_tree_vector_streams_identical(case):
+    graph, terminals = case
+    _streams_equal_vector(
+        lambda backend: enumerate_minimal_steiner_trees(
+            graph, terminals, backend=backend
+        )
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(undirected_instances())
+def test_terminal_steiner_vector_streams_identical(case):
+    graph, terminals = case
+    if len(terminals) < 2:
+        terminals = list(range(2))
+    _streams_equal_vector(
+        lambda backend: enumerate_minimal_terminal_steiner_trees(
+            graph, terminals, backend=backend
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(undirected_instances())
+def test_st_path_vector_streams_identical(case):
+    graph, sample = case
+    source, target = sample[0], sample[-1]
+    _streams_equal_vector(
+        lambda backend: enumerate_st_paths_undirected(
+            graph, source, target, backend=backend
+        )
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(undirected_instances())
+def test_set_path_vector_streams_identical(case):
+    graph, sample = case
+    if len(sample) < 2:
+        return
+    sources = frozenset(sample[:-1])
+    targets = (sample[-1],)
+    _streams_equal_vector(
+        lambda backend: enumerate_set_paths(graph, sources, targets, backend=backend)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(weighted_instances(), st.integers(min_value=1, max_value=8))
+def test_ranked_approx_vector_streams_identical(case, lookahead):
+    """RANKED ORDER holds on the vector backend too — weight floats are
+    bit-identical because accumulation order never changes."""
+    from repro.core.ranked import enumerate_approximately_by_weight
+
+    graph, terminals, weights = case
+    _streams_equal_vector(
+        lambda backend: enumerate_approximately_by_weight(
+            graph, terminals, weights, lookahead=lookahead, backend=backend
+        )
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(undirected_instances(), st.integers(min_value=0, max_value=20))
+def test_midstream_limit_stops_identical_vector(case, limit):
+    if not _VEC:
+        return
+    graph, terminals = case
+    reference = list(
+        islice(
+            enumerate_minimal_steiner_trees(graph, terminals, backend="object"),
+            limit,
+        )
+    )
+    candidate = list(
+        islice(
+            enumerate_minimal_steiner_trees(graph, terminals, backend="vector"),
+            limit,
+        )
+    )
+    assert reference == candidate
+
+
 @st.composite
 def mutation_scripts(draw):
     """An instance plus a random delete/contract script."""

@@ -25,6 +25,8 @@ from repro.core.capabilities import (
     JOB_KINDS,
     KIND_REGISTRY,
     RESULT_SHAPES,
+    SCALAR_BACKENDS,
+    VECTOR_KINDS,
     capability_matrix,
     kinds_where,
     require_backend,
@@ -97,10 +99,14 @@ def test_registry_shapes_are_legal():
 
 
 def test_matrix_is_closed_since_pr7():
-    # The tentpole claim: every kind runs on both backends and suspends.
+    # The PR 7 claim: every kind runs on both scalar backends and
+    # suspends.  The vector backend (PR 10) covers exactly VECTOR_KINDS.
     assert kinds_where(suspendable=True) == JOB_KINDS
     for kind in JOB_KINDS:
-        assert supported_backends(kind) == BACKEND_NAMES
+        assert set(SCALAR_BACKENDS) <= set(supported_backends(kind))
+        claims_vector = "vector" in supported_backends(kind)
+        assert claims_vector == (kind in VECTOR_KINDS)
+    assert VECTOR_KINDS == {"steiner-tree", "terminal-steiner", "st-path"}
 
 
 def test_capability_matrix_is_json_ready():
@@ -151,6 +157,26 @@ def test_fast_claim_differential_oracle(kind):
     assert run_job(_fixture_job(kind, "fast")).lines == reference
 
 
+@pytest.mark.parametrize("kind", sorted(JOB_KINDS))
+def test_vector_claim_differential_oracle(kind):
+    """A kind declaring the vector backend must stream byte-identically;
+    a kind that does not must reject it uniformly at validation time."""
+    from repro.graphs.vecgraph import vec_available
+
+    if "vector" not in spec(kind).backends:
+        with pytest.raises(UnsupportedBackendError):
+            require_backend(kind, "vector")
+        return
+    if not vec_available():
+        with pytest.raises(UnsupportedBackendError):
+            require_backend(kind, "vector")
+        pytest.skip("numpy unavailable")
+    assert require_backend(kind, "vector") == "vector"
+    reference = run_job(_fixture_job(kind, "object")).lines
+    assert reference, f"fixture for {kind} must produce solutions"
+    assert run_job(_fixture_job(kind, "vector")).lines == reference
+
+
 @pytest.mark.parametrize("backend", BACKEND_NAMES)
 @pytest.mark.parametrize("kind", sorted(JOB_KINDS))
 def test_suspendable_claim_interrupt_restore(kind, backend):
@@ -158,6 +184,13 @@ def test_suspendable_claim_interrupt_restore(kind, backend):
     kind_spec = spec(kind)
     if not kind_spec.suspendable:
         pytest.skip(f"{kind} does not claim suspendability")
+    if backend not in kind_spec.backends:
+        pytest.skip(f"{kind} does not claim the {backend} backend")
+    if backend == "vector":
+        from repro.graphs.vecgraph import vec_available
+
+        if not vec_available():
+            pytest.skip("numpy unavailable")
     job = _fixture_job(kind, backend)
     reference = [line for line, _s in JobSearch(job)]
     assert reference, f"fixture for {kind} must produce solutions"

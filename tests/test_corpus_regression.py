@@ -66,6 +66,39 @@ def test_ranked_streams_identical(case):
 
 
 @pytest.mark.parametrize("case", CORPUS, ids=IDS)
+def test_vector_streams_identical_and_count_pinned(case):
+    """The vector backend replays the adversarial corpus byte-for-byte:
+    bridges, parallel edges and weight ties are exactly the shapes the
+    bitset sweeps could get wrong silently."""
+    from repro.core.ranked import enumerate_approximately_by_weight
+    from repro.core.steiner_tree import enumerate_minimal_steiner_trees
+    from repro.graphs.vecgraph import vec_available
+
+    if not vec_available():
+        pytest.skip("numpy unavailable")
+    reference = list(
+        enumerate_minimal_steiner_trees(case.graph, case.terminals, backend="object")
+    )
+    candidate = list(
+        enumerate_minimal_steiner_trees(case.graph, case.terminals, backend="vector")
+    )
+    assert reference == candidate
+    assert len(reference) == case.expected_solutions
+    for lookahead in (1, 1000):
+        assert list(
+            enumerate_approximately_by_weight(
+                case.graph, case.terminals, case.weights,
+                lookahead=lookahead, backend="vector",
+            )
+        ) == list(
+            enumerate_approximately_by_weight(
+                case.graph, case.terminals, case.weights,
+                lookahead=lookahead, backend="object",
+            )
+        )
+
+
+@pytest.mark.parametrize("case", CORPUS, ids=IDS)
 def test_ranked_order_contract_holds(case):
     """With full lookahead the stream is exactly sorted by RANKED ORDER
     (weight, then canonical edge-id tuple) on both backends."""

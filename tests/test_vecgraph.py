@@ -1,0 +1,281 @@
+"""The vector kernel: stateful oracle, completion equivalence, gating.
+
+Three layers of coverage for :mod:`repro.graphs.vecgraph`:
+
+* a rule-based machine drives random mutate/checkpoint/rollback
+  interleavings against a :class:`FastGraph` **oracle** receiving the
+  same operations, and asserts after every rule that the
+  :class:`VecGraph` stays byte-identical to it (same iteration orders,
+  same incidence) *and* that its version-cached overlays — the CSR
+  snapshot, the shared bit rows, the base forest — always describe the
+  live kernel, never a stale version;
+* differential checks that the base-forest-restricted completion
+  helpers (``vec_spanning_forest`` / ``vec_minimal_steiner_completion``)
+  produce exactly the fast helpers' output (the forcing-lemma claim the
+  byte-identical backend contract rests on);
+* the numpy gate: with numpy absent the module still imports,
+  ``vec_available`` says so, and ``csr()`` raises
+  :class:`~repro.exceptions.UnsupportedBackendError` — not ImportError.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.exceptions import NoSolutionError, UnsupportedBackendError
+from repro.graphs.fastgraph import (
+    FastGraph,
+    fast_minimal_steiner_completion,
+    fast_spanning_forest,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.vecgraph import (
+    VecGraph,
+    vec_available,
+    vec_minimal_steiner_completion,
+    vec_spanning_forest,
+)
+
+needs_numpy = pytest.mark.skipif(not vec_available(), reason="numpy unavailable")
+
+VERTICES = st.integers(min_value=0, max_value=7)
+
+
+@needs_numpy
+class TestVecGraphMachineWrapper:
+    class VecGraphMachine(RuleBasedStateMachine):
+        def __init__(self):
+            super().__init__()
+            self.vg = VecGraph()
+            self.oracle = FastGraph()
+            self.marks = []
+
+        # -- mutations (mirrored on the oracle kernel) ------------------
+        @rule(v=VERTICES)
+        def add_vertex(self, v):
+            self.vg.add_vertex(v)
+            self.oracle.add_vertex(v)
+
+        @rule(u=VERTICES, v=VERTICES)
+        def add_edge(self, u, v):
+            if u == v:
+                return
+            assert self.vg.add_edge(u, v) == self.oracle.add_edge(u, v)
+
+        @precondition(lambda self: self.vg.num_edges > 0)
+        @rule(data=st.data())
+        def remove_edge(self, data):
+            eid = data.draw(st.sampled_from(sorted(self.vg.edge_ids())))
+            assert self.vg.remove_edge(eid) == self.oracle.remove_edge(eid)
+
+        @precondition(lambda self: self.vg.num_edges > 0)
+        @rule(data=st.data())
+        def contract_edge(self, data):
+            eid = data.draw(st.sampled_from(sorted(self.vg.edge_ids())))
+            assert self.vg.contract_edge(eid) == self.oracle.contract_edge(eid)
+
+        @rule()
+        def checkpoint(self):
+            self.marks.append((self.vg.checkpoint(), self.oracle.checkpoint()))
+
+        @precondition(lambda self: self.marks)
+        @rule(data=st.data())
+        def rollback(self, data):
+            depth = data.draw(
+                st.integers(min_value=0, max_value=len(self.marks) - 1)
+            )
+            vmark, omark = self.marks[depth]
+            del self.marks[depth:]
+            self.vg.rollback(vmark)
+            self.oracle.rollback(omark)
+
+        # -- touch the caches mid-run so staleness can actually occur ---
+        @rule()
+        def warm_caches(self):
+            if self.vg.num_vertices:
+                self.vg.csr()
+                self.vg.base_forest()
+
+        # -- invariants -------------------------------------------------
+        @invariant()
+        def kernel_matches_oracle(self):
+            vg, fg = self.vg, self.oracle
+            assert list(vg.vertices()) == list(fg.vertices())
+            assert list(vg.edge_ids()) == list(fg.edge_ids())
+            for v in vg.vertices():
+                assert list(vg.incident_ids(v)) == list(fg.incident_ids(v))
+
+        @invariant()
+        def csr_describes_live_kernel(self):
+            vg = self.vg
+            csr = vg.csr()
+            assert csr.version == vg.version
+            assert vg.csr() is csr  # stable while the version holds
+            indptr = csr.indptr.tolist()
+            heads = csr.heads.tolist()
+            eids = csr.eids.tolist()
+            aids = csr.aids.tolist()
+            for v in range(csr.n_space):
+                row = list(
+                    zip(
+                        heads[indptr[v] : indptr[v + 1]],
+                        eids[indptr[v] : indptr[v + 1]],
+                    )
+                )
+                expect = [
+                    (sum(vg.endpoints(e)) - v, e) for e in vg._inc[v]
+                ]
+                assert row == expect
+            for k, eid in enumerate(eids):
+                u, v = vg.endpoints(eid)
+                tail = u if aids[k] % 2 == 0 else v
+                # aids[k] leaves the row vertex through eid
+                assert aids[k] >> 1 == eid
+                assert tail in (u, v)
+
+        @invariant()
+        def bit_rows_describe_live_kernel(self):
+            vg = self.vg
+            csr = vg.csr()
+            rows = csr.bit_rows()
+            assert csr.bit_rows() is rows  # cached per snapshot
+            indptr_l, heads_l, aids_l, adj0, deg = rows
+            assert indptr_l == csr.indptr.tolist()
+            assert heads_l == csr.heads.tolist()
+            assert aids_l == csr.aids.tolist()
+            for v in range(csr.n_space):
+                mask = 0
+                for w in heads_l[indptr_l[v] : indptr_l[v + 1]]:
+                    mask |= 1 << w
+                assert adj0[v] == mask
+                assert deg[v] == indptr_l[v + 1] - indptr_l[v]
+
+        @invariant()
+        def base_forest_matches_fast_scan(self):
+            vg = self.vg
+            forest = vg.base_forest()
+            chosen, _parent = fast_spanning_forest(vg)
+            assert set(forest) == chosen
+            assert vg.base_forest() is forest  # cached per version
+
+        @invariant()
+        def spanning_forest_forcing_lemma(self):
+            vg = self.vg
+            vec_chosen, vec_parent = vec_spanning_forest(vg)
+            fast_chosen, fast_parent = fast_spanning_forest(vg)
+            assert vec_chosen == fast_chosen
+
+            def roots(parent):
+                def find(x):
+                    while parent[x] != x:
+                        parent[x] = parent[parent[x]]
+                        x = parent[x]
+                    return x
+
+                groups = {}
+                for v in vg.vertices():
+                    groups.setdefault(find(v), set()).add(v)
+                return sorted(frozenset(g) for g in groups.values())
+
+            assert roots(list(vec_parent)) == roots(list(fast_parent))
+
+    VecGraphMachine.TestCase.settings = settings(
+        max_examples=25, stateful_step_count=25, deadline=None
+    )
+    Test = VecGraphMachine.TestCase
+
+
+@st.composite
+def completion_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=9))
+    m = draw(st.integers(min_value=1, max_value=18))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.append((u, v))
+    k = draw(st.integers(min_value=1, max_value=min(4, n)))
+    terminals = draw(st.permutations(range(n)))[:k]
+    return n, edges, list(terminals)
+
+
+@needs_numpy
+@settings(max_examples=80, deadline=None)
+@given(completion_instances())
+def test_completion_identical_to_fast(case):
+    """vec_minimal_steiner_completion ≡ fast_minimal_steiner_completion
+    on the full instance and with a required partial tree."""
+    n, edges, terminals = case
+    graph = Graph.from_edges(edges, vertices=range(n))
+    fg = FastGraph.from_graph(graph)
+    vg = VecGraph.from_kernel(fg)
+
+    def run(fn, kernel, partial=()):
+        try:
+            return fn(kernel, terminals, partial_eids=partial)
+        except NoSolutionError:
+            return "no-solution"
+
+    assert run(vec_minimal_steiner_completion, vg) == run(
+        fast_minimal_steiner_completion, fg
+    )
+    # a partial tree: the base forest's first edges are always acyclic
+    partial = vg.base_forest()[:2]
+    assert run(vec_minimal_steiner_completion, vg, partial) == run(
+        fast_minimal_steiner_completion, fg, partial
+    )
+
+
+@needs_numpy
+def test_csr_snapshot_invalidated_by_mutation():
+    vg = VecGraph.from_kernel(FastGraph.from_edges([(0, 1), (1, 2), (0, 2)]))
+    first = vg.csr()
+    assert vg.csr() is first
+    vg.remove_edge(0)
+    second = vg.csr()
+    assert second is not first
+    assert second.version == vg.version
+    mark = vg.checkpoint()
+    vg.contract_edge(1)
+    assert vg.csr() is not second
+    vg.rollback(mark)
+    # rollback bumps the version: a fresh snapshot, same content
+    third = vg.csr()
+    assert third.indptr.tolist() == second.indptr.tolist()
+    assert third.heads.tolist() == second.heads.tolist()
+    assert third.aids.tolist() == second.aids.tolist()
+
+
+@needs_numpy
+def test_copy_stays_vector_kernel():
+    vg = VecGraph.from_kernel(FastGraph.from_edges([(0, 1), (1, 2)]))
+    clone = vg.copy()
+    assert isinstance(clone, VecGraph)
+    clone.remove_edge(0)
+    assert sorted(vg.edge_ids()) == [0, 1]
+
+
+def test_no_numpy_gate(monkeypatch):
+    """With numpy gone the kernel still imports; csr() raises the
+    uniform UnsupportedBackendError, and require_backend degrades the
+    advertised set to the scalar pair."""
+    import repro.graphs.vecgraph as vecgraph_mod
+    from repro.core.capabilities import require_backend
+
+    monkeypatch.setattr(vecgraph_mod, "_np", None)
+    assert not vecgraph_mod.vec_available()
+    vg = VecGraph.from_kernel(FastGraph.from_edges([(0, 1)]))
+    with pytest.raises(UnsupportedBackendError) as err:
+        vg.csr()
+    assert "numpy" in str(err.value)
+    with pytest.raises(UnsupportedBackendError) as err:
+        require_backend("steiner-tree", "vector")
+    assert "numpy" in str(err.value)
+    # the scalar backends stay valid
+    assert require_backend("steiner-tree", "fast") == "fast"

@@ -1,7 +1,13 @@
 """Tests for the ZDD substrate and the frontier Steiner construction."""
 
-import numpy as np
 import pytest
+
+try:  # only the Kirchhoff determinant oracle needs numpy
+    import numpy as np
+except ImportError:
+    np = None
+
+needs_numpy = pytest.mark.skipif(np is None, reason="numpy unavailable")
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -116,6 +122,7 @@ class TestSpanningTrees:
     def test_known_counts(self, graph, expected):
         assert spanning_tree_zdd(graph).count() == expected
 
+    @needs_numpy
     @pytest.mark.parametrize("seed", range(8))
     def test_matches_matrix_tree_theorem(self, seed):
         g = random_connected_graph(7, 6 + seed % 4, seed=seed)
@@ -123,7 +130,9 @@ class TestSpanningTrees:
 
     def test_grid_graph(self):
         g = grid_graph(3, 3)
-        assert spanning_tree_zdd(g).count() == matrix_tree_count(g) == 192
+        assert spanning_tree_zdd(g).count() == 192
+        if np is not None:
+            assert matrix_tree_count(g) == 192
 
     def test_empty_graph_rejected(self):
         with pytest.raises(InvalidInstanceError):
@@ -252,6 +261,7 @@ def test_zdd_equals_direct_enumeration(n, extra, t, seed):
     assert compiled == direct
 
 
+@needs_numpy
 @settings(max_examples=30, deadline=None)
 @given(
     n=st.integers(min_value=2, max_value=7),
